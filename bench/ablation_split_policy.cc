@@ -1,0 +1,90 @@
+// Ablation (beyond the paper) — Guttman split heuristic for the TAT loader.
+//
+// The paper's TAT uses the quadratic split. This bench builds TAT trees
+// with the quadratic and the linear heuristic over the same data and
+// evaluates both under the buffer model, showing how much of TAT's
+// disadvantage is attributable to the split policy.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace rtb::bench {
+namespace {
+
+Workload BuildTat(const std::vector<geom::Rect>& rects,
+                  const rtree::RTreeConfig& config, std::string label) {
+  Workload w;
+  w.store = std::make_unique<storage::MemPageStore>();
+  auto built = rtree::BuildRTree(w.store.get(), config, rects,
+                                 rtree::LoadAlgorithm::kTupleAtATime);
+  RTB_CHECK(built.ok());
+  w.tree = *built;
+  auto summary = rtree::TreeSummary::Extract(w.store.get(), built->root);
+  RTB_CHECK(summary.ok());
+  w.summary = std::make_unique<rtree::TreeSummary>(std::move(*summary));
+  w.centers = data::Centers(rects);
+  w.label = std::move(label);
+  return w;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {{"seed", "1998"}, {"rects", "20000"}, {"fanout", "50"}});
+  const uint64_t seed = flags.GetInt("seed");
+  const uint32_t fanout = static_cast<uint32_t>(flags.GetInt("fanout"));
+
+  Banner("Ablation: quadratic vs linear split for TAT (beyond the paper)",
+         "TIGER surrogate (" + Table::Int(flags.GetInt("rects")) +
+             " rects), fanout " + Table::Int(fanout) +
+             ", uniform point + 1% region queries under the buffer model",
+         seed);
+
+  auto rects = MakeTigerData(seed, flags.GetInt("rects"));
+  Workload quad = BuildTat(
+      rects, rtree::RTreeConfig::WithFanout(fanout), "TAT/quadratic");
+  Workload lin = BuildTat(
+      rects,
+      rtree::RTreeConfig::WithFanout(fanout, rtree::SplitPolicy::kLinear),
+      "TAT/linear");
+  Workload rstar =
+      BuildTat(rects, rtree::RTreeConfig::RStar(fanout), "TAT/R*");
+  Workload hs = BuildWorkload(rects, fanout,
+                              rtree::LoadAlgorithm::kHilbertSort);
+
+  std::printf("\nStructure:\n");
+  Table shape({"tree", "nodes", "total MBR area", "mean fill"});
+  for (const Workload* w : {&quad, &lin, &rstar, &hs}) {
+    shape.AddRow({w->label, Table::Int(w->summary->NumNodes()),
+                  Table::Num(w->summary->TotalArea(), 3),
+                  Table::Num(w->summary->MeanEntriesPerNode(), 1)});
+  }
+  shape.Print();
+
+  for (auto [name, spec] :
+       {std::pair<const char*, model::QuerySpec>{
+            "uniform point queries", model::QuerySpec::UniformPoint()},
+        {"1% region queries", model::QuerySpec::UniformRegion(0.1, 0.1)}}) {
+    std::printf("\nDisk accesses per query — %s\n", name);
+    Table table({"buffer", "TAT/quadratic", "TAT/linear", "TAT/R*",
+                 "HS (reference)"});
+    for (uint64_t buffer : {10, 50, 100, 200, 400}) {
+      table.AddRow({Table::Int(buffer),
+                    Table::Num(ModelDiskAccesses(quad, spec, buffer), 4),
+                    Table::Num(ModelDiskAccesses(lin, spec, buffer), 4),
+                    Table::Num(ModelDiskAccesses(rstar, spec, buffer), 4),
+                    Table::Num(ModelDiskAccesses(hs, spec, buffer), 4)});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nThe R* policies (paper ref [1]) reduce total area/overlap, which\n"
+      "the buffer model converts directly into fewer disk accesses — the\n"
+      "exact use the paper proposes for its model (Section 1).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rtb::bench
+
+int main(int argc, char** argv) { return rtb::bench::Run(argc, argv); }

@@ -1,0 +1,58 @@
+// Ablation (beyond the paper) — STR vs the paper's loaders under buffering.
+//
+// The paper cites STR (its authors' ICDE'97 packing algorithm, ref [7]) but
+// evaluates TAT/NX/HS. This bench adds STR to the Figure-6 style buffer
+// sweep on both TIGER-like and synthetic region data.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace rtb::bench {
+namespace {
+
+void Sweep(const char* title, const std::vector<geom::Rect>& rects,
+           uint32_t fanout, const model::QuerySpec& spec) {
+  Workload nx = BuildWorkload(rects, fanout, rtree::LoadAlgorithm::kNearestX);
+  Workload hs = BuildWorkload(rects, fanout,
+                              rtree::LoadAlgorithm::kHilbertSort);
+  Workload str = BuildWorkload(rects, fanout, rtree::LoadAlgorithm::kStr);
+  std::printf("\n%s\n", title);
+  Table table({"buffer", "NX", "HS", "STR"});
+  for (uint64_t buffer : {2, 10, 25, 50, 100, 200, 300, 400, 500}) {
+    table.AddRow({Table::Int(buffer),
+                  Table::Num(ModelDiskAccesses(nx, spec, buffer), 4),
+                  Table::Num(ModelDiskAccesses(hs, spec, buffer), 4),
+                  Table::Num(ModelDiskAccesses(str, spec, buffer), 4)});
+  }
+  table.Print();
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {{"seed", "1998"}, {"rects", "53145"}, {"fanout", "100"}});
+  const uint64_t seed = flags.GetInt("seed");
+  const uint32_t fanout = static_cast<uint32_t>(flags.GetInt("fanout"));
+
+  Banner("Ablation: STR vs NX vs HS under buffering (beyond the paper)",
+         "fanout " + Table::Int(fanout) +
+             "; point and 1% region queries on two data sets",
+         seed);
+
+  auto tiger = MakeTigerData(seed, flags.GetInt("rects"));
+  Sweep("TIGER surrogate — uniform point queries", tiger, fanout,
+        model::QuerySpec::UniformPoint());
+  Sweep("TIGER surrogate — 1% region queries", tiger, fanout,
+        model::QuerySpec::UniformRegion(0.1, 0.1));
+
+  Rng rng(seed);
+  auto region = data::GenerateSyntheticRegion(100000, &rng);
+  Sweep("Synthetic region (100k) — 1% region queries", region, fanout,
+        model::QuerySpec::UniformRegion(0.1, 0.1));
+  return 0;
+}
+
+}  // namespace
+}  // namespace rtb::bench
+
+int main(int argc, char** argv) { return rtb::bench::Run(argc, argv); }

@@ -1,0 +1,108 @@
+// Ablation (paper Section 3.3 foundations) — the buffer warm-up transient.
+//
+// The buffer model rests on the Bhide-Dan-Dias observation that the LRU
+// steady-state hit probability is close to the hit probability when the
+// buffer first fills. This bench makes that visible: it prints the modeled
+// transient ED(N) next to the measured per-window disk accesses of a cold-
+// started simulator, marks N*, and compares three steady-state estimates
+// (transient at N*, the paper's integer model, the continuous refinement)
+// to the simulated steady state.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace rtb::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {{"seed", "1998"},
+               {"points", "40000"},
+               {"fanout", "25"},
+               {"buffer", "200"},
+               {"runs", "200"}});
+  const uint64_t seed = flags.GetInt("seed");
+  const uint64_t buffer = flags.GetInt("buffer");
+  const int runs = static_cast<int>(flags.GetInt("runs"));
+
+  Banner("Ablation: buffer warm-up transient (Bhide-Dan-Dias)",
+         Table::Int(flags.GetInt("points")) +
+             " uniform points, fanout " + Table::Int(flags.GetInt("fanout")) +
+             ", buffer " + Table::Int(buffer) + ", uniform point queries, " +
+             Table::Int(runs) + " cold starts averaged",
+         seed);
+
+  Rng rng(seed);
+  auto rects = data::GenerateUniformPoints(flags.GetInt("points"), &rng);
+  Workload w = BuildWorkload(rects,
+                             static_cast<uint32_t>(flags.GetInt("fanout")),
+                             rtree::LoadAlgorithm::kHilbertSort);
+  auto probs = model::UniformAccessProbabilities(*w.summary, 0.0, 0.0);
+  RTB_CHECK(probs.ok());
+
+  const uint64_t n_star = model::QueriesToFillBuffer(*probs, buffer);
+  std::printf("\nN* (queries to fill the buffer): %llu\n",
+              static_cast<unsigned long long>(n_star));
+
+  // Measurement windows spanning warm-up and beyond.
+  std::vector<std::pair<uint64_t, uint64_t>> windows;
+  uint64_t edge = 0;
+  for (uint64_t next : {8, 20, 50, 120, 300, 700, 1500, 3000, 6000}) {
+    windows.push_back({edge, next});
+    edge = next;
+  }
+
+  std::vector<double> measured(windows.size(), 0.0);
+  sim::SimOptions options;
+  options.buffer_pages = buffer;
+  sim::UniformPointGenerator gen;
+  for (int run = 0; run < runs; ++run) {
+    sim::MbrListSimulator simulator(w.summary.get(), options);
+    Rng qrng(seed + 17 * run + 1);
+    uint64_t q = 0;
+    for (size_t i = 0; i < windows.size(); ++i) {
+      uint64_t misses = 0;
+      for (; q < windows[i].second; ++q) {
+        misses += simulator.ExecuteQuery(gen.Next(qrng), nullptr);
+      }
+      measured[i] += static_cast<double>(misses) /
+                     static_cast<double>(windows[i].second -
+                                         windows[i].first) /
+                     runs;
+    }
+  }
+
+  Table table({"queries", "model ED(N)", "measured", "note"});
+  for (size_t i = 0; i < windows.size(); ++i) {
+    double mid = (static_cast<double>(windows[i].first) +
+                  static_cast<double>(windows[i].second)) /
+                 2.0;
+    // Past N* the model plateaus at the steady state.
+    double n = std::min(mid, static_cast<double>(n_star));
+    auto point = model::WarmupTransient(*probs, {n});
+    std::string note =
+        windows[i].first >= n_star
+            ? "steady state"
+            : (windows[i].second > n_star ? "buffer fills here" : "warming");
+    table.AddRow({Table::Int(windows[i].first) + ".." +
+                      Table::Int(windows[i].second),
+                  Table::Num(point[0].disk_accesses, 4),
+                  Table::Num(measured[i], 4), note});
+  }
+  table.Print();
+
+  std::printf("\nSteady-state estimates:\n");
+  std::printf("  paper model (integer N*):   %.4f\n",
+              model::ExpectedDiskAccesses(*probs, buffer));
+  std::printf("  continuous-N* refinement:   %.4f\n",
+              model::ExpectedDiskAccessesContinuous(*probs, buffer));
+  std::printf("  simulated (last window):    %.4f\n", measured.back());
+  return 0;
+}
+
+}  // namespace
+}  // namespace rtb::bench
+
+int main(int argc, char** argv) { return rtb::bench::Run(argc, argv); }

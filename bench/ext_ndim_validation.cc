@@ -1,0 +1,79 @@
+// Extension — Table 1 in three and four dimensions.
+//
+// The paper states its model generalizes to higher dimensions (Section 3).
+// This bench repeats the Table-1 validation methodology with D-dimensional
+// uniform point data, STR-Nd packed trees, the D-dimensional access
+// probabilities and the (dimension-free) buffer model, against a
+// D-dimensional LRU simulator.
+
+#include <array>
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace rtb::bench {
+namespace {
+
+template <size_t D>
+void ValidateDim(uint64_t seed, size_t n, uint32_t fanout, uint32_t batches,
+                 uint64_t batch_size) {
+  Rng rng(seed);
+  std::vector<geom::BoxNd<D>> boxes;
+  boxes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    geom::PointNd<D> p;
+    for (size_t d = 0; d < D; ++d) p[d] = rng.NextDouble();
+    boxes.push_back(geom::BoxNd<D>::FromPoint(p));
+  }
+  auto summary = model::PackStrNd<D>(std::move(boxes), fanout);
+  std::array<double, D> point_query{};
+  auto probs = model::UniformAccessProbabilitiesNd<D>(summary, point_query);
+
+  std::printf("\nD = %zu: %zu points, fanout %u -> %zu nodes\n", D, n,
+              fanout, summary.NumNodes());
+  Table table({"buffer", "simulation", "model", "% diff"});
+  for (uint64_t buffer : {10, 50, 100, 200, 400, 600}) {
+    double predicted = model::ExpectedDiskAccesses(probs, buffer);
+    sim::NdMbrListSimulator<D> simulator(&summary, buffer);
+    Rng qrng(seed + buffer);
+    double simulated = simulator.Run(point_query, /*warmup=*/20000,
+                                     static_cast<uint64_t>(batches) *
+                                         batch_size,
+                                     &qrng);
+    double pct = simulated != 0.0
+                     ? 100.0 * (predicted - simulated) / simulated
+                     : 0.0;
+    table.AddRow({Table::Int(buffer), Table::Num(simulated, 4),
+                  Table::Num(predicted, 4), Table::Num(pct, 2) + "%"});
+  }
+  table.Print();
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {{"seed", "1998"},
+               {"points", "40000"},
+               {"fanout", "25"},
+               {"batches", "10"},
+               {"batch_size", "30000"}});
+  const uint64_t seed = flags.GetInt("seed");
+
+  Banner("Extension: buffer-model validation in higher dimensions",
+         "uniform point data, STR-Nd packed trees, uniform point queries "
+         "(paper Section 3: 'generalizations ... are straightforward')",
+         seed);
+
+  const size_t n = flags.GetInt("points");
+  const uint32_t fanout = static_cast<uint32_t>(flags.GetInt("fanout"));
+  const uint32_t batches = static_cast<uint32_t>(flags.GetInt("batches"));
+  const uint64_t batch_size = flags.GetInt("batch_size");
+  ValidateDim<2>(seed, n, fanout, batches, batch_size);
+  ValidateDim<3>(seed, n, fanout, batches, batch_size);
+  ValidateDim<4>(seed, n, fanout, batches, batch_size);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rtb::bench
+
+int main(int argc, char** argv) { return rtb::bench::Run(argc, argv); }

@@ -1,0 +1,93 @@
+// Figure 6 — Sensitivity to buffer size, Long Beach (TIGER) data.
+//
+// Disk accesses per query vs buffer size (2..500 pages) for trees built by
+// TAT, NX and HS with 100 rectangles per node. Left plot: uniform point
+// queries; right plot: 1% region queries (0.1 x 0.1).
+//
+// Paper findings to check in the output:
+//  * Point queries: TAT worst at all buffer sizes, HS best; TAT benefits
+//    ~linearly from buffer, HS gets most of its benefit early ("knee").
+//  * Region queries: TAT beats NX at small buffers, but the curves CROSS at
+//    a moderate buffer size (~200 in the paper) — the qualitative-ordering
+//    reversal that motivates the whole buffer model.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/common.h"
+
+namespace rtb::bench {
+namespace {
+
+constexpr uint64_t kBuffers[] = {2,   5,   10,  25,  50,  75,  100, 150,
+                                 200, 250, 300, 350, 400, 450, 500};
+
+void PrintSweep(const char* title, const Workload& tat, const Workload& nx,
+                const Workload& hs, const model::QuerySpec& spec,
+                const std::string& csv, const std::string& csv_label) {
+  std::printf("\n%s\n", title);
+  Table table({"buffer", "TAT", "NX", "HS"});
+  for (uint64_t buffer : kBuffers) {
+    table.AddRow({Table::Int(buffer),
+                  Table::Num(ModelDiskAccesses(tat, spec, buffer), 4),
+                  Table::Num(ModelDiskAccesses(nx, spec, buffer), 4),
+                  Table::Num(ModelDiskAccesses(hs, spec, buffer), 4)});
+  }
+  table.Print();
+  if (!csv.empty()) table.AppendCsv(csv, csv_label);
+}
+
+// Reports the buffer size where NX first beats TAT (the paper's crossover).
+void ReportCrossover(const Workload& tat, const Workload& nx,
+                     const model::QuerySpec& spec) {
+  for (uint64_t buffer = 2; buffer <= 500; ++buffer) {
+    if (ModelDiskAccesses(nx, spec, buffer) <
+        ModelDiskAccesses(tat, spec, buffer)) {
+      std::printf(
+          "\nTAT/NX crossover (region queries): NX becomes better at buffer "
+          "= %llu pages (paper: ~200).\n",
+          static_cast<unsigned long long>(buffer));
+      return;
+    }
+  }
+  std::printf("\nTAT/NX crossover: none found in [2, 500].\n");
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {{"seed", "1998"}, {"rects", "53145"}, {"fanout", "100"},
+               {"csv", ""}});
+  const uint64_t seed = flags.GetInt("seed");
+
+  Banner("Figure 6: sensitivity to buffer size (TIGER data)",
+         "disk accesses vs buffer size; TIGER surrogate, " +
+             Table::Int(flags.GetInt("rects")) + " rects, fanout " +
+             Table::Int(flags.GetInt("fanout")) +
+             "; left: point queries, right: 1% region queries",
+         seed);
+
+  auto rects = MakeTigerData(seed, flags.GetInt("rects"));
+  const uint32_t fanout = static_cast<uint32_t>(flags.GetInt("fanout"));
+  Workload tat = BuildWorkload(rects, fanout,
+                               rtree::LoadAlgorithm::kTupleAtATime);
+  Workload nx = BuildWorkload(rects, fanout, rtree::LoadAlgorithm::kNearestX);
+  Workload hs = BuildWorkload(rects, fanout,
+                              rtree::LoadAlgorithm::kHilbertSort);
+  std::printf("\nTree sizes: TAT %zu nodes, NX %zu nodes, HS %zu nodes\n",
+              tat.summary->NumNodes(), nx.summary->NumNodes(),
+              hs.summary->NumNodes());
+
+  const std::string csv = flags.GetString("csv");
+  PrintSweep("Left: uniform point queries (disk accesses/query)", tat, nx, hs,
+             model::QuerySpec::UniformPoint(), csv, "fig6_point");
+  model::QuerySpec region = model::QuerySpec::UniformRegion(0.1, 0.1);
+  PrintSweep("Right: 1% region queries, 0.1 x 0.1 (disk accesses/query)",
+             tat, nx, hs, region, csv, "fig6_region");
+  ReportCrossover(tat, nx, region);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rtb::bench
+
+int main(int argc, char** argv) { return rtb::bench::Run(argc, argv); }

@@ -1,0 +1,256 @@
+// Microbenchmarks (google-benchmark) for the library's hot paths: geometry
+// kernels, Hilbert encoding, range counting, buffer pool access, R-tree
+// search, the LRU simulator, and model evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/rtb.h"
+
+namespace rtb {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+
+void BM_RectIntersects(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Rect> rects;
+  for (int i = 0; i < 1024; ++i) {
+    double x = rng.NextDouble() * 0.9, y = rng.NextDouble() * 0.9;
+    rects.push_back(Rect(x, y, x + 0.05, y + 0.05));
+  }
+  Rect query(0.4, 0.4, 0.6, 0.6);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rects[i++ & 1023].Intersects(query));
+  }
+}
+BENCHMARK(BM_RectIntersects);
+
+void BM_HilbertEncode(benchmark::State& state) {
+  geom::HilbertCurve2D curve(static_cast<int>(state.range(0)));
+  Rng rng(2);
+  std::vector<Point> points;
+  for (int i = 0; i < 1024; ++i) {
+    points.push_back(Point{rng.NextDouble(), rng.NextDouble()});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.PointToIndex(points[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_HilbertEncode)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_PointGridCount(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<Point> points;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    points.push_back(Point{rng.NextDouble(), rng.NextDouble()});
+  }
+  geom::PointGrid grid(points);
+  size_t i = 0;
+  std::vector<Rect> queries;
+  for (int q = 0; q < 256; ++q) {
+    double x = rng.NextDouble() * 0.8, y = rng.NextDouble() * 0.8;
+    queries.push_back(Rect(x, y, x + 0.1, y + 0.1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.CountInRect(queries[i++ & 255]));
+  }
+}
+BENCHMARK(BM_PointGridCount)->Arg(10000)->Arg(100000);
+
+void BM_BufferPoolFetchHit(benchmark::State& state) {
+  storage::MemPageStore store(4096);
+  for (int i = 0; i < 64; ++i) (void)*store.Allocate();
+  auto pool = storage::BufferPool::MakeLru(&store, 64);
+  for (storage::PageId p = 0; p < 64; ++p) (void)*pool->Fetch(p);
+  storage::PageId p = 0;
+  for (auto _ : state) {
+    auto guard = pool->Fetch(p);
+    benchmark::DoNotOptimize(guard->data());
+    p = (p + 1) & 63;
+  }
+}
+BENCHMARK(BM_BufferPoolFetchHit);
+
+void BM_BufferPoolFetchMiss(benchmark::State& state) {
+  storage::MemPageStore store(4096);
+  for (int i = 0; i < 4096; ++i) (void)*store.Allocate();
+  auto pool = storage::BufferPool::MakeLru(&store, 16);
+  storage::PageId p = 0;
+  for (auto _ : state) {
+    auto guard = pool->Fetch(p);
+    benchmark::DoNotOptimize(guard->data());
+    p = (p + 17) & 4095;  // Stride defeats the 16-page pool.
+  }
+}
+BENCHMARK(BM_BufferPoolFetchMiss);
+
+struct SearchFixtureState {
+  storage::MemPageStore store;
+  rtree::BuiltTree built;
+  std::unique_ptr<storage::BufferPool> pool;
+  std::unique_ptr<rtree::RTree> tree;
+  std::unique_ptr<rtree::TreeSummary> summary;
+
+  explicit SearchFixtureState(size_t n) {
+    Rng rng(4);
+    auto rects = data::GenerateSyntheticRegion(n, &rng);
+    auto b = rtree::BuildRTree(&store, rtree::RTreeConfig::WithFanout(100),
+                               rects, rtree::LoadAlgorithm::kHilbertSort);
+    built = *b;
+    pool = storage::BufferPool::MakeLru(&store, 4096);
+    auto t = rtree::RTree::Open(pool.get(), rtree::RTreeConfig::WithFanout(100),
+                                built.root, built.height);
+    tree = std::make_unique<rtree::RTree>(std::move(*t));
+    auto s = rtree::TreeSummary::Extract(&store, built.root);
+    summary = std::make_unique<rtree::TreeSummary>(std::move(*s));
+  }
+};
+
+void BM_RTreeSearchPoint(benchmark::State& state) {
+  static SearchFixtureState* fx =
+      new SearchFixtureState(100000);  // Shared; never freed (benchmark).
+  Rng rng(5);
+  std::vector<rtree::ObjectId> out;
+  for (auto _ : state) {
+    out.clear();
+    Point p{rng.NextDouble(), rng.NextDouble()};
+    benchmark::DoNotOptimize(fx->tree->SearchPoint(p, &out));
+  }
+}
+BENCHMARK(BM_RTreeSearchPoint);
+
+void BM_RTreeSearchRegion1Pct(benchmark::State& state) {
+  static SearchFixtureState* fx = new SearchFixtureState(100000);
+  Rng rng(6);
+  sim::UniformRegionGenerator gen(0.1, 0.1);
+  std::vector<rtree::ObjectId> out;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(fx->tree->Search(gen.Next(rng), &out));
+  }
+}
+BENCHMARK(BM_RTreeSearchRegion1Pct);
+
+void BM_SimulatorPointQuery(benchmark::State& state) {
+  static SearchFixtureState* fx = new SearchFixtureState(100000);
+  sim::SimOptions options;
+  options.buffer_pages = 100;
+  sim::MbrListSimulator sim(fx->summary.get(), options);
+  Rng rng(7);
+  sim::UniformPointGenerator gen;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.ExecuteQuery(gen.Next(rng), nullptr));
+  }
+}
+BENCHMARK(BM_SimulatorPointQuery);
+
+void BM_ModelUniformProbs(benchmark::State& state) {
+  static SearchFixtureState* fx = new SearchFixtureState(100000);
+  for (auto _ : state) {
+    auto probs = model::UniformAccessProbabilities(*fx->summary, 0.01, 0.01);
+    benchmark::DoNotOptimize(probs);
+  }
+}
+BENCHMARK(BM_ModelUniformProbs);
+
+void BM_ModelBufferSolve(benchmark::State& state) {
+  static SearchFixtureState* fx = new SearchFixtureState(100000);
+  auto probs = *model::UniformAccessProbabilities(*fx->summary, 0.0, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::ExpectedDiskAccesses(probs, 200));
+  }
+}
+BENCHMARK(BM_ModelBufferSolve);
+
+void BM_QuadraticSplit(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<rtree::Entry> entries;
+  for (uint64_t i = 0; i <= 100; ++i) {
+    double x = rng.NextDouble() * 0.95, y = rng.NextDouble() * 0.95;
+    entries.push_back(rtree::Entry{Rect(x, y, x + 0.02, y + 0.02), i});
+  }
+  rtree::RTreeConfig config = rtree::RTreeConfig::WithFanout(100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rtree::QuadraticSplit(entries, config));
+  }
+}
+BENCHMARK(BM_QuadraticSplit);
+
+void BM_KnnSearch(benchmark::State& state) {
+  static SearchFixtureState* fx = new SearchFixtureState(100000);
+  Rng rng(10);
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    Point p{rng.NextDouble(), rng.NextDouble()};
+    benchmark::DoNotOptimize(rtree::SearchKnn(*fx->tree, p, k));
+  }
+}
+BENCHMARK(BM_KnnSearch)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_GuttmanInsert(benchmark::State& state) {
+  storage::MemPageStore store;
+  auto pool = storage::BufferPool::MakeLru(&store, 256);
+  auto tree = std::move(*rtree::RTree::Create(
+      pool.get(), rtree::RTreeConfig::WithFanout(50)));
+  Rng rng(11);
+  uint64_t id = 0;
+  for (auto _ : state) {
+    double x = rng.NextDouble() * 0.99, y = rng.NextDouble() * 0.99;
+    benchmark::DoNotOptimize(
+        tree.Insert(Rect(x, y, x + 0.005, y + 0.005), id++));
+  }
+}
+BENCHMARK(BM_GuttmanInsert);
+
+void BM_RStarInsert(benchmark::State& state) {
+  storage::MemPageStore store;
+  auto pool = storage::BufferPool::MakeLru(&store, 256);
+  auto tree = std::move(
+      *rtree::RTree::Create(pool.get(), rtree::RTreeConfig::RStar(50)));
+  Rng rng(12);
+  uint64_t id = 0;
+  for (auto _ : state) {
+    double x = rng.NextDouble() * 0.99, y = rng.NextDouble() * 0.99;
+    benchmark::DoNotOptimize(
+        tree.Insert(Rect(x, y, x + 0.005, y + 0.005), id++));
+  }
+}
+BENCHMARK(BM_RStarInsert);
+
+void BM_PackStrNd3(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<geom::BoxNd<3>> boxes;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    geom::PointNd<3> p{rng.NextDouble(), rng.NextDouble(),
+                       rng.NextDouble()};
+    boxes.push_back(geom::BoxNd<3>::FromPoint(p));
+  }
+  for (auto _ : state) {
+    auto copy = boxes;
+    benchmark::DoNotOptimize(model::PackStrNd<3>(std::move(copy), 25));
+  }
+}
+BENCHMARK(BM_PackStrNd3)->Arg(40000)->Unit(benchmark::kMillisecond);
+
+void BM_BulkLoadHilbert100k(benchmark::State& state) {
+  Rng rng(9);
+  auto rects = data::GenerateSyntheticRegion(100000, &rng);
+  for (auto _ : state) {
+    storage::MemPageStore store;
+    auto built = rtree::BuildRTree(&store, rtree::RTreeConfig::WithFanout(100),
+                                   rects, rtree::LoadAlgorithm::kHilbertSort);
+    benchmark::DoNotOptimize(built);
+  }
+}
+BENCHMARK(BM_BulkLoadHilbert100k)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rtb
+
+BENCHMARK_MAIN();

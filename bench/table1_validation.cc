@@ -1,0 +1,87 @@
+// Table 1 — Validation: average number of disk accesses per uniform point
+// query, for model vs LRU simulation, on the paper's 1,668-node trees.
+//
+// Paper setup (Section 4): three R-trees of 1,668 nodes each built by three
+// packing algorithms over the same data; six buffer sizes per tree;
+// confidence intervals from batch means (20 x 1,000,000 queries); all
+// model-vs-simulation differences under 2%.
+//
+// Reproduction: 40,000 uniform points packed with node size 25 give exactly
+// 1,668 nodes (1600 + 64 + 3 + 1); the three packing loaders are NX, HS and
+// STR. Default run uses 20 x 100,000 queries per cell; pass
+// --batch_size=1000000 for the paper-scale run.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace rtb::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {{"seed", "1998"},
+               {"points", "40000"},
+               {"fanout", "25"},
+               {"batches", "20"},
+               {"batch_size", "100000"},
+               {"csv", ""}});
+  const uint64_t seed = flags.GetInt("seed");
+  const uint32_t batches = static_cast<uint32_t>(flags.GetInt("batches"));
+  const uint64_t batch_size = flags.GetInt("batch_size");
+
+  Banner("Table 1: model-vs-simulation validation",
+         "avg disk accesses per uniform point query; " +
+             Table::Int(flags.GetInt("points")) + " uniform points, fanout " +
+             Table::Int(flags.GetInt("fanout")) + ", " +
+             Table::Int(batches) + " batches x " + Table::Int(batch_size) +
+             " queries",
+         seed);
+
+  Rng rng(seed);
+  auto rects = data::GenerateUniformPoints(flags.GetInt("points"), &rng);
+  const uint32_t fanout = static_cast<uint32_t>(flags.GetInt("fanout"));
+  const uint64_t buffers[] = {10, 50, 100, 200, 400, 600};
+
+  for (auto algo : {rtree::LoadAlgorithm::kNearestX,
+                    rtree::LoadAlgorithm::kHilbertSort,
+                    rtree::LoadAlgorithm::kStr}) {
+    Workload w = BuildWorkload(rects, fanout, algo);
+    std::printf("\nTree: %s (%zu nodes, height %u)\n", w.label.c_str(),
+                w.summary->NumNodes(), w.tree.height);
+    Table table({"buffer", "simulation", "model", "% diff", "model(cont)",
+                 "% diff", "sim 90% CI"});
+    auto probs = model::UniformAccessProbabilities(*w.summary, 0.0, 0.0);
+    RTB_CHECK(probs.ok());
+    for (uint64_t buffer : buffers) {
+      model::QuerySpec spec = model::QuerySpec::UniformPoint();
+      double predicted = ModelDiskAccesses(w, spec, buffer);
+      double continuous = model::ExpectedDiskAccessesContinuous(*probs,
+                                                                buffer);
+      SimEstimate sim = SimulateDiskAccesses(w, spec, buffer, batches,
+                                             batch_size, seed + buffer);
+      auto pct = [&sim](double v) {
+        return sim.mean != 0.0 ? 100.0 * (v - sim.mean) / sim.mean : 0.0;
+      };
+      table.AddRow({Table::Int(buffer), Table::Num(sim.mean, 4),
+                    Table::Num(predicted, 4),
+                    Table::Num(pct(predicted), 2) + "%",
+                    Table::Num(continuous, 4),
+                    Table::Num(pct(continuous), 2) + "%",
+                    "+/-" + Table::Num(100.0 * sim.ci90_rel, 2) + "%"});
+    }
+    table.Print();
+    if (!flags.GetString("csv").empty()) {
+      table.AppendCsv(flags.GetString("csv"),
+                      "table1_" + w.label);
+    }
+  }
+  std::printf(
+      "\nPaper: all differences within 2%% (less than the simulation CI).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rtb::bench
+
+int main(int argc, char** argv) { return rtb::bench::Run(argc, argv); }

@@ -1,0 +1,45 @@
+// Table 2 — Number of nodes per level for the deep trees used in the
+// pinning study (Section 5.5): synthetic point data sets of 40,000-250,000
+// points, node size 25, giving 4-level R-trees.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace rtb::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv, {{"seed", "1998"}, {"fanout", "25"}});
+  const uint64_t seed = flags.GetInt("seed");
+  const uint32_t fanout = static_cast<uint32_t>(flags.GetInt("fanout"));
+
+  Banner("Table 2: number of nodes per level",
+         "synthetic point data, node size " + Table::Int(fanout) +
+             ", HS-packed 4-level trees",
+         seed);
+
+  Table table({"data size", "level 0 (root)", "level 1", "level 2",
+               "level 3 (leaves)", "total"});
+  for (uint64_t n : {40000, 80000, 120000, 160000, 200000, 250000}) {
+    Rng rng(seed);
+    auto rects = data::GenerateUniformPoints(n, &rng);
+    Workload w = BuildWorkload(rects, fanout,
+                               rtree::LoadAlgorithm::kHilbertSort);
+    RTB_CHECK(w.tree.height == 4);
+    table.AddRow({Table::Int(n), Table::Int(w.summary->NodesAtPaperLevel(0)),
+                  Table::Int(w.summary->NodesAtPaperLevel(1)),
+                  Table::Int(w.summary->NodesAtPaperLevel(2)),
+                  Table::Int(w.summary->NodesAtPaperLevel(3)),
+                  Table::Int(w.summary->NumNodes())});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper: e.g. 40,000 points -> 1600/64/3/1 (1,668 nodes total).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rtb::bench
+
+int main(int argc, char** argv) { return rtb::bench::Run(argc, argv); }

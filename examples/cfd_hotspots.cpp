@@ -1,0 +1,87 @@
+// Scientific-data scenario: querying an unstructured CFD grid.
+//
+//   $ ./build/examples/cfd_hotspots
+//
+// Researchers probe the flow field around a wing: queries concentrate where
+// the mesh is dense (the paper's data-driven access model). This example
+// indexes a CFD-style point cloud, contrasts the uniform and data-driven
+// assumptions, and uses per-node access probabilities to list the "hot"
+// pages — showing why the uniform assumption makes small buffers look far
+// more effective than they will be for real (data-driven) usage.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/rtb.h"
+
+int main() {
+  using namespace rtb;
+
+  Rng rng(31415);
+  data::CfdParams params;
+  auto rects = data::GenerateCfdSurrogate(params, &rng);
+  auto centers = data::Centers(rects);
+  std::printf("CFD grid: %zu points around a two-element airfoil\n",
+              rects.size());
+
+  storage::MemPageStore store;
+  auto built = rtree::BuildRTree(&store, rtree::RTreeConfig::WithFanout(100),
+                                 rects, rtree::LoadAlgorithm::kHilbertSort);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  auto summary = rtree::TreeSummary::Extract(&store, built->root);
+  std::printf("index: %zu pages, height %u\n\n", summary->NumNodes(),
+              built->height);
+
+  // Probe queries: 1% x 1% windows centered on mesh nodes (data-driven) vs
+  // uniformly placed (the naive assumption).
+  auto uniform =
+      model::AccessProbabilities(*summary,
+                                 model::QuerySpec::UniformRegion(0.01, 0.01));
+  auto driven = model::AccessProbabilities(
+      *summary, model::QuerySpec::DataDrivenRegion(0.01, 0.01), &centers);
+
+  std::printf("expected pages touched per probe: uniform %.2f, "
+              "data-driven %.2f\n",
+              model::ExpectedNodeAccesses(*uniform),
+              model::ExpectedNodeAccesses(*driven));
+
+  std::printf("\ndisk accesses per probe vs buffer size:\n");
+  std::printf("  %8s %10s %12s\n", "buffer", "uniform", "data-driven");
+  for (uint64_t buffer : {8, 16, 32, 64, 128, 256}) {
+    std::printf("  %8llu %10.4f %12.4f\n",
+                static_cast<unsigned long long>(buffer),
+                model::ExpectedDiskAccesses(*uniform, buffer),
+                model::ExpectedDiskAccesses(*driven, buffer));
+  }
+
+  // Hot pages under each assumption: top 5 leaf probabilities.
+  auto top5 = [&](const std::vector<double>& probs, const char* label) {
+    std::vector<std::pair<double, size_t>> ranked;
+    for (size_t j = 0; j < probs.size(); ++j) {
+      if (summary->nodes()[j].level == 0) ranked.push_back({probs[j], j});
+    }
+    std::partial_sort(ranked.begin(), ranked.begin() + 5, ranked.end(),
+                      std::greater<>());
+    std::printf("\nhottest leaf pages (%s):\n", label);
+    for (int i = 0; i < 5; ++i) {
+      const auto& node = summary->nodes()[ranked[i].second];
+      std::printf("  page %4u  p=%.4f  mbr=(%.3f,%.3f)-(%.3f,%.3f)\n",
+                  node.page, ranked[i].first, node.mbr.lo.x, node.mbr.lo.y,
+                  node.mbr.hi.x, node.mbr.hi.y);
+    }
+  };
+  top5(*uniform, "uniform assumption — a few huge sparse MBRs");
+  top5(*driven, "data-driven — pages at the wing surface");
+
+  std::printf(
+      "\nUnder the uniform assumption a handful of large empty-space MBRs\n"
+      "absorb most probes, so a tiny cache looks sufficient; real\n"
+      "(data-driven) probes spread across the dense wing-surface pages and\n"
+      "need a much larger buffer — the paper's Fig. 8 in miniature.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// GIS scenario: choosing a loading algorithm for a road-segment index.
+//
+//   $ ./build/examples/gis_road_index [path/to/file.rects]
+//
+// A mapping service indexes ~53k road-segment MBRs (a TIGER-style data set;
+// pass a real extract in rtb-rects format to use your own). Memory for the
+// index cache is limited. The example builds the index with all four
+// loading algorithms and uses the paper's buffer model to answer the
+// question the paper poses: which loader is best *for a given buffer
+// size* — showing that the bufferless "nodes visited" ranking can mislead.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/rtb.h"
+
+namespace {
+
+struct Candidate {
+  std::string name;
+  std::unique_ptr<rtb::storage::MemPageStore> store;
+  std::unique_ptr<rtb::rtree::TreeSummary> summary;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rtb;
+
+  // Load or synthesize the road data.
+  std::vector<geom::Rect> rects;
+  if (argc > 1) {
+    auto loaded = data::LoadRects(argv[1]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", argv[1],
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    rects = std::move(*loaded);
+    std::printf("loaded %zu rectangles from %s\n", rects.size(), argv[1]);
+  } else {
+    Rng rng(2718);
+    data::TigerParams params;
+    rects = data::GenerateTigerSurrogate(params, &rng);
+    std::printf("synthesized %zu road-segment MBRs (TIGER surrogate)\n",
+                rects.size());
+  }
+
+  const rtree::RTreeConfig config = rtree::RTreeConfig::WithFanout(100);
+  std::vector<Candidate> candidates;
+  for (auto algo : {rtree::LoadAlgorithm::kTupleAtATime,
+                    rtree::LoadAlgorithm::kNearestX,
+                    rtree::LoadAlgorithm::kHilbertSort,
+                    rtree::LoadAlgorithm::kStr}) {
+    Candidate c;
+    c.name = std::string(rtree::LoadAlgorithmName(algo));
+    c.store = std::make_unique<storage::MemPageStore>();
+    auto built = rtree::BuildRTree(c.store.get(), config, rects, algo);
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s build failed: %s\n", c.name.c_str(),
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    auto summary = rtree::TreeSummary::Extract(c.store.get(), built->root);
+    c.summary = std::make_unique<rtree::TreeSummary>(std::move(*summary));
+    candidates.push_back(std::move(c));
+  }
+
+  // Map viewport queries: small region queries, 0.5% of the map each.
+  const model::QuerySpec viewport = model::QuerySpec::UniformRegion(0.07,
+                                                                    0.07);
+
+  std::printf("\n%-6s %8s %12s", "loader", "pages", "bufferless");
+  for (uint64_t buffer : {16, 64, 256, 1024}) {
+    std::printf(" %9s%-4llu", "B=", static_cast<unsigned long long>(buffer));
+  }
+  std::printf("\n");
+  for (const Candidate& c : candidates) {
+    auto probs = model::AccessProbabilities(*c.summary, viewport);
+    std::printf("%-6s %8zu %12.2f", c.name.c_str(), c.summary->NumNodes(),
+                model::ExpectedNodeAccesses(*probs));
+    for (uint64_t buffer : {16, 64, 256, 1024}) {
+      std::printf(" %13.3f",
+                  model::ExpectedDiskAccesses(*probs, buffer));
+    }
+    std::printf("\n");
+  }
+
+  // Pick the winner per memory budget.
+  std::printf("\nrecommended loader by cache budget:\n");
+  for (uint64_t buffer : {16, 64, 256, 1024}) {
+    const Candidate* best = nullptr;
+    double best_cost = 0.0;
+    for (const Candidate& c : candidates) {
+      auto probs = model::AccessProbabilities(*c.summary, viewport);
+      double cost = model::ExpectedDiskAccesses(*probs, buffer);
+      if (best == nullptr || cost < best_cost) {
+        best = &c;
+        best_cost = cost;
+      }
+    }
+    std::printf("  %4llu pages -> %s (%.3f disk accesses per viewport)\n",
+                static_cast<unsigned long long>(buffer), best->name.c_str(),
+                best_cost);
+  }
+  std::printf(
+      "\nThe bufferless column ranks loaders by nodes visited; the buffered\n"
+      "columns are what the user actually waits for. When they disagree,\n"
+      "trust the buffered ranking (the paper's central point).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Umbrella header for the rtree-buffer library.
+//
+// Pulls in the full public API:
+//
+//   rtb::geom     — rectangles, points, Hilbert curve, range counting
+//   rtb::storage  — pages, page store, buffer pool, replacement policies
+//   rtb::rtree    — R-tree, loading algorithms, summaries, validation
+//   rtb::model    — access probabilities, bufferless and buffer cost models
+//   rtb::sim      — query generators, LRU simulator, end-to-end runner
+//   rtb::data     — data-set generators and rectangle file I/O
+//
+// A minimal workflow (see examples/quickstart.cc for a commented version):
+//
+//   rtb::Rng rng(42);
+//   auto rects = rtb::data::GenerateSyntheticRegion(10000, &rng);
+//   rtb::storage::MemPageStore store;
+//   auto cfg = rtb::rtree::RTreeConfig::WithFanout(100);
+//   auto built = rtb::rtree::BuildRTree(&store, cfg, rects,
+//                                       rtb::rtree::LoadAlgorithm::kHilbertSort);
+//   auto summary = rtb::rtree::TreeSummary::Extract(&store, built->root);
+//   double ed = *rtb::model::PredictDiskAccesses(
+//       *summary, rtb::model::QuerySpec::UniformPoint(), /*buffer_pages=*/50);
+
+#ifndef RTB_CORE_RTB_H_
+#define RTB_CORE_RTB_H_
+
+#include "data/datasets.h"
+#include "data/io.h"
+#include "data/polygon.h"
+#include "geom/hilbert.h"
+#include "geom/point.h"
+#include "geom/point_grid.h"
+#include "geom/rect.h"
+#include "model/access_prob.h"
+#include "model/analytic_tree.h"
+#include "model/cost_model.h"
+#include "model/ndim.h"
+#include "model/warmup.h"
+#include "rtree/bulk_load.h"
+#include "rtree/config.h"
+#include "rtree/knn.h"
+#include "rtree/node.h"
+#include "rtree/rtree.h"
+#include "rtree/split.h"
+#include "rtree/summary.h"
+#include "rtree/validate.h"
+#include "sim/lru_sim.h"
+#include "sim/nd_sim.h"
+#include "sim/query_gen.h"
+#include "sim/runner.h"
+#include "storage/buffer_pool.h"
+#include "storage/fault_injection.h"
+#include "storage/file_page_store.h"
+#include "storage/page.h"
+#include "storage/page_store.h"
+#include "storage/replacement.h"
+#include "util/batch_stats.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+#endif  // RTB_CORE_RTB_H_

@@ -1,0 +1,142 @@
+// CFD unstructured-grid surrogate.
+//
+// The paper's grid models MACH 0.2 flow over a Boeing 737 wing cross
+// section with flaps out: "Nodes are dense in areas of great change in the
+// solution ... and sparse in areas of little change", and the wing interior
+// shows as blank oval areas (Fig. 5). The surrogate builds a two-element
+// airfoil (NACA-style main element plus a deployed flap) and samples grid
+// nodes at power-law distances from the nearest surface, rejecting points
+// inside either element.
+
+#include <cmath>
+#include <vector>
+
+#include "data/datasets.h"
+#include "data/polygon.h"
+#include "util/macros.h"
+
+namespace rtb::data {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+
+constexpr double kPi = 3.14159265358979323846;
+
+// NACA 4-digit airfoil polygon with unit chord from (0,0) to (1,0).
+// m = max camber, p = camber position, t = thickness. `samples` points per
+// surface.
+Polygon MakeNacaAirfoil(double m, double p, double t, int samples) {
+  auto thickness = [t](double x) {
+    // Closed trailing edge variant (-0.1036 last coefficient).
+    return 5.0 * t *
+           (0.2969 * std::sqrt(x) - 0.1260 * x - 0.3516 * x * x +
+            0.2843 * x * x * x - 0.1036 * x * x * x * x);
+  };
+  auto camber = [m, p](double x) {
+    if (m == 0.0) return 0.0;
+    if (x < p) return m / (p * p) * (2.0 * p * x - x * x);
+    return m / ((1.0 - p) * (1.0 - p)) *
+           ((1.0 - 2.0 * p) + 2.0 * p * x - x * x);
+  };
+  auto camber_slope = [m, p](double x) {
+    if (m == 0.0) return 0.0;
+    if (x < p) return 2.0 * m / (p * p) * (p - x);
+    return 2.0 * m / ((1.0 - p) * (1.0 - p)) * (p - x);
+  };
+
+  std::vector<Point> vertices;
+  vertices.reserve(static_cast<size_t>(2 * samples));
+  // Upper surface, trailing edge -> leading edge (cosine spacing).
+  for (int i = 0; i < samples; ++i) {
+    double beta = kPi * static_cast<double>(i) / (samples - 1);
+    double x = 0.5 * (1.0 + std::cos(beta));  // 1 -> 0.
+    double theta = std::atan(camber_slope(x));
+    double yt = thickness(x);
+    vertices.push_back(Point{x - yt * std::sin(theta),
+                             camber(x) + yt * std::cos(theta)});
+  }
+  // Lower surface, leading edge -> trailing edge (skip duplicated ends).
+  for (int i = 1; i < samples - 1; ++i) {
+    double beta = kPi * static_cast<double>(i) / (samples - 1);
+    double x = 0.5 * (1.0 - std::cos(beta));  // 0 -> 1.
+    double theta = std::atan(camber_slope(x));
+    double yt = thickness(x);
+    vertices.push_back(Point{x + yt * std::sin(theta),
+                             camber(x) - yt * std::cos(theta)});
+  }
+  return Polygon(std::move(vertices));
+}
+
+}  // namespace
+
+std::vector<Polygon> CfdAirfoilElements() {
+  Polygon base = MakeNacaAirfoil(0.02, 0.4, 0.12, 80);
+  std::vector<Polygon> elements;
+  // Main element: chord 0.5, slight nose-down attitude, centered-left.
+  elements.push_back(base.Transformed(0.5, -4.0 * kPi / 180.0, 0.24, 0.52));
+  // Flap: chord 0.16, deflected 28 degrees, tucked under the trailing edge
+  // (landing configuration).
+  elements.push_back(base.Transformed(0.16, -28.0 * kPi / 180.0, 0.70, 0.455));
+  return elements;
+}
+
+std::vector<Rect> GenerateCfdSurrogate(const CfdParams& params, Rng* rng) {
+  RTB_CHECK(params.far_field_fraction >= 0.0 &&
+            params.far_field_fraction < 1.0);
+  std::vector<Polygon> polys = CfdAirfoilElements();
+  const Polygon& main_element = polys[0];
+  const Polygon& flap = polys[1];
+
+  const Polygon* elements[2] = {&main_element, &flap};
+  auto inside_any = [&elements](Point p) {
+    return elements[0]->Contains(p) || elements[1]->Contains(p);
+  };
+
+  std::vector<Rect> rects;
+  rects.reserve(params.num_points);
+
+  const size_t far_quota = static_cast<size_t>(
+      params.far_field_fraction * static_cast<double>(params.num_points));
+
+  // Far-field nodes: coarse, spread over the whole domain.
+  while (rects.size() < far_quota) {
+    Point p{rng->NextDouble(), rng->NextDouble()};
+    if (inside_any(p)) continue;
+    rects.push_back(Rect::FromPoint(p));
+  }
+
+  // Boundary-layer and wake nodes: pick a surface point (the flap gets a
+  // share proportional to its perimeter, weighted up — real meshes resolve
+  // the slot flow finely), then step away along the normal by a power-law
+  // distance.
+  const double main_perimeter = main_element.Perimeter();
+  const double flap_perimeter = flap.Perimeter() * 2.5;
+  const double total_weight = main_perimeter + flap_perimeter;
+  while (rects.size() < params.num_points) {
+    const Polygon* element =
+        rng->Uniform(0.0, total_weight) < main_perimeter ? elements[0]
+                                                         : elements[1];
+    Polygon::SurfaceSample sample = element->SampleSurface(rng);
+    // d = d0 * (u^{-1/k} - 1): dense for u near 1, heavy tail for small u.
+    double u = rng->NextDouble();
+    if (u <= 0.0) continue;
+    double d = params.near_distance *
+               (std::pow(u, -1.0 / params.decay_exponent) - 1.0);
+    if (d > 0.6) continue;  // Tail cap: keep the cloud near the airfoil.
+    // Jitter the direction slightly so layers are not perfectly shells.
+    double jitter_angle = rng->NextGaussian() * 0.12;
+    double ca = std::cos(jitter_angle), sa = std::sin(jitter_angle);
+    double nx = sample.normal_x * ca - sample.normal_y * sa;
+    double ny = sample.normal_x * sa + sample.normal_y * ca;
+    Point p{sample.point.x + nx * d, sample.point.y + ny * d};
+    if (p.x < 0.0 || p.x > 1.0 || p.y < 0.0 || p.y > 1.0) continue;
+    if (inside_any(p)) continue;
+    rects.push_back(Rect::FromPoint(p));
+  }
+  // Far-field points were emitted first; neutralize file order.
+  Shuffle(&rects, rng);
+  return rects;
+}
+
+}  // namespace rtb::data

@@ -1,0 +1,57 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/datasets.h"
+#include "util/macros.h"
+
+namespace rtb::data {
+
+using geom::Point;
+using geom::Rect;
+
+std::vector<Rect> GenerateGaussianClusters(const ClusterParams& params,
+                                           Rng* rng) {
+  RTB_CHECK(params.num_clusters >= 1);
+  RTB_CHECK(params.sigma > 0.0);
+  RTB_CHECK(params.zipf >= 0.0);
+  RTB_CHECK(params.max_side >= 0.0 && params.max_side < 1.0);
+
+  struct Cluster {
+    Point center;
+    double cumulative_weight;
+  };
+  std::vector<Cluster> clusters(params.num_clusters);
+  double acc = 0.0;
+  for (uint32_t i = 0; i < params.num_clusters; ++i) {
+    // Keep centers away from the border so most mass stays inside.
+    clusters[i].center = Point{rng->Uniform(0.1, 0.9),
+                               rng->Uniform(0.1, 0.9)};
+    acc += std::pow(static_cast<double>(i + 1), -params.zipf);
+    clusters[i].cumulative_weight = acc;
+  }
+
+  std::vector<Rect> rects;
+  rects.reserve(params.num_rects);
+  while (rects.size() < params.num_rects) {
+    double pick = rng->Uniform(0.0, acc);
+    auto it = std::lower_bound(
+        clusters.begin(), clusters.end(), pick,
+        [](const Cluster& c, double v) { return c.cumulative_weight < v; });
+    if (it == clusters.end()) --it;
+    Point c{it->center.x + rng->NextGaussian() * params.sigma,
+            it->center.y + rng->NextGaussian() * params.sigma};
+    double side =
+        params.max_side > 0.0 ? rng->Uniform(0.0, params.max_side) : 0.0;
+    double x0 = c.x - side / 2.0, y0 = c.y - side / 2.0;
+    Rect r(std::clamp(x0, 0.0, 1.0 - side),
+           std::clamp(y0, 0.0, 1.0 - side), 0.0, 0.0);
+    r.hi = Point{r.lo.x + side, r.lo.y + side};
+    if (c.x < 0.0 || c.x > 1.0 || c.y < 0.0 || c.y > 1.0) continue;
+    rects.push_back(r);
+  }
+  Shuffle(&rects, rng);
+  return rects;
+}
+
+}  // namespace rtb::data

@@ -1,0 +1,110 @@
+// Data-set generators matching Section 5.1 of the paper.
+//
+//  * Synthetic Point: points uniform over the unit square.
+//  * Synthetic Region: squares with side uniform in (0, eps],
+//    eps = 2*sqrt(0.25/10000) = 0.01, so 10,000 rectangles cover ~0.25 of
+//    the unit square in total area and 100,000 cover ~2.5x.
+//  * TIGER surrogate: the paper uses the Long Beach TIGER file (53,145
+//    road-segment MBRs). That file is not redistributable here, so
+//    GenerateTigerSurrogate synthesizes a road map with the properties the
+//    paper's analysis relies on: many small, thin, spatially clustered
+//    rectangles and large empty regions.
+//  * CFD surrogate: the paper uses a 52,510-node unstructured grid around a
+//    Boeing 737 wing cross-section with flaps deployed (original data link
+//    is defunct). GenerateCfdSurrogate samples points around a two-element
+//    airfoil with density decaying by a power law in the distance to the
+//    nearest surface and the element interiors kept empty — reproducing the
+//    extreme skew and blank "ovalish areas" of the original (Fig. 5).
+//
+// All generators are deterministic in the supplied Rng and produce
+// rectangles inside the unit square.
+
+#ifndef RTB_DATA_DATASETS_H_
+#define RTB_DATA_DATASETS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/polygon.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "util/rng.h"
+
+namespace rtb::data {
+
+/// Uniformly distributed points (degenerate rectangles).
+std::vector<geom::Rect> GenerateUniformPoints(size_t n, Rng* rng);
+
+/// Maximum square side of the Synthetic Region data set,
+/// 2*sqrt(0.25/10000) = 0.01 (paper Section 5.1).
+double SyntheticRegionMaxSide();
+
+/// Uniformly placed squares with side uniform in (0, SyntheticRegionMaxSide].
+std::vector<geom::Rect> GenerateSyntheticRegion(size_t n, Rng* rng);
+
+/// Parameters of the TIGER/Long Beach surrogate.
+struct TigerParams {
+  size_t num_rects = 53145;     // Long Beach rectangle count.
+  uint32_t num_cities = 12;     // Clustered urban areas.
+  double min_city_radius = 0.05;
+  double max_city_radius = 0.20;
+  double highway_fraction = 0.15;  // Share of rects on inter-city roads.
+  double jitter = 0.002;           // Cross-track jitter of road segments.
+};
+
+/// Synthetic road map: street-grid random walks inside clustered "cities"
+/// plus inter-city highway polylines; each road segment contributes its MBR.
+std::vector<geom::Rect> GenerateTigerSurrogate(const TigerParams& params,
+                                               Rng* rng);
+
+/// Parameters of the CFD surrogate.
+struct CfdParams {
+  size_t num_points = 52510;     // Node count of the paper's grid.
+  double far_field_fraction = 0.03;  // Points scattered over the domain.
+  double near_distance = 0.0015;     // Distance scale of the dense layer.
+  double decay_exponent = 1.6;       // Power-law tail of the distance.
+};
+
+/// Unstructured-grid surrogate: points around a two-element airfoil (main
+/// wing + deployed flap), dense at the surfaces, sparse away from them,
+/// empty inside the elements.
+std::vector<geom::Rect> GenerateCfdSurrogate(const CfdParams& params,
+                                             Rng* rng);
+
+/// The two airfoil elements (main wing, then flap) used by the CFD
+/// surrogate. Every generated grid point lies outside both; useful for
+/// plotting and for asserting the interiors stay empty.
+std::vector<Polygon> CfdAirfoilElements();
+
+/// Center points of a rectangle set (the data-driven query model and
+/// generator consume these).
+std::vector<geom::Point> Centers(const std::vector<geom::Rect>& rects);
+
+/// Fisher-Yates shuffle. The structured generators emit rectangles in
+/// spatially correlated order (street by street, surface by surface);
+/// shuffling makes data-file order neutral so order-sensitive consumers
+/// (the TAT loader) reflect their algorithm, not the generator.
+void Shuffle(std::vector<geom::Rect>* rects, Rng* rng);
+
+/// Parameters of the Gaussian-cluster generator.
+struct ClusterParams {
+  size_t num_rects = 10000;
+  uint32_t num_clusters = 10;
+  /// Standard deviation of each cluster (same in x and y).
+  double sigma = 0.03;
+  /// Cluster-size skew: cluster i receives weight (i+1)^-zipf. 0 = equal
+  /// sizes; ~1 = heavily skewed (a few dominant clusters).
+  double zipf = 0.8;
+  /// Rectangle side, uniform in (0, max_side]; 0 = point data.
+  double max_side = 0.0;
+};
+
+/// Gaussian clusters with Zipf-skewed populations — the classic "clustered"
+/// workload of R-tree studies. Output order is shuffled; all rectangles are
+/// clamped inside the unit square.
+std::vector<geom::Rect> GenerateGaussianClusters(const ClusterParams& params,
+                                                 Rng* rng);
+
+}  // namespace rtb::data
+
+#endif  // RTB_DATA_DATASETS_H_

@@ -1,0 +1,49 @@
+#include "data/io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace rtb::data {
+
+Status SaveRects(const std::string& path,
+                 const std::vector<geom::Rect>& rects) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "rtb-rects " << rects.size() << "\n";
+  out << std::setprecision(17);
+  for (const geom::Rect& r : rects) {
+    out << r.lo.x << ' ' << r.lo.y << ' ' << r.hi.x << ' ' << r.hi.y << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<std::vector<geom::Rect>> LoadRects(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string magic;
+  uint64_t count = 0;
+  if (!(in >> magic >> count) || magic != "rtb-rects") {
+    return Status::Corruption(path + ": missing 'rtb-rects <count>' header");
+  }
+  std::vector<geom::Rect> rects;
+  rects.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    geom::Rect r;
+    if (!(in >> r.lo.x >> r.lo.y >> r.hi.x >> r.hi.y)) {
+      return Status::Corruption(path + ": truncated at rectangle " +
+                                std::to_string(i));
+    }
+    if (r.is_empty()) {
+      return Status::Corruption(path + ": rectangle " + std::to_string(i) +
+                                " has lo > hi");
+    }
+    rects.push_back(r);
+  }
+  return rects;
+}
+
+}  // namespace rtb::data

@@ -1,0 +1,29 @@
+// Plain-text rectangle file I/O.
+//
+// Format: one header line "rtb-rects <count>", then one rectangle per line
+// as "lo.x lo.y hi.x hi.y" with full double precision. This lets users feed
+// real data sets (e.g. an actual TIGER extract) into the library and lets
+// the benches dump the data they generated.
+
+#ifndef RTB_DATA_IO_H_
+#define RTB_DATA_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/rect.h"
+#include "util/result.h"
+
+namespace rtb::data {
+
+/// Writes `rects` to `path`, overwriting.
+Status SaveRects(const std::string& path,
+                 const std::vector<geom::Rect>& rects);
+
+/// Reads a rectangle file written by SaveRects (or hand-made in the same
+/// format).
+Result<std::vector<geom::Rect>> LoadRects(const std::string& path);
+
+}  // namespace rtb::data
+
+#endif  // RTB_DATA_IO_H_

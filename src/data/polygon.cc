@@ -1,0 +1,103 @@
+#include "data/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace rtb::data {
+
+using geom::Point;
+using geom::Rect;
+
+Polygon::Polygon(std::vector<Point> vertices)
+    : vertices_(std::move(vertices)) {
+  RTB_CHECK(vertices_.size() >= 3);
+  const size_t n = vertices_.size();
+  cumulative_length_.resize(n);
+  bbox_ = Rect::Empty();
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    acc += std::hypot(b.x - a.x, b.y - a.y);
+    cumulative_length_[i] = acc;
+    bbox_ = geom::Union(bbox_, Rect::FromPoint(a));
+  }
+  total_length_ = acc;
+  ccw_ = SignedArea() > 0.0;
+}
+
+double Polygon::SignedArea() const {
+  double acc = 0.0;
+  const size_t n = vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    acc += a.x * b.y - b.x * a.y;
+  }
+  return acc / 2.0;
+}
+
+bool Polygon::Contains(Point p) const {
+  if (!bbox_.Contains(p)) return false;
+  // Ray casting toward +x.
+  bool inside = false;
+  const size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[j];
+    const bool crosses = (a.y > p.y) != (b.y > p.y);
+    if (crosses) {
+      double x_at = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+Polygon::SurfaceSample Polygon::SampleSurface(Rng* rng) const {
+  double target = rng->Uniform(0.0, total_length_);
+  auto it = std::lower_bound(cumulative_length_.begin(),
+                             cumulative_length_.end(), target);
+  size_t i = static_cast<size_t>(it - cumulative_length_.begin());
+  if (i >= vertices_.size()) i = vertices_.size() - 1;
+  const Point& a = vertices_[i];
+  const Point& b = vertices_[(i + 1) % vertices_.size()];
+  double edge_start = i == 0 ? 0.0 : cumulative_length_[i - 1];
+  double edge_len = cumulative_length_[i] - edge_start;
+  double t = edge_len > 0.0 ? (target - edge_start) / edge_len : 0.0;
+
+  SurfaceSample sample;
+  sample.point = Point{a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)};
+  // Edge direction -> outward normal (right of travel for CCW polygons).
+  double dx = b.x - a.x;
+  double dy = b.y - a.y;
+  double len = std::hypot(dx, dy);
+  if (len == 0.0) len = 1.0;
+  double nx = dy / len;
+  double ny = -dx / len;
+  if (!ccw_) {
+    nx = -nx;
+    ny = -ny;
+  }
+  sample.normal_x = nx;
+  sample.normal_y = ny;
+  return sample;
+}
+
+Polygon Polygon::Transformed(double s, double radians, double dx,
+                             double dy) const {
+  const double c = std::cos(radians);
+  const double sn = std::sin(radians);
+  std::vector<Point> out;
+  out.reserve(vertices_.size());
+  for (const Point& v : vertices_) {
+    double x = v.x * s;
+    double y = v.y * s;
+    out.push_back(Point{x * c - y * sn + dx, x * sn + y * c + dy});
+  }
+  return Polygon(std::move(out));
+}
+
+}  // namespace rtb::data

@@ -1,0 +1,63 @@
+// Simple polygon utilities used by the data-set generators: containment
+// tests (ray casting) and uniform sampling along the boundary with outward
+// normals. The CFD surrogate builds airfoil cross-sections as polygons and
+// samples mesh points at power-law distances from their surfaces.
+
+#ifndef RTB_DATA_POLYGON_H_
+#define RTB_DATA_POLYGON_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "util/rng.h"
+
+namespace rtb::data {
+
+/// A closed simple polygon (vertices in order; the edge from back() to
+/// front() closes it).
+class Polygon {
+ public:
+  /// Requires at least 3 vertices.
+  explicit Polygon(std::vector<geom::Point> vertices);
+
+  const std::vector<geom::Point>& vertices() const { return vertices_; }
+
+  /// Signed area (positive for counter-clockwise orientation).
+  double SignedArea() const;
+
+  /// Total boundary length.
+  double Perimeter() const { return total_length_; }
+
+  /// Axis-parallel bounding box.
+  geom::Rect BoundingBox() const { return bbox_; }
+
+  /// True when `p` is strictly inside (ray-casting; boundary points may go
+  /// either way, which the generators tolerate).
+  bool Contains(geom::Point p) const;
+
+  /// A point uniformly distributed along the boundary, plus the outward
+  /// unit normal at that point.
+  struct SurfaceSample {
+    geom::Point point;
+    double normal_x = 0.0;
+    double normal_y = 0.0;
+  };
+  SurfaceSample SampleSurface(Rng* rng) const;
+
+  /// Returns a copy scaled by `s`, rotated by `radians` (about the origin),
+  /// then translated by (dx, dy) — in that order.
+  Polygon Transformed(double s, double radians, double dx, double dy) const;
+
+ private:
+  std::vector<geom::Point> vertices_;
+  std::vector<double> cumulative_length_;  // Edge i ends at [i].
+  double total_length_ = 0.0;
+  geom::Rect bbox_;
+  bool ccw_ = true;
+};
+
+}  // namespace rtb::data
+
+#endif  // RTB_DATA_POLYGON_H_

@@ -1,0 +1,151 @@
+// TIGER/Long Beach surrogate generator.
+//
+// TIGER line files store road segments; indexing them stores one thin MBR
+// per segment. Structurally the Long Beach set is (i) heavily clustered —
+// dense street grids in urban areas — and (ii) mostly empty elsewhere,
+// which is exactly what drives the paper's Section 5.4 observations. The
+// surrogate reproduces that: it lays out a handful of "cities" with
+// street-grid random walks plus a sparse web of inter-city highways, and
+// emits the MBR of every road segment.
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/datasets.h"
+#include "util/macros.h"
+
+namespace rtb::data {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+
+constexpr double kPi = 3.14159265358979323846;
+
+Point ClampToUnit(Point p) {
+  return Point{std::clamp(p.x, 0.0, 1.0), std::clamp(p.y, 0.0, 1.0)};
+}
+
+// MBR of the segment (a, b), clamped to the unit square.
+Rect SegmentMbr(Point a, Point b) {
+  a = ClampToUnit(a);
+  b = ClampToUnit(b);
+  return Rect(std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+              std::max(a.y, b.y));
+}
+
+struct City {
+  Point center;
+  double radius;
+};
+
+// One street: an axis-biased random walk emitting `max_segments` segment
+// MBRs (fewer if it drifts too far from the city).
+void EmitStreet(const City& city, double jitter, size_t max_segments,
+                Rng* rng, std::vector<Rect>* out) {
+  // Start near the center (Gaussian, so downtown is densest).
+  Point p{city.center.x + rng->NextGaussian() * city.radius * 0.45,
+          city.center.y + rng->NextGaussian() * city.radius * 0.45};
+  // Streets are mostly axis-aligned with occasional diagonals.
+  double angle;
+  double r = rng->NextDouble();
+  if (r < 0.45) {
+    angle = rng->NextDouble() < 0.5 ? 0.0 : kPi;
+  } else if (r < 0.9) {
+    angle = rng->NextDouble() < 0.5 ? kPi / 2 : -kPi / 2;
+  } else {
+    angle = rng->Uniform(0.0, 2 * kPi);
+  }
+  const double step = city.radius / 25.0;
+  for (size_t s = 0; s < max_segments; ++s) {
+    Point q{p.x + std::cos(angle) * step + rng->Uniform(-jitter, jitter),
+            p.y + std::sin(angle) * step + rng->Uniform(-jitter, jitter)};
+    out->push_back(SegmentMbr(p, q));
+    p = q;
+    double dx = p.x - city.center.x;
+    double dy = p.y - city.center.y;
+    if (dx * dx + dy * dy > city.radius * city.radius) break;
+    // Occasional 90-degree turns keep the grid texture.
+    if (rng->NextDouble() < 0.12) {
+      angle += (rng->NextDouble() < 0.5 ? 1.0 : -1.0) * kPi / 2;
+    }
+  }
+}
+
+// A highway: a jittered polyline between two city centers.
+void EmitHighway(Point from, Point to, double jitter, Rng* rng,
+                 std::vector<Rect>* out, size_t budget) {
+  // TIGER chains break roads into short block-level segments (~100 m, i.e.
+  // ~0.006 normalized for a county-sized extent).
+  double dist = std::hypot(to.x - from.x, to.y - from.y);
+  size_t steps = std::max<size_t>(2, static_cast<size_t>(dist / 0.006));
+  steps = std::min(steps, budget);
+  Point p = from;
+  for (size_t s = 1; s <= steps && out->size() < out->capacity(); ++s) {
+    double t = static_cast<double>(s) / static_cast<double>(steps);
+    Point q{from.x + t * (to.x - from.x) + rng->Uniform(-jitter, jitter),
+            from.y + t * (to.y - from.y) + rng->Uniform(-jitter, jitter)};
+    out->push_back(SegmentMbr(p, q));
+    p = q;
+  }
+}
+
+}  // namespace
+
+std::vector<Rect> GenerateTigerSurrogate(const TigerParams& params,
+                                         Rng* rng) {
+  RTB_CHECK(params.num_cities >= 2);
+  RTB_CHECK(params.highway_fraction >= 0.0 && params.highway_fraction < 1.0);
+
+  std::vector<City> cities(params.num_cities);
+  for (City& city : cities) {
+    // Centers concentrate toward the middle so the discs overlap into one
+    // contiguous metro area (Long Beach is a single urbanized region) with
+    // empty margins (ocean/port).
+    city.center = Point{rng->Uniform(0.22, 0.78), rng->Uniform(0.22, 0.78)};
+    // Log-uniform radii: a couple of metropolises, several towns.
+    double u = rng->NextDouble();
+    city.radius = params.min_city_radius *
+                  std::pow(params.max_city_radius / params.min_city_radius, u);
+  }
+  // City weight ~ radius^2 (area), so big cities hold most streets.
+  std::vector<double> cumulative_weight(cities.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < cities.size(); ++i) {
+    acc += cities[i].radius * cities[i].radius;
+    cumulative_weight[i] = acc;
+  }
+
+  std::vector<Rect> rects;
+  rects.reserve(params.num_rects);
+
+  // Highways first (they are the smaller share).
+  const size_t highway_quota = static_cast<size_t>(
+      params.highway_fraction * static_cast<double>(params.num_rects));
+  while (rects.size() < highway_quota) {
+    size_t a = rng->UniformInt(cities.size());
+    size_t b = rng->UniformInt(cities.size());
+    if (a == b) continue;
+    EmitHighway(cities[a].center, cities[b].center, params.jitter, rng,
+                &rects, highway_quota - rects.size());
+  }
+
+  // City streets fill the remainder.
+  while (rects.size() < params.num_rects) {
+    double pick = rng->Uniform(0.0, acc);
+    size_t idx = static_cast<size_t>(
+        std::lower_bound(cumulative_weight.begin(), cumulative_weight.end(),
+                         pick) -
+        cumulative_weight.begin());
+    if (idx >= cities.size()) idx = cities.size() - 1;
+    size_t remaining = params.num_rects - rects.size();
+    EmitStreet(cities[idx], params.jitter, std::min<size_t>(remaining, 24),
+               rng, &rects);
+  }
+  rects.resize(params.num_rects);
+  // Streets were emitted consecutively; neutralize file order.
+  Shuffle(&rects, rng);
+  return rects;
+}
+
+}  // namespace rtb::data

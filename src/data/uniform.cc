@@ -1,0 +1,49 @@
+#include <cmath>
+
+#include "data/datasets.h"
+
+namespace rtb::data {
+
+using geom::Point;
+using geom::Rect;
+
+std::vector<Rect> GenerateUniformPoints(size_t n, Rng* rng) {
+  std::vector<Rect> rects;
+  rects.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rects.push_back(
+        Rect::FromPoint(Point{rng->NextDouble(), rng->NextDouble()}));
+  }
+  return rects;
+}
+
+double SyntheticRegionMaxSide() { return 2.0 * std::sqrt(0.25 / 10000.0); }
+
+std::vector<Rect> GenerateSyntheticRegion(size_t n, Rng* rng) {
+  const double eps = SyntheticRegionMaxSide();
+  std::vector<Rect> rects;
+  rects.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double side = rng->Uniform(0.0, eps);
+    // Place the square fully inside the unit square.
+    double x = rng->Uniform(0.0, 1.0 - side);
+    double y = rng->Uniform(0.0, 1.0 - side);
+    rects.push_back(Rect(x, y, x + side, y + side));
+  }
+  return rects;
+}
+
+void Shuffle(std::vector<Rect>* rects, Rng* rng) {
+  for (size_t i = rects->size(); i > 1; --i) {
+    std::swap((*rects)[i - 1], (*rects)[rng->UniformInt(i)]);
+  }
+}
+
+std::vector<Point> Centers(const std::vector<Rect>& rects) {
+  std::vector<Point> centers;
+  centers.reserve(rects.size());
+  for (const Rect& r : rects) centers.push_back(r.Center());
+  return centers;
+}
+
+}  // namespace rtb::data

@@ -1,0 +1,116 @@
+// D-dimensional axis-parallel boxes.
+//
+// The paper notes "generalizations to higher dimensions are
+// straightforward" (Section 3); this header makes that concrete. The buffer
+// model (model/cost_model.h) is already dimension-free — it consumes plain
+// access-probability vectors — so all the dimension-specific pieces are the
+// geometry here, the access probabilities and packing in model/ndim.h, and
+// the simulator in sim/nd_sim.h. The production 2-D path keeps its own
+// concrete Rect type (simpler call sites, no templates in the storage
+// engine).
+
+#ifndef RTB_GEOM_BOXND_H_
+#define RTB_GEOM_BOXND_H_
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+
+#include "util/macros.h"
+
+namespace rtb::geom {
+
+/// A point in D dimensions.
+template <size_t D>
+using PointNd = std::array<double, D>;
+
+/// A closed axis-parallel box in D dimensions.
+template <size_t D>
+struct BoxNd {
+  PointNd<D> lo{};
+  PointNd<D> hi{};
+
+  /// The identity for Union: contains nothing.
+  static BoxNd Empty() {
+    BoxNd b;
+    for (size_t d = 0; d < D; ++d) {
+      b.lo[d] = 1.0;
+      b.hi[d] = -1.0;
+    }
+    return b;
+  }
+
+  static BoxNd FromPoint(const PointNd<D>& p) { return BoxNd{p, p}; }
+
+  /// The unit hypercube [0,1]^D.
+  static BoxNd UnitCube() {
+    BoxNd b;
+    for (size_t d = 0; d < D; ++d) {
+      b.lo[d] = 0.0;
+      b.hi[d] = 1.0;
+    }
+    return b;
+  }
+
+  bool is_empty() const {
+    for (size_t d = 0; d < D; ++d) {
+      if (lo[d] > hi[d]) return true;
+    }
+    return false;
+  }
+
+  double Extent(size_t dim) const {
+    RTB_DCHECK(dim < D);
+    return is_empty() ? 0.0 : hi[dim] - lo[dim];
+  }
+
+  double Volume() const {
+    if (is_empty()) return 0.0;
+    double v = 1.0;
+    for (size_t d = 0; d < D; ++d) v *= hi[d] - lo[d];
+    return v;
+  }
+
+  PointNd<D> Center() const {
+    PointNd<D> c;
+    for (size_t d = 0; d < D; ++d) c[d] = (lo[d] + hi[d]) / 2.0;
+    return c;
+  }
+
+  bool Contains(const PointNd<D>& p) const {
+    for (size_t d = 0; d < D; ++d) {
+      if (p[d] < lo[d] || p[d] > hi[d]) return false;
+    }
+    return true;
+  }
+
+  bool Intersects(const BoxNd& other) const {
+    if (is_empty() || other.is_empty()) return false;
+    for (size_t d = 0; d < D; ++d) {
+      if (lo[d] > other.hi[d] || other.lo[d] > hi[d]) return false;
+    }
+    return true;
+  }
+};
+
+template <size_t D>
+bool operator==(const BoxNd<D>& a, const BoxNd<D>& b) {
+  return a.lo == b.lo && a.hi == b.hi;
+}
+
+/// Minimum bounding box of two boxes.
+template <size_t D>
+BoxNd<D> Union(const BoxNd<D>& a, const BoxNd<D>& b) {
+  if (a.is_empty()) return b;
+  if (b.is_empty()) return a;
+  BoxNd<D> out;
+  for (size_t d = 0; d < D; ++d) {
+    out.lo[d] = std::min(a.lo[d], b.lo[d]);
+    out.hi[d] = std::max(a.hi[d], b.hi[d]);
+  }
+  return out;
+}
+
+}  // namespace rtb::geom
+
+#endif  // RTB_GEOM_BOXND_H_

@@ -1,0 +1,62 @@
+#include "geom/hilbert.h"
+
+#include <algorithm>
+
+namespace rtb::geom {
+namespace {
+
+// Rotates/flips a quadrant so the curve orientation is correct. Classic
+// iterative formulation (Warren, "Hacker's Delight" / Wikipedia d2xy-xy2d).
+void Rot(uint64_t n, uint32_t* x, uint32_t* y, uint32_t rx, uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = static_cast<uint32_t>(n - 1 - *x);
+      *y = static_cast<uint32_t>(n - 1 - *y);
+    }
+    std::swap(*x, *y);
+  }
+}
+
+}  // namespace
+
+uint64_t HilbertCurve2D::XYToIndex(uint32_t x, uint32_t y) const {
+  RTB_DCHECK(x < side() && y < side());
+  uint64_t d = 0;
+  for (uint64_t s = side() / 2; s > 0; s /= 2) {
+    uint32_t rx = (x & s) > 0 ? 1 : 0;
+    uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    Rot(s, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+void HilbertCurve2D::IndexToXY(uint64_t d, uint32_t* x, uint32_t* y) const {
+  RTB_DCHECK(d < num_cells());
+  uint64_t t = d;
+  *x = 0;
+  *y = 0;
+  for (uint64_t s = 1; s < side(); s *= 2) {
+    uint32_t rx = 1 & static_cast<uint32_t>(t / 2);
+    uint32_t ry = 1 & static_cast<uint32_t>(t ^ rx);
+    Rot(s, x, y, rx, ry);
+    *x += static_cast<uint32_t>(s * rx);
+    *y += static_cast<uint32_t>(s * ry);
+    t /= 4;
+  }
+}
+
+uint64_t HilbertCurve2D::PointToIndex(Point p) const {
+  double cx = std::clamp(p.x, 0.0, 1.0);
+  double cy = std::clamp(p.y, 0.0, 1.0);
+  // Quantize so that 1.0 maps to the last cell, not one past it.
+  uint64_t n = side();
+  auto quantize = [n](double v) -> uint32_t {
+    uint64_t q = static_cast<uint64_t>(v * static_cast<double>(n));
+    if (q >= n) q = n - 1;
+    return static_cast<uint32_t>(q);
+  };
+  return XYToIndex(quantize(cx), quantize(cy));
+}
+
+}  // namespace rtb::geom

@@ -1,0 +1,53 @@
+// 2-D Hilbert space-filling curve.
+//
+// The HS loading algorithm (Kamel-Faloutsos, "On Packing R-Trees") sorts
+// rectangle centers by their position along a Hilbert curve over a 2^k x 2^k
+// grid. HilbertCurve2D maps between grid cells and curve positions in both
+// directions; both maps are exact bijections, which the property tests
+// verify.
+
+#ifndef RTB_GEOM_HILBERT_H_
+#define RTB_GEOM_HILBERT_H_
+
+#include <cstdint>
+
+#include "geom/point.h"
+#include "util/macros.h"
+
+namespace rtb::geom {
+
+/// Hilbert curve over the 2^order x 2^order grid. `order` may be 1..31;
+/// the curve index fits in 62 bits.
+class HilbertCurve2D {
+ public:
+  /// Default order 16 gives a 65536^2 grid — ample resolution for data sets
+  /// of a few hundred thousand rectangles.
+  explicit HilbertCurve2D(int order = 16) : order_(order) {
+    RTB_CHECK(order >= 1 && order <= 31);
+  }
+
+  int order() const { return order_; }
+
+  /// Grid side length (2^order).
+  uint64_t side() const { return uint64_t{1} << order_; }
+
+  /// Number of cells on the curve (side^2).
+  uint64_t num_cells() const { return side() * side(); }
+
+  /// Distance along the curve of grid cell (x, y). Requires x, y < side().
+  uint64_t XYToIndex(uint32_t x, uint32_t y) const;
+
+  /// Inverse of XYToIndex. Requires d < num_cells().
+  void IndexToXY(uint64_t d, uint32_t* x, uint32_t* y) const;
+
+  /// Curve index of a point in the unit square; coordinates are clamped to
+  /// [0, 1] first, then quantized to the grid.
+  uint64_t PointToIndex(Point p) const;
+
+ private:
+  int order_;
+};
+
+}  // namespace rtb::geom
+
+#endif  // RTB_GEOM_HILBERT_H_

@@ -1,0 +1,22 @@
+// 2-D point on the (normalized) data space.
+
+#ifndef RTB_GEOM_POINT_H_
+#define RTB_GEOM_POINT_H_
+
+namespace rtb::geom {
+
+/// A point in the plane. The paper normalizes all data to the unit square
+/// U = [0,1] x [0,1]; nothing in the geometry kernel enforces that, but the
+/// models in src/model assume it.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline bool operator==(const Point& a, const Point& b) {
+  return a.x == b.x && a.y == b.y;
+}
+
+}  // namespace rtb::geom
+
+#endif  // RTB_GEOM_POINT_H_

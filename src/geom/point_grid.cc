@@ -1,0 +1,112 @@
+#include "geom/point_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace rtb::geom {
+
+PointGrid::PointGrid(const std::vector<Point>& points,
+                     uint32_t cells_per_side) {
+  if (cells_per_side == 0) {
+    cells_per_side = static_cast<uint32_t>(
+        std::max(1.0, std::sqrt(static_cast<double>(points.size()))));
+  }
+  side_ = cells_per_side;
+
+  bounds_ = Rect::Empty();
+  for (const Point& p : points) {
+    bounds_ = Union(bounds_, Rect::FromPoint(p));
+  }
+  if (bounds_.is_empty()) bounds_ = Rect::UnitSquare();
+  // Guard against zero extents (all points collinear).
+  double w = bounds_.width() > 0.0 ? bounds_.width() : 1.0;
+  double h = bounds_.height() > 0.0 ? bounds_.height() : 1.0;
+  cell_w_ = w / side_;
+  cell_h_ = h / side_;
+
+  // Counting sort of points into cells.
+  const size_t num_cells = static_cast<size_t>(side_) * side_;
+  std::vector<uint32_t> counts(num_cells, 0);
+  std::vector<uint32_t> cell_of(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    uint32_t c = CellY(points[i].y) * side_ + CellX(points[i].x);
+    cell_of[i] = c;
+    ++counts[c];
+  }
+  starts_.assign(num_cells + 1, 0);
+  for (size_t c = 0; c < num_cells; ++c) starts_[c + 1] = starts_[c] + counts[c];
+  points_.resize(points.size());
+  std::vector<uint32_t> cursor(starts_.begin(), starts_.end() - 1);
+  for (size_t i = 0; i < points.size(); ++i) {
+    points_[cursor[cell_of[i]]++] = points[i];
+  }
+
+  // Per-row prefix sums of cell counts for O(1) full-run counting.
+  row_prefix_.assign(static_cast<size_t>(side_) * (side_ + 1), 0);
+  for (uint32_t cy = 0; cy < side_; ++cy) {
+    uint64_t acc = 0;
+    for (uint32_t cx = 0; cx < side_; ++cx) {
+      row_prefix_[static_cast<size_t>(cy) * (side_ + 1) + cx] = acc;
+      acc += counts[static_cast<size_t>(cy) * side_ + cx];
+    }
+    row_prefix_[static_cast<size_t>(cy) * (side_ + 1) + side_] = acc;
+  }
+}
+
+uint32_t PointGrid::CellX(double x) const {
+  double t = (x - bounds_.lo.x) / cell_w_;
+  if (t < 0.0) return 0;
+  uint32_t c = static_cast<uint32_t>(t);
+  return c >= side_ ? side_ - 1 : c;
+}
+
+uint32_t PointGrid::CellY(double y) const {
+  double t = (y - bounds_.lo.y) / cell_h_;
+  if (t < 0.0) return 0;
+  uint32_t c = static_cast<uint32_t>(t);
+  return c >= side_ ? side_ - 1 : c;
+}
+
+uint64_t PointGrid::CountInRect(const Rect& rect) const {
+  if (rect.is_empty() || !rect.Intersects(bounds_)) return 0;
+  const uint32_t cx0 = CellX(rect.lo.x);
+  const uint32_t cx1 = CellX(rect.hi.x);
+  const uint32_t cy0 = CellY(rect.lo.y);
+  const uint32_t cy1 = CellY(rect.hi.y);
+
+  uint64_t total = 0;
+  for (uint32_t cy = cy0; cy <= cy1; ++cy) {
+    // A cell is "interior" when the query covers it entirely; interior runs
+    // are counted via prefix sums, boundary cells are scanned.
+    const bool row_interior =
+        rect.lo.y <= bounds_.lo.y + cy * cell_h_ &&
+        rect.hi.y >= bounds_.lo.y + (cy + 1) * cell_h_;
+    uint32_t scan_begin = cx0, scan_end = cx1;
+    if (row_interior && cx1 > cx0 + 1) {
+      // Columns strictly inside the x-range may still touch the query edge;
+      // interior columns are (cx0, cx1) exclusive when the query spans the
+      // full cell width there — always true for columns between cx0 and cx1.
+      const size_t base = static_cast<size_t>(cy) * (side_ + 1);
+      total += row_prefix_[base + cx1] - row_prefix_[base + cx0 + 1];
+      // Scan just the two boundary columns.
+      for (uint32_t cx : {cx0, cx1}) {
+        const size_t cell = static_cast<size_t>(cy) * side_ + cx;
+        for (uint32_t i = starts_[cell]; i < starts_[cell + 1]; ++i) {
+          if (rect.Contains(points_[i])) ++total;
+        }
+      }
+      continue;
+    }
+    for (uint32_t cx = scan_begin; cx <= scan_end; ++cx) {
+      const size_t cell = static_cast<size_t>(cy) * side_ + cx;
+      for (uint32_t i = starts_[cell]; i < starts_[cell + 1]; ++i) {
+        if (rect.Contains(points_[i])) ++total;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace rtb::geom

@@ -1,0 +1,55 @@
+// PointGrid: exact orthogonal range counting over a static point set.
+//
+// The data-driven access model (paper Section 3.2) needs, for every node
+// MBR, the number of data centers inside the expanded MBR — naively
+// O(#nodes x #points). PointGrid buckets the points into a uniform grid with
+// per-column prefix sums: cells fully covered by the query rectangle are
+// counted in O(1) per cell run, and only boundary cells are scanned, so
+// counts stay exact.
+
+#ifndef RTB_GEOM_POINT_GRID_H_
+#define RTB_GEOM_POINT_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace rtb::geom {
+
+/// Immutable spatial index for counting points in axis-parallel rectangles
+/// (closed containment, matching Rect::Contains).
+class PointGrid {
+ public:
+  /// Builds over `points`. `cells_per_side` 0 picks ~sqrt(#points)
+  /// automatically. The grid covers the bounding box of the points; queries
+  /// may extend beyond it.
+  explicit PointGrid(const std::vector<Point>& points,
+                     uint32_t cells_per_side = 0);
+
+  /// Number of indexed points inside `rect` (boundary inclusive).
+  uint64_t CountInRect(const Rect& rect) const;
+
+  size_t num_points() const { return points_.size(); }
+
+ private:
+  // Cell index helpers; coordinates clamp to the grid.
+  uint32_t CellX(double x) const;
+  uint32_t CellY(double y) const;
+
+  uint32_t side_ = 1;
+  Rect bounds_;
+  double cell_w_ = 1.0;
+  double cell_h_ = 1.0;
+  // Points bucketed by cell, concatenated row-major; cell (cx, cy) owns
+  // [starts_[cy*side_+cx], starts_[cy*side_+cx+1]).
+  std::vector<Point> points_;
+  std::vector<uint32_t> starts_;
+  // prefix_[cy*(side_+1)+cx] = #points in row cy, columns [0, cx).
+  std::vector<uint64_t> row_prefix_;
+};
+
+}  // namespace rtb::geom
+
+#endif  // RTB_GEOM_POINT_GRID_H_

@@ -1,0 +1,134 @@
+// Axis-parallel rectangles and the operations the R-tree and the analytical
+// models need: area, perimeter extents, intersection, MBR union, and the two
+// query-expansion constructions from the paper (corner-anchored for the
+// uniform model of Section 3.1, center-anchored for the data-driven model of
+// Section 3.2).
+
+#ifndef RTB_GEOM_RECT_H_
+#define RTB_GEOM_RECT_H_
+
+#include <algorithm>
+
+#include "geom/point.h"
+#include "util/macros.h"
+
+namespace rtb::geom {
+
+/// A closed axis-parallel rectangle <(lo.x, lo.y), (hi.x, hi.y)>.
+///
+/// Degenerate rectangles (zero width and/or height) are valid and represent
+/// points and segments; the paper's point data sets store them. An empty
+/// rectangle (no points at all) is represented by Rect::Empty() and
+/// recognized by is_empty().
+struct Rect {
+  Point lo;
+  Point hi;
+
+  Rect() = default;
+  Rect(Point lo_in, Point hi_in) : lo(lo_in), hi(hi_in) {}
+  Rect(double x0, double y0, double x1, double y1)
+      : lo{x0, y0}, hi{x1, y1} {}
+
+  /// The identity for MBR union: contains nothing, Union(Empty, r) == r.
+  static Rect Empty() {
+    return Rect(1.0, 1.0, -1.0, -1.0);
+  }
+
+  /// A degenerate rectangle covering exactly one point.
+  static Rect FromPoint(Point p) { return Rect(p, p); }
+
+  /// The unit square U = [0,1]^2 that all paper data sets are normalized to.
+  static Rect UnitSquare() { return Rect(0.0, 0.0, 1.0, 1.0); }
+
+  bool is_empty() const { return lo.x > hi.x || lo.y > hi.y; }
+
+  /// True when lo <= hi in both dimensions (i.e. not Empty()).
+  bool is_valid() const { return !is_empty(); }
+
+  double width() const { return hi.x - lo.x; }
+  double height() const { return hi.y - lo.y; }
+
+  double Area() const { return is_empty() ? 0.0 : width() * height(); }
+
+  /// Half-perimeter extents: the model sums x-extents (Lx) and y-extents (Ly)
+  /// separately, so expose them individually.
+  double XExtent() const { return is_empty() ? 0.0 : width(); }
+  double YExtent() const { return is_empty() ? 0.0 : height(); }
+  double Perimeter() const {
+    return is_empty() ? 0.0 : 2.0 * (width() + height());
+  }
+
+  Point Center() const {
+    return Point{(lo.x + hi.x) / 2.0, (lo.y + hi.y) / 2.0};
+  }
+
+  /// True when `p` lies in the closed rectangle.
+  bool Contains(Point p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  /// True when `other` is fully inside this rectangle (closed containment).
+  bool Contains(const Rect& other) const {
+    if (other.is_empty()) return true;
+    if (is_empty()) return false;
+    return other.lo.x >= lo.x && other.hi.x <= hi.x && other.lo.y >= lo.y &&
+           other.hi.y <= hi.y;
+  }
+
+  /// Closed intersection test: touching edges count as intersecting, matching
+  /// the R-tree convention that a query retrieves every rectangle it touches.
+  bool Intersects(const Rect& other) const {
+    if (is_empty() || other.is_empty()) return false;
+    return lo.x <= other.hi.x && other.lo.x <= hi.x && lo.y <= other.hi.y &&
+           other.lo.y <= hi.y;
+  }
+};
+
+inline bool operator==(const Rect& a, const Rect& b) {
+  return a.lo == b.lo && a.hi == b.hi;
+}
+
+/// Minimum bounding rectangle of two rectangles.
+inline Rect Union(const Rect& a, const Rect& b) {
+  if (a.is_empty()) return b;
+  if (b.is_empty()) return a;
+  return Rect(std::min(a.lo.x, b.lo.x), std::min(a.lo.y, b.lo.y),
+              std::max(a.hi.x, b.hi.x), std::max(a.hi.y, b.hi.y));
+}
+
+/// Geometric intersection; Rect::Empty() when disjoint.
+inline Rect Intersection(const Rect& a, const Rect& b) {
+  if (!a.Intersects(b)) return Rect::Empty();
+  return Rect(std::max(a.lo.x, b.lo.x), std::max(a.lo.y, b.lo.y),
+              std::min(a.hi.x, b.hi.x), std::min(a.hi.y, b.hi.y));
+}
+
+/// Area by which `base` must grow to enclose `add`; the Guttman insertion
+/// heuristics minimize this enlargement.
+inline double Enlargement(const Rect& base, const Rect& add) {
+  return Union(base, add).Area() - base.Area();
+}
+
+/// The paper's corner-anchored extension (Section 3.1, Fig. 2): a region
+/// query Q of size qx x qy intersects R = <(a,b),(c,d)> iff Q's top-right
+/// corner lies inside R' = <(a,b),(c+qx, d+qy)>.
+inline Rect ExtendTopRight(const Rect& r, double qx, double qy) {
+  RTB_DCHECK(qx >= 0.0 && qy >= 0.0);
+  if (r.is_empty()) return r;
+  return Rect(r.lo.x, r.lo.y, r.hi.x + qx, r.hi.y + qy);
+}
+
+/// The paper's center-anchored expansion (Section 3.2, Fig. 4): R grown by qx
+/// (resp. qy) units in total on dimension x (resp. y) keeping the center
+/// fixed. A qx x qy query centered at c intersects R iff c is inside the
+/// expanded rectangle.
+inline Rect ExpandAboutCenter(const Rect& r, double qx, double qy) {
+  RTB_DCHECK(qx >= 0.0 && qy >= 0.0);
+  if (r.is_empty()) return r;
+  return Rect(r.lo.x - qx / 2.0, r.lo.y - qy / 2.0, r.hi.x + qx / 2.0,
+              r.hi.y + qy / 2.0);
+}
+
+}  // namespace rtb::geom
+
+#endif  // RTB_GEOM_RECT_H_

@@ -1,0 +1,80 @@
+#include "model/access_prob.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/point_grid.h"
+#include "util/macros.h"
+
+namespace rtb::model {
+
+using geom::Point;
+using geom::Rect;
+
+double UniformAccessProbability(const Rect& r, double qx, double qy) {
+  RTB_DCHECK(qx >= 0.0 && qx < 1.0 && qy >= 0.0 && qy < 1.0);
+  if (r.is_empty()) return 0.0;
+  // C = min(1, c + qx) - max(a, qx), D = min(1, d + qy) - max(b, qy)
+  // (paper Section 3.1), i.e. the overlap of the extended rectangle
+  // R' = <(a,b),(c+qx,d+qy)> with U' = [qx,1] x [qy,1], normalized by
+  // area(U') = (1-qx)(1-qy).
+  const double c_term = std::min(1.0, r.hi.x + qx) - std::max(r.lo.x, qx);
+  const double d_term = std::min(1.0, r.hi.y + qy) - std::max(r.lo.y, qy);
+  if (c_term <= 0.0 || d_term <= 0.0) return 0.0;
+  double p = (c_term * d_term) / ((1.0 - qx) * (1.0 - qy));
+  return std::clamp(p, 0.0, 1.0);
+}
+
+Result<std::vector<double>> UniformAccessProbabilities(
+    const rtree::TreeSummary& summary, double qx, double qy) {
+  if (qx < 0.0 || qx >= 1.0 || qy < 0.0 || qy >= 1.0) {
+    return Status::InvalidArgument(
+        "query extents must lie in [0, 1) for the uniform model");
+  }
+  std::vector<double> probs;
+  probs.reserve(summary.NumNodes());
+  for (const rtree::NodeInfo& node : summary.nodes()) {
+    probs.push_back(UniformAccessProbability(node.mbr, qx, qy));
+  }
+  return probs;
+}
+
+Result<std::vector<double>> DataDrivenAccessProbabilities(
+    const rtree::TreeSummary& summary, const std::vector<Point>& centers,
+    double qx, double qy) {
+  if (qx < 0.0 || qy < 0.0) {
+    return Status::InvalidArgument("query extents must be non-negative");
+  }
+  if (centers.empty()) {
+    return Status::InvalidArgument(
+        "data-driven model needs at least one data center");
+  }
+  geom::PointGrid grid(centers);
+  const double n = static_cast<double>(centers.size());
+  std::vector<double> probs;
+  probs.reserve(summary.NumNodes());
+  for (const rtree::NodeInfo& node : summary.nodes()) {
+    Rect expanded = geom::ExpandAboutCenter(node.mbr, qx, qy);
+    probs.push_back(static_cast<double>(grid.CountInRect(expanded)) / n);
+  }
+  return probs;
+}
+
+Result<std::vector<double>> AccessProbabilities(
+    const rtree::TreeSummary& summary, const QuerySpec& spec,
+    const std::vector<Point>* centers) {
+  switch (spec.model) {
+    case QueryModel::kUniform:
+      return UniformAccessProbabilities(summary, spec.qx, spec.qy);
+    case QueryModel::kDataDriven:
+      if (centers == nullptr) {
+        return Status::InvalidArgument(
+            "data-driven model requires data centers");
+      }
+      return DataDrivenAccessProbabilities(summary, *centers, spec.qx,
+                                           spec.qy);
+  }
+  return Status::InvalidArgument("unknown query model");
+}
+
+}  // namespace rtb::model

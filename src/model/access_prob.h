@@ -1,0 +1,79 @@
+// Per-node access probabilities (paper Sections 3.1 and 3.2).
+//
+// Given the MBRs of all nodes of a tree, these functions compute, for each
+// node j, the probability A^Q_j that a random query accesses it, under the
+// three query models of the paper:
+//
+//  * Uniform point queries: A_j = area(R_j ∩ U) — the Kamel-Faloutsos
+//    observation that a node is visited iff the query point falls in its
+//    MBR.
+//  * Uniform region queries of size qx x qy: the query's top-right corner is
+//    uniform over U' = [qx,1] x [qy,1] (so the whole query fits in the unit
+//    square), and A_j = area(R'_j ∩ U') / area(U') where R' extends R by qx
+//    and qy beyond its top-right corner — the paper's boundary-corrected
+//    model, A_j = C*D / ((1-qx)(1-qy)).
+//  * Data-driven queries: the query is centered at a uniformly chosen data
+//    center, and A_j is the fraction of data centers that fall inside R_j
+//    expanded by qx (resp. qy) about its center (Eq. 4; point queries are
+//    the qx=qy=0 case).
+
+#ifndef RTB_MODEL_ACCESS_PROB_H_
+#define RTB_MODEL_ACCESS_PROB_H_
+
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "rtree/summary.h"
+#include "util/result.h"
+
+namespace rtb::model {
+
+/// Which of the paper's query distributions is being modeled.
+enum class QueryModel { kUniform, kDataDriven };
+
+/// A query workload: distribution plus region extent (0 x 0 = point query).
+struct QuerySpec {
+  QueryModel model = QueryModel::kUniform;
+  double qx = 0.0;
+  double qy = 0.0;
+
+  static QuerySpec UniformPoint() { return QuerySpec{}; }
+  static QuerySpec UniformRegion(double qx, double qy) {
+    return QuerySpec{QueryModel::kUniform, qx, qy};
+  }
+  static QuerySpec DataDrivenPoint() {
+    return QuerySpec{QueryModel::kDataDriven, 0.0, 0.0};
+  }
+  static QuerySpec DataDrivenRegion(double qx, double qy) {
+    return QuerySpec{QueryModel::kDataDriven, qx, qy};
+  }
+
+  bool is_point() const { return qx == 0.0 && qy == 0.0; }
+};
+
+/// Probability that a uniform qx x qy region query (point query when both
+/// are 0) accesses a node with MBR `r`. Boundary-corrected per Section 3.1.
+/// Requires 0 <= qx < 1 and 0 <= qy < 1.
+double UniformAccessProbability(const geom::Rect& r, double qx, double qy);
+
+/// Access probabilities for every node in `summary` under uniform queries,
+/// in summary node order.
+Result<std::vector<double>> UniformAccessProbabilities(
+    const rtree::TreeSummary& summary, double qx, double qy);
+
+/// Access probabilities for every node under the data-driven model, where
+/// `centers` are the data rectangle centers (Section 3.2). Runtime is
+/// ~O(#nodes * boundary + #points) via a counting grid.
+Result<std::vector<double>> DataDrivenAccessProbabilities(
+    const rtree::TreeSummary& summary, const std::vector<geom::Point>& centers,
+    double qx, double qy);
+
+/// Dispatches on spec.model. For kDataDriven, `centers` must be non-null.
+Result<std::vector<double>> AccessProbabilities(
+    const rtree::TreeSummary& summary, const QuerySpec& spec,
+    const std::vector<geom::Point>* centers = nullptr);
+
+}  // namespace rtb::model
+
+#endif  // RTB_MODEL_ACCESS_PROB_H_

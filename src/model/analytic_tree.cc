@@ -1,0 +1,86 @@
+#include "model/analytic_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtb::model {
+namespace {
+
+Status ValidateInputs(const DataStats& stats, double effective_fanout) {
+  if (stats.num_rects == 0) {
+    return Status::InvalidArgument("data set must be non-empty");
+  }
+  if (stats.avg_x_extent < 0.0 || stats.avg_y_extent < 0.0) {
+    return Status::InvalidArgument("extents must be non-negative");
+  }
+  if (effective_fanout <= 1.0) {
+    return Status::InvalidArgument("effective fanout must exceed 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PredictedTree> PredictTreeShape(const DataStats& stats,
+                                       double effective_fanout) {
+  RTB_RETURN_IF_ERROR(ValidateInputs(stats, effective_fanout));
+  PredictedTree tree;
+  const double n = static_cast<double>(stats.num_rects);
+  const double f = effective_fanout;
+
+  double entries_at_level = n;  // Entries to be grouped at this level.
+  for (;;) {
+    uint64_t nodes = static_cast<uint64_t>(std::ceil(entries_at_level / f));
+    nodes = std::max<uint64_t>(nodes, 1);
+    tree.level_counts.push_back(nodes);
+    // Under uniformity a node's subtree covers nodes^-1 of the square; its
+    // MBR is roughly the square of that area.
+    double side = std::sqrt(1.0 / static_cast<double>(nodes));
+    side = std::min(side, 1.0);
+    if (tree.level_side.empty()) {
+      // Leaf MBRs are inflated by the average data-rectangle extent.
+      side = std::min(side + (stats.avg_x_extent + stats.avg_y_extent) / 2.0,
+                      1.0);
+    }
+    tree.level_side.push_back(side);
+    if (nodes == 1) break;
+    entries_at_level = static_cast<double>(nodes);
+  }
+  tree.height = static_cast<uint16_t>(tree.level_counts.size());
+  return tree;
+}
+
+Result<double> AnalyticExpectedNodeAccesses(const DataStats& stats,
+                                            double effective_fanout,
+                                            double qx, double qy) {
+  RTB_ASSIGN_OR_RETURN(std::vector<double> probs,
+                       AnalyticAccessProbabilities(stats, effective_fanout,
+                                                   qx, qy));
+  double sum = 0.0;
+  for (double p : probs) sum += p;
+  return sum;
+}
+
+Result<std::vector<double>> AnalyticAccessProbabilities(
+    const DataStats& stats, double effective_fanout, double qx, double qy) {
+  if (qx < 0.0 || qx >= 1.0 || qy < 0.0 || qy >= 1.0) {
+    return Status::InvalidArgument("query extents must lie in [0, 1)");
+  }
+  RTB_ASSIGN_OR_RETURN(PredictedTree tree,
+                       PredictTreeShape(stats, effective_fanout));
+  std::vector<double> probs;
+  probs.reserve(tree.TotalNodes());
+  for (uint16_t level = 0; level < tree.height; ++level) {
+    const double s = tree.level_side[level];
+    // Kamel-Faloutsos extended-rectangle probability for an s x s MBR,
+    // normalized by the admissible corner region (Section 3.1) and clamped.
+    double p = ((s + qx) * (s + qy)) / ((1.0 - qx) * (1.0 - qy));
+    p = std::clamp(p, 0.0, 1.0);
+    for (uint64_t j = 0; j < tree.level_counts[level]; ++j) {
+      probs.push_back(p);
+    }
+  }
+  return probs;
+}
+
+}  // namespace rtb::model

@@ -1,0 +1,68 @@
+// Fully analytical R-tree cost model in the style of Theodoridis & Sellis
+// (PODS 1996), paper ref [14]: predicts query cost from data-set statistics
+// alone — no tree needs to exist, unlike the Kamel-Faloutsos / buffer model
+// pipeline, which takes the real per-node MBRs as input.
+//
+// Assumes uniformly distributed data in the unit square. A packed tree over
+// N rectangles with effective fanout f has N/f leaves; under uniformity a
+// level-i node (leaf = 0) covers about f^{i+1}/N of the square, so its MBR
+// side is sqrt(f^{i+1}/N), inflated at the leaf level by the average data
+// rectangle extent. Expected node accesses for a qx x qy query follow the
+// Kamel-Faloutsos region form per level:
+//   EP = sum_i N_i * (s_i + qx) * (s_i + qy).
+//
+// The model deliberately trades accuracy for zero inputs; tests quantify
+// its error against the hybrid model on data it is meant for (uniform
+// points and the synthetic-region squares of Section 5.1).
+
+#ifndef RTB_MODEL_ANALYTIC_TREE_H_
+#define RTB_MODEL_ANALYTIC_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+
+namespace rtb::model {
+
+/// Data-set statistics the analytical model consumes.
+struct DataStats {
+  uint64_t num_rects = 0;
+  double avg_x_extent = 0.0;  // Mean rectangle width.
+  double avg_y_extent = 0.0;  // Mean rectangle height.
+};
+
+/// Predicted shape of a packed R-tree.
+struct PredictedTree {
+  uint16_t height = 0;                  // Number of levels.
+  std::vector<uint64_t> level_counts;   // Nodes per level, leaf = index 0.
+  std::vector<double> level_side;       // Predicted MBR side per level.
+
+  uint64_t TotalNodes() const {
+    uint64_t total = 0;
+    for (uint64_t c : level_counts) total += c;
+    return total;
+  }
+};
+
+/// Predicts the shape of a tree packed with `effective_fanout` entries per
+/// node (pass capacity * utilization; packed loaders fill ~100%).
+Result<PredictedTree> PredictTreeShape(const DataStats& stats,
+                                       double effective_fanout);
+
+/// Expected nodes accessed by a uniform qx x qy region query (point query
+/// when both are zero), from data statistics alone.
+Result<double> AnalyticExpectedNodeAccesses(const DataStats& stats,
+                                            double effective_fanout,
+                                            double qx, double qy);
+
+/// Per-node access probabilities for the *predicted* tree (every node at a
+/// level shares its level's probability). These can be fed straight into
+/// the buffer model (ExpectedDiskAccesses), yielding a fully analytical
+/// disk-access prediction with no tree built at all.
+Result<std::vector<double>> AnalyticAccessProbabilities(
+    const DataStats& stats, double effective_fanout, double qx, double qy);
+
+}  // namespace rtb::model
+
+#endif  // RTB_MODEL_ANALYTIC_TREE_H_

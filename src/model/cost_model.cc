@@ -1,0 +1,163 @@
+#include "model/cost_model.h"
+
+#include <cmath>
+#include <limits>
+#include <cstddef>
+
+#include "util/macros.h"
+
+namespace rtb::model {
+
+double ExpectedNodeAccesses(const std::vector<double>& probs) {
+  double sum = 0.0;
+  for (double p : probs) sum += p;
+  return sum;
+}
+
+double KamelFaloutsosClosedForm(const rtree::TreeSummary& summary, double qx,
+                                double qy) {
+  return summary.TotalArea() + qx * summary.TotalYExtent() +
+         qy * summary.TotalXExtent() +
+         static_cast<double>(summary.NumNodes()) * qx * qy;
+}
+
+double ExpectedDistinctNodes(const std::vector<double>& probs, double n) {
+  RTB_DCHECK(n >= 0.0);
+  double sum = 0.0;
+  for (double p : probs) {
+    // 1 - (1-p)^n, computed stably for small p via expm1/log1p.
+    if (p >= 1.0) {
+      sum += n > 0.0 ? 1.0 : 0.0;
+    } else if (p > 0.0) {
+      sum += -std::expm1(n * std::log1p(-p));
+    }
+  }
+  return sum;
+}
+
+uint64_t QueriesToFillBuffer(const std::vector<double>& probs,
+                             uint64_t buffer_pages) {
+  if (buffer_pages == 0) return 0;
+  // D(N) -> #nodes with p > 0 as N -> inf; if the buffer can hold all of
+  // them, it never fills.
+  size_t reachable = 0;
+  for (double p : probs) {
+    if (p > 0.0) ++reachable;
+  }
+  if (buffer_pages >= reachable) return kNeverFills;
+
+  const double target = static_cast<double>(buffer_pages);
+  // Exponential search for an upper bound, then binary search for the
+  // smallest N with D(N) >= B.
+  uint64_t hi = 1;
+  while (ExpectedDistinctNodes(probs, static_cast<double>(hi)) < target) {
+    RTB_CHECK(hi < (uint64_t{1} << 62));
+    hi *= 2;
+  }
+  uint64_t lo = hi / 2;  // D(lo) < target (or lo == 0).
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (ExpectedDistinctNodes(probs, static_cast<double>(mid)) >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
+}
+
+double ExpectedDiskAccesses(const std::vector<double>& probs,
+                            uint64_t buffer_pages) {
+  uint64_t n_star = QueriesToFillBuffer(probs, buffer_pages);
+  if (n_star == kNeverFills) return 0.0;
+  double sum = 0.0;
+  const double n = static_cast<double>(n_star);
+  for (double p : probs) {
+    if (p <= 0.0) continue;
+    if (p >= 1.0) continue;  // Always resident once the buffer is warm.
+    sum += p * std::exp(n * std::log1p(-p));
+  }
+  return sum;
+}
+
+double QueriesToFillBufferReal(const std::vector<double>& probs,
+                               uint64_t buffer_pages) {
+  uint64_t n_star = QueriesToFillBuffer(probs, buffer_pages);
+  if (n_star == kNeverFills) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (n_star == 0) return 0.0;
+  const double target = static_cast<double>(buffer_pages);
+  double lo = static_cast<double>(n_star - 1);
+  double hi = static_cast<double>(n_star);
+  for (int iter = 0; iter < 60; ++iter) {
+    double mid = (lo + hi) / 2.0;
+    if (ExpectedDistinctNodes(probs, mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double ExpectedDiskAccessesContinuous(const std::vector<double>& probs,
+                                      uint64_t buffer_pages) {
+  double n = QueriesToFillBufferReal(probs, buffer_pages);
+  if (std::isinf(n)) return 0.0;
+  double sum = 0.0;
+  for (double p : probs) {
+    if (p <= 0.0 || p >= 1.0) continue;
+    sum += p * std::exp(n * std::log1p(-p));
+  }
+  return sum;
+}
+
+PinnedModelResult ExpectedDiskAccessesPinned(
+    const rtree::TreeSummary& summary, const std::vector<double>& probs,
+    uint64_t buffer_pages, uint16_t pinned_levels) {
+  RTB_CHECK(probs.size() == summary.NumNodes());
+  PinnedModelResult result;
+  result.pinned_pages = summary.PagesInTopLevels(pinned_levels);
+  if (result.pinned_pages > buffer_pages) {
+    result.feasible = false;
+    return result;
+  }
+  result.feasible = true;
+
+  if (pinned_levels == 0) {
+    result.disk_accesses = ExpectedDiskAccesses(probs, buffer_pages);
+    return result;
+  }
+
+  // Nodes at paper levels [0, pinned_levels) — i.e. internal levels
+  // >= height - pinned_levels — are pinned: always hits, out of the model.
+  const uint16_t height = summary.height();
+  const int min_unpinned_exclusive = height - pinned_levels;  // May be <= 0.
+  std::vector<double> rest;
+  rest.reserve(probs.size());
+  const auto& nodes = summary.nodes();
+  for (size_t j = 0; j < nodes.size(); ++j) {
+    if (static_cast<int>(nodes[j].level) >= min_unpinned_exclusive) continue;
+    rest.push_back(probs[j]);
+  }
+  const uint64_t effective_buffer = buffer_pages - result.pinned_pages;
+  if (effective_buffer == 0) {
+    // No frames left for unpinned pages: every access to them goes to disk.
+    result.disk_accesses = ExpectedNodeAccesses(rest);
+    return result;
+  }
+  result.disk_accesses = ExpectedDiskAccesses(rest, effective_buffer);
+  return result;
+}
+
+Result<double> PredictDiskAccesses(const rtree::TreeSummary& summary,
+                                   const QuerySpec& spec,
+                                   uint64_t buffer_pages,
+                                   const std::vector<geom::Point>* centers) {
+  RTB_ASSIGN_OR_RETURN(std::vector<double> probs,
+                       AccessProbabilities(summary, spec, centers));
+  return ExpectedDiskAccesses(probs, buffer_pages);
+}
+
+}  // namespace rtb::model

@@ -1,0 +1,90 @@
+// The paper's cost models: bufferless expected node accesses (Kamel-
+// Faloutsos / Pagel et al., Section 3.1) and the new LRU buffer model
+// (Section 3.3), including the pinned-top-levels variant.
+
+#ifndef RTB_MODEL_COST_MODEL_H_
+#define RTB_MODEL_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/access_prob.h"
+#include "rtree/summary.h"
+#include "util/result.h"
+
+namespace rtb::model {
+
+/// Bufferless model: the expected number of nodes accessed per query is the
+/// sum of the per-node access probabilities. For uniform point queries this
+/// is exactly the sum of MBR areas (EP_T(0,0) = A).
+double ExpectedNodeAccesses(const std::vector<double>& probs);
+
+/// Kamel-Faloutsos closed form (Eq. 2), *without* the boundary correction:
+/// EP_T(qx,qy) = A + qx*Ly + qy*Lx + M*qx*qy. Provided for comparison with
+/// the corrected model; they agree as MBRs and queries shrink relative to
+/// the unit square.
+double KamelFaloutsosClosedForm(const rtree::TreeSummary& summary, double qx,
+                                double qy);
+
+/// Expected number of distinct nodes accessed in N queries (Eq. 5):
+/// D(N) = M - sum_j (1 - p_j)^N. N may be fractional (the derivation is
+/// continuous in N); D is increasing with D(0) = 0 and D(1) = sum p_j.
+double ExpectedDistinctNodes(const std::vector<double>& probs, double n);
+
+/// N*: the smallest integer N with D(N) >= B, found by binary search
+/// (Section 3.3). Returns 0 when B == 0. When the buffer can hold every
+/// node that is ever accessed (B >= #nodes with p > 0), D(N) never reaches
+/// B and the buffer never fills: returns kNeverFills.
+inline constexpr uint64_t kNeverFills = UINT64_MAX;
+uint64_t QueriesToFillBuffer(const std::vector<double>& probs,
+                             uint64_t buffer_pages);
+
+/// Expected disk accesses per query at steady state (Eq. 6):
+/// ED = sum_j p_j * (1 - p_j)^{N*}. Zero when the buffer never fills (every
+/// touched node eventually stays resident).
+double ExpectedDiskAccesses(const std::vector<double>& probs,
+                            uint64_t buffer_pages);
+
+/// Continuous relaxation of N*: the real-valued N solving D(N) = B (found
+/// by bisection within [N*-1, N*]). Returns +infinity when the buffer never
+/// fills. D(N) is smooth in N, so nothing in the derivation requires an
+/// integer; rounding N* up makes the paper's model slightly optimistic at
+/// very small N* (see ExpectedDiskAccessesContinuous).
+double QueriesToFillBufferReal(const std::vector<double>& probs,
+                               uint64_t buffer_pages);
+
+/// Refinement beyond the paper: Eq. 6 evaluated at the real-valued N*.
+/// Identical to ExpectedDiskAccesses in the limit of large N*; at small
+/// buffers (N* of a few queries) it removes about half of the integer
+/// model's underestimate against simulation.
+double ExpectedDiskAccessesContinuous(const std::vector<double>& probs,
+                                      uint64_t buffer_pages);
+
+/// Result of the pinned-levels model (Section 3.3 last paragraph, Section
+/// 5.5).
+struct PinnedModelResult {
+  bool feasible = false;     // False when pinned pages exceed the buffer.
+  uint64_t pinned_pages = 0;  // Pages in the pinned top levels.
+  double disk_accesses = 0.0;
+};
+
+/// Buffer model with the top `pinned_levels` levels of the tree pinned:
+/// those pages are always buffer-resident (never a disk access), the buffer
+/// available to the rest of the tree shrinks to B - pinned_pages, and the
+/// pinned nodes are omitted from the model sums. `probs` must be in
+/// summary-node order. pinned_levels = 0 reduces to ExpectedDiskAccesses.
+PinnedModelResult ExpectedDiskAccessesPinned(
+    const rtree::TreeSummary& summary, const std::vector<double>& probs,
+    uint64_t buffer_pages, uint16_t pinned_levels);
+
+/// One-call convenience: access probabilities + buffer model.
+/// `centers` is required for data-driven specs.
+Result<double> PredictDiskAccesses(const rtree::TreeSummary& summary,
+                                   const QuerySpec& spec,
+                                   uint64_t buffer_pages,
+                                   const std::vector<geom::Point>* centers =
+                                       nullptr);
+
+}  // namespace rtb::model
+
+#endif  // RTB_MODEL_COST_MODEL_H_

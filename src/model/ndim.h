@@ -1,0 +1,206 @@
+// D-dimensional generalization of the paper's model pipeline (Section 3:
+// "Generalizations to higher dimensions are straightforward").
+//
+//  * PackStrNd builds the geometric skeleton of a packed R-tree over
+//    D-dimensional boxes using recursive Sort-Tile ordering (STR
+//    generalizes to any dimension, unlike the 2-D Hilbert sort used by HS).
+//    It produces exactly what the paper's models consume: the list of node
+//    MBRs at every level, with parent links.
+//  * UniformAccessProbabilitiesNd is the boundary-corrected access
+//    probability of Section 3.1 with the product taken over D dimensions.
+//  * The buffer model itself (cost_model.h) is dimension-free: feed it
+//    these probabilities unchanged.
+//
+// Everything here is header-only (templates over D); tests instantiate
+// D = 2 (cross-checked against the concrete 2-D pipeline), 3 and 4.
+
+#ifndef RTB_MODEL_NDIM_H_
+#define RTB_MODEL_NDIM_H_
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "geom/boxnd.h"
+#include "util/macros.h"
+
+namespace rtb::model {
+
+/// One node of a packed D-dimensional tree skeleton.
+template <size_t D>
+struct NdNodeInfo {
+  geom::BoxNd<D> mbr;
+  uint16_t level = 0;          // Leaf = 0.
+  uint32_t parent = 0xFFFFFFFFu;
+};
+
+/// Geometric skeleton of a packed tree: nodes in preorder (root first).
+template <size_t D>
+struct NdTreeSummary {
+  std::vector<NdNodeInfo<D>> nodes;
+  uint16_t height = 0;
+
+  size_t NumNodes() const { return nodes.size(); }
+};
+
+namespace ndim_internal {
+
+// A node under construction: its MBR plus the indices of its children in
+// the level below (empty for leaves — their children are data boxes, which
+// are not nodes). Child indices survive the sort-tiling of their own level
+// because they point into the already-frozen level below.
+template <size_t D>
+struct BuildNode {
+  geom::BoxNd<D> mbr;
+  std::vector<uint32_t> children;
+};
+
+// Recursive sort-tile over [begin, end) of `nodes`: orders them so that
+// consecutive runs of `group` elements are spatially coherent. Splits along
+// `dim` into ceil(pages^(1/remaining))-sized slabs, recursing with the next
+// dimension inside each slab.
+template <size_t D>
+void SortTile(std::vector<BuildNode<D>>* nodes, size_t begin, size_t end,
+              size_t group, size_t dim) {
+  const size_t count = end - begin;
+  if (count <= group || dim >= D) return;
+  std::sort(nodes->begin() + static_cast<ptrdiff_t>(begin),
+            nodes->begin() + static_cast<ptrdiff_t>(end),
+            [dim](const BuildNode<D>& a, const BuildNode<D>& b) {
+              return a.mbr.Center()[dim] < b.mbr.Center()[dim];
+            });
+  if (dim + 1 >= D) return;
+  const size_t pages = (count + group - 1) / group;
+  const double remaining = static_cast<double>(D - dim);
+  const size_t slabs = static_cast<size_t>(
+      std::ceil(std::pow(static_cast<double>(pages), 1.0 / remaining)));
+  // Slabs hold a whole number of `group`-sized pages so that no page
+  // straddles a slab boundary (matches the concrete 2-D STR's s*n slabs).
+  const size_t pages_per_slab = (pages + slabs - 1) / slabs;
+  const size_t slab_size = pages_per_slab * group;
+  for (size_t s = begin; s < end; s += slab_size) {
+    SortTile(nodes, s, std::min(s + slab_size, end), group, dim + 1);
+  }
+}
+
+}  // namespace ndim_internal
+
+/// Packs `boxes` into a tree skeleton with `fanout` entries per node using
+/// recursive sort-tile ordering at every level. Requires fanout >= 2.
+template <size_t D>
+NdTreeSummary<D> PackStrNd(std::vector<geom::BoxNd<D>> boxes,
+                           uint32_t fanout) {
+  RTB_CHECK(fanout >= 2);
+  using ndim_internal::BuildNode;
+
+  // Treat the input boxes as the pseudo-level below the leaves.
+  std::vector<BuildNode<D>> current;
+  current.reserve(boxes.size());
+  for (const geom::BoxNd<D>& b : boxes) {
+    current.push_back(BuildNode<D>{b, {}});
+  }
+
+  // Build node levels bottom-up; each stored level is frozen in the exact
+  // order its parents group it.
+  std::vector<std::vector<BuildNode<D>>> levels;
+  bool grouping_data = true;
+  for (;;) {
+    if (current.size() <= fanout) {
+      // One node swallows everything: for the data level that is the
+      // leaf-root; otherwise it is the root over the previous level.
+      BuildNode<D> root;
+      root.mbr = geom::BoxNd<D>::Empty();
+      for (uint32_t i = 0; i < current.size(); ++i) {
+        root.mbr = geom::Union(root.mbr, current[i].mbr);
+        if (!grouping_data) root.children.push_back(i);
+      }
+      if (!grouping_data) {
+        levels.push_back(std::move(current));
+      }
+      levels.push_back({std::move(root)});
+      break;
+    }
+    ndim_internal::SortTile(&current, 0, current.size(),
+                            static_cast<size_t>(fanout), 0);
+    std::vector<BuildNode<D>> parents;
+    parents.reserve((current.size() + fanout - 1) / fanout);
+    for (size_t i = 0; i < current.size();
+         i += static_cast<size_t>(fanout)) {
+      size_t end = std::min(i + static_cast<size_t>(fanout), current.size());
+      BuildNode<D> parent;
+      parent.mbr = geom::BoxNd<D>::Empty();
+      for (size_t j = i; j < end; ++j) {
+        parent.mbr = geom::Union(parent.mbr, current[j].mbr);
+        if (!grouping_data) parent.children.push_back(static_cast<uint32_t>(j));
+      }
+      parents.push_back(std::move(parent));
+    }
+    if (!grouping_data) {
+      levels.push_back(std::move(current));
+    }
+    current = std::move(parents);
+    grouping_data = false;
+  }
+
+  NdTreeSummary<D> summary;
+  summary.height = static_cast<uint16_t>(levels.size());
+
+  // Emit preorder from the root (levels.back()[0]).
+  struct Emitter {
+    const std::vector<std::vector<BuildNode<D>>>* levels;
+    NdTreeSummary<D>* out;
+
+    void Emit(size_t level_index, size_t node, uint32_t parent) {
+      uint32_t my_index = static_cast<uint32_t>(out->nodes.size());
+      const BuildNode<D>& build = (*levels)[level_index][node];
+      NdNodeInfo<D> info;
+      info.mbr = build.mbr;
+      info.level = static_cast<uint16_t>(level_index);
+      info.parent = parent;
+      out->nodes.push_back(info);
+      for (uint32_t child : build.children) {
+        Emit(level_index - 1, child, my_index);
+      }
+    }
+  };
+  Emitter emitter{&levels, &summary};
+  emitter.Emit(levels.size() - 1, 0, 0xFFFFFFFFu);
+  return summary;
+}
+
+/// Boundary-corrected uniform access probability in D dimensions: the
+/// query's "upper corner" is uniform over prod_d [q_d, 1], and node R is
+/// accessed iff that corner falls in R extended by q_d per dimension,
+/// intersected with the admissible region (Section 3.1 generalized).
+template <size_t D>
+double UniformAccessProbabilityNd(const geom::BoxNd<D>& r,
+                                  const std::array<double, D>& q) {
+  if (r.is_empty()) return 0.0;
+  double p = 1.0;
+  for (size_t d = 0; d < D; ++d) {
+    RTB_DCHECK(q[d] >= 0.0 && q[d] < 1.0);
+    double term = std::min(1.0, r.hi[d] + q[d]) - std::max(r.lo[d], q[d]);
+    if (term <= 0.0) return 0.0;
+    p *= term / (1.0 - q[d]);
+  }
+  return std::clamp(p, 0.0, 1.0);
+}
+
+/// Access probabilities for every node of an Nd summary, in node order.
+/// Feed the result directly into ExpectedDiskAccesses (cost_model.h).
+template <size_t D>
+std::vector<double> UniformAccessProbabilitiesNd(
+    const NdTreeSummary<D>& summary, const std::array<double, D>& q) {
+  std::vector<double> probs;
+  probs.reserve(summary.NumNodes());
+  for (const NdNodeInfo<D>& node : summary.nodes) {
+    probs.push_back(UniformAccessProbabilityNd(node.mbr, q));
+  }
+  return probs;
+}
+
+}  // namespace rtb::model
+
+#endif  // RTB_MODEL_NDIM_H_

@@ -1,0 +1,45 @@
+#include "model/warmup.h"
+
+#include <cmath>
+
+#include "model/cost_model.h"
+#include "util/macros.h"
+
+namespace rtb::model {
+
+std::vector<WarmupPoint> WarmupTransient(const std::vector<double>& probs,
+                                         const std::vector<double>& at) {
+  std::vector<WarmupPoint> out;
+  out.reserve(at.size());
+  for (double n : at) {
+    RTB_CHECK(n >= 0.0);
+    WarmupPoint point;
+    point.queries = n;
+    point.distinct_nodes = ExpectedDistinctNodes(probs, n);
+    double ed = 0.0;
+    for (double p : probs) {
+      if (p <= 0.0 || p >= 1.0) continue;
+      ed += p * std::exp(n * std::log1p(-p));
+    }
+    point.disk_accesses = ed;
+    out.push_back(point);
+  }
+  return out;
+}
+
+std::vector<WarmupPoint> WarmupTransientGeometric(
+    const std::vector<double>& probs, double max_queries, int samples) {
+  RTB_CHECK(max_queries >= 1.0 && samples >= 2);
+  std::vector<double> at;
+  at.reserve(static_cast<size_t>(samples));
+  double ratio = std::pow(max_queries, 1.0 / (samples - 1));
+  double n = 1.0;
+  for (int i = 0; i < samples; ++i) {
+    double rounded = std::floor(n + 0.5);
+    if (at.empty() || rounded > at.back()) at.push_back(rounded);
+    n *= ratio;
+  }
+  return WarmupTransient(probs, at);
+}
+
+}  // namespace rtb::model

@@ -1,0 +1,37 @@
+// Buffer warm-up transient (Bhide-Dan-Dias, paper ref [2]).
+//
+// While the buffer is filling, the probability that node j is resident
+// after N queries is 1 - (1 - p_j)^N, so the expected disk accesses of the
+// (N+1)-th query are ED(N) = sum_j p_j (1 - p_j)^N. The paper's key
+// borrowed insight (Section 3.3) is that the steady-state value is well
+// approximated by ED at N* — the moment the buffer first becomes full.
+// These helpers expose the whole transient so the claim itself can be
+// plotted and tested, not just used.
+
+#ifndef RTB_MODEL_WARMUP_H_
+#define RTB_MODEL_WARMUP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rtb::model {
+
+/// One point of the warm-up transient.
+struct WarmupPoint {
+  double queries = 0.0;          // N.
+  double distinct_nodes = 0.0;   // D(N): expected buffer occupancy.
+  double disk_accesses = 0.0;    // ED(N): expected misses of query N+1.
+};
+
+/// Evaluates the transient at the given query counts.
+std::vector<WarmupPoint> WarmupTransient(const std::vector<double>& probs,
+                                         const std::vector<double>& at);
+
+/// Evaluates the transient at `samples` geometrically spaced points from 1
+/// to `max_queries` (inclusive; duplicates removed).
+std::vector<WarmupPoint> WarmupTransientGeometric(
+    const std::vector<double>& probs, double max_queries, int samples);
+
+}  // namespace rtb::model
+
+#endif  // RTB_MODEL_WARMUP_H_

@@ -1,0 +1,201 @@
+#include "rtree/bulk_load.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "geom/hilbert.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+#include "util/macros.h"
+
+namespace rtb::rtree {
+namespace {
+
+using storage::PageId;
+
+// Sorts entries by the x-coordinate of the rectangle center (NX). The paper
+// notes Roussopoulos-Leifker give no details and assumes the center is used.
+void OrderNearestX(std::vector<Entry>* entries) {
+  std::stable_sort(entries->begin(), entries->end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.rect.Center().x < b.rect.Center().x;
+                   });
+}
+
+// Sorts entries by the Hilbert value of the rectangle center (HS).
+void OrderHilbert(std::vector<Entry>* entries) {
+  geom::HilbertCurve2D curve(16);
+  struct Keyed {
+    uint64_t key;
+    uint32_t index;
+  };
+  std::vector<Keyed> keys(entries->size());
+  for (size_t i = 0; i < entries->size(); ++i) {
+    keys[i] = Keyed{curve.PointToIndex((*entries)[i].rect.Center()),
+                    static_cast<uint32_t>(i)};
+  }
+  std::stable_sort(keys.begin(), keys.end(),
+                   [](const Keyed& a, const Keyed& b) {
+                     return a.key < b.key;
+                   });
+  std::vector<Entry> reordered(entries->size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    reordered[i] = (*entries)[keys[i].index];
+  }
+  *entries = std::move(reordered);
+}
+
+// Sort-Tile-Recursive ordering: sort by center x, cut into ceil(sqrt(P))
+// vertical slabs of S*n entries, sort each slab by center y.
+void OrderStr(std::vector<Entry>* entries, uint32_t n) {
+  const size_t r = entries->size();
+  if (r == 0) return;
+  const size_t p = (r + n - 1) / n;  // Number of leaf pages.
+  const size_t s = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(p))));
+  const size_t slab = s * n;  // Entries per vertical slab.
+  std::stable_sort(entries->begin(), entries->end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.rect.Center().x < b.rect.Center().x;
+                   });
+  for (size_t begin = 0; begin < r; begin += slab) {
+    size_t end = std::min(begin + slab, r);
+    std::stable_sort(entries->begin() + static_cast<ptrdiff_t>(begin),
+                     entries->begin() + static_cast<ptrdiff_t>(end),
+                     [](const Entry& a, const Entry& b) {
+                       return a.rect.Center().y < b.rect.Center().y;
+                     });
+  }
+}
+
+Status ApplyOrdering(std::vector<Entry>* entries, LoadAlgorithm algo,
+                     uint32_t n) {
+  switch (algo) {
+    case LoadAlgorithm::kNearestX:
+      OrderNearestX(entries);
+      return Status::OK();
+    case LoadAlgorithm::kHilbertSort:
+      OrderHilbert(entries);
+      return Status::OK();
+    case LoadAlgorithm::kStr:
+      OrderStr(entries, n);
+      return Status::OK();
+    case LoadAlgorithm::kTupleAtATime:
+      return Status::InvalidArgument(
+          "TAT is not a packing algorithm; use BuildRTree");
+  }
+  return Status::InvalidArgument("unknown load algorithm");
+}
+
+// Writes one node and returns the parent entry describing it.
+Result<Entry> WritePackedNode(storage::PageStore* store, uint16_t level,
+                              std::vector<Entry> entries,
+                              std::vector<uint8_t>* scratch) {
+  Node node{level, std::move(entries)};
+  RTB_ASSIGN_OR_RETURN(PageId page, store->Allocate());
+  RTB_RETURN_IF_ERROR(
+      SerializeNode(node, store->page_size(), scratch->data()));
+  RTB_RETURN_IF_ERROR(store->Write(page, scratch->data()));
+  return Entry{node.Mbr(), page};
+}
+
+}  // namespace
+
+std::string_view LoadAlgorithmName(LoadAlgorithm algo) {
+  switch (algo) {
+    case LoadAlgorithm::kTupleAtATime:
+      return "TAT";
+    case LoadAlgorithm::kNearestX:
+      return "NX";
+    case LoadAlgorithm::kHilbertSort:
+      return "HS";
+    case LoadAlgorithm::kStr:
+      return "STR";
+  }
+  return "?";
+}
+
+Result<BuiltTree> BulkLoad(storage::PageStore* store,
+                           const RTreeConfig& config,
+                           std::vector<Entry> leaf_entries,
+                           LoadAlgorithm algo) {
+  if (algo == LoadAlgorithm::kTupleAtATime) {
+    return Status::InvalidArgument(
+        "TAT is not a packing algorithm; use BuildRTree");
+  }
+  if (!config.IsValid()) {
+    return Status::InvalidArgument("invalid RTreeConfig");
+  }
+  if (config.max_entries > NodeCapacity(store->page_size())) {
+    return Status::InvalidArgument("fanout exceeds page capacity");
+  }
+  const uint32_t n = config.max_entries;
+  std::vector<uint8_t> scratch(store->page_size());
+  BuiltTree result;
+
+  std::vector<Entry> level_entries = std::move(leaf_entries);
+  uint16_t level = 0;
+  for (;;) {
+    if (level_entries.size() <= n) {
+      // Fits in a single node: this is the root.
+      RTB_ASSIGN_OR_RETURN(
+          Entry root_entry,
+          WritePackedNode(store, level, std::move(level_entries), &scratch));
+      ++result.num_nodes;
+      result.root = static_cast<PageId>(root_entry.id);
+      result.height = static_cast<uint16_t>(level + 1);
+      return result;
+    }
+    RTB_RETURN_IF_ERROR(ApplyOrdering(&level_entries, algo, n));
+    std::vector<Entry> parent_entries;
+    parent_entries.reserve((level_entries.size() + n - 1) / n);
+    for (size_t begin = 0; begin < level_entries.size(); begin += n) {
+      size_t end = std::min(begin + n, level_entries.size());
+      std::vector<Entry> group(
+          level_entries.begin() + static_cast<ptrdiff_t>(begin),
+          level_entries.begin() + static_cast<ptrdiff_t>(end));
+      RTB_ASSIGN_OR_RETURN(
+          Entry parent_entry,
+          WritePackedNode(store, level, std::move(group), &scratch));
+      ++result.num_nodes;
+      parent_entries.push_back(parent_entry);
+    }
+    level_entries = std::move(parent_entries);
+    ++level;
+  }
+}
+
+Result<BuiltTree> BuildRTree(storage::PageStore* store,
+                             const RTreeConfig& config,
+                             const std::vector<geom::Rect>& rects,
+                             LoadAlgorithm algo, size_t tat_pool_pages) {
+  if (algo != LoadAlgorithm::kTupleAtATime) {
+    std::vector<Entry> entries;
+    entries.reserve(rects.size());
+    for (size_t i = 0; i < rects.size(); ++i) {
+      entries.push_back(Entry{rects[i], static_cast<ObjectId>(i)});
+    }
+    return BulkLoad(store, config, std::move(entries), algo);
+  }
+
+  // TAT: insert through a scratch pool, then flush so the store holds the
+  // finished tree.
+  const PageId pages_before = store->num_pages();
+  auto pool = storage::BufferPool::MakeLru(store, tat_pool_pages);
+  RTB_ASSIGN_OR_RETURN(RTree tree, RTree::Create(pool.get(), config));
+  for (size_t i = 0; i < rects.size(); ++i) {
+    RTB_RETURN_IF_ERROR(tree.Insert(rects[i], static_cast<ObjectId>(i)));
+  }
+  RTB_RETURN_IF_ERROR(pool->FlushAll());
+  BuiltTree result;
+  result.root = tree.root();
+  result.height = tree.height();
+  // Every page a pure insert workload allocates stays reachable, so the
+  // allocation delta equals the node count.
+  result.num_nodes = store->num_pages() - pages_before;
+  return result;
+}
+
+}  // namespace rtb::rtree

@@ -1,0 +1,69 @@
+// R-tree loading algorithms (paper Section 2.2).
+//
+// The packing loaders follow the paper's "General Algorithm": order the
+// rectangles, place each consecutive run of n into a leaf, emit (MBR, page)
+// tuples, and recurse until a single root remains. They differ only in the
+// ordering:
+//
+//   NX  (Roussopoulos-Leifker 1985): sort by the x-coordinate of the center.
+//   HS  (Kamel-Faloutsos 1993): sort by Hilbert value of the center.
+//   STR (Leutenegger-Lopez-Edgington 1997, paper ref [7]): sort by x, cut
+//       into ceil(sqrt(P)) vertical slabs, sort each slab by y. Included as
+//       an extension; the paper cites it but evaluates NX/HS/TAT.
+//
+// TAT (tuple-at-a-time with Guttman quadratic split) is not a packing
+// algorithm; BuildRTree covers it by inserting through a scratch pool.
+
+#ifndef RTB_RTREE_BULK_LOAD_H_
+#define RTB_RTREE_BULK_LOAD_H_
+
+#include <string_view>
+#include <vector>
+
+#include "geom/rect.h"
+#include "rtree/config.h"
+#include "rtree/node.h"
+#include "storage/page_store.h"
+#include "util/result.h"
+
+namespace rtb::rtree {
+
+/// How a tree is constructed.
+enum class LoadAlgorithm {
+  kTupleAtATime,  // "TAT"
+  kNearestX,      // "NX"
+  kHilbertSort,   // "HS"
+  kStr,           // "STR"
+};
+
+/// Short display name ("TAT", "NX", "HS", "STR").
+std::string_view LoadAlgorithmName(LoadAlgorithm algo);
+
+/// Location of a finished tree inside a PageStore.
+struct BuiltTree {
+  storage::PageId root = storage::kInvalidPageId;
+  uint16_t height = 0;
+  uint32_t num_nodes = 0;
+};
+
+/// Packs `leaf_entries` into a tree using a packing ordering (kNearestX,
+/// kHilbertSort or kStr; kTupleAtATime is rejected — use BuildRTree).
+/// Writes pages directly to `store`; build I/O is not part of any query
+/// metric, so callers typically reset counters afterwards.
+Result<BuiltTree> BulkLoad(storage::PageStore* store,
+                           const RTreeConfig& config,
+                           std::vector<Entry> leaf_entries,
+                           LoadAlgorithm algo);
+
+/// Builds a tree from `rects` (object ids are assigned 0..N-1 in input
+/// order) with any algorithm, including TAT. TAT inserts in input order
+/// through a scratch buffer pool of `tat_pool_pages` frames.
+Result<BuiltTree> BuildRTree(storage::PageStore* store,
+                             const RTreeConfig& config,
+                             const std::vector<geom::Rect>& rects,
+                             LoadAlgorithm algo,
+                             size_t tat_pool_pages = 64);
+
+}  // namespace rtb::rtree
+
+#endif  // RTB_RTREE_BULK_LOAD_H_

@@ -1,0 +1,64 @@
+// R-tree configuration.
+
+#ifndef RTB_RTREE_CONFIG_H_
+#define RTB_RTREE_CONFIG_H_
+
+#include <cstdint>
+
+namespace rtb::rtree {
+
+/// Split policy used by tuple-at-a-time insertion. The paper's TAT loader
+/// uses Guttman's quadratic heuristic; linear and the R*-tree split
+/// (Beckmann et al., paper ref [1]) are provided for update-policy studies
+/// — the buffer model is explicitly meant to compare them (Section 1).
+enum class SplitPolicy { kQuadratic, kLinear, kRStar };
+
+/// Insertion policy: Guttman's original descent, or the R*-tree treatment
+/// (overlap-minimizing subtree choice for leaf parents + forced
+/// reinsertion on first overflow per level).
+enum class InsertPolicy { kGuttman, kRStar };
+
+/// Static parameters of an R-tree.
+struct RTreeConfig {
+  /// Maximum entries per node ("n" in the paper). The paper's experiments
+  /// use 100 (Figs. 6-9) and 25 (Table 2, Figs. 10-11).
+  uint32_t max_entries = 100;
+
+  /// Minimum entries per node after a split ("m"). Guttman requires
+  /// m <= n/2; 40% is the customary choice.
+  uint32_t min_entries = 40;
+
+  SplitPolicy split_policy = SplitPolicy::kQuadratic;
+  InsertPolicy insert_policy = InsertPolicy::kGuttman;
+
+  /// Fraction of a node's entries removed and reinserted by the R*
+  /// overflow treatment (Beckmann et al. recommend 30%).
+  double reinsert_fraction = 0.3;
+
+  /// Returns a config with min_entries = 40% of n (at least 1).
+  static RTreeConfig WithFanout(uint32_t n,
+                                SplitPolicy split = SplitPolicy::kQuadratic) {
+    RTreeConfig c;
+    c.max_entries = n;
+    c.min_entries = n * 2 / 5 > 0 ? n * 2 / 5 : 1;
+    c.split_policy = split;
+    return c;
+  }
+
+  /// The full R*-tree configuration (R* split + R* insertion).
+  static RTreeConfig RStar(uint32_t n) {
+    RTreeConfig c = WithFanout(n, SplitPolicy::kRStar);
+    c.insert_policy = InsertPolicy::kRStar;
+    return c;
+  }
+
+  bool IsValid() const {
+    return max_entries >= 2 && min_entries >= 1 &&
+           min_entries <= max_entries / 2 && reinsert_fraction >= 0.0 &&
+           reinsert_fraction < 1.0;
+  }
+};
+
+}  // namespace rtb::rtree
+
+#endif  // RTB_RTREE_CONFIG_H_

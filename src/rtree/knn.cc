@@ -1,0 +1,80 @@
+#include "rtree/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "storage/buffer_pool.h"
+
+namespace rtb::rtree {
+
+using geom::Point;
+using geom::Rect;
+
+double MinDistance(Point p, const Rect& r) {
+  if (r.is_empty()) return std::numeric_limits<double>::infinity();
+  double dx = 0.0;
+  if (p.x < r.lo.x) {
+    dx = r.lo.x - p.x;
+  } else if (p.x > r.hi.x) {
+    dx = p.x - r.hi.x;
+  }
+  double dy = 0.0;
+  if (p.y < r.lo.y) {
+    dy = r.lo.y - p.y;
+  } else if (p.y > r.hi.y) {
+    dy = p.y - r.hi.y;
+  }
+  return std::hypot(dx, dy);
+}
+
+namespace {
+
+// Priority-queue element: either a node to expand or an object candidate.
+struct QueueEntry {
+  double distance = 0.0;
+  bool is_object = false;
+  uint64_t id = 0;  // PageId for nodes, ObjectId for objects.
+  Rect rect;
+
+  // Min-heap by distance; objects win ties so results emit before equally
+  // distant subtrees are expanded needlessly.
+  bool operator<(const QueueEntry& other) const {
+    if (distance != other.distance) return distance > other.distance;
+    return is_object < other.is_object;
+  }
+};
+
+}  // namespace
+
+Result<std::vector<Neighbor>> SearchKnn(const RTree& tree, Point point,
+                                        size_t k, QueryStats* stats) {
+  std::vector<Neighbor> result;
+  if (k == 0) return result;
+
+  std::priority_queue<QueueEntry> queue;
+  queue.push(QueueEntry{0.0, false, tree.root(), Rect::Empty()});
+
+  storage::BufferPool* pool = tree.pool();
+  while (!queue.empty() && result.size() < k) {
+    QueueEntry top = queue.top();
+    queue.pop();
+    if (top.is_object) {
+      result.push_back(Neighbor{top.id, top.distance, top.rect});
+      continue;
+    }
+    RTB_ASSIGN_OR_RETURN(storage::PageGuard guard,
+                         pool->Fetch(static_cast<storage::PageId>(top.id)));
+    if (stats != nullptr) ++stats->nodes_accessed;
+    RTB_ASSIGN_OR_RETURN(Node node,
+                         DeserializeNode(guard.data(), pool->page_size()));
+    for (const Entry& e : node.entries) {
+      queue.push(QueueEntry{MinDistance(point, e.rect), node.is_leaf(),
+                            e.id, e.rect});
+    }
+  }
+  return result;
+}
+
+}  // namespace rtb::rtree

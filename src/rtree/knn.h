@@ -1,0 +1,41 @@
+// k-nearest-neighbor search over the R-tree (branch-and-bound with a
+// best-first priority queue, Roussopoulos-Kelley-Vincent / Hjaltason-Samet
+// style). Not part of the paper's evaluation, but a standard capability of
+// any adoptable R-tree library; its node accesses flow through the same
+// buffer pool, so its disk behaviour can be studied with the same tools.
+
+#ifndef RTB_RTREE_KNN_H_
+#define RTB_RTREE_KNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "rtree/rtree.h"
+#include "util/result.h"
+
+namespace rtb::rtree {
+
+/// One kNN result: the object and its (Euclidean) distance from the query
+/// point to its rectangle.
+struct Neighbor {
+  ObjectId id = 0;
+  double distance = 0.0;
+  geom::Rect rect;
+};
+
+/// Finds the `k` objects whose rectangles are nearest to `point` (minimum
+/// Euclidean distance from the point to the rectangle; 0 when the point is
+/// inside). Results are sorted by ascending distance; fewer than `k` are
+/// returned when the tree is smaller. `stats`, when non-null, accumulates
+/// the number of nodes accessed.
+Result<std::vector<Neighbor>> SearchKnn(const RTree& tree, geom::Point point,
+                                        size_t k,
+                                        QueryStats* stats = nullptr);
+
+/// Distance helper: minimum Euclidean distance from `p` to `r` (0 inside).
+double MinDistance(geom::Point p, const geom::Rect& r);
+
+}  // namespace rtb::rtree
+
+#endif  // RTB_RTREE_KNN_H_

@@ -1,0 +1,90 @@
+#include "rtree/node.h"
+
+#include <cstring>
+#include <string>
+
+namespace rtb::rtree {
+namespace {
+
+constexpr uint32_t kNodeMagic = 0x52545250;  // "RTRP"
+
+void PutU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
+void PutU16(uint8_t* p, uint16_t v) { std::memcpy(p, &v, 2); }
+void PutU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, 8); }
+void PutF64(uint8_t* p, double v) { std::memcpy(p, &v, 8); }
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+uint16_t GetU16(const uint8_t* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+double GetF64(const uint8_t* p) {
+  double v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+Status SerializeNode(const Node& node, size_t page_size, uint8_t* out) {
+  size_t needed = kNodeHeaderSize + node.entries.size() * kEntrySize;
+  if (needed > page_size) {
+    return Status::OutOfRange("node with " +
+                              std::to_string(node.entries.size()) +
+                              " entries does not fit in a " +
+                              std::to_string(page_size) + "-byte page");
+  }
+  std::memset(out, 0, page_size);
+  PutU32(out, kNodeMagic);
+  PutU16(out + 4, node.level);
+  PutU16(out + 6, static_cast<uint16_t>(node.entries.size()));
+  uint8_t* p = out + kNodeHeaderSize;
+  for (const Entry& e : node.entries) {
+    PutF64(p, e.rect.lo.x);
+    PutF64(p + 8, e.rect.lo.y);
+    PutF64(p + 16, e.rect.hi.x);
+    PutF64(p + 24, e.rect.hi.y);
+    PutU64(p + 32, e.id);
+    p += kEntrySize;
+  }
+  return Status::OK();
+}
+
+Result<Node> DeserializeNode(const uint8_t* data, size_t page_size) {
+  if (page_size < kNodeHeaderSize) {
+    return Status::Corruption("page smaller than node header");
+  }
+  if (GetU32(data) != kNodeMagic) {
+    return Status::Corruption("bad node magic");
+  }
+  Node node;
+  node.level = GetU16(data + 4);
+  uint16_t count = GetU16(data + 6);
+  if (kNodeHeaderSize + static_cast<size_t>(count) * kEntrySize > page_size) {
+    return Status::Corruption("node entry count exceeds page capacity");
+  }
+  node.entries.resize(count);
+  const uint8_t* p = data + kNodeHeaderSize;
+  for (uint16_t i = 0; i < count; ++i) {
+    Entry& e = node.entries[i];
+    e.rect.lo.x = GetF64(p);
+    e.rect.lo.y = GetF64(p + 8);
+    e.rect.hi.x = GetF64(p + 16);
+    e.rect.hi.y = GetF64(p + 24);
+    e.id = GetU64(p + 32);
+    p += kEntrySize;
+  }
+  return node;
+}
+
+}  // namespace rtb::rtree

@@ -1,0 +1,79 @@
+// In-memory R-tree node representation and its on-page binary layout.
+//
+// One node occupies exactly one page (paper Section 2.1). The layout is:
+//
+//   offset  size  field
+//   0       4     magic (0x52545250, "RTRP")
+//   4       2     level (0 = leaf, increasing toward the root)
+//   6       2     count (number of entries)
+//   8       8     reserved (zero)
+//   16      40*i  entries: {lo.x, lo.y, hi.x, hi.y : f64} + {id : u64}
+//
+// At the leaf level an entry's id is the application object id; at internal
+// levels it is the PageId of the child node and the rect is the child's MBR.
+
+#ifndef RTB_RTREE_NODE_H_
+#define RTB_RTREE_NODE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geom/rect.h"
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace rtb::rtree {
+
+/// Application-level object identifier stored in leaf entries.
+using ObjectId = uint64_t;
+
+/// One slot of a node: a rectangle plus a child pointer / object id.
+struct Entry {
+  geom::Rect rect;
+  uint64_t id = 0;
+};
+
+inline bool operator==(const Entry& a, const Entry& b) {
+  return a.rect == b.rect && a.id == b.id;
+}
+
+/// A decoded node. `level` is the height above the leaves (leaf = 0).
+struct Node {
+  uint16_t level = 0;
+  std::vector<Entry> entries;
+
+  bool is_leaf() const { return level == 0; }
+
+  /// MBR of all entries; Rect::Empty() for an empty node.
+  geom::Rect Mbr() const {
+    geom::Rect mbr = geom::Rect::Empty();
+    for (const Entry& e : entries) mbr = geom::Union(mbr, e.rect);
+    return mbr;
+  }
+};
+
+/// Size in bytes of the fixed node header.
+inline constexpr size_t kNodeHeaderSize = 16;
+
+/// Size in bytes of one serialized entry.
+inline constexpr size_t kEntrySize = 5 * 8;
+
+/// Maximum entries a node can hold in a page of `page_size` bytes.
+inline constexpr uint32_t NodeCapacity(size_t page_size) {
+  return page_size < kNodeHeaderSize
+             ? 0
+             : static_cast<uint32_t>((page_size - kNodeHeaderSize) /
+                                     kEntrySize);
+}
+
+/// Serializes `node` into `out` (page_size bytes, zero-padded). Fails when
+/// the entries do not fit.
+Status SerializeNode(const Node& node, size_t page_size, uint8_t* out);
+
+/// Decodes a node from a page image.
+Result<Node> DeserializeNode(const uint8_t* data, size_t page_size);
+
+}  // namespace rtb::rtree
+
+#endif  // RTB_RTREE_NODE_H_

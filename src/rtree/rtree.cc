@@ -1,0 +1,373 @@
+#include "rtree/rtree.h"
+
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "rtree/split.h"
+#include "util/macros.h"
+
+namespace rtb::rtree {
+
+using geom::Rect;
+using storage::PageGuard;
+using storage::PageId;
+
+Result<RTree> RTree::Create(storage::BufferPool* pool, RTreeConfig config) {
+  if (!config.IsValid()) {
+    return Status::InvalidArgument("invalid RTreeConfig (need 2 <= 2*m <= n)");
+  }
+  if (config.max_entries > NodeCapacity(pool->page_size())) {
+    return Status::InvalidArgument(
+        "fanout " + std::to_string(config.max_entries) +
+        " exceeds page capacity " +
+        std::to_string(NodeCapacity(pool->page_size())));
+  }
+  RTB_ASSIGN_OR_RETURN(PageGuard guard, pool->NewPage());
+  Node empty_leaf;
+  RTB_RETURN_IF_ERROR(
+      SerializeNode(empty_leaf, pool->page_size(), guard.mutable_data()));
+  return RTree(pool, config, guard.page_id(), /*height=*/1);
+}
+
+Result<RTree> RTree::Open(storage::BufferPool* pool, RTreeConfig config,
+                          PageId root, uint16_t height) {
+  if (!config.IsValid()) {
+    return Status::InvalidArgument("invalid RTreeConfig (need 2 <= 2*m <= n)");
+  }
+  if (height == 0) {
+    return Status::InvalidArgument("height must be at least 1");
+  }
+  // Sanity-check the root page decodes and has the expected level.
+  RTB_ASSIGN_OR_RETURN(PageGuard guard, pool->Fetch(root));
+  RTB_ASSIGN_OR_RETURN(Node node,
+                       DeserializeNode(guard.data(), pool->page_size()));
+  if (node.level != height - 1) {
+    return Status::Corruption("root level " + std::to_string(node.level) +
+                              " does not match height " +
+                              std::to_string(height));
+  }
+  return RTree(pool, config, root, height);
+}
+
+Status RTree::WriteNode(PageId page, const Node& node) {
+  RTB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchMutable(page));
+  return SerializeNode(node, pool_->page_size(), guard.mutable_data());
+}
+
+Result<Entry> RTree::WriteSplit(PageId page, uint16_t level,
+                                const std::vector<Entry>& entries) {
+  SplitResult split = SplitEntries(entries, config_);
+  Node node_a{level, std::move(split.group_a)};
+  Node node_b{level, std::move(split.group_b)};
+  RTB_RETURN_IF_ERROR(WriteNode(page, node_a));
+  RTB_ASSIGN_OR_RETURN(PageGuard new_guard, pool_->NewPage());
+  RTB_RETURN_IF_ERROR(SerializeNode(node_b, pool_->page_size(),
+                                    new_guard.mutable_data()));
+  return Entry{node_b.Mbr(), new_guard.page_id()};
+}
+
+size_t RTree::ChooseSubtree(const Node& node, const Rect& rect) const {
+  RTB_CHECK(!node.entries.empty());
+  const size_t count = node.entries.size();
+
+  if (config_.insert_policy == InsertPolicy::kRStar && node.level == 1) {
+    // R* rule for parents of leaves: minimize the increase of overlap with
+    // the sibling entries; ties by area enlargement, then by area.
+    size_t best = 0;
+    double best_overlap = std::numeric_limits<double>::infinity();
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < count; ++i) {
+      Rect grown = geom::Union(node.entries[i].rect, rect);
+      double overlap_delta = 0.0;
+      for (size_t j = 0; j < count; ++j) {
+        if (j == i) continue;
+        overlap_delta +=
+            geom::Intersection(grown, node.entries[j].rect).Area() -
+            geom::Intersection(node.entries[i].rect, node.entries[j].rect)
+                .Area();
+      }
+      double enlargement = geom::Enlargement(node.entries[i].rect, rect);
+      double area = node.entries[i].rect.Area();
+      if (overlap_delta < best_overlap ||
+          (overlap_delta == best_overlap &&
+           (enlargement < best_enlargement ||
+            (enlargement == best_enlargement && area < best_area)))) {
+        best = i;
+        best_overlap = overlap_delta;
+        best_enlargement = enlargement;
+        best_area = area;
+      }
+    }
+    return best;
+  }
+
+  // Guttman: least enlargement, ties by smaller area.
+  size_t best = 0;
+  double best_enlargement = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < count; ++i) {
+    double enlargement = geom::Enlargement(node.entries[i].rect, rect);
+    double area = node.entries[i].rect.Area();
+    if (enlargement < best_enlargement ||
+        (enlargement == best_enlargement && area < best_area)) {
+      best = i;
+      best_enlargement = enlargement;
+      best_area = area;
+    }
+  }
+  return best;
+}
+
+Result<RTree::InsertOutcome> RTree::InsertRec(PageId page, const Entry& entry,
+                                              uint16_t target_level,
+                                              InsertContext* ctx) {
+  Node node;
+  {
+    RTB_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(page));
+    RTB_ASSIGN_OR_RETURN(node,
+                         DeserializeNode(guard.data(), pool_->page_size()));
+  }
+
+  if (node.level != target_level) {
+    size_t best = ChooseSubtree(node, entry.rect);
+    PageId child = static_cast<PageId>(node.entries[best].id);
+    RTB_ASSIGN_OR_RETURN(InsertOutcome child_outcome,
+                         InsertRec(child, entry, target_level, ctx));
+    node.entries[best].rect = child_outcome.mbr;
+    if (child_outcome.split.has_value()) {
+      node.entries.push_back(*child_outcome.split);
+    }
+  } else {
+    node.entries.push_back(entry);
+  }
+
+  if (node.entries.size() <= config_.max_entries) {
+    RTB_RETURN_IF_ERROR(WriteNode(page, node));
+    return InsertOutcome{node.Mbr(), std::nullopt};
+  }
+
+  // Overflow treatment. R*: on the first overflow of each level per
+  // top-level insertion (never at the root), remove the reinsert_fraction
+  // of entries whose centers lie farthest from the node's MBR center and
+  // queue them for reinsertion; otherwise split.
+  const bool is_root = page == root_;
+  if (config_.insert_policy == InsertPolicy::kRStar && ctx != nullptr &&
+      !is_root && node.level < 64 &&
+      (ctx->reinserted_levels & (uint64_t{1} << node.level)) == 0) {
+    ctx->reinserted_levels |= uint64_t{1} << node.level;
+    size_t p = static_cast<size_t>(config_.reinsert_fraction *
+                                   static_cast<double>(node.entries.size()));
+    p = std::max<size_t>(p, 1);
+    // Keep at least min_entries in the node.
+    p = std::min(p, node.entries.size() - config_.min_entries);
+    if (p > 0) {
+      geom::Point center = node.Mbr().Center();
+      auto dist2 = [&center](const Entry& e) {
+        geom::Point c = e.rect.Center();
+        double dx = c.x - center.x, dy = c.y - center.y;
+        return dx * dx + dy * dy;
+      };
+      // Farthest p entries leave the node; reinsertion starts with the
+      // closest of them ("close reinsert").
+      std::stable_sort(node.entries.begin(), node.entries.end(),
+                       [&dist2](const Entry& a, const Entry& b) {
+                         return dist2(a) < dist2(b);
+                       });
+      for (size_t i = node.entries.size() - p; i < node.entries.size();
+           ++i) {
+        ctx->pending.push_back(Orphan{node.entries[i], node.level});
+      }
+      node.entries.resize(node.entries.size() - p);
+      RTB_RETURN_IF_ERROR(WriteNode(page, node));
+      return InsertOutcome{node.Mbr(), std::nullopt};
+    }
+    // Fall through to a split when nothing can be removed.
+  }
+
+  RTB_ASSIGN_OR_RETURN(Entry sibling,
+                       WriteSplit(page, node.level, node.entries));
+  // Recompute this node's MBR from what WriteSplit kept in `page`.
+  RTB_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(page));
+  RTB_ASSIGN_OR_RETURN(Node kept,
+                       DeserializeNode(guard.data(), pool_->page_size()));
+  return InsertOutcome{kept.Mbr(), sibling};
+}
+
+Status RTree::InsertAtLevel(const Entry& entry, uint16_t target_level,
+                            InsertContext* ctx) {
+  RTB_ASSIGN_OR_RETURN(InsertOutcome outcome,
+                       InsertRec(root_, entry, target_level, ctx));
+  if (outcome.split.has_value()) {
+    // Root split: grow the tree by one level.
+    RTB_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage());
+    Node new_root;
+    new_root.level = height_;  // Old root level is height_ - 1.
+    new_root.entries.push_back(Entry{outcome.mbr, root_});
+    new_root.entries.push_back(*outcome.split);
+    RTB_RETURN_IF_ERROR(SerializeNode(new_root, pool_->page_size(),
+                                      guard.mutable_data()));
+    root_ = guard.page_id();
+    ++height_;
+  }
+  return Status::OK();
+}
+
+Status RTree::Insert(const Rect& rect, ObjectId id) {
+  if (rect.is_empty()) {
+    return Status::InvalidArgument("cannot insert an empty rectangle");
+  }
+  InsertContext ctx;
+  RTB_RETURN_IF_ERROR(InsertAtLevel(Entry{rect, id}, /*target_level=*/0,
+                                    &ctx));
+  // Drain the R* forced-reinsert queue. Reinsertions share the context, so
+  // each level reinserts at most once per public Insert; later overflows
+  // split. The queue can grow while draining (another level reinserting).
+  for (size_t i = 0; i < ctx.pending.size(); ++i) {
+    Orphan orphan = ctx.pending[i];
+    RTB_RETURN_IF_ERROR(InsertAtLevel(orphan.entry, orphan.level, &ctx));
+  }
+  return Status::OK();
+}
+
+Result<RTree::DeleteOutcome> RTree::DeleteRec(PageId page, const Rect& rect,
+                                              ObjectId id, bool is_root,
+                                              std::vector<Orphan>* orphans) {
+  Node node;
+  {
+    RTB_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(page));
+    RTB_ASSIGN_OR_RETURN(node,
+                         DeserializeNode(guard.data(), pool_->page_size()));
+  }
+
+  if (node.is_leaf()) {
+    bool found = false;
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      if (node.entries[i].id == id && node.entries[i].rect == rect) {
+        node.entries.erase(node.entries.begin() +
+                           static_cast<ptrdiff_t>(i));
+        found = true;
+        break;
+      }
+    }
+    if (!found) return DeleteOutcome{false, node.Mbr(), false};
+    if (!is_root && node.entries.size() < config_.min_entries) {
+      // Dissolve this leaf; its remaining entries are reinserted later.
+      for (const Entry& e : node.entries) {
+        orphans->push_back(Orphan{e, 0});
+      }
+      return DeleteOutcome{true, Rect::Empty(), true};
+    }
+    RTB_RETURN_IF_ERROR(WriteNode(page, node));
+    return DeleteOutcome{true, node.Mbr(), false};
+  }
+
+  // Internal node: try every child whose MBR contains the target rect.
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    if (!node.entries[i].rect.Contains(rect)) continue;
+    PageId child = static_cast<PageId>(node.entries[i].id);
+    RTB_ASSIGN_OR_RETURN(DeleteOutcome child_outcome,
+                         DeleteRec(child, rect, id, false, orphans));
+    if (!child_outcome.found) continue;
+    if (child_outcome.underflow) {
+      node.entries.erase(node.entries.begin() + static_cast<ptrdiff_t>(i));
+    } else {
+      node.entries[i].rect = child_outcome.mbr;
+    }
+    if (!is_root && node.entries.size() < config_.min_entries) {
+      for (const Entry& e : node.entries) {
+        orphans->push_back(Orphan{e, node.level});
+      }
+      return DeleteOutcome{true, Rect::Empty(), true};
+    }
+    RTB_RETURN_IF_ERROR(WriteNode(page, node));
+    return DeleteOutcome{true, node.Mbr(), false};
+  }
+  return DeleteOutcome{false, node.Mbr(), false};
+}
+
+Result<bool> RTree::Delete(const Rect& rect, ObjectId id) {
+  std::vector<Orphan> orphans;
+  RTB_ASSIGN_OR_RETURN(DeleteOutcome outcome,
+                       DeleteRec(root_, rect, id, /*is_root=*/true, &orphans));
+  if (!outcome.found) return false;
+
+  // Reinsert orphaned entries at their original levels. Internal-node
+  // orphans must go first: reinserting them can only happen while the tree
+  // is at least as tall as their level requires, and leaf reinserts can grow
+  // the tree which stays compatible.
+  std::stable_sort(orphans.begin(), orphans.end(),
+                   [](const Orphan& a, const Orphan& b) {
+                     return a.level > b.level;
+                   });
+  for (const Orphan& orphan : orphans) {
+    // Plain (no forced-reinsert) insertion at the orphan's level.
+    RTB_RETURN_IF_ERROR(InsertAtLevel(orphan.entry, orphan.level, nullptr));
+  }
+
+  // Shrink the root while it is an internal node with a single child.
+  for (;;) {
+    RTB_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(root_));
+    RTB_ASSIGN_OR_RETURN(Node root_node,
+                         DeserializeNode(guard.data(), pool_->page_size()));
+    if (root_node.is_leaf() || root_node.entries.size() != 1) break;
+    root_ = static_cast<PageId>(root_node.entries[0].id);
+    --height_;
+  }
+  return true;
+}
+
+Status RTree::SearchRec(PageId page, const Rect& query,
+                        std::vector<ObjectId>* out, QueryStats* stats) const {
+  RTB_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(page));
+  if (stats != nullptr) ++stats->nodes_accessed;
+  RTB_ASSIGN_OR_RETURN(Node node,
+                       DeserializeNode(guard.data(), pool_->page_size()));
+  for (const Entry& e : node.entries) {
+    if (!e.rect.Intersects(query)) continue;
+    if (node.is_leaf()) {
+      out->push_back(e.id);
+    } else {
+      RTB_RETURN_IF_ERROR(
+          SearchRec(static_cast<PageId>(e.id), query, out, stats));
+    }
+  }
+  return Status::OK();
+}
+
+Status RTree::Search(const Rect& query, std::vector<ObjectId>* out,
+                     QueryStats* stats) const {
+  if (query.is_empty()) return Status::OK();
+  return SearchRec(root_, query, out, stats);
+}
+
+Status RTree::SearchPoint(geom::Point p, std::vector<ObjectId>* out,
+                          QueryStats* stats) const {
+  return Search(Rect::FromPoint(p), out, stats);
+}
+
+Result<uint64_t> RTree::CountEntries() const {
+  // Depth-first count through the pool.
+  struct Walker {
+    const RTree* tree;
+    Result<uint64_t> Count(PageId page) {
+      RTB_ASSIGN_OR_RETURN(PageGuard guard, tree->pool_->Fetch(page));
+      RTB_ASSIGN_OR_RETURN(
+          Node node,
+          DeserializeNode(guard.data(), tree->pool_->page_size()));
+      if (node.is_leaf()) return static_cast<uint64_t>(node.entries.size());
+      uint64_t total = 0;
+      for (const Entry& e : node.entries) {
+        RTB_ASSIGN_OR_RETURN(uint64_t sub,
+                             Count(static_cast<PageId>(e.id)));
+        total += sub;
+      }
+      return total;
+    }
+  };
+  Walker walker{this};
+  return walker.Count(root_);
+}
+
+}  // namespace rtb::rtree

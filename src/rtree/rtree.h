@@ -1,0 +1,151 @@
+// The R-tree proper: Guttman-style dynamic R-tree executing against a
+// BufferPool, so every node touched by a query or update is a page request
+// and every buffer miss is a counted disk access.
+//
+// Level convention: node.level == 0 at the leaves and increases toward the
+// root (the paper numbers levels from the root down; the conversion is
+// `paper_level = height - 1 - node.level`). `height` is the number of
+// levels, so a tree with a single leaf-root has height 1.
+
+#ifndef RTB_RTREE_RTREE_H_
+#define RTB_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "rtree/config.h"
+#include "rtree/node.h"
+#include "storage/buffer_pool.h"
+#include "util/result.h"
+
+namespace rtb::rtree {
+
+/// Logical access counters for a single query or update.
+struct QueryStats {
+  uint64_t nodes_accessed = 0;
+};
+
+/// A dynamic R-tree over a buffer pool.
+///
+/// Updates require the pool capacity to be at least the tree height plus two
+/// (the insertion path is pinned while descending); queries require height
+/// plus one. RTree does not own the pool.
+class RTree {
+ public:
+  /// Creates a new empty tree (a single empty leaf node).
+  static Result<RTree> Create(storage::BufferPool* pool, RTreeConfig config);
+
+  /// Attaches to an existing tree rooted at `root` with `height` levels
+  /// (e.g. one produced by a bulk loader in rtree/bulk_load.h).
+  static Result<RTree> Open(storage::BufferPool* pool, RTreeConfig config,
+                            storage::PageId root, uint16_t height);
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) = default;
+  RTree& operator=(RTree&&) = default;
+
+  /// Inserts a rectangle with its object id (tuple-at-a-time, Guttman).
+  Status Insert(const geom::Rect& rect, ObjectId id);
+
+  /// Deletes the entry matching (rect, id) exactly. Returns true when the
+  /// entry existed. Underflowing nodes are condensed and their entries
+  /// reinserted (Guttman's CondenseTree).
+  Result<bool> Delete(const geom::Rect& rect, ObjectId id);
+
+  /// Region (intersection) query: appends the ids of all objects whose
+  /// rectangle intersects `query` to `out`. `stats`, when non-null, receives
+  /// the number of nodes accessed; disk accesses are observable through the
+  /// pool's BufferStats.
+  Status Search(const geom::Rect& query, std::vector<ObjectId>* out,
+                QueryStats* stats = nullptr) const;
+
+  /// Point query: all objects whose rectangle contains `p`.
+  Status SearchPoint(geom::Point p, std::vector<ObjectId>* out,
+                     QueryStats* stats = nullptr) const;
+
+  /// Total number of leaf entries (walks the tree).
+  Result<uint64_t> CountEntries() const;
+
+  storage::PageId root() const { return root_; }
+  uint16_t height() const { return height_; }
+  const RTreeConfig& config() const { return config_; }
+  storage::BufferPool* pool() const { return pool_; }
+
+ private:
+  RTree(storage::BufferPool* pool, RTreeConfig config, storage::PageId root,
+        uint16_t height)
+      : pool_(pool), config_(config), root_(root), height_(height) {}
+
+  // Result of a recursive insertion: the node's MBR after the insert and,
+  // when it split, the entry describing the new sibling.
+  struct InsertOutcome {
+    geom::Rect mbr;
+    std::optional<Entry> split;
+  };
+
+  // Entries stashed for reinsertion, tagged with their node level. Used by
+  // delete-time condensation and by the R* forced-reinsert overflow
+  // treatment.
+  struct Orphan {
+    Entry entry;
+    uint16_t level;
+  };
+
+  // Per-top-level-insert state for the R* overflow treatment: which levels
+  // already did a forced reinsert (they split on the next overflow), plus
+  // the entries awaiting reinsertion.
+  struct InsertContext {
+    uint64_t reinserted_levels = 0;  // Bitmask by node level.
+    std::vector<Orphan> pending;
+  };
+
+  // Inserts `entry` into a node at level `target_level` under `page`.
+  // `ctx` may be null (plain Guttman behaviour, used by delete-time
+  // reinsertion).
+  Result<InsertOutcome> InsertRec(storage::PageId page, const Entry& entry,
+                                  uint16_t target_level, InsertContext* ctx);
+
+  // Runs InsertRec from the root and grows the tree if the root splits.
+  Status InsertAtLevel(const Entry& entry, uint16_t target_level,
+                       InsertContext* ctx);
+
+  // Picks the child slot of `node` to descend into for `rect` (Guttman
+  // least-enlargement, or R* overlap-minimization when the children are
+  // leaves).
+  size_t ChooseSubtree(const Node& node, const geom::Rect& rect) const;
+
+  // Splits an overfull entry set, keeps group A in `page`, allocates a page
+  // for group B, and returns the sibling entry (B's MBR + page id).
+  Result<Entry> WriteSplit(storage::PageId page, uint16_t level,
+                           const std::vector<Entry>& entries);
+
+  // Writes `node` into `page`.
+  Status WriteNode(storage::PageId page, const Node& node);
+
+  // Result of a recursive delete.
+  struct DeleteOutcome {
+    bool found = false;
+    geom::Rect mbr;        // Node MBR after deletion.
+    bool underflow = false;  // Node fell below min fill and was dissolved.
+  };
+
+  Result<DeleteOutcome> DeleteRec(storage::PageId page,
+                                  const geom::Rect& rect, ObjectId id,
+                                  bool is_root, std::vector<Orphan>* orphans);
+
+  Status SearchRec(storage::PageId page, const geom::Rect& query,
+                   std::vector<ObjectId>* out, QueryStats* stats) const;
+
+  storage::BufferPool* pool_;
+  RTreeConfig config_;
+  storage::PageId root_;
+  uint16_t height_;
+};
+
+}  // namespace rtb::rtree
+
+#endif  // RTB_RTREE_RTREE_H_

@@ -1,0 +1,293 @@
+#include "rtree/split.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "geom/rect.h"
+#include "util/macros.h"
+
+namespace rtb::rtree {
+namespace {
+
+using geom::Rect;
+using geom::Union;
+
+// Mutable split state shared by both heuristics' distribution phase.
+struct Groups {
+  std::vector<Entry> a;
+  std::vector<Entry> b;
+  Rect mbr_a = Rect::Empty();
+  Rect mbr_b = Rect::Empty();
+
+  void AddToA(const Entry& e) {
+    a.push_back(e);
+    mbr_a = Union(mbr_a, e.rect);
+  }
+  void AddToB(const Entry& e) {
+    b.push_back(e);
+    mbr_b = Union(mbr_b, e.rect);
+  }
+};
+
+// True when every remaining entry must go to one group to reach the minimum
+// fill. `remaining` counts unassigned entries.
+bool MustFill(size_t group_size, size_t remaining, uint32_t min_entries) {
+  return group_size + remaining <= min_entries;
+}
+
+}  // namespace
+
+SplitResult QuadraticSplit(const std::vector<Entry>& entries,
+                           const RTreeConfig& config) {
+  RTB_CHECK(entries.size() >= 2);
+  const size_t n = entries.size();
+
+  // PickSeeds: the pair (i, j) maximizing the dead area of their union.
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double waste = Union(entries[i].rect, entries[j].rect).Area() -
+                     entries[i].rect.Area() - entries[j].rect.Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  Groups g;
+  g.AddToA(entries[seed_a]);
+  g.AddToB(entries[seed_b]);
+
+  std::vector<bool> assigned(n, false);
+  assigned[seed_a] = assigned[seed_b] = true;
+  size_t remaining = n - 2;
+
+  while (remaining > 0) {
+    if (MustFill(g.a.size(), remaining, config.min_entries)) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) g.AddToA(entries[i]);
+      }
+      remaining = 0;
+      break;
+    }
+    if (MustFill(g.b.size(), remaining, config.min_entries)) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) g.AddToB(entries[i]);
+      }
+      remaining = 0;
+      break;
+    }
+
+    // PickNext: unassigned entry with the greatest |d1 - d2| where d1/d2 are
+    // the enlargements of the two group MBRs.
+    size_t next = n;
+    double best_diff = -1.0;
+    double next_d1 = 0.0, next_d2 = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (assigned[i]) continue;
+      double d1 = geom::Enlargement(g.mbr_a, entries[i].rect);
+      double d2 = geom::Enlargement(g.mbr_b, entries[i].rect);
+      double diff = std::abs(d1 - d2);
+      if (diff > best_diff) {
+        best_diff = diff;
+        next = i;
+        next_d1 = d1;
+        next_d2 = d2;
+      }
+    }
+    RTB_DCHECK(next < n);
+
+    bool to_a;
+    if (next_d1 != next_d2) {
+      to_a = next_d1 < next_d2;
+    } else if (g.mbr_a.Area() != g.mbr_b.Area()) {
+      to_a = g.mbr_a.Area() < g.mbr_b.Area();
+    } else {
+      to_a = g.a.size() <= g.b.size();
+    }
+    if (to_a) {
+      g.AddToA(entries[next]);
+    } else {
+      g.AddToB(entries[next]);
+    }
+    assigned[next] = true;
+    --remaining;
+  }
+
+  return SplitResult{std::move(g.a), std::move(g.b)};
+}
+
+SplitResult LinearSplit(const std::vector<Entry>& entries,
+                        const RTreeConfig& config) {
+  RTB_CHECK(entries.size() >= 2);
+  const size_t n = entries.size();
+
+  // LinearPickSeeds: per dimension, find the entry with the highest low side
+  // and the one with the lowest high side; normalize their separation by the
+  // extent of the whole set along that dimension.
+  double best_sep = -std::numeric_limits<double>::infinity();
+  size_t seed_a = 0, seed_b = 1;
+  for (int dim = 0; dim < 2; ++dim) {
+    auto lo_of = [dim](const Entry& e) {
+      return dim == 0 ? e.rect.lo.x : e.rect.lo.y;
+    };
+    auto hi_of = [dim](const Entry& e) {
+      return dim == 0 ? e.rect.hi.x : e.rect.hi.y;
+    };
+    size_t highest_lo = 0, lowest_hi = 0;
+    double min_lo = lo_of(entries[0]), max_hi = hi_of(entries[0]);
+    for (size_t i = 1; i < n; ++i) {
+      if (lo_of(entries[i]) > lo_of(entries[highest_lo])) highest_lo = i;
+      if (hi_of(entries[i]) < hi_of(entries[lowest_hi])) lowest_hi = i;
+      min_lo = std::min(min_lo, lo_of(entries[i]));
+      max_hi = std::max(max_hi, hi_of(entries[i]));
+    }
+    if (highest_lo == lowest_hi) continue;  // Degenerate along this axis.
+    double extent = max_hi - min_lo;
+    double sep = lo_of(entries[highest_lo]) - hi_of(entries[lowest_hi]);
+    double norm = extent > 0.0 ? sep / extent : sep;
+    if (norm > best_sep) {
+      best_sep = norm;
+      seed_a = lowest_hi;
+      seed_b = highest_lo;
+    }
+  }
+  if (seed_a == seed_b) seed_b = (seed_a + 1) % n;
+
+  Groups g;
+  g.AddToA(entries[seed_a]);
+  g.AddToB(entries[seed_b]);
+
+  size_t remaining = n - 2;
+  for (size_t i = 0; i < n; ++i) {
+    if (i == seed_a || i == seed_b) continue;
+    if (MustFill(g.a.size(), remaining, config.min_entries)) {
+      g.AddToA(entries[i]);
+      --remaining;
+      continue;
+    }
+    if (MustFill(g.b.size(), remaining, config.min_entries)) {
+      g.AddToB(entries[i]);
+      --remaining;
+      continue;
+    }
+    double d1 = geom::Enlargement(g.mbr_a, entries[i].rect);
+    double d2 = geom::Enlargement(g.mbr_b, entries[i].rect);
+    bool to_a;
+    if (d1 != d2) {
+      to_a = d1 < d2;
+    } else if (g.mbr_a.Area() != g.mbr_b.Area()) {
+      to_a = g.mbr_a.Area() < g.mbr_b.Area();
+    } else {
+      to_a = g.a.size() <= g.b.size();
+    }
+    if (to_a) {
+      g.AddToA(entries[i]);
+    } else {
+      g.AddToB(entries[i]);
+    }
+    --remaining;
+  }
+
+  return SplitResult{std::move(g.a), std::move(g.b)};
+}
+
+SplitResult RStarSplit(const std::vector<Entry>& entries,
+                       const RTreeConfig& config) {
+  RTB_CHECK(entries.size() >= 2);
+  const size_t n = entries.size();
+  const size_t m = std::min<size_t>(config.min_entries, n / 2);
+  RTB_CHECK(m >= 1 || n == 2);
+  const size_t min_group = std::max<size_t>(m, 1);
+
+  // For each axis, two sort orders (by lo and by hi); evaluate every split
+  // position k in [min_group, n - min_group] on both orders.
+  struct Candidate {
+    std::vector<Entry> sorted;
+    size_t split_at = 0;
+    double overlap = 0.0;
+    double area = 0.0;
+  };
+
+  double best_axis_perimeter[2] = {0.0, 0.0};
+  Candidate best_candidate[2];  // Best distribution per axis.
+
+  for (int axis = 0; axis < 2; ++axis) {
+    double axis_perimeter = 0.0;
+    Candidate axis_best;
+    bool axis_has_best = false;
+    for (int by_hi = 0; by_hi < 2; ++by_hi) {
+      std::vector<Entry> sorted = entries;
+      std::stable_sort(sorted.begin(), sorted.end(),
+                       [axis, by_hi](const Entry& a, const Entry& b) {
+                         double ka = axis == 0
+                                         ? (by_hi ? a.rect.hi.x : a.rect.lo.x)
+                                         : (by_hi ? a.rect.hi.y : a.rect.lo.y);
+                         double kb = axis == 0
+                                         ? (by_hi ? b.rect.hi.x : b.rect.lo.x)
+                                         : (by_hi ? b.rect.hi.y : b.rect.lo.y);
+                         return ka < kb;
+                       });
+      // Prefix/suffix MBRs for O(n) evaluation of all distributions.
+      std::vector<Rect> prefix(n), suffix(n);
+      prefix[0] = sorted[0].rect;
+      for (size_t i = 1; i < n; ++i) {
+        prefix[i] = Union(prefix[i - 1], sorted[i].rect);
+      }
+      suffix[n - 1] = sorted[n - 1].rect;
+      for (size_t i = n - 1; i > 0; --i) {
+        suffix[i - 1] = Union(suffix[i], sorted[i - 1].rect);
+      }
+      for (size_t k = min_group; k + min_group <= n; ++k) {
+        const Rect& a = prefix[k - 1];
+        const Rect& b = suffix[k];
+        axis_perimeter += a.Perimeter() + b.Perimeter();
+        double overlap = geom::Intersection(a, b).Area();
+        double area = a.Area() + b.Area();
+        if (!axis_has_best || overlap < axis_best.overlap ||
+            (overlap == axis_best.overlap && area < axis_best.area)) {
+          axis_best.sorted = sorted;
+          axis_best.split_at = k;
+          axis_best.overlap = overlap;
+          axis_best.area = area;
+          axis_has_best = true;
+        }
+      }
+    }
+    best_axis_perimeter[axis] = axis_perimeter;
+    best_candidate[axis] = std::move(axis_best);
+  }
+
+  const int axis =
+      best_axis_perimeter[0] <= best_axis_perimeter[1] ? 0 : 1;
+  Candidate& chosen = best_candidate[axis];
+  SplitResult result;
+  result.group_a.assign(chosen.sorted.begin(),
+                        chosen.sorted.begin() +
+                            static_cast<ptrdiff_t>(chosen.split_at));
+  result.group_b.assign(chosen.sorted.begin() +
+                            static_cast<ptrdiff_t>(chosen.split_at),
+                        chosen.sorted.end());
+  return result;
+}
+
+SplitResult SplitEntries(const std::vector<Entry>& entries,
+                         const RTreeConfig& config) {
+  switch (config.split_policy) {
+    case SplitPolicy::kQuadratic:
+      return QuadraticSplit(entries, config);
+    case SplitPolicy::kLinear:
+      return LinearSplit(entries, config);
+    case SplitPolicy::kRStar:
+      return RStarSplit(entries, config);
+  }
+  RTB_CHECK(false);
+  return SplitResult{};
+}
+
+}  // namespace rtb::rtree

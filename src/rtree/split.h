@@ -1,0 +1,54 @@
+// Guttman node-splitting heuristics (SIGMOD 1984).
+//
+// The paper's TAT loader "inserts one tuple at a time into the R-tree using
+// the quadratic split heuristic of Guttman" (Section 2.2). The linear
+// heuristic is included for the split-policy ablation bench.
+
+#ifndef RTB_RTREE_SPLIT_H_
+#define RTB_RTREE_SPLIT_H_
+
+#include <vector>
+
+#include "rtree/config.h"
+#include "rtree/node.h"
+
+namespace rtb::rtree {
+
+/// Outcome of splitting an overfull entry set into two groups.
+struct SplitResult {
+  std::vector<Entry> group_a;
+  std::vector<Entry> group_b;
+};
+
+/// Guttman's quadratic split: seed with the pair wasting the most area, then
+/// repeatedly assign the entry with the largest preference difference to the
+/// group whose MBR it enlarges least (ties: smaller area, then fewer
+/// entries). Honors `min_entries` by force-assigning remaining entries when
+/// one group would otherwise starve.
+///
+/// Requires entries.size() >= 2 and entries.size() > config.max_entries is
+/// the usual call context (an overflowing node), though any size works.
+SplitResult QuadraticSplit(const std::vector<Entry>& entries,
+                           const RTreeConfig& config);
+
+/// Guttman's linear split: seeds are the pair with the greatest normalized
+/// separation along any dimension; remaining entries are assigned by least
+/// enlargement in input order.
+SplitResult LinearSplit(const std::vector<Entry>& entries,
+                        const RTreeConfig& config);
+
+/// The R*-tree split (Beckmann et al. 1990): choose the split axis
+/// minimizing the summed perimeters over all valid distributions of the
+/// lo/hi-sorted entries, then the distribution along that axis minimizing
+/// group overlap (ties: minimal total area). Both groups respect
+/// min_entries by construction.
+SplitResult RStarSplit(const std::vector<Entry>& entries,
+                       const RTreeConfig& config);
+
+/// Dispatches on config.split_policy.
+SplitResult SplitEntries(const std::vector<Entry>& entries,
+                         const RTreeConfig& config);
+
+}  // namespace rtb::rtree
+
+#endif  // RTB_RTREE_SPLIT_H_

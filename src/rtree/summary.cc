@@ -1,0 +1,87 @@
+#include "rtree/summary.h"
+
+#include <string>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace rtb::rtree {
+
+namespace {
+
+// Recursive preorder walk. `parent_index` is the index of the caller's
+// NodeInfo, kNoParent for the root.
+Status Walk(storage::PageStore* store, storage::PageId page,
+            uint32_t parent_index, std::vector<uint8_t>* scratch,
+            std::vector<NodeInfo>* nodes, uint64_t* num_data_entries) {
+  RTB_RETURN_IF_ERROR(store->Read(page, scratch->data()));
+  Result<Node> node = DeserializeNode(scratch->data(), store->page_size());
+  if (!node.ok()) return node.status();
+
+  NodeInfo info;
+  info.mbr = node->Mbr();
+  info.level = node->level;
+  info.page = page;
+  info.parent = parent_index;
+  info.num_entries = static_cast<uint32_t>(node->entries.size());
+  uint32_t my_index = static_cast<uint32_t>(nodes->size());
+  nodes->push_back(info);
+
+  if (node->is_leaf()) {
+    *num_data_entries += node->entries.size();
+    return Status::OK();
+  }
+  // Copy child ids before recursing (scratch is reused).
+  std::vector<storage::PageId> children;
+  children.reserve(node->entries.size());
+  for (const Entry& e : node->entries) {
+    children.push_back(static_cast<storage::PageId>(e.id));
+  }
+  for (storage::PageId child : children) {
+    RTB_RETURN_IF_ERROR(
+        Walk(store, child, my_index, scratch, nodes, num_data_entries));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TreeSummary> TreeSummary::Extract(storage::PageStore* store,
+                                         storage::PageId root) {
+  TreeSummary summary;
+  std::vector<uint8_t> scratch(store->page_size());
+  RTB_RETURN_IF_ERROR(Walk(store, root, kNoParent, &scratch, &summary.nodes_,
+                           &summary.num_data_entries_));
+  RTB_CHECK(!summary.nodes_.empty());
+  summary.height_ = static_cast<uint16_t>(summary.nodes_[0].level + 1);
+  summary.level_counts_.assign(summary.height_, 0);
+  for (const NodeInfo& info : summary.nodes_) {
+    if (info.level >= summary.height_) {
+      return Status::Corruption("node level " + std::to_string(info.level) +
+                                " exceeds root level");
+    }
+    ++summary.level_counts_[info.level];
+    summary.total_area_ += info.mbr.Area();
+    summary.total_x_extent_ += info.mbr.XExtent();
+    summary.total_y_extent_ += info.mbr.YExtent();
+  }
+  return summary;
+}
+
+uint64_t TreeSummary::PagesInTopLevels(uint16_t levels) const {
+  uint64_t total = 0;
+  for (uint16_t paper_level = 0; paper_level < levels && paper_level < height_;
+       ++paper_level) {
+    total += NodesAtPaperLevel(paper_level);
+  }
+  return total;
+}
+
+double TreeSummary::MeanEntriesPerNode() const {
+  if (nodes_.empty()) return 0.0;
+  uint64_t total = 0;
+  for (const NodeInfo& info : nodes_) total += info.num_entries;
+  return static_cast<double>(total) / static_cast<double>(nodes_.size());
+}
+
+}  // namespace rtb::rtree

@@ -1,0 +1,97 @@
+// TreeSummary: the "list of the MBRs for all nodes at all levels" that both
+// the paper's analytical model and its simulator take as input (Sections 3
+// and 4), extracted from a real tree.
+//
+// Nodes are recorded in preorder (root first, then each subtree depth-first)
+// so that iterating the node array and keeping only the nodes whose MBR
+// intersects a query reproduces the exact page-request order of a recursive
+// R-tree traversal.
+
+#ifndef RTB_RTREE_SUMMARY_H_
+#define RTB_RTREE_SUMMARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/rect.h"
+#include "rtree/node.h"
+#include "storage/page_store.h"
+#include "util/result.h"
+
+namespace rtb::rtree {
+
+/// Sentinel parent index for the root node.
+inline constexpr uint32_t kNoParent = 0xFFFFFFFFu;
+
+/// Geometry and position of one node.
+struct NodeInfo {
+  geom::Rect mbr;
+  uint16_t level = 0;  // Leaf = 0, increasing toward the root.
+  storage::PageId page = storage::kInvalidPageId;
+  uint32_t parent = kNoParent;  // Index into TreeSummary::nodes().
+  uint32_t num_entries = 0;
+};
+
+/// Immutable geometric snapshot of a tree.
+class TreeSummary {
+ public:
+  /// Walks the tree rooted at `root` inside `store`. Reads pages directly
+  /// from the store (counted there; callers reset stats when extraction
+  /// should not appear in experiment counters).
+  static Result<TreeSummary> Extract(storage::PageStore* store,
+                                     storage::PageId root);
+
+  const std::vector<NodeInfo>& nodes() const { return nodes_; }
+
+  /// Number of levels (a lone leaf-root gives 1).
+  uint16_t height() const { return height_; }
+
+  /// M: total number of nodes.
+  size_t NumNodes() const { return nodes_.size(); }
+
+  /// Number of nodes at internal level `level` (leaf = 0).
+  uint32_t NodesAtLevel(uint16_t level) const {
+    return level < level_counts_.size() ? level_counts_[level] : 0;
+  }
+
+  /// Number of nodes at the paper's level numbering (0 = root, height-1 =
+  /// leaves).
+  uint32_t NodesAtPaperLevel(uint16_t paper_level) const {
+    if (paper_level >= height_) return 0;
+    return NodesAtLevel(static_cast<uint16_t>(height_ - 1 - paper_level));
+  }
+
+  /// A: sum of all node MBR areas.
+  double TotalArea() const { return total_area_; }
+
+  /// Lx: sum of all MBR x-extents.
+  double TotalXExtent() const { return total_x_extent_; }
+
+  /// Ly: sum of all MBR y-extents.
+  double TotalYExtent() const { return total_y_extent_; }
+
+  /// Total number of leaf entries (data rectangles).
+  uint64_t NumDataEntries() const { return num_data_entries_; }
+
+  /// Number of pages occupied by the top `levels` levels of the tree (the
+  /// pages a "pin the top k levels" policy would pin). levels >= height
+  /// pins everything.
+  uint64_t PagesInTopLevels(uint16_t levels) const;
+
+  /// Average node fill (entries / max observed capacity is the caller's
+  /// business; this is the raw mean entry count).
+  double MeanEntriesPerNode() const;
+
+ private:
+  std::vector<NodeInfo> nodes_;
+  std::vector<uint32_t> level_counts_;
+  uint16_t height_ = 0;
+  double total_area_ = 0.0;
+  double total_x_extent_ = 0.0;
+  double total_y_extent_ = 0.0;
+  uint64_t num_data_entries_ = 0;
+};
+
+}  // namespace rtb::rtree
+
+#endif  // RTB_RTREE_SUMMARY_H_

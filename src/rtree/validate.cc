@@ -1,0 +1,106 @@
+#include "rtree/validate.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "geom/rect.h"
+#include "rtree/node.h"
+
+namespace rtb::rtree {
+namespace {
+
+struct Validator {
+  storage::PageStore* store;
+  const RTreeConfig* config;
+  const ValidateOptions* options;
+  ValidationReport* report;
+  std::unordered_set<storage::PageId> seen;
+  std::vector<uint8_t> scratch;
+
+  void Fail(std::string message) {
+    report->ok = false;
+    report->issues.push_back(std::move(message));
+  }
+
+  // Returns the node's actual MBR, or Empty on unrecoverable error.
+  geom::Rect Check(storage::PageId page, int expected_level, bool is_root) {
+    if (!seen.insert(page).second) {
+      Fail("page " + std::to_string(page) + " reachable twice");
+      return geom::Rect::Empty();
+    }
+    Status read = store->Read(page, scratch.data());
+    if (!read.ok()) {
+      Fail("page " + std::to_string(page) + ": " + read.ToString());
+      return geom::Rect::Empty();
+    }
+    Result<Node> node = DeserializeNode(scratch.data(), store->page_size());
+    if (!node.ok()) {
+      Fail("page " + std::to_string(page) + ": " + node.status().ToString());
+      return geom::Rect::Empty();
+    }
+    ++report->num_nodes;
+
+    if (expected_level >= 0 && node->level != expected_level) {
+      Fail("page " + std::to_string(page) + ": level " +
+           std::to_string(node->level) + ", expected " +
+           std::to_string(expected_level));
+    }
+    size_t count = node->entries.size();
+    if (count > config->max_entries) {
+      Fail("page " + std::to_string(page) + ": " + std::to_string(count) +
+           " entries exceeds max " + std::to_string(config->max_entries));
+    }
+    if (is_root) {
+      if (!node->is_leaf() && count < 2) {
+        Fail("internal root with fewer than 2 entries");
+      }
+    } else if (options->check_min_fill && count < config->min_entries) {
+      Fail("page " + std::to_string(page) + ": " + std::to_string(count) +
+           " entries below min " + std::to_string(config->min_entries));
+    } else if (count == 0) {
+      Fail("non-root page " + std::to_string(page) + " is empty");
+    }
+
+    if (node->is_leaf()) {
+      report->num_data_entries += count;
+      return node->Mbr();
+    }
+
+    // Validate children; scratch is reused inside recursion, so copy the
+    // entries first.
+    std::vector<Entry> entries = node->entries;
+    geom::Rect mbr = geom::Rect::Empty();
+    for (const Entry& e : entries) {
+      mbr = geom::Union(mbr, e.rect);
+      geom::Rect child_mbr = Check(static_cast<storage::PageId>(e.id),
+                                   node->level - 1, /*is_root=*/false);
+      if (child_mbr.is_empty()) continue;  // Error already reported.
+      if (options->require_tight_parents) {
+        if (!(e.rect == child_mbr)) {
+          Fail("page " + std::to_string(page) + ": entry for child " +
+               std::to_string(e.id) + " is not the child's exact MBR");
+        }
+      } else if (!e.rect.Contains(child_mbr)) {
+        Fail("page " + std::to_string(page) + ": entry for child " +
+             std::to_string(e.id) + " does not contain the child's MBR");
+      }
+    }
+    return mbr;
+  }
+};
+
+}  // namespace
+
+ValidationReport ValidateTree(storage::PageStore* store,
+                              storage::PageId root,
+                              const RTreeConfig& config,
+                              const ValidateOptions& options) {
+  ValidationReport report;
+  Validator validator{store, &config, &options, &report, {}, {}};
+  validator.scratch.resize(store->page_size());
+  validator.Check(root, /*expected_level=*/-1, /*is_root=*/true);
+  return report;
+}
+
+}  // namespace rtb::rtree

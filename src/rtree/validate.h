@@ -1,0 +1,53 @@
+// Structural validation of R-trees.
+//
+// Checks the invariants every correct R-tree must satisfy; the property
+// tests run this after random insert/delete workloads and after every bulk
+// load.
+
+#ifndef RTB_RTREE_VALIDATE_H_
+#define RTB_RTREE_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "rtree/config.h"
+#include "storage/page_store.h"
+#include "util/result.h"
+
+namespace rtb::rtree {
+
+/// Options controlling which invariants are enforced.
+struct ValidateOptions {
+  /// Enforce the Guttman minimum fill on non-root nodes. Packed trees
+  /// legitimately leave one underfull node per level (the last group), so
+  /// bulk-load validation disables this.
+  bool check_min_fill = true;
+
+  /// Require parent entry rectangles to equal the child MBR exactly (they
+  /// are computed identically, so exact equality is expected); when false
+  /// only containment is required.
+  bool require_tight_parents = true;
+};
+
+/// Result of a validation pass.
+struct ValidationReport {
+  bool ok = true;
+  uint64_t num_nodes = 0;
+  uint64_t num_data_entries = 0;
+  std::vector<std::string> issues;
+};
+
+/// Walks the tree rooted at `root` and checks:
+///  - every node decodes and has level = parent level - 1 (leaves at 0);
+///  - entry counts are within [min_entries, max_entries] per options
+///    (the root may hold as few as 1 entry, or 0 for an empty tree);
+///  - each parent entry rectangle bounds (or exactly equals) the child MBR;
+///  - no page is reachable twice (no aliasing).
+ValidationReport ValidateTree(storage::PageStore* store,
+                              storage::PageId root,
+                              const RTreeConfig& config,
+                              const ValidateOptions& options = {});
+
+}  // namespace rtb::rtree
+
+#endif  // RTB_RTREE_VALIDATE_H_

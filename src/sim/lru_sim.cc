@@ -1,0 +1,144 @@
+#include "sim/lru_sim.h"
+
+#include <string>
+
+#include "util/macros.h"
+
+namespace rtb::sim {
+
+MbrListSimulator::MbrListSimulator(const rtree::TreeSummary* summary,
+                                   SimOptions options)
+    : summary_(summary), options_(options) {
+  RTB_CHECK(summary_ != nullptr && summary_->NumNodes() > 0);
+  const auto& nodes = summary_->nodes();
+
+  children_.resize(nodes.size());
+  for (uint32_t j = 1; j < nodes.size(); ++j) {
+    RTB_CHECK(nodes[j].parent != rtree::kNoParent &&
+              nodes[j].parent < nodes.size());
+    children_[nodes[j].parent].push_back(j);
+  }
+
+  pinned_.assign(nodes.size(), false);
+  pinned_pages_ = summary_->PagesInTopLevels(options_.pinned_levels);
+  if (pinned_pages_ > options_.buffer_pages) {
+    feasible_ = false;
+    return;
+  }
+  if (options_.pinned_levels > 0) {
+    const int min_pinned_level =
+        static_cast<int>(summary_->height()) - options_.pinned_levels;
+    for (uint32_t j = 0; j < nodes.size(); ++j) {
+      if (static_cast<int>(nodes[j].level) >= min_pinned_level) {
+        pinned_[j] = true;
+      }
+    }
+  }
+  effective_buffer_ = options_.buffer_pages - pinned_pages_;
+}
+
+void MbrListSimulator::ResetBuffer() {
+  lru_list_.clear();
+  lru_map_.clear();
+}
+
+void MbrListSimulator::Touch(uint32_t node_index, uint64_t* disk_accesses) {
+  if (pinned_[node_index]) return;  // Always buffer-resident.
+  auto it = lru_map_.find(node_index);
+  if (it != lru_map_.end()) {
+    // Hit: move to MRU position.
+    lru_list_.splice(lru_list_.begin(), lru_list_, it->second);
+    return;
+  }
+  ++*disk_accesses;
+  if (effective_buffer_ == 0) return;  // No frames: miss every time.
+  lru_list_.push_front(node_index);
+  lru_map_[node_index] = lru_list_.begin();
+  if (lru_map_.size() > effective_buffer_) {
+    uint32_t victim = lru_list_.back();
+    lru_list_.pop_back();
+    lru_map_.erase(victim);
+  }
+}
+
+void MbrListSimulator::Visit(uint32_t node_index, const geom::Rect& query,
+                             uint64_t* disk_accesses,
+                             uint64_t* node_accesses) {
+  if (node_accesses != nullptr) ++*node_accesses;
+  Touch(node_index, disk_accesses);
+  const auto& nodes = summary_->nodes();
+  for (uint32_t child : children_[node_index]) {
+    if (nodes[child].mbr.Intersects(query)) {
+      Visit(child, query, disk_accesses, node_accesses);
+    }
+  }
+}
+
+uint64_t MbrListSimulator::ExecuteQuery(const geom::Rect& query,
+                                        uint64_t* node_accesses) {
+  uint64_t disk_accesses = 0;
+  const bool root_matches = summary_->nodes()[0].mbr.Intersects(query);
+  if (root_matches) {
+    Visit(0, query, &disk_accesses, node_accesses);
+  } else if (options_.always_access_root) {
+    if (node_accesses != nullptr) ++*node_accesses;
+    Touch(0, &disk_accesses);
+  }
+  return disk_accesses;
+}
+
+Result<SimResult> MbrListSimulator::Run(QueryGenerator* gen, Rng* rng,
+                                        uint32_t num_batches,
+                                        uint64_t batch_size) {
+  if (!feasible_) {
+    return Status::InvalidArgument(
+        "pinned levels need " + std::to_string(pinned_pages_) +
+        " pages but the buffer holds only " +
+        std::to_string(options_.buffer_pages));
+  }
+  if (num_batches == 0 || batch_size == 0) {
+    return Status::InvalidArgument("need at least one batch and one query");
+  }
+
+  SimResult result;
+
+  // Warm-up.
+  if (options_.warmup_queries > 0) {
+    for (uint64_t i = 0; i < options_.warmup_queries; ++i) {
+      ExecuteQuery(gen->Next(*rng), nullptr);
+    }
+    result.warmup_used = options_.warmup_queries;
+  } else {
+    // Automatic: until the buffer fills (paper's steady-state criterion) or
+    // a long miss-free streak shows everything reachable is cached.
+    uint64_t streak = 0;
+    const uint64_t kStreakTarget = 1000;
+    uint64_t used = 0;
+    while (used < options_.max_auto_warmup && !BufferFull() &&
+           streak < kStreakTarget) {
+      uint64_t misses = ExecuteQuery(gen->Next(*rng), nullptr);
+      streak = misses == 0 ? streak + 1 : 0;
+      ++used;
+    }
+    result.warmup_used = used;
+  }
+
+  uint64_t total_node_accesses = 0;
+  for (uint32_t b = 0; b < num_batches; ++b) {
+    uint64_t batch_disk = 0;
+    for (uint64_t q = 0; q < batch_size; ++q) {
+      batch_disk += ExecuteQuery(gen->Next(*rng), &total_node_accesses);
+    }
+    result.disk_access_batches.AddBatch(static_cast<double>(batch_disk) /
+                                        static_cast<double>(batch_size));
+  }
+  result.queries_measured = static_cast<uint64_t>(num_batches) * batch_size;
+  result.mean_disk_accesses = result.disk_access_batches.Mean();
+  result.mean_node_accesses =
+      static_cast<double>(total_node_accesses) /
+      static_cast<double>(result.queries_measured);
+  result.ci_halfwidth_90 = result.disk_access_batches.HalfWidth(0.90);
+  return result;
+}
+
+}  // namespace rtb::sim

@@ -1,0 +1,110 @@
+// MbrListSimulator: the paper's validation simulator (Section 4).
+//
+// "The simulation models an LRU buffer and, like the model, takes as input
+// the list of the MBRs for all nodes at all levels. It then generates random
+// ... queries ... and checks each node's MBR [for intersection]. If the MBR
+// does [intersect], the node is requested from the buffer pool."
+//
+// The simulator walks the real tree structure (children of pruned nodes are
+// never touched — for a consistent R-tree the visited set is identical to
+// the MBR filter the paper describes, but the walk issues requests in true
+// depth-first traversal order and costs O(visited) instead of O(M) per
+// query). Note one paper fidelity detail: the root is requested only when
+// its MBR matches the query; a production R-tree always reads the root.
+// `SimOptions::always_access_root` toggles the production behaviour for
+// cross-checking against real query execution.
+
+#ifndef RTB_SIM_LRU_SIM_H_
+#define RTB_SIM_LRU_SIM_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/rect.h"
+#include "rtree/summary.h"
+#include "sim/query_gen.h"
+#include "util/batch_stats.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace rtb::sim {
+
+/// Simulation parameters.
+struct SimOptions {
+  uint64_t buffer_pages = 100;
+
+  /// Pin the top `pinned_levels` levels of the tree: those pages never cost
+  /// a disk access and reduce the buffer available to the rest.
+  uint16_t pinned_levels = 0;
+
+  /// When true, every query requests the root even if its MBR misses the
+  /// query (what a real R-tree does). Default false = paper behaviour.
+  bool always_access_root = false;
+
+  /// Queries executed before measurement starts. 0 = automatic: run until
+  /// the buffer fills (the paper's steady-state criterion), until a miss-
+  /// free streak indicates everything reachable is cached, or until the
+  /// warm-up cap.
+  uint64_t warmup_queries = 0;
+
+  /// Upper bound on automatic warm-up.
+  uint64_t max_auto_warmup = 500000;
+};
+
+/// Aggregate results of a simulation run.
+struct SimResult {
+  double mean_disk_accesses = 0.0;  // Per query, measured after warm-up.
+  double mean_node_accesses = 0.0;  // Buffer-independent metric.
+  double ci_halfwidth_90 = 0.0;     // On mean_disk_accesses.
+  uint64_t queries_measured = 0;
+  uint64_t warmup_used = 0;
+  BatchMeans disk_access_batches;
+};
+
+/// LRU buffer simulation over a TreeSummary.
+class MbrListSimulator {
+ public:
+  /// `summary` must outlive the simulator.
+  MbrListSimulator(const rtree::TreeSummary* summary, SimOptions options);
+
+  /// Runs `num_batches` x `batch_size` measured queries (after warm-up),
+  /// drawing queries from `gen`. Returns InvalidArgument when the pinned
+  /// levels do not fit in the buffer.
+  Result<SimResult> Run(QueryGenerator* gen, Rng* rng, uint32_t num_batches,
+                        uint64_t batch_size);
+
+  /// Executes one query against the current buffer state; returns the
+  /// number of disk accesses it caused. `node_accesses`, when non-null, is
+  /// incremented per node visited. Exposed for tests.
+  uint64_t ExecuteQuery(const geom::Rect& query, uint64_t* node_accesses);
+
+  /// Buffer currently full? (Excludes pinned pages.)
+  bool BufferFull() const { return lru_map_.size() >= effective_buffer_; }
+
+  /// Resets the buffer to empty (pinned pages stay pinned).
+  void ResetBuffer();
+
+  uint64_t pinned_pages() const { return pinned_pages_; }
+
+ private:
+  void Touch(uint32_t node_index, uint64_t* disk_accesses);
+  void Visit(uint32_t node_index, const geom::Rect& query,
+             uint64_t* disk_accesses, uint64_t* node_accesses);
+
+  const rtree::TreeSummary* summary_;
+  SimOptions options_;
+  uint64_t effective_buffer_ = 0;
+  uint64_t pinned_pages_ = 0;
+  bool feasible_ = true;
+  std::vector<bool> pinned_;                  // Per node index.
+  std::vector<std::vector<uint32_t>> children_;
+  // LRU state: list front = most recent; map node index -> list position.
+  std::list<uint32_t> lru_list_;
+  std::unordered_map<uint32_t, std::list<uint32_t>::iterator> lru_map_;
+};
+
+}  // namespace rtb::sim
+
+#endif  // RTB_SIM_LRU_SIM_H_

@@ -1,0 +1,110 @@
+// D-dimensional LRU buffer simulation, mirroring sim/lru_sim.h for the
+// NdTreeSummary skeletons of model/ndim.h. Used to validate the
+// higher-dimensional generalization of the buffer model the same way
+// Section 4 validates the 2-D case.
+
+#ifndef RTB_SIM_ND_SIM_H_
+#define RTB_SIM_ND_SIM_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/boxnd.h"
+#include "model/ndim.h"
+#include "util/macros.h"
+#include "util/rng.h"
+
+namespace rtb::sim {
+
+/// Uniform D-dimensional region query whose upper corner is uniform over
+/// prod_d [q_d, 1] (point query when all extents are zero).
+template <size_t D>
+geom::BoxNd<D> NextUniformQueryNd(const std::array<double, D>& q, Rng* rng) {
+  geom::BoxNd<D> box;
+  for (size_t d = 0; d < D; ++d) {
+    RTB_DCHECK(q[d] >= 0.0 && q[d] < 1.0);
+    double corner = rng->Uniform(q[d], 1.0);
+    box.lo[d] = corner - q[d];
+    box.hi[d] = corner;
+  }
+  return box;
+}
+
+/// LRU simulation over an Nd tree skeleton (paper Section 4, generalized).
+/// Pruned subtrees are never visited; the root is requested only when its
+/// MBR matches the query (the paper's convention).
+template <size_t D>
+class NdMbrListSimulator {
+ public:
+  NdMbrListSimulator(const model::NdTreeSummary<D>* summary,
+                     uint64_t buffer_pages)
+      : summary_(summary), buffer_pages_(buffer_pages) {
+    RTB_CHECK(summary_ != nullptr && !summary_->nodes.empty());
+    children_.resize(summary_->nodes.size());
+    for (uint32_t j = 1; j < summary_->nodes.size(); ++j) {
+      RTB_CHECK(summary_->nodes[j].parent < j);
+      children_[summary_->nodes[j].parent].push_back(j);
+    }
+  }
+
+  /// Executes one query; returns its disk accesses.
+  uint64_t ExecuteQuery(const geom::BoxNd<D>& query) {
+    uint64_t disk = 0;
+    if (summary_->nodes[0].mbr.Intersects(query)) {
+      Visit(0, query, &disk);
+    }
+    return disk;
+  }
+
+  /// Mean disk accesses over `queries` uniform queries of extent `q`,
+  /// measured after `warmup` queries.
+  double Run(const std::array<double, D>& q, uint64_t warmup,
+             uint64_t queries, Rng* rng) {
+    for (uint64_t i = 0; i < warmup; ++i) {
+      ExecuteQuery(NextUniformQueryNd<D>(q, rng));
+    }
+    uint64_t disk = 0;
+    for (uint64_t i = 0; i < queries; ++i) {
+      disk += ExecuteQuery(NextUniformQueryNd<D>(q, rng));
+    }
+    return static_cast<double>(disk) / static_cast<double>(queries);
+  }
+
+ private:
+  void Touch(uint32_t node, uint64_t* disk) {
+    auto it = lru_map_.find(node);
+    if (it != lru_map_.end()) {
+      lru_list_.splice(lru_list_.begin(), lru_list_, it->second);
+      return;
+    }
+    ++*disk;
+    if (buffer_pages_ == 0) return;
+    lru_list_.push_front(node);
+    lru_map_[node] = lru_list_.begin();
+    if (lru_map_.size() > buffer_pages_) {
+      lru_map_.erase(lru_list_.back());
+      lru_list_.pop_back();
+    }
+  }
+
+  void Visit(uint32_t node, const geom::BoxNd<D>& query, uint64_t* disk) {
+    Touch(node, disk);
+    for (uint32_t child : children_[node]) {
+      if (summary_->nodes[child].mbr.Intersects(query)) {
+        Visit(child, query, disk);
+      }
+    }
+  }
+
+  const model::NdTreeSummary<D>* summary_;
+  uint64_t buffer_pages_;
+  std::vector<std::vector<uint32_t>> children_;
+  std::list<uint32_t> lru_list_;
+  std::unordered_map<uint32_t, std::list<uint32_t>::iterator> lru_map_;
+};
+
+}  // namespace rtb::sim
+
+#endif  // RTB_SIM_ND_SIM_H_

@@ -1,0 +1,62 @@
+#include "sim/query_gen.h"
+
+#include "util/macros.h"
+
+namespace rtb::sim {
+
+using geom::Point;
+using geom::Rect;
+
+Rect UniformPointGenerator::Next(Rng& rng) {
+  return Rect::FromPoint(Point{rng.NextDouble(), rng.NextDouble()});
+}
+
+UniformRegionGenerator::UniformRegionGenerator(double qx, double qy)
+    : qx_(qx), qy_(qy) {
+  RTB_CHECK(qx >= 0.0 && qx < 1.0 && qy >= 0.0 && qy < 1.0);
+}
+
+Rect UniformRegionGenerator::Next(Rng& rng) {
+  // Top-right corner uniform over U' = [qx,1] x [qy,1].
+  double tr_x = rng.Uniform(qx_, 1.0);
+  double tr_y = rng.Uniform(qy_, 1.0);
+  return Rect(tr_x - qx_, tr_y - qy_, tr_x, tr_y);
+}
+
+DataDrivenGenerator::DataDrivenGenerator(const std::vector<Point>* centers,
+                                         double qx, double qy)
+    : centers_(centers), qx_(qx), qy_(qy) {
+  RTB_CHECK(centers_ != nullptr && !centers_->empty());
+  RTB_CHECK(qx >= 0.0 && qy >= 0.0);
+}
+
+Rect DataDrivenGenerator::Next(Rng& rng) {
+  const Point& c = (*centers_)[rng.UniformInt(centers_->size())];
+  return Rect(c.x - qx_ / 2.0, c.y - qy_ / 2.0, c.x + qx_ / 2.0,
+              c.y + qy_ / 2.0);
+}
+
+Result<std::unique_ptr<QueryGenerator>> MakeGenerator(
+    const model::QuerySpec& spec, const std::vector<Point>* centers) {
+  switch (spec.model) {
+    case model::QueryModel::kUniform:
+      if (spec.is_point()) {
+        return std::unique_ptr<QueryGenerator>(new UniformPointGenerator());
+      }
+      if (spec.qx >= 1.0 || spec.qy >= 1.0) {
+        return Status::InvalidArgument("region extents must be < 1");
+      }
+      return std::unique_ptr<QueryGenerator>(
+          new UniformRegionGenerator(spec.qx, spec.qy));
+    case model::QueryModel::kDataDriven:
+      if (centers == nullptr || centers->empty()) {
+        return Status::InvalidArgument(
+            "data-driven generator requires data centers");
+      }
+      return std::unique_ptr<QueryGenerator>(
+          new DataDrivenGenerator(centers, spec.qx, spec.qy));
+  }
+  return Status::InvalidArgument("unknown query model");
+}
+
+}  // namespace rtb::sim

@@ -1,0 +1,78 @@
+// Query generators matching the paper's workloads.
+//
+//  * Uniform point queries: a point uniform over the unit square.
+//  * Uniform region queries of size qx x qy whose top-right corner is
+//    uniform over U' = [qx,1] x [qy,1], so the query fits inside the unit
+//    square (Section 3.1, Fig. 3).
+//  * Data-driven queries: a qx x qy rectangle centered at a uniformly chosen
+//    data-rectangle center (Section 3.2); qx = qy = 0 gives data-driven
+//    point queries.
+
+#ifndef RTB_SIM_QUERY_GEN_H_
+#define RTB_SIM_QUERY_GEN_H_
+
+#include <memory>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "model/access_prob.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace rtb::sim {
+
+/// Produces a stream of query rectangles. Implementations are deterministic
+/// functions of the Rng stream.
+class QueryGenerator {
+ public:
+  virtual ~QueryGenerator() = default;
+
+  /// Draws the next query rectangle.
+  virtual geom::Rect Next(Rng& rng) = 0;
+};
+
+/// Uniform point queries over the unit square.
+class UniformPointGenerator final : public QueryGenerator {
+ public:
+  geom::Rect Next(Rng& rng) override;
+};
+
+/// Uniform qx x qy region queries contained in the unit square.
+class UniformRegionGenerator final : public QueryGenerator {
+ public:
+  /// Requires 0 <= qx < 1, 0 <= qy < 1 (qx = qy = 0 degenerates to points).
+  UniformRegionGenerator(double qx, double qy);
+
+  geom::Rect Next(Rng& rng) override;
+
+ private:
+  double qx_;
+  double qy_;
+};
+
+/// qx x qy queries centered at a uniformly chosen data center. The centers
+/// vector is referenced, not copied; it must outlive the generator.
+class DataDrivenGenerator final : public QueryGenerator {
+ public:
+  DataDrivenGenerator(const std::vector<geom::Point>* centers, double qx,
+                      double qy);
+
+  geom::Rect Next(Rng& rng) override;
+
+ private:
+  const std::vector<geom::Point>* centers_;
+  double qx_;
+  double qy_;
+};
+
+/// Builds the generator matching a model::QuerySpec so simulations and the
+/// analytical model describe the same workload. For data-driven specs,
+/// `centers` must be non-null and outlive the generator.
+Result<std::unique_ptr<QueryGenerator>> MakeGenerator(
+    const model::QuerySpec& spec,
+    const std::vector<geom::Point>* centers = nullptr);
+
+}  // namespace rtb::sim
+
+#endif  // RTB_SIM_QUERY_GEN_H_

@@ -1,0 +1,42 @@
+#include "sim/runner.h"
+
+#include <vector>
+
+namespace rtb::sim {
+
+Status PinTopLevels(storage::BufferPool* pool,
+                    const rtree::TreeSummary& summary, uint16_t levels) {
+  if (levels == 0) return Status::OK();
+  const int min_pinned_level = static_cast<int>(summary.height()) - levels;
+  for (const rtree::NodeInfo& node : summary.nodes()) {
+    if (static_cast<int>(node.level) >= min_pinned_level) {
+      RTB_RETURN_IF_ERROR(pool->PinPermanently(node.page));
+    }
+  }
+  return Status::OK();
+}
+
+Result<WorkloadResult> RunWorkload(rtree::RTree* tree,
+                                   storage::PageStore* store,
+                                   QueryGenerator* gen, Rng* rng,
+                                   uint64_t warmup, uint64_t queries) {
+  std::vector<rtree::ObjectId> sink;
+  for (uint64_t i = 0; i < warmup; ++i) {
+    sink.clear();
+    RTB_RETURN_IF_ERROR(tree->Search(gen->Next(*rng), &sink));
+  }
+
+  const uint64_t reads_before = store->stats().reads;
+  WorkloadResult result;
+  rtree::QueryStats stats;
+  for (uint64_t i = 0; i < queries; ++i) {
+    sink.clear();
+    RTB_RETURN_IF_ERROR(tree->Search(gen->Next(*rng), &sink, &stats));
+  }
+  result.queries = queries;
+  result.node_accesses = stats.nodes_accessed;
+  result.disk_accesses = store->stats().reads - reads_before;
+  return result;
+}
+
+}  // namespace rtb::sim

@@ -1,0 +1,54 @@
+// End-to-end workload runner: executes real R-tree queries through a real
+// buffer pool and reports actual disk accesses. Used to cross-validate the
+// MBR-list simulator and to run the replacement-policy ablations (the
+// analytical model only covers LRU).
+
+#ifndef RTB_SIM_RUNNER_H_
+#define RTB_SIM_RUNNER_H_
+
+#include <cstdint>
+
+#include "rtree/rtree.h"
+#include "rtree/summary.h"
+#include "sim/query_gen.h"
+#include "storage/buffer_pool.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace rtb::sim {
+
+/// Results of an end-to-end run.
+struct WorkloadResult {
+  uint64_t queries = 0;
+  uint64_t disk_accesses = 0;  // Store reads during the measured phase.
+  uint64_t node_accesses = 0;  // Logical node visits.
+
+  double MeanDiskAccesses() const {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(disk_accesses) /
+                              static_cast<double>(queries);
+  }
+  double MeanNodeAccesses() const {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(node_accesses) /
+                              static_cast<double>(queries);
+  }
+};
+
+/// Permanently pins the pages of the top `levels` levels of the tree
+/// described by `summary` into `pool`. Fails with ResourceExhausted when
+/// they do not fit.
+Status PinTopLevels(storage::BufferPool* pool,
+                    const rtree::TreeSummary& summary, uint16_t levels);
+
+/// Runs `warmup + queries` queries from `gen` against `tree`; only the last
+/// `queries` are measured. Disk accesses are taken from the tree's page
+/// store counters (reset around the measured phase).
+Result<WorkloadResult> RunWorkload(rtree::RTree* tree,
+                                   storage::PageStore* store,
+                                   QueryGenerator* gen, Rng* rng,
+                                   uint64_t warmup, uint64_t queries);
+
+}  // namespace rtb::sim
+
+#endif  // RTB_SIM_RUNNER_H_

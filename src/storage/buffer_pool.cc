@@ -1,0 +1,224 @@
+#include "storage/buffer_pool.h"
+
+#include <string>
+#include <utility>
+
+namespace rtb::storage {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_.page_id, dirty_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(PageStore* store, size_t capacity,
+                       std::unique_ptr<ReplacementPolicy> policy)
+    : store_(store),
+      capacity_(capacity),
+      policy_(std::move(policy)),
+      buffer_(capacity * store->page_size()),
+      frames_(capacity) {
+  RTB_CHECK(store_ != nullptr);
+  RTB_CHECK(capacity_ > 0);
+  RTB_CHECK(policy_ != nullptr);
+  free_frames_.reserve(capacity_);
+  // Hand out low frame ids first.
+  for (size_t f = capacity_; f > 0; --f) {
+    free_frames_.push_back(static_cast<FrameId>(f - 1));
+  }
+}
+
+std::unique_ptr<BufferPool> BufferPool::MakeLru(PageStore* store,
+                                                size_t capacity) {
+  return std::make_unique<BufferPool>(
+      store, capacity, std::make_unique<LruPolicy>(capacity));
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort writeback so a store outliving the pool sees final state.
+  (void)FlushAll();
+}
+
+Result<FrameId> BufferPool::AcquireFrame() {
+  if (!free_frames_.empty()) {
+    FrameId f = free_frames_.back();
+    free_frames_.pop_back();
+    return f;
+  }
+  FrameId victim;
+  if (!policy_->Evict(&victim)) {
+    return Status::ResourceExhausted(
+        "buffer pool full: all frames pinned (capacity " +
+        std::to_string(capacity_) + ")");
+  }
+  FrameMeta& meta = frames_[victim];
+  RTB_DCHECK(meta.in_use && meta.pin_count == 0 && !meta.permanent);
+  if (meta.dirty) {
+    Status write = store_->Write(meta.page_id, FrameData(victim));
+    if (!write.ok()) {
+      // Keep the victim resident and evictable (at MRU position) so the
+      // pool stays consistent; the dirty data is not lost and the caller
+      // can retry.
+      policy_->RecordAccess(victim);
+      policy_->SetEvictable(victim, true);
+      return write;
+    }
+    ++stats_.writebacks;
+  }
+  page_table_.erase(meta.page_id);
+  ++stats_.evictions;
+  meta = FrameMeta{};
+  return victim;
+}
+
+Result<FrameId> BufferPool::PinPage(PageId id) {
+  ++stats_.requests;
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    FrameId f = it->second;
+    FrameMeta& meta = frames_[f];
+    ++meta.pin_count;
+    policy_->RecordAccess(f);
+    if (meta.pin_count == 1 && !meta.permanent) {
+      policy_->SetEvictable(f, false);
+    }
+    return f;
+  }
+  ++stats_.misses;
+  RTB_ASSIGN_OR_RETURN(FrameId f, AcquireFrame());
+  Status read = store_->Read(id, FrameData(f));
+  if (!read.ok()) {
+    free_frames_.push_back(f);
+    return read;
+  }
+  FrameMeta& meta = frames_[f];
+  meta.page_id = id;
+  meta.pin_count = 1;
+  meta.permanent = false;
+  meta.dirty = false;
+  meta.in_use = true;
+  page_table_[id] = f;
+  policy_->RecordAccess(f);
+  policy_->SetEvictable(f, false);
+  return f;
+}
+
+Result<PageGuard> BufferPool::Fetch(PageId id) {
+  RTB_ASSIGN_OR_RETURN(FrameId f, PinPage(id));
+  return PageGuard(this, Frame{id, FrameData(f)}, /*mark_dirty=*/false);
+}
+
+Result<PageGuard> BufferPool::FetchMutable(PageId id) {
+  RTB_ASSIGN_OR_RETURN(FrameId f, PinPage(id));
+  return PageGuard(this, Frame{id, FrameData(f)}, /*mark_dirty=*/true);
+}
+
+Result<PageGuard> BufferPool::NewPage() {
+  RTB_ASSIGN_OR_RETURN(PageId id, store_->Allocate());
+  // The new page is zero-filled in the store; fetching it counts one read,
+  // which mirrors a real system formatting the page after allocation. Avoid
+  // that read by installing the page directly.
+  ++stats_.requests;
+  ++stats_.misses;
+  RTB_ASSIGN_OR_RETURN(FrameId f, AcquireFrame());
+  FrameMeta& meta = frames_[f];
+  meta.page_id = id;
+  meta.pin_count = 1;
+  meta.permanent = false;
+  meta.dirty = true;
+  meta.in_use = true;
+  std::fill(FrameData(f), FrameData(f) + page_size(), uint8_t{0});
+  page_table_[id] = f;
+  policy_->RecordAccess(f);
+  policy_->SetEvictable(f, false);
+  return PageGuard(this, Frame{id, FrameData(f)}, /*mark_dirty=*/true);
+}
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = page_table_.find(id);
+  RTB_CHECK(it != page_table_.end());
+  FrameMeta& meta = frames_[it->second];
+  RTB_CHECK(meta.pin_count > 0);
+  --meta.pin_count;
+  if (dirty) meta.dirty = true;
+  if (meta.pin_count == 0 && !meta.permanent) {
+    policy_->SetEvictable(it->second, true);
+  }
+}
+
+Status BufferPool::PinPermanently(PageId id) {
+  RTB_ASSIGN_OR_RETURN(FrameId f, PinPage(id));
+  FrameMeta& meta = frames_[f];
+  if (!meta.permanent) {
+    meta.permanent = true;
+    ++num_permanent_pins_;
+  }
+  // Drop the transient pin from PinPage; the permanent flag keeps the frame
+  // unevictable.
+  RTB_CHECK(meta.pin_count > 0);
+  --meta.pin_count;
+  return Status::OK();
+}
+
+Status BufferPool::UnpinPermanently(PageId id) {
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) {
+    return Status::NotFound("page " + std::to_string(id) + " not in pool");
+  }
+  FrameMeta& meta = frames_[it->second];
+  if (!meta.permanent) {
+    return Status::FailedPrecondition("page " + std::to_string(id) +
+                                      " is not permanently pinned");
+  }
+  meta.permanent = false;
+  --num_permanent_pins_;
+  if (meta.pin_count == 0) {
+    policy_->SetEvictable(it->second, true);
+  }
+  return Status::OK();
+}
+
+Status BufferPool::EvictAll() {
+  RTB_RETURN_IF_ERROR(FlushAll());
+  for (FrameId f = 0; f < frames_.size(); ++f) {
+    FrameMeta& meta = frames_[f];
+    if (!meta.in_use || meta.permanent) continue;
+    if (meta.pin_count > 0) {
+      return Status::FailedPrecondition(
+          "cannot evict page " + std::to_string(meta.page_id) +
+          ": still pinned");
+    }
+    policy_->Remove(f);
+    page_table_.erase(meta.page_id);
+    meta = FrameMeta{};
+    free_frames_.push_back(f);
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (FrameId f = 0; f < frames_.size(); ++f) {
+    FrameMeta& meta = frames_[f];
+    if (meta.in_use && meta.dirty) {
+      RTB_RETURN_IF_ERROR(store_->Write(meta.page_id, FrameData(f)));
+      ++stats_.writebacks;
+      meta.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rtb::storage

@@ -1,0 +1,171 @@
+// BufferPool: a fixed number of in-memory page frames in front of a
+// PageStore, with a pluggable replacement policy and support for pinning
+// pages permanently (used to pin the top levels of an R-tree, Section 3.3 /
+// 5.5 of the paper).
+//
+// The pool is single-threaded by design: the paper's workload is a serial
+// query stream, and keeping the pool lock-free makes the disk-access counts
+// exactly reproducible.
+
+#ifndef RTB_STORAGE_BUFFER_POOL_H_
+#define RTB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/page_store.h"
+#include "storage/replacement.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace rtb::storage {
+
+/// Hit/miss counters for a BufferPool.
+struct BufferStats {
+  uint64_t requests = 0;    // Logical page requests.
+  uint64_t hits = 0;        // Served from the pool.
+  uint64_t misses = 0;      // Required a disk read.
+  uint64_t evictions = 0;   // Pages pushed out.
+  uint64_t writebacks = 0;  // Dirty pages written on eviction/flush.
+
+  double HitRate() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(requests);
+  }
+};
+
+/// A page held in the pool. Returned by Fetch; the caller must Unpin it
+/// (directly or via PageGuard) when done.
+struct Frame {
+  PageId page_id = kInvalidPageId;
+  uint8_t* data = nullptr;
+};
+
+class BufferPool;
+
+/// RAII unpinning wrapper around a fetched frame.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, Frame frame, bool mark_dirty)
+      : pool_(pool), frame_(frame), dirty_(mark_dirty) {}
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+
+  ~PageGuard() { Release(); }
+
+  /// Unpins now (idempotent).
+  void Release();
+
+  PageId page_id() const { return frame_.page_id; }
+  const uint8_t* data() const { return frame_.data; }
+  uint8_t* mutable_data() {
+    dirty_ = true;
+    return frame_.data;
+  }
+  bool valid() const { return pool_ != nullptr; }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Frame frame_;
+  bool dirty_ = false;
+};
+
+/// Buffer pool of `capacity` frames over `store`.
+class BufferPool {
+ public:
+  /// The pool does not own `store`; it must outlive the pool.
+  BufferPool(PageStore* store, size_t capacity,
+             std::unique_ptr<ReplacementPolicy> policy);
+
+  /// Convenience: LRU pool, the paper's configuration.
+  static std::unique_ptr<BufferPool> MakeLru(PageStore* store,
+                                             size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  ~BufferPool();
+
+  size_t capacity() const { return capacity_; }
+  size_t page_size() const { return store_->page_size(); }
+
+  /// Fetches a page, reading from the store on a miss. The returned guard
+  /// keeps the page pinned until released.
+  Result<PageGuard> Fetch(PageId id);
+
+  /// Fetches for writing; the page is marked dirty.
+  Result<PageGuard> FetchMutable(PageId id);
+
+  /// Allocates a fresh page in the store and returns it pinned and dirty.
+  Result<PageGuard> NewPage();
+
+  /// Permanently pins `id` in the pool (fetching it if absent). A
+  /// level-pinned page never leaves the buffer and all subsequent accesses
+  /// are hits. Fails with ResourceExhausted when no frame can be freed.
+  Status PinPermanently(PageId id);
+
+  /// Releases a permanent pin.
+  Status UnpinPermanently(PageId id);
+
+  /// Number of permanently pinned pages.
+  size_t num_permanent_pins() const { return num_permanent_pins_; }
+
+  /// Writes all dirty pages back to the store (pages stay cached).
+  Status FlushAll();
+
+  /// Flushes and drops every unpinned page, returning the pool to a cold
+  /// state (permanently pinned pages stay). Useful between experiment
+  /// phases so warm-up from setup work does not leak into measurements.
+  Status EvictAll();
+
+  /// True if `id` currently resides in the pool (no access recorded).
+  bool Contains(PageId id) const { return page_table_.count(id) > 0; }
+
+  const BufferStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferStats{}; }
+
+ private:
+  friend class PageGuard;
+
+  struct FrameMeta {
+    PageId page_id = kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool permanent = false;
+    bool dirty = false;
+    bool in_use = false;
+  };
+
+  // Finds a frame for a new page: a free frame if any, otherwise evicts.
+  Result<FrameId> AcquireFrame();
+
+  // Pins the page into a frame, reading it on a miss. Core of Fetch.
+  Result<FrameId> PinPage(PageId id);
+
+  void Unpin(PageId id, bool dirty);
+
+  uint8_t* FrameData(FrameId f) {
+    return buffer_.data() + static_cast<size_t>(f) * page_size();
+  }
+
+  PageStore* store_;
+  size_t capacity_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::vector<uint8_t> buffer_;
+  std::vector<FrameMeta> frames_;
+  std::vector<FrameId> free_frames_;
+  std::unordered_map<PageId, FrameId> page_table_;
+  size_t num_permanent_pins_ = 0;
+  BufferStats stats_;
+};
+
+}  // namespace rtb::storage
+
+#endif  // RTB_STORAGE_BUFFER_POOL_H_

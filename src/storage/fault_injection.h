@@ -1,0 +1,82 @@
+// Fault-injecting PageStore wrapper for failure testing.
+//
+// Wraps any PageStore and fails selected operations with an injected
+// status. Used by the test suite to verify that I/O errors propagate
+// cleanly through the buffer pool and the R-tree (no crashes, no state
+// corruption, no silent data loss) — and available to downstream users for
+// the same purpose.
+
+#ifndef RTB_STORAGE_FAULT_INJECTION_H_
+#define RTB_STORAGE_FAULT_INJECTION_H_
+
+#include <cstdint>
+
+#include "storage/page_store.h"
+
+namespace rtb::storage {
+
+/// Pass-through PageStore that can fail reads/writes/allocations on
+/// demand. Not thread-safe (like the rest of the storage layer).
+class FaultInjectingPageStore final : public PageStore {
+ public:
+  /// Wraps `base` (not owned; must outlive this object).
+  explicit FaultInjectingPageStore(PageStore* base) : base_(base) {
+    RTB_CHECK(base_ != nullptr);
+  }
+
+  /// Fails the next `count` reads with `status`, then recovers.
+  void FailNextReads(int count, Status status) {
+    failing_reads_ = count;
+    read_status_ = std::move(status);
+  }
+
+  /// Fails the next `count` writes.
+  void FailNextWrites(int count, Status status) {
+    failing_writes_ = count;
+    write_status_ = std::move(status);
+  }
+
+  /// Fails every read of page `id` until cleared with kInvalidPageId.
+  void FailPage(PageId id, Status status) {
+    poisoned_page_ = id;
+    poisoned_status_ = std::move(status);
+  }
+
+  size_t page_size() const override { return base_->page_size(); }
+  PageId num_pages() const override { return base_->num_pages(); }
+
+  Result<PageId> Allocate() override { return base_->Allocate(); }
+
+  Status Read(PageId id, uint8_t* out) override {
+    if (poisoned_page_ == id) return poisoned_status_;
+    if (failing_reads_ > 0) {
+      --failing_reads_;
+      return read_status_;
+    }
+    return base_->Read(id, out);
+  }
+
+  Status Write(PageId id, const uint8_t* data) override {
+    if (failing_writes_ > 0) {
+      --failing_writes_;
+      return write_status_;
+    }
+    return base_->Write(id, data);
+  }
+
+  const IoStats& stats() const override { return base_->stats(); }
+  void ResetStats() override { base_->ResetStats(); }
+
+ private:
+  PageStore* base_;
+  int failing_reads_ = 0;
+  int failing_writes_ = 0;
+  Status read_status_ = Status::IoError("injected read fault");
+  Status write_status_ = Status::IoError("injected write fault");
+  PageId poisoned_page_ = kInvalidPageId;
+  Status poisoned_status_ = Status::IoError("poisoned page");
+};
+
+}  // namespace rtb::storage
+
+#endif  // RTB_STORAGE_FAULT_INJECTION_H_

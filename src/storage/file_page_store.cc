@@ -1,0 +1,137 @@
+#include "storage/file_page_store.h"
+
+#include <cstring>
+#include <vector>
+
+namespace rtb::storage {
+namespace {
+
+constexpr uint32_t kFileMagic = 0x52544253;  // "RTBS"
+constexpr uint32_t kFileVersion = 1;
+constexpr size_t kHeaderSize = 32;
+
+struct Header {
+  uint32_t magic;
+  uint32_t version;
+  uint64_t page_size;
+  uint64_t num_pages;
+  uint64_t reserved;
+};
+static_assert(sizeof(Header) == kHeaderSize);
+
+long PageOffset(PageId id, size_t page_size) {
+  return static_cast<long>(kHeaderSize +
+                           static_cast<uint64_t>(id) * page_size);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
+    const std::string& path, size_t page_size) {
+  if (page_size == 0) {
+    return Status::InvalidArgument("page size must be positive");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb+");
+  if (file == nullptr) {
+    return Status::IoError("cannot create " + path);
+  }
+  auto store = std::unique_ptr<FilePageStore>(
+      new FilePageStore(path, file, page_size, 0));
+  RTB_RETURN_IF_ERROR(store->WriteHeader());
+  return store;
+}
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb+");
+  if (file == nullptr) {
+    return Status::IoError("cannot open " + path);
+  }
+  Header header;
+  if (std::fread(&header, sizeof(header), 1, file) != 1) {
+    std::fclose(file);
+    return Status::Corruption(path + ": truncated header");
+  }
+  if (header.magic != kFileMagic) {
+    std::fclose(file);
+    return Status::Corruption(path + ": bad magic");
+  }
+  if (header.version != kFileVersion) {
+    std::fclose(file);
+    return Status::NotSupported(path + ": unsupported version " +
+                                std::to_string(header.version));
+  }
+  if (header.page_size == 0 || header.num_pages > kInvalidPageId) {
+    std::fclose(file);
+    return Status::Corruption(path + ": implausible header fields");
+  }
+  return std::unique_ptr<FilePageStore>(new FilePageStore(
+      path, file, static_cast<size_t>(header.page_size),
+      static_cast<PageId>(header.num_pages)));
+}
+
+FilePageStore::~FilePageStore() {
+  if (file_ != nullptr) {
+    (void)Sync();
+    std::fclose(file_);
+  }
+}
+
+Status FilePageStore::WriteHeader() {
+  Header header{kFileMagic, kFileVersion, page_size_, num_pages_, 0};
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fwrite(&header, sizeof(header), 1, file_) != 1) {
+    return Status::IoError(path_ + ": header write failed");
+  }
+  return Status::OK();
+}
+
+Result<PageId> FilePageStore::Allocate() {
+  if (num_pages_ >= kInvalidPageId) {
+    return Status::ResourceExhausted("page id space exhausted");
+  }
+  PageId id = num_pages_;
+  std::vector<uint8_t> zeros(page_size_, 0);
+  if (std::fseek(file_, PageOffset(id, page_size_), SEEK_SET) != 0 ||
+      std::fwrite(zeros.data(), 1, page_size_, file_) != page_size_) {
+    return Status::IoError(path_ + ": page allocation write failed");
+  }
+  ++num_pages_;
+  ++stats_.allocations;
+  return id;
+}
+
+Status FilePageStore::Read(PageId id, uint8_t* out) {
+  if (id >= num_pages_) {
+    return Status::NotFound("read of unallocated page " + std::to_string(id));
+  }
+  if (std::fseek(file_, PageOffset(id, page_size_), SEEK_SET) != 0 ||
+      std::fread(out, 1, page_size_, file_) != page_size_) {
+    return Status::IoError(path_ + ": page read failed");
+  }
+  ++stats_.reads;
+  return Status::OK();
+}
+
+Status FilePageStore::Write(PageId id, const uint8_t* data) {
+  if (id >= num_pages_) {
+    return Status::NotFound("write of unallocated page " +
+                            std::to_string(id));
+  }
+  if (std::fseek(file_, PageOffset(id, page_size_), SEEK_SET) != 0 ||
+      std::fwrite(data, 1, page_size_, file_) != page_size_) {
+    return Status::IoError(path_ + ": page write failed");
+  }
+  ++stats_.writes;
+  return Status::OK();
+}
+
+Status FilePageStore::Sync() {
+  RTB_RETURN_IF_ERROR(WriteHeader());
+  if (std::fflush(file_) != 0) {
+    return Status::IoError(path_ + ": flush failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace rtb::storage

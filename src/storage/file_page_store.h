@@ -1,0 +1,74 @@
+// FilePageStore: a PageStore backed by a real file.
+//
+// MemPageStore is the workhorse for experiments (counts are what the paper
+// measures); FilePageStore makes the library usable as an actual persistent
+// index. The file layout is a 32-byte header (magic, version, page size,
+// page count) followed by the pages. Reads/writes use positioned I/O on a
+// single descriptor; the store is single-threaded like the rest of the
+// storage layer.
+
+#ifndef RTB_STORAGE_FILE_PAGE_STORE_H_
+#define RTB_STORAGE_FILE_PAGE_STORE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "storage/page.h"
+#include "storage/page_store.h"
+#include "util/result.h"
+
+namespace rtb::storage {
+
+/// File-backed PageStore. Create with Open (existing file) or Create (new
+/// or truncated file); both return errors rather than throwing.
+class FilePageStore final : public PageStore {
+ public:
+  /// Creates (or truncates) a store file with the given page size.
+  static Result<std::unique_ptr<FilePageStore>> Create(
+      const std::string& path, size_t page_size = kDefaultPageSize);
+
+  /// Opens an existing store file; the page size and count come from the
+  /// header.
+  static Result<std::unique_ptr<FilePageStore>> Open(const std::string& path);
+
+  FilePageStore(const FilePageStore&) = delete;
+  FilePageStore& operator=(const FilePageStore&) = delete;
+
+  ~FilePageStore() override;
+
+  size_t page_size() const override { return page_size_; }
+  PageId num_pages() const override { return num_pages_; }
+
+  Result<PageId> Allocate() override;
+  Status Read(PageId id, uint8_t* out) override;
+  Status Write(PageId id, const uint8_t* data) override;
+
+  const IoStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = IoStats{}; }
+
+  /// Flushes the header and data to the OS. Called by the destructor.
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FilePageStore(std::string path, std::FILE* file, size_t page_size,
+                PageId num_pages)
+      : path_(std::move(path)),
+        file_(file),
+        page_size_(page_size),
+        num_pages_(num_pages) {}
+
+  Status WriteHeader();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  size_t page_size_;
+  PageId num_pages_;
+  IoStats stats_;
+};
+
+}  // namespace rtb::storage
+
+#endif  // RTB_STORAGE_FILE_PAGE_STORE_H_

@@ -1,0 +1,28 @@
+// Page identifiers and constants for the paged storage layer.
+//
+// The paper assumes "exactly one node fits per page" (Section 2.1) and uses
+// the two terms interchangeably; this layer provides the pages, and
+// src/rtree serializes one node into each.
+
+#ifndef RTB_STORAGE_PAGE_H_
+#define RTB_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace rtb::storage {
+
+/// Identifies a page within a PageStore. Page ids are dense, starting at 0.
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+
+/// Default page size in bytes. Large enough for an R-tree node with fanout
+/// 100 (16-byte header + 100 * 40-byte entries = 4016 bytes).
+inline constexpr size_t kDefaultPageSize = 4096;
+
+}  // namespace rtb::storage
+
+#endif  // RTB_STORAGE_PAGE_H_

@@ -1,0 +1,40 @@
+#include "storage/page_store.h"
+
+#include <cstring>
+#include <string>
+
+namespace rtb::storage {
+
+MemPageStore::MemPageStore(size_t page_size) : page_size_(page_size) {
+  RTB_CHECK(page_size > 0);
+}
+
+Result<PageId> MemPageStore::Allocate() {
+  if (pages_.size() >= kInvalidPageId) {
+    return Status::ResourceExhausted("page id space exhausted");
+  }
+  pages_.emplace_back(page_size_, uint8_t{0});
+  ++stats_.allocations;
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status MemPageStore::Read(PageId id, uint8_t* out) {
+  if (id >= pages_.size()) {
+    return Status::NotFound("read of unallocated page " + std::to_string(id));
+  }
+  std::memcpy(out, pages_[id].data(), page_size_);
+  ++stats_.reads;
+  return Status::OK();
+}
+
+Status MemPageStore::Write(PageId id, const uint8_t* data) {
+  if (id >= pages_.size()) {
+    return Status::NotFound("write of unallocated page " +
+                            std::to_string(id));
+  }
+  std::memcpy(pages_[id].data(), data, page_size_);
+  ++stats_.writes;
+  return Status::OK();
+}
+
+}  // namespace rtb::storage

@@ -1,0 +1,82 @@
+// PageStore: the simulated disk.
+//
+// The paper's metric is the number of disk accesses; PageStore is the layer
+// where those accesses happen and are counted. MemPageStore keeps pages in
+// memory (this reproduction does not need real I/O latency, only accurate
+// counts), but the interface is the one a file-backed store would implement.
+
+#ifndef RTB_STORAGE_PAGE_STORE_H_
+#define RTB_STORAGE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace rtb::storage {
+
+/// Cumulative I/O counters for a PageStore.
+struct IoStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t allocations = 0;
+};
+
+/// Abstract page-granular storage with access counting.
+class PageStore {
+ public:
+  virtual ~PageStore() = default;
+
+  /// Size in bytes of every page in this store.
+  virtual size_t page_size() const = 0;
+
+  /// Number of allocated pages; valid page ids are [0, num_pages()).
+  virtual PageId num_pages() const = 0;
+
+  /// Allocates a new zero-filled page and returns its id.
+  virtual Result<PageId> Allocate() = 0;
+
+  /// Reads page `id` into `out` (must hold page_size() bytes). Counts one
+  /// disk read.
+  virtual Status Read(PageId id, uint8_t* out) = 0;
+
+  /// Writes page `id` from `data` (page_size() bytes). Counts one disk
+  /// write.
+  virtual Status Write(PageId id, const uint8_t* data) = 0;
+
+  /// I/O counters since construction (or the last ResetStats()).
+  virtual const IoStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+};
+
+/// In-memory PageStore with exact access counting.
+class MemPageStore final : public PageStore {
+ public:
+  explicit MemPageStore(size_t page_size = kDefaultPageSize);
+
+  MemPageStore(const MemPageStore&) = delete;
+  MemPageStore& operator=(const MemPageStore&) = delete;
+
+  size_t page_size() const override { return page_size_; }
+  PageId num_pages() const override {
+    return static_cast<PageId>(pages_.size());
+  }
+
+  Result<PageId> Allocate() override;
+  Status Read(PageId id, uint8_t* out) override;
+  Status Write(PageId id, const uint8_t* data) override;
+
+  const IoStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = IoStats{}; }
+
+ private:
+  size_t page_size_;
+  std::vector<std::vector<uint8_t>> pages_;
+  IoStats stats_;
+};
+
+}  // namespace rtb::storage
+
+#endif  // RTB_STORAGE_PAGE_STORE_H_

@@ -1,0 +1,350 @@
+#include "storage/replacement.h"
+
+#include "util/macros.h"
+
+namespace rtb::storage {
+
+// ---------------------------------------------------------------------------
+// LRU
+// ---------------------------------------------------------------------------
+
+LruPolicy::LruPolicy(size_t capacity) : entries_(capacity) {}
+
+void LruPolicy::RecordAccess(FrameId frame) {
+  RTB_DCHECK(frame < entries_.size());
+  Entry& e = entries_[frame];
+  if (e.tracked) order_.erase(e.pos);
+  order_.push_front(frame);
+  e.pos = order_.begin();
+  e.tracked = true;
+}
+
+void LruPolicy::SetEvictable(FrameId frame, bool evictable) {
+  RTB_DCHECK(frame < entries_.size());
+  Entry& e = entries_[frame];
+  RTB_DCHECK(e.tracked);
+  if (e.evictable == evictable) return;
+  e.evictable = evictable;
+  num_evictable_ += evictable ? 1 : static_cast<size_t>(-1);
+}
+
+bool LruPolicy::Evict(FrameId* victim) {
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    if (entries_[*it].evictable) {
+      *victim = *it;
+      Remove(*it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void LruPolicy::Remove(FrameId frame) {
+  RTB_DCHECK(frame < entries_.size());
+  Entry& e = entries_[frame];
+  if (!e.tracked) return;
+  if (e.evictable) --num_evictable_;
+  order_.erase(e.pos);
+  e = Entry{};
+}
+
+// ---------------------------------------------------------------------------
+// FIFO
+// ---------------------------------------------------------------------------
+
+FifoPolicy::FifoPolicy(size_t capacity) : entries_(capacity) {}
+
+void FifoPolicy::RecordAccess(FrameId frame) {
+  RTB_DCHECK(frame < entries_.size());
+  Entry& e = entries_[frame];
+  if (e.tracked) return;  // Position fixed at first insertion.
+  order_.push_back(frame);
+  e.pos = --order_.end();
+  e.tracked = true;
+}
+
+void FifoPolicy::SetEvictable(FrameId frame, bool evictable) {
+  RTB_DCHECK(frame < entries_.size());
+  Entry& e = entries_[frame];
+  RTB_DCHECK(e.tracked);
+  if (e.evictable == evictable) return;
+  e.evictable = evictable;
+  num_evictable_ += evictable ? 1 : static_cast<size_t>(-1);
+}
+
+bool FifoPolicy::Evict(FrameId* victim) {
+  for (FrameId frame : order_) {
+    if (entries_[frame].evictable) {
+      *victim = frame;
+      Remove(frame);
+      return true;
+    }
+  }
+  return false;
+}
+
+void FifoPolicy::Remove(FrameId frame) {
+  RTB_DCHECK(frame < entries_.size());
+  Entry& e = entries_[frame];
+  if (!e.tracked) return;
+  if (e.evictable) --num_evictable_;
+  order_.erase(e.pos);
+  e = Entry{};
+}
+
+// ---------------------------------------------------------------------------
+// CLOCK
+// ---------------------------------------------------------------------------
+
+ClockPolicy::ClockPolicy(size_t capacity) : entries_(capacity) {}
+
+void ClockPolicy::RecordAccess(FrameId frame) {
+  RTB_DCHECK(frame < entries_.size());
+  entries_[frame].tracked = true;
+  entries_[frame].referenced = true;
+}
+
+void ClockPolicy::SetEvictable(FrameId frame, bool evictable) {
+  RTB_DCHECK(frame < entries_.size());
+  Entry& e = entries_[frame];
+  RTB_DCHECK(e.tracked);
+  if (e.evictable == evictable) return;
+  e.evictable = evictable;
+  num_evictable_ += evictable ? 1 : static_cast<size_t>(-1);
+}
+
+bool ClockPolicy::Evict(FrameId* victim) {
+  if (num_evictable_ == 0) return false;
+  // At most two sweeps: the first clears reference bits, the second must
+  // find an unreferenced evictable frame.
+  for (size_t step = 0; step < 2 * entries_.size(); ++step) {
+    Entry& e = entries_[hand_];
+    FrameId current = static_cast<FrameId>(hand_);
+    hand_ = (hand_ + 1) % entries_.size();
+    if (!e.tracked || !e.evictable) continue;
+    if (e.referenced) {
+      e.referenced = false;
+      continue;
+    }
+    *victim = current;
+    Remove(current);
+    return true;
+  }
+  return false;
+}
+
+void ClockPolicy::Remove(FrameId frame) {
+  RTB_DCHECK(frame < entries_.size());
+  Entry& e = entries_[frame];
+  if (!e.tracked) return;
+  if (e.evictable) --num_evictable_;
+  e = Entry{};
+}
+
+// ---------------------------------------------------------------------------
+// LFU
+// ---------------------------------------------------------------------------
+
+LfuPolicy::LfuPolicy(size_t capacity) : entries_(capacity) {}
+
+void LfuPolicy::RecordAccess(FrameId frame) {
+  RTB_DCHECK(frame < entries_.size());
+  Entry& e = entries_[frame];
+  e.tracked = true;
+  ++e.frequency;
+  e.last_access = ++clock_;
+}
+
+void LfuPolicy::SetEvictable(FrameId frame, bool evictable) {
+  RTB_DCHECK(frame < entries_.size());
+  Entry& e = entries_[frame];
+  RTB_DCHECK(e.tracked);
+  if (e.evictable == evictable) return;
+  e.evictable = evictable;
+  num_evictable_ += evictable ? 1 : static_cast<size_t>(-1);
+}
+
+bool LfuPolicy::Evict(FrameId* victim) {
+  bool found = false;
+  FrameId best = 0;
+  for (FrameId f = 0; f < entries_.size(); ++f) {
+    const Entry& e = entries_[f];
+    if (!e.tracked || !e.evictable) continue;
+    if (!found || e.frequency < entries_[best].frequency ||
+        (e.frequency == entries_[best].frequency &&
+         e.last_access < entries_[best].last_access)) {
+      best = f;
+      found = true;
+    }
+  }
+  if (!found) return false;
+  *victim = best;
+  Remove(best);
+  return true;
+}
+
+void LfuPolicy::Remove(FrameId frame) {
+  RTB_DCHECK(frame < entries_.size());
+  Entry& e = entries_[frame];
+  if (!e.tracked) return;
+  if (e.evictable) --num_evictable_;
+  e = Entry{};
+}
+
+// ---------------------------------------------------------------------------
+// LRU-K
+// ---------------------------------------------------------------------------
+
+LruKPolicy::LruKPolicy(size_t capacity, size_t k)
+    : entries_(capacity), k_(k) {
+  RTB_CHECK(k_ >= 1);
+}
+
+void LruKPolicy::RecordAccess(FrameId frame) {
+  RTB_DCHECK(frame < entries_.size());
+  Entry& e = entries_[frame];
+  e.tracked = true;
+  if (e.history.size() < k_) e.history.resize(k_, 0);
+  e.history[e.next] = ++clock_;
+  e.next = (e.next + 1) % k_;
+  if (e.count < k_) ++e.count;
+}
+
+void LruKPolicy::SetEvictable(FrameId frame, bool evictable) {
+  RTB_DCHECK(frame < entries_.size());
+  Entry& e = entries_[frame];
+  RTB_DCHECK(e.tracked);
+  if (e.evictable == evictable) return;
+  e.evictable = evictable;
+  num_evictable_ += evictable ? 1 : static_cast<size_t>(-1);
+}
+
+bool LruKPolicy::Evict(FrameId* victim) {
+  bool found = false;
+  FrameId best = 0;
+  bool best_infinite = false;
+  uint64_t best_key = 0;
+  for (FrameId f = 0; f < entries_.size(); ++f) {
+    const Entry& e = entries_[f];
+    if (!e.tracked || !e.evictable) continue;
+    const bool infinite = e.count < k_;
+    // Frames with < k accesses are preferred victims; ties (and ties among
+    // full-history frames) break by the older relevant timestamp.
+    const uint64_t key = infinite ? e.MostRecent(k_) : e.KthMostRecent(k_);
+    bool better;
+    if (!found) {
+      better = true;
+    } else if (infinite != best_infinite) {
+      better = infinite;
+    } else {
+      better = key < best_key;
+    }
+    if (better) {
+      best = f;
+      best_infinite = infinite;
+      best_key = key;
+      found = true;
+    }
+  }
+  if (!found) return false;
+  *victim = best;
+  Remove(best);
+  return true;
+}
+
+void LruKPolicy::Remove(FrameId frame) {
+  RTB_DCHECK(frame < entries_.size());
+  Entry& e = entries_[frame];
+  if (!e.tracked) return;
+  if (e.evictable) --num_evictable_;
+  e = Entry{};
+}
+
+// ---------------------------------------------------------------------------
+// RANDOM
+// ---------------------------------------------------------------------------
+
+RandomPolicy::RandomPolicy(size_t capacity, uint64_t seed)
+    : entries_(capacity), rng_(seed) {}
+
+void RandomPolicy::RecordAccess(FrameId frame) {
+  RTB_DCHECK(frame < entries_.size());
+  entries_[frame].tracked = true;
+}
+
+void RandomPolicy::SetEvictable(FrameId frame, bool evictable) {
+  RTB_DCHECK(frame < entries_.size());
+  Entry& e = entries_[frame];
+  RTB_DCHECK(e.tracked);
+  if (e.evictable == evictable) return;
+  e.evictable = evictable;
+  num_evictable_ += evictable ? 1 : static_cast<size_t>(-1);
+}
+
+bool RandomPolicy::Evict(FrameId* victim) {
+  if (num_evictable_ == 0) return false;
+  uint64_t skip = rng_.UniformInt(num_evictable_);
+  for (FrameId f = 0; f < entries_.size(); ++f) {
+    const Entry& e = entries_[f];
+    if (!e.tracked || !e.evictable) continue;
+    if (skip == 0) {
+      *victim = f;
+      Remove(f);
+      return true;
+    }
+    --skip;
+  }
+  return false;
+}
+
+void RandomPolicy::Remove(FrameId frame) {
+  RTB_DCHECK(frame < entries_.size());
+  Entry& e = entries_[frame];
+  if (!e.tracked) return;
+  if (e.evictable) --num_evictable_;
+  e = Entry{};
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<ReplacementPolicy> MakePolicy(PolicyKind kind, size_t capacity,
+                                              uint64_t seed) {
+  switch (kind) {
+    case PolicyKind::kLru:
+      return std::make_unique<LruPolicy>(capacity);
+    case PolicyKind::kFifo:
+      return std::make_unique<FifoPolicy>(capacity);
+    case PolicyKind::kClock:
+      return std::make_unique<ClockPolicy>(capacity);
+    case PolicyKind::kLfu:
+      return std::make_unique<LfuPolicy>(capacity);
+    case PolicyKind::kRandom:
+      return std::make_unique<RandomPolicy>(capacity, seed);
+    case PolicyKind::kLruK:
+      return std::make_unique<LruKPolicy>(capacity, /*k=*/2);
+  }
+  RTB_CHECK(false);
+  return nullptr;
+}
+
+std::string_view PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLru:
+      return "LRU";
+    case PolicyKind::kFifo:
+      return "FIFO";
+    case PolicyKind::kClock:
+      return "CLOCK";
+    case PolicyKind::kLfu:
+      return "LFU";
+    case PolicyKind::kRandom:
+      return "RANDOM";
+    case PolicyKind::kLruK:
+      return "LRU-K";
+  }
+  return "?";
+}
+
+}  // namespace rtb::storage

@@ -1,0 +1,228 @@
+// Buffer replacement policies.
+//
+// The paper models an LRU buffer (Section 3.3, following Bhide-Dan-Dias).
+// LruPolicy is therefore the canonical implementation; FIFO, CLOCK, LFU and
+// RANDOM are provided so the ablation benches can quantify how sensitive the
+// paper's conclusions are to the choice of policy.
+//
+// A policy tracks *frames* (slots of the buffer pool), not pages. The pool
+// tells the policy when a frame is accessed, when it becomes evictable
+// (unpinned) or unevictable (pinned), and asks it to choose a victim.
+
+#ifndef RTB_STORAGE_REPLACEMENT_H_
+#define RTB_STORAGE_REPLACEMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rtb::storage {
+
+/// Frame index within a BufferPool.
+using FrameId = uint32_t;
+
+/// Abstract replacement policy. All methods refer to frame ids in
+/// [0, capacity).
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// Called on every logical access (hit or fill) to `frame`.
+  virtual void RecordAccess(FrameId frame) = 0;
+
+  /// Marks `frame` evictable or not. Frames start out not tracked; the first
+  /// SetEvictable(frame, true) after RecordAccess makes them candidates.
+  virtual void SetEvictable(FrameId frame, bool evictable) = 0;
+
+  /// Chooses a victim among evictable frames and removes it from the policy.
+  /// Returns false when no frame is evictable.
+  virtual bool Evict(FrameId* victim) = 0;
+
+  /// Forgets all state about `frame` (e.g. its page left the pool).
+  virtual void Remove(FrameId frame) = 0;
+
+  /// Number of currently evictable frames.
+  virtual size_t NumEvictable() const = 0;
+
+  /// Policy name for reports ("LRU", "FIFO", ...).
+  virtual std::string_view name() const = 0;
+};
+
+/// Least-recently-used: evicts the evictable frame whose last access is
+/// oldest. O(1) per operation.
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  explicit LruPolicy(size_t capacity);
+
+  void RecordAccess(FrameId frame) override;
+  void SetEvictable(FrameId frame, bool evictable) override;
+  bool Evict(FrameId* victim) override;
+  void Remove(FrameId frame) override;
+  size_t NumEvictable() const override { return num_evictable_; }
+  std::string_view name() const override { return "LRU"; }
+
+ private:
+  struct Entry {
+    bool tracked = false;
+    bool evictable = false;
+    std::list<FrameId>::iterator pos;  // Valid iff tracked.
+  };
+  // Recency list: front = most recent, back = least recent.
+  std::list<FrameId> order_;
+  std::vector<Entry> entries_;
+  size_t num_evictable_ = 0;
+};
+
+/// First-in-first-out: evicts the evictable frame that entered the pool
+/// earliest; accesses do not refresh position.
+class FifoPolicy final : public ReplacementPolicy {
+ public:
+  explicit FifoPolicy(size_t capacity);
+
+  void RecordAccess(FrameId frame) override;
+  void SetEvictable(FrameId frame, bool evictable) override;
+  bool Evict(FrameId* victim) override;
+  void Remove(FrameId frame) override;
+  size_t NumEvictable() const override { return num_evictable_; }
+  std::string_view name() const override { return "FIFO"; }
+
+ private:
+  struct Entry {
+    bool tracked = false;
+    bool evictable = false;
+    std::list<FrameId>::iterator pos;
+  };
+  std::list<FrameId> order_;  // front = oldest.
+  std::vector<Entry> entries_;
+  size_t num_evictable_ = 0;
+};
+
+/// CLOCK (second chance): a reference bit per frame and a sweeping hand.
+class ClockPolicy final : public ReplacementPolicy {
+ public:
+  explicit ClockPolicy(size_t capacity);
+
+  void RecordAccess(FrameId frame) override;
+  void SetEvictable(FrameId frame, bool evictable) override;
+  bool Evict(FrameId* victim) override;
+  void Remove(FrameId frame) override;
+  size_t NumEvictable() const override { return num_evictable_; }
+  std::string_view name() const override { return "CLOCK"; }
+
+ private:
+  struct Entry {
+    bool tracked = false;
+    bool evictable = false;
+    bool referenced = false;
+  };
+  std::vector<Entry> entries_;
+  size_t hand_ = 0;
+  size_t num_evictable_ = 0;
+};
+
+/// Least-frequently-used with LRU tie-breaking.
+class LfuPolicy final : public ReplacementPolicy {
+ public:
+  explicit LfuPolicy(size_t capacity);
+
+  void RecordAccess(FrameId frame) override;
+  void SetEvictable(FrameId frame, bool evictable) override;
+  bool Evict(FrameId* victim) override;
+  void Remove(FrameId frame) override;
+  size_t NumEvictable() const override { return num_evictable_; }
+  std::string_view name() const override { return "LFU"; }
+
+ private:
+  struct Entry {
+    bool tracked = false;
+    bool evictable = false;
+    uint64_t frequency = 0;
+    uint64_t last_access = 0;  // Logical clock for tie-breaking.
+  };
+  std::vector<Entry> entries_;
+  uint64_t clock_ = 0;
+  size_t num_evictable_ = 0;
+};
+
+/// LRU-K (O'Neil, O'Neil & Weikum 1993): evicts the evictable frame whose
+/// K-th most recent access is oldest; frames with fewer than K recorded
+/// accesses have backward-K-distance infinity and are evicted first (ties
+/// broken by oldest most-recent access). K = 2 is the classic database
+/// configuration.
+class LruKPolicy final : public ReplacementPolicy {
+ public:
+  LruKPolicy(size_t capacity, size_t k);
+
+  void RecordAccess(FrameId frame) override;
+  void SetEvictable(FrameId frame, bool evictable) override;
+  bool Evict(FrameId* victim) override;
+  void Remove(FrameId frame) override;
+  size_t NumEvictable() const override { return num_evictable_; }
+  std::string_view name() const override { return "LRU-K"; }
+
+ private:
+  struct Entry {
+    bool tracked = false;
+    bool evictable = false;
+    // Ring buffer of the last (up to) k access timestamps; history[next]
+    // is the oldest once full.
+    std::vector<uint64_t> history;
+    size_t next = 0;
+    size_t count = 0;
+
+    uint64_t KthMostRecent(size_t k) const {
+      if (count < k) return 0;  // "Infinite" backward distance marker.
+      return history[next];     // Oldest of the k retained stamps.
+    }
+    uint64_t MostRecent(size_t k) const {
+      if (count == 0) return 0;
+      size_t idx = (next + std::min(count, k) - 1) % k;
+      return history[idx];
+    }
+  };
+  std::vector<Entry> entries_;
+  size_t k_;
+  uint64_t clock_ = 0;
+  size_t num_evictable_ = 0;
+};
+
+/// Uniform random eviction among evictable frames (seeded, deterministic).
+class RandomPolicy final : public ReplacementPolicy {
+ public:
+  RandomPolicy(size_t capacity, uint64_t seed);
+
+  void RecordAccess(FrameId frame) override;
+  void SetEvictable(FrameId frame, bool evictable) override;
+  bool Evict(FrameId* victim) override;
+  void Remove(FrameId frame) override;
+  size_t NumEvictable() const override { return num_evictable_; }
+  std::string_view name() const override { return "RANDOM"; }
+
+ private:
+  struct Entry {
+    bool tracked = false;
+    bool evictable = false;
+  };
+  std::vector<Entry> entries_;
+  Rng rng_;
+  size_t num_evictable_ = 0;
+};
+
+/// Identifier for constructing policies by name (used by benches and CLIs).
+enum class PolicyKind { kLru, kFifo, kClock, kLfu, kRandom, kLruK };
+
+/// Factory. `seed` is only used by kRandom; kLruK uses K = 2.
+std::unique_ptr<ReplacementPolicy> MakePolicy(PolicyKind kind, size_t capacity,
+                                              uint64_t seed = 0);
+
+/// Name of a PolicyKind ("LRU", "FIFO", ...).
+std::string_view PolicyKindName(PolicyKind kind);
+
+}  // namespace rtb::storage
+
+#endif  // RTB_STORAGE_REPLACEMENT_H_

@@ -1,0 +1,96 @@
+#include "util/batch_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace rtb {
+namespace {
+
+// Student-t upper quantiles t_{alpha/2, df} for two-sided confidence levels.
+// Rows: df 1..30, then the normal limit is used. Columns: 90%, 95%, 99%.
+constexpr double kT90[30] = {
+    6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+    1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+    1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697};
+constexpr double kT95[30] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+constexpr double kT99[30] = {
+    63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+    3.106,  3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+    2.831,  2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750};
+
+double TQuantile(size_t df, double confidence_level) {
+  const double* table;
+  double limit;  // Normal quantile, used for df > 30.
+  if (confidence_level >= 0.985) {
+    table = kT99;
+    limit = 2.576;
+  } else if (confidence_level <= 0.925) {
+    table = kT90;
+    limit = 1.645;
+  } else {
+    table = kT95;
+    limit = 1.960;
+  }
+  if (df == 0) return 0.0;
+  if (df <= 30) return table[df - 1];
+  return limit;
+}
+
+}  // namespace
+
+double BatchMeans::Mean() const {
+  if (batches_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double b : batches_) sum += b;
+  return sum / static_cast<double>(batches_.size());
+}
+
+double BatchMeans::Variance() const {
+  size_t n = batches_.size();
+  if (n < 2) return 0.0;
+  double mean = Mean();
+  double ss = 0.0;
+  for (double b : batches_) {
+    double d = b - mean;
+    ss += d * d;
+  }
+  return ss / static_cast<double>(n - 1);
+}
+
+double BatchMeans::HalfWidth(double confidence_level) const {
+  size_t n = batches_.size();
+  if (n < 2) return 0.0;
+  double t = TQuantile(n - 1, confidence_level);
+  return t * std::sqrt(Variance() / static_cast<double>(n));
+}
+
+double BatchMeans::RelativeHalfWidth(double confidence_level) const {
+  double mean = Mean();
+  if (mean == 0.0) return 0.0;
+  return HalfWidth(confidence_level) / mean;
+}
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+}  // namespace rtb

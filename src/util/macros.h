@@ -1,0 +1,41 @@
+// Internal assertion and convenience macros for the rtb library.
+//
+// Library code reports recoverable errors through rtb::Status (see
+// util/status.h) and reserves these macros for programming errors: an
+// RTB_DCHECK that fires means the caller violated a documented precondition.
+
+#ifndef RTB_UTIL_MACROS_H_
+#define RTB_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts with a message when `condition` is false. Enabled in all build
+// types: the library is a research artifact and silent memory corruption is
+// far more expensive than the branch.
+#define RTB_CHECK(condition)                                              \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      std::fprintf(stderr, "RTB_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+// Debug-only variant. Compiles to nothing when NDEBUG is defined.
+#ifdef NDEBUG
+#define RTB_DCHECK(condition) \
+  do {                        \
+  } while (false)
+#else
+#define RTB_DCHECK(condition) RTB_CHECK(condition)
+#endif
+
+// Propagates a non-OK Status from an expression that yields one.
+#define RTB_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::rtb::Status _rtb_status = (expr);        \
+    if (!_rtb_status.ok()) return _rtb_status; \
+  } while (false)
+
+#endif  // RTB_UTIL_MACROS_H_

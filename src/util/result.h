@@ -1,0 +1,79 @@
+// Result<T>: value-or-Status, the library's exception-free return channel.
+
+#ifndef RTB_UTIL_RESULT_H_
+#define RTB_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace rtb {
+
+/// Holds either a value of type T or a non-OK Status explaining why the value
+/// is absent. Accessing the value of an errored Result is a programming error
+/// (checked via RTB_CHECK).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return some_t;` in a Result-returning function.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status. `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    RTB_CHECK(!status_.ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    RTB_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    RTB_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    RTB_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+// Propagates the error of a Result-yielding expression, otherwise assigns its
+// value to `lhs` (which must be a declaration or assignable lvalue).
+#define RTB_ASSIGN_OR_RETURN(lhs, expr)                 \
+  RTB_ASSIGN_OR_RETURN_IMPL_(                           \
+      RTB_STATUS_MACROS_CONCAT_(_rtb_result, __LINE__), lhs, expr)
+
+#define RTB_STATUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define RTB_STATUS_MACROS_CONCAT_(x, y) RTB_STATUS_MACROS_CONCAT_INNER_(x, y)
+
+#define RTB_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                               \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
+
+}  // namespace rtb
+
+#endif  // RTB_UTIL_RESULT_H_

@@ -1,0 +1,32 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace rtb {
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  RTB_DCHECK(n > 0);
+  // Lemire 2019: multiply-shift with rejection of the biased low range.
+  uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < n) {
+    uint64_t threshold = (0ULL - n) % n;
+    while (low < threshold) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * n;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller. Guard against log(0).
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+}  // namespace rtb

@@ -1,0 +1,99 @@
+// Error handling for the rtb library.
+//
+// Following the conventions of large C++ database codebases (Arrow, RocksDB,
+// Google style), the library does not throw exceptions. Fallible operations
+// return rtb::Status, or rtb::Result<T> when they also produce a value.
+
+#ifndef RTB_UTIL_STATUS_H_
+#define RTB_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace rtb {
+
+// Machine-readable error category. Kept intentionally small; the message
+// carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kCorruption,
+  kIoError,
+  kNotSupported,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success/error value. The OK status carries no message
+/// and no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// kOk (use the default constructor for success).
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    RTB_DCHECK(code_ != StatusCode::kOk);
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+}  // namespace rtb
+
+#endif  // RTB_UTIL_STATUS_H_

@@ -1,0 +1,102 @@
+// Tests for the bench support library: flags, table formatting/CSV export,
+// and the workload/model/simulation shorthands the experiment binaries are
+// built from.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench/common.h"
+
+namespace rtb::bench {
+namespace {
+
+// --------------------------------------------------------------------------
+// Flags
+// --------------------------------------------------------------------------
+
+TEST(FlagsTest, DefaultsAndOverrides) {
+  const char* argv[] = {"prog", "--n=42", "--rate=0.5", "--name=xyz"};
+  Flags flags(4, const_cast<char**>(argv),
+              {{"n", "7"}, {"rate", "0.1"}, {"name", "abc"}, {"other", "9"}});
+  EXPECT_EQ(flags.GetInt("n"), 42u);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.5);
+  EXPECT_EQ(flags.GetString("name"), "xyz");
+  EXPECT_EQ(flags.GetInt("other"), 9u);  // Untouched default.
+}
+
+TEST(FlagsTest, NoArgsKeepsDefaults) {
+  const char* argv[] = {"prog"};
+  Flags flags(1, const_cast<char**>(argv), {{"n", "5"}});
+  EXPECT_EQ(flags.GetInt("n"), 5u);
+}
+
+// --------------------------------------------------------------------------
+// Table
+// --------------------------------------------------------------------------
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(-0.5, 4), "-0.5000");
+  EXPECT_EQ(Table::Int(123456789), "123456789");
+}
+
+TEST(TableTest, CsvExportRoundTrips) {
+  Table table({"a", "b"});
+  table.AddRow({"1", "2.5"});
+  table.AddRow({"3", "4.0%"});  // '%' must be stripped for plotting.
+  std::string path = ::testing::TempDir() + "/rtb_bench_table.csv";
+  std::remove(path.c_str());
+  ASSERT_TRUE(table.AppendCsv(path, "mylabel"));
+
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "label,a,b");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "mylabel,1,2.5");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "mylabel,3,4.0");
+
+  // Appending adds more rows (header repeated per block, by design).
+  ASSERT_TRUE(table.AppendCsv(path, "second"));
+  int lines = 0;
+  std::ifstream again(path);
+  while (std::getline(again, line)) ++lines;
+  EXPECT_EQ(lines, 6);
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------------------------------
+// Workload helpers
+// --------------------------------------------------------------------------
+
+TEST(WorkloadTest, BuildAndPredictAndSimulateAgree) {
+  Rng rng(33);
+  auto rects = data::GenerateSyntheticRegion(5000, &rng);
+  Workload w = BuildWorkload(rects, 50, rtree::LoadAlgorithm::kHilbertSort);
+  EXPECT_EQ(w.label, "HS");
+  EXPECT_EQ(w.summary->NumDataEntries(), 5000u);
+  EXPECT_EQ(w.centers.size(), 5000u);
+
+  model::QuerySpec spec = model::QuerySpec::UniformPoint();
+  double predicted = ModelDiskAccesses(w, spec, 40);
+  SimEstimate sim = SimulateDiskAccesses(w, spec, 40, 8, 15000, 77);
+  EXPECT_GT(predicted, 0.0);
+  EXPECT_NEAR(predicted, sim.mean, std::max(0.03, sim.mean * 0.08));
+  EXPECT_GE(sim.ci90_rel, 0.0);
+  EXPECT_LT(sim.ci90_rel, 0.05);
+}
+
+TEST(WorkloadTest, NamedDatasetsHaveRequestedSizes) {
+  auto tiger = MakeTigerData(5, 3000);
+  EXPECT_EQ(tiger.size(), 3000u);
+  auto cfd = MakeCfdData(5, 2500);
+  EXPECT_EQ(cfd.size(), 2500u);
+}
+
+}  // namespace
+}  // namespace rtb::bench

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Smoke test for the rtb_cli tool: exercises every subcommand end to end on
+# a temporary index and checks the pipeline stays consistent.
+set -e
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$CLI" generate --kind=region --n=5000 --seed=7 --out="$WORK/data.rects"
+test -s "$WORK/data.rects"
+
+"$CLI" build --data="$WORK/data.rects" --index="$WORK/idx" \
+    --fanout=50 --algo=HS
+test -s "$WORK/idx"
+test -s "$WORK/idx.meta"
+
+"$CLI" stats --index="$WORK/idx" | grep -q "data entries: 5000"
+"$CLI" validate --index="$WORK/idx" | grep -q "OK"
+"$CLI" predict --index="$WORK/idx" --buffer=30 | grep -q "disk accesses"
+"$CLI" predict --index="$WORK/idx" --buffer=30 --pin=1 | grep -q "pinned"
+"$CLI" predict --index="$WORK/idx" --buffer=30 --qx=0.1 --qy=0.1 \
+    --data="$WORK/data.rects" | grep -q "data-driven"
+"$CLI" query --index="$WORK/idx" --buffer=30 --queries=5000 --warmup=1000 \
+    | grep -q "measured"
+"$CLI" knn --index="$WORK/idx" --x=0.5 --y=0.5 --k=3 | grep -q "nearest"
+
+# Unknown flags and missing files must fail.
+if "$CLI" build --bogus=1 2>/dev/null; then exit 1; fi
+if "$CLI" stats --index="$WORK/missing" 2>/dev/null; then exit 1; fi
+
+# RSTAR build path.
+"$CLI" build --data="$WORK/data.rects" --index="$WORK/idx2" \
+    --fanout=20 --algo=RSTAR
+"$CLI" validate --index="$WORK/idx2" --strict=1 | grep -q "OK"
+
+echo "cli smoke test passed"

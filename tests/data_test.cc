@@ -1,0 +1,290 @@
+// Tests for the data-set generators and rectangle file I/O.
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "data/io.h"
+#include "data/polygon.h"
+#include "geom/point_grid.h"
+#include "util/rng.h"
+
+namespace rtb::data {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+
+// --------------------------------------------------------------------------
+// Polygon
+// --------------------------------------------------------------------------
+
+TEST(PolygonTest, SquareContainment) {
+  Polygon square({{0.2, 0.2}, {0.8, 0.2}, {0.8, 0.8}, {0.2, 0.8}});
+  EXPECT_TRUE(square.Contains({0.5, 0.5}));
+  EXPECT_FALSE(square.Contains({0.1, 0.5}));
+  EXPECT_FALSE(square.Contains({0.9, 0.9}));
+  EXPECT_NEAR(square.SignedArea(), 0.36, 1e-12);
+  EXPECT_NEAR(square.Perimeter(), 2.4, 1e-12);
+}
+
+TEST(PolygonTest, ClockwiseOrientationStillWorks) {
+  Polygon square({{0.2, 0.8}, {0.8, 0.8}, {0.8, 0.2}, {0.2, 0.2}});
+  EXPECT_LT(square.SignedArea(), 0.0);
+  EXPECT_TRUE(square.Contains({0.5, 0.5}));
+  // Outward normal must point away from the interior for both orientations.
+  Rng rng(503);
+  for (int i = 0; i < 50; ++i) {
+    auto s = square.SampleSurface(&rng);
+    Point outside{s.point.x + s.normal_x * 0.01,
+                  s.point.y + s.normal_y * 0.01};
+    Point inside{s.point.x - s.normal_x * 0.01,
+                 s.point.y - s.normal_y * 0.01};
+    EXPECT_FALSE(square.Contains(outside));
+    EXPECT_TRUE(square.Contains(inside));
+  }
+}
+
+TEST(PolygonTest, SurfaceSamplesLieOnBoundary) {
+  Polygon tri({{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}});
+  Rng rng(509);
+  for (int i = 0; i < 200; ++i) {
+    auto s = tri.SampleSurface(&rng);
+    // On one of the edges: y=0, x=0, or x+y=1.
+    bool on_edge = std::abs(s.point.y) < 1e-9 ||
+                   std::abs(s.point.x) < 1e-9 ||
+                   std::abs(s.point.x + s.point.y - 1.0) < 1e-9;
+    EXPECT_TRUE(on_edge) << s.point.x << "," << s.point.y;
+  }
+}
+
+TEST(PolygonTest, TransformScalesRotatesTranslates) {
+  Polygon square({{0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}, {0.0, 1.0}});
+  Polygon t = square.Transformed(2.0, 0.0, 10.0, 20.0);
+  EXPECT_NEAR(t.SignedArea(), 4.0, 1e-12);
+  EXPECT_TRUE(t.Contains({11.0, 21.0}));
+  // 90-degree rotation maps (1,0) to (0,1).
+  Polygon r = square.Transformed(1.0, 3.14159265358979323846 / 2, 0.0, 0.0);
+  EXPECT_TRUE(r.Contains({-0.5, 0.5}));
+}
+
+// --------------------------------------------------------------------------
+// Generators
+// --------------------------------------------------------------------------
+
+TEST(GeneratorTest, UniformPointsInUnitSquare) {
+  Rng rng(521);
+  auto rects = GenerateUniformPoints(5000, &rng);
+  ASSERT_EQ(rects.size(), 5000u);
+  for (const Rect& r : rects) {
+    EXPECT_EQ(r.Area(), 0.0);
+    EXPECT_TRUE(Rect::UnitSquare().Contains(r));
+  }
+}
+
+TEST(GeneratorTest, SyntheticRegionMatchesPaperAreaBudget) {
+  // "For a 10,000 rectangle data set, the sum of the rectangle areas is
+  // roughly equal to 0.25 of the unit square" (Section 5.1). With side
+  // uniform in (0, eps], E[side^2] = eps^2/3, so expected total area is
+  // n * eps^2 / 3 = 10000 * 0.0001 / 3 = 1/3 * 0.25/... — verify within 10%
+  // of the analytic expectation and the paper's r(n) scaling.
+  Rng rng(523);
+  auto rects = GenerateSyntheticRegion(10000, &rng);
+  double total = 0.0;
+  for (const Rect& r : rects) {
+    total += r.Area();
+    EXPECT_TRUE(Rect::UnitSquare().Contains(r));
+    EXPECT_NEAR(r.width(), r.height(), 1e-12);  // Squares.
+    EXPECT_LE(r.width(), SyntheticRegionMaxSide());
+  }
+  const double eps = SyntheticRegionMaxSide();
+  const double expected = 10000.0 * eps * eps / 3.0;
+  EXPECT_NEAR(total, expected, expected * 0.1);
+}
+
+TEST(GeneratorTest, SyntheticRegionScalesLinearlyInCount) {
+  Rng rng(541);
+  auto small = GenerateSyntheticRegion(10000, &rng);
+  auto large = GenerateSyntheticRegion(100000, &rng);
+  auto total = [](const std::vector<Rect>& rects) {
+    double t = 0;
+    for (const Rect& r : rects) t += r.Area();
+    return t;
+  };
+  EXPECT_NEAR(total(large) / total(small), 10.0, 1.0);
+}
+
+TEST(GeneratorTest, TigerSurrogateShapeProperties) {
+  Rng rng(547);
+  TigerParams params;
+  params.num_rects = 20000;
+  auto rects = GenerateTigerSurrogate(params, &rng);
+  ASSERT_EQ(rects.size(), 20000u);
+  double max_side = 0.0;
+  for (const Rect& r : rects) {
+    EXPECT_TRUE(Rect::UnitSquare().Contains(r));
+    max_side = std::max({max_side, r.width(), r.height()});
+  }
+  // Road segments are short.
+  EXPECT_LT(max_side, 0.1);
+
+  // Clustered with large empty regions: divide the square into a 10x10
+  // grid; a substantial fraction of cells must be (nearly) empty while a
+  // few cells hold a large share of the centers.
+  auto centers = Centers(rects);
+  std::vector<int> cell_counts(100, 0);
+  for (const Point& c : centers) {
+    int cx = std::min(9, static_cast<int>(c.x * 10));
+    int cy = std::min(9, static_cast<int>(c.y * 10));
+    ++cell_counts[cy * 10 + cx];
+  }
+  int empty_cells = 0, heavy_cells = 0;
+  for (int count : cell_counts) {
+    if (count < 20) ++empty_cells;            // < 0.1% of the data.
+    if (count > 400) ++heavy_cells;           // > 2% of the data.
+  }
+  EXPECT_GE(empty_cells, 30);
+  EXPECT_GE(heavy_cells, 5);
+}
+
+TEST(GeneratorTest, CfdSurrogateSkewAndEmptyInterior) {
+  Rng rng(557);
+  CfdParams params;
+  params.num_points = 15000;
+  auto rects = GenerateCfdSurrogate(params, &rng);
+  ASSERT_EQ(rects.size(), 15000u);
+  for (const Rect& r : rects) {
+    EXPECT_EQ(r.Area(), 0.0);  // Points.
+    EXPECT_TRUE(Rect::UnitSquare().Contains(r));
+  }
+  auto centers = Centers(rects);
+  geom::PointGrid grid(centers);
+  // Dense near the airfoil: a small box at the wing leading edge must hold
+  // far more points than an equal box in the far field.
+  uint64_t near_wing = grid.CountInRect(Rect(0.2, 0.48, 0.3, 0.58));
+  uint64_t far_field = grid.CountInRect(Rect(0.02, 0.02, 0.12, 0.12));
+  EXPECT_GT(near_wing, 20 * std::max<uint64_t>(far_field, 1));
+  // The element interiors (the blank "ovalish areas" of paper Fig. 5) hold
+  // no grid points at all.
+  auto elements = CfdAirfoilElements();
+  ASSERT_EQ(elements.size(), 2u);
+  for (const Polygon& element : elements) {
+    uint64_t inside = 0;
+    for (const Point& c : centers) {
+      if (element.Contains(c)) ++inside;
+    }
+    EXPECT_EQ(inside, 0u);
+  }
+}
+
+TEST(GeneratorTest, GaussianClustersAreClusteredAndSkewed) {
+  Rng rng(571);
+  ClusterParams params;
+  params.num_rects = 12000;
+  params.num_clusters = 8;
+  params.sigma = 0.02;
+  params.zipf = 1.0;
+  auto rects = GenerateGaussianClusters(params, &rng);
+  ASSERT_EQ(rects.size(), 12000u);
+  for (const Rect& r : rects) {
+    EXPECT_TRUE(Rect::UnitSquare().Contains(r));
+  }
+  // Clustered: a 20x20 grid should have most mass in few cells.
+  auto centers = Centers(rects);
+  std::vector<int> counts(400, 0);
+  for (const Point& c : centers) {
+    int cx = std::min(19, static_cast<int>(c.x * 20));
+    int cy = std::min(19, static_cast<int>(c.y * 20));
+    ++counts[cy * 20 + cx];
+  }
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  int top20 = 0;
+  for (int i = 0; i < 20; ++i) top20 += counts[i];
+  EXPECT_GT(top20, 6000);  // Top 5% of cells hold > half the points.
+}
+
+TEST(GeneratorTest, GaussianClustersRectSides) {
+  Rng rng(577);
+  ClusterParams params;
+  params.num_rects = 2000;
+  params.max_side = 0.01;
+  auto rects = GenerateGaussianClusters(params, &rng);
+  double max_side = 0.0;
+  for (const Rect& r : rects) {
+    EXPECT_NEAR(r.width(), r.height(), 1e-12);
+    max_side = std::max(max_side, r.width());
+    EXPECT_TRUE(Rect::UnitSquare().Contains(r));
+  }
+  EXPECT_GT(max_side, 0.005);  // Sides actually drawn up to the max.
+  EXPECT_LE(max_side, 0.01);
+}
+
+TEST(GeneratorTest, GeneratorsAreDeterministic) {
+  Rng a(563), b(563);
+  TigerParams params;
+  params.num_rects = 2000;
+  auto r1 = GenerateTigerSurrogate(params, &a);
+  auto r2 = GenerateTigerSurrogate(params, &b);
+  ASSERT_EQ(r1.size(), r2.size());
+  for (size_t i = 0; i < r1.size(); ++i) EXPECT_EQ(r1[i], r2[i]);
+}
+
+// --------------------------------------------------------------------------
+// File I/O
+// --------------------------------------------------------------------------
+
+TEST(IoTest, SaveLoadRoundTrip) {
+  Rng rng(569);
+  auto rects = GenerateSyntheticRegion(500, &rng);
+  std::string path = ::testing::TempDir() + "/rtb_io_test.rects";
+  ASSERT_TRUE(SaveRects(path, rects).ok());
+  auto loaded = LoadRects(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), rects.size());
+  for (size_t i = 0; i < rects.size(); ++i) {
+    EXPECT_EQ((*loaded)[i], rects[i]) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileIsIoError) {
+  auto loaded = LoadRects("/nonexistent/path/xyz.rects");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(IoTest, BadHeaderIsCorruption) {
+  std::string path = ::testing::TempDir() + "/rtb_io_bad.rects";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("not-a-header 3\n", f);
+    fclose(f);
+  }
+  auto loaded = LoadRects(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, TruncatedFileIsCorruption) {
+  std::string path = ::testing::TempDir() + "/rtb_io_trunc.rects";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("rtb-rects 5\n0.1 0.1 0.2 0.2\n", f);
+    fclose(f);
+  }
+  auto loaded = LoadRects(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rtb::data

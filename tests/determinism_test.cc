@@ -1,0 +1,138 @@
+// Determinism tests: the library guarantees that identical seeds give
+// identical results end-to-end (README "Conventions"). These tests exercise
+// that promise across component boundaries — generator -> loader -> summary
+// -> model -> simulator — so accidental nondeterminism (iteration-order
+// dependence, uninitialized reads, hidden global state) is caught.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "model/access_prob.h"
+#include "model/cost_model.h"
+#include "rtree/bulk_load.h"
+#include "rtree/summary.h"
+#include "sim/lru_sim.h"
+#include "sim/query_gen.h"
+#include "storage/page_store.h"
+#include "util/rng.h"
+
+namespace rtb {
+namespace {
+
+using rtree::TreeSummary;
+using storage::MemPageStore;
+
+// Builds the full pipeline twice from the same seed and compares summaries
+// byte-for-byte (MBRs are IEEE doubles; identical computation gives
+// identical bits).
+TEST(DeterminismTest, PipelineIsBitwiseReproducible) {
+  auto run = [](uint64_t seed) {
+    Rng rng(seed);
+    data::TigerParams params;
+    params.num_rects = 5000;
+    auto rects = data::GenerateTigerSurrogate(params, &rng);
+    MemPageStore store;
+    auto built = rtree::BuildRTree(&store, rtree::RTreeConfig::WithFanout(40),
+                                   rects, rtree::LoadAlgorithm::kHilbertSort);
+    EXPECT_TRUE(built.ok());
+    auto summary = TreeSummary::Extract(&store, built->root);
+    EXPECT_TRUE(summary.ok());
+    return std::make_unique<TreeSummary>(std::move(*summary));
+  };
+  auto a = run(424242);
+  auto b = run(424242);
+  ASSERT_EQ(a->NumNodes(), b->NumNodes());
+  for (size_t j = 0; j < a->nodes().size(); ++j) {
+    ASSERT_EQ(a->nodes()[j].mbr, b->nodes()[j].mbr) << j;
+    ASSERT_EQ(a->nodes()[j].level, b->nodes()[j].level);
+    ASSERT_EQ(a->nodes()[j].parent, b->nodes()[j].parent);
+  }
+  auto c = run(424243);  // Different seed -> different tree.
+  bool any_diff = c->NumNodes() != a->NumNodes();
+  for (size_t j = 0; !any_diff && j < a->nodes().size(); ++j) {
+    any_diff = !(a->nodes()[j].mbr == c->nodes()[j].mbr);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DeterminismTest, ModelIsPureFunctionOfInputs) {
+  Rng rng(31337);
+  auto rects = data::GenerateSyntheticRegion(3000, &rng);
+  MemPageStore store;
+  auto built = rtree::BuildRTree(&store, rtree::RTreeConfig::WithFanout(50),
+                                 rects, rtree::LoadAlgorithm::kNearestX);
+  ASSERT_TRUE(built.ok());
+  auto summary = TreeSummary::Extract(&store, built->root);
+  ASSERT_TRUE(summary.ok());
+  auto p1 = model::UniformAccessProbabilities(*summary, 0.05, 0.02);
+  auto p2 = model::UniformAccessProbabilities(*summary, 0.05, 0.02);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(*p1, *p2);
+  EXPECT_EQ(model::ExpectedDiskAccesses(*p1, 37),
+            model::ExpectedDiskAccesses(*p2, 37));
+}
+
+TEST(DeterminismTest, SimulatorRunsAreSeedReproducible) {
+  Rng rng(271828);
+  auto rects = data::GenerateUniformPoints(4000, &rng);
+  MemPageStore store;
+  auto built = rtree::BuildRTree(&store, rtree::RTreeConfig::WithFanout(25),
+                                 rects, rtree::LoadAlgorithm::kHilbertSort);
+  ASSERT_TRUE(built.ok());
+  auto summary = TreeSummary::Extract(&store, built->root);
+  ASSERT_TRUE(summary.ok());
+
+  auto simulate = [&](uint64_t seed) {
+    sim::SimOptions options;
+    options.buffer_pages = 30;
+    sim::MbrListSimulator simulator(&*summary, options);
+    sim::UniformPointGenerator gen;
+    Rng qrng(seed);
+    auto result = simulator.Run(&gen, &qrng, 5, 5000);
+    EXPECT_TRUE(result.ok());
+    return result->mean_disk_accesses;
+  };
+  EXPECT_DOUBLE_EQ(simulate(1), simulate(1));
+  EXPECT_NE(simulate(1), simulate(2));
+}
+
+TEST(DeterminismTest, AllGeneratorsSeedStable) {
+  auto fingerprint = [](const std::vector<geom::Rect>& rects) {
+    double acc = 0.0;
+    for (const geom::Rect& r : rects) {
+      acc += r.lo.x * 3.0 + r.lo.y * 5.0 + r.hi.x * 7.0 + r.hi.y * 11.0;
+    }
+    return acc;
+  };
+  for (int variant = 0; variant < 4; ++variant) {
+    auto make = [variant](uint64_t seed) {
+      Rng rng(seed);
+      switch (variant) {
+        case 0:
+          return data::GenerateUniformPoints(2000, &rng);
+        case 1:
+          return data::GenerateSyntheticRegion(2000, &rng);
+        case 2: {
+          data::TigerParams p;
+          p.num_rects = 2000;
+          return data::GenerateTigerSurrogate(p, &rng);
+        }
+        default: {
+          data::CfdParams p;
+          p.num_points = 2000;
+          return data::GenerateCfdSurrogate(p, &rng);
+        }
+      }
+    };
+    EXPECT_DOUBLE_EQ(fingerprint(make(17)), fingerprint(make(17)))
+        << "variant " << variant;
+    EXPECT_NE(fingerprint(make(17)), fingerprint(make(18)))
+        << "variant " << variant;
+  }
+}
+
+}  // namespace
+}  // namespace rtb

@@ -1,0 +1,191 @@
+// Failure-injection tests: I/O errors must propagate as Status through the
+// buffer pool and the R-tree without crashes, leaks of frames, or state
+// corruption — and the system must recover once the fault clears.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "rtree/bulk_load.h"
+#include "rtree/knn.h"
+#include "rtree/rtree.h"
+#include "rtree/summary.h"
+#include "storage/buffer_pool.h"
+#include "storage/fault_injection.h"
+#include "storage/page_store.h"
+#include "util/rng.h"
+
+namespace rtb::storage {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+
+TEST(FaultInjectionTest, PassThroughWhenHealthy) {
+  MemPageStore base(64);
+  FaultInjectingPageStore store(&base);
+  auto id = store.Allocate();
+  ASSERT_TRUE(id.ok());
+  std::vector<uint8_t> buf(64, 7);
+  ASSERT_TRUE(store.Write(*id, buf.data()).ok());
+  std::vector<uint8_t> out(64);
+  ASSERT_TRUE(store.Read(*id, out.data()).ok());
+  EXPECT_EQ(out[0], 7);
+}
+
+TEST(FaultInjectionTest, FailNextReadsCountsDown) {
+  MemPageStore base(64);
+  FaultInjectingPageStore store(&base);
+  (void)store.Allocate();
+  std::vector<uint8_t> buf(64);
+  store.FailNextReads(2, Status::IoError("boom"));
+  EXPECT_EQ(store.Read(0, buf.data()).code(), StatusCode::kIoError);
+  EXPECT_EQ(store.Read(0, buf.data()).code(), StatusCode::kIoError);
+  EXPECT_TRUE(store.Read(0, buf.data()).ok());
+}
+
+TEST(BufferPoolFaultTest, ReadFaultSurfacesAndFrameIsReusable) {
+  MemPageStore base(64);
+  FaultInjectingPageStore store(&base);
+  for (int i = 0; i < 3; ++i) (void)store.Allocate();
+  auto pool = BufferPool::MakeLru(&store, 2);
+
+  store.FailNextReads(1, Status::IoError("disk died"));
+  auto failed = pool->Fetch(0);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIoError);
+  EXPECT_FALSE(pool->Contains(0));
+
+  // The frame must have been returned to the free list: the pool can still
+  // hold two pages.
+  auto a = pool->Fetch(1);
+  auto b = pool->Fetch(2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // And the faulted page is fetchable after the fault clears.
+  a->Release();
+  b->Release();
+  auto recovered = pool->Fetch(0);
+  EXPECT_TRUE(recovered.ok());
+}
+
+TEST(BufferPoolFaultTest, WritebackFaultSurfacesOnEviction) {
+  MemPageStore base(64);
+  FaultInjectingPageStore store(&base);
+  for (int i = 0; i < 2; ++i) (void)store.Allocate();
+  auto pool = BufferPool::MakeLru(&store, 1);
+  {
+    auto g = pool->FetchMutable(0);
+    ASSERT_TRUE(g.ok());
+    g->mutable_data()[0] = 9;
+  }
+  store.FailNextWrites(1, Status::IoError("write fault"));
+  auto next = pool->Fetch(1);  // Must evict dirty page 0 -> writeback fails.
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kIoError);
+  // Retry succeeds once the fault clears, and the dirty data survives.
+  auto retry = pool->Fetch(1);
+  ASSERT_TRUE(retry.ok());
+  retry->Release();
+  ASSERT_TRUE(pool->EvictAll().ok());
+  std::vector<uint8_t> buf(64);
+  ASSERT_TRUE(base.Read(0, buf.data()).ok());
+  EXPECT_EQ(buf[0], 9);
+}
+
+class RTreeFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(881);
+    rects_ = data::GenerateSyntheticRegion(2000, &rng);
+    auto built = rtree::BuildRTree(&base_, rtree::RTreeConfig::WithFanout(16),
+                                   rects_, rtree::LoadAlgorithm::kHilbertSort);
+    ASSERT_TRUE(built.ok());
+    built_ = *built;
+    store_ = std::make_unique<FaultInjectingPageStore>(&base_);
+    pool_ = BufferPool::MakeLru(store_.get(), 8);
+    auto tree = rtree::RTree::Open(pool_.get(),
+                                   rtree::RTreeConfig::WithFanout(16),
+                                   built_.root, built_.height);
+    ASSERT_TRUE(tree.ok());
+    tree_ = std::make_unique<rtree::RTree>(std::move(*tree));
+    ASSERT_TRUE(pool_->EvictAll().ok());
+  }
+
+  MemPageStore base_{kDefaultPageSize};
+  rtree::BuiltTree built_;
+  std::unique_ptr<FaultInjectingPageStore> store_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<rtree::RTree> tree_;
+  std::vector<Rect> rects_;
+};
+
+TEST_F(RTreeFaultTest, SearchPropagatesIoErrorAndRecovers) {
+  store_->FailNextReads(1, Status::IoError("transient"));
+  std::vector<rtree::ObjectId> out;
+  Status s = tree_->Search(Rect(0.4, 0.4, 0.6, 0.6), &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+
+  // Same query succeeds after the fault clears, with complete results.
+  out.clear();
+  ASSERT_TRUE(tree_->Search(Rect(0.4, 0.4, 0.6, 0.6), &out).ok());
+  size_t expected = 0;
+  for (const Rect& r : rects_) {
+    if (r.Intersects(Rect(0.4, 0.4, 0.6, 0.6))) ++expected;
+  }
+  EXPECT_EQ(out.size(), expected);
+}
+
+TEST_F(RTreeFaultTest, PoisonedLeafFailsOnlyQueriesTouchingIt) {
+  // Poison one leaf page; queries in other regions keep working.
+  auto summary = rtree::TreeSummary::Extract(&base_, built_.root);
+  ASSERT_TRUE(summary.ok());
+  PageId poisoned = kInvalidPageId;
+  Rect poisoned_mbr;
+  for (const auto& node : summary->nodes()) {
+    if (node.level == 0) {
+      poisoned = node.page;
+      poisoned_mbr = node.mbr;
+      break;
+    }
+  }
+  ASSERT_NE(poisoned, kInvalidPageId);
+  ASSERT_TRUE(pool_->EvictAll().ok());
+  store_->FailPage(poisoned, Status::IoError("bad sector"));
+
+  std::vector<rtree::ObjectId> out;
+  Status hit = tree_->Search(poisoned_mbr, &out);
+  EXPECT_FALSE(hit.ok());
+
+  // A query in a disjoint region avoids the poisoned page entirely.
+  Rect elsewhere = poisoned_mbr.Center().x < 0.5
+                       ? Rect(0.9, 0.9, 0.95, 0.95)
+                       : Rect(0.02, 0.02, 0.05, 0.05);
+  out.clear();
+  EXPECT_TRUE(tree_->Search(elsewhere, &out).ok());
+}
+
+TEST_F(RTreeFaultTest, InsertFailureLeavesTreeReadable) {
+  store_->FailNextReads(1, Status::IoError("transient"));
+  Status s = tree_->Insert(Rect(0.5, 0.5, 0.51, 0.51), 999999);
+  EXPECT_FALSE(s.ok());
+  // The tree remains fully readable afterwards.
+  std::vector<rtree::ObjectId> out;
+  ASSERT_TRUE(tree_->Search(Rect::UnitSquare(), &out).ok());
+  EXPECT_GE(out.size(), rects_.size());
+}
+
+TEST_F(RTreeFaultTest, KnnPropagatesIoError) {
+  store_->FailNextReads(1, Status::IoError("transient"));
+  auto got = rtree::SearchKnn(*tree_, Point{0.5, 0.5}, 3);
+  EXPECT_FALSE(got.ok());
+  auto retry = rtree::SearchKnn(*tree_, Point{0.5, 0.5}, 3);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry->size(), 3u);
+}
+
+}  // namespace
+}  // namespace rtb::storage

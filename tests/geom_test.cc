@@ -1,0 +1,352 @@
+// Tests for the geometry kernel: Rect operations, the paper's expansion
+// constructions, the Hilbert curve, and PointGrid range counting.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geom/hilbert.h"
+#include "geom/point.h"
+#include "geom/point_grid.h"
+#include "geom/rect.h"
+#include "util/rng.h"
+
+namespace rtb::geom {
+namespace {
+
+Rect RandomRect(Rng* rng) {
+  double x0 = rng->NextDouble(), x1 = rng->NextDouble();
+  double y0 = rng->NextDouble(), y1 = rng->NextDouble();
+  return Rect(std::min(x0, x1), std::min(y0, y1), std::max(x0, x1),
+              std::max(y0, y1));
+}
+
+// --------------------------------------------------------------------------
+// Rect basics
+// --------------------------------------------------------------------------
+
+TEST(RectTest, AreaAndPerimeter) {
+  Rect r(0.1, 0.2, 0.5, 0.8);
+  EXPECT_DOUBLE_EQ(r.Area(), 0.4 * 0.6);
+  EXPECT_DOUBLE_EQ(r.Perimeter(), 2.0 * (0.4 + 0.6));
+  EXPECT_DOUBLE_EQ(r.XExtent(), 0.4);
+  EXPECT_DOUBLE_EQ(r.YExtent(), 0.6);
+}
+
+TEST(RectTest, EmptyRect) {
+  Rect e = Rect::Empty();
+  EXPECT_TRUE(e.is_empty());
+  EXPECT_EQ(e.Area(), 0.0);
+  EXPECT_FALSE(e.Intersects(Rect::UnitSquare()));
+  EXPECT_FALSE(e.Contains(Point{0.5, 0.5}));
+}
+
+TEST(RectTest, DegeneratePointRectIsValid) {
+  Rect p = Rect::FromPoint(Point{0.3, 0.7});
+  EXPECT_FALSE(p.is_empty());
+  EXPECT_EQ(p.Area(), 0.0);
+  EXPECT_TRUE(p.Contains(Point{0.3, 0.7}));
+  EXPECT_TRUE(p.Intersects(Rect(0.0, 0.0, 0.3, 0.7)));  // Corner touch.
+}
+
+TEST(RectTest, ContainsPointBoundaryInclusive) {
+  Rect r(0.0, 0.0, 1.0, 1.0);
+  EXPECT_TRUE(r.Contains(Point{0.0, 0.0}));
+  EXPECT_TRUE(r.Contains(Point{1.0, 1.0}));
+  EXPECT_FALSE(r.Contains(Point{1.0000001, 0.5}));
+}
+
+TEST(RectTest, ContainsRect) {
+  Rect outer(0.0, 0.0, 1.0, 1.0);
+  EXPECT_TRUE(outer.Contains(Rect(0.2, 0.2, 0.8, 0.8)));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Rect(0.5, 0.5, 1.1, 0.9)));
+  EXPECT_TRUE(outer.Contains(Rect::Empty()));
+  EXPECT_FALSE(Rect::Empty().Contains(outer));
+}
+
+TEST(RectTest, IntersectsSymmetricAndEdgeTouching) {
+  Rect a(0.0, 0.0, 0.5, 0.5);
+  Rect b(0.5, 0.5, 1.0, 1.0);  // Touches at one corner.
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  Rect c(0.6, 0.0, 1.0, 0.4);
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(RectTest, UnionIsSmallestEnclosing) {
+  Rect a(0.1, 0.1, 0.3, 0.3);
+  Rect b(0.2, 0.0, 0.6, 0.2);
+  Rect u = Union(a, b);
+  EXPECT_EQ(u, Rect(0.1, 0.0, 0.6, 0.3));
+  EXPECT_TRUE(u.Contains(a));
+  EXPECT_TRUE(u.Contains(b));
+}
+
+TEST(RectTest, UnionWithEmptyIsIdentity) {
+  Rect a(0.1, 0.1, 0.3, 0.3);
+  EXPECT_EQ(Union(a, Rect::Empty()), a);
+  EXPECT_EQ(Union(Rect::Empty(), a), a);
+}
+
+TEST(RectTest, IntersectionOfOverlapping) {
+  Rect a(0.0, 0.0, 0.5, 0.5);
+  Rect b(0.25, 0.25, 1.0, 1.0);
+  EXPECT_EQ(Intersection(a, b), Rect(0.25, 0.25, 0.5, 0.5));
+  EXPECT_TRUE(Intersection(a, Rect(0.6, 0.6, 1.0, 1.0)).is_empty());
+}
+
+TEST(RectTest, EnlargementZeroWhenContained) {
+  Rect base(0.0, 0.0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(Enlargement(base, Rect(0.2, 0.2, 0.4, 0.4)), 0.0);
+  EXPECT_GT(Enlargement(Rect(0.0, 0.0, 0.5, 0.5), Rect(0.9, 0.9, 1.0, 1.0)),
+            0.0);
+}
+
+TEST(RectTest, ExtendTopRightMatchesPaperConstruction) {
+  // Fig. 2: Q intersects R iff Q's top-right corner is inside R extended by
+  // qx, qy beyond its top-right corner.
+  Rng rng(41);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Rect r = RandomRect(&rng);
+    double qx = rng.Uniform(0.0, 0.4), qy = rng.Uniform(0.0, 0.4);
+    double tx = rng.NextDouble(), ty = rng.NextDouble();
+    Rect query(tx - qx, ty - qy, tx, ty);
+    Rect extended = ExtendTopRight(r, qx, qy);
+    EXPECT_EQ(query.Intersects(r), extended.Contains(Point{tx, ty}))
+        << "trial " << trial;
+  }
+}
+
+TEST(RectTest, ExpandAboutCenterMatchesPaperConstruction) {
+  // Fig. 4: a qx x qy query centered at c intersects R iff c is inside R
+  // expanded by qx (resp. qy) about its center.
+  Rng rng(43);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Rect r = RandomRect(&rng);
+    double qx = rng.Uniform(0.0, 0.4), qy = rng.Uniform(0.0, 0.4);
+    Point c{rng.NextDouble(), rng.NextDouble()};
+    Rect query(c.x - qx / 2, c.y - qy / 2, c.x + qx / 2, c.y + qy / 2);
+    Rect expanded = ExpandAboutCenter(r, qx, qy);
+    EXPECT_EQ(query.Intersects(r), expanded.Contains(c)) << "trial " << trial;
+  }
+}
+
+TEST(RectTest, CenterIsMidpoint) {
+  Rect r(0.2, 0.4, 0.6, 1.0);
+  EXPECT_DOUBLE_EQ(r.Center().x, 0.4);
+  EXPECT_DOUBLE_EQ(r.Center().y, 0.7);
+}
+
+// Property sweep: union is commutative, associative, and monotone.
+TEST(RectPropertyTest, UnionAlgebra) {
+  Rng rng(47);
+  for (int trial = 0; trial < 500; ++trial) {
+    Rect a = RandomRect(&rng), b = RandomRect(&rng), c = RandomRect(&rng);
+    EXPECT_EQ(Union(a, b), Union(b, a));
+    EXPECT_EQ(Union(Union(a, b), c), Union(a, Union(b, c)));
+    EXPECT_GE(Union(a, b).Area(), std::max(a.Area(), b.Area()));
+  }
+}
+
+// --------------------------------------------------------------------------
+// Hilbert curve
+// --------------------------------------------------------------------------
+
+class HilbertOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HilbertOrderTest, BijectionOnFullGrid) {
+  const int order = GetParam();
+  HilbertCurve2D curve(order);
+  if (curve.num_cells() > 1u << 16) GTEST_SKIP() << "grid too large";
+  std::vector<bool> seen(curve.num_cells(), false);
+  for (uint32_t x = 0; x < curve.side(); ++x) {
+    for (uint32_t y = 0; y < curve.side(); ++y) {
+      uint64_t d = curve.XYToIndex(x, y);
+      ASSERT_LT(d, curve.num_cells());
+      ASSERT_FALSE(seen[d]) << "duplicate index " << d;
+      seen[d] = true;
+      uint32_t rx, ry;
+      curve.IndexToXY(d, &rx, &ry);
+      ASSERT_EQ(rx, x);
+      ASSERT_EQ(ry, y);
+    }
+  }
+}
+
+TEST_P(HilbertOrderTest, ConsecutiveIndicesAreGridNeighbors) {
+  // The defining property of the Hilbert curve: it visits every cell once
+  // and consecutive cells are 4-adjacent.
+  const int order = GetParam();
+  HilbertCurve2D curve(order);
+  if (curve.num_cells() > 1u << 16) GTEST_SKIP() << "grid too large";
+  uint32_t px, py;
+  curve.IndexToXY(0, &px, &py);
+  for (uint64_t d = 1; d < curve.num_cells(); ++d) {
+    uint32_t x, y;
+    curve.IndexToXY(d, &x, &y);
+    uint32_t manhattan = (x > px ? x - px : px - x) +
+                         (y > py ? y - py : py - y);
+    ASSERT_EQ(manhattan, 1u) << "jump at d=" << d;
+    px = x;
+    py = y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, HilbertOrderTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(HilbertTest, HighOrderRoundTripSampled) {
+  HilbertCurve2D curve(16);
+  Rng rng(53);
+  for (int i = 0; i < 5000; ++i) {
+    uint32_t x = static_cast<uint32_t>(rng.UniformInt(curve.side()));
+    uint32_t y = static_cast<uint32_t>(rng.UniformInt(curve.side()));
+    uint64_t d = curve.XYToIndex(x, y);
+    uint32_t rx, ry;
+    curve.IndexToXY(d, &rx, &ry);
+    ASSERT_EQ(rx, x);
+    ASSERT_EQ(ry, y);
+  }
+}
+
+TEST(HilbertTest, PointToIndexHandlesBoundaries) {
+  HilbertCurve2D curve(8);
+  // Clamped corners must be valid indices.
+  EXPECT_LT(curve.PointToIndex(Point{0.0, 0.0}), curve.num_cells());
+  EXPECT_LT(curve.PointToIndex(Point{1.0, 1.0}), curve.num_cells());
+  EXPECT_LT(curve.PointToIndex(Point{-3.0, 5.0}), curve.num_cells());
+}
+
+TEST(HilbertTest, NearPairsCloserOnCurveThanRandomPairs) {
+  // The HS loader relies on the curve's locality: points that are close in
+  // the plane are, on average, far closer along the curve than arbitrary
+  // point pairs. (The converse need not hold, so this compares medians of
+  // near pairs vs random pairs.)
+  HilbertCurve2D curve(10);
+  Rng rng(59);
+  const int n = 3000;
+  std::vector<double> near_gaps, random_gaps;
+  for (int i = 0; i < n; ++i) {
+    Point p{rng.NextDouble(), rng.NextDouble()};
+    Point q{std::clamp(p.x + 0.002, 0.0, 1.0),
+            std::clamp(p.y + 0.002, 0.0, 1.0)};
+    Point r{rng.NextDouble(), rng.NextDouble()};
+    near_gaps.push_back(
+        std::abs(static_cast<double>(curve.PointToIndex(p)) -
+                 static_cast<double>(curve.PointToIndex(q))));
+    random_gaps.push_back(
+        std::abs(static_cast<double>(curve.PointToIndex(p)) -
+                 static_cast<double>(curve.PointToIndex(r))));
+  }
+  auto median = [](std::vector<double> v) {
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+  EXPECT_LT(median(near_gaps) * 100.0, median(random_gaps));
+}
+
+// --------------------------------------------------------------------------
+// PointGrid
+// --------------------------------------------------------------------------
+
+uint64_t NaiveCount(const std::vector<Point>& points, const Rect& r) {
+  uint64_t c = 0;
+  for (const Point& p : points) {
+    if (r.Contains(p)) ++c;
+  }
+  return c;
+}
+
+TEST(PointGridTest, MatchesNaiveCountOnRandomQueries) {
+  Rng rng(61);
+  std::vector<Point> points;
+  for (int i = 0; i < 5000; ++i) {
+    points.push_back(Point{rng.NextDouble(), rng.NextDouble()});
+  }
+  PointGrid grid(points);
+  for (int trial = 0; trial < 500; ++trial) {
+    Rect r = RandomRect(&rng);
+    ASSERT_EQ(grid.CountInRect(r), NaiveCount(points, r)) << "trial " << trial;
+  }
+}
+
+TEST(PointGridTest, MatchesNaiveOnClusteredPoints) {
+  Rng rng(67);
+  std::vector<Point> points;
+  for (int i = 0; i < 3000; ++i) {
+    // Tight cluster plus sparse background.
+    if (i % 10 == 0) {
+      points.push_back(Point{rng.NextDouble(), rng.NextDouble()});
+    } else {
+      points.push_back(Point{0.5 + rng.NextGaussian() * 0.01,
+                             0.5 + rng.NextGaussian() * 0.01});
+    }
+  }
+  PointGrid grid(points);
+  for (int trial = 0; trial < 300; ++trial) {
+    Rect r = RandomRect(&rng);
+    ASSERT_EQ(grid.CountInRect(r), NaiveCount(points, r));
+  }
+  // Tiny rectangles around the cluster center exercise boundary cells.
+  for (int trial = 0; trial < 300; ++trial) {
+    double cx = 0.5 + rng.NextGaussian() * 0.01;
+    double cy = 0.5 + rng.NextGaussian() * 0.01;
+    Rect r(cx - 0.003, cy - 0.003, cx + 0.003, cy + 0.003);
+    ASSERT_EQ(grid.CountInRect(r), NaiveCount(points, r));
+  }
+}
+
+// Exactness must hold for any grid resolution, including degenerate ones.
+class PointGridResolutionTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PointGridResolutionTest, ExactAtAnyResolution) {
+  Rng rng(68 + GetParam());
+  std::vector<Point> points;
+  for (int i = 0; i < 1500; ++i) {
+    points.push_back(Point{rng.NextDouble(), rng.NextDouble()});
+  }
+  PointGrid grid(points, GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    Rect r = RandomRect(&rng);
+    ASSERT_EQ(grid.CountInRect(r), NaiveCount(points, r))
+        << "resolution " << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, PointGridResolutionTest,
+                         ::testing::Values(1, 2, 3, 7, 64, 500));
+
+TEST(PointGridTest, QueriesBeyondBoundsAndEmpty) {
+  std::vector<Point> points = {{0.5, 0.5}, {0.25, 0.75}};
+  PointGrid grid(points);
+  EXPECT_EQ(grid.CountInRect(Rect(-5, -5, 5, 5)), 2u);
+  EXPECT_EQ(grid.CountInRect(Rect(2, 2, 3, 3)), 0u);
+  EXPECT_EQ(grid.CountInRect(Rect::Empty()), 0u);
+}
+
+TEST(PointGridTest, DegenerateAllCollinear) {
+  std::vector<Point> points;
+  for (int i = 0; i < 100; ++i) {
+    points.push_back(Point{0.5, i / 100.0});
+  }
+  PointGrid grid(points);
+  EXPECT_EQ(grid.CountInRect(Rect(0.5, 0.0, 0.5, 1.0)), 100u);
+  EXPECT_EQ(grid.CountInRect(Rect(0.4, 0.0, 0.45, 1.0)), 0u);
+  EXPECT_EQ(grid.CountInRect(Rect(0.0, 0.0, 1.0, 0.495)), 50u);
+}
+
+TEST(PointGridTest, ExplicitCellCounts) {
+  std::vector<Point> points = {{0.1, 0.1}, {0.9, 0.9}, {0.5, 0.5},
+                               {0.5, 0.5}, {0.500001, 0.5}};
+  PointGrid grid(points, 4);
+  EXPECT_EQ(grid.CountInRect(Rect(0.45, 0.45, 0.55, 0.55)), 3u);
+  EXPECT_EQ(grid.CountInRect(Rect(0.0, 0.0, 0.2, 0.2)), 1u);
+  EXPECT_EQ(grid.CountInRect(Rect(0.0, 0.0, 1.0, 1.0)), 5u);
+}
+
+}  // namespace
+}  // namespace rtb::geom

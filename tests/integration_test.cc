@@ -1,0 +1,265 @@
+// Integration tests reproducing the paper's validation methodology
+// (Section 4 / Table 1): the analytical buffer model must agree with LRU
+// simulation across trees, buffer sizes, and query models.
+//
+// The paper validates with 20 batches of 1,000,000 queries and reports
+// agreement within 2%. These tests use shorter runs, so the tolerance is
+// slightly looser; the full-scale run lives in bench/table1_validation.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "model/access_prob.h"
+#include "model/cost_model.h"
+#include "rtree/bulk_load.h"
+#include "rtree/summary.h"
+#include "sim/lru_sim.h"
+#include "sim/query_gen.h"
+#include "storage/page_store.h"
+#include "util/rng.h"
+
+namespace rtb {
+namespace {
+
+using geom::Point;
+using model::QuerySpec;
+using rtree::LoadAlgorithm;
+using rtree::TreeSummary;
+using storage::MemPageStore;
+
+// Relative tolerance for model-vs-simulation agreement. The paper reports
+// <= 2% with 20M queries/cell; with ~300k queries/cell statistical noise is
+// larger, so accept 8% relative or 0.02 absolute, whichever is looser.
+constexpr double kRelTol = 0.08;
+constexpr double kAbsTol = 0.02;
+
+void ExpectClose(double model, double sim, const std::string& label) {
+  double tol = std::max(kAbsTol, kRelTol * sim);
+  EXPECT_NEAR(model, sim, tol) << label;
+}
+
+struct BuiltSummary {
+  std::unique_ptr<TreeSummary> summary;
+  std::vector<Point> centers;
+};
+
+BuiltSummary Build(const std::vector<geom::Rect>& rects, uint32_t fanout,
+                   LoadAlgorithm algo) {
+  MemPageStore store;
+  auto built = rtree::BuildRTree(&store, rtree::RTreeConfig::WithFanout(fanout),
+                                 rects, algo);
+  EXPECT_TRUE(built.ok());
+  auto summary = TreeSummary::Extract(&store, built->root);
+  EXPECT_TRUE(summary.ok());
+  BuiltSummary out;
+  out.summary = std::make_unique<TreeSummary>(*summary);
+  out.centers = data::Centers(rects);
+  return out;
+}
+
+double Simulate(const TreeSummary& summary, const QuerySpec& spec,
+                const std::vector<Point>* centers, uint64_t buffer,
+                uint64_t seed, uint32_t batches = 10,
+                uint64_t batch_size = 30000) {
+  sim::SimOptions options;
+  options.buffer_pages = buffer;
+  sim::MbrListSimulator simulator(&summary, options);
+  auto gen = sim::MakeGenerator(spec, centers);
+  EXPECT_TRUE(gen.ok());
+  Rng rng(seed);
+  auto result = simulator.Run(gen->get(), &rng, batches, batch_size);
+  EXPECT_TRUE(result.ok());
+  return result->mean_disk_accesses;
+}
+
+double Predict(const TreeSummary& summary, const QuerySpec& spec,
+               const std::vector<Point>* centers, uint64_t buffer) {
+  auto ed = model::PredictDiskAccesses(summary, spec, buffer, centers);
+  EXPECT_TRUE(ed.ok());
+  return *ed;
+}
+
+// --------------------------------------------------------------------------
+// Table-1 style: uniform point queries on the paper's 1,668-node trees.
+// --------------------------------------------------------------------------
+
+class Table1ValidationTest
+    : public ::testing::TestWithParam<std::tuple<LoadAlgorithm, uint64_t>> {};
+
+TEST_P(Table1ValidationTest, ModelAgreesWithSimulation) {
+  auto [algo, buffer] = GetParam();
+  Rng data_rng(1998);
+  auto rects = data::GenerateUniformPoints(40000, &data_rng);
+  BuiltSummary built = Build(rects, 25, algo);
+  ASSERT_EQ(built.summary->NumNodes(), 1668u);
+
+  QuerySpec spec = QuerySpec::UniformPoint();
+  double predicted = Predict(*built.summary, spec, nullptr, buffer);
+  double simulated = Simulate(*built.summary, spec, nullptr, buffer,
+                              /*seed=*/buffer * 7919 + 1);
+  ExpectClose(predicted, simulated,
+              std::string(LoadAlgorithmName(algo)) + " buffer " +
+                  std::to_string(buffer));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TreesAndBuffers, Table1ValidationTest,
+    ::testing::Combine(::testing::Values(LoadAlgorithm::kNearestX,
+                                         LoadAlgorithm::kHilbertSort,
+                                         LoadAlgorithm::kStr),
+                       ::testing::Values(10, 100, 400)),
+    [](const auto& info) {
+      return std::string(LoadAlgorithmName(std::get<0>(info.param))) + "_B" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --------------------------------------------------------------------------
+// Region queries and data-driven queries.
+// --------------------------------------------------------------------------
+
+TEST(RegionValidationTest, UniformRegionModelAgreesWithSimulation) {
+  Rng data_rng(2024);
+  auto rects = data::GenerateSyntheticRegion(10000, &data_rng);
+  BuiltSummary built = Build(rects, 100, LoadAlgorithm::kHilbertSort);
+  QuerySpec spec = QuerySpec::UniformRegion(0.1, 0.1);  // 1% region query.
+  // Buffers comfortably above the per-query footprint (~8 nodes): the
+  // model's recency-window approximation assumes the buffer outlives a
+  // single query (see SmallBufferRegimeTest for the other side).
+  for (uint64_t buffer : {30, 80}) {
+    double predicted = Predict(*built.summary, spec, nullptr, buffer);
+    double simulated = Simulate(*built.summary, spec, nullptr, buffer,
+                                /*seed=*/buffer + 5, 10, 15000);
+    ExpectClose(predicted, simulated, "region buffer " + std::to_string(buffer));
+  }
+}
+
+TEST(DataDrivenValidationTest, PointModelAgreesWithSimulation) {
+  Rng data_rng(2025);
+  data::TigerParams params;
+  params.num_rects = 8000;
+  auto rects = data::GenerateTigerSurrogate(params, &data_rng);
+  BuiltSummary built = Build(rects, 50, LoadAlgorithm::kHilbertSort);
+  QuerySpec spec = QuerySpec::DataDrivenPoint();
+  for (uint64_t buffer : {10, 60}) {
+    double predicted = Predict(*built.summary, spec, &built.centers, buffer);
+    double simulated = Simulate(*built.summary, spec, &built.centers, buffer,
+                                /*seed=*/buffer + 77, 10, 20000);
+    ExpectClose(predicted, simulated,
+                "data-driven buffer " + std::to_string(buffer));
+  }
+}
+
+TEST(DataDrivenValidationTest, RegionModelAgreesWithSimulation) {
+  Rng data_rng(2026);
+  data::CfdParams params;
+  params.num_points = 6000;
+  auto rects = data::GenerateCfdSurrogate(params, &data_rng);
+  BuiltSummary built = Build(rects, 50, LoadAlgorithm::kHilbertSort);
+  QuerySpec spec = QuerySpec::DataDrivenRegion(0.02, 0.02);
+  for (uint64_t buffer : {40, 90}) {
+    double predicted = Predict(*built.summary, spec, &built.centers, buffer);
+    double simulated = Simulate(*built.summary, spec, &built.centers, buffer,
+                                /*seed=*/buffer + 99, 10, 20000);
+    // Extreme data skew plus query-to-query node correlation stretches the
+    // model's independence approximation; accuracy here is ~10% rather than
+    // the paper's 2% point-query figure (recorded in EXPERIMENTS.md).
+    double tol = std::max(kAbsTol, 0.12 * simulated);
+    EXPECT_NEAR(predicted, simulated, tol)
+        << "cfd data-driven buffer " << buffer;
+  }
+}
+
+TEST(SmallBufferRegimeTest, ModelUnderestimatesWhenBufferBelowQueryFootprint) {
+  // Documented model limitation (reported in EXPERIMENTS.md): when the
+  // buffer is smaller than a single region query's node footprint, N* is
+  // forced to its floor and the mean-field hit estimate is optimistic, so
+  // the model *underestimates* disk accesses. The paper validates with
+  // point queries (footprint = tree height), where this regime is absent.
+  Rng data_rng(2030);
+  auto rects = data::GenerateSyntheticRegion(10000, &data_rng);
+  BuiltSummary built = Build(rects, 100, LoadAlgorithm::kHilbertSort);
+  QuerySpec spec = QuerySpec::UniformRegion(0.1, 0.1);
+  const uint64_t buffer = 5;  // Below the ~8-node per-query footprint.
+  double predicted = Predict(*built.summary, spec, nullptr, buffer);
+  double simulated = Simulate(*built.summary, spec, nullptr, buffer,
+                              /*seed=*/77, 10, 10000);
+  EXPECT_LT(predicted, simulated);          // Bias direction is consistent.
+  EXPECT_GT(predicted, simulated * 0.6);    // And bounded.
+}
+
+// --------------------------------------------------------------------------
+// Pinning: model vs simulation.
+// --------------------------------------------------------------------------
+
+TEST(PinningValidationTest, PinnedModelAgreesWithPinnedSimulation) {
+  Rng data_rng(2027);
+  auto rects = data::GenerateUniformPoints(40000, &data_rng);
+  BuiltSummary built = Build(rects, 25, LoadAlgorithm::kHilbertSort);
+  auto probs = model::UniformAccessProbabilities(*built.summary, 0.0, 0.0);
+  ASSERT_TRUE(probs.ok());
+
+  for (uint16_t levels : {1, 2, 3}) {
+    const uint64_t buffer = 500;
+    auto predicted = model::ExpectedDiskAccessesPinned(*built.summary, *probs,
+                                                       buffer, levels);
+    ASSERT_TRUE(predicted.feasible);
+
+    sim::SimOptions options;
+    options.buffer_pages = buffer;
+    options.pinned_levels = levels;
+    sim::MbrListSimulator simulator(built.summary.get(), options);
+    sim::UniformPointGenerator gen;
+    Rng rng(2100 + levels);
+    auto result = simulator.Run(&gen, &rng, 10, 30000);
+    ASSERT_TRUE(result.ok());
+    ExpectClose(predicted.disk_accesses, result->mean_disk_accesses,
+                "pinned levels " + std::to_string(levels));
+  }
+}
+
+// --------------------------------------------------------------------------
+// Qualitative paper findings at test scale.
+// --------------------------------------------------------------------------
+
+TEST(QualitativeTest, BufferChangesAlgorithmOrderingStory) {
+  // Core claim of the paper: node accesses (bufferless) and disk accesses
+  // (buffered) are different metrics; the bufferless metric overstates the
+  // cost of a well-structured tree once a buffer exists. At minimum the
+  // buffered cost must be well below the bufferless cost for a warm buffer.
+  Rng data_rng(2028);
+  data::TigerParams params;
+  params.num_rects = 10000;
+  auto rects = data::GenerateTigerSurrogate(params, &data_rng);
+  BuiltSummary hs = Build(rects, 100, LoadAlgorithm::kHilbertSort);
+  auto probs = model::UniformAccessProbabilities(*hs.summary, 0.0, 0.0);
+  ASSERT_TRUE(probs.ok());
+  double bufferless = model::ExpectedNodeAccesses(*probs);
+  double buffered = model::ExpectedDiskAccesses(*probs, 50);
+  EXPECT_LT(buffered, bufferless * 0.8);
+}
+
+TEST(QualitativeTest, DeeperBufferHelpsTatMoreLinearly) {
+  // Section 5.3: TAT trees benefit roughly linearly from buffer increases;
+  // HS trees get most of the benefit early. Check that HS's relative
+  // improvement from a small buffer exceeds TAT's.
+  Rng data_rng(2029);
+  auto rects = data::GenerateSyntheticRegion(8000, &data_rng);
+  BuiltSummary hs = Build(rects, 50, LoadAlgorithm::kHilbertSort);
+  BuiltSummary tat = Build(rects, 50, LoadAlgorithm::kTupleAtATime);
+  QuerySpec spec = QuerySpec::UniformPoint();
+  double hs_0 = Predict(*hs.summary, spec, nullptr, 0);
+  double hs_small = Predict(*hs.summary, spec, nullptr, 20);
+  double tat_0 = Predict(*tat.summary, spec, nullptr, 0);
+  double tat_small = Predict(*tat.summary, spec, nullptr, 20);
+  // Relative improvement from the first 20 pages of buffer.
+  double hs_gain = (hs_0 - hs_small) / hs_0;
+  double tat_gain = (tat_0 - tat_small) / tat_0;
+  EXPECT_GT(hs_gain, tat_gain);
+}
+
+}  // namespace
+}  // namespace rtb

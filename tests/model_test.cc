@@ -1,0 +1,430 @@
+// Tests for the access-probability and buffer cost models, including
+// Monte-Carlo cross-checks of the closed-form probabilities.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "geom/rect.h"
+#include "model/access_prob.h"
+#include "model/cost_model.h"
+#include "rtree/bulk_load.h"
+#include "rtree/summary.h"
+#include "storage/page_store.h"
+#include "util/rng.h"
+
+namespace rtb::model {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+using rtree::TreeSummary;
+using storage::MemPageStore;
+
+// Builds a summary for a packed tree over `rects`.
+TreeSummary MakeSummary(const std::vector<Rect>& rects, uint32_t fanout,
+                        rtree::LoadAlgorithm algo) {
+  MemPageStore store;
+  auto built = rtree::BuildRTree(&store, rtree::RTreeConfig::WithFanout(fanout),
+                                 rects, algo);
+  EXPECT_TRUE(built.ok());
+  auto summary = TreeSummary::Extract(&store, built->root);
+  EXPECT_TRUE(summary.ok());
+  return *summary;
+}
+
+// --------------------------------------------------------------------------
+// Uniform access probabilities
+// --------------------------------------------------------------------------
+
+TEST(UniformAccessTest, PointQueryProbabilityIsArea) {
+  // For an MBR inside the unit square, the point-query access probability
+  // is exactly its area (Kamel-Faloutsos).
+  Rect r(0.2, 0.3, 0.6, 0.7);
+  EXPECT_DOUBLE_EQ(UniformAccessProbability(r, 0.0, 0.0), r.Area());
+}
+
+TEST(UniformAccessTest, RegionProbabilityClampedToOne) {
+  // Paper Fig. 3b: a 0.9 x 0.9 query against a large rectangle must not get
+  // probability 1.21.
+  Rect r(0.0, 0.0, 0.2, 0.2);
+  double p = UniformAccessProbability(r, 0.9, 0.9);
+  EXPECT_LE(p, 1.0);
+  EXPECT_GT(p, 0.0);
+}
+
+TEST(UniformAccessTest, WholeSquareAlwaysAccessed) {
+  EXPECT_DOUBLE_EQ(UniformAccessProbability(Rect::UnitSquare(), 0.0, 0.0),
+                   1.0);
+  EXPECT_DOUBLE_EQ(UniformAccessProbability(Rect::UnitSquare(), 0.5, 0.25),
+                   1.0);
+}
+
+TEST(UniformAccessTest, MonteCarloAgreesPointQueries) {
+  Rng rng(307);
+  for (int trial = 0; trial < 20; ++trial) {
+    double x = rng.Uniform(0.0, 0.7), y = rng.Uniform(0.0, 0.7);
+    Rect r(x, y, x + rng.Uniform(0.01, 0.3), y + rng.Uniform(0.01, 0.3));
+    double p = UniformAccessProbability(r, 0.0, 0.0);
+    int hits = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+      if (r.Contains(Point{rng.NextDouble(), rng.NextDouble()})) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01) << "trial " << trial;
+  }
+}
+
+TEST(UniformAccessTest, MonteCarloAgreesRegionQueries) {
+  // Draw queries exactly as the simulator does (top-right corner in U') and
+  // compare the empirical intersection rate with the model probability,
+  // including rectangles that stick out near the boundary.
+  Rng rng(311);
+  const double qx = 0.2, qy = 0.15;
+  for (int trial = 0; trial < 20; ++trial) {
+    double x = rng.Uniform(0.0, 0.9), y = rng.Uniform(0.0, 0.9);
+    Rect r(x, y, std::min(1.0, x + rng.Uniform(0.01, 0.5)),
+           std::min(1.0, y + rng.Uniform(0.01, 0.5)));
+    double p = UniformAccessProbability(r, qx, qy);
+    int hits = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+      double tx = rng.Uniform(qx, 1.0), ty = rng.Uniform(qy, 1.0);
+      Rect query(tx - qx, ty - qy, tx, ty);
+      if (query.Intersects(r)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01) << "trial " << trial;
+  }
+}
+
+TEST(UniformAccessTest, RejectsExtentsOutsideRange) {
+  MemPageStore store;
+  Rng rng(313);
+  auto rects = data::GenerateUniformPoints(100, &rng);
+  TreeSummary summary =
+      MakeSummary(rects, 10, rtree::LoadAlgorithm::kHilbertSort);
+  EXPECT_FALSE(UniformAccessProbabilities(summary, 1.0, 0.0).ok());
+  EXPECT_FALSE(UniformAccessProbabilities(summary, -0.1, 0.0).ok());
+  EXPECT_TRUE(UniformAccessProbabilities(summary, 0.99, 0.0).ok());
+}
+
+TEST(UniformAccessTest, ProbabilitiesAlwaysInUnitInterval) {
+  Rng rng(317);
+  auto rects = data::GenerateSyntheticRegion(2000, &rng);
+  TreeSummary summary =
+      MakeSummary(rects, 20, rtree::LoadAlgorithm::kNearestX);
+  for (double q : {0.0, 0.01, 0.1, 0.5, 0.9}) {
+    auto probs = UniformAccessProbabilities(summary, q, q);
+    ASSERT_TRUE(probs.ok());
+    for (double p : *probs) {
+      ASSERT_GE(p, 0.0);
+      ASSERT_LE(p, 1.0);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Data-driven access probabilities
+// --------------------------------------------------------------------------
+
+TEST(DataDrivenAccessTest, PointProbabilityIsCenterFraction) {
+  Rng rng(331);
+  auto rects = data::GenerateSyntheticRegion(1000, &rng);
+  auto centers = data::Centers(rects);
+  TreeSummary summary =
+      MakeSummary(rects, 10, rtree::LoadAlgorithm::kHilbertSort);
+  auto probs = DataDrivenAccessProbabilities(summary, centers, 0.0, 0.0);
+  ASSERT_TRUE(probs.ok());
+  // Naive recomputation for every node.
+  const auto& nodes = summary.nodes();
+  for (size_t j = 0; j < nodes.size(); ++j) {
+    uint64_t count = 0;
+    for (const Point& c : centers) {
+      if (nodes[j].mbr.Contains(c)) ++count;
+    }
+    ASSERT_NEAR((*probs)[j],
+                static_cast<double>(count) / centers.size(), 1e-12);
+  }
+}
+
+TEST(DataDrivenAccessTest, RegionExpansionMatchesNaive) {
+  Rng rng(337);
+  auto rects = data::GenerateSyntheticRegion(800, &rng);
+  auto centers = data::Centers(rects);
+  TreeSummary summary =
+      MakeSummary(rects, 16, rtree::LoadAlgorithm::kNearestX);
+  const double qx = 0.07, qy = 0.035;
+  auto probs = DataDrivenAccessProbabilities(summary, centers, qx, qy);
+  ASSERT_TRUE(probs.ok());
+  const auto& nodes = summary.nodes();
+  for (size_t j = 0; j < nodes.size(); ++j) {
+    Rect expanded = geom::ExpandAboutCenter(nodes[j].mbr, qx, qy);
+    uint64_t count = 0;
+    for (const Point& c : centers) {
+      if (expanded.Contains(c)) ++count;
+    }
+    ASSERT_NEAR((*probs)[j],
+                static_cast<double>(count) / centers.size(), 1e-12);
+  }
+}
+
+TEST(DataDrivenAccessTest, RootProbabilityIsOne) {
+  // Every data center lies inside the root MBR by construction.
+  Rng rng(347);
+  auto rects = data::GenerateUniformPoints(500, &rng);
+  auto centers = data::Centers(rects);
+  TreeSummary summary =
+      MakeSummary(rects, 10, rtree::LoadAlgorithm::kHilbertSort);
+  auto probs = DataDrivenAccessProbabilities(summary, centers, 0.0, 0.0);
+  ASSERT_TRUE(probs.ok());
+  EXPECT_DOUBLE_EQ((*probs)[0], 1.0);
+}
+
+TEST(DataDrivenAccessTest, RequiresCenters) {
+  Rng rng(349);
+  auto rects = data::GenerateUniformPoints(100, &rng);
+  TreeSummary summary =
+      MakeSummary(rects, 10, rtree::LoadAlgorithm::kHilbertSort);
+  EXPECT_FALSE(
+      AccessProbabilities(summary, QuerySpec::DataDrivenPoint(), nullptr)
+          .ok());
+  EXPECT_FALSE(DataDrivenAccessProbabilities(summary, {}, 0.0, 0.0).ok());
+}
+
+// --------------------------------------------------------------------------
+// Bufferless model
+// --------------------------------------------------------------------------
+
+TEST(BufferlessModelTest, PointCostEqualsTotalArea) {
+  Rng rng(353);
+  auto rects = data::GenerateSyntheticRegion(2000, &rng);
+  TreeSummary summary =
+      MakeSummary(rects, 20, rtree::LoadAlgorithm::kHilbertSort);
+  auto probs = UniformAccessProbabilities(summary, 0.0, 0.0);
+  ASSERT_TRUE(probs.ok());
+  // All MBRs lie inside the unit square, so the corrected model reduces to
+  // the plain sum of areas (EP = A).
+  EXPECT_NEAR(ExpectedNodeAccesses(*probs), summary.TotalArea(), 1e-9);
+  EXPECT_NEAR(KamelFaloutsosClosedForm(summary, 0.0, 0.0),
+              summary.TotalArea(), 1e-12);
+}
+
+TEST(BufferlessModelTest, ClosedFormMatchesEquationTwo) {
+  Rng rng(359);
+  auto rects = data::GenerateSyntheticRegion(1000, &rng);
+  TreeSummary summary =
+      MakeSummary(rects, 20, rtree::LoadAlgorithm::kNearestX);
+  double qx = 0.03, qy = 0.05;
+  double expected = summary.TotalArea() + qx * summary.TotalYExtent() +
+                    qy * summary.TotalXExtent() +
+                    static_cast<double>(summary.NumNodes()) * qx * qy;
+  EXPECT_DOUBLE_EQ(KamelFaloutsosClosedForm(summary, qx, qy), expected);
+  // For small queries and small MBRs the corrected model is close to Eq. 2.
+  auto probs = UniformAccessProbabilities(summary, qx, qy);
+  ASSERT_TRUE(probs.ok());
+  EXPECT_NEAR(ExpectedNodeAccesses(*probs), expected, expected * 0.12);
+}
+
+// --------------------------------------------------------------------------
+// Buffer model
+// --------------------------------------------------------------------------
+
+TEST(BufferModelTest, DistinctNodesBoundaryValues) {
+  std::vector<double> probs = {0.5, 0.25, 1.0, 0.0};
+  // D(0) = 0.
+  EXPECT_DOUBLE_EQ(ExpectedDistinctNodes(probs, 0.0), 0.0);
+  // D(1) = sum of probabilities (paper: D(1) = A).
+  EXPECT_NEAR(ExpectedDistinctNodes(probs, 1.0), 1.75, 1e-12);
+  // D(inf) -> number of nodes with p > 0.
+  EXPECT_NEAR(ExpectedDistinctNodes(probs, 1e9), 3.0, 1e-6);
+}
+
+TEST(BufferModelTest, DistinctNodesMonotone) {
+  Rng rng(367);
+  std::vector<double> probs;
+  for (int i = 0; i < 100; ++i) probs.push_back(rng.NextDouble() * 0.2);
+  double prev = -1.0;
+  for (double n : {0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 100.0, 1e4, 1e6}) {
+    double d = ExpectedDistinctNodes(probs, n);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(BufferModelTest, NStarIsMinimal) {
+  Rng rng(373);
+  std::vector<double> probs;
+  for (int i = 0; i < 200; ++i) probs.push_back(rng.Uniform(0.001, 0.05));
+  for (uint64_t b : {1, 5, 20, 100, 150}) {
+    uint64_t n_star = QueriesToFillBuffer(probs, b);
+    ASSERT_NE(n_star, kNeverFills);
+    EXPECT_GE(ExpectedDistinctNodes(probs, static_cast<double>(n_star)),
+              static_cast<double>(b));
+    if (n_star > 0) {
+      EXPECT_LT(
+          ExpectedDistinctNodes(probs, static_cast<double>(n_star - 1)),
+          static_cast<double>(b));
+    }
+  }
+}
+
+TEST(BufferModelTest, BufferBiggerThanTreeNeverFills) {
+  std::vector<double> probs = {0.5, 0.25, 0.1};
+  EXPECT_EQ(QueriesToFillBuffer(probs, 3), kNeverFills);
+  EXPECT_EQ(QueriesToFillBuffer(probs, 10), kNeverFills);
+  EXPECT_DOUBLE_EQ(ExpectedDiskAccesses(probs, 10), 0.0);
+}
+
+TEST(BufferModelTest, ZeroBufferCostsFullAccesses) {
+  std::vector<double> probs = {0.5, 0.25, 0.1};
+  EXPECT_DOUBLE_EQ(ExpectedDiskAccesses(probs, 0), 0.85);
+}
+
+TEST(BufferModelTest, DiskAccessesDecreaseWithBufferSize) {
+  Rng rng(379);
+  std::vector<double> probs;
+  for (int i = 0; i < 500; ++i) probs.push_back(rng.Uniform(0.0005, 0.1));
+  double prev = ExpectedNodeAccesses(probs) + 1.0;
+  for (uint64_t b : {0, 1, 10, 50, 100, 200, 400, 499}) {
+    double ed = ExpectedDiskAccesses(probs, b);
+    EXPECT_LE(ed, prev + 1e-9) << "buffer " << b;
+    EXPECT_GE(ed, 0.0);
+    prev = ed;
+  }
+}
+
+TEST(BufferModelTest, ContinuousNStarSolvesDistinctNodesExactly) {
+  Rng rng(375);
+  std::vector<double> probs;
+  for (int i = 0; i < 300; ++i) probs.push_back(rng.Uniform(0.001, 0.05));
+  for (uint64_t b : {1, 10, 100, 250}) {
+    double n_real = QueriesToFillBufferReal(probs, b);
+    ASSERT_FALSE(std::isinf(n_real));
+    EXPECT_NEAR(ExpectedDistinctNodes(probs, n_real),
+                static_cast<double>(b), 1e-6);
+    // The integer N* brackets the continuous solution from above.
+    uint64_t n_int = QueriesToFillBuffer(probs, b);
+    EXPECT_LE(n_real, static_cast<double>(n_int));
+    EXPECT_GT(n_real, static_cast<double>(n_int) - 1.0);
+  }
+}
+
+TEST(BufferModelTest, ContinuousModelBoundsIntegerModelFromAbove) {
+  // Rounding N* up can only shrink (1-p)^N, so the integer model never
+  // exceeds the continuous one; they agree when the buffer never fills.
+  Rng rng(377);
+  std::vector<double> probs;
+  for (int i = 0; i < 300; ++i) probs.push_back(rng.Uniform(0.001, 0.05));
+  for (uint64_t b : {1, 5, 50, 150, 299, 400}) {
+    double integer = ExpectedDiskAccesses(probs, b);
+    double continuous = ExpectedDiskAccessesContinuous(probs, b);
+    EXPECT_GE(continuous + 1e-12, integer) << "buffer " << b;
+    // They differ by at most one query's worth of decay.
+    EXPECT_LT(continuous - integer, 0.2 * ExpectedNodeAccesses(probs) + 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(ExpectedDiskAccessesContinuous(probs, 300), 0.0);
+}
+
+TEST(BufferModelTest, AlwaysAccessedNodeCostsNothingSteadyState) {
+  // A node with p = 1 (e.g. root under data-driven queries) is accessed
+  // every query, so it is always resident once warm.
+  std::vector<double> probs = {1.0, 0.01, 0.02, 0.03};
+  double ed = ExpectedDiskAccesses(probs, 2);
+  EXPECT_LT(ed, 0.07);  // Only the small-probability nodes contribute.
+}
+
+// --------------------------------------------------------------------------
+// Pinning model
+// --------------------------------------------------------------------------
+
+class PinningModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(383);
+    rects_ = data::GenerateUniformPoints(40000, &rng);
+    MemPageStore store;
+    auto built = rtree::BuildRTree(&store,
+                                   rtree::RTreeConfig::WithFanout(25), rects_,
+                                   rtree::LoadAlgorithm::kHilbertSort);
+    ASSERT_TRUE(built.ok());
+    auto summary = TreeSummary::Extract(&store, built->root);
+    ASSERT_TRUE(summary.ok());
+    summary_ = std::make_unique<TreeSummary>(*summary);
+    auto probs = UniformAccessProbabilities(*summary_, 0.0, 0.0);
+    ASSERT_TRUE(probs.ok());
+    probs_ = *probs;
+  }
+
+  std::vector<Rect> rects_;
+  std::unique_ptr<TreeSummary> summary_;
+  std::vector<double> probs_;
+};
+
+TEST_F(PinningModelTest, ZeroLevelsMatchesPlainModel) {
+  auto result = ExpectedDiskAccessesPinned(*summary_, probs_, 200, 0);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.disk_accesses,
+                   ExpectedDiskAccesses(probs_, 200));
+  EXPECT_EQ(result.pinned_pages, 0u);
+}
+
+TEST_F(PinningModelTest, PinnedPageCountsFollowTable2) {
+  // Tree levels root-down: 1, 3, 64, 1600.
+  EXPECT_EQ(ExpectedDiskAccessesPinned(*summary_, probs_, 2000, 1)
+                .pinned_pages,
+            1u);
+  EXPECT_EQ(ExpectedDiskAccessesPinned(*summary_, probs_, 2000, 2)
+                .pinned_pages,
+            4u);
+  EXPECT_EQ(ExpectedDiskAccessesPinned(*summary_, probs_, 2000, 3)
+                .pinned_pages,
+            68u);
+}
+
+TEST_F(PinningModelTest, InfeasibleWhenPinnedExceedsBuffer) {
+  auto result = ExpectedDiskAccessesPinned(*summary_, probs_, 3, 2);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST_F(PinningModelTest, PinningNeverHurts) {
+  // "Pinning never hurts performance" (Section 5.5) — for every feasible
+  // buffer size and level count, pinned ED <= unpinned ED (up to numeric
+  // noise).
+  for (uint64_t buffer : {80, 200, 500, 1000}) {
+    double unpinned = ExpectedDiskAccesses(probs_, buffer);
+    for (uint16_t levels = 1; levels <= 3; ++levels) {
+      auto pinned =
+          ExpectedDiskAccessesPinned(*summary_, probs_, buffer, levels);
+      if (!pinned.feasible) continue;
+      EXPECT_LE(pinned.disk_accesses, unpinned + 1e-9)
+          << "buffer " << buffer << " levels " << levels;
+    }
+  }
+}
+
+TEST_F(PinningModelTest, PinningWholeTreeIsFree) {
+  auto result = ExpectedDiskAccessesPinned(*summary_, probs_, 1700, 4);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.pinned_pages, 1668u);
+  EXPECT_DOUBLE_EQ(result.disk_accesses, 0.0);
+}
+
+TEST(PredictTest, OneCallConvenience) {
+  Rng rng(389);
+  auto rects = data::GenerateSyntheticRegion(1000, &rng);
+  TreeSummary summary =
+      MakeSummary(rects, 20, rtree::LoadAlgorithm::kHilbertSort);
+  auto ed = PredictDiskAccesses(summary, QuerySpec::UniformPoint(), 20);
+  ASSERT_TRUE(ed.ok());
+  EXPECT_GT(*ed, 0.0);
+  auto centers = data::Centers(rects);
+  auto ed2 = PredictDiskAccesses(summary, QuerySpec::DataDrivenRegion(0.01, 0.01),
+                                 20, &centers);
+  ASSERT_TRUE(ed2.ok());
+  EXPECT_GT(*ed2, 0.0);
+}
+
+}  // namespace
+}  // namespace rtb::model

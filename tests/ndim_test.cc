@@ -1,0 +1,260 @@
+// Tests for the D-dimensional generalization: BoxNd geometry, STR-Nd
+// packing, Nd access probabilities, and model-vs-simulation validation in
+// 2, 3 and 4 dimensions (the paper's "generalizations to higher dimensions
+// are straightforward", made checkable).
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "geom/boxnd.h"
+#include "model/access_prob.h"
+#include "model/cost_model.h"
+#include "model/ndim.h"
+#include "rtree/bulk_load.h"
+#include "rtree/summary.h"
+#include "sim/nd_sim.h"
+#include "storage/page_store.h"
+#include "util/rng.h"
+
+namespace rtb::model {
+namespace {
+
+using geom::BoxNd;
+using geom::PointNd;
+
+template <size_t D>
+std::vector<BoxNd<D>> RandomPointsNd(size_t n, Rng* rng) {
+  std::vector<BoxNd<D>> boxes;
+  boxes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    PointNd<D> p;
+    for (size_t d = 0; d < D; ++d) p[d] = rng->NextDouble();
+    boxes.push_back(BoxNd<D>::FromPoint(p));
+  }
+  return boxes;
+}
+
+// --------------------------------------------------------------------------
+// BoxNd geometry
+// --------------------------------------------------------------------------
+
+TEST(BoxNdTest, VolumeExtentContainment) {
+  BoxNd<3> b{{0.1, 0.2, 0.3}, {0.5, 0.4, 0.9}};
+  EXPECT_NEAR(b.Volume(), 0.4 * 0.2 * 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(b.Extent(2), 0.6);
+  EXPECT_TRUE(b.Contains(PointNd<3>{0.3, 0.3, 0.5}));
+  EXPECT_FALSE(b.Contains(PointNd<3>{0.3, 0.5, 0.5}));
+}
+
+TEST(BoxNdTest, EmptyAndUnion) {
+  BoxNd<4> e = BoxNd<4>::Empty();
+  EXPECT_TRUE(e.is_empty());
+  EXPECT_EQ(e.Volume(), 0.0);
+  BoxNd<4> b{{0, 0, 0, 0}, {0.5, 0.5, 0.5, 0.5}};
+  EXPECT_EQ(Union(e, b), b);
+  BoxNd<4> c{{0.4, 0.4, 0.4, 0.4}, {1, 1, 1, 1}};
+  BoxNd<4> u = Union(b, c);
+  EXPECT_EQ(u, BoxNd<4>::UnitCube());
+  EXPECT_TRUE(b.Intersects(c));
+  BoxNd<4> far{{0.9, 0.9, 0.9, 0.9}, {1, 1, 1, 1}};
+  EXPECT_FALSE(b.Intersects(far));
+}
+
+TEST(BoxNdTest, MatchesRect2d) {
+  // The D=2 specialization must agree with the concrete Rect type.
+  Rng rng(801);
+  for (int i = 0; i < 500; ++i) {
+    double x0 = rng.NextDouble(), x1 = rng.NextDouble();
+    double y0 = rng.NextDouble(), y1 = rng.NextDouble();
+    geom::Rect r(std::min(x0, x1), std::min(y0, y1), std::max(x0, x1),
+                 std::max(y0, y1));
+    BoxNd<2> b{{r.lo.x, r.lo.y}, {r.hi.x, r.hi.y}};
+    EXPECT_DOUBLE_EQ(b.Volume(), r.Area());
+    geom::Point p{rng.NextDouble(), rng.NextDouble()};
+    EXPECT_EQ(b.Contains(PointNd<2>{p.x, p.y}), r.Contains(p));
+  }
+}
+
+// --------------------------------------------------------------------------
+// PackStrNd
+// --------------------------------------------------------------------------
+
+TEST(PackStrNdTest, ShapeMatchesCeilDivision) {
+  Rng rng(809);
+  auto boxes = RandomPointsNd<3>(40000, &rng);
+  auto summary = PackStrNd<3>(std::move(boxes), 25);
+  EXPECT_EQ(summary.height, 4);
+  // 1600 + 64 + 3 + 1 (same arithmetic as 2-D Table 2).
+  EXPECT_EQ(summary.NumNodes(), 1668u);
+}
+
+TEST(PackStrNdTest, ParentsContainChildren) {
+  Rng rng(811);
+  auto boxes = RandomPointsNd<3>(5000, &rng);
+  auto summary = PackStrNd<3>(std::move(boxes), 16);
+  ASSERT_GT(summary.NumNodes(), 1u);
+  EXPECT_EQ(summary.nodes[0].parent, 0xFFFFFFFFu);
+  for (size_t j = 1; j < summary.nodes.size(); ++j) {
+    const auto& child = summary.nodes[j];
+    ASSERT_LT(child.parent, j);  // Preorder.
+    const auto& parent = summary.nodes[child.parent];
+    EXPECT_EQ(parent.level, child.level + 1);
+    // Containment.
+    EXPECT_EQ(Union(parent.mbr, child.mbr), parent.mbr);
+  }
+}
+
+TEST(PackStrNdTest, LevelCountsConsistent) {
+  Rng rng(821);
+  auto boxes = RandomPointsNd<4>(3000, &rng);
+  auto summary = PackStrNd<4>(std::move(boxes), 10);
+  std::vector<uint32_t> counts(summary.height, 0);
+  for (const auto& node : summary.nodes) {
+    ASSERT_LT(node.level, summary.height);
+    ++counts[node.level];
+  }
+  EXPECT_EQ(counts[0], 300u);
+  EXPECT_EQ(counts[summary.height - 1], 1u);
+  for (size_t l = 1; l < counts.size(); ++l) {
+    EXPECT_LT(counts[l], counts[l - 1]);
+  }
+}
+
+TEST(PackStrNdTest, SingleBoxBecomesLeafRoot) {
+  Rng rng(823);
+  auto boxes = RandomPointsNd<2>(3, &rng);
+  auto summary = PackStrNd<2>(std::move(boxes), 4);
+  EXPECT_EQ(summary.height, 1);
+  EXPECT_EQ(summary.NumNodes(), 1u);
+}
+
+TEST(PackStrNd2dTest, EquivalentQualityToConcreteStrLoader) {
+  // The 2-D instantiation should produce trees of quality comparable to
+  // the storage-backed STR loader (same algorithm family): total node
+  // volume within 25%.
+  Rng rng(827);
+  auto rects = data::GenerateUniformPoints(20000, &rng);
+  storage::MemPageStore store;
+  auto built = rtree::BuildRTree(&store, rtree::RTreeConfig::WithFanout(50),
+                                 rects, rtree::LoadAlgorithm::kStr);
+  ASSERT_TRUE(built.ok());
+  auto concrete = rtree::TreeSummary::Extract(&store, built->root);
+  ASSERT_TRUE(concrete.ok());
+
+  std::vector<BoxNd<2>> boxes;
+  for (const geom::Rect& r : rects) {
+    boxes.push_back(BoxNd<2>{{r.lo.x, r.lo.y}, {r.hi.x, r.hi.y}});
+  }
+  auto nd = PackStrNd<2>(std::move(boxes), 50);
+  EXPECT_EQ(nd.NumNodes(), concrete->NumNodes());
+  double nd_volume = 0.0;
+  for (const auto& node : nd.nodes) nd_volume += node.mbr.Volume();
+  EXPECT_NEAR(nd_volume, concrete->TotalArea(), concrete->TotalArea() * 0.25);
+}
+
+// --------------------------------------------------------------------------
+// Nd access probabilities + buffer model vs simulation
+// --------------------------------------------------------------------------
+
+TEST(NdProbabilityTest, MatchesConcrete2dModel) {
+  // For the same boxes and query extents, the Nd formula must equal the
+  // concrete 2-D UniformAccessProbability.
+  Rng rng(829);
+  for (int i = 0; i < 1000; ++i) {
+    double x0 = rng.NextDouble() * 0.8, y0 = rng.NextDouble() * 0.8;
+    geom::Rect r(x0, y0, x0 + rng.NextDouble() * 0.2,
+                 y0 + rng.NextDouble() * 0.2);
+    BoxNd<2> b{{r.lo.x, r.lo.y}, {r.hi.x, r.hi.y}};
+    double qx = rng.Uniform(0.0, 0.5), qy = rng.Uniform(0.0, 0.5);
+    EXPECT_NEAR(UniformAccessProbabilityNd<2>(b, {qx, qy}),
+                UniformAccessProbability(r, qx, qy), 1e-12);
+  }
+}
+
+TEST(NdProbabilityTest, MonteCarloAgrees3d) {
+  Rng rng(839);
+  BoxNd<3> r{{0.2, 0.1, 0.5}, {0.6, 0.4, 0.9}};
+  std::array<double, 3> q{0.15, 0.1, 0.05};
+  double p = UniformAccessProbabilityNd<3>(r, q);
+  int hits = 0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) {
+    auto query = sim::NextUniformQueryNd<3>(q, &rng);
+    if (query.Intersects(r)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.005);
+}
+
+template <size_t D>
+void ValidateBufferModelNd(uint64_t seed, size_t n, uint32_t fanout,
+                           const std::array<double, D>& q, uint64_t buffer,
+                           double tolerance) {
+  Rng rng(seed);
+  auto boxes = RandomPointsNd<D>(n, &rng);
+  auto summary = PackStrNd<D>(std::move(boxes), fanout);
+  auto probs = UniformAccessProbabilitiesNd<D>(summary, q);
+  double predicted = ExpectedDiskAccesses(probs, buffer);
+
+  sim::NdMbrListSimulator<D> simulator(&summary, buffer);
+  Rng qrng(seed + 1);
+  double simulated = simulator.Run(q, /*warmup=*/20000, /*queries=*/150000,
+                                   &qrng);
+  EXPECT_NEAR(predicted, simulated,
+              std::max(0.03, simulated * tolerance))
+      << "D=" << D << " buffer=" << buffer;
+}
+
+TEST(NdValidationTest, PointQueries3d) {
+  ValidateBufferModelNd<3>(901, 30000, 25, {0.0, 0.0, 0.0}, 100, 0.06);
+  ValidateBufferModelNd<3>(903, 30000, 25, {0.0, 0.0, 0.0}, 400, 0.06);
+}
+
+TEST(NdValidationTest, RegionQueries3d) {
+  ValidateBufferModelNd<3>(907, 30000, 25, {0.1, 0.1, 0.1}, 300, 0.08);
+}
+
+TEST(NdValidationTest, PointQueries4d) {
+  ValidateBufferModelNd<4>(911, 20000, 20, {0.0, 0.0, 0.0, 0.0}, 200, 0.08);
+}
+
+TEST(NdValidationTest, TwoDMatchesConcretePipelineEndToEnd) {
+  // Full-circle check: the Nd pipeline instantiated at D=2 must give the
+  // same disk-access prediction as the concrete 2-D pipeline on the same
+  // tree geometry (exactly equal inputs -> exactly equal model outputs).
+  Rng rng(919);
+  auto rects = data::GenerateUniformPoints(10000, &rng);
+  storage::MemPageStore store;
+  auto built = rtree::BuildRTree(&store, rtree::RTreeConfig::WithFanout(25),
+                                 rects, rtree::LoadAlgorithm::kStr);
+  ASSERT_TRUE(built.ok());
+  auto concrete = rtree::TreeSummary::Extract(&store, built->root);
+  ASSERT_TRUE(concrete.ok());
+
+  // Convert the concrete summary's boxes into an Nd summary mirror.
+  NdTreeSummary<2> mirror;
+  mirror.height = concrete->height();
+  for (const rtree::NodeInfo& node : concrete->nodes()) {
+    NdNodeInfo<2> info;
+    info.mbr = BoxNd<2>{{node.mbr.lo.x, node.mbr.lo.y},
+                        {node.mbr.hi.x, node.mbr.hi.y}};
+    info.level = node.level;
+    info.parent = node.parent;
+    mirror.nodes.push_back(info);
+  }
+  auto nd_probs = UniformAccessProbabilitiesNd<2>(mirror, {0.02, 0.03});
+  auto concrete_probs = UniformAccessProbabilities(*concrete, 0.02, 0.03);
+  ASSERT_TRUE(concrete_probs.ok());
+  ASSERT_EQ(nd_probs.size(), concrete_probs->size());
+  for (size_t j = 0; j < nd_probs.size(); ++j) {
+    ASSERT_NEAR(nd_probs[j], (*concrete_probs)[j], 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(ExpectedDiskAccesses(nd_probs, 120),
+                   ExpectedDiskAccesses(*concrete_probs, 120));
+}
+
+}  // namespace
+}  // namespace rtb::model

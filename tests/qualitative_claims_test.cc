@@ -1,0 +1,218 @@
+// Regression tests for the paper's qualitative findings at reduced scale —
+// each test encodes one claim from Section 5 (and EXPERIMENTS.md) so the
+// reproduction cannot silently drift.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "model/access_prob.h"
+#include "model/cost_model.h"
+#include "rtree/bulk_load.h"
+#include "rtree/summary.h"
+#include "storage/page_store.h"
+#include "util/rng.h"
+
+namespace rtb {
+namespace {
+
+using model::QuerySpec;
+using rtree::LoadAlgorithm;
+using rtree::TreeSummary;
+using storage::MemPageStore;
+
+struct BuiltWorkload {
+  std::unique_ptr<TreeSummary> summary;
+  std::vector<geom::Point> centers;
+};
+
+BuiltWorkload Build(const std::vector<geom::Rect>& rects, uint32_t fanout,
+                    LoadAlgorithm algo) {
+  MemPageStore store;
+  auto built = rtree::BuildRTree(&store, rtree::RTreeConfig::WithFanout(fanout),
+                                 rects, algo);
+  EXPECT_TRUE(built.ok());
+  auto summary = TreeSummary::Extract(&store, built->root);
+  EXPECT_TRUE(summary.ok());
+  BuiltWorkload out;
+  out.summary = std::make_unique<TreeSummary>(std::move(*summary));
+  out.centers = data::Centers(rects);
+  return out;
+}
+
+double Ed(const BuiltWorkload& w, const QuerySpec& spec, uint64_t buffer) {
+  auto ed = model::PredictDiskAccesses(*w.summary, spec, buffer, &w.centers);
+  EXPECT_TRUE(ed.ok());
+  return *ed;
+}
+
+// Shared TIGER-like workload (smaller than the benches for test speed).
+class TigerClaims : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(1998);
+    data::TigerParams params;
+    params.num_rects = 20000;
+    rects_ = new std::vector<geom::Rect>(
+        data::GenerateTigerSurrogate(params, &rng));
+  }
+  static std::vector<geom::Rect>* rects_;
+};
+std::vector<geom::Rect>* TigerClaims::rects_ = nullptr;
+
+// --------------------------------------------------------------------------
+// Figure 6: the buffered metric reverses the TAT/NX region-query ordering.
+// --------------------------------------------------------------------------
+
+TEST_F(TigerClaims, Fig6RegionQueryCrossoverExists) {
+  BuiltWorkload tat = Build(*rects_, 100, LoadAlgorithm::kTupleAtATime);
+  BuiltWorkload nx = Build(*rects_, 100, LoadAlgorithm::kNearestX);
+  QuerySpec region = QuerySpec::UniformRegion(0.1, 0.1);
+  const uint64_t total = nx.summary->NumNodes();
+  // Small buffer: TAT better. Near-full buffer: NX better (or both ~0);
+  // a crossover must exist strictly inside the range.
+  double tat_small = Ed(tat, region, 2);
+  double nx_small = Ed(nx, region, 2);
+  EXPECT_LT(tat_small, nx_small);
+  bool crossed = false;
+  for (uint64_t buffer = 2; buffer <= total; buffer += 4) {
+    if (Ed(nx, region, buffer) < Ed(tat, region, buffer)) {
+      crossed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(crossed) << "no TAT/NX crossover found";
+}
+
+TEST_F(TigerClaims, Fig6HsDominatesForRegionQueries) {
+  BuiltWorkload hs = Build(*rects_, 100, LoadAlgorithm::kHilbertSort);
+  BuiltWorkload nx = Build(*rects_, 100, LoadAlgorithm::kNearestX);
+  BuiltWorkload tat = Build(*rects_, 100, LoadAlgorithm::kTupleAtATime);
+  QuerySpec region = QuerySpec::UniformRegion(0.1, 0.1);
+  for (uint64_t buffer : {2, 50, 200, 400}) {
+    double hs_cost = Ed(hs, region, buffer);
+    EXPECT_LE(hs_cost, Ed(nx, region, buffer)) << buffer;
+    EXPECT_LE(hs_cost, Ed(tat, region, buffer)) << buffer;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Figure 7: data-driven queries cost more and benefit less from buffer.
+// --------------------------------------------------------------------------
+
+TEST_F(TigerClaims, Fig7DataDrivenAboveUniformAndLessBufferSensitive) {
+  BuiltWorkload hs = Build(*rects_, 25, LoadAlgorithm::kHilbertSort);
+  QuerySpec uniform = QuerySpec::UniformPoint();
+  QuerySpec driven = QuerySpec::DataDrivenPoint();
+  for (uint64_t buffer : {10, 100, 400}) {
+    EXPECT_GT(Ed(hs, driven, buffer), Ed(hs, uniform, buffer)) << buffer;
+  }
+  double u_ratio = Ed(hs, uniform, 10) / Ed(hs, uniform, 400);
+  double d_ratio = Ed(hs, driven, 10) / Ed(hs, driven, 400);
+  EXPECT_GT(u_ratio, d_ratio);
+}
+
+// --------------------------------------------------------------------------
+// Figure 9: bufferless point-query cost saturates; buffered cost grows.
+// --------------------------------------------------------------------------
+
+TEST(Fig9Claims, BufferlessFlatButBufferedGrows) {
+  auto build_at = [](uint64_t n) {
+    Rng rng(1998);
+    return Build(data::GenerateSyntheticRegion(n, &rng), 100,
+                 LoadAlgorithm::kHilbertSort);
+  };
+  BuiltWorkload small = build_at(25000);
+  BuiltWorkload large = build_at(150000);
+  QuerySpec point = QuerySpec::UniformPoint();
+  double flat_growth = Ed(large, point, 0) / Ed(small, point, 0);
+  double buffered_growth = Ed(large, point, 10) / Ed(small, point, 10);
+  // 6x more data: bufferless cost grows < 25%, buffered cost much more.
+  EXPECT_LT(flat_growth, 1.25);
+  EXPECT_GT(buffered_growth, flat_growth + 0.25);
+}
+
+// --------------------------------------------------------------------------
+// Figures 10/11: pinning regime boundary.
+// --------------------------------------------------------------------------
+
+TEST(PinningClaims, OnlyHelpsWhenPinnedPagesAreLargeFractionOfBuffer) {
+  Rng rng(1998);
+  auto rects = data::GenerateUniformPoints(250000, &rng);
+  BuiltWorkload w = Build(rects, 25, LoadAlgorithm::kHilbertSort);
+  auto probs = model::UniformAccessProbabilities(*w.summary, 0.0, 0.0);
+  ASSERT_TRUE(probs.ok());
+
+  auto improvement = [&](uint64_t buffer, uint16_t levels) {
+    double base = model::ExpectedDiskAccesses(*probs, buffer);
+    auto pinned =
+        model::ExpectedDiskAccessesPinned(*w.summary, *probs, buffer, levels);
+    EXPECT_TRUE(pinned.feasible);
+    return (base - pinned.disk_accesses) / base;
+  };
+  // Pinning 1-2 levels: negligible (paper: identical curves).
+  EXPECT_LT(improvement(500, 1), 0.01);
+  EXPECT_LT(improvement(500, 2), 0.01);
+  // Pinning 3 levels (417 pages) with B=500: large benefit...
+  EXPECT_GT(improvement(500, 3), 0.20);
+  // ...but with B=2000 (pinned < 1/4 of buffer): negligible again.
+  EXPECT_LT(improvement(2000, 3), 0.02);
+  // And pinning never hurts anywhere we can evaluate it.
+  for (uint64_t buffer : {450, 700, 1200, 2000}) {
+    for (uint16_t levels : {1, 2, 3}) {
+      EXPECT_GE(improvement(buffer, levels), -1e-9)
+          << buffer << "/" << levels;
+    }
+  }
+}
+
+TEST(PinningClaims, BenefitDecaysWithQuerySize) {
+  Rng rng(1998);
+  auto rects = data::GenerateUniformPoints(250000, &rng);
+  BuiltWorkload w = Build(rects, 25, LoadAlgorithm::kHilbertSort);
+  auto improvement_at = [&](double qx) {
+    auto probs = model::UniformAccessProbabilities(*w.summary, qx, qx);
+    EXPECT_TRUE(probs.ok());
+    double base = model::ExpectedDiskAccesses(*probs, 500);
+    auto pinned =
+        model::ExpectedDiskAccessesPinned(*w.summary, *probs, 500, 3);
+    EXPECT_TRUE(pinned.feasible);
+    return (base - pinned.disk_accesses) / base;
+  };
+  double at_zero = improvement_at(0.0);
+  double at_small = improvement_at(0.05);
+  double at_large = improvement_at(0.15);
+  // Paper: ~35% at QX=0, decaying with query size.
+  EXPECT_GT(at_zero, 0.25);
+  EXPECT_LT(at_small, at_zero);
+  EXPECT_LT(at_large, at_small + 0.02);
+}
+
+// --------------------------------------------------------------------------
+// Figure 8 mechanism: CFD uniform queries concentrate on few hot pages.
+// --------------------------------------------------------------------------
+
+TEST(CfdClaims, UniformModelHasHotNodesDataDrivenSpreads) {
+  Rng rng(1998);
+  data::CfdParams params;
+  params.num_points = 15000;
+  auto rects = data::GenerateCfdSurrogate(params, &rng);
+  BuiltWorkload w = Build(rects, 100, LoadAlgorithm::kHilbertSort);
+  auto uniform = model::UniformAccessProbabilities(*w.summary, 0.0, 0.0);
+  ASSERT_TRUE(uniform.ok());
+  auto driven = model::DataDrivenAccessProbabilities(*w.summary, w.centers,
+                                                     0.0, 0.0);
+  ASSERT_TRUE(driven.ok());
+
+  // Improvement ratio from more buffer is much larger for uniform access.
+  double u_ratio = model::ExpectedDiskAccesses(*uniform, 10) /
+                   std::max(model::ExpectedDiskAccesses(*uniform, 100), 1e-9);
+  double d_ratio = model::ExpectedDiskAccesses(*driven, 10) /
+                   std::max(model::ExpectedDiskAccesses(*driven, 100), 1e-9);
+  EXPECT_GT(u_ratio, 2.0 * d_ratio);
+}
+
+}  // namespace
+}  // namespace rtb

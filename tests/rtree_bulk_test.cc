@@ -1,0 +1,278 @@
+// Tests for the bulk loaders (NX, HS, STR), TAT via BuildRTree, tree
+// summaries and validation on loaded trees.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "rtree/bulk_load.h"
+#include "rtree/rtree.h"
+#include "rtree/summary.h"
+#include "rtree/validate.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+#include "util/rng.h"
+
+namespace rtb::rtree {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+using storage::MemPageStore;
+
+std::vector<ObjectId> BruteForce(const std::vector<Rect>& rects,
+                                 const Rect& query) {
+  std::vector<ObjectId> out;
+  for (size_t i = 0; i < rects.size(); ++i) {
+    if (rects[i].Intersects(query)) out.push_back(i);
+  }
+  return out;
+}
+
+class LoaderTest : public ::testing::TestWithParam<LoadAlgorithm> {};
+
+TEST_P(LoaderTest, ProducesValidTreeWithAllEntries) {
+  MemPageStore store;
+  RTreeConfig config = RTreeConfig::WithFanout(16);
+  Rng rng(211);
+  auto rects = data::GenerateSyntheticRegion(1000, &rng);
+  auto built = BuildRTree(&store, config, rects, GetParam());
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_GT(built->height, 1);
+
+  ValidateOptions options;
+  // Packed trees can have one underfull node per level; TAT must respect
+  // min fill.
+  options.check_min_fill = GetParam() == LoadAlgorithm::kTupleAtATime;
+  ValidationReport report = ValidateTree(&store, built->root, config,
+                                         options);
+  EXPECT_TRUE(report.ok) << (report.issues.empty() ? "" : report.issues[0]);
+  EXPECT_EQ(report.num_data_entries, rects.size());
+  EXPECT_EQ(report.num_nodes, built->num_nodes);
+}
+
+TEST_P(LoaderTest, QueriesMatchBruteForce) {
+  MemPageStore store;
+  RTreeConfig config = RTreeConfig::WithFanout(16);
+  Rng rng(223);
+  auto rects = data::GenerateSyntheticRegion(800, &rng);
+  auto built = BuildRTree(&store, config, rects, GetParam());
+  ASSERT_TRUE(built.ok());
+
+  auto pool = storage::BufferPool::MakeLru(&store, 64);
+  auto tree = RTree::Open(pool.get(), config, built->root, built->height);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  for (int q = 0; q < 150; ++q) {
+    double qx = rng.Uniform(0.0, 0.2), qy = rng.Uniform(0.0, 0.2);
+    double x = rng.Uniform(0.0, 1.0 - qx), y = rng.Uniform(0.0, 1.0 - qy);
+    Rect query(x, y, x + qx, y + qy);
+    std::vector<ObjectId> got;
+    ASSERT_TRUE(tree->Search(query, &got).ok());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, BruteForce(rects, query));
+  }
+}
+
+TEST_P(LoaderTest, SummaryAggregatesAreConsistent) {
+  MemPageStore store;
+  RTreeConfig config = RTreeConfig::WithFanout(10);
+  Rng rng(227);
+  auto rects = data::GenerateSyntheticRegion(500, &rng);
+  auto built = BuildRTree(&store, config, rects, GetParam());
+  ASSERT_TRUE(built.ok());
+  auto summary = TreeSummary::Extract(&store, built->root);
+  ASSERT_TRUE(summary.ok());
+
+  EXPECT_EQ(summary->NumNodes(), built->num_nodes);
+  EXPECT_EQ(summary->height(), built->height);
+  EXPECT_EQ(summary->NumDataEntries(), rects.size());
+
+  // Level counts sum to the node count, and the root level has one node.
+  uint64_t level_sum = 0;
+  for (uint16_t l = 0; l < summary->height(); ++l) {
+    level_sum += summary->NodesAtLevel(l);
+  }
+  EXPECT_EQ(level_sum, summary->NumNodes());
+  EXPECT_EQ(summary->NodesAtLevel(summary->height() - 1), 1u);
+  EXPECT_EQ(summary->NodesAtPaperLevel(0), 1u);
+
+  // Aggregates match a direct sum over nodes.
+  double area = 0, lx = 0, ly = 0;
+  for (const NodeInfo& n : summary->nodes()) {
+    area += n.mbr.Area();
+    lx += n.mbr.XExtent();
+    ly += n.mbr.YExtent();
+  }
+  EXPECT_DOUBLE_EQ(summary->TotalArea(), area);
+  EXPECT_DOUBLE_EQ(summary->TotalXExtent(), lx);
+  EXPECT_DOUBLE_EQ(summary->TotalYExtent(), ly);
+
+  // Preorder: the root is node 0; every node's parent precedes it.
+  EXPECT_EQ(summary->nodes()[0].parent, kNoParent);
+  for (size_t j = 1; j < summary->nodes().size(); ++j) {
+    EXPECT_LT(summary->nodes()[j].parent, j);
+  }
+
+  // Parent MBRs contain child MBRs.
+  for (size_t j = 1; j < summary->nodes().size(); ++j) {
+    const NodeInfo& child = summary->nodes()[j];
+    const NodeInfo& parent = summary->nodes()[child.parent];
+    EXPECT_TRUE(parent.mbr.Contains(child.mbr));
+    EXPECT_EQ(parent.level, child.level + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, LoaderTest,
+                         ::testing::Values(LoadAlgorithm::kNearestX,
+                                           LoadAlgorithm::kHilbertSort,
+                                           LoadAlgorithm::kStr,
+                                           LoadAlgorithm::kTupleAtATime),
+                         [](const auto& info) {
+                           return std::string(LoadAlgorithmName(info.param));
+                         });
+
+TEST(BulkLoadTest, PackedLeafCountMatchesCeilDivision) {
+  MemPageStore store;
+  RTreeConfig config = RTreeConfig::WithFanout(100);
+  Rng rng(229);
+  auto rects = data::GenerateUniformPoints(53145, &rng);
+  auto built = BuildRTree(&store, config, rects,
+                          LoadAlgorithm::kHilbertSort);
+  ASSERT_TRUE(built.ok());
+  auto summary = TreeSummary::Extract(&store, built->root);
+  ASSERT_TRUE(summary.ok());
+  // ceil(53145/100) = 532 leaves, 6 level-1 nodes, 1 root — the exact
+  // numbers the paper quotes for its TIGER tree (Section 5.3).
+  EXPECT_EQ(summary->NodesAtLevel(0), 532u);
+  EXPECT_EQ(summary->NodesAtLevel(1), 6u);
+  EXPECT_EQ(summary->NodesAtLevel(2), 1u);
+  EXPECT_EQ(summary->height(), 3);
+}
+
+TEST(BulkLoadTest, FourLevelTreeMatchesPaperTable2Shape) {
+  // Table 2: synthetic points, node size 25 -> 4-level trees. For 40,000
+  // points: 1600 leaves, 64, 3, 1.
+  MemPageStore store;
+  RTreeConfig config = RTreeConfig::WithFanout(25);
+  Rng rng(233);
+  auto rects = data::GenerateUniformPoints(40000, &rng);
+  auto built = BuildRTree(&store, config, rects,
+                          LoadAlgorithm::kHilbertSort);
+  ASSERT_TRUE(built.ok());
+  auto summary = TreeSummary::Extract(&store, built->root);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->height(), 4);
+  EXPECT_EQ(summary->NodesAtLevel(0), 1600u);
+  EXPECT_EQ(summary->NodesAtLevel(1), 64u);
+  EXPECT_EQ(summary->NodesAtLevel(2), 3u);
+  EXPECT_EQ(summary->NodesAtLevel(3), 1u);
+}
+
+TEST(BulkLoadTest, SingleNodeTree) {
+  MemPageStore store;
+  RTreeConfig config = RTreeConfig::WithFanout(10);
+  std::vector<Entry> entries;
+  for (uint64_t i = 0; i < 5; ++i) {
+    entries.push_back(Entry{Rect(0.1 * i, 0.1, 0.1 * i + 0.05, 0.2), i});
+  }
+  auto built = BulkLoad(&store, config, entries,
+                        LoadAlgorithm::kHilbertSort);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->height, 1);
+  EXPECT_EQ(built->num_nodes, 1u);
+}
+
+TEST(BulkLoadTest, EmptyInputGivesEmptyRoot) {
+  MemPageStore store;
+  auto built = BulkLoad(&store, RTreeConfig::WithFanout(10), {},
+                        LoadAlgorithm::kNearestX);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->height, 1);
+  auto summary = TreeSummary::Extract(&store, built->root);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->NumDataEntries(), 0u);
+}
+
+TEST(BulkLoadTest, TatRejectedByPackingEntryPoint) {
+  MemPageStore store;
+  auto built = BulkLoad(&store, RTreeConfig::WithFanout(10), {},
+                        LoadAlgorithm::kTupleAtATime);
+  EXPECT_FALSE(built.ok());
+}
+
+TEST(BulkLoadTest, HilbertOrderingClustersBetterThanNearestX) {
+  // NX leaves are thin vertical slivers spanning the data's full y-range,
+  // so their total perimeter (and hence region-query cost, Eq. 2) is far
+  // worse than HS's square-ish cells; on clustered data the total area is
+  // worse too. This is the qualitative loader ranking behind the paper's
+  // Figs. 6 and 9.
+  MemPageStore store_nx, store_hs;
+  RTreeConfig config = RTreeConfig::WithFanout(25);
+  Rng rng(239);
+  data::TigerParams params;
+  params.num_rects = 20000;
+  auto rects = data::GenerateTigerSurrogate(params, &rng);
+  auto nx = BuildRTree(&store_nx, config, rects, LoadAlgorithm::kNearestX);
+  auto hs = BuildRTree(&store_hs, config, rects,
+                       LoadAlgorithm::kHilbertSort);
+  ASSERT_TRUE(nx.ok());
+  ASSERT_TRUE(hs.ok());
+  auto summary_nx = TreeSummary::Extract(&store_nx, nx->root);
+  auto summary_hs = TreeSummary::Extract(&store_hs, hs->root);
+  ASSERT_TRUE(summary_nx.ok());
+  ASSERT_TRUE(summary_hs.ok());
+  EXPECT_LT(summary_hs->TotalArea(), summary_nx->TotalArea());
+  // Sum of y-extents (Ly) drives region-query cost; NX's slivers blow it up.
+  EXPECT_LT(summary_hs->TotalYExtent(), summary_nx->TotalYExtent());
+}
+
+TEST(BulkLoadTest, TatHasWorseStructureThanPacking) {
+  // "The resultant R-tree has worse space utilization and structure
+  // relative to the two [packing] algorithms" (Section 2.2).
+  MemPageStore store_tat, store_hs;
+  RTreeConfig config = RTreeConfig::WithFanout(16);
+  Rng rng(241);
+  auto rects = data::GenerateSyntheticRegion(3000, &rng);
+  auto tat = BuildRTree(&store_tat, config, rects,
+                        LoadAlgorithm::kTupleAtATime);
+  auto hs = BuildRTree(&store_hs, config, rects,
+                       LoadAlgorithm::kHilbertSort);
+  ASSERT_TRUE(tat.ok());
+  ASSERT_TRUE(hs.ok());
+  // Worse utilization -> more nodes.
+  EXPECT_GT(tat->num_nodes, hs->num_nodes);
+  auto summary_tat = TreeSummary::Extract(&store_tat, tat->root);
+  auto summary_hs = TreeSummary::Extract(&store_hs, hs->root);
+  ASSERT_TRUE(summary_tat.ok());
+  ASSERT_TRUE(summary_hs.ok());
+  // Worse structure -> larger total area.
+  EXPECT_GT(summary_tat->TotalArea(), summary_hs->TotalArea());
+  // Mean fill of a packed tree is ~max_entries; TAT is well below.
+  EXPECT_GT(summary_hs->MeanEntriesPerNode(),
+            summary_tat->MeanEntriesPerNode());
+}
+
+TEST(TreeSummaryTest, PagesInTopLevels) {
+  MemPageStore store;
+  RTreeConfig config = RTreeConfig::WithFanout(25);
+  Rng rng(251);
+  auto rects = data::GenerateUniformPoints(40000, &rng);
+  auto built = BuildRTree(&store, config, rects,
+                          LoadAlgorithm::kHilbertSort);
+  ASSERT_TRUE(built.ok());
+  auto summary = TreeSummary::Extract(&store, built->root);
+  ASSERT_TRUE(summary.ok());
+  // Levels (root down): 1, 3, 64, 1600.
+  EXPECT_EQ(summary->PagesInTopLevels(0), 0u);
+  EXPECT_EQ(summary->PagesInTopLevels(1), 1u);
+  EXPECT_EQ(summary->PagesInTopLevels(2), 4u);
+  EXPECT_EQ(summary->PagesInTopLevels(3), 68u);
+  EXPECT_EQ(summary->PagesInTopLevels(4), 1668u);
+  EXPECT_EQ(summary->PagesInTopLevels(9), 1668u);  // Clamped.
+}
+
+}  // namespace
+}  // namespace rtb::rtree

@@ -1,0 +1,158 @@
+// Tests for k-nearest-neighbor search: correctness against a brute-force
+// oracle, distance semantics, and pruning efficiency.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "rtree/bulk_load.h"
+#include "rtree/knn.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+#include "util/rng.h"
+
+namespace rtb::rtree {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+using storage::MemPageStore;
+
+std::vector<Neighbor> BruteForceKnn(const std::vector<Rect>& rects, Point p,
+                                    size_t k) {
+  std::vector<Neighbor> all;
+  for (size_t i = 0; i < rects.size(); ++i) {
+    all.push_back(Neighbor{i, MinDistance(p, rects[i]), rects[i]});
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Neighbor& a, const Neighbor& b) {
+                     return a.distance < b.distance;
+                   });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+TEST(MinDistanceTest, ZeroInsideAndOnBoundary) {
+  Rect r(0.2, 0.2, 0.6, 0.6);
+  EXPECT_DOUBLE_EQ(MinDistance(Point{0.4, 0.4}, r), 0.0);
+  EXPECT_DOUBLE_EQ(MinDistance(Point{0.2, 0.3}, r), 0.0);
+  EXPECT_DOUBLE_EQ(MinDistance(Point{0.6, 0.6}, r), 0.0);
+}
+
+TEST(MinDistanceTest, AxisAndCornerDistances) {
+  Rect r(0.2, 0.2, 0.6, 0.6);
+  EXPECT_DOUBLE_EQ(MinDistance(Point{0.8, 0.4}, r), 0.2);  // Right side.
+  EXPECT_DOUBLE_EQ(MinDistance(Point{0.4, 0.1}, r), 0.1);  // Below.
+  EXPECT_NEAR(MinDistance(Point{0.0, 0.0}, r), std::hypot(0.2, 0.2), 1e-12);
+  EXPECT_TRUE(std::isinf(MinDistance(Point{0.5, 0.5}, Rect::Empty())));
+}
+
+struct KnnFixture {
+  MemPageStore store;
+  std::unique_ptr<storage::BufferPool> pool;
+  std::unique_ptr<RTree> tree;
+  std::vector<Rect> rects;
+
+  KnnFixture(size_t n, uint32_t fanout, uint64_t seed) {
+    Rng rng(seed);
+    rects = data::GenerateSyntheticRegion(n, &rng);
+    auto built = BuildRTree(&store, RTreeConfig::WithFanout(fanout), rects,
+                            LoadAlgorithm::kHilbertSort);
+    EXPECT_TRUE(built.ok());
+    pool = storage::BufferPool::MakeLru(&store, 1024);
+    auto t = RTree::Open(pool.get(), RTreeConfig::WithFanout(fanout),
+                         built->root, built->height);
+    EXPECT_TRUE(t.ok());
+    tree = std::make_unique<RTree>(std::move(*t));
+  }
+};
+
+class KnnOracleTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KnnOracleTest, MatchesBruteForce) {
+  const size_t k = GetParam();
+  KnnFixture fx(1500, 16, 701);
+  Rng rng(709);
+  for (int trial = 0; trial < 60; ++trial) {
+    Point p{rng.NextDouble(), rng.NextDouble()};
+    auto got = SearchKnn(*fx.tree, p, k);
+    ASSERT_TRUE(got.ok());
+    auto expected = BruteForceKnn(fx.rects, p, k);
+    ASSERT_EQ(got->size(), expected.size());
+    for (size_t i = 0; i < got->size(); ++i) {
+      // Distances must match exactly rank by rank (ids may differ on ties).
+      ASSERT_NEAR((*got)[i].distance, expected[i].distance, 1e-12)
+          << "trial " << trial << " rank " << i;
+    }
+    // Results sorted ascending.
+    for (size_t i = 1; i < got->size(); ++i) {
+      ASSERT_GE((*got)[i].distance, (*got)[i - 1].distance);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KnnOracleTest,
+                         ::testing::Values(1, 5, 17, 100));
+
+TEST(KnnTest, KLargerThanTreeReturnsEverything) {
+  KnnFixture fx(50, 8, 719);
+  auto got = SearchKnn(*fx.tree, Point{0.5, 0.5}, 500);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 50u);
+}
+
+TEST(KnnTest, KZeroReturnsNothingAndTouchesNothing) {
+  KnnFixture fx(100, 8, 727);
+  QueryStats stats;
+  auto got = SearchKnn(*fx.tree, Point{0.5, 0.5}, 0, &stats);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
+  EXPECT_EQ(stats.nodes_accessed, 0u);
+}
+
+TEST(KnnTest, PointInsideRectangleGivesZeroDistance) {
+  KnnFixture fx(400, 16, 733);
+  // Pick a rect and query its center: distance 0 and that id first (or
+  // tied at 0).
+  const Rect& target = fx.rects[123];
+  auto got = SearchKnn(*fx.tree, target.Center(), 1);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), 1u);
+  EXPECT_DOUBLE_EQ((*got)[0].distance, 0.0);
+}
+
+TEST(KnnTest, BestFirstPrunesMostOfTheTree) {
+  // On 20k rects with fanout 100 (203 nodes), a 5-NN query should touch a
+  // small fraction of the nodes.
+  KnnFixture fx(20000, 100, 739);
+  Rng rng(743);
+  uint64_t total_nodes = 0;
+  const int kQueries = 50;
+  for (int i = 0; i < kQueries; ++i) {
+    QueryStats stats;
+    auto got = SearchKnn(*fx.tree,
+                         Point{rng.NextDouble(), rng.NextDouble()}, 5,
+                         &stats);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), 5u);
+    total_nodes += stats.nodes_accessed;
+  }
+  EXPECT_LT(total_nodes / kQueries, 10u);  // Of 203 nodes.
+}
+
+TEST(KnnTest, EmptyTree) {
+  MemPageStore store;
+  auto pool = storage::BufferPool::MakeLru(&store, 8);
+  auto tree = RTree::Create(pool.get(), RTreeConfig::WithFanout(8));
+  ASSERT_TRUE(tree.ok());
+  auto got = SearchKnn(*tree, Point{0.5, 0.5}, 3);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
+}
+
+}  // namespace
+}  // namespace rtb::rtree

@@ -1,0 +1,346 @@
+// Tests for node serialization and the split heuristics.
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rtree/config.h"
+#include "rtree/node.h"
+#include "rtree/split.h"
+#include "util/rng.h"
+
+namespace rtb::rtree {
+namespace {
+
+using geom::Rect;
+
+// --------------------------------------------------------------------------
+// Serialization
+// --------------------------------------------------------------------------
+
+TEST(NodeSerdeTest, RoundTripLeaf) {
+  Node node;
+  node.level = 0;
+  node.entries = {{Rect(0.1, 0.2, 0.3, 0.4), 7},
+                  {Rect(0.5, 0.5, 0.9, 0.95), 123456789012345ULL}};
+  std::vector<uint8_t> page(4096);
+  ASSERT_TRUE(SerializeNode(node, page.size(), page.data()).ok());
+  auto decoded = DeserializeNode(page.data(), page.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->level, 0);
+  ASSERT_EQ(decoded->entries.size(), 2u);
+  EXPECT_EQ(decoded->entries[0], node.entries[0]);
+  EXPECT_EQ(decoded->entries[1], node.entries[1]);
+}
+
+TEST(NodeSerdeTest, RoundTripInternalWithManyEntries) {
+  Node node;
+  node.level = 3;
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.NextDouble() * 0.9, y = rng.NextDouble() * 0.9;
+    node.entries.push_back(
+        Entry{Rect(x, y, x + 0.05, y + 0.05), static_cast<uint64_t>(i)});
+  }
+  std::vector<uint8_t> page(4096);
+  ASSERT_TRUE(SerializeNode(node, page.size(), page.data()).ok());
+  auto decoded = DeserializeNode(page.data(), page.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->level, 3);
+  ASSERT_EQ(decoded->entries.size(), node.entries.size());
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    EXPECT_EQ(decoded->entries[i], node.entries[i]) << i;
+  }
+}
+
+TEST(NodeSerdeTest, EmptyNodeRoundTrips) {
+  Node node;
+  std::vector<uint8_t> page(4096);
+  ASSERT_TRUE(SerializeNode(node, page.size(), page.data()).ok());
+  auto decoded = DeserializeNode(page.data(), page.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->entries.empty());
+  EXPECT_TRUE(decoded->is_leaf());
+}
+
+TEST(NodeSerdeTest, OverflowRejected) {
+  Node node;
+  node.entries.resize(NodeCapacity(256) + 1);
+  std::vector<uint8_t> page(256);
+  EXPECT_EQ(SerializeNode(node, page.size(), page.data()).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(NodeSerdeTest, BadMagicDetected) {
+  std::vector<uint8_t> page(4096, 0);
+  auto decoded = DeserializeNode(page.data(), page.size());
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(NodeSerdeTest, CorruptCountDetected) {
+  Node node;
+  std::vector<uint8_t> page(256);
+  ASSERT_TRUE(SerializeNode(node, page.size(), page.data()).ok());
+  // Forge an absurd entry count.
+  uint16_t bogus = 60000;
+  std::memcpy(page.data() + 6, &bogus, 2);
+  auto decoded = DeserializeNode(page.data(), page.size());
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(NodeSerdeTest, CapacityMatchesLayoutConstants) {
+  EXPECT_EQ(NodeCapacity(4096), (4096u - 16u) / 40u);
+  EXPECT_GE(NodeCapacity(4096), 100u);  // The paper's fanout must fit.
+  EXPECT_EQ(NodeCapacity(8), 0u);
+}
+
+// Property sweep: random nodes of every shape round-trip bit-exactly
+// through serialization, across page sizes.
+class SerdePropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SerdePropertyTest, RandomRoundTrips) {
+  const size_t page_size = GetParam();
+  Rng rng(GetParam());
+  const uint32_t capacity = NodeCapacity(page_size);
+  ASSERT_GT(capacity, 0u);
+  for (int trial = 0; trial < 100; ++trial) {
+    Node node;
+    node.level = static_cast<uint16_t>(rng.UniformInt(8));
+    size_t count = rng.UniformInt(capacity + 1);
+    for (size_t i = 0; i < count; ++i) {
+      double x0 = rng.NextDouble(), y0 = rng.NextDouble();
+      node.entries.push_back(
+          Entry{Rect(x0, y0, x0 + rng.NextDouble(), y0 + rng.NextDouble()),
+                rng.NextUint64()});
+    }
+    std::vector<uint8_t> page(page_size);
+    ASSERT_TRUE(SerializeNode(node, page.size(), page.data()).ok());
+    auto decoded = DeserializeNode(page.data(), page.size());
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded->level, node.level);
+    ASSERT_EQ(decoded->entries.size(), node.entries.size());
+    for (size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(decoded->entries[i], node.entries[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, SerdePropertyTest,
+                         ::testing::Values(256, 1024, 4096, 8192));
+
+TEST(SerdeFuzzTest, RandomBytesNeverCrashAndNeverOverflow) {
+  // Arbitrary page images must decode to either a clean error or a node
+  // whose entry count fits the page — never crash or read out of bounds.
+  Rng rng(12345);
+  std::vector<uint8_t> page(512);
+  int decoded_ok = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    for (auto& b : page) b = static_cast<uint8_t>(rng.NextUint64());
+    auto node = DeserializeNode(page.data(), page.size());
+    if (node.ok()) {
+      ++decoded_ok;
+      EXPECT_LE(node->entries.size(), NodeCapacity(page.size()));
+    } else {
+      EXPECT_EQ(node.status().code(), StatusCode::kCorruption);
+    }
+  }
+  // Random magic almost never matches; the check must actually reject.
+  EXPECT_LT(decoded_ok, 5);
+}
+
+TEST(SerdeFuzzTest, BitFlippedValidPagesFailSafely) {
+  // Start from a valid page and flip random bits: decoding stays safe and
+  // count-overflow forgeries are caught.
+  Rng rng(54321);
+  Node node;
+  node.level = 1;
+  for (uint64_t i = 0; i < 10; ++i) {
+    node.entries.push_back(Entry{Rect(0.1, 0.1, 0.2, 0.2), i});
+  }
+  std::vector<uint8_t> clean(512);
+  ASSERT_TRUE(SerializeNode(node, clean.size(), clean.data()).ok());
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::vector<uint8_t> page = clean;
+    int flips = 1 + static_cast<int>(rng.UniformInt(8));
+    for (int f = 0; f < flips; ++f) {
+      size_t byte = rng.UniformInt(page.size());
+      page[byte] ^= static_cast<uint8_t>(1u << rng.UniformInt(8));
+    }
+    auto decoded = DeserializeNode(page.data(), page.size());
+    if (decoded.ok()) {
+      EXPECT_LE(decoded->entries.size(), NodeCapacity(page.size()));
+    }
+  }
+}
+
+TEST(NodeTest, MbrOfEntries) {
+  Node node;
+  node.entries = {{Rect(0.2, 0.3, 0.4, 0.5), 1},
+                  {Rect(0.1, 0.4, 0.3, 0.9), 2}};
+  EXPECT_EQ(node.Mbr(), Rect(0.1, 0.3, 0.4, 0.9));
+  Node empty;
+  EXPECT_TRUE(empty.Mbr().is_empty());
+}
+
+// --------------------------------------------------------------------------
+// Splits
+// --------------------------------------------------------------------------
+
+std::vector<Entry> RandomEntries(size_t n, Rng* rng) {
+  std::vector<Entry> entries;
+  for (size_t i = 0; i < n; ++i) {
+    double x = rng->NextDouble() * 0.95, y = rng->NextDouble() * 0.95;
+    double w = rng->NextDouble() * 0.05, h = rng->NextDouble() * 0.05;
+    entries.push_back(Entry{Rect(x, y, x + w, y + h), i});
+  }
+  return entries;
+}
+
+class SplitPolicyTest : public ::testing::TestWithParam<SplitPolicy> {};
+
+TEST_P(SplitPolicyTest, PartitionPreservesAllEntriesAndHonorsMinFill) {
+  Rng rng(97);
+  RTreeConfig config = RTreeConfig::WithFanout(10, GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    auto entries = RandomEntries(11, &rng);  // Overflowing node: n+1.
+    SplitResult split = SplitEntries(entries, config);
+    EXPECT_EQ(split.group_a.size() + split.group_b.size(), entries.size());
+    EXPECT_GE(split.group_a.size(), config.min_entries);
+    EXPECT_GE(split.group_b.size(), config.min_entries);
+    // Every input entry appears exactly once across the groups.
+    std::vector<bool> seen(entries.size(), false);
+    for (const auto* group : {&split.group_a, &split.group_b}) {
+      for (const Entry& e : *group) {
+        ASSERT_LT(e.id, entries.size());
+        ASSERT_FALSE(seen[e.id]);
+        seen[e.id] = true;
+        EXPECT_EQ(entries[e.id], e);
+      }
+    }
+  }
+}
+
+TEST_P(SplitPolicyTest, TwoEntriesSplitOnePerGroup) {
+  RTreeConfig config = RTreeConfig::WithFanout(4, GetParam());
+  std::vector<Entry> entries = {{Rect(0, 0, 0.1, 0.1), 0},
+                                {Rect(0.8, 0.8, 1, 1), 1}};
+  SplitResult split = SplitEntries(entries, config);
+  EXPECT_EQ(split.group_a.size(), 1u);
+  EXPECT_EQ(split.group_b.size(), 1u);
+}
+
+TEST_P(SplitPolicyTest, IdenticalRectanglesStillBalance) {
+  RTreeConfig config = RTreeConfig::WithFanout(10, GetParam());
+  std::vector<Entry> entries(11, Entry{Rect(0.4, 0.4, 0.6, 0.6), 0});
+  for (size_t i = 0; i < entries.size(); ++i) entries[i].id = i;
+  SplitResult split = SplitEntries(entries, config);
+  EXPECT_EQ(split.group_a.size() + split.group_b.size(), 11u);
+  EXPECT_GE(split.group_a.size(), config.min_entries);
+  EXPECT_GE(split.group_b.size(), config.min_entries);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, SplitPolicyTest,
+                         ::testing::Values(SplitPolicy::kQuadratic,
+                                           SplitPolicy::kLinear,
+                                           SplitPolicy::kRStar),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case SplitPolicy::kQuadratic:
+                               return "Quadratic";
+                             case SplitPolicy::kLinear:
+                               return "Linear";
+                             case SplitPolicy::kRStar:
+                               return "RStar";
+                           }
+                           return "?";
+                         });
+
+TEST(RStarSplitTest, ChoosesAxisWithSmallerPerimeters) {
+  // Entries form two clusters separated along y; the R* split must cut
+  // along y (each group's MBR stays compact).
+  RTreeConfig config = RTreeConfig::WithFanout(10, SplitPolicy::kRStar);
+  std::vector<Entry> entries;
+  Rng rng(103);
+  for (size_t i = 0; i < 6; ++i) {
+    double x = rng.Uniform(0.0, 0.9), y = rng.Uniform(0.0, 0.05);
+    entries.push_back(Entry{Rect(x, y, x + 0.02, y + 0.02), i});
+  }
+  for (size_t i = 6; i < 11; ++i) {
+    double x = rng.Uniform(0.0, 0.9), y = rng.Uniform(0.9, 0.95);
+    entries.push_back(Entry{Rect(x, y, x + 0.02, y + 0.02), i});
+  }
+  SplitResult split = RStarSplit(entries, config);
+  for (const auto* group : {&split.group_a, &split.group_b}) {
+    bool low = (*group)[0].id < 6;
+    for (const Entry& e : *group) {
+      EXPECT_EQ(e.id < 6, low) << "group mixes the clusters";
+    }
+  }
+}
+
+TEST(RStarSplitTest, MinimizesOverlapAmongDistributions) {
+  // A split of collinear boxes along x: groups must be contiguous runs, so
+  // their MBRs do not overlap at all.
+  RTreeConfig config = RTreeConfig::WithFanout(10, SplitPolicy::kRStar);
+  std::vector<Entry> entries;
+  for (size_t i = 0; i < 11; ++i) {
+    double x = 0.05 + 0.08 * static_cast<double>(i);
+    entries.push_back(Entry{Rect(x, 0.4, x + 0.04, 0.6), i});
+  }
+  SplitResult split = RStarSplit(entries, config);
+  geom::Rect mbr_a = geom::Rect::Empty(), mbr_b = geom::Rect::Empty();
+  for (const Entry& e : split.group_a) mbr_a = geom::Union(mbr_a, e.rect);
+  for (const Entry& e : split.group_b) mbr_b = geom::Union(mbr_b, e.rect);
+  EXPECT_DOUBLE_EQ(geom::Intersection(mbr_a, mbr_b).Area(), 0.0);
+}
+
+TEST(RTreeConfigTest, RStarFactory) {
+  RTreeConfig config = RTreeConfig::RStar(50);
+  EXPECT_TRUE(config.IsValid());
+  EXPECT_EQ(config.split_policy, SplitPolicy::kRStar);
+  EXPECT_EQ(config.insert_policy, InsertPolicy::kRStar);
+  EXPECT_DOUBLE_EQ(config.reinsert_fraction, 0.3);
+  RTreeConfig bad = config;
+  bad.reinsert_fraction = 1.0;
+  EXPECT_FALSE(bad.IsValid());
+}
+
+TEST(QuadraticSplitTest, SeparatesTwoObviousClusters) {
+  RTreeConfig config = RTreeConfig::WithFanout(10);
+  std::vector<Entry> entries;
+  Rng rng(101);
+  for (size_t i = 0; i < 5; ++i) {
+    double x = rng.Uniform(0.0, 0.1), y = rng.Uniform(0.0, 0.1);
+    entries.push_back(Entry{Rect(x, y, x + 0.02, y + 0.02), i});
+  }
+  for (size_t i = 5; i < 11; ++i) {
+    double x = rng.Uniform(0.85, 0.95), y = rng.Uniform(0.85, 0.95);
+    entries.push_back(Entry{Rect(x, y, x + 0.02, y + 0.02), i});
+  }
+  SplitResult split = QuadraticSplit(entries, config);
+  // Each group should be pure: all ids < 5 or all >= 5.
+  for (const auto* group : {&split.group_a, &split.group_b}) {
+    bool low = (*group)[0].id < 5;
+    for (const Entry& e : *group) {
+      EXPECT_EQ(e.id < 5, low);
+    }
+  }
+}
+
+TEST(RTreeConfigTest, ValidityRules) {
+  EXPECT_TRUE(RTreeConfig::WithFanout(100).IsValid());
+  EXPECT_TRUE(RTreeConfig::WithFanout(25).IsValid());
+  EXPECT_TRUE(RTreeConfig::WithFanout(2).IsValid());
+  RTreeConfig bad;
+  bad.max_entries = 10;
+  bad.min_entries = 6;  // > n/2.
+  EXPECT_FALSE(bad.IsValid());
+  bad.min_entries = 0;
+  EXPECT_FALSE(bad.IsValid());
+}
+
+}  // namespace
+}  // namespace rtb::rtree

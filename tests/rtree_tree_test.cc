@@ -1,0 +1,407 @@
+// Tests for the dynamic R-tree: insertion, search correctness against a
+// brute-force oracle, deletion with tree condensation, and structural
+// invariants after randomized workloads.
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "rtree/rtree.h"
+#include "rtree/summary.h"
+#include "rtree/validate.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+#include "util/rng.h"
+
+namespace rtb::rtree {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+using storage::BufferPool;
+using storage::MemPageStore;
+
+std::vector<ObjectId> BruteForce(const std::vector<Rect>& rects,
+                                 const Rect& query) {
+  std::vector<ObjectId> out;
+  for (size_t i = 0; i < rects.size(); ++i) {
+    if (rects[i].Intersects(query)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<ObjectId> Sorted(std::vector<ObjectId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+struct TreeFixture {
+  MemPageStore store;
+  std::unique_ptr<BufferPool> pool;
+
+  explicit TreeFixture(size_t pool_pages = 256)
+      : store(storage::kDefaultPageSize),
+        pool(BufferPool::MakeLru(&store, pool_pages)) {}
+};
+
+TEST(RTreeTest, EmptyTreeSearchFindsNothing) {
+  TreeFixture fx;
+  auto tree = RTree::Create(fx.pool.get(), RTreeConfig::WithFanout(10));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->height(), 1);
+  std::vector<ObjectId> out;
+  ASSERT_TRUE(tree->Search(Rect::UnitSquare(), &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(*tree->CountEntries(), 0u);
+}
+
+TEST(RTreeTest, SingleInsertIsFindable) {
+  TreeFixture fx;
+  auto tree = RTree::Create(fx.pool.get(), RTreeConfig::WithFanout(10));
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree->Insert(Rect(0.4, 0.4, 0.6, 0.6), 42).ok());
+  std::vector<ObjectId> out;
+  ASSERT_TRUE(tree->SearchPoint(Point{0.5, 0.5}, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 42u);
+  out.clear();
+  ASSERT_TRUE(tree->SearchPoint(Point{0.1, 0.1}, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RTreeTest, InsertRejectsEmptyRect) {
+  TreeFixture fx;
+  auto tree = RTree::Create(fx.pool.get(), RTreeConfig::WithFanout(10));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Insert(Rect::Empty(), 1).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RTreeTest, CreateRejectsBadConfig) {
+  TreeFixture fx;
+  RTreeConfig bad;
+  bad.max_entries = 10;
+  bad.min_entries = 9;
+  EXPECT_FALSE(RTree::Create(fx.pool.get(), bad).ok());
+  RTreeConfig too_big = RTreeConfig::WithFanout(4000);  // Page capacity 102.
+  EXPECT_FALSE(RTree::Create(fx.pool.get(), too_big).ok());
+}
+
+TEST(RTreeTest, GrowsAndStaysValidUnderManyInserts) {
+  TreeFixture fx;
+  RTreeConfig config = RTreeConfig::WithFanout(8);
+  auto tree = RTree::Create(fx.pool.get(), config);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(7);
+  auto rects = data::GenerateSyntheticRegion(500, &rng);
+  for (size_t i = 0; i < rects.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(rects[i], i).ok());
+  }
+  EXPECT_GT(tree->height(), 2);
+  EXPECT_EQ(*tree->CountEntries(), rects.size());
+  ASSERT_TRUE(fx.pool->FlushAll().ok());
+  ValidationReport report = ValidateTree(&fx.store, tree->root(), config);
+  EXPECT_TRUE(report.ok) << (report.issues.empty() ? "" : report.issues[0]);
+  EXPECT_EQ(report.num_data_entries, rects.size());
+}
+
+class RTreeOracleTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(RTreeOracleTest, SearchMatchesBruteForce) {
+  const uint32_t fanout = GetParam();
+  TreeFixture fx;
+  auto tree = RTree::Create(fx.pool.get(), RTreeConfig::WithFanout(fanout));
+  ASSERT_TRUE(tree.ok());
+  Rng rng(fanout * 1000 + 11);
+  auto rects = data::GenerateSyntheticRegion(400, &rng);
+  for (size_t i = 0; i < rects.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(rects[i], i).ok());
+  }
+  // Point queries.
+  for (int q = 0; q < 200; ++q) {
+    Point p{rng.NextDouble(), rng.NextDouble()};
+    std::vector<ObjectId> got;
+    ASSERT_TRUE(tree->SearchPoint(p, &got).ok());
+    EXPECT_EQ(Sorted(got), BruteForce(rects, Rect::FromPoint(p)));
+  }
+  // Region queries of assorted sizes.
+  for (int q = 0; q < 200; ++q) {
+    double qx = rng.Uniform(0.0, 0.3), qy = rng.Uniform(0.0, 0.3);
+    double x = rng.Uniform(0.0, 1.0 - qx), y = rng.Uniform(0.0, 1.0 - qy);
+    Rect query(x, y, x + qx, y + qy);
+    std::vector<ObjectId> got;
+    ASSERT_TRUE(tree->Search(query, &got).ok());
+    EXPECT_EQ(Sorted(got), BruteForce(rects, query));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, RTreeOracleTest,
+                         ::testing::Values(4, 8, 16, 50));
+
+TEST(RTreeTest, DuplicateRectsWithDistinctIdsAllRetrieved) {
+  TreeFixture fx;
+  auto tree = RTree::Create(fx.pool.get(), RTreeConfig::WithFanout(4));
+  ASSERT_TRUE(tree.ok());
+  Rect r(0.3, 0.3, 0.4, 0.4);
+  for (ObjectId id = 0; id < 20; ++id) {
+    ASSERT_TRUE(tree->Insert(r, id).ok());
+  }
+  std::vector<ObjectId> out;
+  ASSERT_TRUE(tree->SearchPoint(Point{0.35, 0.35}, &out).ok());
+  EXPECT_EQ(out.size(), 20u);
+}
+
+TEST(RTreeTest, DeleteRemovesExactEntryOnly) {
+  TreeFixture fx;
+  auto tree = RTree::Create(fx.pool.get(), RTreeConfig::WithFanout(8));
+  ASSERT_TRUE(tree.ok());
+  Rect a(0.1, 0.1, 0.2, 0.2), b(0.5, 0.5, 0.7, 0.7);
+  ASSERT_TRUE(tree->Insert(a, 1).ok());
+  ASSERT_TRUE(tree->Insert(b, 2).ok());
+  // Wrong id: not found.
+  auto miss = tree->Delete(a, 99);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(*miss);
+  // Wrong rect: not found.
+  miss = tree->Delete(b, 1);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(*miss);
+  auto hit = tree->Delete(a, 1);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(*hit);
+  std::vector<ObjectId> out;
+  ASSERT_TRUE(tree->SearchPoint(Point{0.15, 0.15}, &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(*tree->CountEntries(), 1u);
+}
+
+TEST(RTreeTest, InsertDeleteChurnKeepsTreeConsistent) {
+  TreeFixture fx(512);
+  RTreeConfig config = RTreeConfig::WithFanout(8);
+  auto tree = RTree::Create(fx.pool.get(), config);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(131);
+  auto rects = data::GenerateSyntheticRegion(600, &rng);
+  std::set<ObjectId> live;
+  for (size_t i = 0; i < rects.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(rects[i], i).ok());
+    live.insert(i);
+  }
+  // Delete a random 70%, interleaved with validation probes.
+  std::vector<ObjectId> ids(live.begin(), live.end());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    std::swap(ids[i], ids[i + rng.UniformInt(ids.size() - i)]);
+  }
+  for (size_t i = 0; i < ids.size() * 7 / 10; ++i) {
+    auto deleted = tree->Delete(rects[ids[i]], ids[i]);
+    ASSERT_TRUE(deleted.ok());
+    ASSERT_TRUE(*deleted) << "id " << ids[i];
+    live.erase(ids[i]);
+    if (i % 100 == 0) {
+      ASSERT_TRUE(fx.pool->FlushAll().ok());
+      ValidationReport report = ValidateTree(&fx.store, tree->root(), config);
+      ASSERT_TRUE(report.ok)
+          << (report.issues.empty() ? "" : report.issues[0]);
+      ASSERT_EQ(report.num_data_entries, live.size());
+    }
+  }
+  // Remaining entries still retrievable.
+  EXPECT_EQ(*tree->CountEntries(), live.size());
+  std::vector<ObjectId> out;
+  ASSERT_TRUE(tree->Search(Rect::UnitSquare(), &out).ok());
+  EXPECT_EQ(out.size(), live.size());
+  for (ObjectId id : out) EXPECT_TRUE(live.count(id)) << id;
+}
+
+TEST(RTreeTest, DeleteEverythingShrinksToEmptyRoot) {
+  TreeFixture fx;
+  auto tree = RTree::Create(fx.pool.get(), RTreeConfig::WithFanout(4));
+  ASSERT_TRUE(tree.ok());
+  Rng rng(137);
+  auto rects = data::GenerateUniformPoints(100, &rng);
+  for (size_t i = 0; i < rects.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(rects[i], i).ok());
+  }
+  for (size_t i = 0; i < rects.size(); ++i) {
+    auto deleted = tree->Delete(rects[i], i);
+    ASSERT_TRUE(deleted.ok());
+    ASSERT_TRUE(*deleted);
+  }
+  EXPECT_EQ(*tree->CountEntries(), 0u);
+  EXPECT_EQ(tree->height(), 1);
+}
+
+TEST(RTreeTest, QueryStatsCountNodeAccesses) {
+  TreeFixture fx;
+  auto tree = RTree::Create(fx.pool.get(), RTreeConfig::WithFanout(4));
+  ASSERT_TRUE(tree.ok());
+  Rng rng(139);
+  auto rects = data::GenerateUniformPoints(200, &rng);
+  for (size_t i = 0; i < rects.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(rects[i], i).ok());
+  }
+  QueryStats stats;
+  std::vector<ObjectId> out;
+  ASSERT_TRUE(tree->Search(Rect::UnitSquare(), &out, &stats).ok());
+  // A full-space query touches every node; there are at least
+  // 200/4 = 50 leaves.
+  EXPECT_GE(stats.nodes_accessed, 50u);
+}
+
+TEST(RTreeTest, SearchThroughTinyPoolStillCorrect) {
+  // Pool of 4 frames on a tree of height 3: heavy eviction during search
+  // must not affect results.
+  TreeFixture fx(512);
+  RTreeConfig config = RTreeConfig::WithFanout(8);
+  std::vector<Rect> rects;
+  {
+    Rng rng(149);
+    rects = data::GenerateSyntheticRegion(400, &rng);
+  }
+  auto tree = RTree::Create(fx.pool.get(), config);
+  ASSERT_TRUE(tree.ok());
+  for (size_t i = 0; i < rects.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(rects[i], i).ok());
+  }
+  ASSERT_TRUE(fx.pool->FlushAll().ok());
+
+  auto small_pool = BufferPool::MakeLru(&fx.store, 4);
+  auto reopened = RTree::Open(small_pool.get(), config, tree->root(),
+                              tree->height());
+  ASSERT_TRUE(reopened.ok());
+  Rng rng(151);
+  for (int q = 0; q < 100; ++q) {
+    Point p{rng.NextDouble(), rng.NextDouble()};
+    std::vector<ObjectId> got;
+    ASSERT_TRUE(reopened->SearchPoint(p, &got).ok());
+    EXPECT_EQ(Sorted(got), BruteForce(rects, Rect::FromPoint(p)));
+  }
+  EXPECT_GT(fx.store.stats().reads, 0u);
+}
+
+// --------------------------------------------------------------------------
+// R*-tree insertion policy
+// --------------------------------------------------------------------------
+
+TEST(RStarTreeTest, OracleCorrectnessUnderRStarInsertion) {
+  TreeFixture fx(512);
+  RTreeConfig config = RTreeConfig::RStar(8);
+  auto tree = RTree::Create(fx.pool.get(), config);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(157);
+  auto rects = data::GenerateSyntheticRegion(500, &rng);
+  for (size_t i = 0; i < rects.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(rects[i], i).ok());
+  }
+  EXPECT_EQ(*tree->CountEntries(), rects.size());
+  for (int q = 0; q < 150; ++q) {
+    Point p{rng.NextDouble(), rng.NextDouble()};
+    std::vector<ObjectId> got;
+    ASSERT_TRUE(tree->SearchPoint(p, &got).ok());
+    EXPECT_EQ(Sorted(got), BruteForce(rects, Rect::FromPoint(p)));
+  }
+}
+
+TEST(RStarTreeTest, TreeStaysStructurallyValid) {
+  TreeFixture fx(512);
+  RTreeConfig config = RTreeConfig::RStar(10);
+  auto tree = RTree::Create(fx.pool.get(), config);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(163);
+  auto rects = data::GenerateUniformPoints(1200, &rng);
+  for (size_t i = 0; i < rects.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(rects[i], i).ok());
+  }
+  ASSERT_TRUE(fx.pool->FlushAll().ok());
+  ValidationReport report = ValidateTree(&fx.store, tree->root(), config);
+  EXPECT_TRUE(report.ok) << (report.issues.empty() ? "" : report.issues[0]);
+  EXPECT_EQ(report.num_data_entries, rects.size());
+}
+
+TEST(RStarTreeTest, DeleteWorksOnRStarTrees) {
+  TreeFixture fx(512);
+  RTreeConfig config = RTreeConfig::RStar(8);
+  auto tree = RTree::Create(fx.pool.get(), config);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(167);
+  auto rects = data::GenerateSyntheticRegion(300, &rng);
+  for (size_t i = 0; i < rects.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(rects[i], i).ok());
+  }
+  for (size_t i = 0; i < rects.size(); i += 2) {
+    auto deleted = tree->Delete(rects[i], i);
+    ASSERT_TRUE(deleted.ok());
+    EXPECT_TRUE(*deleted);
+  }
+  EXPECT_EQ(*tree->CountEntries(), rects.size() / 2);
+  ASSERT_TRUE(fx.pool->FlushAll().ok());
+  ValidationReport report = ValidateTree(&fx.store, tree->root(), config);
+  EXPECT_TRUE(report.ok) << (report.issues.empty() ? "" : report.issues[0]);
+}
+
+TEST(RStarTreeTest, BetterStructureThanGuttmanOnClusteredData) {
+  // The R* policies exist to reduce area/overlap; on clustered data the
+  // R*-built tree should have a smaller total MBR area (this is what the
+  // paper's buffer model would consume to compare the two update policies).
+  Rng data_rng(173);
+  data::TigerParams params;
+  params.num_rects = 4000;
+  auto rects = data::GenerateTigerSurrogate(params, &data_rng);
+
+  auto total_area = [&rects](const RTreeConfig& config) {
+    TreeFixture fx(512);
+    auto tree = RTree::Create(fx.pool.get(), config);
+    EXPECT_TRUE(tree.ok());
+    for (size_t i = 0; i < rects.size(); ++i) {
+      EXPECT_TRUE(tree->Insert(rects[i], i).ok());
+    }
+    EXPECT_TRUE(fx.pool->FlushAll().ok());
+    auto summary =
+        TreeSummary::Extract(&fx.store, tree->root());
+    EXPECT_TRUE(summary.ok());
+    return summary->TotalArea();
+  };
+
+  double guttman = total_area(RTreeConfig::WithFanout(16));
+  double rstar = total_area(RTreeConfig::RStar(16));
+  EXPECT_LT(rstar, guttman);
+}
+
+TEST(RStarTreeTest, ForcedReinsertTriggersAndConverges) {
+  // With fanout 4 and hundreds of inserts, every level must have seen the
+  // overflow treatment; the tree still holds every entry exactly once.
+  TreeFixture fx(512);
+  RTreeConfig config = RTreeConfig::RStar(4);
+  auto tree = RTree::Create(fx.pool.get(), config);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(179);
+  auto rects = data::GenerateUniformPoints(400, &rng);
+  for (size_t i = 0; i < rects.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(rects[i], i).ok());
+  }
+  std::vector<ObjectId> all;
+  ASSERT_TRUE(tree->Search(Rect::UnitSquare(), &all).ok());
+  ASSERT_EQ(all.size(), rects.size());
+  std::sort(all.begin(), all.end());
+  for (size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(RTreeTest, OpenValidatesRootLevel) {
+  TreeFixture fx;
+  auto tree = RTree::Create(fx.pool.get(), RTreeConfig::WithFanout(10));
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(fx.pool->FlushAll().ok());
+  auto bad = RTree::Open(fx.pool.get(), RTreeConfig::WithFanout(10),
+                         tree->root(), /*height=*/3);
+  EXPECT_FALSE(bad.ok());
+  auto good = RTree::Open(fx.pool.get(), RTreeConfig::WithFanout(10),
+                          tree->root(), /*height=*/1);
+  EXPECT_TRUE(good.ok());
+}
+
+}  // namespace
+}  // namespace rtb::rtree

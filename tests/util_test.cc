@@ -1,0 +1,241 @@
+// Tests for rtb::Status, rtb::Result, rtb::Rng and batch statistics.
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/batch_stats.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace rtb {
+namespace {
+
+// --------------------------------------------------------------------------
+// Status / Result
+// --------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("page 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "page 7");
+  EXPECT_EQ(s.ToString(), "NotFound: page 7");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Corruption("").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::IoError("").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::NotSupported("").code(), StatusCode::kNotSupported);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Corruption("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  RTB_ASSIGN_OR_RETURN(int h, Half(x));
+  RTB_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd.
+  EXPECT_FALSE(Quarter(7).ok());
+}
+
+// --------------------------------------------------------------------------
+// Rng
+// --------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntInRangeAndCoversAllValues) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformInt(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntOneIsAlwaysZero) {
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(1), 0u);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(-2.5, 7.25);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.25);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(23);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(29);
+  Rng child = a.Fork();
+  // Fork advances the parent; child stream should not mirror parent.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == child.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+// --------------------------------------------------------------------------
+// BatchMeans / RunningStats
+// --------------------------------------------------------------------------
+
+TEST(BatchMeansTest, MeanOfBatches) {
+  BatchMeans bm;
+  bm.AddBatch(1.0);
+  bm.AddBatch(2.0);
+  bm.AddBatch(3.0);
+  EXPECT_DOUBLE_EQ(bm.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(bm.Variance(), 1.0);
+}
+
+TEST(BatchMeansTest, EmptyIsZero) {
+  BatchMeans bm;
+  EXPECT_EQ(bm.Mean(), 0.0);
+  EXPECT_EQ(bm.Variance(), 0.0);
+  EXPECT_EQ(bm.HalfWidth(0.90), 0.0);
+}
+
+TEST(BatchMeansTest, HalfWidthMatchesHandComputation) {
+  BatchMeans bm;
+  bm.AddBatch(10.0);
+  bm.AddBatch(12.0);
+  // n=2, df=1: t90 = 6.314, s^2 = 2, hw = 6.314 * sqrt(2/2) = 6.314.
+  EXPECT_NEAR(bm.HalfWidth(0.90), 6.314, 1e-9);
+  EXPECT_NEAR(bm.RelativeHalfWidth(0.90), 6.314 / 11.0, 1e-9);
+}
+
+TEST(BatchMeansTest, IdenticalBatchesHaveZeroWidth) {
+  BatchMeans bm;
+  for (int i = 0; i < 20; ++i) bm.AddBatch(5.5);
+  EXPECT_DOUBLE_EQ(bm.Mean(), 5.5);
+  EXPECT_DOUBLE_EQ(bm.HalfWidth(0.95), 0.0);
+}
+
+TEST(BatchMeansTest, WidthShrinksWithMoreBatches) {
+  Rng rng(31);
+  BatchMeans few, many;
+  for (int i = 0; i < 5; ++i) few.AddBatch(rng.NextDouble());
+  Rng rng2(31);
+  for (int i = 0; i < 100; ++i) many.AddBatch(rng2.NextDouble());
+  EXPECT_LT(many.HalfWidth(0.90), few.HalfWidth(0.90));
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats rs;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.Add(v);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.Mean(), 5.0);
+  EXPECT_NEAR(rs.Variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(rs.Min(), 2.0);
+  EXPECT_EQ(rs.Max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats rs;
+  EXPECT_EQ(rs.Mean(), 0.0);
+  rs.Add(3.0);
+  EXPECT_EQ(rs.Mean(), 3.0);
+  EXPECT_EQ(rs.Variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace rtb

@@ -1,0 +1,429 @@
+// rtb_cli — command-line front end for the rtree-buffer library.
+//
+// Subcommands:
+//   generate  --kind=uniform|region|tiger|cfd --n=N --seed=S --out=FILE
+//       Write a synthetic data set as an rtb-rects file.
+//   build     --data=FILE --index=FILE --fanout=N --algo=HS|NX|STR|TAT|RSTAR
+//       Bulk-load (or insert) the data into a persistent index file. Tree
+//       metadata (root page, height, fanout) is stored in FILE.meta.
+//   stats     --index=FILE
+//       Print tree shape, per-level node counts, and MBR aggregates.
+//   validate  --index=FILE [--strict=0|1]
+//       Check structural invariants.
+//   predict   --index=FILE --buffer=B [--qx=QX --qy=QY] [--pin=L]
+//             [--data=FILE]
+//       Model-predicted disk accesses per query; --data switches to the
+//       data-driven query model using that file's rectangle centers.
+//   query     --index=FILE --buffer=B --queries=N [--qx --qy --seed]
+//       Actually execute a random query workload through an LRU buffer
+//       pool and report measured disk accesses next to the prediction.
+//   knn       --index=FILE --x=X --y=Y [--k=K] [--buffer=B]
+//       Report the K objects nearest to (X, Y).
+//
+// Example session:
+//   rtb_cli generate --kind=tiger --n=53145 --out=roads.rects
+//   rtb_cli build --data=roads.rects --index=roads.idx --fanout=100 --algo=HS
+//   rtb_cli predict --index=roads.idx --buffer=200
+//   rtb_cli query --index=roads.idx --buffer=200 --queries=100000
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/rtb.h"
+
+namespace rtb::cli {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------------
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "rtb_cli: %s\n", message.c_str());
+  return 1;
+}
+
+int FailStatus(const char* what, const Status& status) {
+  return Fail(std::string(what) + ": " + status.ToString());
+}
+
+// Parsed --name=value arguments with defaults.
+class Args {
+ public:
+  Args(int argc, char** argv, int first,
+       std::map<std::string, std::string> defaults)
+      : values_(std::move(defaults)) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      size_t eq = arg.find('=');
+      if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+        ok_ = false;
+        error_ = "malformed argument '" + arg + "' (want --name=value)";
+        return;
+      }
+      std::string name = arg.substr(2, eq - 2);
+      if (values_.find(name) == values_.end()) {
+        ok_ = false;
+        error_ = "unknown flag --" + name;
+        return;
+      }
+      values_[name] = arg.substr(eq + 1);
+    }
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  std::string Get(const std::string& name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? "" : it->second;
+  }
+  uint64_t GetInt(const std::string& name) const {
+    return std::strtoull(Get(name).c_str(), nullptr, 10);
+  }
+  double GetDouble(const std::string& name) const {
+    return std::strtod(Get(name).c_str(), nullptr);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+  std::string error_;
+};
+
+// Index metadata sidecar (FILE.meta): "rtb-index root height fanout".
+struct IndexMeta {
+  storage::PageId root = 0;
+  uint16_t height = 0;
+  uint32_t fanout = 0;
+};
+
+Status SaveMeta(const std::string& index_path, const IndexMeta& meta) {
+  std::ofstream out(index_path + ".meta");
+  if (!out) return Status::IoError("cannot write " + index_path + ".meta");
+  out << "rtb-index " << meta.root << ' ' << meta.height << ' '
+      << meta.fanout << '\n';
+  return out ? Status::OK()
+             : Status::IoError("write failed: " + index_path + ".meta");
+}
+
+Result<IndexMeta> LoadMeta(const std::string& index_path) {
+  std::ifstream in(index_path + ".meta");
+  if (!in) return Status::IoError("cannot open " + index_path + ".meta");
+  std::string magic;
+  IndexMeta meta;
+  uint32_t root, height;
+  if (!(in >> magic >> root >> height >> meta.fanout) ||
+      magic != "rtb-index") {
+    return Status::Corruption(index_path + ".meta: bad format");
+  }
+  meta.root = root;
+  meta.height = static_cast<uint16_t>(height);
+  return meta;
+}
+
+Result<rtree::LoadAlgorithm> ParseAlgo(const std::string& name) {
+  if (name == "HS") return rtree::LoadAlgorithm::kHilbertSort;
+  if (name == "NX") return rtree::LoadAlgorithm::kNearestX;
+  if (name == "STR") return rtree::LoadAlgorithm::kStr;
+  if (name == "TAT" || name == "RSTAR") {
+    return rtree::LoadAlgorithm::kTupleAtATime;
+  }
+  return Status::InvalidArgument("unknown algorithm '" + name +
+                                 "' (HS|NX|STR|TAT|RSTAR)");
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------------
+
+int CmdGenerate(int argc, char** argv) {
+  Args args(argc, argv, 2,
+            {{"kind", "uniform"}, {"n", "10000"}, {"seed", "1"},
+             {"out", ""}});
+  if (!args.ok()) return Fail(args.error());
+  if (args.Get("out").empty()) return Fail("generate needs --out=FILE");
+  Rng rng(args.GetInt("seed"));
+  const size_t n = args.GetInt("n");
+  std::vector<geom::Rect> rects;
+  const std::string kind = args.Get("kind");
+  if (kind == "uniform") {
+    rects = data::GenerateUniformPoints(n, &rng);
+  } else if (kind == "region") {
+    rects = data::GenerateSyntheticRegion(n, &rng);
+  } else if (kind == "tiger") {
+    data::TigerParams params;
+    params.num_rects = n;
+    rects = data::GenerateTigerSurrogate(params, &rng);
+  } else if (kind == "cfd") {
+    data::CfdParams params;
+    params.num_points = n;
+    rects = data::GenerateCfdSurrogate(params, &rng);
+  } else {
+    return Fail("unknown kind '" + kind + "' (uniform|region|tiger|cfd)");
+  }
+  if (Status s = data::SaveRects(args.Get("out"), rects); !s.ok()) {
+    return FailStatus("save", s);
+  }
+  std::printf("wrote %zu rectangles to %s\n", rects.size(),
+              args.Get("out").c_str());
+  return 0;
+}
+
+int CmdBuild(int argc, char** argv) {
+  Args args(argc, argv, 2,
+            {{"data", ""}, {"index", ""}, {"fanout", "100"},
+             {"algo", "HS"}});
+  if (!args.ok()) return Fail(args.error());
+  if (args.Get("data").empty() || args.Get("index").empty()) {
+    return Fail("build needs --data=FILE and --index=FILE");
+  }
+  auto rects = data::LoadRects(args.Get("data"));
+  if (!rects.ok()) return FailStatus("load data", rects.status());
+
+  auto store = storage::FilePageStore::Create(args.Get("index"));
+  if (!store.ok()) return FailStatus("create index", store.status());
+
+  const uint32_t fanout = static_cast<uint32_t>(args.GetInt("fanout"));
+  rtree::RTreeConfig config = args.Get("algo") == "RSTAR"
+                                  ? rtree::RTreeConfig::RStar(fanout)
+                                  : rtree::RTreeConfig::WithFanout(fanout);
+  auto algo = ParseAlgo(args.Get("algo"));
+  if (!algo.ok()) return FailStatus("algorithm", algo.status());
+
+  auto built = rtree::BuildRTree(store->get(), config, *rects, *algo);
+  if (!built.ok()) return FailStatus("build", built.status());
+  if (Status s = (*store)->Sync(); !s.ok()) return FailStatus("sync", s);
+  IndexMeta meta{built->root, built->height, fanout};
+  if (Status s = SaveMeta(args.Get("index"), meta); !s.ok()) {
+    return FailStatus("meta", s);
+  }
+  std::printf("built %s index: %u nodes, height %u, root page %u -> %s\n",
+              args.Get("algo").c_str(), built->num_nodes, built->height,
+              built->root, args.Get("index").c_str());
+  return 0;
+}
+
+// Opens the index + summary for the read-only subcommands.
+struct OpenedIndex {
+  std::unique_ptr<storage::FilePageStore> store;
+  IndexMeta meta;
+  std::unique_ptr<rtree::TreeSummary> summary;
+};
+
+Result<OpenedIndex> OpenIndex(const std::string& path) {
+  OpenedIndex opened;
+  RTB_ASSIGN_OR_RETURN(opened.meta, LoadMeta(path));
+  RTB_ASSIGN_OR_RETURN(opened.store, storage::FilePageStore::Open(path));
+  RTB_ASSIGN_OR_RETURN(
+      rtree::TreeSummary summary,
+      rtree::TreeSummary::Extract(opened.store.get(), opened.meta.root));
+  opened.summary =
+      std::make_unique<rtree::TreeSummary>(std::move(summary));
+  opened.store->ResetStats();
+  return opened;
+}
+
+int CmdStats(int argc, char** argv) {
+  Args args(argc, argv, 2, {{"index", ""}});
+  if (!args.ok()) return Fail(args.error());
+  auto opened = OpenIndex(args.Get("index"));
+  if (!opened.ok()) return FailStatus("open", opened.status());
+  const auto& s = *opened->summary;
+  std::printf("index:   %s\n", args.Get("index").c_str());
+  std::printf("fanout:  %u\n", opened->meta.fanout);
+  std::printf("height:  %u levels\n", s.height());
+  std::printf("nodes:   %zu (data entries: %llu)\n", s.NumNodes(),
+              static_cast<unsigned long long>(s.NumDataEntries()));
+  for (uint16_t l = 0; l < s.height(); ++l) {
+    std::printf("  level %u (paper level %u): %u nodes\n", l,
+                s.height() - 1 - l,
+                s.NodesAtLevel(static_cast<uint16_t>(l)));
+  }
+  std::printf("total MBR area (A):      %.4f\n", s.TotalArea());
+  std::printf("total x-extents (Lx):    %.4f\n", s.TotalXExtent());
+  std::printf("total y-extents (Ly):    %.4f\n", s.TotalYExtent());
+  std::printf("mean entries per node:   %.1f\n", s.MeanEntriesPerNode());
+  std::printf("bufferless EP(point):    %.4f nodes/query\n", s.TotalArea());
+  return 0;
+}
+
+int CmdValidate(int argc, char** argv) {
+  Args args(argc, argv, 2, {{"index", ""}, {"strict", "0"}});
+  if (!args.ok()) return Fail(args.error());
+  auto meta = LoadMeta(args.Get("index"));
+  if (!meta.ok()) return FailStatus("meta", meta.status());
+  auto store = storage::FilePageStore::Open(args.Get("index"));
+  if (!store.ok()) return FailStatus("open", store.status());
+  rtree::ValidateOptions options;
+  options.check_min_fill = args.GetInt("strict") != 0;
+  rtree::ValidationReport report =
+      rtree::ValidateTree(store->get(), meta->root,
+                          rtree::RTreeConfig::WithFanout(meta->fanout),
+                          options);
+  std::printf("nodes: %llu, data entries: %llu\n",
+              static_cast<unsigned long long>(report.num_nodes),
+              static_cast<unsigned long long>(report.num_data_entries));
+  if (report.ok) {
+    std::printf("OK: all structural invariants hold\n");
+    return 0;
+  }
+  for (const std::string& issue : report.issues) {
+    std::printf("ISSUE: %s\n", issue.c_str());
+  }
+  return 1;
+}
+
+int CmdPredict(int argc, char** argv) {
+  Args args(argc, argv, 2,
+            {{"index", ""}, {"buffer", "100"}, {"qx", "0"}, {"qy", "0"},
+             {"pin", "0"}, {"data", ""}});
+  if (!args.ok()) return Fail(args.error());
+  auto opened = OpenIndex(args.Get("index"));
+  if (!opened.ok()) return FailStatus("open", opened.status());
+
+  model::QuerySpec spec;
+  std::vector<geom::Point> centers;
+  if (!args.Get("data").empty()) {
+    auto rects = data::LoadRects(args.Get("data"));
+    if (!rects.ok()) return FailStatus("load data", rects.status());
+    centers = data::Centers(*rects);
+    spec = model::QuerySpec::DataDrivenRegion(args.GetDouble("qx"),
+                                              args.GetDouble("qy"));
+  } else {
+    spec = model::QuerySpec::UniformRegion(args.GetDouble("qx"),
+                                           args.GetDouble("qy"));
+  }
+  auto probs = model::AccessProbabilities(*opened->summary, spec,
+                                          centers.empty() ? nullptr
+                                                          : &centers);
+  if (!probs.ok()) return FailStatus("model", probs.status());
+
+  const uint64_t buffer = args.GetInt("buffer");
+  const uint16_t pin = static_cast<uint16_t>(args.GetInt("pin"));
+  std::printf("query model:   %s, %g x %g\n",
+              centers.empty() ? "uniform" : "data-driven",
+              args.GetDouble("qx"), args.GetDouble("qy"));
+  std::printf("nodes/query (bufferless):   %.4f\n",
+              model::ExpectedNodeAccesses(*probs));
+  if (pin == 0) {
+    std::printf("disk accesses/query (B=%llu): %.4f (continuous: %.4f)\n",
+                static_cast<unsigned long long>(buffer),
+                model::ExpectedDiskAccesses(*probs, buffer),
+                model::ExpectedDiskAccessesContinuous(*probs, buffer));
+  } else {
+    auto pinned = model::ExpectedDiskAccessesPinned(*opened->summary, *probs,
+                                                    buffer, pin);
+    if (!pinned.feasible) {
+      return Fail("pinning " + std::to_string(pin) + " levels needs " +
+                  std::to_string(pinned.pinned_pages) +
+                  " pages but the buffer has only " +
+                  std::to_string(buffer));
+    }
+    std::printf(
+        "disk accesses/query (B=%llu, %u levels pinned = %llu pages): "
+        "%.4f\n",
+        static_cast<unsigned long long>(buffer), pin,
+        static_cast<unsigned long long>(pinned.pinned_pages),
+        pinned.disk_accesses);
+  }
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  Args args(argc, argv, 2,
+            {{"index", ""}, {"buffer", "100"}, {"queries", "100000"},
+             {"qx", "0"}, {"qy", "0"}, {"seed", "1"}, {"warmup", "10000"}});
+  if (!args.ok()) return Fail(args.error());
+  auto opened = OpenIndex(args.Get("index"));
+  if (!opened.ok()) return FailStatus("open", opened.status());
+
+  const uint64_t buffer = args.GetInt("buffer");
+  auto pool = storage::BufferPool::MakeLru(opened->store.get(), buffer);
+  auto tree = rtree::RTree::Open(pool.get(),
+                                 rtree::RTreeConfig::WithFanout(
+                                     opened->meta.fanout),
+                                 opened->meta.root, opened->meta.height);
+  if (!tree.ok()) return FailStatus("open tree", tree.status());
+
+  model::QuerySpec spec = model::QuerySpec::UniformRegion(
+      args.GetDouble("qx"), args.GetDouble("qy"));
+  auto gen = sim::MakeGenerator(spec);
+  if (!gen.ok()) return FailStatus("generator", gen.status());
+  Rng rng(args.GetInt("seed"));
+  auto result = sim::RunWorkload(&*tree, opened->store.get(), gen->get(),
+                                 &rng, args.GetInt("warmup"),
+                                 args.GetInt("queries"));
+  if (!result.ok()) return FailStatus("workload", result.status());
+
+  auto probs = model::AccessProbabilities(*opened->summary, spec);
+  std::printf("executed %llu queries (after %llu warm-up)\n",
+              static_cast<unsigned long long>(result->queries),
+              static_cast<unsigned long long>(args.GetInt("warmup")));
+  std::printf("measured:  %.4f disk accesses/query (%.4f nodes/query)\n",
+              result->MeanDiskAccesses(), result->MeanNodeAccesses());
+  std::printf("predicted: %.4f disk accesses/query (LRU buffer model)\n",
+              model::ExpectedDiskAccesses(*probs, buffer));
+  return 0;
+}
+
+int CmdKnn(int argc, char** argv) {
+  Args args(argc, argv, 2,
+            {{"index", ""}, {"x", "0.5"}, {"y", "0.5"}, {"k", "5"},
+             {"buffer", "64"}});
+  if (!args.ok()) return Fail(args.error());
+  auto opened = OpenIndex(args.Get("index"));
+  if (!opened.ok()) return FailStatus("open", opened.status());
+  auto pool = storage::BufferPool::MakeLru(opened->store.get(),
+                                           args.GetInt("buffer"));
+  auto tree = rtree::RTree::Open(pool.get(),
+                                 rtree::RTreeConfig::WithFanout(
+                                     opened->meta.fanout),
+                                 opened->meta.root, opened->meta.height);
+  if (!tree.ok()) return FailStatus("open tree", tree.status());
+  geom::Point p{args.GetDouble("x"), args.GetDouble("y")};
+  rtree::QueryStats stats;
+  auto neighbors = rtree::SearchKnn(*tree, p, args.GetInt("k"), &stats);
+  if (!neighbors.ok()) return FailStatus("knn", neighbors.status());
+  std::printf("%zu nearest to (%g, %g), %llu nodes touched:\n",
+              neighbors->size(), p.x, p.y,
+              static_cast<unsigned long long>(stats.nodes_accessed));
+  for (const rtree::Neighbor& n : *neighbors) {
+    std::printf("  object %llu  distance %.6f  "
+                "mbr=(%.4f,%.4f)-(%.4f,%.4f)\n",
+                static_cast<unsigned long long>(n.id), n.distance,
+                n.rect.lo.x, n.rect.lo.y, n.rect.hi.x, n.rect.hi.y);
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: rtb_cli <generate|build|stats|validate|predict|query|knn> "
+      "[--flag=value ...]\n"
+      "see the header of tools/rtb_cli.cc for details\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(argc, argv);
+  if (command == "build") return CmdBuild(argc, argv);
+  if (command == "stats") return CmdStats(argc, argv);
+  if (command == "validate") return CmdValidate(argc, argv);
+  if (command == "predict") return CmdPredict(argc, argv);
+  if (command == "query") return CmdQuery(argc, argv);
+  if (command == "knn") return CmdKnn(argc, argv);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace rtb::cli
+
+int main(int argc, char** argv) { return rtb::cli::Main(argc, argv); }
