@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_model_families.dir/ablation_model_families.cc.o"
+  "CMakeFiles/ablation_model_families.dir/ablation_model_families.cc.o.d"
+  "ablation_model_families"
+  "ablation_model_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

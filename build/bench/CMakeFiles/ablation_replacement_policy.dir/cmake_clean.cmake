@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_replacement_policy.dir/ablation_replacement_policy.cc.o"
+  "CMakeFiles/ablation_replacement_policy.dir/ablation_replacement_policy.cc.o.d"
+  "ablation_replacement_policy"
+  "ablation_replacement_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_replacement_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_str_loader.dir/ablation_str_loader.cc.o"
+  "CMakeFiles/ablation_str_loader.dir/ablation_str_loader.cc.o.d"
+  "ablation_str_loader"
+  "ablation_str_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_str_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_update_degradation.dir/ablation_update_degradation.cc.o"
+  "CMakeFiles/ablation_update_degradation.dir/ablation_update_degradation.cc.o.d"
+  "ablation_update_degradation"
+  "ablation_update_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_update_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

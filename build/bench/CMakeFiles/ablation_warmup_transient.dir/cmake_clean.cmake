@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_warmup_transient.dir/ablation_warmup_transient.cc.o"
+  "CMakeFiles/ablation_warmup_transient.dir/ablation_warmup_transient.cc.o.d"
+  "ablation_warmup_transient"
+  "ablation_warmup_transient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_warmup_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ndim_validation.dir/ext_ndim_validation.cc.o"
+  "CMakeFiles/ext_ndim_validation.dir/ext_ndim_validation.cc.o.d"
+  "ext_ndim_validation"
+  "ext_ndim_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ndim_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

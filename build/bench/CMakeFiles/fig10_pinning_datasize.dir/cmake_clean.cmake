@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pinning_datasize.dir/fig10_pinning_datasize.cc.o"
+  "CMakeFiles/fig10_pinning_datasize.dir/fig10_pinning_datasize.cc.o.d"
+  "fig10_pinning_datasize"
+  "fig10_pinning_datasize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pinning_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

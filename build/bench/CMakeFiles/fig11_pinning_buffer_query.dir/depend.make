@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_pinning_buffer_query.
+# This may be replaced when dependencies are built.

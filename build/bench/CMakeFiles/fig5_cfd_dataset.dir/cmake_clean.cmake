@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cfd_dataset.dir/fig5_cfd_dataset.cc.o"
+  "CMakeFiles/fig5_cfd_dataset.dir/fig5_cfd_dataset.cc.o.d"
+  "fig5_cfd_dataset"
+  "fig5_cfd_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cfd_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_tiger_query_models.dir/fig7_tiger_query_models.cc.o"
+  "CMakeFiles/fig7_tiger_query_models.dir/fig7_tiger_query_models.cc.o.d"
+  "fig7_tiger_query_models"
+  "fig7_tiger_query_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tiger_query_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cfd_query_models.dir/fig8_cfd_query_models.cc.o"
+  "CMakeFiles/fig8_cfd_query_models.dir/fig8_cfd_query_models.cc.o.d"
+  "fig8_cfd_query_models"
+  "fig8_cfd_query_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cfd_query_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtb_bench_common.dir/common.cc.o"
+  "CMakeFiles/rtb_bench_common.dir/common.cc.o.d"
+  "librtb_bench_common.a"
+  "librtb_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtb_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_nodes_per_level.dir/table2_nodes_per_level.cc.o"
+  "CMakeFiles/table2_nodes_per_level.dir/table2_nodes_per_level.cc.o.d"
+  "table2_nodes_per_level"
+  "table2_nodes_per_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_nodes_per_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_nodes_per_level.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfd_hotspots.dir/cfd_hotspots.cpp.o"
+  "CMakeFiles/cfd_hotspots.dir/cfd_hotspots.cpp.o.d"
+  "cfd_hotspots"
+  "cfd_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfd_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gis_road_index.dir/gis_road_index.cpp.o"
+  "CMakeFiles/gis_road_index.dir/gis_road_index.cpp.o.d"
+  "gis_road_index"
+  "gis_road_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gis_road_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

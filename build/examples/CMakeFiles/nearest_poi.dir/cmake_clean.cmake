@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nearest_poi.dir/nearest_poi.cpp.o"
+  "CMakeFiles/nearest_poi.dir/nearest_poi.cpp.o.d"
+  "nearest_poi"
+  "nearest_poi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nearest_poi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/cfd.cc" "src/data/CMakeFiles/rtb_data.dir/cfd.cc.o" "gcc" "src/data/CMakeFiles/rtb_data.dir/cfd.cc.o.d"
+  "/root/repo/src/data/clusters.cc" "src/data/CMakeFiles/rtb_data.dir/clusters.cc.o" "gcc" "src/data/CMakeFiles/rtb_data.dir/clusters.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/data/CMakeFiles/rtb_data.dir/io.cc.o" "gcc" "src/data/CMakeFiles/rtb_data.dir/io.cc.o.d"
+  "/root/repo/src/data/polygon.cc" "src/data/CMakeFiles/rtb_data.dir/polygon.cc.o" "gcc" "src/data/CMakeFiles/rtb_data.dir/polygon.cc.o.d"
+  "/root/repo/src/data/tiger.cc" "src/data/CMakeFiles/rtb_data.dir/tiger.cc.o" "gcc" "src/data/CMakeFiles/rtb_data.dir/tiger.cc.o.d"
+  "/root/repo/src/data/uniform.cc" "src/data/CMakeFiles/rtb_data.dir/uniform.cc.o" "gcc" "src/data/CMakeFiles/rtb_data.dir/uniform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/rtb_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rtb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

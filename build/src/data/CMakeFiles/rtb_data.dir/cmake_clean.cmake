@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtb_data.dir/cfd.cc.o"
+  "CMakeFiles/rtb_data.dir/cfd.cc.o.d"
+  "CMakeFiles/rtb_data.dir/clusters.cc.o"
+  "CMakeFiles/rtb_data.dir/clusters.cc.o.d"
+  "CMakeFiles/rtb_data.dir/io.cc.o"
+  "CMakeFiles/rtb_data.dir/io.cc.o.d"
+  "CMakeFiles/rtb_data.dir/polygon.cc.o"
+  "CMakeFiles/rtb_data.dir/polygon.cc.o.d"
+  "CMakeFiles/rtb_data.dir/tiger.cc.o"
+  "CMakeFiles/rtb_data.dir/tiger.cc.o.d"
+  "CMakeFiles/rtb_data.dir/uniform.cc.o"
+  "CMakeFiles/rtb_data.dir/uniform.cc.o.d"
+  "librtb_data.a"
+  "librtb_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtb_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/hilbert.cc" "src/geom/CMakeFiles/rtb_geom.dir/hilbert.cc.o" "gcc" "src/geom/CMakeFiles/rtb_geom.dir/hilbert.cc.o.d"
+  "/root/repo/src/geom/point_grid.cc" "src/geom/CMakeFiles/rtb_geom.dir/point_grid.cc.o" "gcc" "src/geom/CMakeFiles/rtb_geom.dir/point_grid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rtb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtb_geom.dir/hilbert.cc.o"
+  "CMakeFiles/rtb_geom.dir/hilbert.cc.o.d"
+  "CMakeFiles/rtb_geom.dir/point_grid.cc.o"
+  "CMakeFiles/rtb_geom.dir/point_grid.cc.o.d"
+  "librtb_geom.a"
+  "librtb_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtb_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtb_model.dir/access_prob.cc.o"
+  "CMakeFiles/rtb_model.dir/access_prob.cc.o.d"
+  "CMakeFiles/rtb_model.dir/analytic_tree.cc.o"
+  "CMakeFiles/rtb_model.dir/analytic_tree.cc.o.d"
+  "CMakeFiles/rtb_model.dir/cost_model.cc.o"
+  "CMakeFiles/rtb_model.dir/cost_model.cc.o.d"
+  "CMakeFiles/rtb_model.dir/warmup.cc.o"
+  "CMakeFiles/rtb_model.dir/warmup.cc.o.d"
+  "librtb_model.a"
+  "librtb_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtb_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

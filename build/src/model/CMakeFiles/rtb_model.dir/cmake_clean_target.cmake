@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtb_model.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtb_rtree.dir/bulk_load.cc.o"
+  "CMakeFiles/rtb_rtree.dir/bulk_load.cc.o.d"
+  "CMakeFiles/rtb_rtree.dir/knn.cc.o"
+  "CMakeFiles/rtb_rtree.dir/knn.cc.o.d"
+  "CMakeFiles/rtb_rtree.dir/node.cc.o"
+  "CMakeFiles/rtb_rtree.dir/node.cc.o.d"
+  "CMakeFiles/rtb_rtree.dir/rtree.cc.o"
+  "CMakeFiles/rtb_rtree.dir/rtree.cc.o.d"
+  "CMakeFiles/rtb_rtree.dir/split.cc.o"
+  "CMakeFiles/rtb_rtree.dir/split.cc.o.d"
+  "CMakeFiles/rtb_rtree.dir/summary.cc.o"
+  "CMakeFiles/rtb_rtree.dir/summary.cc.o.d"
+  "CMakeFiles/rtb_rtree.dir/validate.cc.o"
+  "CMakeFiles/rtb_rtree.dir/validate.cc.o.d"
+  "librtb_rtree.a"
+  "librtb_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtb_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtb_sim.dir/lru_sim.cc.o"
+  "CMakeFiles/rtb_sim.dir/lru_sim.cc.o.d"
+  "CMakeFiles/rtb_sim.dir/query_gen.cc.o"
+  "CMakeFiles/rtb_sim.dir/query_gen.cc.o.d"
+  "CMakeFiles/rtb_sim.dir/runner.cc.o"
+  "CMakeFiles/rtb_sim.dir/runner.cc.o.d"
+  "librtb_sim.a"
+  "librtb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

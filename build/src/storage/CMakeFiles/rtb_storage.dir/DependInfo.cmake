@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/rtb_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/rtb_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/file_page_store.cc" "src/storage/CMakeFiles/rtb_storage.dir/file_page_store.cc.o" "gcc" "src/storage/CMakeFiles/rtb_storage.dir/file_page_store.cc.o.d"
+  "/root/repo/src/storage/page_store.cc" "src/storage/CMakeFiles/rtb_storage.dir/page_store.cc.o" "gcc" "src/storage/CMakeFiles/rtb_storage.dir/page_store.cc.o.d"
+  "/root/repo/src/storage/replacement.cc" "src/storage/CMakeFiles/rtb_storage.dir/replacement.cc.o" "gcc" "src/storage/CMakeFiles/rtb_storage.dir/replacement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rtb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

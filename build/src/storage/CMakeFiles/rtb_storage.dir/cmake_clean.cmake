@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtb_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/rtb_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/rtb_storage.dir/file_page_store.cc.o"
+  "CMakeFiles/rtb_storage.dir/file_page_store.cc.o.d"
+  "CMakeFiles/rtb_storage.dir/page_store.cc.o"
+  "CMakeFiles/rtb_storage.dir/page_store.cc.o.d"
+  "CMakeFiles/rtb_storage.dir/replacement.cc.o"
+  "CMakeFiles/rtb_storage.dir/replacement.cc.o.d"
+  "librtb_storage.a"
+  "librtb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtb_util.dir/batch_stats.cc.o"
+  "CMakeFiles/rtb_util.dir/batch_stats.cc.o.d"
+  "CMakeFiles/rtb_util.dir/rng.cc.o"
+  "CMakeFiles/rtb_util.dir/rng.cc.o.d"
+  "CMakeFiles/rtb_util.dir/status.cc.o"
+  "CMakeFiles/rtb_util.dir/status.cc.o.d"
+  "librtb_util.a"
+  "librtb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

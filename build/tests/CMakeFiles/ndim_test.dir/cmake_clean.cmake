@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndim_test.dir/ndim_test.cc.o"
+  "CMakeFiles/ndim_test.dir/ndim_test.cc.o.d"
+  "ndim_test"
+  "ndim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qualitative_claims_test.dir/qualitative_claims_test.cc.o"
+  "CMakeFiles/qualitative_claims_test.dir/qualitative_claims_test.cc.o.d"
+  "qualitative_claims_test"
+  "qualitative_claims_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qualitative_claims_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

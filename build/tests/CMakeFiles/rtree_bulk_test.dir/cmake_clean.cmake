@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtree_bulk_test.dir/rtree_bulk_test.cc.o"
+  "CMakeFiles/rtree_bulk_test.dir/rtree_bulk_test.cc.o.d"
+  "rtree_bulk_test"
+  "rtree_bulk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtree_bulk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtree_knn_test.dir/rtree_knn_test.cc.o"
+  "CMakeFiles/rtree_knn_test.dir/rtree_knn_test.cc.o.d"
+  "rtree_knn_test"
+  "rtree_knn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtree_knn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

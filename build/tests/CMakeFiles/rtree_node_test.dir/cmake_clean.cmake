@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtree_node_test.dir/rtree_node_test.cc.o"
+  "CMakeFiles/rtree_node_test.dir/rtree_node_test.cc.o.d"
+  "rtree_node_test"
+  "rtree_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtree_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtree_tree_test.dir/rtree_tree_test.cc.o"
+  "CMakeFiles/rtree_tree_test.dir/rtree_tree_test.cc.o.d"
+  "rtree_tree_test"
+  "rtree_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtree_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtb_cli.dir/rtb_cli.cc.o"
+  "CMakeFiles/rtb_cli.dir/rtb_cli.cc.o.d"
+  "rtb_cli"
+  "rtb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
