@@ -68,6 +68,7 @@ Workload BuildWorkload(const std::vector<geom::Rect>& rects, uint32_t fanout,
   w.centers = data::Centers(rects);
   w.store->ResetStats();
   w.label = std::string(rtree::LoadAlgorithmName(algo));
+  w.fanout = fanout;
   return w;
 }
 
@@ -110,6 +111,38 @@ SimEstimate SimulateDiskAccesses(const Workload& w,
   est.ci90_rel = result->mean_disk_accesses > 0
                      ? result->ci_halfwidth_90 / result->mean_disk_accesses
                      : 0.0;
+  return est;
+}
+
+ParallelEstimate RunParallelQueries(const Workload& w,
+                                    const model::QuerySpec& spec,
+                                    uint64_t buffer_pages, uint32_t threads,
+                                    size_t shards, uint64_t warmup,
+                                    uint64_t queries, uint64_t seed) {
+  std::unique_ptr<storage::PageCache> pool;
+  if (threads == 1 && shards == 0) {
+    pool = storage::BufferPool::MakeLru(w.store.get(), buffer_pages);
+  } else {
+    pool = storage::ShardedBufferPool::MakeLru(w.store.get(), buffer_pages,
+                                               shards);
+  }
+  auto tree = rtree::RTree::Open(pool.get(),
+                                 rtree::RTreeConfig::WithFanout(w.fanout),
+                                 w.tree.root, w.tree.height);
+  RTB_CHECK(tree.ok());
+  auto gen = sim::MakeGenerator(spec, &w.centers);
+  RTB_CHECK(gen.ok());
+  sim::ParallelOptions options;
+  options.threads = threads;
+  options.base_seed = seed;
+  options.warmup = warmup;
+  options.queries = queries;
+  auto run = sim::RunParallelWorkload(&*tree, w.store.get(), gen->get(),
+                                      options);
+  RTB_CHECK(run.ok());
+  ParallelEstimate est;
+  est.run = std::move(*run);
+  est.buffer = pool->AggregateStats();
   return est;
 }
 

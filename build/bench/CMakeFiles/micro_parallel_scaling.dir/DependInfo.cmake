@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_parallel_scaling.cc" "bench/CMakeFiles/micro_parallel_scaling.dir/micro_parallel_scaling.cc.o" "gcc" "bench/CMakeFiles/micro_parallel_scaling.dir/micro_parallel_scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/rtb_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rtb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rtb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/rtb_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rtb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rtb_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rtb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -222,9 +222,13 @@ bench/CMakeFiles/table2_nodes_per_level.dir/table2_nodes_per_level.cc.o: \
  /root/repo/src/geom/point_grid.h /root/repo/src/model/access_prob.h \
  /root/repo/src/rtree/summary.h /root/repo/src/rtree/node.h \
  /root/repo/src/storage/page.h /usr/include/c++/12/limits \
- /root/repo/src/storage/page_store.h /root/repo/src/model/analytic_tree.h \
- /root/repo/src/model/cost_model.h /root/repo/src/model/ndim.h \
- /usr/include/c++/12/array /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/storage/page_store.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/model/analytic_tree.h /root/repo/src/model/cost_model.h \
+ /root/repo/src/model/ndim.h /usr/include/c++/12/array \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -257,5 +261,8 @@ bench/CMakeFiles/table2_nodes_per_level.dir/table2_nodes_per_level.cc.o: \
  /root/repo/src/rtree/split.h /root/repo/src/rtree/validate.h \
  /root/repo/src/sim/lru_sim.h /root/repo/src/sim/query_gen.h \
  /root/repo/src/util/batch_stats.h /root/repo/src/sim/nd_sim.h \
- /root/repo/src/sim/runner.h /root/repo/src/storage/fault_injection.h \
- /root/repo/src/storage/file_page_store.h
+ /root/repo/src/sim/parallel_runner.h /root/repo/src/sim/runner.h \
+ /root/repo/src/storage/fault_injection.h \
+ /root/repo/src/storage/file_page_store.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/storage/sharded_buffer_pool.h

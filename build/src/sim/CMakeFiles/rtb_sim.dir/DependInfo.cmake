@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/lru_sim.cc" "src/sim/CMakeFiles/rtb_sim.dir/lru_sim.cc.o" "gcc" "src/sim/CMakeFiles/rtb_sim.dir/lru_sim.cc.o.d"
+  "/root/repo/src/sim/parallel_runner.cc" "src/sim/CMakeFiles/rtb_sim.dir/parallel_runner.cc.o" "gcc" "src/sim/CMakeFiles/rtb_sim.dir/parallel_runner.cc.o.d"
   "/root/repo/src/sim/query_gen.cc" "src/sim/CMakeFiles/rtb_sim.dir/query_gen.cc.o" "gcc" "src/sim/CMakeFiles/rtb_sim.dir/query_gen.cc.o.d"
   "/root/repo/src/sim/runner.cc" "src/sim/CMakeFiles/rtb_sim.dir/runner.cc.o" "gcc" "src/sim/CMakeFiles/rtb_sim.dir/runner.cc.o.d"
   )

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/rtb_sim.dir/lru_sim.cc.o"
   "CMakeFiles/rtb_sim.dir/lru_sim.cc.o.d"
+  "CMakeFiles/rtb_sim.dir/parallel_runner.cc.o"
+  "CMakeFiles/rtb_sim.dir/parallel_runner.cc.o.d"
   "CMakeFiles/rtb_sim.dir/query_gen.cc.o"
   "CMakeFiles/rtb_sim.dir/query_gen.cc.o.d"
   "CMakeFiles/rtb_sim.dir/runner.cc.o"

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/storage/file_page_store.cc" "src/storage/CMakeFiles/rtb_storage.dir/file_page_store.cc.o" "gcc" "src/storage/CMakeFiles/rtb_storage.dir/file_page_store.cc.o.d"
   "/root/repo/src/storage/page_store.cc" "src/storage/CMakeFiles/rtb_storage.dir/page_store.cc.o" "gcc" "src/storage/CMakeFiles/rtb_storage.dir/page_store.cc.o.d"
   "/root/repo/src/storage/replacement.cc" "src/storage/CMakeFiles/rtb_storage.dir/replacement.cc.o" "gcc" "src/storage/CMakeFiles/rtb_storage.dir/replacement.cc.o.d"
+  "/root/repo/src/storage/sharded_buffer_pool.cc" "src/storage/CMakeFiles/rtb_storage.dir/sharded_buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/rtb_storage.dir/sharded_buffer_pool.cc.o.d"
   )
 
 # Targets to which this target links.

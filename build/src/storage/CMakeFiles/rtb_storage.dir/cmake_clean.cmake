@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/rtb_storage.dir/page_store.cc.o.d"
   "CMakeFiles/rtb_storage.dir/replacement.cc.o"
   "CMakeFiles/rtb_storage.dir/replacement.cc.o.d"
+  "CMakeFiles/rtb_storage.dir/sharded_buffer_pool.cc.o"
+  "CMakeFiles/rtb_storage.dir/sharded_buffer_pool.cc.o.d"
   "librtb_storage.a"
   "librtb_storage.pdb"
 )

@@ -194,10 +194,14 @@ src/storage/CMakeFiles/rtb_storage.dir/file_page_store.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/storage/page.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/limits \
- /root/repo/src/storage/page_store.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/storage/page.h \
+ /usr/include/c++/12/cstddef /root/repo/src/storage/page_store.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/util/result.h \
  /usr/include/c++/12/optional \

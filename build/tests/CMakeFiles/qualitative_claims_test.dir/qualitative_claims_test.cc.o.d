@@ -302,5 +302,7 @@ tests/CMakeFiles/qualitative_claims_test.dir/qualitative_claims_test.cc.o: \
  /root/repo/src/model/access_prob.h /root/repo/src/rtree/summary.h \
  /root/repo/src/rtree/node.h /root/repo/src/storage/page.h \
  /root/repo/src/util/result.h /root/repo/src/util/status.h \
- /root/repo/src/storage/page_store.h /root/repo/src/model/cost_model.h \
- /root/repo/src/rtree/bulk_load.h /root/repo/src/rtree/config.h
+ /root/repo/src/storage/page_store.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/model/cost_model.h /root/repo/src/rtree/bulk_load.h \
+ /root/repo/src/rtree/config.h

@@ -322,7 +322,9 @@ tests/CMakeFiles/rtree_knn_test.dir/rtree_knn_test.cc.o: \
  /root/repo/src/rtree/bulk_load.h /root/repo/src/rtree/config.h \
  /root/repo/src/rtree/node.h /root/repo/src/storage/page.h \
  /root/repo/src/util/result.h /root/repo/src/util/status.h \
- /root/repo/src/storage/page_store.h /root/repo/src/rtree/knn.h \
- /root/repo/src/rtree/rtree.h /root/repo/src/storage/buffer_pool.h \
+ /root/repo/src/storage/page_store.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/rtree/knn.h /root/repo/src/rtree/rtree.h \
+ /root/repo/src/storage/buffer_pool.h \
  /root/repo/src/storage/replacement.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc

@@ -301,6 +301,8 @@ tests/CMakeFiles/rtree_tree_test.dir/rtree_tree_test.cc.o: \
  /root/repo/src/rtree/node.h /root/repo/src/storage/page.h \
  /root/repo/src/util/result.h /root/repo/src/util/status.h \
  /root/repo/src/storage/buffer_pool.h /root/repo/src/storage/page_store.h \
- /root/repo/src/storage/replacement.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/rtree/summary.h /root/repo/src/rtree/validate.h
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/storage/replacement.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/rtree/summary.h \
+ /root/repo/src/rtree/validate.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_pool_test.dir/sharded_pool_test.cc.o"
+  "CMakeFiles/sharded_pool_test.dir/sharded_pool_test.cc.o.d"
+  "sharded_pool_test"
+  "sharded_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -302,9 +302,10 @@ tests/CMakeFiles/sim_test.dir/sim_test.cc.o: /root/repo/tests/sim_test.cc \
  /root/repo/src/model/access_prob.h /root/repo/src/rtree/summary.h \
  /root/repo/src/rtree/node.h /root/repo/src/storage/page.h \
  /root/repo/src/util/result.h /root/repo/src/util/status.h \
- /root/repo/src/storage/page_store.h /root/repo/src/rtree/bulk_load.h \
- /root/repo/src/rtree/config.h /root/repo/src/rtree/rtree.h \
- /root/repo/src/storage/buffer_pool.h \
+ /root/repo/src/storage/page_store.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/rtree/bulk_load.h /root/repo/src/rtree/config.h \
+ /root/repo/src/rtree/rtree.h /root/repo/src/storage/buffer_pool.h \
  /root/repo/src/storage/replacement.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/sim/lru_sim.h /root/repo/src/sim/query_gen.h \

@@ -46,6 +46,7 @@
 #include "rtree/validate.h"
 #include "sim/lru_sim.h"
 #include "sim/nd_sim.h"
+#include "sim/parallel_runner.h"
 #include "sim/query_gen.h"
 #include "sim/runner.h"
 #include "storage/buffer_pool.h"
@@ -54,6 +55,7 @@
 #include "storage/page.h"
 #include "storage/page_store.h"
 #include "storage/replacement.h"
+#include "storage/sharded_buffer_pool.h"
 #include "util/batch_stats.h"
 #include "util/result.h"
 #include "util/rng.h"

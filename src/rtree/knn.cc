@@ -56,7 +56,7 @@ Result<std::vector<Neighbor>> SearchKnn(const RTree& tree, Point point,
   std::priority_queue<QueueEntry> queue;
   queue.push(QueueEntry{0.0, false, tree.root(), Rect::Empty()});
 
-  storage::BufferPool* pool = tree.pool();
+  storage::PageCache* pool = tree.pool();
   while (!queue.empty() && result.size() < k) {
     QueueEntry top = queue.top();
     queue.pop();

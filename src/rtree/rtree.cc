@@ -13,7 +13,7 @@ using geom::Rect;
 using storage::PageGuard;
 using storage::PageId;
 
-Result<RTree> RTree::Create(storage::BufferPool* pool, RTreeConfig config) {
+Result<RTree> RTree::Create(storage::PageCache* pool, RTreeConfig config) {
   if (!config.IsValid()) {
     return Status::InvalidArgument("invalid RTreeConfig (need 2 <= 2*m <= n)");
   }
@@ -30,7 +30,7 @@ Result<RTree> RTree::Create(storage::BufferPool* pool, RTreeConfig config) {
   return RTree(pool, config, guard.page_id(), /*height=*/1);
 }
 
-Result<RTree> RTree::Open(storage::BufferPool* pool, RTreeConfig config,
+Result<RTree> RTree::Open(storage::PageCache* pool, RTreeConfig config,
                           PageId root, uint16_t height) {
   if (!config.IsValid()) {
     return Status::InvalidArgument("invalid RTreeConfig (need 2 <= 2*m <= n)");

@@ -36,11 +36,11 @@ struct QueryStats {
 class RTree {
  public:
   /// Creates a new empty tree (a single empty leaf node).
-  static Result<RTree> Create(storage::BufferPool* pool, RTreeConfig config);
+  static Result<RTree> Create(storage::PageCache* pool, RTreeConfig config);
 
   /// Attaches to an existing tree rooted at `root` with `height` levels
   /// (e.g. one produced by a bulk loader in rtree/bulk_load.h).
-  static Result<RTree> Open(storage::BufferPool* pool, RTreeConfig config,
+  static Result<RTree> Open(storage::PageCache* pool, RTreeConfig config,
                             storage::PageId root, uint16_t height);
 
   RTree(const RTree&) = delete;
@@ -73,10 +73,10 @@ class RTree {
   storage::PageId root() const { return root_; }
   uint16_t height() const { return height_; }
   const RTreeConfig& config() const { return config_; }
-  storage::BufferPool* pool() const { return pool_; }
+  storage::PageCache* pool() const { return pool_; }
 
  private:
-  RTree(storage::BufferPool* pool, RTreeConfig config, storage::PageId root,
+  RTree(storage::PageCache* pool, RTreeConfig config, storage::PageId root,
         uint16_t height)
       : pool_(pool), config_(config), root_(root), height_(height) {}
 
@@ -140,7 +140,7 @@ class RTree {
   Status SearchRec(storage::PageId page, const geom::Rect& query,
                    std::vector<ObjectId>* out, QueryStats* stats) const;
 
-  storage::BufferPool* pool_;
+  storage::PageCache* pool_;
   RTreeConfig config_;
   storage::PageId root_;
   uint16_t height_;

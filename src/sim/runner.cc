@@ -4,7 +4,7 @@
 
 namespace rtb::sim {
 
-Status PinTopLevels(storage::BufferPool* pool,
+Status PinTopLevels(storage::PageCache* pool,
                     const rtree::TreeSummary& summary, uint16_t levels) {
   if (levels == 0) return Status::OK();
   const int min_pinned_level = static_cast<int>(summary.height()) - levels;

@@ -38,7 +38,7 @@ struct WorkloadResult {
 /// Permanently pins the pages of the top `levels` levels of the tree
 /// described by `summary` into `pool`. Fails with ResourceExhausted when
 /// they do not fit.
-Status PinTopLevels(storage::BufferPool* pool,
+Status PinTopLevels(storage::PageCache* pool,
                     const rtree::TreeSummary& summary, uint16_t levels);
 
 /// Runs `warmup + queries` queries from `gen` against `tree`; only the last

@@ -5,6 +5,9 @@
 
 namespace rtb::storage {
 
+// Move-into-engaged-guard: the current guard's pin is released before
+// adopting `other`'s frame, and self-assignment is a no-op (releasing first
+// would otherwise drop the pin we are about to adopt).
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
   if (this != &other) {
     Release();
@@ -12,6 +15,8 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
     frame_ = other.frame_;
     dirty_ = other.dirty_;
     other.pool_ = nullptr;
+    other.frame_ = Frame{};
+    other.dirty_ = false;
   }
   return *this;
 }
@@ -64,7 +69,9 @@ Result<FrameId> BufferPool::AcquireFrame() {
         std::to_string(capacity_) + ")");
   }
   FrameMeta& meta = frames_[victim];
-  RTB_DCHECK(meta.in_use && meta.pin_count == 0 && !meta.permanent);
+  RTB_DCHECK(meta.in_use &&
+             meta.pin_count.load(std::memory_order_relaxed) == 0 &&
+             !meta.permanent);
   if (meta.dirty) {
     Status write = store_->Write(meta.page_id, FrameData(victim));
     if (!write.ok()) {
@@ -79,7 +86,7 @@ Result<FrameId> BufferPool::AcquireFrame() {
   }
   page_table_.erase(meta.page_id);
   ++stats_.evictions;
-  meta = FrameMeta{};
+  meta.Reset();
   return victim;
 }
 
@@ -90,9 +97,10 @@ Result<FrameId> BufferPool::PinPage(PageId id) {
     ++stats_.hits;
     FrameId f = it->second;
     FrameMeta& meta = frames_[f];
-    ++meta.pin_count;
+    const uint32_t prev =
+        meta.pin_count.fetch_add(1, std::memory_order_relaxed);
     policy_->RecordAccess(f);
-    if (meta.pin_count == 1 && !meta.permanent) {
+    if (prev == 0 && !meta.permanent) {
       policy_->SetEvictable(f, false);
     }
     return f;
@@ -106,7 +114,7 @@ Result<FrameId> BufferPool::PinPage(PageId id) {
   }
   FrameMeta& meta = frames_[f];
   meta.page_id = id;
-  meta.pin_count = 1;
+  meta.pin_count.store(1, std::memory_order_relaxed);
   meta.permanent = false;
   meta.dirty = false;
   meta.in_use = true;
@@ -126,17 +134,16 @@ Result<PageGuard> BufferPool::FetchMutable(PageId id) {
   return PageGuard(this, Frame{id, FrameData(f)}, /*mark_dirty=*/true);
 }
 
-Result<PageGuard> BufferPool::NewPage() {
-  RTB_ASSIGN_OR_RETURN(PageId id, store_->Allocate());
-  // The new page is zero-filled in the store; fetching it counts one read,
-  // which mirrors a real system formatting the page after allocation. Avoid
-  // that read by installing the page directly.
+Result<FrameId> BufferPool::InstallNewPage(PageId id) {
+  // The new page is zero-filled in the store; fetching it would count one
+  // read, which mirrors a real system formatting the page after allocation.
+  // Avoid that read by installing the page directly.
   ++stats_.requests;
   ++stats_.misses;
   RTB_ASSIGN_OR_RETURN(FrameId f, AcquireFrame());
   FrameMeta& meta = frames_[f];
   meta.page_id = id;
-  meta.pin_count = 1;
+  meta.pin_count.store(1, std::memory_order_relaxed);
   meta.permanent = false;
   meta.dirty = true;
   meta.in_use = true;
@@ -144,6 +151,12 @@ Result<PageGuard> BufferPool::NewPage() {
   page_table_[id] = f;
   policy_->RecordAccess(f);
   policy_->SetEvictable(f, false);
+  return f;
+}
+
+Result<PageGuard> BufferPool::NewPage() {
+  RTB_ASSIGN_OR_RETURN(PageId id, store_->Allocate());
+  RTB_ASSIGN_OR_RETURN(FrameId f, InstallNewPage(id));
   return PageGuard(this, Frame{id, FrameData(f)}, /*mark_dirty=*/true);
 }
 
@@ -151,10 +164,11 @@ void BufferPool::Unpin(PageId id, bool dirty) {
   auto it = page_table_.find(id);
   RTB_CHECK(it != page_table_.end());
   FrameMeta& meta = frames_[it->second];
-  RTB_CHECK(meta.pin_count > 0);
-  --meta.pin_count;
+  const uint32_t prev =
+      meta.pin_count.fetch_sub(1, std::memory_order_relaxed);
+  RTB_CHECK(prev > 0);
   if (dirty) meta.dirty = true;
-  if (meta.pin_count == 0 && !meta.permanent) {
+  if (prev == 1 && !meta.permanent) {
     policy_->SetEvictable(it->second, true);
   }
 }
@@ -168,8 +182,9 @@ Status BufferPool::PinPermanently(PageId id) {
   }
   // Drop the transient pin from PinPage; the permanent flag keeps the frame
   // unevictable.
-  RTB_CHECK(meta.pin_count > 0);
-  --meta.pin_count;
+  const uint32_t prev =
+      meta.pin_count.fetch_sub(1, std::memory_order_relaxed);
+  RTB_CHECK(prev > 0);
   return Status::OK();
 }
 
@@ -185,7 +200,7 @@ Status BufferPool::UnpinPermanently(PageId id) {
   }
   meta.permanent = false;
   --num_permanent_pins_;
-  if (meta.pin_count == 0) {
+  if (meta.pin_count.load(std::memory_order_relaxed) == 0) {
     policy_->SetEvictable(it->second, true);
   }
   return Status::OK();
@@ -196,14 +211,14 @@ Status BufferPool::EvictAll() {
   for (FrameId f = 0; f < frames_.size(); ++f) {
     FrameMeta& meta = frames_[f];
     if (!meta.in_use || meta.permanent) continue;
-    if (meta.pin_count > 0) {
+    if (meta.pin_count.load(std::memory_order_relaxed) > 0) {
       return Status::FailedPrecondition(
           "cannot evict page " + std::to_string(meta.page_id) +
           ": still pinned");
     }
     policy_->Remove(f);
     page_table_.erase(meta.page_id);
-    meta = FrameMeta{};
+    meta.Reset();
     free_frames_.push_back(f);
   }
   return Status::OK();

@@ -3,13 +3,22 @@
 // pages permanently (used to pin the top levels of an R-tree, Section 3.3 /
 // 5.5 of the paper).
 //
-// The pool is single-threaded by design: the paper's workload is a serial
-// query stream, and keeping the pool lock-free makes the disk-access counts
-// exactly reproducible.
+// Two implementations of the PageCache interface exist:
+//
+//   * BufferPool — single-threaded by design: the paper's workload is a
+//     serial query stream, and keeping the pool lock-free makes the
+//     disk-access counts exactly reproducible.
+//   * ShardedBufferPool (sharded_buffer_pool.h) — a thread-safe pool built
+//     from N lock-striped BufferPool shards, for concurrent workloads.
+//
+// Code that executes queries (RTree, the workload runners) depends only on
+// PageCache, so serial experiments and concurrent serving share one code
+// path.
 
 #ifndef RTB_STORAGE_BUFFER_POOL_H_
 #define RTB_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -23,7 +32,7 @@
 
 namespace rtb::storage {
 
-/// Hit/miss counters for a BufferPool.
+/// Hit/miss counters for a page cache.
 struct BufferStats {
   uint64_t requests = 0;    // Logical page requests.
   uint64_t hits = 0;        // Served from the pool.
@@ -36,6 +45,15 @@ struct BufferStats {
                          : static_cast<double>(hits) /
                                static_cast<double>(requests);
   }
+
+  BufferStats& operator+=(const BufferStats& other) {
+    requests += other.requests;
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    writebacks += other.writebacks;
+    return *this;
+  }
 };
 
 /// A page held in the pool. Returned by Fetch; the caller must Unpin it
@@ -45,13 +63,13 @@ struct Frame {
   uint8_t* data = nullptr;
 };
 
-class BufferPool;
+class PageCache;
 
 /// RAII unpinning wrapper around a fetched frame.
 class PageGuard {
  public:
   PageGuard() = default;
-  PageGuard(BufferPool* pool, Frame frame, bool mark_dirty)
+  PageGuard(PageCache* pool, Frame frame, bool mark_dirty)
       : pool_(pool), frame_(frame), dirty_(mark_dirty) {}
 
   PageGuard(const PageGuard&) = delete;
@@ -73,13 +91,70 @@ class PageGuard {
   bool valid() const { return pool_ != nullptr; }
 
  private:
-  BufferPool* pool_ = nullptr;
+  PageCache* pool_ = nullptr;
   Frame frame_;
   bool dirty_ = false;
 };
 
-/// Buffer pool of `capacity` frames over `store`.
-class BufferPool {
+/// Abstract page cache: the surface RTree and the workload runners execute
+/// against. Implementations decide whether calls must be externally
+/// serialized (BufferPool) or are internally synchronized
+/// (ShardedBufferPool).
+class PageCache {
+ public:
+  virtual ~PageCache() = default;
+
+  /// Total number of frames.
+  virtual size_t capacity() const = 0;
+  virtual size_t page_size() const = 0;
+
+  /// Fetches a page, reading from the store on a miss. The returned guard
+  /// keeps the page pinned until released.
+  virtual Result<PageGuard> Fetch(PageId id) = 0;
+
+  /// Fetches for writing; the page is marked dirty.
+  virtual Result<PageGuard> FetchMutable(PageId id) = 0;
+
+  /// Allocates a fresh page in the store and returns it pinned and dirty.
+  virtual Result<PageGuard> NewPage() = 0;
+
+  /// Permanently pins `id` (fetching it if absent). A level-pinned page
+  /// never leaves the buffer and all subsequent accesses are hits. Fails
+  /// with ResourceExhausted when no frame can be freed.
+  virtual Status PinPermanently(PageId id) = 0;
+
+  /// Releases a permanent pin.
+  virtual Status UnpinPermanently(PageId id) = 0;
+
+  /// Number of permanently pinned pages.
+  virtual size_t num_permanent_pins() const = 0;
+
+  /// Writes all dirty pages back to the store (pages stay cached).
+  virtual Status FlushAll() = 0;
+
+  /// Flushes and drops every unpinned page, returning the cache to a cold
+  /// state (permanently pinned pages stay).
+  virtual Status EvictAll() = 0;
+
+  /// True if `id` currently resides in the cache (no access recorded).
+  virtual bool Contains(PageId id) const = 0;
+
+  /// Merged hit/miss counters across the whole cache (all shards).
+  virtual BufferStats AggregateStats() const = 0;
+  virtual void ResetStats() = 0;
+
+ private:
+  friend class PageGuard;
+
+  /// Drops one pin on `id`, marking the page dirty when `dirty`. Called by
+  /// PageGuard on release, possibly from a different thread than Fetch for
+  /// internally synchronized implementations.
+  virtual void Unpin(PageId id, bool dirty) = 0;
+};
+
+/// Buffer pool of `capacity` frames over `store`. Single-threaded: callers
+/// must externally serialize access (or use ShardedBufferPool).
+class BufferPool final : public PageCache {
  public:
   /// The pool does not own `store`; it must outlive the pool.
   BufferPool(PageStore* store, size_t capacity,
@@ -92,55 +167,50 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  ~BufferPool();
+  ~BufferPool() override;
 
-  size_t capacity() const { return capacity_; }
-  size_t page_size() const { return store_->page_size(); }
+  size_t capacity() const override { return capacity_; }
+  size_t page_size() const override { return store_->page_size(); }
 
-  /// Fetches a page, reading from the store on a miss. The returned guard
-  /// keeps the page pinned until released.
-  Result<PageGuard> Fetch(PageId id);
+  Result<PageGuard> Fetch(PageId id) override;
+  Result<PageGuard> FetchMutable(PageId id) override;
+  Result<PageGuard> NewPage() override;
 
-  /// Fetches for writing; the page is marked dirty.
-  Result<PageGuard> FetchMutable(PageId id);
+  Status PinPermanently(PageId id) override;
+  Status UnpinPermanently(PageId id) override;
+  size_t num_permanent_pins() const override { return num_permanent_pins_; }
 
-  /// Allocates a fresh page in the store and returns it pinned and dirty.
-  Result<PageGuard> NewPage();
+  Status FlushAll() override;
+  Status EvictAll() override;
 
-  /// Permanently pins `id` in the pool (fetching it if absent). A
-  /// level-pinned page never leaves the buffer and all subsequent accesses
-  /// are hits. Fails with ResourceExhausted when no frame can be freed.
-  Status PinPermanently(PageId id);
-
-  /// Releases a permanent pin.
-  Status UnpinPermanently(PageId id);
-
-  /// Number of permanently pinned pages.
-  size_t num_permanent_pins() const { return num_permanent_pins_; }
-
-  /// Writes all dirty pages back to the store (pages stay cached).
-  Status FlushAll();
-
-  /// Flushes and drops every unpinned page, returning the pool to a cold
-  /// state (permanently pinned pages stay). Useful between experiment
-  /// phases so warm-up from setup work does not leak into measurements.
-  Status EvictAll();
-
-  /// True if `id` currently resides in the pool (no access recorded).
-  bool Contains(PageId id) const { return page_table_.count(id) > 0; }
+  bool Contains(PageId id) const override {
+    return page_table_.count(id) > 0;
+  }
 
   const BufferStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferStats{}; }
+  BufferStats AggregateStats() const override { return stats_; }
+  void ResetStats() override { stats_ = BufferStats{}; }
 
  private:
   friend class PageGuard;
+  friend class ShardedBufferPool;
 
   struct FrameMeta {
     PageId page_id = kInvalidPageId;
-    uint32_t pin_count = 0;
+    // Atomic so a PageGuard released on one thread is visible to a Fetch on
+    // another once the owning shard lock is taken (ShardedBufferPool).
+    std::atomic<uint32_t> pin_count{0};
     bool permanent = false;
     bool dirty = false;
     bool in_use = false;
+
+    void Reset() {
+      page_id = kInvalidPageId;
+      pin_count.store(0, std::memory_order_relaxed);
+      permanent = false;
+      dirty = false;
+      in_use = false;
+    }
   };
 
   // Finds a frame for a new page: a free frame if any, otherwise evicts.
@@ -149,7 +219,12 @@ class BufferPool {
   // Pins the page into a frame, reading it on a miss. Core of Fetch.
   Result<FrameId> PinPage(PageId id);
 
-  void Unpin(PageId id, bool dirty);
+  // Installs the already-allocated, zero-filled page `id` into a frame,
+  // pinned and dirty. Core of NewPage; also used by ShardedBufferPool,
+  // which allocates centrally and routes the page to its shard.
+  Result<FrameId> InstallNewPage(PageId id);
+
+  void Unpin(PageId id, bool dirty) override;
 
   uint8_t* FrameData(FrameId f) {
     return buffer_.data() + static_cast<size_t>(f) * page_size();

@@ -64,7 +64,7 @@ class FaultInjectingPageStore final : public PageStore {
     return base_->Write(id, data);
   }
 
-  const IoStats& stats() const override { return base_->stats(); }
+  IoStats stats() const override { return base_->stats(); }
   void ResetStats() override { base_->ResetStats(); }
 
  private:

@@ -37,7 +37,10 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
   }
   auto store = std::unique_ptr<FilePageStore>(
       new FilePageStore(path, file, page_size, 0));
-  RTB_RETURN_IF_ERROR(store->WriteHeader());
+  {
+    std::lock_guard<std::mutex> lock(store->mu_);
+    RTB_RETURN_IF_ERROR(store->WriteHeader());
+  }
   return store;
 }
 
@@ -87,6 +90,7 @@ Status FilePageStore::WriteHeader() {
 }
 
 Result<PageId> FilePageStore::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (num_pages_ >= kInvalidPageId) {
     return Status::ResourceExhausted("page id space exhausted");
   }
@@ -102,6 +106,7 @@ Result<PageId> FilePageStore::Allocate() {
 }
 
 Status FilePageStore::Read(PageId id, uint8_t* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id >= num_pages_) {
     return Status::NotFound("read of unallocated page " + std::to_string(id));
   }
@@ -114,6 +119,7 @@ Status FilePageStore::Read(PageId id, uint8_t* out) {
 }
 
 Status FilePageStore::Write(PageId id, const uint8_t* data) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id >= num_pages_) {
     return Status::NotFound("write of unallocated page " +
                             std::to_string(id));
@@ -127,6 +133,7 @@ Status FilePageStore::Write(PageId id, const uint8_t* data) {
 }
 
 Status FilePageStore::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   RTB_RETURN_IF_ERROR(WriteHeader());
   if (std::fflush(file_) != 0) {
     return Status::IoError(path_ + ": flush failed");

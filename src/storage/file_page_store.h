@@ -4,14 +4,16 @@
 // measures); FilePageStore makes the library usable as an actual persistent
 // index. The file layout is a 32-byte header (magic, version, page size,
 // page count) followed by the pages. Reads/writes use positioned I/O on a
-// single descriptor; the store is single-threaded like the rest of the
-// storage layer.
+// single descriptor, serialized by one mutex (the stdio stream's file
+// position is shared state), so the store is safe to use from the
+// concurrent query layer.
 
 #ifndef RTB_STORAGE_FILE_PAGE_STORE_H_
 #define RTB_STORAGE_FILE_PAGE_STORE_H_
 
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "storage/page.h"
@@ -38,14 +40,23 @@ class FilePageStore final : public PageStore {
   ~FilePageStore() override;
 
   size_t page_size() const override { return page_size_; }
-  PageId num_pages() const override { return num_pages_; }
+  PageId num_pages() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return num_pages_;
+  }
 
   Result<PageId> Allocate() override;
   Status Read(PageId id, uint8_t* out) override;
   Status Write(PageId id, const uint8_t* data) override;
 
-  const IoStats& stats() const override { return stats_; }
-  void ResetStats() override { stats_ = IoStats{}; }
+  IoStats stats() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = IoStats{};
+  }
 
   /// Flushes the header and data to the OS. Called by the destructor.
   Status Sync();
@@ -60,11 +71,13 @@ class FilePageStore final : public PageStore {
         page_size_(page_size),
         num_pages_(num_pages) {}
 
+  // Requires mu_ to be held.
   Status WriteHeader();
 
   std::string path_;
   std::FILE* file_ = nullptr;
   size_t page_size_;
+  mutable std::mutex mu_;  // Serializes file position, counters, num_pages_.
   PageId num_pages_;
   IoStats stats_;
 };

@@ -1,6 +1,7 @@
 #include "storage/page_store.h"
 
 #include <cstring>
+#include <mutex>
 #include <string>
 
 namespace rtb::storage {
@@ -10,30 +11,33 @@ MemPageStore::MemPageStore(size_t page_size) : page_size_(page_size) {
 }
 
 Result<PageId> MemPageStore::Allocate() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (pages_.size() >= kInvalidPageId) {
     return Status::ResourceExhausted("page id space exhausted");
   }
   pages_.emplace_back(page_size_, uint8_t{0});
-  ++stats_.allocations;
+  allocations_.fetch_add(1, std::memory_order_relaxed);
   return static_cast<PageId>(pages_.size() - 1);
 }
 
 Status MemPageStore::Read(PageId id, uint8_t* out) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (id >= pages_.size()) {
     return Status::NotFound("read of unallocated page " + std::to_string(id));
   }
   std::memcpy(out, pages_[id].data(), page_size_);
-  ++stats_.reads;
+  reads_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status MemPageStore::Write(PageId id, const uint8_t* data) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (id >= pages_.size()) {
     return Status::NotFound("write of unallocated page " +
                             std::to_string(id));
   }
   std::memcpy(pages_[id].data(), data, page_size_);
-  ++stats_.writes;
+  writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -4,11 +4,19 @@
 // where those accesses happen and are counted. MemPageStore keeps pages in
 // memory (this reproduction does not need real I/O latency, only accurate
 // counts), but the interface is the one a file-backed store would implement.
+//
+// Stores are thread-safe: the concurrent query-execution layer
+// (ShardedBufferPool + ParallelRunner) drives reads and writes from many
+// worker threads at once. Counters are atomic and stats() returns a
+// consistent snapshot; single-threaded runs see exactly the same counts as
+// before the stores were made concurrent.
 
 #ifndef RTB_STORAGE_PAGE_STORE_H_
 #define RTB_STORAGE_PAGE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <shared_mutex>
 #include <vector>
 
 #include "storage/page.h"
@@ -17,7 +25,8 @@
 
 namespace rtb::storage {
 
-/// Cumulative I/O counters for a PageStore.
+/// Cumulative I/O counters for a PageStore (a plain snapshot; the stores
+/// keep the live counters in atomics).
 struct IoStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
@@ -46,12 +55,17 @@ class PageStore {
   /// write.
   virtual Status Write(PageId id, const uint8_t* data) = 0;
 
-  /// I/O counters since construction (or the last ResetStats()).
-  virtual const IoStats& stats() const = 0;
+  /// Snapshot of the I/O counters since construction (or the last
+  /// ResetStats()).
+  virtual IoStats stats() const = 0;
   virtual void ResetStats() = 0;
 };
 
-/// In-memory PageStore with exact access counting.
+/// In-memory PageStore with exact access counting. Thread-safe: Allocate
+/// takes an exclusive lock, Read/Write of distinct pages proceed in
+/// parallel under a shared lock. Concurrent writes to the *same* page are
+/// the caller's responsibility (the buffer pools never issue them: one
+/// frame per page).
 class MemPageStore final : public PageStore {
  public:
   explicit MemPageStore(size_t page_size = kDefaultPageSize);
@@ -61,6 +75,7 @@ class MemPageStore final : public PageStore {
 
   size_t page_size() const override { return page_size_; }
   PageId num_pages() const override {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return static_cast<PageId>(pages_.size());
   }
 
@@ -68,13 +83,26 @@ class MemPageStore final : public PageStore {
   Status Read(PageId id, uint8_t* out) override;
   Status Write(PageId id, const uint8_t* data) override;
 
-  const IoStats& stats() const override { return stats_; }
-  void ResetStats() override { stats_ = IoStats{}; }
+  IoStats stats() const override {
+    IoStats snapshot;
+    snapshot.reads = reads_.load(std::memory_order_relaxed);
+    snapshot.writes = writes_.load(std::memory_order_relaxed);
+    snapshot.allocations = allocations_.load(std::memory_order_relaxed);
+    return snapshot;
+  }
+  void ResetStats() override {
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+    allocations_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   size_t page_size_;
+  mutable std::shared_mutex mu_;  // Guards pages_ growth vs. access.
   std::vector<std::vector<uint8_t>> pages_;
-  IoStats stats_;
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> allocations_{0};
 };
 
 }  // namespace rtb::storage

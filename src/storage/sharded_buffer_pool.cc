@@ -1,0 +1,151 @@
+#include "storage/sharded_buffer_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rtb::storage {
+
+namespace {
+
+// Largest power of two <= n (n >= 1).
+size_t FloorPow2(size_t n) {
+  size_t p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+ShardedBufferPool::ShardedBufferPool(PageStore* store, size_t capacity,
+                                     Options options)
+    : store_(store), capacity_(capacity) {
+  RTB_CHECK(store_ != nullptr);
+  RTB_CHECK(capacity_ > 0);
+  size_t n = options.num_shards == 0 ? kDefaultShards : options.num_shards;
+  // Power-of-two stripe count (for mask routing), at least one frame per
+  // shard.
+  n = FloorPow2(std::max<size_t>(1, std::min(n, capacity_)));
+  shard_mask_ = n - 1;
+  shards_.reserve(n);
+  const size_t base = capacity_ / n;
+  const size_t rem = capacity_ % n;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t shard_capacity = base + (i < rem ? 1 : 0);
+    auto shard = std::make_unique<Shard>();
+    shard->pool = std::make_unique<BufferPool>(
+        store_, shard_capacity,
+        MakePolicy(options.policy, shard_capacity, options.seed + i));
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::unique_ptr<ShardedBufferPool> ShardedBufferPool::MakeLru(
+    PageStore* store, size_t capacity, size_t num_shards) {
+  Options options;
+  options.num_shards = num_shards;
+  return std::make_unique<ShardedBufferPool>(store, capacity, options);
+}
+
+Result<PageGuard> ShardedBufferPool::Fetch(PageId id) {
+  Shard& s = *shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  RTB_ASSIGN_OR_RETURN(FrameId f, s.pool->PinPage(id));
+  return PageGuard(this, Frame{id, s.pool->FrameData(f)},
+                   /*mark_dirty=*/false);
+}
+
+Result<PageGuard> ShardedBufferPool::FetchMutable(PageId id) {
+  Shard& s = *shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  RTB_ASSIGN_OR_RETURN(FrameId f, s.pool->PinPage(id));
+  return PageGuard(this, Frame{id, s.pool->FrameData(f)},
+                   /*mark_dirty=*/true);
+}
+
+Result<PageGuard> ShardedBufferPool::NewPage() {
+  // Allocate centrally (the store is thread-safe), then install the page in
+  // the shard its id hashes to.
+  RTB_ASSIGN_OR_RETURN(PageId id, store_->Allocate());
+  Shard& s = *shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  RTB_ASSIGN_OR_RETURN(FrameId f, s.pool->InstallNewPage(id));
+  return PageGuard(this, Frame{id, s.pool->FrameData(f)},
+                   /*mark_dirty=*/true);
+}
+
+void ShardedBufferPool::Unpin(PageId id, bool dirty) {
+  Shard& s = *shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.pool->Unpin(id, dirty);
+}
+
+Status ShardedBufferPool::PinPermanently(PageId id) {
+  Shard& s = *shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.pool->PinPermanently(id);
+}
+
+Status ShardedBufferPool::UnpinPermanently(PageId id) {
+  Shard& s = *shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.pool->UnpinPermanently(id);
+}
+
+size_t ShardedBufferPool::num_permanent_pins() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->pool->num_permanent_pins();
+  }
+  return total;
+}
+
+Status ShardedBufferPool::FlushAll() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    RTB_RETURN_IF_ERROR(shard->pool->FlushAll());
+  }
+  return Status::OK();
+}
+
+Status ShardedBufferPool::EvictAll() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    RTB_RETURN_IF_ERROR(shard->pool->EvictAll());
+  }
+  return Status::OK();
+}
+
+bool ShardedBufferPool::Contains(PageId id) const {
+  const Shard& s = *shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.pool->Contains(id);
+}
+
+BufferStats ShardedBufferPool::AggregateStats() const {
+  BufferStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->pool->stats();
+  }
+  return total;
+}
+
+void ShardedBufferPool::ResetStats() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->pool->ResetStats();
+  }
+}
+
+std::vector<BufferStats> ShardedBufferPool::ShardStats() const {
+  std::vector<BufferStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.push_back(shard->pool->stats());
+  }
+  return out;
+}
+
+}  // namespace rtb::storage

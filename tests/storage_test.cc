@@ -477,6 +477,57 @@ TEST_F(BufferPoolTest, PageGuardMoveSemantics) {
   ASSERT_TRUE(g3.ok());
 }
 
+TEST_F(BufferPoolTest, PageGuardMoveAssignReleasesOldPin) {
+  // Regression: moving into an engaged guard must drop the pin the target
+  // held, or the page leaks a pin count and can never be evicted.
+  FillStore(3);
+  auto pool = BufferPool::MakeLru(&store_, 2);
+  auto g0 = pool->Fetch(0);
+  auto g1 = pool->Fetch(1);
+  ASSERT_TRUE(g0.ok());
+  ASSERT_TRUE(g1.ok());
+  *g0 = std::move(*g1);  // g0 adopts page 1; the pin on page 0 is released.
+  EXPECT_TRUE(g0->valid());
+  EXPECT_EQ(g0->page_id(), 1u);
+  EXPECT_FALSE(g1->valid());
+  // Page 0 is unpinned now: fetching page 2 evicts it instead of failing
+  // with ResourceExhausted.
+  auto g2 = pool->Fetch(2);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_FALSE(pool->Contains(0));
+  EXPECT_TRUE(pool->Contains(1));
+}
+
+TEST_F(BufferPoolTest, PageGuardMoveAssignPreservesDirtyWriteback) {
+  // The dirty bit must travel with the guard: a mutable guard moved into an
+  // engaged clean guard still writes its page back on release.
+  FillStore(3);
+  auto pool = BufferPool::MakeLru(&store_, 2);
+  auto clean = pool->Fetch(0);
+  auto dirty = pool->FetchMutable(1);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(dirty.ok());
+  dirty->mutable_data()[0] = 0x5C;
+  *clean = std::move(*dirty);
+  clean->Release();
+  ASSERT_TRUE(pool->EvictAll().ok());
+  std::vector<uint8_t> buf(64);
+  ASSERT_TRUE(store_.Read(1, buf.data()).ok());
+  EXPECT_EQ(buf[0], 0x5C);
+}
+
+TEST_F(BufferPoolTest, PageGuardSelfMoveAssignIsNoOp) {
+  FillStore(1);
+  auto pool = BufferPool::MakeLru(&store_, 1);
+  auto g = pool->Fetch(0);
+  ASSERT_TRUE(g.ok());
+  PageGuard& self = *g;
+  *g = std::move(self);
+  EXPECT_TRUE(g->valid());
+  EXPECT_EQ(g->page_id(), 0u);
+  EXPECT_EQ(g->data()[0], 0);
+}
+
 TEST_F(BufferPoolTest, EvictAllColdStartsThePool) {
   FillStore(4);
   auto pool = BufferPool::MakeLru(&store_, 4);
