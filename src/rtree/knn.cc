@@ -67,11 +67,12 @@ Result<std::vector<Neighbor>> SearchKnn(const RTree& tree, Point point,
     RTB_ASSIGN_OR_RETURN(storage::PageGuard guard,
                          pool->Fetch(static_cast<storage::PageId>(top.id)));
     if (stats != nullptr) ++stats->nodes_accessed;
-    RTB_ASSIGN_OR_RETURN(Node node,
-                         DeserializeNode(guard.data(), pool->page_size()));
-    for (const Entry& e : node.entries) {
-      queue.push(QueueEntry{MinDistance(point, e.rect), node.is_leaf(),
-                            e.id, e.rect});
+    RTB_ASSIGN_OR_RETURN(NodeView view,
+                         NodeView::Create(guard.data(), pool->page_size()));
+    for (uint16_t i = 0; i < view.count(); ++i) {
+      const geom::Rect rect = view.rect(i);
+      queue.push(QueueEntry{MinDistance(point, rect), view.is_leaf(),
+                            view.id(i), rect});
     }
   }
   return result;

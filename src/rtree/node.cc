@@ -23,17 +23,6 @@ uint16_t GetU16(const uint8_t* p) {
   std::memcpy(&v, p, 2);
   return v;
 }
-uint64_t GetU64(const uint8_t* p) {
-  uint64_t v;
-  std::memcpy(&v, p, 8);
-  return v;
-}
-double GetF64(const uint8_t* p) {
-  double v;
-  std::memcpy(&v, p, 8);
-  return v;
-}
-
 }  // namespace
 
 Status SerializeNode(const Node& node, size_t page_size, uint8_t* out) {
@@ -60,29 +49,29 @@ Status SerializeNode(const Node& node, size_t page_size, uint8_t* out) {
   return Status::OK();
 }
 
-Result<Node> DeserializeNode(const uint8_t* data, size_t page_size) {
+Result<NodeView> NodeView::Create(const uint8_t* data, size_t page_size) {
   if (page_size < kNodeHeaderSize) {
     return Status::Corruption("page smaller than node header");
   }
   if (GetU32(data) != kNodeMagic) {
     return Status::Corruption("bad node magic");
   }
-  Node node;
-  node.level = GetU16(data + 4);
+  uint16_t level = GetU16(data + 4);
   uint16_t count = GetU16(data + 6);
   if (kNodeHeaderSize + static_cast<size_t>(count) * kEntrySize > page_size) {
     return Status::Corruption("node entry count exceeds page capacity");
   }
+  return NodeView(data + kNodeHeaderSize, level, count);
+}
+
+Result<Node> DeserializeNode(const uint8_t* data, size_t page_size) {
+  RTB_ASSIGN_OR_RETURN(NodeView view, NodeView::Create(data, page_size));
+  Node node;
+  node.level = view.level();
+  const uint16_t count = view.count();
   node.entries.resize(count);
-  const uint8_t* p = data + kNodeHeaderSize;
   for (uint16_t i = 0; i < count; ++i) {
-    Entry& e = node.entries[i];
-    e.rect.lo.x = GetF64(p);
-    e.rect.lo.y = GetF64(p + 8);
-    e.rect.hi.x = GetF64(p + 16);
-    e.rect.hi.y = GetF64(p + 24);
-    e.id = GetU64(p + 32);
-    p += kEntrySize;
+    node.entries[i] = view.entry(i);
   }
   return node;
 }

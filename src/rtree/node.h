@@ -17,10 +17,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "geom/rect.h"
 #include "storage/page.h"
+#include "util/macros.h"
 #include "util/result.h"
 
 namespace rtb::rtree {
@@ -71,8 +73,90 @@ inline constexpr uint32_t NodeCapacity(size_t page_size) {
 /// the entries do not fit.
 Status SerializeNode(const Node& node, size_t page_size, uint8_t* out);
 
-/// Decodes a node from a page image.
+/// Decodes a node from a page image into an owning Node (heap-allocated
+/// entry vector). This is the mutation-path decoder: inserts, deletes and
+/// splits materialize a Node, edit its entries, and re-serialize. Read
+/// paths use NodeView instead.
 Result<Node> DeserializeNode(const uint8_t* data, size_t page_size);
+
+/// Zero-copy reader over a serialized node image.
+///
+/// Create() validates the header once (magic, entry count vs. page
+/// capacity); the accessors then index straight into the page bytes with no
+/// decoding pass, no entry vector, and no heap allocation. This is the
+/// read-path representation: a query visits a node by wrapping the pinned
+/// frame's bytes in a NodeView and scanning slots in place.
+///
+/// A NodeView borrows the page image — it is valid only while the bytes it
+/// was created over stay alive and unmodified, i.e. no longer than the
+/// PageGuard (or caller-owned scratch buffer) it came from. It is a
+/// two-word value type; pass it by value.
+class NodeView {
+ public:
+  NodeView() = default;
+
+  /// Wraps `data` (a page image of `page_size` bytes). Returns
+  /// Status::Corruption for a bad magic, a truncated page, or an entry
+  /// count that would overflow the page.
+  static Result<NodeView> Create(const uint8_t* data, size_t page_size);
+
+  uint16_t level() const { return level_; }
+  bool is_leaf() const { return level_ == 0; }
+  uint16_t count() const { return count_; }
+
+  /// Rectangle of slot `i` (copied out of the page; 4 doubles, no heap).
+  geom::Rect rect(size_t i) const {
+    RTB_DCHECK(i < count_);
+    geom::Rect r;
+    std::memcpy(&r, entries_ + i * kEntrySize, 4 * sizeof(double));
+    return r;
+  }
+
+  /// Child page id (internal levels) or object id (leaves) of slot `i`.
+  uint64_t id(size_t i) const {
+    RTB_DCHECK(i < count_);
+    uint64_t v;
+    std::memcpy(&v, entries_ + i * kEntrySize + 4 * sizeof(double),
+                sizeof(v));
+    return v;
+  }
+
+  /// Slot `i` as an Entry value.
+  Entry entry(size_t i) const { return Entry{rect(i), id(i)}; }
+
+  /// Equivalent to rect(i).Intersects(q) for a non-empty `q`, but reads
+  /// coordinates straight off the page with per-axis early exit: the common
+  /// miss costs one or two loads instead of a 4-double copy plus a full
+  /// Rect comparison.
+  bool Intersects(size_t i, const geom::Rect& q) const {
+    RTB_DCHECK(i < count_);
+    const uint8_t* p = entries_ + i * kEntrySize;
+    double lox, loy, hix, hiy;
+    std::memcpy(&lox, p, sizeof(double));
+    if (lox > q.hi.x) return false;
+    std::memcpy(&hix, p + 2 * sizeof(double), sizeof(double));
+    if (hix < q.lo.x || hix < lox) return false;  // Disjoint or empty.
+    std::memcpy(&loy, p + sizeof(double), sizeof(double));
+    if (loy > q.hi.y) return false;
+    std::memcpy(&hiy, p + 3 * sizeof(double), sizeof(double));
+    return hiy >= q.lo.y && hiy >= loy;
+  }
+
+  /// MBR of all slots; Rect::Empty() for an empty node.
+  geom::Rect Mbr() const {
+    geom::Rect mbr = geom::Rect::Empty();
+    for (size_t i = 0; i < count_; ++i) mbr = geom::Union(mbr, rect(i));
+    return mbr;
+  }
+
+ private:
+  NodeView(const uint8_t* entries, uint16_t level, uint16_t count)
+      : entries_(entries), level_(level), count_(count) {}
+
+  const uint8_t* entries_ = nullptr;  // First entry (page + header).
+  uint16_t level_ = 0;
+  uint16_t count_ = 0;
+};
 
 }  // namespace rtb::rtree
 

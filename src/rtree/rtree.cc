@@ -40,10 +40,10 @@ Result<RTree> RTree::Open(storage::PageCache* pool, RTreeConfig config,
   }
   // Sanity-check the root page decodes and has the expected level.
   RTB_ASSIGN_OR_RETURN(PageGuard guard, pool->Fetch(root));
-  RTB_ASSIGN_OR_RETURN(Node node,
-                       DeserializeNode(guard.data(), pool->page_size()));
-  if (node.level != height - 1) {
-    return Status::Corruption("root level " + std::to_string(node.level) +
+  RTB_ASSIGN_OR_RETURN(NodeView view,
+                       NodeView::Create(guard.data(), pool->page_size()));
+  if (view.level() != height - 1) {
+    return Status::Corruption("root level " + std::to_string(view.level()) +
                               " does not match height " +
                               std::to_string(height));
   }
@@ -309,37 +309,52 @@ Result<bool> RTree::Delete(const Rect& rect, ObjectId id) {
   // Shrink the root while it is an internal node with a single child.
   for (;;) {
     RTB_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(root_));
-    RTB_ASSIGN_OR_RETURN(Node root_node,
-                         DeserializeNode(guard.data(), pool_->page_size()));
-    if (root_node.is_leaf() || root_node.entries.size() != 1) break;
-    root_ = static_cast<PageId>(root_node.entries[0].id);
+    RTB_ASSIGN_OR_RETURN(NodeView view,
+                         NodeView::Create(guard.data(), pool_->page_size()));
+    if (view.is_leaf() || view.count() != 1) break;
+    root_ = static_cast<PageId>(view.id(0));
     --height_;
   }
   return true;
 }
 
-Status RTree::SearchRec(PageId page, const Rect& query,
-                        std::vector<ObjectId>* out, QueryStats* stats) const {
-  RTB_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(page));
-  if (stats != nullptr) ++stats->nodes_accessed;
-  RTB_ASSIGN_OR_RETURN(Node node,
-                       DeserializeNode(guard.data(), pool_->page_size()));
-  for (const Entry& e : node.entries) {
-    if (!e.rect.Intersects(query)) continue;
-    if (node.is_leaf()) {
-      out->push_back(e.id);
-    } else {
-      RTB_RETURN_IF_ERROR(
-          SearchRec(static_cast<PageId>(e.id), query, out, stats));
-    }
-  }
-  return Status::OK();
-}
-
 Status RTree::Search(const Rect& query, std::vector<ObjectId>* out,
                      QueryStats* stats) const {
   if (query.is_empty()) return Status::OK();
-  return SearchRec(root_, query, out, stats);
+  // Explicit DFS stack instead of recursion: each node is pinned only while
+  // its slots are scanned, so a query never holds more than one PageGuard
+  // and works with a pool of any size (the recursive version pinned the
+  // whole root-to-leaf path, deadlocking pools with fewer frames than the
+  // tree is tall). The stack is thread_local so the steady-state query loop
+  // performs zero heap allocations per node visit.
+  thread_local std::vector<PageId> stack;
+  stack.clear();
+  stack.push_back(root_);
+  const size_t page_size = pool_->page_size();
+  while (!stack.empty()) {
+    const PageId page = stack.back();
+    stack.pop_back();
+    RTB_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(page));
+    if (stats != nullptr) ++stats->nodes_accessed;
+    RTB_ASSIGN_OR_RETURN(NodeView view,
+                         NodeView::Create(guard.data(), page_size));
+    const uint16_t n = view.count();
+    if (view.is_leaf()) {
+      for (uint16_t i = 0; i < n; ++i) {
+        if (view.Intersects(i, query)) out->push_back(view.id(i));
+      }
+    } else {
+      // Push intersecting children in reverse slot order so they pop in
+      // slot order: the page access sequence matches the recursive
+      // preorder exactly (same stats, same hit/miss stream).
+      for (uint16_t i = n; i > 0; --i) {
+        if (view.Intersects(i - 1, query)) {
+          stack.push_back(static_cast<PageId>(view.id(i - 1)));
+        }
+      }
+    }
+  }
+  return Status::OK();
 }
 
 Status RTree::SearchPoint(geom::Point p, std::vector<ObjectId>* out,
@@ -348,26 +363,25 @@ Status RTree::SearchPoint(geom::Point p, std::vector<ObjectId>* out,
 }
 
 Result<uint64_t> RTree::CountEntries() const {
-  // Depth-first count through the pool.
-  struct Walker {
-    const RTree* tree;
-    Result<uint64_t> Count(PageId page) {
-      RTB_ASSIGN_OR_RETURN(PageGuard guard, tree->pool_->Fetch(page));
-      RTB_ASSIGN_OR_RETURN(
-          Node node,
-          DeserializeNode(guard.data(), tree->pool_->page_size()));
-      if (node.is_leaf()) return static_cast<uint64_t>(node.entries.size());
-      uint64_t total = 0;
-      for (const Entry& e : node.entries) {
-        RTB_ASSIGN_OR_RETURN(uint64_t sub,
-                             Count(static_cast<PageId>(e.id)));
-        total += sub;
-      }
-      return total;
+  // Depth-first count; same single-guard discipline as Search.
+  std::vector<PageId> stack;
+  stack.push_back(root_);
+  uint64_t total = 0;
+  while (!stack.empty()) {
+    const PageId page = stack.back();
+    stack.pop_back();
+    RTB_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(page));
+    RTB_ASSIGN_OR_RETURN(NodeView view,
+                         NodeView::Create(guard.data(), pool_->page_size()));
+    if (view.is_leaf()) {
+      total += view.count();
+      continue;
     }
-  };
-  Walker walker{this};
-  return walker.Count(root_);
+    for (uint16_t i = view.count(); i > 0; --i) {
+      stack.push_back(static_cast<PageId>(view.id(i - 1)));
+    }
+  }
+  return total;
 }
 
 }  // namespace rtb::rtree

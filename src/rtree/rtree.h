@@ -31,8 +31,9 @@ struct QueryStats {
 /// A dynamic R-tree over a buffer pool.
 ///
 /// Updates require the pool capacity to be at least the tree height plus two
-/// (the insertion path is pinned while descending); queries require height
-/// plus one. RTree does not own the pool.
+/// (the insertion path is pinned while descending); queries hold at most one
+/// page pinned at a time and work with a pool of any capacity. RTree does
+/// not own the pool.
 class RTree {
  public:
   /// Creates a new empty tree (a single empty leaf node).
@@ -136,9 +137,6 @@ class RTree {
   Result<DeleteOutcome> DeleteRec(storage::PageId page,
                                   const geom::Rect& rect, ObjectId id,
                                   bool is_root, std::vector<Orphan>* orphans);
-
-  Status SearchRec(storage::PageId page, const geom::Rect& query,
-                   std::vector<ObjectId>* out, QueryStats* stats) const;
 
   storage::PageCache* pool_;
   RTreeConfig config_;

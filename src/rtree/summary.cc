@@ -15,27 +15,28 @@ Status Walk(storage::PageStore* store, storage::PageId page,
             uint32_t parent_index, std::vector<uint8_t>* scratch,
             std::vector<NodeInfo>* nodes, uint64_t* num_data_entries) {
   RTB_RETURN_IF_ERROR(store->Read(page, scratch->data()));
-  Result<Node> node = DeserializeNode(scratch->data(), store->page_size());
+  Result<NodeView> node = NodeView::Create(scratch->data(),
+                                           store->page_size());
   if (!node.ok()) return node.status();
 
   NodeInfo info;
   info.mbr = node->Mbr();
-  info.level = node->level;
+  info.level = node->level();
   info.page = page;
   info.parent = parent_index;
-  info.num_entries = static_cast<uint32_t>(node->entries.size());
+  info.num_entries = node->count();
   uint32_t my_index = static_cast<uint32_t>(nodes->size());
   nodes->push_back(info);
 
   if (node->is_leaf()) {
-    *num_data_entries += node->entries.size();
+    *num_data_entries += node->count();
     return Status::OK();
   }
   // Copy child ids before recursing (scratch is reused).
   std::vector<storage::PageId> children;
-  children.reserve(node->entries.size());
-  for (const Entry& e : node->entries) {
-    children.push_back(static_cast<storage::PageId>(e.id));
+  children.reserve(node->count());
+  for (uint16_t i = 0; i < node->count(); ++i) {
+    children.push_back(static_cast<storage::PageId>(node->id(i)));
   }
   for (storage::PageId child : children) {
     RTB_RETURN_IF_ERROR(

@@ -34,19 +34,20 @@ struct Validator {
       Fail("page " + std::to_string(page) + ": " + read.ToString());
       return geom::Rect::Empty();
     }
-    Result<Node> node = DeserializeNode(scratch.data(), store->page_size());
+    Result<NodeView> node = NodeView::Create(scratch.data(),
+                                             store->page_size());
     if (!node.ok()) {
       Fail("page " + std::to_string(page) + ": " + node.status().ToString());
       return geom::Rect::Empty();
     }
     ++report->num_nodes;
 
-    if (expected_level >= 0 && node->level != expected_level) {
+    if (expected_level >= 0 && node->level() != expected_level) {
       Fail("page " + std::to_string(page) + ": level " +
-           std::to_string(node->level) + ", expected " +
+           std::to_string(node->level()) + ", expected " +
            std::to_string(expected_level));
     }
-    size_t count = node->entries.size();
+    size_t count = node->count();
     if (count > config->max_entries) {
       Fail("page " + std::to_string(page) + ": " + std::to_string(count) +
            " entries exceeds max " + std::to_string(config->max_entries));
@@ -69,12 +70,15 @@ struct Validator {
 
     // Validate children; scratch is reused inside recursion, so copy the
     // entries first.
-    std::vector<Entry> entries = node->entries;
+    std::vector<Entry> entries;
+    entries.reserve(count);
+    for (size_t i = 0; i < count; ++i) entries.push_back(node->entry(i));
+    const int child_level = node->level() - 1;
     geom::Rect mbr = geom::Rect::Empty();
     for (const Entry& e : entries) {
       mbr = geom::Union(mbr, e.rect);
       geom::Rect child_mbr = Check(static_cast<storage::PageId>(e.id),
-                                   node->level - 1, /*is_root=*/false);
+                                   child_level, /*is_root=*/false);
       if (child_mbr.is_empty()) continue;  // Error already reported.
       if (options->require_tight_parents) {
         if (!(e.rect == child_mbr)) {

@@ -23,7 +23,7 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
 
 void PageGuard::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(frame_.page_id, dirty_);
+    pool_->Unpin(frame_, dirty_);
     pool_ = nullptr;
   }
 }
@@ -34,7 +34,8 @@ BufferPool::BufferPool(PageStore* store, size_t capacity,
       capacity_(capacity),
       policy_(std::move(policy)),
       buffer_(capacity * store->page_size()),
-      frames_(capacity) {
+      frames_(capacity),
+      page_table_(capacity) {
   RTB_CHECK(store_ != nullptr);
   RTB_CHECK(capacity_ > 0);
   RTB_CHECK(policy_ != nullptr);
@@ -69,9 +70,7 @@ Result<FrameId> BufferPool::AcquireFrame() {
         std::to_string(capacity_) + ")");
   }
   FrameMeta& meta = frames_[victim];
-  RTB_DCHECK(meta.in_use &&
-             meta.pin_count.load(std::memory_order_relaxed) == 0 &&
-             !meta.permanent);
+  RTB_DCHECK(meta.in_use && meta.pin_count == 0 && !meta.permanent);
   if (meta.dirty) {
     Status write = store_->Write(meta.page_id, FrameData(victim));
     if (!write.ok()) {
@@ -84,7 +83,7 @@ Result<FrameId> BufferPool::AcquireFrame() {
     }
     ++stats_.writebacks;
   }
-  page_table_.erase(meta.page_id);
+  page_table_.Erase(meta.page_id);
   ++stats_.evictions;
   meta.Reset();
   return victim;
@@ -92,13 +91,12 @@ Result<FrameId> BufferPool::AcquireFrame() {
 
 Result<FrameId> BufferPool::PinPage(PageId id) {
   ++stats_.requests;
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
+  const FrameId resident = page_table_.Find(id);
+  if (resident != PageTable::kNoFrame) {
     ++stats_.hits;
-    FrameId f = it->second;
+    FrameId f = resident;
     FrameMeta& meta = frames_[f];
-    const uint32_t prev =
-        meta.pin_count.fetch_add(1, std::memory_order_relaxed);
+    const uint32_t prev = meta.pin_count++;
     policy_->RecordAccess(f);
     if (prev == 0 && !meta.permanent) {
       policy_->SetEvictable(f, false);
@@ -114,11 +112,11 @@ Result<FrameId> BufferPool::PinPage(PageId id) {
   }
   FrameMeta& meta = frames_[f];
   meta.page_id = id;
-  meta.pin_count.store(1, std::memory_order_relaxed);
+  meta.pin_count = 1;
   meta.permanent = false;
   meta.dirty = false;
   meta.in_use = true;
-  page_table_[id] = f;
+  page_table_.Insert(id, f);
   policy_->RecordAccess(f);
   policy_->SetEvictable(f, false);
   return f;
@@ -126,12 +124,12 @@ Result<FrameId> BufferPool::PinPage(PageId id) {
 
 Result<PageGuard> BufferPool::Fetch(PageId id) {
   RTB_ASSIGN_OR_RETURN(FrameId f, PinPage(id));
-  return PageGuard(this, Frame{id, FrameData(f)}, /*mark_dirty=*/false);
+  return PageGuard(this, Frame{id, FrameData(f), f}, /*mark_dirty=*/false);
 }
 
 Result<PageGuard> BufferPool::FetchMutable(PageId id) {
   RTB_ASSIGN_OR_RETURN(FrameId f, PinPage(id));
-  return PageGuard(this, Frame{id, FrameData(f)}, /*mark_dirty=*/true);
+  return PageGuard(this, Frame{id, FrameData(f), f}, /*mark_dirty=*/true);
 }
 
 Result<FrameId> BufferPool::InstallNewPage(PageId id) {
@@ -143,12 +141,12 @@ Result<FrameId> BufferPool::InstallNewPage(PageId id) {
   RTB_ASSIGN_OR_RETURN(FrameId f, AcquireFrame());
   FrameMeta& meta = frames_[f];
   meta.page_id = id;
-  meta.pin_count.store(1, std::memory_order_relaxed);
+  meta.pin_count = 1;
   meta.permanent = false;
   meta.dirty = true;
   meta.in_use = true;
   std::fill(FrameData(f), FrameData(f) + page_size(), uint8_t{0});
-  page_table_[id] = f;
+  page_table_.Insert(id, f);
   policy_->RecordAccess(f);
   policy_->SetEvictable(f, false);
   return f;
@@ -157,19 +155,18 @@ Result<FrameId> BufferPool::InstallNewPage(PageId id) {
 Result<PageGuard> BufferPool::NewPage() {
   RTB_ASSIGN_OR_RETURN(PageId id, store_->Allocate());
   RTB_ASSIGN_OR_RETURN(FrameId f, InstallNewPage(id));
-  return PageGuard(this, Frame{id, FrameData(f)}, /*mark_dirty=*/true);
+  return PageGuard(this, Frame{id, FrameData(f), f}, /*mark_dirty=*/true);
 }
 
-void BufferPool::Unpin(PageId id, bool dirty) {
-  auto it = page_table_.find(id);
-  RTB_CHECK(it != page_table_.end());
-  FrameMeta& meta = frames_[it->second];
-  const uint32_t prev =
-      meta.pin_count.fetch_sub(1, std::memory_order_relaxed);
+void BufferPool::Unpin(const Frame& frame, bool dirty) {
+  const FrameId f = frame.frame_id;
+  RTB_DCHECK(f < frames_.size() && frames_[f].page_id == frame.page_id);
+  FrameMeta& meta = frames_[f];
+  const uint32_t prev = meta.pin_count--;
   RTB_CHECK(prev > 0);
   if (dirty) meta.dirty = true;
   if (prev == 1 && !meta.permanent) {
-    policy_->SetEvictable(it->second, true);
+    policy_->SetEvictable(f, true);
   }
 }
 
@@ -182,26 +179,25 @@ Status BufferPool::PinPermanently(PageId id) {
   }
   // Drop the transient pin from PinPage; the permanent flag keeps the frame
   // unevictable.
-  const uint32_t prev =
-      meta.pin_count.fetch_sub(1, std::memory_order_relaxed);
+  const uint32_t prev = meta.pin_count--;
   RTB_CHECK(prev > 0);
   return Status::OK();
 }
 
 Status BufferPool::UnpinPermanently(PageId id) {
-  auto it = page_table_.find(id);
-  if (it == page_table_.end()) {
+  const FrameId f = page_table_.Find(id);
+  if (f == PageTable::kNoFrame) {
     return Status::NotFound("page " + std::to_string(id) + " not in pool");
   }
-  FrameMeta& meta = frames_[it->second];
+  FrameMeta& meta = frames_[f];
   if (!meta.permanent) {
     return Status::FailedPrecondition("page " + std::to_string(id) +
                                       " is not permanently pinned");
   }
   meta.permanent = false;
   --num_permanent_pins_;
-  if (meta.pin_count.load(std::memory_order_relaxed) == 0) {
-    policy_->SetEvictable(it->second, true);
+  if (meta.pin_count == 0) {
+    policy_->SetEvictable(f, true);
   }
   return Status::OK();
 }
@@ -211,13 +207,13 @@ Status BufferPool::EvictAll() {
   for (FrameId f = 0; f < frames_.size(); ++f) {
     FrameMeta& meta = frames_[f];
     if (!meta.in_use || meta.permanent) continue;
-    if (meta.pin_count.load(std::memory_order_relaxed) > 0) {
+    if (meta.pin_count > 0) {
       return Status::FailedPrecondition(
           "cannot evict page " + std::to_string(meta.page_id) +
           ": still pinned");
     }
     policy_->Remove(f);
-    page_table_.erase(meta.page_id);
+    page_table_.Erase(meta.page_id);
     meta.Reset();
     free_frames_.push_back(f);
   }

@@ -18,14 +18,13 @@
 #ifndef RTB_STORAGE_BUFFER_POOL_H_
 #define RTB_STORAGE_BUFFER_POOL_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "storage/page.h"
 #include "storage/page_store.h"
+#include "storage/page_table.h"
 #include "storage/replacement.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -57,10 +56,13 @@ struct BufferStats {
 };
 
 /// A page held in the pool. Returned by Fetch; the caller must Unpin it
-/// (directly or via PageGuard) when done.
+/// (directly or via PageGuard) when done. `frame_id` is the pool-internal
+/// frame index, carried so releasing the pin indexes the frame directly
+/// instead of re-probing the page table.
 struct Frame {
   PageId page_id = kInvalidPageId;
   uint8_t* data = nullptr;
+  FrameId frame_id = 0;
 };
 
 class PageCache;
@@ -146,10 +148,10 @@ class PageCache {
  private:
   friend class PageGuard;
 
-  /// Drops one pin on `id`, marking the page dirty when `dirty`. Called by
-  /// PageGuard on release, possibly from a different thread than Fetch for
-  /// internally synchronized implementations.
-  virtual void Unpin(PageId id, bool dirty) = 0;
+  /// Drops one pin on `frame`'s page, marking it dirty when `dirty`. Called
+  /// by PageGuard on release, possibly from a different thread than Fetch
+  /// for internally synchronized implementations.
+  virtual void Unpin(const Frame& frame, bool dirty) = 0;
 };
 
 /// Buffer pool of `capacity` frames over `store`. Single-threaded: callers
@@ -184,7 +186,7 @@ class BufferPool final : public PageCache {
   Status EvictAll() override;
 
   bool Contains(PageId id) const override {
-    return page_table_.count(id) > 0;
+    return page_table_.Contains(id);
   }
 
   const BufferStats& stats() const { return stats_; }
@@ -197,16 +199,19 @@ class BufferPool final : public PageCache {
 
   struct FrameMeta {
     PageId page_id = kInvalidPageId;
-    // Atomic so a PageGuard released on one thread is visible to a Fetch on
-    // another once the owning shard lock is taken (ShardedBufferPool).
-    std::atomic<uint32_t> pin_count{0};
+    // Plain counter: every access is serialized — externally for a bare
+    // BufferPool (single-threaded by contract), by the owning shard's mutex
+    // for ShardedBufferPool (every entry point, including PageGuard
+    // release, takes it) — so the mutex already provides the cross-thread
+    // ordering an atomic would.
+    uint32_t pin_count = 0;
     bool permanent = false;
     bool dirty = false;
     bool in_use = false;
 
     void Reset() {
       page_id = kInvalidPageId;
-      pin_count.store(0, std::memory_order_relaxed);
+      pin_count = 0;
       permanent = false;
       dirty = false;
       in_use = false;
@@ -224,7 +229,7 @@ class BufferPool final : public PageCache {
   // which allocates centrally and routes the page to its shard.
   Result<FrameId> InstallNewPage(PageId id);
 
-  void Unpin(PageId id, bool dirty) override;
+  void Unpin(const Frame& frame, bool dirty) override;
 
   uint8_t* FrameData(FrameId f) {
     return buffer_.data() + static_cast<size_t>(f) * page_size();
@@ -236,7 +241,9 @@ class BufferPool final : public PageCache {
   std::vector<uint8_t> buffer_;
   std::vector<FrameMeta> frames_;
   std::vector<FrameId> free_frames_;
-  std::unordered_map<PageId, FrameId> page_table_;
+  // Open-addressed page-id -> frame index, sized at construction so
+  // steady-state fetches never allocate (see storage/page_table.h).
+  PageTable page_table_;
   size_t num_permanent_pins_ = 0;
   BufferStats stats_;
 };

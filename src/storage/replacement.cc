@@ -8,15 +8,18 @@ namespace rtb::storage {
 // LRU
 // ---------------------------------------------------------------------------
 
-LruPolicy::LruPolicy(size_t capacity) : entries_(capacity) {}
+LruPolicy::LruPolicy(size_t capacity)
+    : order_(capacity), entries_(capacity) {}
 
 void LruPolicy::RecordAccess(FrameId frame) {
   RTB_DCHECK(frame < entries_.size());
   Entry& e = entries_[frame];
-  if (e.tracked) order_.erase(e.pos);
-  order_.push_front(frame);
-  e.pos = order_.begin();
-  e.tracked = true;
+  if (e.tracked) {
+    order_.MoveToFront(frame);
+  } else {
+    order_.PushFront(frame);
+    e.tracked = true;
+  }
 }
 
 void LruPolicy::SetEvictable(FrameId frame, bool evictable) {
@@ -29,10 +32,11 @@ void LruPolicy::SetEvictable(FrameId frame, bool evictable) {
 }
 
 bool LruPolicy::Evict(FrameId* victim) {
-  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
-    if (entries_[*it].evictable) {
-      *victim = *it;
-      Remove(*it);
+  for (FrameId f = order_.back(); f != detail::FrameList::kNil;
+       f = order_.Prev(f)) {
+    if (entries_[f].evictable) {
+      *victim = f;
+      Remove(f);
       return true;
     }
   }
@@ -44,7 +48,7 @@ void LruPolicy::Remove(FrameId frame) {
   Entry& e = entries_[frame];
   if (!e.tracked) return;
   if (e.evictable) --num_evictable_;
-  order_.erase(e.pos);
+  order_.Erase(frame);
   e = Entry{};
 }
 
@@ -52,14 +56,14 @@ void LruPolicy::Remove(FrameId frame) {
 // FIFO
 // ---------------------------------------------------------------------------
 
-FifoPolicy::FifoPolicy(size_t capacity) : entries_(capacity) {}
+FifoPolicy::FifoPolicy(size_t capacity)
+    : order_(capacity), entries_(capacity) {}
 
 void FifoPolicy::RecordAccess(FrameId frame) {
   RTB_DCHECK(frame < entries_.size());
   Entry& e = entries_[frame];
   if (e.tracked) return;  // Position fixed at first insertion.
-  order_.push_back(frame);
-  e.pos = --order_.end();
+  order_.PushBack(frame);
   e.tracked = true;
 }
 
@@ -73,10 +77,11 @@ void FifoPolicy::SetEvictable(FrameId frame, bool evictable) {
 }
 
 bool FifoPolicy::Evict(FrameId* victim) {
-  for (FrameId frame : order_) {
-    if (entries_[frame].evictable) {
-      *victim = frame;
-      Remove(frame);
+  for (FrameId f = order_.front(); f != detail::FrameList::kNil;
+       f = order_.Next(f)) {
+    if (entries_[f].evictable) {
+      *victim = f;
+      Remove(f);
       return true;
     }
   }
@@ -88,7 +93,7 @@ void FifoPolicy::Remove(FrameId frame) {
   Entry& e = entries_[frame];
   if (!e.tracked) return;
   if (e.evictable) --num_evictable_;
-  order_.erase(e.pos);
+  order_.Erase(frame);
   e = Entry{};
 }
 

@@ -14,7 +14,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,6 +24,75 @@ namespace rtb::storage {
 
 /// Frame index within a BufferPool.
 using FrameId = uint32_t;
+
+namespace detail {
+
+/// Doubly-linked list of frame ids whose links live in a fixed array
+/// indexed by frame. Every operation is O(1) and touches no heap memory, so
+/// the recency bookkeeping on the buffer-pool hit path never allocates
+/// (std::list would malloc/free a node per access).
+class FrameList {
+ public:
+  static constexpr FrameId kNil = static_cast<FrameId>(-1);
+
+  explicit FrameList(size_t capacity) : links_(capacity) {}
+
+  FrameId front() const { return head_; }
+  FrameId back() const { return tail_; }
+  FrameId Next(FrameId f) const { return links_[f].next; }
+  FrameId Prev(FrameId f) const { return links_[f].prev; }
+
+  void PushFront(FrameId f) {
+    links_[f] = Link{kNil, head_};
+    if (head_ != kNil) {
+      links_[head_].prev = f;
+    } else {
+      tail_ = f;
+    }
+    head_ = f;
+  }
+
+  void PushBack(FrameId f) {
+    links_[f] = Link{tail_, kNil};
+    if (tail_ != kNil) {
+      links_[tail_].next = f;
+    } else {
+      head_ = f;
+    }
+    tail_ = f;
+  }
+
+  void Erase(FrameId f) {
+    const Link link = links_[f];
+    if (link.prev != kNil) {
+      links_[link.prev].next = link.next;
+    } else {
+      head_ = link.next;
+    }
+    if (link.next != kNil) {
+      links_[link.next].prev = link.prev;
+    } else {
+      tail_ = link.prev;
+    }
+  }
+
+  void MoveToFront(FrameId f) {
+    if (head_ == f) return;
+    Erase(f);
+    PushFront(f);
+  }
+
+ private:
+  struct Link {
+    FrameId prev = kNil;
+    FrameId next = kNil;
+  };
+  std::vector<Link> links_;
+  FrameId head_ = kNil;
+  FrameId tail_ = kNil;
+};
+
+}  // namespace detail
 
 /// Abstract replacement policy. All methods refer to frame ids in
 /// [0, capacity).
@@ -70,10 +138,10 @@ class LruPolicy final : public ReplacementPolicy {
   struct Entry {
     bool tracked = false;
     bool evictable = false;
-    std::list<FrameId>::iterator pos;  // Valid iff tracked.
   };
-  // Recency list: front = most recent, back = least recent.
-  std::list<FrameId> order_;
+  // Recency order: front = most recent, back = least recent. A frame is
+  // linked iff tracked.
+  detail::FrameList order_;
   std::vector<Entry> entries_;
   size_t num_evictable_ = 0;
 };
@@ -95,9 +163,8 @@ class FifoPolicy final : public ReplacementPolicy {
   struct Entry {
     bool tracked = false;
     bool evictable = false;
-    std::list<FrameId>::iterator pos;
   };
-  std::list<FrameId> order_;  // front = oldest.
+  detail::FrameList order_;  // front = oldest.
   std::vector<Entry> entries_;
   size_t num_evictable_ = 0;
 };

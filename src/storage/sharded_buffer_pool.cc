@@ -50,7 +50,7 @@ Result<PageGuard> ShardedBufferPool::Fetch(PageId id) {
   Shard& s = *shards_[ShardOf(id)];
   std::lock_guard<std::mutex> lock(s.mu);
   RTB_ASSIGN_OR_RETURN(FrameId f, s.pool->PinPage(id));
-  return PageGuard(this, Frame{id, s.pool->FrameData(f)},
+  return PageGuard(this, Frame{id, s.pool->FrameData(f), f},
                    /*mark_dirty=*/false);
 }
 
@@ -58,7 +58,7 @@ Result<PageGuard> ShardedBufferPool::FetchMutable(PageId id) {
   Shard& s = *shards_[ShardOf(id)];
   std::lock_guard<std::mutex> lock(s.mu);
   RTB_ASSIGN_OR_RETURN(FrameId f, s.pool->PinPage(id));
-  return PageGuard(this, Frame{id, s.pool->FrameData(f)},
+  return PageGuard(this, Frame{id, s.pool->FrameData(f), f},
                    /*mark_dirty=*/true);
 }
 
@@ -69,14 +69,16 @@ Result<PageGuard> ShardedBufferPool::NewPage() {
   Shard& s = *shards_[ShardOf(id)];
   std::lock_guard<std::mutex> lock(s.mu);
   RTB_ASSIGN_OR_RETURN(FrameId f, s.pool->InstallNewPage(id));
-  return PageGuard(this, Frame{id, s.pool->FrameData(f)},
+  return PageGuard(this, Frame{id, s.pool->FrameData(f), f},
                    /*mark_dirty=*/true);
 }
 
-void ShardedBufferPool::Unpin(PageId id, bool dirty) {
-  Shard& s = *shards_[ShardOf(id)];
+void ShardedBufferPool::Unpin(const Frame& frame, bool dirty) {
+  // The guard's frame_id indexes into the owning shard's pool; route by the
+  // page id's shard hash, as Fetch did.
+  Shard& s = *shards_[ShardOf(frame.page_id)];
   std::lock_guard<std::mutex> lock(s.mu);
-  s.pool->Unpin(id, dirty);
+  s.pool->Unpin(frame, dirty);
 }
 
 Status ShardedBufferPool::PinPermanently(PageId id) {

@@ -103,7 +103,7 @@ class ShardedBufferPool final : public PageCache {
     return static_cast<size_t>((z ^ (z >> 31)) & shard_mask_);
   }
 
-  void Unpin(PageId id, bool dirty) override;
+  void Unpin(const Frame& frame, bool dirty) override;
 
   PageStore* store_;
   size_t capacity_;

@@ -1,0 +1,82 @@
+// Counting replacements for the global allocation functions; see
+// util/alloc_counter.h. Kept malloc-backed so sanitizer runtimes (which
+// intercept malloc/free, not the C++ operators) still see every
+// allocation.
+
+#include "util/alloc_counter.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace rtb::util {
+
+namespace detail {
+
+thread_local uint64_t t_allocations = 0;
+
+void* CountedAlloc(std::size_t size) {
+  ++t_allocations;
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* CountedAllocNoThrow(std::size_t size) noexcept {
+  ++t_allocations;
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  ++t_allocations;
+  if (size == 0) size = align;
+  void* p = std::aligned_alloc(align, (size + align - 1) / align * align);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace detail
+
+uint64_t AllocationCount() { return detail::t_allocations; }
+
+}  // namespace rtb::util
+
+void* operator new(std::size_t size) {
+  return rtb::util::detail::CountedAlloc(size);
+}
+void* operator new[](std::size_t size) {
+  return rtb::util::detail::CountedAlloc(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return rtb::util::detail::CountedAllocNoThrow(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return rtb::util::detail::CountedAllocNoThrow(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return rtb::util::detail::CountedAlignedAlloc(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return rtb::util::detail::CountedAlignedAlloc(
+      size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -96,6 +97,80 @@ TEST(WorkloadTest, NamedDatasetsHaveRequestedSizes) {
   EXPECT_EQ(tiger.size(), 3000u);
   auto cfd = MakeCfdData(5, 2500);
   EXPECT_EQ(cfd.size(), 2500u);
+}
+
+// --------------------------------------------------------------------------
+// JsonDict / BenchReport
+// --------------------------------------------------------------------------
+
+TEST(JsonDictTest, TypesAndInsertionOrder) {
+  JsonDict d;
+  d.PutStr("name", "micro");
+  d.PutInt("count", 42);
+  d.PutNum("rate", 0.5);
+  d.PutBool("ok", true);
+  d.PutBool("bad", false);
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_TRUE(d.Has("rate"));
+  EXPECT_FALSE(d.Has("missing"));
+  EXPECT_EQ(d.ToString(),
+            "{\"name\": \"micro\", \"count\": 42, \"rate\": 0.5, "
+            "\"ok\": true, \"bad\": false}");
+}
+
+TEST(JsonDictTest, EscapesStrings) {
+  JsonDict d;
+  d.PutStr("msg", "a\"b\\c\n\td");
+  EXPECT_EQ(d.ToString(), "{\"msg\": \"a\\\"b\\\\c\\n\\td\"}");
+}
+
+TEST(JsonDictTest, NumbersRoundTripAndNonFiniteIsNull) {
+  JsonDict d;
+  d.PutNum("pi", 3.141592653589793);
+  d.PutNum("inf", std::numeric_limits<double>::infinity());
+  d.PutNum("nan", std::numeric_limits<double>::quiet_NaN());
+  const std::string json = d.ToString();
+  // %.17g preserves every bit of the double.
+  EXPECT_NE(json.find("3.141592653589793"), std::string::npos);
+  // JSON has no Infinity/NaN literals; they must become null.
+  EXPECT_NE(json.find("\"inf\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"nan\": null"), std::string::npos);
+}
+
+TEST(BenchReportTest, SchemaShape) {
+  BenchReport report("unit");
+  report.meta().PutInt("seed", 7);
+  JsonDict& a = report.AddConfig("first");
+  a.PutNum("qps", 1000.0);
+  JsonDict& b = report.AddConfig("second");
+  b.PutInt("hits", 3);
+  EXPECT_EQ(report.num_configs(), 2u);
+
+  const std::string json = report.ToJson();
+  // The "bench" field is the first thing in the document.
+  EXPECT_EQ(json.find("{\n  \"bench\": \"unit\""), 0u);
+  EXPECT_NE(json.find("\"seed\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"configs\": ["), std::string::npos);
+  EXPECT_NE(json.find("{\"config\": \"first\", \"qps\": 1000}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"config\": \"second\", \"hits\": 3}"),
+            std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(BenchReportTest, WriteFileRoundTrips) {
+  BenchReport report("filetest");
+  report.meta().PutStr("note", "x");
+  report.AddConfig("only").PutInt("v", 1);
+  const std::string path = ::testing::TempDir() + "/rtb_bench_report.json";
+  std::remove(path.c_str());
+  ASSERT_TRUE(report.WriteFile(path));
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), report.ToJson());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,251 @@
+// Tests for the zero-copy query read path (NodeView + explicit-stack
+// Search):
+//
+//   * property test — NodeView and DeserializeNode agree on every field of
+//     randomly generated nodes, and NodeView::Intersects matches the
+//     Rect::Intersects it replaces;
+//   * equivalence — the NodeView Search returns byte-identical results,
+//     QueryStats and buffer hit/miss streams to a reference walker that
+//     decodes every node with DeserializeNode, on resident and
+//     buffer-constrained pools alike;
+//   * allocation — the steady-state query loop performs zero heap
+//     allocations (scoped allocation counter);
+//   * regression — queries succeed against pools with fewer frames than the
+//     tree is tall (the recursive search pinned the whole root-to-leaf path
+//     and exhausted such pools).
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rtb.h"
+#include "util/alloc_counter.h"
+
+namespace rtb::rtree {
+namespace {
+
+using geom::Rect;
+using storage::PageGuard;
+using storage::PageId;
+
+Rect RandomRect(Rng& rng, double max_side) {
+  const double x = rng.NextDouble() * (1.0 - max_side);
+  const double y = rng.NextDouble() * (1.0 - max_side);
+  return Rect(x, y, x + rng.NextDouble() * max_side,
+              y + rng.NextDouble() * max_side);
+}
+
+// --------------------------------------------------------------------------
+// NodeView vs DeserializeNode (property test)
+// --------------------------------------------------------------------------
+
+TEST(NodeViewPropertyTest, AgreesWithDeserializeNodeOnRandomNodes) {
+  Rng rng(42);
+  std::vector<uint8_t> page(4096);
+  for (int trial = 0; trial < 200; ++trial) {
+    Node node;
+    node.level = static_cast<uint16_t>(rng.NextUint64() % 5);
+    const size_t count = rng.NextUint64() % 103;  // 0..102 fit in 4096.
+    for (size_t i = 0; i < count; ++i) {
+      node.entries.push_back(Entry{RandomRect(rng, 0.2), rng.NextUint64()});
+    }
+    ASSERT_TRUE(SerializeNode(node, page.size(), page.data()).ok());
+
+    auto decoded = DeserializeNode(page.data(), page.size());
+    ASSERT_TRUE(decoded.ok());
+    auto view = NodeView::Create(page.data(), page.size());
+    ASSERT_TRUE(view.ok());
+
+    EXPECT_EQ(view->level(), decoded->level);
+    EXPECT_EQ(view->is_leaf(), decoded->is_leaf());
+    ASSERT_EQ(view->count(), decoded->entries.size());
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(view->rect(i), decoded->entries[i].rect) << i;
+      EXPECT_EQ(view->id(i), decoded->entries[i].id) << i;
+      EXPECT_EQ(view->entry(i), decoded->entries[i]) << i;
+    }
+
+    // The raw-coordinate intersection test matches the Rect one for
+    // arbitrary non-empty queries (including touching edges and the
+    // degenerate point rectangles SearchPoint uses).
+    for (int q = 0; q < 8; ++q) {
+      const Rect query = q == 0 ? Rect::FromPoint({rng.NextDouble(),
+                                                   rng.NextDouble()})
+                                : RandomRect(rng, 0.5);
+      for (size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(view->Intersects(i, query),
+                  view->rect(i).Intersects(query))
+            << "entry " << i << " query " << q;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Query equivalence against a deserializing reference walker
+// --------------------------------------------------------------------------
+
+struct TreeFixture {
+  std::unique_ptr<storage::MemPageStore> store;
+  BuiltTree built;
+
+  explicit TreeFixture(size_t points, uint32_t fanout, uint64_t seed = 9) {
+    Rng rng(seed);
+    auto rects = data::GenerateUniformPoints(points, &rng);
+    store = std::make_unique<storage::MemPageStore>();
+    auto b = BuildRTree(store.get(), RTreeConfig::WithFanout(fanout), rects,
+                        LoadAlgorithm::kHilbertSort);
+    RTB_CHECK(b.ok());
+    built = *b;
+  }
+};
+
+// Reference: recursive preorder walk that decodes every node with
+// DeserializeNode. The guard is released before recursing so, like the
+// explicit-stack Search, at most one page is pinned at a time — the fetch
+// sequence (and thus the pool's hit/miss stream) must match exactly.
+Status ReferenceSearch(storage::PageCache* pool, PageId page,
+                       const Rect& query, std::vector<ObjectId>* out,
+                       QueryStats* stats) {
+  Node node;
+  {
+    RTB_ASSIGN_OR_RETURN(PageGuard guard, pool->Fetch(page));
+    if (stats != nullptr) ++stats->nodes_accessed;
+    RTB_ASSIGN_OR_RETURN(node,
+                         DeserializeNode(guard.data(), pool->page_size()));
+  }
+  for (const Entry& e : node.entries) {
+    if (!e.rect.Intersects(query)) continue;
+    if (node.is_leaf()) {
+      out->push_back(e.id);
+    } else {
+      RTB_RETURN_IF_ERROR(
+          ReferenceSearch(pool, static_cast<PageId>(e.id), query, out,
+                          stats));
+    }
+  }
+  return Status::OK();
+}
+
+void ExpectSearchEquivalence(TreeFixture& fx, size_t pool_pages) {
+  auto live_pool = storage::BufferPool::MakeLru(fx.store.get(), pool_pages);
+  auto ref_pool = storage::BufferPool::MakeLru(fx.store.get(), pool_pages);
+  auto tree = RTree::Open(live_pool.get(), RTreeConfig::WithFanout(25),
+                          fx.built.root, fx.built.height);
+  ASSERT_TRUE(tree.ok());
+  // Open() fetches the root once to sanity-check it; mirror that on the
+  // reference pool so the hit/miss streams start from the same state.
+  ASSERT_TRUE(ref_pool->Fetch(fx.built.root).ok());
+
+  Rng rng(1234);
+  QueryStats live_stats, ref_stats;
+  for (int q = 0; q < 300; ++q) {
+    const Rect query = q % 3 == 0 ? Rect::FromPoint({rng.NextDouble(),
+                                                     rng.NextDouble()})
+                                  : RandomRect(rng, 0.08);
+    std::vector<ObjectId> live_out, ref_out;
+    ASSERT_TRUE(tree->Search(query, &live_out, &live_stats).ok());
+    ASSERT_TRUE(ReferenceSearch(ref_pool.get(), fx.built.root, query,
+                                &ref_out, &ref_stats)
+                    .ok());
+    // Same ids in the same (preorder) emission order.
+    ASSERT_EQ(live_out, ref_out) << "query " << q;
+  }
+  EXPECT_EQ(live_stats.nodes_accessed, ref_stats.nodes_accessed);
+
+  // Identical fetch sequences against identically configured pools must
+  // produce identical hit/miss/eviction streams.
+  const storage::BufferStats live = live_pool->AggregateStats();
+  const storage::BufferStats ref = ref_pool->AggregateStats();
+  EXPECT_EQ(live.requests, ref.requests);
+  EXPECT_EQ(live.hits, ref.hits);
+  EXPECT_EQ(live.misses, ref.misses);
+  EXPECT_EQ(live.evictions, ref.evictions);
+}
+
+TEST(ReadPathEquivalenceTest, ResidentPool) {
+  TreeFixture fx(8000, 25);
+  ExpectSearchEquivalence(fx, 4096);
+}
+
+TEST(ReadPathEquivalenceTest, ConstrainedPool) {
+  TreeFixture fx(8000, 25);
+  // ~10% of the tree resident: constant eviction pressure.
+  ExpectSearchEquivalence(fx, 40);
+}
+
+TEST(ReadPathEquivalenceTest, TinyPool) {
+  TreeFixture fx(8000, 25);
+  ExpectSearchEquivalence(fx, 2);
+}
+
+// --------------------------------------------------------------------------
+// Zero allocations in the steady-state query loop
+// --------------------------------------------------------------------------
+
+TEST(ReadPathAllocationTest, SteadyStateQueriesDoNotAllocate) {
+  TreeFixture fx(8000, 25);
+  auto pool = storage::BufferPool::MakeLru(fx.store.get(), 4096);
+  auto tree = RTree::Open(pool.get(), RTreeConfig::WithFanout(25),
+                          fx.built.root, fx.built.height);
+  ASSERT_TRUE(tree.ok());
+
+  // Warm-up pass: faults every page in, grows the thread-local search
+  // stack and the result vector to their steady-state capacities.
+  std::vector<ObjectId> out;
+  Rng warm_rng(77);
+  for (int q = 0; q < 200; ++q) {
+    out.clear();
+    ASSERT_TRUE(tree->Search(RandomRect(warm_rng, 0.05), &out).ok());
+  }
+
+  // Steady state: the same query sequence again, counted. Every fetch is a
+  // buffer hit and every vector stays within capacity, so the loop must
+  // perform zero heap allocations — not per query, zero in total.
+  Rng rng(77);
+  QueryStats stats;
+  util::ScopedAllocationCounter allocs;
+  for (int q = 0; q < 200; ++q) {
+    out.clear();
+    ASSERT_TRUE(tree->Search(RandomRect(rng, 0.05), &out, &stats).ok());
+  }
+  EXPECT_EQ(allocs.delta(), 0u);
+  EXPECT_GT(stats.nodes_accessed, 0u);
+}
+
+// --------------------------------------------------------------------------
+// Pools smaller than the tree height (regression)
+// --------------------------------------------------------------------------
+
+TEST(ShallowPoolRegressionTest, QueriesSucceedWithSingleFramePool) {
+  TreeFixture fx(6000, 10);  // Fanout 10 -> height >= 4.
+  ASSERT_GE(fx.built.height, 4);
+
+  // The recursive search pinned the whole root-to-leaf path, so any pool
+  // with fewer frames than the tree's height failed with ResourceExhausted.
+  // The explicit-stack search holds one pin at a time and must work with
+  // the minimum possible pool.
+  auto tiny_pool = storage::BufferPool::MakeLru(fx.store.get(), 1);
+  ASSERT_LT(tiny_pool->capacity(), fx.built.height);
+  auto tree = RTree::Open(tiny_pool.get(), RTreeConfig::WithFanout(10),
+                          fx.built.root, fx.built.height);
+  ASSERT_TRUE(tree.ok());
+
+  auto big_pool = storage::BufferPool::MakeLru(fx.store.get(), 4096);
+  auto ref_tree = RTree::Open(big_pool.get(), RTreeConfig::WithFanout(10),
+                              fx.built.root, fx.built.height);
+  ASSERT_TRUE(ref_tree.ok());
+
+  Rng rng(5);
+  for (int q = 0; q < 50; ++q) {
+    const Rect query = RandomRect(rng, 0.1);
+    std::vector<ObjectId> tiny_out, ref_out;
+    ASSERT_TRUE(tree->Search(query, &tiny_out).ok()) << "query " << q;
+    ASSERT_TRUE(ref_tree->Search(query, &ref_out).ok());
+    EXPECT_EQ(tiny_out, ref_out) << "query " << q;
+  }
+}
+
+}  // namespace
+}  // namespace rtb::rtree

@@ -91,6 +91,68 @@ TEST(NodeSerdeTest, CorruptCountDetected) {
   EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
 }
 
+// --------------------------------------------------------------------------
+// NodeView corruption handling: the zero-copy reader must reject the same
+// malformed pages the deserializer does (the read path validates once in
+// NodeView::Create and never re-checks per field).
+// --------------------------------------------------------------------------
+
+TEST(NodeViewCorruptionTest, BadMagicDetected) {
+  std::vector<uint8_t> page(4096, 0);
+  auto view = NodeView::Create(page.data(), page.size());
+  EXPECT_FALSE(view.ok());
+  EXPECT_EQ(view.status().code(), StatusCode::kCorruption);
+}
+
+TEST(NodeViewCorruptionTest, CountOverflowDetected) {
+  Node node;
+  std::vector<uint8_t> page(256);
+  ASSERT_TRUE(SerializeNode(node, page.size(), page.data()).ok());
+  uint16_t bogus = 60000;
+  std::memcpy(page.data() + 6, &bogus, 2);
+  auto view = NodeView::Create(page.data(), page.size());
+  EXPECT_FALSE(view.ok());
+  EXPECT_EQ(view.status().code(), StatusCode::kCorruption);
+}
+
+TEST(NodeViewCorruptionTest, TruncatedEntryRegionDetected) {
+  // A count that fits a 4096-byte page must not validate against a view
+  // told the page is smaller than header + count * entry.
+  Node node;
+  node.level = 0;
+  for (uint64_t i = 0; i < 5; ++i) {
+    node.entries.push_back(Entry{Rect(0.1, 0.1, 0.2, 0.2), i});
+  }
+  std::vector<uint8_t> page(4096);
+  ASSERT_TRUE(SerializeNode(node, page.size(), page.data()).ok());
+  // 16 + 5*40 = 216 bytes needed; claim only 200 are readable.
+  auto view = NodeView::Create(page.data(), 200);
+  EXPECT_FALSE(view.ok());
+  EXPECT_EQ(view.status().code(), StatusCode::kCorruption);
+}
+
+TEST(NodeViewCorruptionTest, PageSmallerThanHeaderDetected) {
+  std::vector<uint8_t> page(8, 0);
+  auto view = NodeView::Create(page.data(), page.size());
+  EXPECT_FALSE(view.ok());
+  EXPECT_EQ(view.status().code(), StatusCode::kCorruption);
+}
+
+TEST(NodeViewCorruptionTest, AgreesWithDeserializeNodeOnRandomBytes) {
+  // Both entry points into the page format must accept/reject identically.
+  Rng rng(777);
+  std::vector<uint8_t> page(512);
+  for (int trial = 0; trial < 5000; ++trial) {
+    for (auto& b : page) b = static_cast<uint8_t>(rng.NextUint64());
+    auto node = DeserializeNode(page.data(), page.size());
+    auto view = NodeView::Create(page.data(), page.size());
+    ASSERT_EQ(node.ok(), view.ok());
+    if (!view.ok()) {
+      EXPECT_EQ(view.status().code(), StatusCode::kCorruption);
+    }
+  }
+}
+
 TEST(NodeSerdeTest, CapacityMatchesLayoutConstants) {
   EXPECT_EQ(NodeCapacity(4096), (4096u - 16u) / 40u);
   EXPECT_GE(NodeCapacity(4096), 100u);  // The paper's fanout must fit.

@@ -708,5 +708,99 @@ TEST_P(BufferPoolCapacityTest, CyclicScanHitRate) {
 INSTANTIATE_TEST_SUITE_P(Capacities, BufferPoolCapacityTest,
                          ::testing::Values(1, 2, 4, 7, 8, 16));
 
+// --------------------------------------------------------------------------
+// PageTable (the open-addressed page-id -> frame map behind BufferPool)
+// --------------------------------------------------------------------------
+
+TEST(PageTableTest, InsertFindErase) {
+  PageTable table(16);
+  EXPECT_EQ(table.Find(3), PageTable::kNoFrame);
+  EXPECT_FALSE(table.Contains(3));
+
+  table.Insert(3, 7);
+  table.Insert(99, 1);
+  EXPECT_EQ(table.Find(3), 7u);
+  EXPECT_EQ(table.Find(99), 1u);
+  EXPECT_TRUE(table.Contains(3));
+  EXPECT_EQ(table.Find(4), PageTable::kNoFrame);
+
+  EXPECT_TRUE(table.Erase(3));
+  EXPECT_EQ(table.Find(3), PageTable::kNoFrame);
+  EXPECT_EQ(table.Find(99), 1u);  // Unaffected by the erase.
+  EXPECT_FALSE(table.Erase(3));   // Already gone.
+}
+
+TEST(PageTableTest, FillsToDeclaredCapacity) {
+  // A table sized for N entries must take N live keys without probing
+  // failures, whatever the hash spread.
+  constexpr size_t kN = 100;
+  PageTable table(kN);
+  for (PageId id = 0; id < kN; ++id) {
+    table.Insert(id * 7919 + 1, static_cast<FrameId>(id));
+  }
+  for (PageId id = 0; id < kN; ++id) {
+    EXPECT_EQ(table.Find(id * 7919 + 1), static_cast<FrameId>(id)) << id;
+  }
+}
+
+TEST(PageTableTest, BackwardShiftDeletionKeepsClustersFindable) {
+  // Erase from the middle of a collision cluster: linear probing with
+  // backward-shift deletion must keep every remaining key reachable (a
+  // tombstone-free table has no deleted markers to skip over).
+  PageTable table(8);  // 16 slots; dense enough to force clusters.
+  std::vector<PageId> keys;
+  for (PageId id = 0; id < 8; ++id) keys.push_back(id * 1024 + 3);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    table.Insert(keys[i], static_cast<FrameId>(i));
+  }
+  // Erase every other key, then verify the survivors.
+  for (size_t i = 0; i < keys.size(); i += 2) {
+    EXPECT_TRUE(table.Erase(keys[i]));
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(table.Find(keys[i]), PageTable::kNoFrame) << i;
+    } else {
+      EXPECT_EQ(table.Find(keys[i]), static_cast<FrameId>(i)) << i;
+    }
+  }
+}
+
+TEST(PageTablePropertyTest, MatchesUnorderedMapUnderChurn) {
+  // Randomized insert/erase/find churn against std::unordered_map as the
+  // reference model, at the <= 50% load factor the pool guarantees.
+  constexpr size_t kCapacity = 64;
+  PageTable table(kCapacity);
+  std::unordered_map<PageId, FrameId> reference;
+  Rng rng(2024);
+
+  for (int op = 0; op < 200000; ++op) {
+    const PageId id = rng.NextUint64() % 512;
+    const int action = static_cast<int>(rng.NextUint64() % 3);
+    if (action == 0 && reference.size() < kCapacity) {
+      const auto frame = static_cast<FrameId>(rng.NextUint64() % 1000);
+      if (reference.find(id) == reference.end()) {
+        table.Insert(id, frame);
+        reference[id] = frame;
+      }
+    } else if (action == 1) {
+      EXPECT_EQ(table.Erase(id), reference.erase(id) > 0) << "op " << op;
+    } else {
+      const auto it = reference.find(id);
+      EXPECT_EQ(table.Find(id),
+                it == reference.end() ? PageTable::kNoFrame : it->second)
+          << "op " << op;
+      EXPECT_EQ(table.Contains(id), it != reference.end());
+    }
+  }
+  // Full sweep at the end: the table holds exactly the reference contents.
+  for (PageId id = 0; id < 512; ++id) {
+    const auto it = reference.find(id);
+    EXPECT_EQ(table.Find(id),
+              it == reference.end() ? PageTable::kNoFrame : it->second)
+        << id;
+  }
+}
+
 }  // namespace
 }  // namespace rtb::storage
