@@ -133,13 +133,12 @@ ParallelEstimate RunParallelQueries(const Workload& w,
   RTB_CHECK(tree.ok());
   auto gen = sim::MakeGenerator(spec, &w.centers);
   RTB_CHECK(gen.ok());
-  sim::ParallelOptions options;
+  sim::WorkloadOptions options;
   options.threads = threads;
   options.base_seed = seed;
   options.warmup = warmup;
   options.queries = queries;
-  auto run = sim::RunParallelWorkload(&*tree, w.store.get(), gen->get(),
-                                      options);
+  auto run = sim::RunWorkload(&*tree, w.store.get(), gen->get(), options);
   RTB_CHECK(run.ok());
   ParallelEstimate est;
   est.run = std::move(*run);
@@ -210,129 +209,6 @@ std::string Table::Int(uint64_t v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
   return buf;
-}
-
-namespace {
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  out.push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  out.push_back('"');
-  return out;
-}
-
-std::string JsonNum(double v) {
-  // %.17g round-trips IEEE doubles; JSON has no inf/nan, so clamp those to
-  // null (a bench emitting them is a bug the smoke test will catch).
-  if (!std::isfinite(v)) return "null";
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
-}  // namespace
-
-void JsonDict::PutStr(const std::string& key, const std::string& value) {
-  fields_.emplace_back(key, JsonEscape(value));
-}
-
-void JsonDict::PutNum(const std::string& key, double value) {
-  fields_.emplace_back(key, JsonNum(value));
-}
-
-void JsonDict::PutInt(const std::string& key, uint64_t value) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
-  fields_.emplace_back(key, buf);
-}
-
-void JsonDict::PutBool(const std::string& key, bool value) {
-  fields_.emplace_back(key, value ? "true" : "false");
-}
-
-bool JsonDict::Has(const std::string& key) const {
-  for (const auto& [k, v] : fields_) {
-    if (k == key) return true;
-  }
-  return false;
-}
-
-std::string JsonDict::ToString() const {
-  std::string out = "{";
-  for (size_t i = 0; i < fields_.size(); ++i) {
-    if (i > 0) out += ", ";
-    out += JsonEscape(fields_[i].first) + ": " + fields_[i].second;
-  }
-  out += "}";
-  return out;
-}
-
-BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
-  meta_.PutStr("bench", name_);
-}
-
-JsonDict& BenchReport::AddConfig(const std::string& label) {
-  configs_.push_back(std::make_unique<JsonDict>());
-  configs_.back()->PutStr("config", label);
-  return *configs_.back();
-}
-
-std::string BenchReport::ToJson() const {
-  std::string out = "{\n";
-  const std::string meta = meta_.ToString();
-  // Splice the meta fields (sans braces) into the top-level object.
-  out += "  " + meta.substr(1, meta.size() - 2) + ",\n";
-  out += "  \"configs\": [\n";
-  for (size_t i = 0; i < configs_.size(); ++i) {
-    out += "    " + configs_[i]->ToString();
-    if (i + 1 < configs_.size()) out += ",";
-    out += "\n";
-  }
-  out += "  ]\n}\n";
-  return out;
-}
-
-bool BenchReport::WriteFile(const std::string& path) const {
-  const std::string dest =
-      path.empty() ? "BENCH_" + name_ + ".json" : path;
-  std::FILE* f = std::fopen(dest.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", dest.c_str());
-    return false;
-  }
-  const std::string doc = ToJson();
-  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
-  std::fclose(f);
-  std::printf("\nwrote %s\n", dest.c_str());
-  return ok;
 }
 
 void Banner(const std::string& experiment, const std::string& description,

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/rtb.h"
+#include "report/json.h"
 
 namespace rtb::bench {
 
@@ -77,7 +78,7 @@ SimEstimate SimulateDiskAccesses(const Workload& w,
 /// reduced workload result plus the pool's merged hit/miss counters over
 /// the whole run (warm-up included).
 struct ParallelEstimate {
-  sim::ParallelResult run;
+  sim::WorkloadResult run;
   storage::BufferStats buffer;
 };
 ParallelEstimate RunParallelQueries(const Workload& w,
@@ -115,65 +116,11 @@ void Banner(const std::string& experiment, const std::string& description,
 // Machine-readable benchmark output (the repo's perf trajectory)
 // --------------------------------------------------------------------------
 
-/// An insertion-ordered flat JSON object of string/number/bool fields.
-/// Distinct method names per type sidestep the const char* -> bool overload
-/// trap.
-class JsonDict {
- public:
-  void PutStr(const std::string& key, const std::string& value);
-  void PutNum(const std::string& key, double value);   // %.17g round-trip.
-  void PutInt(const std::string& key, uint64_t value);
-  void PutBool(const std::string& key, bool value);
-
-  bool Has(const std::string& key) const;
-  size_t size() const { return fields_.size(); }
-
-  /// {"k": v, ...} with keys in insertion order and strings escaped.
-  std::string ToString() const;
-
- private:
-  // Value is pre-rendered JSON; strings are escaped+quoted at Put time.
-  std::vector<std::pair<std::string, std::string>> fields_;
-};
-
-/// The JSON document a benchmark emits: top-level metadata (bench name,
-/// seed, workload parameters) plus one result object per measured
-/// configuration. Written as BENCH_<name>.json so every perf PR can record
-/// its before/after numbers in a diffable, machine-readable form.
-///
-/// Schema:
-///   {
-///     "bench": "<name>",
-///     <metadata fields...>,
-///     "configs": [ {"config": "<label>", <metric fields...>}, ... ]
-///   }
-class BenchReport {
- public:
-  explicit BenchReport(std::string name);
-
-  /// Top-level metadata fields.
-  JsonDict& meta() { return meta_; }
-
-  /// Appends a config-result object (its "config" field is `label`) and
-  /// returns it for metric Puts. References stay valid for the report's
-  /// lifetime.
-  JsonDict& AddConfig(const std::string& label);
-
-  size_t num_configs() const { return configs_.size(); }
-
-  /// The full document.
-  std::string ToJson() const;
-
-  /// Writes ToJson() to `path`; empty path means "BENCH_<name>.json" in the
-  /// current directory. Prints the destination and returns false on I/O
-  /// failure.
-  bool WriteFile(const std::string& path = "") const;
-
- private:
-  std::string name_;
-  JsonDict meta_;
-  std::vector<std::unique_ptr<JsonDict>> configs_;
-};
+// The JSON emitter lives in the shared report library (report/json.h) so
+// the experiment engine can reuse it; benches keep their historical
+// bench::JsonDict / bench::BenchReport names as aliases.
+using JsonDict = report::JsonDict;
+using BenchReport = report::BenchReport;
 
 }  // namespace rtb::bench
 

@@ -1,8 +1,8 @@
 // micro_parallel_scaling — query throughput and hit rate vs. thread count.
 //
 // Not a paper figure: this bench characterizes the concurrent
-// query-execution layer (ShardedBufferPool + ParallelRunner) on the
-// Table 1 workload (40,000 uniform points, fanout 25, uniform point
+// query-execution layer (ShardedBufferPool + the unified workload runner)
+// on the Table 1 workload (40,000 uniform points, fanout 25, uniform point
 // queries). It reports, per thread count:
 //
 //   * throughput (queries/second over the measured phase) and speedup
@@ -11,10 +11,12 @@
 //     quantify how far per-shard LRU drifts from the serial global-LRU
 //     reference stream the analytical model assumes.
 //
-// The first row executes the serial single-threaded BufferPool as the
-// baseline; its counts are bit-identical to sim::RunWorkload. Speedups are
-// hardware-dependent: expect ~linear scaling up to the physical core count
-// (a single-core machine shows ~1x for every row).
+// Every row is one declarative ExperimentSpec executed by engine::Run —
+// the same pipeline `rtb_cli run` drives. The first row's serial spec
+// (threads=1, shards=0) selects the single-threaded BufferPool; its counts
+// are bit-identical to sim::RunWorkload. Speedups are hardware-dependent:
+// expect ~linear scaling up to the physical core count (a single-core
+// machine shows ~1x for every row).
 
 #include <cinttypes>
 #include <cstdio>
@@ -24,6 +26,35 @@
 
 namespace rtb::bench {
 namespace {
+
+// The Table 1 workload as a spec, parameterized by worker/shard counts.
+engine::ExperimentSpec MakeSpec(const Flags& flags, uint32_t threads,
+                                uint64_t shards) {
+  engine::ExperimentSpec spec;
+  spec.name = "micro_parallel_scaling";
+  spec.dataset.kind = "uniform";
+  spec.dataset.n = flags.GetInt("points");
+  spec.dataset.seed = flags.GetInt("seed");
+  spec.tree.fanout = static_cast<uint32_t>(flags.GetInt("fanout"));
+  spec.tree.algo = "HS";
+  spec.pool.buffer_pages = flags.GetInt("buffer");
+  spec.pool.shards = shards;
+  spec.workload.warmup = flags.GetInt("warmup");
+  engine::QueryClassSpec cls;
+  cls.label = "point";
+  cls.count = flags.GetInt("queries");
+  spec.workload.classes.push_back(cls);
+  spec.run.threads = threads;
+  spec.run.seed = flags.GetInt("seed");
+  spec.run.evaluate_model = false;
+  return spec;
+}
+
+engine::RunReport MustRun(const engine::ExperimentSpec& spec) {
+  auto report = engine::Run(spec);
+  RTB_CHECK(report.ok());
+  return std::move(*report);
+}
 
 int Run(int argc, char** argv) {
   Flags flags(argc, argv,
@@ -54,41 +85,32 @@ int Run(int argc, char** argv) {
   std::printf("hardware threads available: %u\n\n",
               std::thread::hardware_concurrency());
 
-  Rng rng(seed);
-  auto rects = data::GenerateUniformPoints(flags.GetInt("points"), &rng);
-  Workload w = BuildWorkload(rects, static_cast<uint32_t>(
-                                        flags.GetInt("fanout")),
-                             rtree::LoadAlgorithm::kHilbertSort);
-  const model::QuerySpec spec = model::QuerySpec::UniformPoint();
-
   Table table({"threads", "pool", "queries/s", "speedup", "disk/query",
                "hit rate"});
 
-  // Serial reference: the paper's single-threaded BufferPool, exercised by
-  // the parallel runner with one worker (bit-identical to sim::RunWorkload).
-  ParallelEstimate serial =
-      RunParallelQueries(w, spec, buffer, /*threads=*/1, /*shards=*/0,
-                         warmup, queries, seed);
-  table.AddRow({"1", "serial", Table::Num(serial.run.QueriesPerSecond(), 0),
+  // Serial reference: the paper's single-threaded BufferPool, driven
+  // through the engine (bit-identical to sim::RunWorkload).
+  engine::RunReport serial =
+      MustRun(MakeSpec(flags, /*threads=*/1, /*shards=*/0));
+  table.AddRow({"1", "serial",
+                Table::Num(serial.total.QueriesPerSecond(), 0),
                 "(reference)",
-                Table::Num(serial.run.total.MeanDiskAccesses(), 4),
+                Table::Num(serial.total.MeanDiskAccesses(), 4),
                 Table::Num(100.0 * serial.buffer.HitRate(), 2) + "%"});
 
   // Every scaling row runs the same sharded pool structure, so the series
   // isolates the effect of the worker count.
-  const size_t scaling_shards =
+  const uint64_t scaling_shards =
       shards == 0 ? storage::ShardedBufferPool::kDefaultShards : shards;
   double base_qps = 0.0;
   for (uint32_t threads = 1; threads <= max_threads; threads *= 2) {
-    ParallelEstimate est = RunParallelQueries(w, spec, buffer, threads,
-                                              scaling_shards, warmup,
-                                              queries, seed);
-    const double qps = est.run.QueriesPerSecond();
+    engine::RunReport est = MustRun(MakeSpec(flags, threads, scaling_shards));
+    const double qps = est.total.QueriesPerSecond();
     if (threads == 1) base_qps = qps;
     table.AddRow({Table::Int(threads), "sharded", Table::Num(qps, 0),
                   base_qps > 0.0 ? Table::Num(qps / base_qps, 2) + "x"
                                  : "n/a",
-                  Table::Num(est.run.total.MeanDiskAccesses(), 4),
+                  Table::Num(est.total.MeanDiskAccesses(), 4),
                   Table::Num(100.0 * est.buffer.HitRate(), 2) + "%"});
   }
   table.Print();

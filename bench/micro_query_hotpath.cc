@@ -419,7 +419,7 @@ int Run(int argc, char** argv) {
     row.PutInt("buffer_pages", total_pages);
     row.PutInt("threads", threads);
     row.PutNum("queries_per_sec", est.run.QueriesPerSecond());
-    row.PutNum("nodes_per_query", est.run.total.MeanNodeAccesses());
+    row.PutNum("nodes_per_query", est.run.MeanNodeAccesses());
     row.PutNum("hit_rate", est.buffer.HitRate());
     table.AddRow({"point_resident_threads" + Table::Int(threads),
                   Table::Num(est.run.QueriesPerSecond(), 0), "-", "-", "-",

@@ -8,6 +8,8 @@
 //   rtb::model    — access probabilities, bufferless and buffer cost models
 //   rtb::sim      — query generators, LRU simulator, end-to-end runner
 //   rtb::data     — data-set generators and rectangle file I/O
+//   rtb::report   — JSON emission and parsing for machine-readable reports
+//   rtb::engine   — declarative experiment specs and the run pipeline
 //
 // A minimal workflow (see examples/quickstart.cc for a commented version):
 //
@@ -27,6 +29,9 @@
 #include "data/datasets.h"
 #include "data/io.h"
 #include "data/polygon.h"
+#include "engine/engine.h"
+#include "engine/index_meta.h"
+#include "engine/spec.h"
 #include "geom/hilbert.h"
 #include "geom/point.h"
 #include "geom/point_grid.h"
@@ -36,6 +41,7 @@
 #include "model/cost_model.h"
 #include "model/ndim.h"
 #include "model/warmup.h"
+#include "report/json.h"
 #include "rtree/bulk_load.h"
 #include "rtree/config.h"
 #include "rtree/knn.h"

@@ -1,0 +1,339 @@
+#include "engine/engine.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "data/datasets.h"
+#include "data/io.h"
+#include "model/cost_model.h"
+#include "rtree/bulk_load.h"
+#include "rtree/rtree.h"
+#include "sim/query_gen.h"
+#include "storage/file_page_store.h"
+#include "storage/replacement.h"
+#include "storage/sharded_buffer_pool.h"
+
+namespace rtb::engine {
+
+namespace {
+
+// Class c's workers draw from substreams base_seed + c*stride + w; the
+// stride keeps the streams of successive classes disjoint for any sane
+// thread count. Class 0 uses spec.run.seed exactly, which is what keeps a
+// single-class serial spec byte-identical to the legacy serial runner.
+constexpr uint64_t kClassSeedStride = 1u << 16;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+Result<std::vector<geom::Rect>> MaterializeRects(const DatasetSpec& ds) {
+  if (ds.kind == "file") return data::LoadRects(ds.path);
+  Rng rng(ds.seed);
+  if (ds.kind == "uniform") return data::GenerateUniformPoints(ds.n, &rng);
+  if (ds.kind == "region") return data::GenerateSyntheticRegion(ds.n, &rng);
+  if (ds.kind == "tiger") {
+    data::TigerParams params;
+    params.num_rects = ds.n;
+    return data::GenerateTigerSurrogate(params, &rng);
+  }
+  if (ds.kind == "cfd") {
+    data::CfdParams params;
+    params.num_points = ds.n;
+    return data::GenerateCfdSurrogate(params, &rng);
+  }
+  if (ds.kind == "clusters") {
+    data::ClusterParams params;
+    params.num_rects = ds.n;
+    return data::GenerateGaussianClusters(params, &rng);
+  }
+  return Status::InvalidArgument("unknown dataset kind '" + ds.kind + "'");
+}
+
+Result<rtree::LoadAlgorithm> ParseAlgo(const std::string& name) {
+  if (name == "HS") return rtree::LoadAlgorithm::kHilbertSort;
+  if (name == "NX") return rtree::LoadAlgorithm::kNearestX;
+  if (name == "STR") return rtree::LoadAlgorithm::kStr;
+  if (name == "TAT" || name == "RSTAR") {
+    return rtree::LoadAlgorithm::kTupleAtATime;
+  }
+  return Status::InvalidArgument("unknown algorithm '" + name +
+                                 "' (HS|NX|STR|TAT|RSTAR)");
+}
+
+bool NeedsCenters(const ExperimentSpec& spec) {
+  for (const QueryClassSpec& cls : spec.workload.classes) {
+    if (cls.model == "data") return true;
+  }
+  return false;
+}
+
+model::QuerySpec ToQuerySpec(const QueryClassSpec& cls) {
+  return cls.model == "data"
+             ? model::QuerySpec::DataDrivenRegion(cls.qx, cls.qy)
+             : model::QuerySpec::UniformRegion(cls.qx, cls.qy);
+}
+
+std::string ClassLabel(const QueryClassSpec& cls) {
+  if (!cls.label.empty()) return cls.label;
+  char buf[64];
+  if (cls.qx == 0.0 && cls.qy == 0.0) {
+    std::snprintf(buf, sizeof(buf), "%s point", cls.model.c_str());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s %gx%g", cls.model.c_str(), cls.qx,
+                  cls.qy);
+  }
+  return buf;
+}
+
+Result<std::unique_ptr<storage::PageCache>> MakePool(
+    const ExperimentSpec& spec, storage::PageStore* store) {
+  RTB_ASSIGN_OR_RETURN(storage::PolicyKind kind,
+                       ParsePolicyKind(spec.pool.policy));
+  const uint64_t pages = spec.pool.buffer_pages;
+  std::unique_ptr<storage::PageCache> pool;
+  if (spec.run.threads == 1 && spec.pool.shards == 0) {
+    // The paper's serial pool: single-threaded, globally ordered
+    // replacement, bit-reproducible.
+    pool = std::make_unique<storage::BufferPool>(
+        store, pages, storage::MakePolicy(kind, pages, spec.run.seed));
+  } else {
+    storage::ShardedBufferPool::Options options;
+    options.num_shards = spec.pool.shards;
+    options.policy = kind;
+    options.seed = spec.run.seed;
+    pool = std::make_unique<storage::ShardedBufferPool>(store, pages,
+                                                        options);
+  }
+  return pool;
+}
+
+}  // namespace
+
+Result<PreparedTree> PrepareTree(const ExperimentSpec& spec) {
+  PreparedTree prepared;
+  if (!spec.tree.index.empty()) {
+    // Open an existing persistent index; the dataset is only consulted for
+    // data-driven query centers.
+    RTB_ASSIGN_OR_RETURN(prepared.meta, LoadIndexMeta(spec.tree.index));
+    RTB_ASSIGN_OR_RETURN(prepared.store,
+                         storage::FilePageStore::Open(spec.tree.index));
+    if (NeedsCenters(spec)) {
+      RTB_ASSIGN_OR_RETURN(std::vector<geom::Rect> rects,
+                           data::LoadRects(spec.dataset.path));
+      prepared.centers = data::Centers(rects);
+    }
+  } else {
+    const auto start = std::chrono::steady_clock::now();
+    RTB_ASSIGN_OR_RETURN(std::vector<geom::Rect> rects,
+                         MaterializeRects(spec.dataset));
+    RTB_ASSIGN_OR_RETURN(rtree::LoadAlgorithm algo,
+                         ParseAlgo(spec.tree.algo));
+    rtree::RTreeConfig config =
+        spec.tree.algo == "RSTAR"
+            ? rtree::RTreeConfig::RStar(spec.tree.fanout)
+            : rtree::RTreeConfig::WithFanout(spec.tree.fanout);
+    auto store = std::make_unique<storage::MemPageStore>();
+    RTB_ASSIGN_OR_RETURN(rtree::BuiltTree built,
+                         rtree::BuildRTree(store.get(), config, rects, algo));
+    prepared.build_seconds = SecondsSince(start);
+    prepared.meta = IndexMeta{built.root, built.height, spec.tree.fanout};
+    prepared.store = std::move(store);
+    if (NeedsCenters(spec)) prepared.centers = data::Centers(rects);
+  }
+  RTB_ASSIGN_OR_RETURN(
+      rtree::TreeSummary summary,
+      rtree::TreeSummary::Extract(prepared.store.get(), prepared.meta.root));
+  prepared.summary = std::make_unique<rtree::TreeSummary>(std::move(summary));
+  prepared.store->ResetStats();
+  return prepared;
+}
+
+Result<ModelEstimate> EvaluateModel(const rtree::TreeSummary& summary,
+                                    const model::QuerySpec& qspec,
+                                    const PoolSpec& pool,
+                                    const std::vector<geom::Point>* centers) {
+  RTB_ASSIGN_OR_RETURN(std::vector<double> probs,
+                       model::AccessProbabilities(summary, qspec, centers));
+  ModelEstimate est;
+  est.node_accesses = model::ExpectedNodeAccesses(probs);
+  if (pool.pinned_levels == 0) {
+    est.disk_accesses = model::ExpectedDiskAccesses(probs, pool.buffer_pages);
+    est.disk_accesses_continuous =
+        model::ExpectedDiskAccessesContinuous(probs, pool.buffer_pages);
+  } else {
+    model::PinnedModelResult pinned = model::ExpectedDiskAccessesPinned(
+        summary, probs, pool.buffer_pages, pool.pinned_levels);
+    est.feasible = pinned.feasible;
+    est.pinned_pages = pinned.pinned_pages;
+    est.disk_accesses = pinned.disk_accesses;
+    est.disk_accesses_continuous = pinned.disk_accesses;
+  }
+  return est;
+}
+
+Result<RunReport> Run(const ExperimentSpec& spec) {
+  RTB_RETURN_IF_ERROR(spec.Validate());
+  RunReport report;
+  report.spec = spec;
+
+  RTB_ASSIGN_OR_RETURN(PreparedTree prepared, PrepareTree(spec));
+  report.build_seconds = prepared.build_seconds;
+  report.height = prepared.summary->height();
+  report.num_nodes = prepared.summary->NumNodes();
+  report.data_entries = prepared.summary->NumDataEntries();
+
+  RTB_ASSIGN_OR_RETURN(std::unique_ptr<storage::PageCache> pool,
+                       MakePool(spec, prepared.store.get()));
+  if (spec.pool.pinned_levels > 0) {
+    const auto pin_start = std::chrono::steady_clock::now();
+    RTB_RETURN_IF_ERROR(sim::PinTopLevels(pool.get(), *prepared.summary,
+                                          spec.pool.pinned_levels));
+    report.pin_seconds = SecondsSince(pin_start);
+  }
+  report.pinned_pages = pool->num_permanent_pins();
+
+  RTB_ASSIGN_OR_RETURN(
+      rtree::RTree tree,
+      rtree::RTree::Open(pool.get(),
+                         rtree::RTreeConfig::WithFanout(prepared.meta.fanout),
+                         prepared.meta.root, prepared.meta.height));
+
+  const std::vector<geom::Point>* centers =
+      prepared.centers.empty() ? nullptr : &prepared.centers;
+  for (size_t c = 0; c < spec.workload.classes.size(); ++c) {
+    const QueryClassSpec& cls = spec.workload.classes[c];
+    ClassReport cr;
+    cr.label = ClassLabel(cls);
+    cr.qspec = ToQuerySpec(cls);
+
+    RTB_ASSIGN_OR_RETURN(std::unique_ptr<sim::QueryGenerator> gen,
+                         sim::MakeGenerator(cr.qspec, centers));
+    sim::WorkloadOptions options;
+    options.threads = spec.run.threads;
+    options.base_seed = spec.run.seed + c * kClassSeedStride;
+    options.warmup = c == 0 ? spec.workload.warmup : 0;
+    options.queries = cls.count;
+    RTB_ASSIGN_OR_RETURN(cr.run,
+                         sim::RunWorkload(&tree, prepared.store.get(),
+                                          gen.get(), options));
+    report.warmup_seconds += cr.run.warmup_seconds;
+    report.measure_seconds += cr.run.elapsed_seconds;
+    report.total.queries += cr.run.queries;
+    report.total.disk_accesses += cr.run.disk_accesses;
+    report.total.node_accesses += cr.run.node_accesses;
+    report.total.warmup_seconds += cr.run.warmup_seconds;
+    report.total.elapsed_seconds += cr.run.elapsed_seconds;
+
+    if (spec.run.evaluate_model) {
+      RTB_ASSIGN_OR_RETURN(cr.predicted,
+                           EvaluateModel(*prepared.summary, cr.qspec,
+                                         spec.pool, centers));
+      cr.model_evaluated = true;
+    }
+    report.classes.push_back(std::move(cr));
+  }
+
+  report.buffer = pool->AggregateStats();
+  report.store_io = prepared.store->stats();
+  return report;
+}
+
+report::JsonDict RunReport::ToJsonDict() const {
+  report::JsonDict doc;
+  doc.PutStr("report", "rtb-run");
+  doc.PutInt("schema_version", kRunReportSchemaVersion);
+  doc.PutStr("name", spec.name);
+  doc.PutDict("spec", spec.ToJsonDict());
+
+  report::JsonDict tree;
+  tree.PutInt("height", height);
+  tree.PutInt("nodes", num_nodes);
+  tree.PutInt("data_entries", data_entries);
+  tree.PutInt("fanout", spec.tree.fanout);
+  doc.PutDict("tree", tree);
+
+  report::JsonDict phases;
+  phases.PutNum("build_seconds", build_seconds);
+  phases.PutNum("pin_seconds", pin_seconds);
+  phases.PutNum("warmup_seconds", warmup_seconds);
+  phases.PutNum("measure_seconds", measure_seconds);
+  doc.PutDict("phases", phases);
+
+  report::JsonDict pool;
+  pool.PutInt("requests", buffer.requests);
+  pool.PutInt("hits", buffer.hits);
+  pool.PutInt("misses", buffer.misses);
+  pool.PutInt("evictions", buffer.evictions);
+  pool.PutInt("writebacks", buffer.writebacks);
+  pool.PutNum("hit_rate", buffer.HitRate());
+  pool.PutInt("pinned_pages", pinned_pages);
+  doc.PutDict("pool", pool);
+
+  report::JsonDict store;
+  store.PutInt("reads", store_io.reads);
+  store.PutInt("writes", store_io.writes);
+  doc.PutDict("store", store);
+
+  report::JsonDict totals;
+  totals.PutInt("queries", total.queries);
+  totals.PutInt("disk_accesses", total.disk_accesses);
+  totals.PutInt("node_accesses", total.node_accesses);
+  totals.PutNum("mean_disk_accesses", total.MeanDiskAccesses());
+  totals.PutNum("mean_node_accesses", total.MeanNodeAccesses());
+  totals.PutNum("queries_per_second", total.QueriesPerSecond());
+  doc.PutDict("totals", totals);
+
+  std::vector<report::JsonDict> class_dicts;
+  for (const ClassReport& cr : classes) {
+    report::JsonDict c;
+    c.PutStr("label", cr.label);
+    c.PutStr("model", cr.qspec.model == model::QueryModel::kDataDriven
+                          ? "data"
+                          : "uniform");
+    c.PutNum("qx", cr.qspec.qx);
+    c.PutNum("qy", cr.qspec.qy);
+    c.PutInt("queries", cr.run.queries);
+    c.PutInt("disk_accesses", cr.run.disk_accesses);
+    c.PutInt("node_accesses", cr.run.node_accesses);
+    c.PutNum("mean_disk_accesses", cr.run.MeanDiskAccesses());
+    c.PutNum("mean_node_accesses", cr.run.MeanNodeAccesses());
+    c.PutNum("elapsed_seconds", cr.run.elapsed_seconds);
+    c.PutNum("queries_per_second", cr.run.QueriesPerSecond());
+    if (cr.model_evaluated) {
+      report::JsonDict predicted;
+      predicted.PutNum("node_accesses", cr.predicted.node_accesses);
+      predicted.PutNum("disk_accesses", cr.predicted.disk_accesses);
+      predicted.PutNum("disk_accesses_continuous",
+                       cr.predicted.disk_accesses_continuous);
+      predicted.PutBool("feasible", cr.predicted.feasible);
+      if (spec.pool.pinned_levels > 0) {
+        predicted.PutInt("pinned_pages", cr.predicted.pinned_pages);
+      }
+      c.PutDict("predicted", predicted);
+    }
+    if (cr.run.per_worker.size() > 1) {
+      std::vector<report::JsonDict> workers;
+      for (size_t w = 0; w < cr.run.per_worker.size(); ++w) {
+        report::JsonDict wd;
+        wd.PutInt("worker", w);
+        wd.PutInt("queries", cr.run.per_worker[w].queries);
+        wd.PutInt("node_accesses", cr.run.per_worker[w].node_accesses);
+        workers.push_back(std::move(wd));
+      }
+      c.PutDictArray("per_worker", workers);
+    }
+    class_dicts.push_back(std::move(c));
+  }
+  doc.PutDictArray("classes", class_dicts);
+  return doc;
+}
+
+std::string RunReport::ToJsonString() const {
+  return ToJsonDict().ToString() + "\n";
+}
+
+}  // namespace rtb::engine

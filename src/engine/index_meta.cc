@@ -1,0 +1,31 @@
+#include "engine/index_meta.h"
+
+#include <fstream>
+
+namespace rtb::engine {
+
+Status SaveIndexMeta(const std::string& index_path, const IndexMeta& meta) {
+  std::ofstream out(index_path + ".meta");
+  if (!out) return Status::IoError("cannot write " + index_path + ".meta");
+  out << "rtb-index " << meta.root << ' ' << meta.height << ' '
+      << meta.fanout << '\n';
+  return out ? Status::OK()
+             : Status::IoError("write failed: " + index_path + ".meta");
+}
+
+Result<IndexMeta> LoadIndexMeta(const std::string& index_path) {
+  std::ifstream in(index_path + ".meta");
+  if (!in) return Status::IoError("cannot open " + index_path + ".meta");
+  std::string magic;
+  IndexMeta meta;
+  uint32_t root, height;
+  if (!(in >> magic >> root >> height >> meta.fanout) ||
+      magic != "rtb-index") {
+    return Status::Corruption(index_path + ".meta: bad format");
+  }
+  meta.root = root;
+  meta.height = static_cast<uint16_t>(height);
+  return meta;
+}
+
+}  // namespace rtb::engine

@@ -1,0 +1,31 @@
+// Index metadata sidecar shared by `rtb_cli build` and the engine's
+// open-an-existing-index path. An index file FILE is accompanied by a
+// FILE.meta text sidecar holding what a FilePageStore cannot reconstruct:
+// "rtb-index <root-page> <height> <fanout>".
+
+#ifndef RTB_ENGINE_INDEX_META_H_
+#define RTB_ENGINE_INDEX_META_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace rtb::engine {
+
+struct IndexMeta {
+  storage::PageId root = 0;
+  uint16_t height = 0;
+  uint32_t fanout = 0;
+};
+
+/// Writes `index_path`.meta.
+Status SaveIndexMeta(const std::string& index_path, const IndexMeta& meta);
+
+/// Reads `index_path`.meta.
+Result<IndexMeta> LoadIndexMeta(const std::string& index_path);
+
+}  // namespace rtb::engine
+
+#endif  // RTB_ENGINE_INDEX_META_H_

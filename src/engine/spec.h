@@ -1,0 +1,128 @@
+// Declarative experiment description for the engine (engine/engine.h).
+//
+// An ExperimentSpec captures everything one paper-style experiment needs —
+// data set, tree construction, buffer pool, pinning, query workload, thread
+// count and seeds — as one value that can be parsed from a JSON file
+// (`rtb_cli run spec.json`) or built directly in C++ (benches, tests).
+// The same spec drives both the measured run and the analytic cost model,
+// so measured-vs-predicted comparisons always describe the same
+// configuration.
+//
+// Example spec (all fields optional except workload.classes):
+//
+//   {
+//     "name": "tiger_b200",
+//     "dataset": {"kind": "tiger", "n": 53145, "seed": 7},
+//     "tree": {"fanout": 100, "algo": "HS"},
+//     "pool": {"buffer_pages": 200, "policy": "LRU", "pinned_levels": 0},
+//     "workload": {
+//       "warmup": 10000,
+//       "classes": [
+//         {"label": "point", "model": "uniform", "count": 100000},
+//         {"label": "region1%", "model": "uniform",
+//          "qx": 0.01, "qy": 0.01, "count": 100000}
+//       ]
+//     },
+//     "run": {"threads": 1, "seed": 1, "evaluate_model": true}
+//   }
+//
+// Unknown keys anywhere in the document are rejected: a typoed field must
+// fail loudly rather than silently fall back to a default.
+
+#ifndef RTB_ENGINE_SPEC_H_
+#define RTB_ENGINE_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "report/json.h"
+#include "storage/replacement.h"
+#include "util/result.h"
+
+namespace rtb::engine {
+
+/// What to build the tree from. `kind == "file"` loads an rtb-rects file
+/// from `path`; the synthetic kinds generate `n` rectangles with `seed`.
+struct DatasetSpec {
+  std::string kind = "uniform";  // uniform|region|tiger|cfd|clusters|file
+  uint64_t n = 10000;
+  uint64_t seed = 1;
+  std::string path;  // Rectangle file (kind == "file", or centers source).
+};
+
+/// How to obtain the tree. A non-empty `index` opens a persistent index
+/// built by `rtb_cli build` (the dataset is then only consulted for
+/// data-driven query centers); otherwise the dataset is bulk-loaded into an
+/// in-memory store.
+struct TreeSpec {
+  uint32_t fanout = 100;
+  std::string algo = "HS";  // HS|NX|STR|TAT|RSTAR
+  std::string index;        // Existing index file; empty = build from dataset.
+};
+
+/// Buffer pool configuration. `shards == 0` with `threads == 1` selects the
+/// paper's serial pool (bit-reproducible); anything else the lock-striped
+/// pool.
+struct PoolSpec {
+  uint64_t buffer_pages = 100;
+  std::string policy = "LRU";  // LRU|FIFO|CLOCK|LFU|RANDOM|LRU2
+  uint64_t shards = 0;         // Lock stripes; 0 = serial pool / auto.
+  uint16_t pinned_levels = 0;  // Top tree levels pinned in the pool.
+};
+
+/// One query class: a distribution (the paper's uniform or data-driven
+/// model), a region extent, and how many measured queries to run.
+struct QueryClassSpec {
+  std::string label;             // Defaults to model+extent if empty.
+  std::string model = "uniform";  // uniform|data
+  double qx = 0.0;
+  double qy = 0.0;
+  uint64_t count = 100000;
+};
+
+/// The query workload: shared warm-up, then each class measured in order.
+struct WorkloadSpec {
+  uint64_t warmup = 10000;  // Warm-up queries from the first class.
+  std::vector<QueryClassSpec> classes;
+};
+
+/// Execution parameters.
+struct RunSpec {
+  uint32_t threads = 1;
+  uint64_t seed = 1;           // Worker w of class c uses a substream of it.
+  bool evaluate_model = true;  // Also compute the analytic prediction.
+};
+
+/// The complete declarative experiment.
+struct ExperimentSpec {
+  std::string name = "experiment";
+  DatasetSpec dataset;
+  TreeSpec tree;
+  PoolSpec pool;
+  WorkloadSpec workload;
+  RunSpec run;
+
+  /// Parses a JSON document; missing fields keep their defaults, unknown
+  /// keys and type mismatches are InvalidArgument. The result is Validated.
+  static Result<ExperimentSpec> FromJson(const std::string& text);
+
+  /// FromJson over the contents of `path`.
+  static Result<ExperimentSpec> FromJsonFile(const std::string& path);
+
+  /// Semantic checks beyond JSON shape: enum strings resolve, extents are
+  /// in [0, 1), at least one query class with count > 0, threads >= 1,
+  /// data-driven classes have a centers source, ...
+  Status Validate() const;
+
+  /// The spec as a JSON object (round-trips through FromJson).
+  report::JsonDict ToJsonDict() const;
+};
+
+/// Parses a replacement-policy name ("LRU", "FIFO", "CLOCK", "LFU",
+/// "RANDOM", "LRU2") as accepted in PoolSpec::policy.
+Result<storage::PolicyKind> ParsePolicyKind(const std::string& name);
+
+}  // namespace rtb::engine
+
+#endif  // RTB_ENGINE_SPEC_H_

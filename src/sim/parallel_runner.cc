@@ -1,109 +1,12 @@
 #include "sim/parallel_runner.h"
 
-#include <chrono>
-#include <thread>
-#include <utility>
-#include <vector>
-
 namespace rtb::sim {
 
-namespace {
-
-// Queries assigned to worker `w` out of `total` split over `threads`.
-uint64_t SliceSize(uint64_t total, uint32_t threads, uint32_t w) {
-  return total / threads + (w < total % threads ? 1 : 0);
-}
-
-// Runs `fn(w)` on `threads` workers and joins. Worker 0 runs on the calling
-// thread, so a single-threaded run never leaves the caller's thread and is
-// instruction-identical to a plain loop.
-template <typename Fn>
-void FanOut(uint32_t threads, Fn&& fn) {
-  std::vector<std::thread> pool;
-  pool.reserve(threads > 0 ? threads - 1 : 0);
-  for (uint32_t w = 1; w < threads; ++w) {
-    pool.emplace_back([&fn, w] { fn(w); });
-  }
-  fn(0);
-  for (std::thread& t : pool) t.join();
-}
-
-}  // namespace
-
-Result<ParallelResult> RunParallelWorkload(rtree::RTree* tree,
+Result<WorkloadResult> RunParallelWorkload(rtree::RTree* tree,
                                            storage::PageStore* store,
                                            QueryGenerator* gen,
-                                           const ParallelOptions& options) {
-  RTB_CHECK(tree != nullptr && store != nullptr && gen != nullptr);
-  if (options.threads == 0) {
-    return Status::InvalidArgument("threads must be >= 1");
-  }
-  const uint32_t threads = options.threads;
-
-  // Per-worker deterministic RNG substreams; each worker keeps one stream
-  // across the warm-up and measured phases, like the serial runner does.
-  std::vector<Rng> rngs;
-  rngs.reserve(threads);
-  for (uint32_t w = 0; w < threads; ++w) {
-    rngs.emplace_back(options.base_seed + w);
-  }
-
-  std::vector<Status> statuses(threads, Status::OK());
-  ParallelResult result;
-  result.per_worker.assign(threads, WorkloadResult{});
-
-  // Phase 1: warm-up (not measured).
-  FanOut(threads, [&](uint32_t w) {
-    std::vector<rtree::ObjectId> sink;
-    const uint64_t n = SliceSize(options.warmup, threads, w);
-    for (uint64_t i = 0; i < n; ++i) {
-      sink.clear();
-      Status s = tree->Search(gen->Next(rngs[w]), &sink);
-      if (!s.ok()) {
-        statuses[w] = std::move(s);
-        return;
-      }
-    }
-  });
-  for (Status& s : statuses) {
-    RTB_RETURN_IF_ERROR(std::move(s));
-    s = Status::OK();
-  }
-
-  // The join above is the barrier: every warm-up query's disk reads are in
-  // the counter before the snapshot.
-  const uint64_t reads_before = store->stats().reads;
-  const auto start = std::chrono::steady_clock::now();
-
-  // Phase 2: measured queries.
-  FanOut(threads, [&](uint32_t w) {
-    std::vector<rtree::ObjectId> sink;
-    rtree::QueryStats stats;
-    const uint64_t n = SliceSize(options.queries, threads, w);
-    for (uint64_t i = 0; i < n; ++i) {
-      sink.clear();
-      Status s = tree->Search(gen->Next(rngs[w]), &sink, &stats);
-      if (!s.ok()) {
-        statuses[w] = std::move(s);
-        return;
-      }
-    }
-    result.per_worker[w].queries = n;
-    result.per_worker[w].node_accesses = stats.nodes_accessed;
-  });
-  for (Status& s : statuses) {
-    RTB_RETURN_IF_ERROR(std::move(s));
-  }
-
-  const auto end = std::chrono::steady_clock::now();
-  result.elapsed_seconds =
-      std::chrono::duration<double>(end - start).count();
-  for (const WorkloadResult& w : result.per_worker) {
-    result.total.queries += w.queries;
-    result.total.node_accesses += w.node_accesses;
-  }
-  result.total.disk_accesses = store->stats().reads - reads_before;
-  return result;
+                                           const WorkloadOptions& options) {
+  return RunWorkload(tree, store, gen, options);
 }
 
 }  // namespace rtb::sim

@@ -1,68 +1,24 @@
-// Parallel workload runner: partitions a query stream across a pool of
-// worker threads that execute real R-tree queries through a shared,
-// thread-safe page cache (ShardedBufferPool).
-//
-// Determinism: worker w draws its queries from an independent RNG substream
-// seeded `base_seed + w`, so a run is a pure function of
-// (tree, options) regardless of thread scheduling. With threads == 1 the
-// runner executes the exact instruction sequence of the serial RunWorkload
-// (same RNG stream, same query order), so its WorkloadResult is
-// byte-identical to the serial runner's on the same tree and pool
-// configuration.
-//
-// Phases: all workers first run their slice of the warm-up queries; after a
-// join barrier the store's read counter is snapshotted; then all workers
-// run their measured slice. Disk accesses are the store-read delta across
-// the measured phase, exactly as in the serial runner.
+// Legacy parallel-runner entry point. The unified executor in sim/runner.h
+// subsumed this layer (one code path for serial and parallel runs, one
+// WorkloadResult type); RunParallelWorkload and its option/result names are
+// kept as thin compatibility wrappers.
 
 #ifndef RTB_SIM_PARALLEL_RUNNER_H_
 #define RTB_SIM_PARALLEL_RUNNER_H_
 
-#include <cstdint>
-#include <vector>
-
-#include "rtree/rtree.h"
-#include "sim/query_gen.h"
 #include "sim/runner.h"
-#include "storage/page_store.h"
-#include "util/result.h"
 
 namespace rtb::sim {
 
-/// Configuration for a parallel run.
-struct ParallelOptions {
-  uint32_t threads = 1;    // Worker count; 1 reproduces the serial runner.
-  uint64_t base_seed = 1;  // Worker w uses Rng(base_seed + w).
-  uint64_t warmup = 0;     // Warm-up queries, split across workers.
-  uint64_t queries = 0;    // Measured queries, split across workers.
-};
+/// Historical names for the unified option/result types.
+using ParallelOptions = WorkloadOptions;
+using ParallelResult = WorkloadResult;
 
-/// Results of a parallel run.
-struct ParallelResult {
-  WorkloadResult total;  // Reduced over all workers.
-  /// Per-worker counters (disk accesses are only meaningful in the reduced
-  /// view: the page cache is shared, so misses cannot be attributed to a
-  /// single worker).
-  std::vector<WorkloadResult> per_worker;
-  double elapsed_seconds = 0.0;  // Wall time of the measured phase.
-
-  double QueriesPerSecond() const {
-    return elapsed_seconds > 0.0
-               ? static_cast<double>(total.queries) / elapsed_seconds
-               : 0.0;
-  }
-};
-
-/// Runs `options.warmup + options.queries` queries from `gen` against
-/// `tree`, fanned out over `options.threads` workers. The generator must be
-/// stateless across Next() calls (all generators in query_gen.h are); the
-/// tree's page cache must be thread-safe when threads > 1
-/// (ShardedBufferPool). Queries are split evenly; worker w executes
-/// ceil-or-floor(queries / threads) of them with its own RNG substream.
-Result<ParallelResult> RunParallelWorkload(rtree::RTree* tree,
+/// Thin wrapper over RunWorkload(tree, store, gen, options).
+Result<WorkloadResult> RunParallelWorkload(rtree::RTree* tree,
                                            storage::PageStore* store,
                                            QueryGenerator* gen,
-                                           const ParallelOptions& options);
+                                           const WorkloadOptions& options);
 
 }  // namespace rtb::sim
 

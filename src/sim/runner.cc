@@ -1,8 +1,109 @@
 #include "sim/runner.h"
 
+#include <chrono>
+#include <thread>
+#include <utility>
 #include <vector>
 
 namespace rtb::sim {
+
+namespace {
+
+// Queries assigned to worker `w` out of `total` split over `threads`.
+uint64_t SliceSize(uint64_t total, uint32_t threads, uint32_t w) {
+  return total / threads + (w < total % threads ? 1 : 0);
+}
+
+// Runs `fn(w)` on `threads` workers and joins. Worker 0 runs on the calling
+// thread, so a single-threaded run never leaves the caller's thread and is
+// instruction-identical to a plain loop.
+template <typename Fn>
+void FanOut(uint32_t threads, Fn&& fn) {
+  std::vector<std::thread> pool;
+  pool.reserve(threads > 0 ? threads - 1 : 0);
+  for (uint32_t w = 1; w < threads; ++w) {
+    pool.emplace_back([&fn, w] { fn(w); });
+  }
+  fn(0);
+  for (std::thread& t : pool) t.join();
+}
+
+// The one executor behind both public entry points. `rngs[w]` is worker w's
+// stream: borrowed from the caller for the legacy serial path, freshly
+// seeded substreams for the options path.
+Result<WorkloadResult> ExecuteWorkload(rtree::RTree* tree,
+                                       storage::PageStore* store,
+                                       QueryGenerator* gen,
+                                       const std::vector<Rng*>& rngs,
+                                       uint64_t warmup, uint64_t queries) {
+  RTB_CHECK(tree != nullptr && store != nullptr && gen != nullptr);
+  const uint32_t threads = static_cast<uint32_t>(rngs.size());
+  if (threads == 0) {
+    return Status::InvalidArgument("threads must be >= 1");
+  }
+
+  std::vector<Status> statuses(threads, Status::OK());
+  WorkloadResult result;
+  result.per_worker.assign(threads, WorkerResult{});
+
+  // Phase 1: warm-up (not measured).
+  const auto warmup_start = std::chrono::steady_clock::now();
+  FanOut(threads, [&](uint32_t w) {
+    std::vector<rtree::ObjectId> sink;
+    const uint64_t n = SliceSize(warmup, threads, w);
+    for (uint64_t i = 0; i < n; ++i) {
+      sink.clear();
+      Status s = tree->Search(gen->Next(*rngs[w]), &sink);
+      if (!s.ok()) {
+        statuses[w] = std::move(s);
+        return;
+      }
+    }
+  });
+  for (Status& s : statuses) {
+    RTB_RETURN_IF_ERROR(std::move(s));
+    s = Status::OK();
+  }
+
+  // The join above is the barrier: every warm-up query's disk reads are in
+  // the counter before the snapshot.
+  const uint64_t reads_before = store->stats().reads;
+  const auto start = std::chrono::steady_clock::now();
+  result.warmup_seconds =
+      std::chrono::duration<double>(start - warmup_start).count();
+
+  // Phase 2: measured queries.
+  FanOut(threads, [&](uint32_t w) {
+    std::vector<rtree::ObjectId> sink;
+    rtree::QueryStats stats;
+    const uint64_t n = SliceSize(queries, threads, w);
+    for (uint64_t i = 0; i < n; ++i) {
+      sink.clear();
+      Status s = tree->Search(gen->Next(*rngs[w]), &sink, &stats);
+      if (!s.ok()) {
+        statuses[w] = std::move(s);
+        return;
+      }
+    }
+    result.per_worker[w].queries = n;
+    result.per_worker[w].node_accesses = stats.nodes_accessed;
+  });
+  for (Status& s : statuses) {
+    RTB_RETURN_IF_ERROR(std::move(s));
+  }
+
+  const auto end = std::chrono::steady_clock::now();
+  result.elapsed_seconds =
+      std::chrono::duration<double>(end - start).count();
+  for (const WorkerResult& w : result.per_worker) {
+    result.queries += w.queries;
+    result.node_accesses += w.node_accesses;
+  }
+  result.disk_accesses = store->stats().reads - reads_before;
+  return result;
+}
+
+}  // namespace
 
 Status PinTopLevels(storage::PageCache* pool,
                     const rtree::TreeSummary& summary, uint16_t levels) {
@@ -18,25 +119,31 @@ Status PinTopLevels(storage::PageCache* pool,
 
 Result<WorkloadResult> RunWorkload(rtree::RTree* tree,
                                    storage::PageStore* store,
+                                   QueryGenerator* gen,
+                                   const WorkloadOptions& options) {
+  if (options.threads == 0) {
+    return Status::InvalidArgument("threads must be >= 1");
+  }
+  // Per-worker deterministic RNG substreams; each worker keeps one stream
+  // across the warm-up and measured phases.
+  std::vector<Rng> rngs;
+  rngs.reserve(options.threads);
+  for (uint32_t w = 0; w < options.threads; ++w) {
+    rngs.emplace_back(options.base_seed + w);
+  }
+  std::vector<Rng*> rng_ptrs;
+  rng_ptrs.reserve(options.threads);
+  for (Rng& rng : rngs) rng_ptrs.push_back(&rng);
+  return ExecuteWorkload(tree, store, gen, rng_ptrs, options.warmup,
+                         options.queries);
+}
+
+Result<WorkloadResult> RunWorkload(rtree::RTree* tree,
+                                   storage::PageStore* store,
                                    QueryGenerator* gen, Rng* rng,
                                    uint64_t warmup, uint64_t queries) {
-  std::vector<rtree::ObjectId> sink;
-  for (uint64_t i = 0; i < warmup; ++i) {
-    sink.clear();
-    RTB_RETURN_IF_ERROR(tree->Search(gen->Next(*rng), &sink));
-  }
-
-  const uint64_t reads_before = store->stats().reads;
-  WorkloadResult result;
-  rtree::QueryStats stats;
-  for (uint64_t i = 0; i < queries; ++i) {
-    sink.clear();
-    RTB_RETURN_IF_ERROR(tree->Search(gen->Next(*rng), &sink, &stats));
-  }
-  result.queries = queries;
-  result.node_accesses = stats.nodes_accessed;
-  result.disk_accesses = store->stats().reads - reads_before;
-  return result;
+  RTB_CHECK(rng != nullptr);
+  return ExecuteWorkload(tree, store, gen, {rng}, warmup, queries);
 }
 
 }  // namespace rtb::sim

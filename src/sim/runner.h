@@ -1,12 +1,31 @@
 // End-to-end workload runner: executes real R-tree queries through a real
 // buffer pool and reports actual disk accesses. Used to cross-validate the
-// MBR-list simulator and to run the replacement-policy ablations (the
-// analytical model only covers LRU).
+// MBR-list simulator, to run the replacement-policy ablations (the
+// analytical model only covers LRU), and as the single execution path of
+// the experiment engine (engine/engine.h).
+//
+// One executor serves every configuration:
+//
+//   * threads == 1 runs the paper's serial query stream on the calling
+//     thread — the exact instruction sequence (same RNG stream, same query
+//     order) of the historical serial runner, so its counters are
+//     byte-identical to every result published before the unification.
+//   * threads > 1 fans the stream out over worker threads; worker w draws
+//     its queries from an independent RNG substream seeded base_seed + w,
+//     so a run is a pure function of (tree, options) regardless of thread
+//     scheduling. The tree's page cache must then be internally
+//     synchronized (ShardedBufferPool).
+//
+// Phases: all workers first run their slice of the warm-up queries; after a
+// join barrier the store's read counter is snapshotted; then all workers
+// run their measured slice. Disk accesses are the store-read delta across
+// the measured phase.
 
 #ifndef RTB_SIM_RUNNER_H_
 #define RTB_SIM_RUNNER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "rtree/rtree.h"
 #include "rtree/summary.h"
@@ -17,11 +36,25 @@
 
 namespace rtb::sim {
 
-/// Results of an end-to-end run.
+/// Logical counters of one worker's slice of a run. Disk accesses are only
+/// meaningful in the reduced WorkloadResult view: the page cache is shared,
+/// so misses cannot be attributed to a single worker.
+struct WorkerResult {
+  uint64_t queries = 0;
+  uint64_t node_accesses = 0;
+};
+
+/// Results of an end-to-end run — the one result type shared by the serial
+/// path, the parallel path and the experiment engine.
 struct WorkloadResult {
   uint64_t queries = 0;
   uint64_t disk_accesses = 0;  // Store reads during the measured phase.
   uint64_t node_accesses = 0;  // Logical node visits.
+  double warmup_seconds = 0.0;   // Wall time of the warm-up phase.
+  double elapsed_seconds = 0.0;  // Wall time of the measured phase.
+  /// Per-worker breakdown; one entry per worker (a single entry for serial
+  /// runs).
+  std::vector<WorkerResult> per_worker;
 
   double MeanDiskAccesses() const {
     return queries == 0 ? 0.0
@@ -33,6 +66,19 @@ struct WorkloadResult {
                         : static_cast<double>(node_accesses) /
                               static_cast<double>(queries);
   }
+  double QueriesPerSecond() const {
+    return elapsed_seconds > 0.0
+               ? static_cast<double>(queries) / elapsed_seconds
+               : 0.0;
+  }
+};
+
+/// Configuration for a run.
+struct WorkloadOptions {
+  uint32_t threads = 1;    // Worker count; 1 is the paper's serial stream.
+  uint64_t base_seed = 1;  // Worker w uses Rng(base_seed + w).
+  uint64_t warmup = 0;     // Warm-up queries, split across workers.
+  uint64_t queries = 0;    // Measured queries, split across workers.
 };
 
 /// Permanently pins the pages of the top `levels` levels of the tree
@@ -41,9 +87,21 @@ struct WorkloadResult {
 Status PinTopLevels(storage::PageCache* pool,
                     const rtree::TreeSummary& summary, uint16_t levels);
 
-/// Runs `warmup + queries` queries from `gen` against `tree`; only the last
-/// `queries` are measured. Disk accesses are taken from the tree's page
-/// store counters (reset around the measured phase).
+/// Runs `options.warmup + options.queries` queries from `gen` against
+/// `tree`, fanned out over `options.threads` workers; only the measured
+/// phase is counted. The generator must be stateless across Next() calls
+/// (all generators in query_gen.h are); the tree's page cache must be
+/// thread-safe when threads > 1. Queries are split evenly; worker w
+/// executes ceil-or-floor(queries / threads) of them with its own RNG
+/// substream. Disk accesses are taken from the tree's page store counters.
+Result<WorkloadResult> RunWorkload(rtree::RTree* tree,
+                                   storage::PageStore* store,
+                                   QueryGenerator* gen,
+                                   const WorkloadOptions& options);
+
+/// Legacy serial entry point: a thin wrapper over the unified executor that
+/// draws every query from the caller's `rng` (whose state advances), on the
+/// calling thread.
 Result<WorkloadResult> RunWorkload(rtree::RTree* tree,
                                    storage::PageStore* store,
                                    QueryGenerator* gen, Rng* rng,

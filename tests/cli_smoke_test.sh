@@ -25,7 +25,15 @@ test -s "$WORK/idx.meta"
     | grep -q "measured"
 "$CLI" knn --index="$WORK/idx" --x=0.5 --y=0.5 --k=3 | grep -q "nearest"
 
-# Unknown flags and missing files must fail.
+# Help text: global and per-subcommand, both exiting zero.
+"$CLI" --help | grep -q "usage:"
+"$CLI" help | grep -q "usage:"
+"$CLI" query --help | grep -q "usage: rtb_cli query"
+"$CLI" run --help | grep -q "usage: rtb_cli run"
+
+# Unknown subcommands, unknown flags, and missing files must fail.
+if "$CLI" bogus 2>/dev/null; then exit 1; fi
+if "$CLI" 2>/dev/null; then exit 1; fi
 if "$CLI" build --bogus=1 2>/dev/null; then exit 1; fi
 if "$CLI" stats --index="$WORK/missing" 2>/dev/null; then exit 1; fi
 

@@ -82,9 +82,9 @@ TEST(ParallelRunnerTest, OneThreadIsByteIdenticalToSerialRunner) {
   auto parallel = RunParallelWorkload(&tree, f.store.get(), &gen, options);
   ASSERT_TRUE(parallel.ok());
 
-  EXPECT_EQ(parallel->total.queries, serial->queries);
-  EXPECT_EQ(parallel->total.disk_accesses, serial->disk_accesses);
-  EXPECT_EQ(parallel->total.node_accesses, serial->node_accesses);
+  EXPECT_EQ(parallel->queries, serial->queries);
+  EXPECT_EQ(parallel->disk_accesses, serial->disk_accesses);
+  EXPECT_EQ(parallel->node_accesses, serial->node_accesses);
   ASSERT_EQ(parallel->per_worker.size(), 1u);
   EXPECT_EQ(parallel->per_worker[0].node_accesses, serial->node_accesses);
   // The buffer pool saw the identical reference stream.
@@ -117,9 +117,9 @@ TEST(ParallelRunnerTest, OneThreadOnSingleShardPoolMatchesSerial) {
   options.queries = kQueries;
   auto parallel = RunParallelWorkload(&tree, f.store.get(), &gen, options);
   ASSERT_TRUE(parallel.ok());
-  EXPECT_EQ(parallel->total.queries, serial->queries);
-  EXPECT_EQ(parallel->total.disk_accesses, serial->disk_accesses);
-  EXPECT_EQ(parallel->total.node_accesses, serial->node_accesses);
+  EXPECT_EQ(parallel->queries, serial->queries);
+  EXPECT_EQ(parallel->disk_accesses, serial->disk_accesses);
+  EXPECT_EQ(parallel->node_accesses, serial->node_accesses);
 }
 
 TEST(ParallelRunnerTest, RunsAreReproducibleAcrossInvocations) {
@@ -151,8 +151,8 @@ TEST(ParallelRunnerTest, RunsAreReproducibleAcrossInvocations) {
     EXPECT_EQ(a.per_worker[w].node_accesses, b.per_worker[w].node_accesses)
         << w;
   }
-  EXPECT_EQ(a.total.queries, kQueries);
-  EXPECT_EQ(a.total.node_accesses, b.total.node_accesses);
+  EXPECT_EQ(a.queries, kQueries);
+  EXPECT_EQ(a.node_accesses, b.node_accesses);
 }
 
 TEST(ParallelRunnerTest, QuerySlicesCoverStreamExactly) {
@@ -173,7 +173,7 @@ TEST(ParallelRunnerTest, QuerySlicesCoverStreamExactly) {
   EXPECT_EQ(r->per_worker[1].queries, 3u);
   EXPECT_EQ(r->per_worker[2].queries, 2u);
   EXPECT_EQ(r->per_worker[3].queries, 2u);
-  EXPECT_EQ(r->total.queries, 10u);
+  EXPECT_EQ(r->queries, 10u);
 }
 
 TEST(ParallelRunnerTest, MultiThreadLedgerBalances) {
@@ -188,8 +188,8 @@ TEST(ParallelRunnerTest, MultiThreadLedgerBalances) {
   options.queries = kQueries;
   auto r = RunParallelWorkload(&tree, f.store.get(), &gen, options);
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(r->total.queries, kQueries);
-  EXPECT_GT(r->total.node_accesses, 0u);
+  EXPECT_EQ(r->queries, kQueries);
+  EXPECT_GT(r->node_accesses, 0u);
   // Merged pool counters balance, and every miss is a store read (warm-up
   // included on both sides of the equation).
   storage::BufferStats stats = pool->AggregateStats();
@@ -197,12 +197,12 @@ TEST(ParallelRunnerTest, MultiThreadLedgerBalances) {
   EXPECT_EQ(stats.misses, f.store->stats().reads);
   // Reduced totals equal the per-worker sums.
   uint64_t queries = 0, nodes = 0;
-  for (const WorkloadResult& w : r->per_worker) {
+  for (const WorkerResult& w : r->per_worker) {
     queries += w.queries;
     nodes += w.node_accesses;
   }
-  EXPECT_EQ(queries, r->total.queries);
-  EXPECT_EQ(nodes, r->total.node_accesses);
+  EXPECT_EQ(queries, r->queries);
+  EXPECT_EQ(nodes, r->node_accesses);
 }
 
 TEST(ParallelRunnerTest, PinnedLevelsSurviveParallelTraffic) {

@@ -1,0 +1,170 @@
+// Tests for the shared report library: the JSON emitter (JsonDict /
+// BenchReport, including the nested-object support the engine's run report
+// uses) and the JsonValue parser that reads experiment specs. Every
+// emitter test round-trips through the parser, so the two halves are
+// checked against each other.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "report/json.h"
+
+namespace rtb::report {
+namespace {
+
+TEST(JsonValueTest, ParsesPrimitives) {
+  auto v = JsonValue::Parse("null");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+
+  v = JsonValue::Parse("true");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_bool());
+  EXPECT_TRUE(v->boolean());
+
+  v = JsonValue::Parse("false");
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->boolean());
+
+  v = JsonValue::Parse("-12.5e2");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_number());
+  EXPECT_DOUBLE_EQ(v->number(), -1250.0);
+
+  v = JsonValue::Parse("\"hello\"");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_string());
+  EXPECT_EQ(v->str(), "hello");
+}
+
+TEST(JsonValueTest, ParsesNestedStructures) {
+  auto v = JsonValue::Parse(
+      R"({"a": 1, "b": [true, {"c": "x"}], "d": {"e": []}})");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_object());
+  ASSERT_EQ(v->members().size(), 3u);
+
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_DOUBLE_EQ(a->number(), 1.0);
+
+  const JsonValue* b = v->Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->array().size(), 2u);
+  EXPECT_TRUE(b->array()[0].boolean());
+  const JsonValue* c = b->array()[1].Find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->str(), "x");
+
+  const JsonValue* e = v->Find("d")->Find("e");
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->is_array());
+  EXPECT_TRUE(e->array().empty());
+
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, DecodesStringEscapes) {
+  auto v = JsonValue::Parse(R"("a\"b\\c\nd\teAé")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->str(), "a\"b\\c\nd\teA\xC3\xA9");
+}
+
+TEST(JsonValueTest, PreservesMemberOrder) {
+  auto v = JsonValue::Parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->members().size(), 3u);
+  EXPECT_EQ(v->members()[0].first, "z");
+  EXPECT_EQ(v->members()[1].first, "a");
+  EXPECT_EQ(v->members()[2].first, "m");
+}
+
+TEST(JsonValueTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("{a: 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"bad \\x escape\"").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"trunc \\u00").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+  EXPECT_FALSE(JsonValue::Parse("truth").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());
+  EXPECT_FALSE(JsonValue::Parse("{} {}").ok());
+  EXPECT_FALSE(JsonValue::Parse("1e999").ok());  // Non-finite.
+}
+
+TEST(JsonValueTest, ErrorsCarryByteOffsets) {
+  auto v = JsonValue::Parse("{\"a\": blob}");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("offset 6"), std::string::npos)
+      << v.status().ToString();
+}
+
+TEST(JsonValueTest, BoundsNestingDepth) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+
+  std::string shallow = "[[[[[[[[[[1]]]]]]]]]]";
+  EXPECT_TRUE(JsonValue::Parse(shallow).ok());
+}
+
+TEST(JsonDictTest, EmitsAllFieldTypes) {
+  JsonDict d;
+  d.PutStr("s", "a \"quoted\"\nvalue");
+  d.PutNum("n", 0.1);
+  d.PutInt("i", 18446744073709551615ull);
+  d.PutBool("b", true);
+  EXPECT_TRUE(d.Has("s"));
+  EXPECT_FALSE(d.Has("missing"));
+  EXPECT_EQ(d.size(), 4u);
+
+  auto v = JsonValue::Parse(d.ToString());
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->Find("s")->str(), "a \"quoted\"\nvalue");
+  EXPECT_DOUBLE_EQ(v->Find("n")->number(), 0.1);
+  EXPECT_TRUE(v->Find("b")->boolean());
+}
+
+TEST(JsonDictTest, NestsDictsAndArrays) {
+  JsonDict inner;
+  inner.PutInt("x", 1);
+  JsonDict a, b;
+  a.PutStr("id", "a");
+  b.PutStr("id", "b");
+
+  JsonDict doc;
+  doc.PutDict("inner", inner);
+  doc.PutDictArray("list", {a, b});
+  doc.PutDictArray("empty", {});
+
+  auto v = JsonValue::Parse(doc.ToString());
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_DOUBLE_EQ(v->Find("inner")->Find("x")->number(), 1.0);
+  ASSERT_EQ(v->Find("list")->array().size(), 2u);
+  EXPECT_EQ(v->Find("list")->array()[1].Find("id")->str(), "b");
+  EXPECT_TRUE(v->Find("empty")->array().empty());
+}
+
+TEST(BenchReportTest, DocumentParses) {
+  BenchReport report("unit");
+  report.meta().PutInt("seed", 7);
+  JsonDict& cfg = report.AddConfig("base");
+  cfg.PutNum("metric", 1.5);
+  ASSERT_EQ(report.num_configs(), 1u);
+
+  auto v = JsonValue::Parse(report.ToJson());
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->Find("bench")->str(), "unit");
+  ASSERT_NE(v->Find("configs"), nullptr);
+  ASSERT_EQ(v->Find("configs")->array().size(), 1u);
+  EXPECT_EQ(v->Find("configs")->array()[0].Find("config")->str(), "base");
+}
+
+}  // namespace
+}  // namespace rtb::report

@@ -21,19 +21,27 @@
 //       --threads=T fans the stream out over T workers on a lock-striped
 //       (sharded) pool and additionally reports throughput and hit rate;
 //       --threads=1 (default) is the paper's serial, bit-reproducible path.
+//   run       <spec.json> [--out=FILE]
+//       Execute a declarative experiment spec (engine/spec.h) end to end —
+//       build or open the tree, pin levels, warm up, measure every query
+//       class — and write the machine-readable run report as JSON.
+//       --out=- prints only the JSON document to stdout.
 //   knn       --index=FILE --x=X --y=Y [--k=K] [--buffer=B]
 //       Report the K objects nearest to (X, Y).
+//
+// Every subcommand accepts --help. Unknown subcommands and unknown or
+// malformed flags exit non-zero with a usage string.
 //
 // Example session:
 //   rtb_cli generate --kind=tiger --n=53145 --out=roads.rects
 //   rtb_cli build --data=roads.rects --index=roads.idx --fanout=100 --algo=HS
 //   rtb_cli predict --index=roads.idx --buffer=200
 //   rtb_cli query --index=roads.idx --buffer=200 --queries=100000
+//   rtb_cli run experiment.json
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -55,6 +63,22 @@ int Fail(const std::string& message) {
 
 int FailStatus(const char* what, const Status& status) {
   return Fail(std::string(what) + ": " + status.ToString());
+}
+
+int FailUsage(const std::string& message, const char* usage) {
+  std::fprintf(stderr, "rtb_cli: %s\n%s", message.c_str(), usage);
+  return 2;
+}
+
+// True when any argument after the subcommand is --help/-h.
+bool WantsHelp(int argc, char** argv) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      return true;
+    }
+  }
+  return false;
 }
 
 // Parsed --name=value arguments with defaults.
@@ -101,35 +125,24 @@ class Args {
   std::string error_;
 };
 
-// Index metadata sidecar (FILE.meta): "rtb-index root height fanout".
-struct IndexMeta {
-  storage::PageId root = 0;
-  uint16_t height = 0;
-  uint32_t fanout = 0;
+// Opens the index + summary for the read-only subcommands.
+struct OpenedIndex {
+  std::unique_ptr<storage::FilePageStore> store;
+  engine::IndexMeta meta;
+  std::unique_ptr<rtree::TreeSummary> summary;
 };
 
-Status SaveMeta(const std::string& index_path, const IndexMeta& meta) {
-  std::ofstream out(index_path + ".meta");
-  if (!out) return Status::IoError("cannot write " + index_path + ".meta");
-  out << "rtb-index " << meta.root << ' ' << meta.height << ' '
-      << meta.fanout << '\n';
-  return out ? Status::OK()
-             : Status::IoError("write failed: " + index_path + ".meta");
-}
-
-Result<IndexMeta> LoadMeta(const std::string& index_path) {
-  std::ifstream in(index_path + ".meta");
-  if (!in) return Status::IoError("cannot open " + index_path + ".meta");
-  std::string magic;
-  IndexMeta meta;
-  uint32_t root, height;
-  if (!(in >> magic >> root >> height >> meta.fanout) ||
-      magic != "rtb-index") {
-    return Status::Corruption(index_path + ".meta: bad format");
-  }
-  meta.root = root;
-  meta.height = static_cast<uint16_t>(height);
-  return meta;
+Result<OpenedIndex> OpenIndex(const std::string& path) {
+  OpenedIndex opened;
+  RTB_ASSIGN_OR_RETURN(opened.meta, engine::LoadIndexMeta(path));
+  RTB_ASSIGN_OR_RETURN(opened.store, storage::FilePageStore::Open(path));
+  RTB_ASSIGN_OR_RETURN(
+      rtree::TreeSummary summary,
+      rtree::TreeSummary::Extract(opened.store.get(), opened.meta.root));
+  opened.summary =
+      std::make_unique<rtree::TreeSummary>(std::move(summary));
+  opened.store->ResetStats();
+  return opened;
 }
 
 Result<rtree::LoadAlgorithm> ParseAlgo(const std::string& name) {
@@ -147,12 +160,20 @@ Result<rtree::LoadAlgorithm> ParseAlgo(const std::string& name) {
 // Subcommands
 // ---------------------------------------------------------------------------
 
+constexpr char kGenerateUsage[] =
+    "usage: rtb_cli generate --kind=uniform|region|tiger|cfd --n=N\n"
+    "                        --seed=S --out=FILE\n"
+    "  Write a synthetic data set as an rtb-rects file.\n";
+
 int CmdGenerate(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) return std::fputs(kGenerateUsage, stdout), 0;
   Args args(argc, argv, 2,
             {{"kind", "uniform"}, {"n", "10000"}, {"seed", "1"},
              {"out", ""}});
-  if (!args.ok()) return Fail(args.error());
-  if (args.Get("out").empty()) return Fail("generate needs --out=FILE");
+  if (!args.ok()) return FailUsage(args.error(), kGenerateUsage);
+  if (args.Get("out").empty()) {
+    return FailUsage("generate needs --out=FILE", kGenerateUsage);
+  }
   Rng rng(args.GetInt("seed"));
   const size_t n = args.GetInt("n");
   std::vector<geom::Rect> rects;
@@ -170,7 +191,8 @@ int CmdGenerate(int argc, char** argv) {
     params.num_points = n;
     rects = data::GenerateCfdSurrogate(params, &rng);
   } else {
-    return Fail("unknown kind '" + kind + "' (uniform|region|tiger|cfd)");
+    return FailUsage("unknown kind '" + kind +
+                     "' (uniform|region|tiger|cfd)", kGenerateUsage);
   }
   if (Status s = data::SaveRects(args.Get("out"), rects); !s.ok()) {
     return FailStatus("save", s);
@@ -180,13 +202,20 @@ int CmdGenerate(int argc, char** argv) {
   return 0;
 }
 
+constexpr char kBuildUsage[] =
+    "usage: rtb_cli build --data=FILE --index=FILE --fanout=N\n"
+    "                     --algo=HS|NX|STR|TAT|RSTAR\n"
+    "  Bulk-load the data into a persistent index file (+ FILE.meta).\n";
+
 int CmdBuild(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) return std::fputs(kBuildUsage, stdout), 0;
   Args args(argc, argv, 2,
             {{"data", ""}, {"index", ""}, {"fanout", "100"},
              {"algo", "HS"}});
-  if (!args.ok()) return Fail(args.error());
+  if (!args.ok()) return FailUsage(args.error(), kBuildUsage);
   if (args.Get("data").empty() || args.Get("index").empty()) {
-    return Fail("build needs --data=FILE and --index=FILE");
+    return FailUsage("build needs --data=FILE and --index=FILE",
+                     kBuildUsage);
   }
   auto rects = data::LoadRects(args.Get("data"));
   if (!rects.ok()) return FailStatus("load data", rects.status());
@@ -204,8 +233,8 @@ int CmdBuild(int argc, char** argv) {
   auto built = rtree::BuildRTree(store->get(), config, *rects, *algo);
   if (!built.ok()) return FailStatus("build", built.status());
   if (Status s = (*store)->Sync(); !s.ok()) return FailStatus("sync", s);
-  IndexMeta meta{built->root, built->height, fanout};
-  if (Status s = SaveMeta(args.Get("index"), meta); !s.ok()) {
+  engine::IndexMeta meta{built->root, built->height, fanout};
+  if (Status s = engine::SaveIndexMeta(args.Get("index"), meta); !s.ok()) {
     return FailStatus("meta", s);
   }
   std::printf("built %s index: %u nodes, height %u, root page %u -> %s\n",
@@ -214,29 +243,14 @@ int CmdBuild(int argc, char** argv) {
   return 0;
 }
 
-// Opens the index + summary for the read-only subcommands.
-struct OpenedIndex {
-  std::unique_ptr<storage::FilePageStore> store;
-  IndexMeta meta;
-  std::unique_ptr<rtree::TreeSummary> summary;
-};
-
-Result<OpenedIndex> OpenIndex(const std::string& path) {
-  OpenedIndex opened;
-  RTB_ASSIGN_OR_RETURN(opened.meta, LoadMeta(path));
-  RTB_ASSIGN_OR_RETURN(opened.store, storage::FilePageStore::Open(path));
-  RTB_ASSIGN_OR_RETURN(
-      rtree::TreeSummary summary,
-      rtree::TreeSummary::Extract(opened.store.get(), opened.meta.root));
-  opened.summary =
-      std::make_unique<rtree::TreeSummary>(std::move(summary));
-  opened.store->ResetStats();
-  return opened;
-}
+constexpr char kStatsUsage[] =
+    "usage: rtb_cli stats --index=FILE\n"
+    "  Print tree shape, per-level node counts, and MBR aggregates.\n";
 
 int CmdStats(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) return std::fputs(kStatsUsage, stdout), 0;
   Args args(argc, argv, 2, {{"index", ""}});
-  if (!args.ok()) return Fail(args.error());
+  if (!args.ok()) return FailUsage(args.error(), kStatsUsage);
   auto opened = OpenIndex(args.Get("index"));
   if (!opened.ok()) return FailStatus("open", opened.status());
   const auto& s = *opened->summary;
@@ -258,10 +272,15 @@ int CmdStats(int argc, char** argv) {
   return 0;
 }
 
+constexpr char kValidateUsage[] =
+    "usage: rtb_cli validate --index=FILE [--strict=0|1]\n"
+    "  Check structural invariants of an index.\n";
+
 int CmdValidate(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) return std::fputs(kValidateUsage, stdout), 0;
   Args args(argc, argv, 2, {{"index", ""}, {"strict", "0"}});
-  if (!args.ok()) return Fail(args.error());
-  auto meta = LoadMeta(args.Get("index"));
+  if (!args.ok()) return FailUsage(args.error(), kValidateUsage);
+  auto meta = engine::LoadIndexMeta(args.Get("index"));
   if (!meta.ok()) return FailStatus("meta", meta.status());
   auto store = storage::FilePageStore::Open(args.Get("index"));
   if (!store.ok()) return FailStatus("open", store.status());
@@ -284,49 +303,60 @@ int CmdValidate(int argc, char** argv) {
   return 1;
 }
 
+constexpr char kPredictUsage[] =
+    "usage: rtb_cli predict --index=FILE --buffer=B [--qx=QX --qy=QY]\n"
+    "                       [--pin=L] [--data=FILE]\n"
+    "  Model-predicted disk accesses per query; --data switches to the\n"
+    "  data-driven query model using that file's rectangle centers.\n";
+
+// Thin wrapper over engine::PrepareTree + engine::EvaluateModel: the flags
+// populate an ExperimentSpec and the engine evaluates the analytic model
+// for it.
 int CmdPredict(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) return std::fputs(kPredictUsage, stdout), 0;
   Args args(argc, argv, 2,
             {{"index", ""}, {"buffer", "100"}, {"qx", "0"}, {"qy", "0"},
              {"pin", "0"}, {"data", ""}});
-  if (!args.ok()) return Fail(args.error());
-  auto opened = OpenIndex(args.Get("index"));
-  if (!opened.ok()) return FailStatus("open", opened.status());
+  if (!args.ok()) return FailUsage(args.error(), kPredictUsage);
 
-  model::QuerySpec spec;
-  std::vector<geom::Point> centers;
-  if (!args.Get("data").empty()) {
-    auto rects = data::LoadRects(args.Get("data"));
-    if (!rects.ok()) return FailStatus("load data", rects.status());
-    centers = data::Centers(*rects);
-    spec = model::QuerySpec::DataDrivenRegion(args.GetDouble("qx"),
-                                              args.GetDouble("qy"));
-  } else {
-    spec = model::QuerySpec::UniformRegion(args.GetDouble("qx"),
-                                           args.GetDouble("qy"));
-  }
-  auto probs = model::AccessProbabilities(*opened->summary, spec,
-                                          centers.empty() ? nullptr
-                                                          : &centers);
-  if (!probs.ok()) return FailStatus("model", probs.status());
+  engine::ExperimentSpec spec;
+  spec.tree.index = args.Get("index");
+  spec.dataset.path = args.Get("data");
+  spec.pool.buffer_pages = args.GetInt("buffer");
+  spec.pool.pinned_levels = static_cast<uint16_t>(args.GetInt("pin"));
+  engine::QueryClassSpec cls;
+  cls.model = args.Get("data").empty() ? "uniform" : "data";
+  cls.qx = args.GetDouble("qx");
+  cls.qy = args.GetDouble("qy");
+  cls.count = 1;  // Model-only: no queries are executed.
+  spec.workload.classes.push_back(cls);
+  if (Status s = spec.Validate(); !s.ok()) return FailStatus("spec", s);
 
-  const uint64_t buffer = args.GetInt("buffer");
-  const uint16_t pin = static_cast<uint16_t>(args.GetInt("pin"));
+  auto prepared = engine::PrepareTree(spec);
+  if (!prepared.ok()) return FailStatus("open", prepared.status());
+  const model::QuerySpec qspec =
+      cls.model == "data"
+          ? model::QuerySpec::DataDrivenRegion(cls.qx, cls.qy)
+          : model::QuerySpec::UniformRegion(cls.qx, cls.qy);
+  auto est = engine::EvaluateModel(
+      *prepared->summary, qspec, spec.pool,
+      prepared->centers.empty() ? nullptr : &prepared->centers);
+  if (!est.ok()) return FailStatus("model", est.status());
+
+  const uint64_t buffer = spec.pool.buffer_pages;
+  const uint16_t pin = spec.pool.pinned_levels;
   std::printf("query model:   %s, %g x %g\n",
-              centers.empty() ? "uniform" : "data-driven",
-              args.GetDouble("qx"), args.GetDouble("qy"));
-  std::printf("nodes/query (bufferless):   %.4f\n",
-              model::ExpectedNodeAccesses(*probs));
+              cls.model == "data" ? "data-driven" : "uniform", cls.qx,
+              cls.qy);
+  std::printf("nodes/query (bufferless):   %.4f\n", est->node_accesses);
   if (pin == 0) {
     std::printf("disk accesses/query (B=%llu): %.4f (continuous: %.4f)\n",
                 static_cast<unsigned long long>(buffer),
-                model::ExpectedDiskAccesses(*probs, buffer),
-                model::ExpectedDiskAccessesContinuous(*probs, buffer));
+                est->disk_accesses, est->disk_accesses_continuous);
   } else {
-    auto pinned = model::ExpectedDiskAccessesPinned(*opened->summary, *probs,
-                                                    buffer, pin);
-    if (!pinned.feasible) {
+    if (!est->feasible) {
       return Fail("pinning " + std::to_string(pin) + " levels needs " +
-                  std::to_string(pinned.pinned_pages) +
+                  std::to_string(est->pinned_pages) +
                   " pages but the buffer has only " +
                   std::to_string(buffer));
     }
@@ -334,73 +364,65 @@ int CmdPredict(int argc, char** argv) {
         "disk accesses/query (B=%llu, %u levels pinned = %llu pages): "
         "%.4f\n",
         static_cast<unsigned long long>(buffer), pin,
-        static_cast<unsigned long long>(pinned.pinned_pages),
-        pinned.disk_accesses);
+        static_cast<unsigned long long>(est->pinned_pages),
+        est->disk_accesses);
   }
   return 0;
 }
 
+constexpr char kQueryUsage[] =
+    "usage: rtb_cli query --index=FILE --buffer=B --queries=N\n"
+    "                     [--qx=QX --qy=QY --seed=S --warmup=W]\n"
+    "                     [--threads=T --shards=S]\n"
+    "  Execute a random query workload through a buffer pool and report\n"
+    "  measured disk accesses next to the model prediction. --threads=1\n"
+    "  (default) is the paper's serial, bit-reproducible path.\n";
+
+// Thin wrapper over engine::Run: the flags populate an ExperimentSpec with
+// one uniform query class over the opened index.
 int CmdQuery(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) return std::fputs(kQueryUsage, stdout), 0;
   Args args(argc, argv, 2,
             {{"index", ""}, {"buffer", "100"}, {"queries", "100000"},
              {"qx", "0"}, {"qy", "0"}, {"seed", "1"}, {"warmup", "10000"},
              {"threads", "1"}, {"shards", "0"}});
-  if (!args.ok()) return Fail(args.error());
-  auto opened = OpenIndex(args.Get("index"));
-  if (!opened.ok()) return FailStatus("open", opened.status());
+  if (!args.ok()) return FailUsage(args.error(), kQueryUsage);
 
-  const uint64_t buffer = args.GetInt("buffer");
-  const uint32_t threads =
+  engine::ExperimentSpec spec;
+  spec.tree.index = args.Get("index");
+  spec.pool.buffer_pages = args.GetInt("buffer");
+  spec.pool.shards = args.GetInt("shards");
+  spec.run.threads =
       std::max<uint32_t>(1, static_cast<uint32_t>(args.GetInt("threads")));
+  spec.run.seed = args.GetInt("seed");
+  spec.workload.warmup = args.GetInt("warmup");
+  engine::QueryClassSpec cls;
+  cls.qx = args.GetDouble("qx");
+  cls.qy = args.GetDouble("qy");
+  cls.count = args.GetInt("queries");
+  spec.workload.classes.push_back(cls);
 
-  // threads=1 keeps the paper's serial LRU pool (bit-identical counts);
-  // threads>1 switches to the lock-striped pool, which is what makes the
-  // worker fan-out safe.
-  std::unique_ptr<storage::PageCache> pool;
-  if (threads == 1) {
-    pool = storage::BufferPool::MakeLru(opened->store.get(), buffer);
-  } else {
-    pool = storage::ShardedBufferPool::MakeLru(opened->store.get(), buffer,
-                                               args.GetInt("shards"));
-  }
-  auto tree = rtree::RTree::Open(pool.get(),
-                                 rtree::RTreeConfig::WithFanout(
-                                     opened->meta.fanout),
-                                 opened->meta.root, opened->meta.height);
-  if (!tree.ok()) return FailStatus("open tree", tree.status());
+  auto report = engine::Run(spec);
+  if (!report.ok()) return FailStatus("workload", report.status());
+  const engine::ClassReport& cr = report->classes[0];
 
-  model::QuerySpec spec = model::QuerySpec::UniformRegion(
-      args.GetDouble("qx"), args.GetDouble("qy"));
-  auto gen = sim::MakeGenerator(spec);
-  if (!gen.ok()) return FailStatus("generator", gen.status());
-  sim::ParallelOptions options;
-  options.threads = threads;
-  options.base_seed = args.GetInt("seed");
-  options.warmup = args.GetInt("warmup");
-  options.queries = args.GetInt("queries");
-  auto result = sim::RunParallelWorkload(&*tree, opened->store.get(),
-                                         gen->get(), options);
-  if (!result.ok()) return FailStatus("workload", result.status());
-
-  auto probs = model::AccessProbabilities(*opened->summary, spec);
   std::printf("executed %llu queries (after %llu warm-up)\n",
-              static_cast<unsigned long long>(result->total.queries),
-              static_cast<unsigned long long>(args.GetInt("warmup")));
-  if (threads > 1) {
-    auto* sharded = static_cast<storage::ShardedBufferPool*>(pool.get());
-    std::printf("threads:   %u workers over %zu pool shards\n", threads,
-                sharded->num_shards());
+              static_cast<unsigned long long>(report->total.queries),
+              static_cast<unsigned long long>(spec.workload.warmup));
+  if (spec.run.threads > 1) {
+    std::printf("threads:   %u workers over a lock-striped pool\n",
+                spec.run.threads);
     std::printf("throughput: %.0f queries/s (measured phase, %.3f s)\n",
-                result->QueriesPerSecond(), result->elapsed_seconds);
+                report->total.QueriesPerSecond(),
+                report->measure_seconds);
     std::printf("hit rate:  %.2f%% (merged over shards)\n",
-                100.0 * pool->AggregateStats().HitRate());
+                100.0 * report->buffer.HitRate());
   }
   std::printf("measured:  %.4f disk accesses/query (%.4f nodes/query)\n",
-              result->total.MeanDiskAccesses(),
-              result->total.MeanNodeAccesses());
+              cr.run.MeanDiskAccesses(), cr.run.MeanNodeAccesses());
   std::printf("predicted: %.4f disk accesses/query (LRU buffer model)\n",
-              model::ExpectedDiskAccesses(*probs, buffer));
-  if (threads > 1) {
+              cr.predicted.disk_accesses);
+  if (spec.run.threads > 1) {
     std::printf(
         "note: with --threads>1 replacement is per-shard LRU; measured hit\n"
         "      rates can deviate slightly from the serial-stream model.\n");
@@ -408,11 +430,88 @@ int CmdQuery(int argc, char** argv) {
   return 0;
 }
 
+constexpr char kRunUsage[] =
+    "usage: rtb_cli run <spec.json> [--out=FILE]\n"
+    "       rtb_cli run --spec=FILE [--out=FILE]\n"
+    "  Execute a declarative experiment spec end to end and write the run\n"
+    "  report as JSON (default RUN_<name>.json; --out=- prints only the\n"
+    "  JSON document to stdout).\n";
+
+int CmdRun(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) return std::fputs(kRunUsage, stdout), 0;
+  // Accept the spec file as a positional argument or via --spec=.
+  std::string spec_path;
+  int first = 2;
+  if (argc > 2 && std::strncmp(argv[2], "--", 2) != 0) {
+    spec_path = argv[2];
+    first = 3;
+  }
+  Args args(argc, argv, first, {{"spec", ""}, {"out", ""}});
+  if (!args.ok()) return FailUsage(args.error(), kRunUsage);
+  if (spec_path.empty()) spec_path = args.Get("spec");
+  if (spec_path.empty()) {
+    return FailUsage("run needs a spec file", kRunUsage);
+  }
+
+  auto spec = engine::ExperimentSpec::FromJsonFile(spec_path);
+  if (!spec.ok()) return FailStatus(spec_path.c_str(), spec.status());
+  auto report = engine::Run(*spec);
+  if (!report.ok()) return FailStatus("run", report.status());
+
+  const std::string json = report->ToJsonString();
+  const std::string out = args.Get("out");
+  if (out == "-") {
+    std::fputs(json.c_str(), stdout);
+    return 0;
+  }
+
+  std::printf("experiment: %s\n", spec->name.c_str());
+  std::printf("tree: %llu nodes, height %u, %llu data entries\n",
+              static_cast<unsigned long long>(report->num_nodes),
+              report->height,
+              static_cast<unsigned long long>(report->data_entries));
+  std::printf("pool: %llu pages, %s",
+              static_cast<unsigned long long>(spec->pool.buffer_pages),
+              spec->pool.policy.c_str());
+  if (report->pinned_pages > 0) {
+    std::printf(", %u levels pinned (%llu pages)", spec->pool.pinned_levels,
+                static_cast<unsigned long long>(report->pinned_pages));
+  }
+  std::printf("\n");
+  for (const engine::ClassReport& cr : report->classes) {
+    std::printf("  %-20s measured %.4f disk/query", cr.label.c_str(),
+                cr.run.MeanDiskAccesses());
+    if (cr.model_evaluated) {
+      std::printf("  predicted %.4f", cr.predicted.disk_accesses);
+    }
+    std::printf("  (%llu queries)\n",
+                static_cast<unsigned long long>(cr.run.queries));
+  }
+  std::printf("hit rate: %.2f%%  store reads: %llu\n",
+              100.0 * report->buffer.HitRate(),
+              static_cast<unsigned long long>(report->store_io.reads));
+
+  const std::string dest =
+      out.empty() ? "RUN_" + spec->name + ".json" : out;
+  std::FILE* f = std::fopen(dest.c_str(), "w");
+  if (f == nullptr) return Fail("cannot write " + dest);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) return Fail("write failed: " + dest);
+  std::printf("wrote %s\n", dest.c_str());
+  return 0;
+}
+
+constexpr char kKnnUsage[] =
+    "usage: rtb_cli knn --index=FILE --x=X --y=Y [--k=K] [--buffer=B]\n"
+    "  Report the K objects nearest to (X, Y).\n";
+
 int CmdKnn(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) return std::fputs(kKnnUsage, stdout), 0;
   Args args(argc, argv, 2,
             {{"index", ""}, {"x", "0.5"}, {"y", "0.5"}, {"k", "5"},
              {"buffer", "64"}});
-  if (!args.ok()) return Fail(args.error());
+  if (!args.ok()) return FailUsage(args.error(), kKnnUsage);
   auto opened = OpenIndex(args.Get("index"));
   if (!opened.ok()) return FailStatus("open", opened.status());
   auto pool = storage::BufferPool::MakeLru(opened->store.get(),
@@ -438,26 +537,40 @@ int CmdKnn(int argc, char** argv) {
   return 0;
 }
 
-int Usage() {
-  std::fprintf(
-      stderr,
-      "usage: rtb_cli <generate|build|stats|validate|predict|query|knn> "
-      "[--flag=value ...]\n"
-      "see the header of tools/rtb_cli.cc for details\n");
-  return 2;
+constexpr char kUsage[] =
+    "usage: rtb_cli <command> [--flag=value ...]\n"
+    "commands:\n"
+    "  generate   write a synthetic data set as an rtb-rects file\n"
+    "  build      bulk-load data into a persistent index file\n"
+    "  stats      print tree shape and MBR aggregates\n"
+    "  validate   check structural invariants\n"
+    "  predict    model-predicted disk accesses per query\n"
+    "  query      execute a query workload, measured vs predicted\n"
+    "  run        execute a declarative experiment spec (JSON)\n"
+    "  knn        K nearest neighbors to a point\n"
+    "run 'rtb_cli <command> --help' for that command's flags\n";
+
+int Usage(std::FILE* out) {
+  std::fputs(kUsage, out);
+  return out == stdout ? 0 : 2;
 }
 
 int Main(int argc, char** argv) {
-  if (argc < 2) return Usage();
+  if (argc < 2) return Usage(stderr);
   const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    return Usage(stdout);
+  }
   if (command == "generate") return CmdGenerate(argc, argv);
   if (command == "build") return CmdBuild(argc, argv);
   if (command == "stats") return CmdStats(argc, argv);
   if (command == "validate") return CmdValidate(argc, argv);
   if (command == "predict") return CmdPredict(argc, argv);
   if (command == "query") return CmdQuery(argc, argv);
+  if (command == "run") return CmdRun(argc, argv);
   if (command == "knn") return CmdKnn(argc, argv);
-  return Usage();
+  std::fprintf(stderr, "rtb_cli: unknown command '%s'\n", command.c_str());
+  return Usage(stderr);
 }
 
 }  // namespace

@@ -1,0 +1,61 @@
+#!/bin/sh
+# Full pre-merge check matrix: a Release build running the whole test
+# suite, a ThreadSanitizer build running the `concurrency`-labeled tests,
+# and an AddressSanitizer build running the whole suite again. Builds land
+# in build-checks/<name> so the developer's main build/ tree is untouched.
+#
+#   tools/run_checks.sh            # all three configurations
+#   tools/run_checks.sh release    # just one of: release | tsan | asan
+#
+# Sanitizer builds skip the benchmarks (RTB_BUILD_BENCHMARKS=OFF) — they
+# only slow the build down and the bench smoke test already runs in the
+# Release pass.
+set -e
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+ONLY="${1:-all}"
+
+case "$ONLY" in
+  all|release|tsan|asan) ;;
+  *)
+    echo "unknown configuration: $ONLY (expected release|tsan|asan)" >&2
+    exit 2
+    ;;
+esac
+
+configure_and_build() {
+  # $1 = build dir, then the extra cmake flags.
+  dir="$1"
+  shift
+  cmake -S "$ROOT" -B "$dir" -DCMAKE_BUILD_TYPE=Release "$@" \
+      > "$dir-configure.log" 2>&1 || { cat "$dir-configure.log"; exit 1; }
+  cmake --build "$dir" -j "$JOBS" > "$dir-build.log" 2>&1 \
+      || { tail -50 "$dir-build.log"; exit 1; }
+}
+
+wants() { [ "$ONLY" = "all" ] || [ "$ONLY" = "$1" ]; }
+
+mkdir -p "$ROOT/build-checks"
+
+if wants release; then
+  echo "==> release"
+  configure_and_build "$ROOT/build-checks/release"
+  (cd "$ROOT/build-checks/release" && ctest --output-on-failure)
+fi
+
+if wants tsan; then
+  echo "==> tsan"
+  configure_and_build "$ROOT/build-checks/tsan" \
+      -DRTB_SANITIZE=thread -DRTB_BUILD_BENCHMARKS=OFF
+  (cd "$ROOT/build-checks/tsan" && ctest -L concurrency --output-on-failure)
+fi
+
+if wants asan; then
+  echo "==> asan"
+  configure_and_build "$ROOT/build-checks/asan" \
+      -DRTB_SANITIZE=address -DRTB_BUILD_BENCHMARKS=OFF
+  (cd "$ROOT/build-checks/asan" && ctest --output-on-failure)
+fi
+
+echo "all requested checks passed"
