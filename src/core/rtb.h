@@ -42,11 +42,13 @@
 #include "model/ndim.h"
 #include "model/warmup.h"
 #include "report/json.h"
+#include "rtree/batch.h"
 #include "rtree/bulk_load.h"
 #include "rtree/config.h"
 #include "rtree/knn.h"
 #include "rtree/node.h"
 #include "rtree/rtree.h"
+#include "rtree/scan_kernel.h"
 #include "rtree/split.h"
 #include "rtree/summary.h"
 #include "rtree/validate.h"

@@ -217,6 +217,7 @@ Result<RunReport> Run(const ExperimentSpec& spec) {
     options.base_seed = spec.run.seed + c * kClassSeedStride;
     options.warmup = c == 0 ? spec.workload.warmup : 0;
     options.queries = cls.count;
+    options.batch_size = spec.workload.batch_size;
     RTB_ASSIGN_OR_RETURN(cr.run,
                          sim::RunWorkload(&tree, prepared.store.get(),
                                           gen.get(), options));

@@ -128,6 +128,9 @@ Status ParseWorkload(const JsonValue& v, WorkloadSpec* out) {
   for (const auto& [key, value] : v.members()) {
     if (key == "warmup") {
       RTB_RETURN_IF_ERROR(GetUint(value, "workload.warmup", &out->warmup));
+    } else if (key == "batch_size") {
+      RTB_RETURN_IF_ERROR(
+          GetUint(value, "workload.batch_size", &out->batch_size));
     } else if (key == "classes") {
       if (!value.is_array()) return Bad("workload.classes must be an array");
       out->classes.clear();
@@ -237,6 +240,9 @@ Status ExperimentSpec::Validate() const {
   }
   if (pool.buffer_pages == 0) return Bad("pool.buffer_pages must be >= 1");
   RTB_RETURN_IF_ERROR(ParsePolicyKind(pool.policy).status());
+  if (workload.batch_size == 0) {
+    return Bad("workload.batch_size must be >= 1");
+  }
   if (workload.classes.empty()) {
     return Bad("workload.classes must have at least one class");
   }
@@ -288,6 +294,7 @@ report::JsonDict ExperimentSpec::ToJsonDict() const {
 
   report::JsonDict wl;
   wl.PutInt("warmup", workload.warmup);
+  wl.PutInt("batch_size", workload.batch_size);
   std::vector<report::JsonDict> classes;
   for (const QueryClassSpec& cls : workload.classes) {
     report::JsonDict c;

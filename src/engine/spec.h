@@ -84,6 +84,10 @@ struct QueryClassSpec {
 /// The query workload: shared warm-up, then each class measured in order.
 struct WorkloadSpec {
   uint64_t warmup = 10000;  // Warm-up queries from the first class.
+  /// Queries per executor batch (rtree::BatchExecutor). 1 = the paper's
+  /// serial per-query loop; >= 2 groups queries and visits each distinct
+  /// page once per batch (level-synchronous traversal).
+  uint64_t batch_size = 1;
   std::vector<QueryClassSpec> classes;
 };
 

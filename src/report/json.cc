@@ -46,10 +46,17 @@ std::string JsonEscape(const std::string& s) {
 }
 
 std::string JsonNum(double v) {
-  // %.17g round-trips IEEE doubles; JSON has no inf/nan, so clamp those to
-  // null (a report emitting them is a bug the smoke tests will catch).
+  // JSON has no inf/nan, so clamp those to null (a report emitting them is
+  // a bug the smoke tests will catch).
   if (!std::isfinite(v)) return "null";
+  // Shortest representation that still round-trips to the same double:
+  // most values (0.03, 12.5, …) print exactly at 15 significant digits;
+  // %.17g always round-trips but renders 0.03 as 0.029999999999999999.
   char buf[40];
+  for (int precision : {15, 16}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) return buf;
+  }
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
 }

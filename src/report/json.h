@@ -28,7 +28,7 @@ namespace rtb::report {
 class JsonDict {
  public:
   void PutStr(const std::string& key, const std::string& value);
-  void PutNum(const std::string& key, double value);   // %.17g round-trip.
+  void PutNum(const std::string& key, double value);  // Shortest round-trip.
   void PutInt(const std::string& key, uint64_t value);
   void PutBool(const std::string& key, bool value);
 

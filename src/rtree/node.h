@@ -124,6 +124,10 @@ class NodeView {
   /// Slot `i` as an Entry value.
   Entry entry(size_t i) const { return Entry{rect(i), id(i)}; }
 
+  /// First entry's raw bytes (count() * kEntrySize readable). For bulk
+  /// readers (the scan-kernel gather) that stride the page themselves.
+  const uint8_t* raw_entries() const { return entries_; }
+
   /// Equivalent to rect(i).Intersects(q) for a non-empty `q`, but reads
   /// coordinates straight off the page with per-axis early exit: the common
   /// miss costs one or two loads instead of a 4-double copy plus a full

@@ -1,0 +1,254 @@
+#include "rtree/scan_kernel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(RTB_SIMD_ENABLED) && defined(__x86_64__)
+#define RTB_SCAN_HAVE_X86 1
+#include <immintrin.h>
+#else
+#define RTB_SCAN_HAVE_X86 0
+#endif
+
+namespace rtb::rtree {
+
+namespace {
+
+// Scalar test of one slot; also the tail loop of the vector sweeps. The
+// validity bit folds in the entry-non-empty term so every sweep agrees with
+// NodeView::Intersects (see header).
+inline bool TestSlot(const ScanScratch& s, const geom::Rect& q, size_t i) {
+  if (((s.valid()[i >> 6] >> (i & 63)) & 1) == 0) return false;
+  return s.xlo()[i] <= q.hi.x && s.xhi()[i] >= q.lo.x &&
+         s.ylo()[i] <= q.hi.y && s.yhi()[i] >= q.lo.y;
+}
+
+size_t SweepScalar(const ScanScratch& s, const geom::Rect& q, uint32_t* out) {
+  const size_t count = s.count();
+  size_t n = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (TestSlot(s, q, i)) out[n++] = static_cast<uint32_t>(i);
+  }
+  return n;
+}
+
+#if RTB_SCAN_HAVE_X86
+
+// Two entries per step. The step is 2 and validity words hold 64 bits, so a
+// step's 2-bit window never straddles a word.
+size_t SweepSse2(const ScanScratch& s, const geom::Rect& q, uint32_t* out) {
+  const size_t count = s.count();
+  const __m128d qhx = _mm_set1_pd(q.hi.x), qlx = _mm_set1_pd(q.lo.x);
+  const __m128d qhy = _mm_set1_pd(q.hi.y), qly = _mm_set1_pd(q.lo.y);
+  size_t n = 0;
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const unsigned vbits =
+        static_cast<unsigned>((s.valid()[i >> 6] >> (i & 63)) & 0x3u);
+    if (vbits == 0) continue;
+    __m128d m = _mm_and_pd(_mm_cmple_pd(_mm_loadu_pd(s.xlo() + i), qhx),
+                           _mm_cmpge_pd(_mm_loadu_pd(s.xhi() + i), qlx));
+    m = _mm_and_pd(m, _mm_cmple_pd(_mm_loadu_pd(s.ylo() + i), qhy));
+    m = _mm_and_pd(m, _mm_cmpge_pd(_mm_loadu_pd(s.yhi() + i), qly));
+    unsigned mask = static_cast<unsigned>(_mm_movemask_pd(m)) & vbits;
+    while (mask != 0) {
+      out[n++] = static_cast<uint32_t>(i + __builtin_ctz(mask));
+      mask &= mask - 1;
+    }
+  }
+  for (; i < count; ++i) {
+    if (TestSlot(s, q, i)) out[n++] = static_cast<uint32_t>(i);
+  }
+  return n;
+}
+
+// Four entries per step (step 4 divides 64: no word straddle either).
+// _CMP_*_OQ compares are quiet and NaN-false, matching the scalar sweep.
+__attribute__((target("avx2"))) size_t SweepAvx2(const ScanScratch& s,
+                                                 const geom::Rect& q,
+                                                 uint32_t* out) {
+  const size_t count = s.count();
+  const __m256d qhx = _mm256_set1_pd(q.hi.x), qlx = _mm256_set1_pd(q.lo.x);
+  const __m256d qhy = _mm256_set1_pd(q.hi.y), qly = _mm256_set1_pd(q.lo.y);
+  size_t n = 0;
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const unsigned vbits =
+        static_cast<unsigned>((s.valid()[i >> 6] >> (i & 63)) & 0xFu);
+    if (vbits == 0) continue;
+    __m256d m = _mm256_and_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(s.xlo() + i), qhx, _CMP_LE_OQ),
+        _mm256_cmp_pd(_mm256_loadu_pd(s.xhi() + i), qlx, _CMP_GE_OQ));
+    m = _mm256_and_pd(
+        m, _mm256_cmp_pd(_mm256_loadu_pd(s.ylo() + i), qhy, _CMP_LE_OQ));
+    m = _mm256_and_pd(
+        m, _mm256_cmp_pd(_mm256_loadu_pd(s.yhi() + i), qly, _CMP_GE_OQ));
+    unsigned mask = static_cast<unsigned>(_mm256_movemask_pd(m)) & vbits;
+    while (mask != 0) {
+      out[n++] = static_cast<uint32_t>(i + __builtin_ctz(mask));
+      mask &= mask - 1;
+    }
+  }
+  for (; i < count; ++i) {
+    if (TestSlot(s, q, i)) out[n++] = static_cast<uint32_t>(i);
+  }
+  return n;
+}
+
+// Gathers 4 entries per step: each entry's rect is 4 contiguous doubles at
+// a 40-byte stride, so four unaligned row loads plus a 4x4 transpose yield
+// the xlo/ylo/xhi/yhi columns directly. Validity (hi >= lo per axis, quiet
+// NaN-false like the scalar test) is computed on the transposed columns.
+// Returns the number of slots handled (a multiple of 4 <= n); the caller
+// finishes the tail with the scalar loop.
+__attribute__((target("avx2"))) size_t GatherAvx2(
+    const uint8_t* entries, size_t n, double* xlo, double* ylo, double* xhi,
+    double* yhi, uint64_t* ids, uint64_t* valid) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint8_t* p = entries + i * kEntrySize;
+    const __m256d e0 = _mm256_loadu_pd(reinterpret_cast<const double*>(p));
+    const __m256d e1 =
+        _mm256_loadu_pd(reinterpret_cast<const double*>(p + kEntrySize));
+    const __m256d e2 =
+        _mm256_loadu_pd(reinterpret_cast<const double*>(p + 2 * kEntrySize));
+    const __m256d e3 =
+        _mm256_loadu_pd(reinterpret_cast<const double*>(p + 3 * kEntrySize));
+    const __m256d t0 = _mm256_unpacklo_pd(e0, e1);  // xlo0 xlo1 xhi0 xhi1
+    const __m256d t1 = _mm256_unpackhi_pd(e0, e1);  // ylo0 ylo1 yhi0 yhi1
+    const __m256d t2 = _mm256_unpacklo_pd(e2, e3);
+    const __m256d t3 = _mm256_unpackhi_pd(e2, e3);
+    const __m256d cxlo = _mm256_permute2f128_pd(t0, t2, 0x20);
+    const __m256d cxhi = _mm256_permute2f128_pd(t0, t2, 0x31);
+    const __m256d cylo = _mm256_permute2f128_pd(t1, t3, 0x20);
+    const __m256d cyhi = _mm256_permute2f128_pd(t1, t3, 0x31);
+    _mm256_storeu_pd(xlo + i, cxlo);
+    _mm256_storeu_pd(xhi + i, cxhi);
+    _mm256_storeu_pd(ylo + i, cylo);
+    _mm256_storeu_pd(yhi + i, cyhi);
+    for (size_t j = 0; j < 4; ++j) {
+      std::memcpy(ids + i + j,
+                  p + j * kEntrySize + 4 * sizeof(double), sizeof(uint64_t));
+    }
+    const __m256d ok =
+        _mm256_and_pd(_mm256_cmp_pd(cxhi, cxlo, _CMP_GE_OQ),
+                      _mm256_cmp_pd(cyhi, cylo, _CMP_GE_OQ));
+    const uint64_t bits = static_cast<unsigned>(_mm256_movemask_pd(ok));
+    valid[i >> 6] |= bits << (i & 63);  // Step 4: never straddles a word.
+  }
+  return i;
+}
+
+#endif  // RTB_SCAN_HAVE_X86
+
+ScanKernel DetectBestKernel() {
+#if RTB_SCAN_HAVE_X86
+  if (__builtin_cpu_supports("avx2")) return ScanKernel::kAvx2;
+  return ScanKernel::kSse2;  // SSE2 is the x86-64 baseline.
+#else
+  return ScanKernel::kScalar;
+#endif
+}
+
+ScanKernel CapToBest(ScanKernel requested) {
+  const ScanKernel best = DetectBestKernel();
+  return static_cast<int>(requested) <= static_cast<int>(best) ? requested
+                                                               : best;
+}
+
+ScanKernel InitialKernel() {
+  if (const char* env = std::getenv("RTB_SCAN_KERNEL")) {
+    if (std::strcmp(env, "scalar") == 0) return ScanKernel::kScalar;
+    if (std::strcmp(env, "sse2") == 0) return CapToBest(ScanKernel::kSse2);
+    if (std::strcmp(env, "avx2") == 0) return CapToBest(ScanKernel::kAvx2);
+  }
+  return DetectBestKernel();
+}
+
+std::atomic<ScanKernel>& ActiveKernelSlot() {
+  static std::atomic<ScanKernel> slot{InitialKernel()};
+  return slot;
+}
+
+}  // namespace
+
+const char* ScanKernelName(ScanKernel k) {
+  switch (k) {
+    case ScanKernel::kScalar:
+      return "scalar";
+    case ScanKernel::kSse2:
+      return "sse2";
+    case ScanKernel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+ScanKernel BestScanKernel() { return DetectBestKernel(); }
+
+ScanKernel ActiveScanKernel() {
+  return ActiveKernelSlot().load(std::memory_order_relaxed);
+}
+
+bool SetScanKernel(ScanKernel k) {
+  if (static_cast<int>(k) > static_cast<int>(DetectBestKernel())) {
+    return false;
+  }
+  ActiveKernelSlot().store(k, std::memory_order_relaxed);
+  return true;
+}
+
+void ScanScratch::Load(NodeView view) {
+  count_ = view.count();
+  level_ = view.level();
+  const size_t n = count_;
+  if (xlo_.size() < n) {
+    xlo_.resize(n);
+    ylo_.resize(n);
+    xhi_.resize(n);
+    yhi_.resize(n);
+    ids_.resize(n);
+  }
+  const size_t words = (n + 63) / 64;
+  if (valid_.size() < words) valid_.resize(words);
+  std::fill(valid_.begin(), valid_.begin() + words, 0);
+  size_t i = 0;
+#if RTB_SCAN_HAVE_X86
+  // The gather rides the sweep dispatch: forcing the scalar sweep (tests,
+  // the bench's batched-scalar row) also forces the scalar gather, so each
+  // kernel setting measures one coherent path.
+  if (ActiveScanKernel() == ScanKernel::kAvx2) {
+    i = GatherAvx2(view.raw_entries(), n, xlo_.data(), ylo_.data(),
+                   xhi_.data(), yhi_.data(), ids_.data(), valid_.data());
+  }
+#endif
+  for (; i < n; ++i) {
+    const geom::Rect r = view.rect(i);
+    xlo_[i] = r.lo.x;
+    ylo_[i] = r.lo.y;
+    xhi_[i] = r.hi.x;
+    yhi_[i] = r.hi.y;
+    ids_[i] = view.id(i);
+    if (r.hi.x >= r.lo.x && r.hi.y >= r.lo.y) {
+      valid_[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+  }
+}
+
+size_t ScanIntersecting(const ScanScratch& scratch, const geom::Rect& q,
+                        uint32_t* out) {
+  switch (ActiveScanKernel()) {
+#if RTB_SCAN_HAVE_X86
+    case ScanKernel::kAvx2:
+      return SweepAvx2(scratch, q, out);
+    case ScanKernel::kSse2:
+      return SweepSse2(scratch, q, out);
+#endif
+    default:
+      return SweepScalar(scratch, q, out);
+  }
+}
+
+}  // namespace rtb::rtree

@@ -1,0 +1,106 @@
+// Vectorized node-scan kernel used by the batch executor.
+//
+// A node visit in the batched path tests one page's entries against many
+// query rectangles. Entry coordinates live interleaved on the page (40-byte
+// stride, see node.h); scanning them with NodeView::Intersects costs a
+// strided load pattern per query. The kernel instead gathers the page's
+// rects once into a structure-of-arrays scratch (xlo/ylo/xhi/yhi as dense
+// double arrays) and then answers each query with a branch-free sweep that
+// tests 2 (SSE2) or 4 (AVX2) entries per step, amortizing the gather over
+// every query that shares the visit.
+//
+// Semantics match NodeView::Intersects exactly for a non-empty query `q`:
+// slot i matches iff
+//
+//   xlo[i] <= q.hi.x && xhi[i] >= q.lo.x &&
+//   ylo[i] <= q.hi.y && yhi[i] >= q.lo.y &&
+//   xhi[i] >= xlo[i] && yhi[i] >= ylo[i]      (the entry is non-empty)
+//
+// The entry-validity term does not depend on the query, so it is computed
+// once per gather and stored as a bitmask.
+//
+// Kernel selection: the widest instruction set the CPU supports is picked
+// at runtime on first use (function multiversioning is not needed — the
+// SIMD bodies carry `target` attributes and are only called behind a
+// cpu-support check). Builds with -DRTB_SIMD=OFF compile the scalar sweep
+// only. The environment variable RTB_SCAN_KERNEL=scalar|sse2|avx2 caps the
+// initial choice (used by the forced-scalar CI leg), and SetScanKernel()
+// overrides it programmatically (used by benches and tests).
+
+#ifndef RTB_RTREE_SCAN_KERNEL_H_
+#define RTB_RTREE_SCAN_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geom/rect.h"
+#include "rtree/node.h"
+
+namespace rtb::rtree {
+
+/// Which sweep implementation ScanIntersecting dispatches to.
+enum class ScanKernel {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+/// Human-readable kernel name ("scalar", "sse2", "avx2").
+const char* ScanKernelName(ScanKernel k);
+
+/// Widest kernel this binary + CPU can run (compile-time RTB_SIMD gate and
+/// runtime cpuid check combined).
+ScanKernel BestScanKernel();
+
+/// Kernel currently used by ScanIntersecting. Initially the minimum of
+/// BestScanKernel() and the RTB_SCAN_KERNEL environment override.
+ScanKernel ActiveScanKernel();
+
+/// Selects `k` for subsequent ScanIntersecting calls. Returns false (and
+/// changes nothing) when the CPU or build cannot run `k`. kScalar always
+/// succeeds.
+bool SetScanKernel(ScanKernel k);
+
+/// Structure-of-arrays copy of one node's entry rects plus a validity
+/// bitmask. Reused across visits: Load() only grows its buffers, so a
+/// scratch that lives for a whole batch run performs no steady-state heap
+/// allocation. One scratch per thread (it is plain mutable state).
+class ScanScratch {
+ public:
+  /// Gathers every entry rect of `view` (and recomputes the validity mask).
+  /// The scratch holds a copy; the page bytes may be unpinned afterwards.
+  void Load(NodeView view);
+
+  uint16_t count() const { return count_; }
+  uint16_t level() const { return level_; }
+  bool is_leaf() const { return level_ == 0; }
+
+  /// Entry id passthrough, captured at Load() time.
+  uint64_t id(size_t i) const { return ids_[i]; }
+
+  const double* xlo() const { return xlo_.data(); }
+  const double* ylo() const { return ylo_.data(); }
+  const double* xhi() const { return xhi_.data(); }
+  const double* yhi() const { return yhi_.data(); }
+
+  /// Bit i set when entry i is a non-empty rect. Word-packed, 64 per word.
+  const uint64_t* valid() const { return valid_.data(); }
+
+ private:
+  std::vector<double> xlo_, ylo_, xhi_, yhi_;
+  std::vector<uint64_t> ids_;
+  std::vector<uint64_t> valid_;
+  uint16_t count_ = 0;
+  uint16_t level_ = 0;
+};
+
+/// Writes the slot indices of all entries in `scratch` intersecting the
+/// non-empty query `q` to `out` (ascending order) and returns how many.
+/// `out` must have room for scratch.count() indices.
+size_t ScanIntersecting(const ScanScratch& scratch, const geom::Rect& q,
+                        uint32_t* out);
+
+}  // namespace rtb::rtree
+
+#endif  // RTB_RTREE_SCAN_KERNEL_H_

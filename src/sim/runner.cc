@@ -1,9 +1,12 @@
 #include "sim/runner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "rtree/batch.h"
 
 namespace rtb::sim {
 
@@ -35,7 +38,8 @@ Result<WorkloadResult> ExecuteWorkload(rtree::RTree* tree,
                                        storage::PageStore* store,
                                        QueryGenerator* gen,
                                        const std::vector<Rng*>& rngs,
-                                       uint64_t warmup, uint64_t queries) {
+                                       uint64_t warmup, uint64_t queries,
+                                       uint64_t batch_size) {
   RTB_CHECK(tree != nullptr && store != nullptr && gen != nullptr);
   const uint32_t threads = static_cast<uint32_t>(rngs.size());
   if (threads == 0) {
@@ -46,19 +50,45 @@ Result<WorkloadResult> ExecuteWorkload(rtree::RTree* tree,
   WorkloadResult result;
   result.per_worker.assign(threads, WorkerResult{});
 
+  // Worker w's slice of a phase: `n` queries drawn from its RNG stream, in
+  // the same order in both modes (the generators consume a fixed number of
+  // draws per query). batch_size <= 1 keeps the historical per-query loop
+  // verbatim; larger batches route through the level-synchronous executor.
+  // Node-access counts go to *nodes when non-null (the measured phase).
+  auto run_slice = [&](uint32_t w, uint64_t n, uint64_t* nodes) -> Status {
+    if (batch_size <= 1) {
+      std::vector<rtree::ObjectId> sink;
+      rtree::QueryStats stats;
+      rtree::QueryStats* stats_arg = nodes != nullptr ? &stats : nullptr;
+      for (uint64_t i = 0; i < n; ++i) {
+        sink.clear();
+        RTB_RETURN_IF_ERROR(tree->Search(gen->Next(*rngs[w]), &sink,
+                                         stats_arg));
+      }
+      if (nodes != nullptr) *nodes = stats.nodes_accessed;
+      return Status::OK();
+    }
+    rtree::BatchExecutor executor(tree);
+    rtree::BatchStats stats;
+    std::vector<geom::Rect> batch;
+    std::vector<std::vector<rtree::ObjectId>> results;
+    batch.reserve(batch_size);
+    for (uint64_t done = 0; done < n;) {
+      const uint64_t k = std::min<uint64_t>(batch_size, n - done);
+      batch.clear();
+      for (uint64_t i = 0; i < k; ++i) batch.push_back(gen->Next(*rngs[w]));
+      RTB_RETURN_IF_ERROR(executor.Run(batch, &results, &stats));
+      done += k;
+    }
+    if (nodes != nullptr) *nodes = stats.node_accesses;
+    return Status::OK();
+  };
+
   // Phase 1: warm-up (not measured).
   const auto warmup_start = std::chrono::steady_clock::now();
   FanOut(threads, [&](uint32_t w) {
-    std::vector<rtree::ObjectId> sink;
-    const uint64_t n = SliceSize(warmup, threads, w);
-    for (uint64_t i = 0; i < n; ++i) {
-      sink.clear();
-      Status s = tree->Search(gen->Next(*rngs[w]), &sink);
-      if (!s.ok()) {
-        statuses[w] = std::move(s);
-        return;
-      }
-    }
+    Status s = run_slice(w, SliceSize(warmup, threads, w), nullptr);
+    if (!s.ok()) statuses[w] = std::move(s);
   });
   for (Status& s : statuses) {
     RTB_RETURN_IF_ERROR(std::move(s));
@@ -74,19 +104,15 @@ Result<WorkloadResult> ExecuteWorkload(rtree::RTree* tree,
 
   // Phase 2: measured queries.
   FanOut(threads, [&](uint32_t w) {
-    std::vector<rtree::ObjectId> sink;
-    rtree::QueryStats stats;
     const uint64_t n = SliceSize(queries, threads, w);
-    for (uint64_t i = 0; i < n; ++i) {
-      sink.clear();
-      Status s = tree->Search(gen->Next(*rngs[w]), &sink, &stats);
-      if (!s.ok()) {
-        statuses[w] = std::move(s);
-        return;
-      }
+    uint64_t nodes = 0;
+    Status s = run_slice(w, n, &nodes);
+    if (!s.ok()) {
+      statuses[w] = std::move(s);
+      return;
     }
     result.per_worker[w].queries = n;
-    result.per_worker[w].node_accesses = stats.nodes_accessed;
+    result.per_worker[w].node_accesses = nodes;
   });
   for (Status& s : statuses) {
     RTB_RETURN_IF_ERROR(std::move(s));
@@ -135,7 +161,7 @@ Result<WorkloadResult> RunWorkload(rtree::RTree* tree,
   rng_ptrs.reserve(options.threads);
   for (Rng& rng : rngs) rng_ptrs.push_back(&rng);
   return ExecuteWorkload(tree, store, gen, rng_ptrs, options.warmup,
-                         options.queries);
+                         options.queries, options.batch_size);
 }
 
 Result<WorkloadResult> RunWorkload(rtree::RTree* tree,
@@ -143,7 +169,8 @@ Result<WorkloadResult> RunWorkload(rtree::RTree* tree,
                                    QueryGenerator* gen, Rng* rng,
                                    uint64_t warmup, uint64_t queries) {
   RTB_CHECK(rng != nullptr);
-  return ExecuteWorkload(tree, store, gen, {rng}, warmup, queries);
+  return ExecuteWorkload(tree, store, gen, {rng}, warmup, queries,
+                         /*batch_size=*/1);
 }
 
 }  // namespace rtb::sim

@@ -79,6 +79,13 @@ struct WorkloadOptions {
   uint64_t base_seed = 1;  // Worker w uses Rng(base_seed + w).
   uint64_t warmup = 0;     // Warm-up queries, split across workers.
   uint64_t queries = 0;    // Measured queries, split across workers.
+  /// Queries executed together through rtree::BatchExecutor (level-
+  /// synchronous, page-ordered traversal). <= 1 runs the classic serial
+  /// per-query loop — the exact instruction sequence of the historical
+  /// runner, so all published counters stay valid. Query generation order
+  /// is identical in both modes (the generators draw a fixed number of RNG
+  /// values per query), so a batched run sees the same query stream.
+  uint64_t batch_size = 1;
 };
 
 /// Permanently pins the pages of the top `levels` levels of the tree

@@ -28,6 +28,17 @@ void PageGuard::Release() {
   }
 }
 
+Result<std::vector<PageGuard>> PageCache::FetchBatch(const PageId* ids,
+                                                     size_t count) {
+  std::vector<PageGuard> guards;
+  guards.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    RTB_ASSIGN_OR_RETURN(PageGuard guard, Fetch(ids[i]));
+    guards.push_back(std::move(guard));
+  }
+  return guards;
+}
+
 BufferPool::BufferPool(PageStore* store, size_t capacity,
                        std::unique_ptr<ReplacementPolicy> policy)
     : store_(store),

@@ -117,6 +117,18 @@ class PageCache {
   /// Fetches for writing; the page is marked dirty.
   virtual Result<PageGuard> FetchMutable(PageId id) = 0;
 
+  /// Multi-get: fetches `count` pages at once, returning one pinned guard
+  /// per id in the same order (a duplicated id gets an independent pin).
+  /// The base implementation loops Fetch; internally synchronized caches
+  /// override it to amortize their locking over coalesced runs of ids.
+  /// On error no pins are retained, but requests issued before the failing
+  /// one are still counted in the stats. All `count` pages are pinned
+  /// simultaneously, so callers batching against a small pool must keep
+  /// `count` well under the unpinned-frame budget (the batch executor
+  /// windows its fetches for exactly this reason).
+  virtual Result<std::vector<PageGuard>> FetchBatch(const PageId* ids,
+                                                    size_t count);
+
   /// Allocates a fresh page in the store and returns it pinned and dirty.
   virtual Result<PageGuard> NewPage() = 0;
 

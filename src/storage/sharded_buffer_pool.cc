@@ -62,6 +62,37 @@ Result<PageGuard> ShardedBufferPool::FetchMutable(PageId id) {
                    /*mark_dirty=*/true);
 }
 
+Result<std::vector<PageGuard>> ShardedBufferPool::FetchBatch(
+    const PageId* ids, size_t count) {
+  std::vector<PageGuard> guards;
+  guards.reserve(count);
+  Status error = Status::OK();
+  size_t i = 0;
+  while (i < count && error.ok()) {
+    // One lock acquisition per run of consecutive ids on the same shard.
+    const size_t shard = ShardOf(ids[i]);
+    Shard& s = *shards_[shard];
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (; i < count && ShardOf(ids[i]) == shard; ++i) {
+      Result<FrameId> f = s.pool->PinPage(ids[i]);
+      if (!f.ok()) {
+        // Record the error but leave the already-pinned guards alone until
+        // the lock is dropped: releasing a guard re-takes its shard mutex,
+        // which may be the one held right here.
+        error = f.status();
+        break;
+      }
+      guards.emplace_back(this, Frame{ids[i], s.pool->FrameData(*f), *f},
+                          /*mark_dirty=*/false);
+    }
+  }
+  if (!error.ok()) {
+    guards.clear();  // Outside any shard lock; safe to unpin.
+    return error;
+  }
+  return guards;
+}
+
 Result<PageGuard> ShardedBufferPool::NewPage() {
   // Allocate centrally (the store is thread-safe), then install the page in
   // the shard its id hashes to.

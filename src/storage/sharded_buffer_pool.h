@@ -70,6 +70,15 @@ class ShardedBufferPool final : public PageCache {
 
   Result<PageGuard> Fetch(PageId id) override;
   Result<PageGuard> FetchMutable(PageId id) override;
+
+  /// Takes one shard-lock acquisition per run of consecutive ids hashing to
+  /// the same shard (the batch executor presents page-id-sorted runs, which
+  /// SplitMix64 routing scatters — runs of length one are the common case,
+  /// but a coalesced frontier still saves the per-call lock churn of
+  /// repeated Fetch calls under contention).
+  Result<std::vector<PageGuard>> FetchBatch(const PageId* ids,
+                                            size_t count) override;
+
   Result<PageGuard> NewPage() override;
 
   Status PinPermanently(PageId id) override;

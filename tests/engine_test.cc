@@ -62,6 +62,7 @@ TEST(SpecTest, JsonRoundTrip) {
   region.qy = 0.02;
   region.count = 500;
   spec.workload.classes.push_back(region);
+  spec.workload.batch_size = 64;
   spec.run.threads = 2;
   spec.run.evaluate_model = false;
 
@@ -78,6 +79,7 @@ TEST(SpecTest, JsonRoundTrip) {
   EXPECT_EQ(parsed->pool.shards, spec.pool.shards);
   EXPECT_EQ(parsed->pool.pinned_levels, spec.pool.pinned_levels);
   EXPECT_EQ(parsed->workload.warmup, spec.workload.warmup);
+  EXPECT_EQ(parsed->workload.batch_size, 64u);
   ASSERT_EQ(parsed->workload.classes.size(), 2u);
   EXPECT_EQ(parsed->workload.classes[0].label, "point");
   EXPECT_EQ(parsed->workload.classes[1].model, "data");
@@ -99,6 +101,7 @@ TEST(SpecTest, MissingFieldsKeepDefaults) {
   EXPECT_EQ(spec->pool.policy, "LRU");
   EXPECT_EQ(spec->workload.classes[0].model, "uniform");
   EXPECT_EQ(spec->workload.classes[0].count, 100000u);
+  EXPECT_EQ(spec->workload.batch_size, 1u);
   EXPECT_EQ(spec->run.threads, 1u);
   EXPECT_TRUE(spec->run.evaluate_model);
 }
@@ -166,6 +169,9 @@ TEST(SpecTest, ValidateRejectsSemanticErrors) {
   EXPECT_FALSE(spec.Validate().ok());
   spec = BaseSpec();
   spec.tree.fanout = 1;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = BaseSpec();
+  spec.workload.batch_size = 0;
   EXPECT_FALSE(spec.Validate().ok());
 
   // kind=file needs a path; a data-driven class over an opened index needs

@@ -131,6 +131,37 @@ TEST(JsonDictTest, EmitsAllFieldTypes) {
   EXPECT_TRUE(v->Find("b")->boolean());
 }
 
+TEST(JsonDictTest, NumbersUseShortestRoundTrip) {
+  // Human-readable decimals must print as written, not as their 17-digit
+  // expansion (0.03 used to render as 0.029999999999999999).
+  JsonDict d;
+  d.PutNum("a", 0.03);
+  d.PutNum("b", 0.1);
+  d.PutNum("c", 12.5);
+  d.PutNum("d", 1.0 / 3.0);
+  const std::string text = d.ToString();
+  EXPECT_NE(text.find("\"a\": 0.03,"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"b\": 0.1,"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"c\": 12.5,"), std::string::npos) << text;
+  EXPECT_EQ(text.find("0.029999999999999999"), std::string::npos) << text;
+}
+
+TEST(JsonDictTest, ShortestFormStillRoundTripsExactly) {
+  // Whatever the chosen precision, parsing the emitted text must recover
+  // the identical double — including values that need all 17 digits.
+  const double cases[] = {0.03, 0.1, 1.0 / 3.0, 0.1 + 0.2, 1e-300,
+                          123456789.123456789, 2.2250738585072014e-308,
+                          -0.0, 6.02214076e23, 0.029999999999999999};
+  for (double expected : cases) {
+    JsonDict d;
+    d.PutNum("v", expected);
+    auto v = JsonValue::Parse(d.ToString());
+    ASSERT_TRUE(v.ok()) << d.ToString();
+    const double got = v->Find("v")->number();
+    EXPECT_EQ(got, expected) << d.ToString();
+  }
+}
+
 TEST(JsonDictTest, NestsDictsAndArrays) {
   JsonDict inner;
   inner.PutInt("x", 1);

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Compare two benchmark reports and gate on throughput regressions.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Both files must be the same kind of report:
+
+  * a bench report (BENCH_*.json: {"bench": ..., "configs": [...]}) — rows
+    are matched by their "config" name and the gated metric is
+    "queries_per_sec";
+  * an engine run report (rtb_cli run output: {"report": "rtb-run", ...}) —
+    rows are matched by class "label" (plus the "totals" row) and the gated
+    metric is "queries_per_second".
+
+For every row present in both reports the script prints the throughput
+delta plus any other shared numeric metrics that moved. It exits non-zero
+iff some row's throughput regressed by more than --threshold (default 10%),
+which makes it usable as a perf gate:
+
+    build/bench/micro_batch_query --json=/tmp/new.json
+    tools/bench_diff.py BENCH_micro_batch_query.json /tmp/new.json
+
+Rows that exist on only one side are reported but never fail the gate, so
+adding or renaming configurations does not require a baseline refresh in
+the same change.
+"""
+
+import argparse
+import json
+import sys
+
+THROUGHPUT_KEYS = ("queries_per_sec", "queries_per_second")
+# Secondary metrics worth echoing when they move by more than 1%.
+INFO_DELTA = 0.01
+
+
+def load_rows(path):
+    """Returns (kind, {row_name: {metric: value}}) for one report file."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    rows = {}
+    if isinstance(doc.get("configs"), list):
+        kind = "bench:%s" % doc.get("bench", "?")
+        for cfg in doc["configs"]:
+            name = cfg.get("config")
+            if name is not None:
+                rows[name] = cfg
+    elif doc.get("report") == "rtb-run":
+        kind = "rtb-run:%s" % doc.get("name", "?")
+        for cls in doc.get("classes", []):
+            name = cls.get("label")
+            if name is not None:
+                rows[name] = cls
+        if isinstance(doc.get("totals"), dict):
+            rows["totals"] = doc["totals"]
+    else:
+        sys.exit("%s: not a bench report or rtb-run report" % path)
+    return kind, rows
+
+
+def throughput(row):
+    for key in THROUGHPUT_KEYS:
+        value = row.get(key)
+        if isinstance(value, (int, float)) and value > 0:
+            return float(value)
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two benchmark reports; fail on regression.")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="maximum tolerated fractional throughput drop (default 0.10)")
+    args = parser.parse_args()
+
+    base_kind, base = load_rows(args.baseline)
+    cand_kind, cand = load_rows(args.candidate)
+    if base_kind.split(":")[0] != cand_kind.split(":")[0]:
+        sys.exit("report kinds differ: %s vs %s" % (base_kind, cand_kind))
+
+    regressions = []
+    print("%-36s %14s %14s %8s" % ("row", "baseline q/s", "candidate q/s",
+                                   "delta"))
+    for name in base:
+        if name not in cand:
+            print("%-36s only in baseline" % name)
+            continue
+        b, c = throughput(base[name]), throughput(cand[name])
+        if b is None or c is None:
+            continue
+        delta = (c - b) / b
+        flag = ""
+        if delta < -args.threshold:
+            regressions.append((name, delta))
+            flag = "  << REGRESSION"
+        print("%-36s %14.0f %14.0f %+7.1f%%%s" % (name, b, c, 100 * delta,
+                                                  flag))
+        # Echo any other shared numeric metric that moved noticeably.
+        for key in sorted(set(base[name]) & set(cand[name])):
+            if key in THROUGHPUT_KEYS:
+                continue
+            bv, cv = base[name][key], cand[name][key]
+            if not (isinstance(bv, (int, float)) and
+                    isinstance(cv, (int, float))):
+                continue
+            if isinstance(bv, bool) or isinstance(cv, bool):
+                continue
+            if bv != 0 and abs(cv - bv) / abs(bv) > INFO_DELTA:
+                print("    %-32s %14g %14g" % (key, bv, cv))
+    for name in cand:
+        if name not in base:
+            print("%-36s only in candidate" % name)
+
+    if regressions:
+        print("\n%d row(s) regressed more than %.0f%%:" %
+              (len(regressions), 100 * args.threshold))
+        for name, delta in regressions:
+            print("  %s: %.1f%%" % (name, 100 * delta))
+        return 1
+    print("\nno throughput regression beyond %.0f%%" %
+          (100 * args.threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

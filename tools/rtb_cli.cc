@@ -373,10 +373,13 @@ int CmdPredict(int argc, char** argv) {
 constexpr char kQueryUsage[] =
     "usage: rtb_cli query --index=FILE --buffer=B --queries=N\n"
     "                     [--qx=QX --qy=QY --seed=S --warmup=W]\n"
-    "                     [--threads=T --shards=S]\n"
+    "                     [--threads=T --shards=S --batch=N]\n"
     "  Execute a random query workload through a buffer pool and report\n"
     "  measured disk accesses next to the model prediction. --threads=1\n"
-    "  (default) is the paper's serial, bit-reproducible path.\n";
+    "  (default) is the paper's serial, bit-reproducible path. --batch=N\n"
+    "  with N >= 2 executes N queries per level-synchronous batch (each\n"
+    "  distinct page fetched once per batch); --batch=1 (default) is the\n"
+    "  classic one-query-at-a-time loop.\n";
 
 // Thin wrapper over engine::Run: the flags populate an ExperimentSpec with
 // one uniform query class over the opened index.
@@ -385,7 +388,7 @@ int CmdQuery(int argc, char** argv) {
   Args args(argc, argv, 2,
             {{"index", ""}, {"buffer", "100"}, {"queries", "100000"},
              {"qx", "0"}, {"qy", "0"}, {"seed", "1"}, {"warmup", "10000"},
-             {"threads", "1"}, {"shards", "0"}});
+             {"threads", "1"}, {"shards", "0"}, {"batch", "1"}});
   if (!args.ok()) return FailUsage(args.error(), kQueryUsage);
 
   engine::ExperimentSpec spec;
@@ -396,6 +399,8 @@ int CmdQuery(int argc, char** argv) {
       std::max<uint32_t>(1, static_cast<uint32_t>(args.GetInt("threads")));
   spec.run.seed = args.GetInt("seed");
   spec.workload.warmup = args.GetInt("warmup");
+  spec.workload.batch_size =
+      std::max<uint64_t>(1, args.GetInt("batch"));
   engine::QueryClassSpec cls;
   cls.qx = args.GetDouble("qx");
   cls.qy = args.GetDouble("qy");

@@ -1,11 +1,13 @@
 #!/bin/sh
 # Full pre-merge check matrix: a Release build running the whole test
 # suite, a ThreadSanitizer build running the `concurrency`-labeled tests,
-# and an AddressSanitizer build running the whole suite again. Builds land
-# in build-checks/<name> so the developer's main build/ tree is untouched.
+# and AddressSanitizer + UndefinedBehaviorSanitizer builds running the
+# whole suite again (UBSan matters for the SIMD scan kernels: unaligned
+# loads and mask arithmetic are easy places to hide UB). Builds land in
+# build-checks/<name> so the developer's main build/ tree is untouched.
 #
-#   tools/run_checks.sh            # all three configurations
-#   tools/run_checks.sh release    # just one of: release | tsan | asan
+#   tools/run_checks.sh            # all four configurations
+#   tools/run_checks.sh release    # just one of: release | tsan | asan | ubsan
 #
 # Sanitizer builds skip the benchmarks (RTB_BUILD_BENCHMARKS=OFF) — they
 # only slow the build down and the bench smoke test already runs in the
@@ -17,9 +19,9 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 ONLY="${1:-all}"
 
 case "$ONLY" in
-  all|release|tsan|asan) ;;
+  all|release|tsan|asan|ubsan) ;;
   *)
-    echo "unknown configuration: $ONLY (expected release|tsan|asan)" >&2
+    echo "unknown configuration: $ONLY (expected release|tsan|asan|ubsan)" >&2
     exit 2
     ;;
 esac
@@ -56,6 +58,13 @@ if wants asan; then
   configure_and_build "$ROOT/build-checks/asan" \
       -DRTB_SANITIZE=address -DRTB_BUILD_BENCHMARKS=OFF
   (cd "$ROOT/build-checks/asan" && ctest --output-on-failure)
+fi
+
+if wants ubsan; then
+  echo "==> ubsan"
+  configure_and_build "$ROOT/build-checks/ubsan" \
+      -DRTB_SANITIZE=undefined -DRTB_BUILD_BENCHMARKS=OFF
+  (cd "$ROOT/build-checks/ubsan" && ctest --output-on-failure)
 fi
 
 echo "all requested checks passed"
