@@ -54,7 +54,6 @@
 #include "rtree/validate.h"
 #include "sim/lru_sim.h"
 #include "sim/nd_sim.h"
-#include "sim/parallel_runner.h"
 #include "sim/query_gen.h"
 #include "sim/runner.h"
 #include "storage/buffer_pool.h"

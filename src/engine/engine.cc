@@ -136,7 +136,13 @@ Result<PreparedTree> PrepareTree(const ExperimentSpec& spec) {
         spec.tree.algo == "RSTAR"
             ? rtree::RTreeConfig::RStar(spec.tree.fanout)
             : rtree::RTreeConfig::WithFanout(spec.tree.fanout);
-    auto store = std::make_unique<storage::MemPageStore>();
+    std::unique_ptr<storage::PageStore> store;
+    if (spec.storage.backend == "file") {
+      RTB_ASSIGN_OR_RETURN(store,
+                           storage::FilePageStore::Create(spec.storage.path));
+    } else {
+      store = std::make_unique<storage::MemPageStore>();
+    }
     RTB_ASSIGN_OR_RETURN(rtree::BuiltTree built,
                          rtree::BuildRTree(store.get(), config, rects, algo));
     prepared.build_seconds = SecondsSince(start);
@@ -177,6 +183,9 @@ Result<ModelEstimate> EvaluateModel(const rtree::TreeSummary& summary,
 
 Result<RunReport> Run(const ExperimentSpec& spec) {
   RTB_RETURN_IF_ERROR(spec.Validate());
+  // Applies to every FilePageStore in the process; a no-op request to
+  // enable a path the binary lacks degrades to scalar pread.
+  storage::SetVectoredIo(spec.storage.vectored_io);
   RunReport report;
   report.spec = spec;
 
@@ -277,6 +286,9 @@ report::JsonDict RunReport::ToJsonDict() const {
   report::JsonDict store;
   store.PutInt("reads", store_io.reads);
   store.PutInt("writes", store_io.writes);
+  store.PutInt("read_batches", store_io.read_batches);
+  store.PutInt("batch_pages", store_io.batch_pages);
+  store.PutNum("pages_per_batch", store_io.PagesPerBatch());
   doc.PutDict("store", store);
 
   report::JsonDict totals;

@@ -40,8 +40,9 @@ namespace rtb::engine {
 inline constexpr uint64_t kRunReportSchemaVersion = 1;
 
 /// A tree materialized for a spec: the page store (in-memory for built
-/// trees, file-backed for opened indexes), its summary, and — when any
-/// query class is data-driven — the data rectangle centers.
+/// trees unless storage.backend is "file"; file-backed for opened indexes),
+/// its summary, and — when any query class is data-driven — the data
+/// rectangle centers.
 struct PreparedTree {
   std::unique_ptr<storage::PageStore> store;
   std::unique_ptr<rtree::TreeSummary> summary;

@@ -80,6 +80,23 @@ Status ParseTree(const JsonValue& v, TreeSpec* out) {
   return Status::OK();
 }
 
+Status ParseStorage(const JsonValue& v, StorageSpec* out) {
+  if (!v.is_object()) return Bad("storage must be an object");
+  for (const auto& [key, value] : v.members()) {
+    if (key == "backend") {
+      RTB_RETURN_IF_ERROR(GetStr(value, "storage.backend", &out->backend));
+    } else if (key == "path") {
+      RTB_RETURN_IF_ERROR(GetStr(value, "storage.path", &out->path));
+    } else if (key == "vectored_io") {
+      RTB_RETURN_IF_ERROR(
+          GetBool(value, "storage.vectored_io", &out->vectored_io));
+    } else {
+      return Bad("unknown key storage." + key);
+    }
+  }
+  return Status::OK();
+}
+
 Status ParsePool(const JsonValue& v, PoolSpec* out) {
   if (!v.is_object()) return Bad("pool must be an object");
   for (const auto& [key, value] : v.members()) {
@@ -200,6 +217,8 @@ Result<ExperimentSpec> ExperimentSpec::FromJson(const std::string& text) {
       RTB_RETURN_IF_ERROR(ParseDataset(value, &spec.dataset));
     } else if (key == "tree") {
       RTB_RETURN_IF_ERROR(ParseTree(value, &spec.tree));
+    } else if (key == "storage") {
+      RTB_RETURN_IF_ERROR(ParseStorage(value, &spec.storage));
     } else if (key == "pool") {
       RTB_RETURN_IF_ERROR(ParsePool(value, &spec.pool));
     } else if (key == "workload") {
@@ -237,6 +256,18 @@ Status ExperimentSpec::Validate() const {
   if (!ValidAlgo(tree.algo)) {
     return Bad("unknown tree.algo '" + tree.algo +
                "' (HS|NX|STR|TAT|RSTAR)");
+  }
+  if (storage.backend != "mem" && storage.backend != "file") {
+    return Bad("unknown storage.backend '" + storage.backend +
+               "' (mem|file)");
+  }
+  if (storage.backend == "file" && storage.path.empty()) {
+    return Bad("storage.backend 'file' needs storage.path");
+  }
+  if (storage.backend == "file" && !tree.index.empty()) {
+    // A persistent index carries its own store file; a second one would
+    // silently go unused.
+    return Bad("storage.backend 'file' conflicts with tree.index");
   }
   if (pool.buffer_pages == 0) return Bad("pool.buffer_pages must be >= 1");
   RTB_RETURN_IF_ERROR(ParsePolicyKind(pool.policy).status());
@@ -284,6 +315,12 @@ report::JsonDict ExperimentSpec::ToJsonDict() const {
   tr.PutStr("algo", tree.algo);
   if (!tree.index.empty()) tr.PutStr("index", tree.index);
   doc.PutDict("tree", tr);
+
+  report::JsonDict st;
+  st.PutStr("backend", storage.backend);
+  if (!storage.path.empty()) st.PutStr("path", storage.path);
+  st.PutBool("vectored_io", storage.vectored_io);
+  doc.PutDict("storage", st);
 
   report::JsonDict pl;
   pl.PutInt("buffer_pages", pool.buffer_pages);

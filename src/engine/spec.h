@@ -61,6 +61,18 @@ struct TreeSpec {
   std::string index;        // Existing index file; empty = build from dataset.
 };
 
+/// Which PageStore backs a tree built from the dataset. `backend == "mem"`
+/// (the default) is the paper's counting in-memory store; `backend ==
+/// "file"` bulk-loads into a FilePageStore at `path` (created or
+/// truncated), exercising the real preadv/pread read path. Ignored — and
+/// rejected by Validate — when tree.index names a persistent index, which
+/// carries its own file.
+struct StorageSpec {
+  std::string backend = "mem";  // mem|file
+  std::string path;             // Store file (backend == "file").
+  bool vectored_io = true;      // false forces one pread per page.
+};
+
 /// Buffer pool configuration. `shards == 0` with `threads == 1` selects the
 /// paper's serial pool (bit-reproducible); anything else the lock-striped
 /// pool.
@@ -103,6 +115,7 @@ struct ExperimentSpec {
   std::string name = "experiment";
   DatasetSpec dataset;
   TreeSpec tree;
+  StorageSpec storage;
   PoolSpec pool;
   WorkloadSpec workload;
   RunSpec run;

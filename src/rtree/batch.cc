@@ -10,9 +10,13 @@ namespace rtb::rtree {
 namespace {
 
 // Upper bound on pages pinned simultaneously by the windowed multi-get.
-// Small on purpose: the win of FetchBatch is amortizing shard locks, not
-// holding many pins, and a wide window on a small pool would make frames
-// unevictable that the scan itself still needs.
+// Small on purpose: a wide window on a small pool would make frames
+// unevictable that the scan itself still needs. The window's payoff is
+// downstream: the serial pool routes the window's miss set through
+// PageStore::ReadBatch, so a cold sweep over this page-ordered frontier
+// reaches a FilePageStore as one vectored read per consecutive run instead
+// of one syscall per page (the sharded pool additionally amortizes its
+// shard locks over the window).
 constexpr size_t kMaxFetchWindow = 8;
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+#include <cstring>
 #include <string>
 #include <utility>
 
@@ -100,7 +102,8 @@ Result<FrameId> BufferPool::AcquireFrame() {
   return victim;
 }
 
-Result<FrameId> BufferPool::PinPage(PageId id) {
+Result<FrameId> BufferPool::PinPageNoRead(PageId id, bool* pending) {
+  *pending = false;
   ++stats_.requests;
   const FrameId resident = page_table_.Find(id);
   if (resident != PageTable::kNoFrame) {
@@ -116,11 +119,6 @@ Result<FrameId> BufferPool::PinPage(PageId id) {
   }
   ++stats_.misses;
   RTB_ASSIGN_OR_RETURN(FrameId f, AcquireFrame());
-  Status read = store_->Read(id, FrameData(f));
-  if (!read.ok()) {
-    free_frames_.push_back(f);
-    return read;
-  }
   FrameMeta& meta = frames_[f];
   meta.page_id = id;
   meta.pin_count = 1;
@@ -130,7 +128,120 @@ Result<FrameId> BufferPool::PinPage(PageId id) {
   page_table_.Insert(id, f);
   policy_->RecordAccess(f);
   policy_->SetEvictable(f, false);
+  *pending = true;
   return f;
+}
+
+void BufferPool::UninstallPending(FrameId f) {
+  FrameMeta& meta = frames_[f];
+  page_table_.Erase(meta.page_id);
+  policy_->Remove(f);
+  meta.Reset();
+  free_frames_.push_back(f);
+}
+
+Result<FrameId> BufferPool::PinPage(PageId id) {
+  bool pending = false;
+  RTB_ASSIGN_OR_RETURN(FrameId f, PinPageNoRead(id, &pending));
+  if (!pending) return f;
+  Status read = store_->Read(id, FrameData(f));
+  if (!read.ok()) {
+    UninstallPending(f);
+    return read;
+  }
+  return f;
+}
+
+Status BufferPool::ReadPendingFrames(BatchEntry* entries, size_t n) {
+  if (!store_->CoalescesBatchReads()) {
+    // The store would serve ReadBatch as a loop of per-page reads anyway
+    // (MemPageStore, or a file store with the vectored seam off), so read
+    // straight into the frames, in presentation order, with no sort, no id
+    // list and no staging copy — the exact read sequence of the looped
+    // Fetch path. The pending flags clear only once every read succeeded,
+    // so a mid-loop failure unwinds exactly like a failed ReadBatch:
+    // nothing from this batch stays resident.
+    for (size_t i = 0; i < n; ++i) {
+      if (!entries[i].pending) continue;
+      RTB_RETURN_IF_ERROR(store_->Read(entries[i].id, FrameData(entries[i].frame)));
+    }
+    for (size_t i = 0; i < n; ++i) entries[i].pending = false;
+    return Status::OK();
+  }
+  // Collect the pending subset sorted by page id: the batch executor's
+  // elevator sweep presents descending ids every other batch, and the
+  // store's run coalescing wants ascending consecutive ids.
+  batch_pending_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    if (entries[i].pending) batch_pending_.push_back(&entries[i]);
+  }
+  if (batch_pending_.empty()) return Status::OK();
+  std::sort(batch_pending_.begin(), batch_pending_.end(),
+            [](const BatchEntry* a, const BatchEntry* b) {
+              return a->id < b->id;
+            });
+  const size_t stride = page_size();
+  if (batch_scratch_.size() < batch_pending_.size() * stride) {
+    batch_scratch_.resize(batch_pending_.size() * stride);
+  }
+  batch_ids_.resize(batch_pending_.size());
+  for (size_t k = 0; k < batch_pending_.size(); ++k) {
+    batch_ids_[k] = batch_pending_[k]->id;
+  }
+  RTB_RETURN_IF_ERROR(store_->ReadBatch(batch_ids_.data(), batch_ids_.size(),
+                                        batch_scratch_.data()));
+  for (size_t k = 0; k < batch_pending_.size(); ++k) {
+    std::memcpy(FrameData(batch_pending_[k]->frame),
+                batch_scratch_.data() + k * stride, stride);
+    batch_pending_[k]->pending = false;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<PageGuard>> BufferPool::FetchBatch(const PageId* ids,
+                                                      size_t count) {
+  // Stage 1: pin every id in presentation order — hits and misses are
+  // counted here, so BufferStats match the loop-Fetch path exactly — but
+  // defer the miss reads. Stage 2 fills all misses with one store
+  // ReadBatch. Guards are only materialized once every frame holds real
+  // data; until then the pins are raw, which keeps the error unwind free of
+  // guard-ordering hazards.
+  std::vector<BatchEntry>& entries = batch_entries_;  // Reused across calls.
+  entries.clear();
+  entries.reserve(count);
+  Status error = Status::OK();
+  for (size_t i = 0; i < count; ++i) {
+    bool pending = false;
+    Result<FrameId> f = PinPageNoRead(ids[i], &pending);
+    if (!f.ok()) {
+      error = f.status();
+      break;
+    }
+    entries.push_back(BatchEntry{ids[i], *f, pending});
+  }
+  if (error.ok()) {
+    error = ReadPendingFrames(entries.data(), entries.size());
+  }
+  if (!error.ok()) {
+    // Reverse order: a repeated id's extra pin on a pending frame drops
+    // before the pending install itself is rolled back.
+    for (size_t i = entries.size(); i > 0; --i) {
+      const BatchEntry& e = entries[i - 1];
+      if (e.pending) {
+        UninstallPending(e.frame);
+      } else {
+        Unpin(Frame{e.id, FrameData(e.frame), e.frame}, /*dirty=*/false);
+      }
+    }
+    return error;
+  }
+  std::vector<PageGuard> guards;
+  guards.reserve(count);
+  for (const BatchEntry& e : entries) {
+    guards.emplace_back(this, Frame{e.id, FrameData(e.frame), e.frame},
+                        /*mark_dirty=*/false);
+  }
+  return guards;
 }
 
 Result<PageGuard> BufferPool::Fetch(PageId id) {

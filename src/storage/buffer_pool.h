@@ -188,6 +188,16 @@ class BufferPool final : public PageCache {
 
   Result<PageGuard> Fetch(PageId id) override;
   Result<PageGuard> FetchMutable(PageId id) override;
+
+  /// Overrides the loop-Fetch default to route the window's misses through
+  /// one PageStore::ReadBatch call (page-id sorted, so consecutive pages
+  /// coalesce into vectored reads on a FilePageStore). Hit/miss accounting
+  /// happens per id in presentation order before any read is issued, so
+  /// BufferStats are byte-identical to the looped path; only the number of
+  /// read *syscalls* changes.
+  Result<std::vector<PageGuard>> FetchBatch(const PageId* ids,
+                                            size_t count) override;
+
   Result<PageGuard> NewPage() override;
 
   Status PinPermanently(PageId id) override;
@@ -230,11 +240,43 @@ class BufferPool final : public PageCache {
     }
   };
 
+  // One id of an in-flight FetchBatch: the frame it pinned, and whether the
+  // frame is still pending (installed in the table and pinned, but its data
+  // not yet read from the store).
+  struct BatchEntry {
+    PageId id = kInvalidPageId;
+    FrameId frame = 0;
+    bool pending = false;
+  };
+
   // Finds a frame for a new page: a free frame if any, otherwise evicts.
   Result<FrameId> AcquireFrame();
 
   // Pins the page into a frame, reading it on a miss. Core of Fetch.
   Result<FrameId> PinPage(PageId id);
+
+  // Like PinPage, but a miss installs the frame (pinned, in the page table)
+  // without reading from the store; `*pending` is set and the caller must
+  // either fill FrameData() — misses of a batch are filled together through
+  // store ReadBatch — or roll the install back with UninstallPending.
+  // A repeated id in the same batch hits the pending frame, exactly as it
+  // would hit the already-read frame on the looped path.
+  Result<FrameId> PinPageNoRead(PageId id, bool* pending);
+
+  // Rolls back a pending install from PinPageNoRead: the frame (never
+  // filled) leaves the page table, the policy forgets it, and it returns to
+  // the free list. Any extra pins from repeated ids must be dropped first.
+  void UninstallPending(FrameId f);
+
+  // Reads every still-pending entry's page from the store, clearing the
+  // pending flags on success. When the store coalesces
+  // (CoalescesBatchReads()), the misses go through one ReadBatch call
+  // (page-id sorted to maximize consecutive runs) and are copied into the
+  // frames from a staging buffer; otherwise they are read straight into
+  // the frames, page at a time in presentation order — the store would
+  // loop anyway, and the sort and staging copy are pure overhead there. On
+  // error the entries stay pending (the caller unwinds them).
+  Status ReadPendingFrames(BatchEntry* entries, size_t n);
 
   // Installs the already-allocated, zero-filled page `id` into a frame,
   // pinned and dirty. Core of NewPage; also used by ShardedBufferPool,
@@ -256,6 +298,18 @@ class BufferPool final : public PageCache {
   // Open-addressed page-id -> frame index, sized at construction so
   // steady-state fetches never allocate (see storage/page_table.h).
   PageTable page_table_;
+  // Staging buffer for ReadPendingFrames when the store coalesces (frames
+  // are not contiguous per batch; the vectored store reads land here and
+  // are copied out). Grows once to the largest batch and is reused; stays
+  // empty for stores that read page at a time.
+  std::vector<uint8_t> batch_scratch_;
+  // Reused per-call scratch for FetchBatch / ReadPendingFrames, so the
+  // small, frequent fetch windows of low batch sizes don't pay a heap
+  // allocation each. Safe as members: the pool is externally serialized
+  // (per shard for ShardedBufferPool) and neither call re-enters.
+  std::vector<BatchEntry> batch_entries_;
+  std::vector<BatchEntry*> batch_pending_;
+  std::vector<PageId> batch_ids_;
   size_t num_permanent_pins_ = 0;
   BufferStats stats_;
 };

@@ -36,6 +36,12 @@ class FaultInjectingPageStore final : public PageStore {
     write_status_ = std::move(status);
   }
 
+  /// Fails the next `count` allocations (before the base store sees them).
+  void FailNextAllocations(int count, Status status) {
+    failing_allocations_ = count;
+    alloc_status_ = std::move(status);
+  }
+
   /// Fails every read of page `id` until cleared with kInvalidPageId.
   void FailPage(PageId id, Status status) {
     poisoned_page_ = id;
@@ -44,8 +50,17 @@ class FaultInjectingPageStore final : public PageStore {
 
   size_t page_size() const override { return base_->page_size(); }
   PageId num_pages() const override { return base_->num_pages(); }
+  bool CoalescesBatchReads() const override {
+    return base_->CoalescesBatchReads();
+  }
 
-  Result<PageId> Allocate() override { return base_->Allocate(); }
+  Result<PageId> Allocate() override {
+    if (failing_allocations_ > 0) {
+      --failing_allocations_;
+      return alloc_status_;
+    }
+    return base_->Allocate();
+  }
 
   Status Read(PageId id, uint8_t* out) override {
     if (poisoned_page_ == id) return poisoned_status_;
@@ -54,6 +69,21 @@ class FaultInjectingPageStore final : public PageStore {
       return read_status_;
     }
     return base_->Read(id, out);
+  }
+
+  Status ReadBatch(const PageId* ids, size_t n, uint8_t* out) override {
+    if (poisoned_page_ == kInvalidPageId && failing_reads_ <= 0) {
+      // Healthy: preserve the base store's vectored behavior (and its
+      // read_batches accounting).
+      return base_->ReadBatch(ids, n, out);
+    }
+    // Faults armed: degrade to page-at-a-time through this wrapper's Read,
+    // so an injected failure lands mid-batch at exactly the page it would
+    // hit on the serial path (a countdown of k fails the batch's page k).
+    for (size_t i = 0; i < n; ++i) {
+      RTB_RETURN_IF_ERROR(Read(ids[i], out + i * page_size()));
+    }
+    return Status::OK();
   }
 
   Status Write(PageId id, const uint8_t* data) override {
@@ -71,8 +101,10 @@ class FaultInjectingPageStore final : public PageStore {
   PageStore* base_;
   int failing_reads_ = 0;
   int failing_writes_ = 0;
+  int failing_allocations_ = 0;
   Status read_status_ = Status::IoError("injected read fault");
   Status write_status_ = Status::IoError("injected write fault");
+  Status alloc_status_ = Status::IoError("injected allocation fault");
   PageId poisoned_page_ = kInvalidPageId;
   Status poisoned_status_ = Status::IoError("poisoned page");
 };

@@ -1,5 +1,12 @@
 #include "storage/file_page_store.h"
 
+#include <fcntl.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -10,6 +17,10 @@ constexpr uint32_t kFileMagic = 0x52544253;  // "RTBS"
 constexpr uint32_t kFileVersion = 1;
 constexpr size_t kHeaderSize = 32;
 
+// Longest run one preadv covers; longer runs split. Far below IOV_MAX, and
+// comfortably above the buffer pools' fetch windows.
+constexpr size_t kMaxVectoredRun = 64;
+
 struct Header {
   uint32_t magic;
   uint32_t version;
@@ -19,24 +30,93 @@ struct Header {
 };
 static_assert(sizeof(Header) == kHeaderSize);
 
-long PageOffset(PageId id, size_t page_size) {
-  return static_cast<long>(kHeaderSize +
-                           static_cast<uint64_t>(id) * page_size);
+off_t PageOffset(PageId id, size_t page_size) {
+  return static_cast<off_t>(kHeaderSize +
+                            static_cast<uint64_t>(id) * page_size);
+}
+
+// Full-length positioned read: retries partial transfers and EINTR.
+// Returns false on error or premature EOF (short file).
+bool PreadFull(int fd, uint8_t* buf, size_t len, off_t offset) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t got =
+        ::pread(fd, buf + done, len - done, offset + static_cast<off_t>(done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // EOF before the page ended.
+    done += static_cast<size_t>(got);
+  }
+  return true;
+}
+
+// Full-length positioned write: retries partial transfers and EINTR.
+bool PwriteFull(int fd, const uint8_t* buf, size_t len, off_t offset) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t put = ::pwrite(fd, buf + done, len - done,
+                                 offset + static_cast<off_t>(done));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(put);
+  }
+  return true;
+}
+
+bool InitialVectored() {
+#if defined(RTB_VECTORED_IO_ENABLED)
+  if (const char* env = std::getenv("RTB_VECTORED_IO")) {
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+        std::strcmp(env, "scalar") == 0) {
+      return false;
+    }
+  }
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::atomic<bool>& VectoredSlot() {
+  static std::atomic<bool> slot{InitialVectored()};
+  return slot;
 }
 
 }  // namespace
+
+bool VectoredIoAvailable() {
+#if defined(RTB_VECTORED_IO_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool VectoredIoActive() {
+  return VectoredSlot().load(std::memory_order_relaxed);
+}
+
+bool SetVectoredIo(bool on) {
+  if (on && !VectoredIoAvailable()) return false;
+  VectoredSlot().store(on, std::memory_order_relaxed);
+  return true;
+}
 
 Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
     const std::string& path, size_t page_size) {
   if (page_size == 0) {
     return Status::InvalidArgument("page size must be positive");
   }
-  std::FILE* file = std::fopen(path.c_str(), "wb+");
-  if (file == nullptr) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
     return Status::IoError("cannot create " + path);
   }
   auto store = std::unique_ptr<FilePageStore>(
-      new FilePageStore(path, file, page_size, 0));
+      new FilePageStore(path, fd, page_size, 0));
   {
     std::lock_guard<std::mutex> lock(store->mu_);
     RTB_RETURN_IF_ERROR(store->WriteHeader());
@@ -46,44 +126,46 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
 
 Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
     const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "rb+");
-  if (file == nullptr) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
     return Status::IoError("cannot open " + path);
   }
   Header header;
-  if (std::fread(&header, sizeof(header), 1, file) != 1) {
-    std::fclose(file);
+  if (!PreadFull(fd, reinterpret_cast<uint8_t*>(&header), sizeof(header),
+                 0)) {
+    ::close(fd);
     return Status::Corruption(path + ": truncated header");
   }
   if (header.magic != kFileMagic) {
-    std::fclose(file);
+    ::close(fd);
     return Status::Corruption(path + ": bad magic");
   }
   if (header.version != kFileVersion) {
-    std::fclose(file);
+    ::close(fd);
     return Status::NotSupported(path + ": unsupported version " +
                                 std::to_string(header.version));
   }
   if (header.page_size == 0 || header.num_pages > kInvalidPageId) {
-    std::fclose(file);
+    ::close(fd);
     return Status::Corruption(path + ": implausible header fields");
   }
   return std::unique_ptr<FilePageStore>(new FilePageStore(
-      path, file, static_cast<size_t>(header.page_size),
+      path, fd, static_cast<size_t>(header.page_size),
       static_cast<PageId>(header.num_pages)));
 }
 
 FilePageStore::~FilePageStore() {
-  if (file_ != nullptr) {
+  if (fd_ >= 0) {
     (void)Sync();
-    std::fclose(file_);
+    ::close(fd_);
   }
 }
 
 Status FilePageStore::WriteHeader() {
-  Header header{kFileMagic, kFileVersion, page_size_, num_pages_, 0};
-  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
-      std::fwrite(&header, sizeof(header), 1, file_) != 1) {
+  Header header{kFileMagic, kFileVersion, page_size_,
+                num_pages_.load(std::memory_order_acquire), 0};
+  if (!PwriteFull(fd_, reinterpret_cast<const uint8_t*>(&header),
+                  sizeof(header), 0)) {
     return Status::IoError(path_ + ": header write failed");
   }
   return Status::OK();
@@ -91,52 +173,116 @@ Status FilePageStore::WriteHeader() {
 
 Result<PageId> FilePageStore::Allocate() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (num_pages_ >= kInvalidPageId) {
+  const PageId id = num_pages_.load(std::memory_order_relaxed);
+  if (id >= kInvalidPageId) {
     return Status::ResourceExhausted("page id space exhausted");
   }
-  PageId id = num_pages_;
   std::vector<uint8_t> zeros(page_size_, 0);
-  if (std::fseek(file_, PageOffset(id, page_size_), SEEK_SET) != 0 ||
-      std::fwrite(zeros.data(), 1, page_size_, file_) != page_size_) {
+  if (!PwriteFull(fd_, zeros.data(), page_size_,
+                  PageOffset(id, page_size_))) {
     return Status::IoError(path_ + ": page allocation write failed");
   }
-  ++num_pages_;
-  ++stats_.allocations;
+  num_pages_.store(id + 1, std::memory_order_release);
+  allocations_.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
 
 Status FilePageStore::Read(PageId id, uint8_t* out) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (id >= num_pages_) {
+  if (id >= num_pages_.load(std::memory_order_acquire)) {
     return Status::NotFound("read of unallocated page " + std::to_string(id));
   }
-  if (std::fseek(file_, PageOffset(id, page_size_), SEEK_SET) != 0 ||
-      std::fread(out, 1, page_size_, file_) != page_size_) {
+  if (!PreadFull(fd_, out, page_size_, PageOffset(id, page_size_))) {
     return Status::IoError(path_ + ": page read failed");
   }
-  ++stats_.reads;
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status FilePageStore::ReadBatch(const PageId* ids, size_t n, uint8_t* out) {
+  const PageId num_pages = num_pages_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    if (ids[i] >= num_pages) {
+      return Status::NotFound("read of unallocated page " +
+                              std::to_string(ids[i]));
+    }
+  }
+  [[maybe_unused]] const bool vectored = VectoredIoActive();
+  size_t i = 0;
+  while (i < n) {
+    // Extend the run while the ids stay consecutive: those pages are
+    // contiguous on disk (and in `out`), so one vectored read covers them.
+    size_t run = 1;
+    while (run < kMaxVectoredRun && i + run < n &&
+           ids[i + run] == ids[i] + run) {
+      ++run;
+    }
+#if defined(RTB_VECTORED_IO_ENABLED)
+    if (vectored && run >= 2) {
+      // One iovec per page keeps the accounting page-granular and is the
+      // shape a scatter destination (per-frame iovecs) would use; the
+      // kernel sees a single contiguous transfer either way.
+      uint8_t* dst = out + i * page_size_;
+      const size_t total = run * page_size_;
+      const off_t base = PageOffset(ids[i], page_size_);
+      size_t done = 0;
+      while (done < total) {
+        struct iovec iov[kMaxVectoredRun];
+        const size_t first = done / page_size_;
+        const size_t within = done % page_size_;
+        int cnt = 0;
+        for (size_t p = first; p < run; ++p) {
+          const size_t skip = p == first ? within : 0;
+          iov[cnt].iov_base = dst + p * page_size_ + skip;
+          iov[cnt].iov_len = page_size_ - skip;
+          ++cnt;
+        }
+        const ssize_t got =
+            ::preadv(fd_, iov, cnt, base + static_cast<off_t>(done));
+        if (got < 0) {
+          if (errno == EINTR) continue;
+          return Status::IoError(path_ + ": batch page read failed");
+        }
+        if (got == 0) {
+          return Status::IoError(path_ + ": short read in page batch");
+        }
+        done += static_cast<size_t>(got);
+      }
+      reads_.fetch_add(run, std::memory_order_relaxed);
+      read_batches_.fetch_add(1, std::memory_order_relaxed);
+      batch_pages_.fetch_add(run, std::memory_order_relaxed);
+    } else
+#endif
+    {
+      for (size_t p = 0; p < run; ++p) {
+        if (!PreadFull(fd_, out + (i + p) * page_size_, page_size_,
+                       PageOffset(ids[i + p], page_size_))) {
+          return Status::IoError(path_ + ": page read failed");
+        }
+        reads_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    i += run;
+  }
   return Status::OK();
 }
 
 Status FilePageStore::Write(PageId id, const uint8_t* data) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (id >= num_pages_) {
+  if (id >= num_pages_.load(std::memory_order_acquire)) {
     return Status::NotFound("write of unallocated page " +
                             std::to_string(id));
   }
-  if (std::fseek(file_, PageOffset(id, page_size_), SEEK_SET) != 0 ||
-      std::fwrite(data, 1, page_size_, file_) != page_size_) {
+  if (!PwriteFull(fd_, data, page_size_, PageOffset(id, page_size_))) {
     return Status::IoError(path_ + ": page write failed");
   }
-  ++stats_.writes;
+  writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status FilePageStore::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
   RTB_RETURN_IF_ERROR(WriteHeader());
-  if (std::fflush(file_) != 0) {
-    return Status::IoError(path_ + ": flush failed");
+  if (::fsync(fd_) != 0) {
+    return Status::IoError(path_ + ": fsync failed");
   }
   return Status::OK();
 }

@@ -3,15 +3,29 @@
 // MemPageStore is the workhorse for experiments (counts are what the paper
 // measures); FilePageStore makes the library usable as an actual persistent
 // index. The file layout is a 32-byte header (magic, version, page size,
-// page count) followed by the pages. Reads/writes use positioned I/O on a
-// single descriptor, serialized by one mutex (the stdio stream's file
-// position is shared state), so the store is safe to use from the
-// concurrent query layer.
+// page count) followed by the pages.
+//
+// I/O is positioned (`pread`/`pwrite` on a raw descriptor), so reads and
+// writes of distinct pages proceed fully in parallel — no shared file
+// position, no lock on the data path. The only mutex serializes Allocate
+// and header writes; counters are atomic, matching MemPageStore.
+//
+// ReadBatch coalesces runs of consecutive page ids into a single `preadv`
+// per run (consecutive pages are contiguous on disk), so the batch
+// executor's page-ordered miss windows reach the kernel as one syscall per
+// run instead of one per page. The vectored path sits behind a runtime
+// seam mirroring the scan-kernel pattern: the RTB_VECTORED_IO CMake option
+// gates compilation, the RTB_VECTORED_IO environment variable
+// (0|off|scalar disables) caps the initial choice, and SetVectoredIo()
+// switches it programmatically (used by the micro_file_io bench to measure
+// both variants in one process). With the seam off every page is a scalar
+// `pread` and `IoStats::read_batches` stays zero, so per-page counts are
+// byte-identical to the pre-batch API.
 
 #ifndef RTB_STORAGE_FILE_PAGE_STORE_H_
 #define RTB_STORAGE_FILE_PAGE_STORE_H_
 
-#include <cstdio>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -21,6 +35,20 @@
 #include "util/result.h"
 
 namespace rtb::storage {
+
+/// True when this binary was compiled with the preadv path
+/// (-DRTB_VECTORED_IO=ON, the default).
+bool VectoredIoAvailable();
+
+/// Whether FilePageStore::ReadBatch currently coalesces consecutive runs
+/// with preadv. Initially VectoredIoAvailable() unless the RTB_VECTORED_IO
+/// environment variable (0|off|scalar) disables it.
+bool VectoredIoActive();
+
+/// Enables or disables the vectored read path for subsequent ReadBatch
+/// calls. Returns false (and changes nothing) when enabling is requested
+/// but the binary lacks the path. Disabling always succeeds.
+bool SetVectoredIo(bool on);
 
 /// File-backed PageStore. Create with Open (existing file) or Create (new
 /// or truncated file); both return errors rather than throwing.
@@ -41,21 +69,33 @@ class FilePageStore final : public PageStore {
 
   size_t page_size() const override { return page_size_; }
   PageId num_pages() const override {
-    std::lock_guard<std::mutex> lock(mu_);
-    return num_pages_;
+    return num_pages_.load(std::memory_order_acquire);
   }
 
   Result<PageId> Allocate() override;
   Status Read(PageId id, uint8_t* out) override;
+  Status ReadBatch(const PageId* ids, size_t n, uint8_t* out) override;
+  // With the seam off, ReadBatch is a pread-per-page loop, so callers may
+  // as well issue the per-page reads themselves (straight into their
+  // frames, no staging copy).
+  bool CoalescesBatchReads() const override { return VectoredIoActive(); }
   Status Write(PageId id, const uint8_t* data) override;
 
   IoStats stats() const override {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    IoStats snapshot;
+    snapshot.reads = reads_.load(std::memory_order_relaxed);
+    snapshot.writes = writes_.load(std::memory_order_relaxed);
+    snapshot.allocations = allocations_.load(std::memory_order_relaxed);
+    snapshot.read_batches = read_batches_.load(std::memory_order_relaxed);
+    snapshot.batch_pages = batch_pages_.load(std::memory_order_relaxed);
+    return snapshot;
   }
   void ResetStats() override {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_ = IoStats{};
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+    allocations_.store(0, std::memory_order_relaxed);
+    read_batches_.store(0, std::memory_order_relaxed);
+    batch_pages_.store(0, std::memory_order_relaxed);
   }
 
   /// Flushes the header and data to the OS. Called by the destructor.
@@ -64,10 +104,9 @@ class FilePageStore final : public PageStore {
   const std::string& path() const { return path_; }
 
  private:
-  FilePageStore(std::string path, std::FILE* file, size_t page_size,
-                PageId num_pages)
+  FilePageStore(std::string path, int fd, size_t page_size, PageId num_pages)
       : path_(std::move(path)),
-        file_(file),
+        fd_(fd),
         page_size_(page_size),
         num_pages_(num_pages) {}
 
@@ -75,11 +114,15 @@ class FilePageStore final : public PageStore {
   Status WriteHeader();
 
   std::string path_;
-  std::FILE* file_ = nullptr;
+  int fd_ = -1;
   size_t page_size_;
-  mutable std::mutex mu_;  // Serializes file position, counters, num_pages_.
-  PageId num_pages_;
-  IoStats stats_;
+  mutable std::mutex mu_;  // Serializes Allocate and header writes only.
+  std::atomic<PageId> num_pages_;
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> allocations_{0};
+  std::atomic<uint64_t> read_batches_{0};
+  std::atomic<uint64_t> batch_pages_{0};
 };
 
 }  // namespace rtb::storage

@@ -10,6 +10,14 @@ MemPageStore::MemPageStore(size_t page_size) : page_size_(page_size) {
   RTB_CHECK(page_size > 0);
 }
 
+Status PageStore::ReadBatch(const PageId* ids, size_t n, uint8_t* out) {
+  const size_t stride = page_size();
+  for (size_t i = 0; i < n; ++i) {
+    RTB_RETURN_IF_ERROR(Read(ids[i], out + i * stride));
+  }
+  return Status::OK();
+}
+
 Result<PageId> MemPageStore::Allocate() {
   std::unique_lock<std::shared_mutex> lock(mu_);
   if (pages_.size() >= kInvalidPageId) {

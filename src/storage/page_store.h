@@ -27,10 +27,29 @@ namespace rtb::storage {
 
 /// Cumulative I/O counters for a PageStore (a plain snapshot; the stores
 /// keep the live counters in atomics).
+///
+/// `reads` counts every page read regardless of how it reached the store
+/// (one per page even inside a coalesced batch), so the paper's disk-access
+/// metric is unchanged by the batch-first API. `read_batches`/`batch_pages`
+/// additionally count the vectored operations a store managed to coalesce:
+/// a ReadBatch run of k >= 2 consecutive pages served by one preadv adds 1
+/// to `read_batches` and k to `batch_pages`. Stores without a vectored path
+/// (MemPageStore, or FilePageStore with the seam off) leave both at zero.
+/// Read syscalls issued are therefore `reads - batch_pages + read_batches`.
 struct IoStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
   uint64_t allocations = 0;
+  uint64_t read_batches = 0;  // Coalesced (vectored) read operations.
+  uint64_t batch_pages = 0;   // Pages covered by those operations.
+
+  double PagesPerBatch() const {
+    return read_batches == 0 ? 0.0
+                             : static_cast<double>(batch_pages) /
+                                   static_cast<double>(read_batches);
+  }
+
+  uint64_t ReadSyscalls() const { return reads - batch_pages + read_batches; }
 };
 
 /// Abstract page-granular storage with access counting.
@@ -50,6 +69,22 @@ class PageStore {
   /// Reads page `id` into `out` (must hold page_size() bytes). Counts one
   /// disk read.
   virtual Status Read(PageId id, uint8_t* out) = 0;
+
+  /// Multi-get: reads pages `ids[0..n)` into `out` (`n * page_size()`
+  /// bytes, page i at `out + i * page_size()`). Counts one disk read per
+  /// page. The default implementation loops Read, so every store is correct
+  /// by construction; stores with a faster path (FilePageStore's preadv
+  /// over runs of consecutive ids) override it. On error the contents of
+  /// `out` are unspecified — a mid-batch failure may have filled a prefix.
+  virtual Status ReadBatch(const PageId* ids, size_t n, uint8_t* out);
+
+  /// Whether ReadBatch can currently do better than a loop of Read calls
+  /// (FilePageStore with the vectored seam on). Callers that would have to
+  /// stage a batch through a bounce buffer — the buffer pools, whose frames
+  /// are not contiguous per batch — consult this to skip the staging copy
+  /// when the store would just loop anyway. Purely an optimization hint:
+  /// ReadBatch is correct (and counts identically) regardless.
+  virtual bool CoalescesBatchReads() const { return false; }
 
   /// Writes page `id` from `data` (page_size() bytes). Counts one disk
   /// write.

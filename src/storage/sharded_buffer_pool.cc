@@ -66,23 +66,49 @@ Result<std::vector<PageGuard>> ShardedBufferPool::FetchBatch(
     const PageId* ids, size_t count) {
   std::vector<PageGuard> guards;
   guards.reserve(count);
+  std::vector<BufferPool::BatchEntry> run;  // Reused across runs.
   Status error = Status::OK();
   size_t i = 0;
   while (i < count && error.ok()) {
     // One lock acquisition per run of consecutive ids on the same shard.
+    // Within the run the misses are staged (pinned, unread) and then filled
+    // through one store ReadBatch, all under the shard lock, so no other
+    // thread ever observes an unfilled frame.
     const size_t shard = ShardOf(ids[i]);
     Shard& s = *shards_[shard];
+    run.clear();
     std::lock_guard<std::mutex> lock(s.mu);
     for (; i < count && ShardOf(ids[i]) == shard; ++i) {
-      Result<FrameId> f = s.pool->PinPage(ids[i]);
+      bool pending = false;
+      Result<FrameId> f = s.pool->PinPageNoRead(ids[i], &pending);
       if (!f.ok()) {
-        // Record the error but leave the already-pinned guards alone until
-        // the lock is dropped: releasing a guard re-takes its shard mutex,
-        // which may be the one held right here.
         error = f.status();
         break;
       }
-      guards.emplace_back(this, Frame{ids[i], s.pool->FrameData(*f), *f},
+      run.push_back(BufferPool::BatchEntry{ids[i], *f, pending});
+    }
+    if (error.ok()) {
+      error = s.pool->ReadPendingFrames(run.data(), run.size());
+    }
+    if (!error.ok()) {
+      // Unwind this run entirely under its own lock, in reverse so a
+      // repeated id's extra pin on a pending frame drops before the install
+      // is rolled back. The raw pins never became guards, so no guard
+      // release can re-take the mutex held here. Guards from earlier runs
+      // (other shards) are released by the clear below, outside any lock.
+      for (size_t k = run.size(); k > 0; --k) {
+        const BufferPool::BatchEntry& e = run[k - 1];
+        if (e.pending) {
+          s.pool->UninstallPending(e.frame);
+        } else {
+          s.pool->Unpin(Frame{e.id, s.pool->FrameData(e.frame), e.frame},
+                        /*dirty=*/false);
+        }
+      }
+      break;
+    }
+    for (const BufferPool::BatchEntry& e : run) {
+      guards.emplace_back(this, Frame{e.id, s.pool->FrameData(e.frame), e.frame},
                           /*mark_dirty=*/false);
     }
   }

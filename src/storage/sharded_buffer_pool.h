@@ -72,10 +72,12 @@ class ShardedBufferPool final : public PageCache {
   Result<PageGuard> FetchMutable(PageId id) override;
 
   /// Takes one shard-lock acquisition per run of consecutive ids hashing to
-  /// the same shard (the batch executor presents page-id-sorted runs, which
-  /// SplitMix64 routing scatters — runs of length one are the common case,
-  /// but a coalesced frontier still saves the per-call lock churn of
-  /// repeated Fetch calls under contention).
+  /// the same shard, and routes each run's misses through one store
+  /// ReadBatch under that lock. SplitMix64 routing scatters the executor's
+  /// page-id-sorted windows, so same-shard runs of length one are the
+  /// common case here — the syscall-coalescing win of ReadBatch belongs to
+  /// the serial BufferPool; this override's win remains the amortized lock
+  /// churn under contention.
   Result<std::vector<PageGuard>> FetchBatch(const PageId* ids,
                                             size_t count) override;
 

@@ -20,6 +20,7 @@
 #include "sim/query_gen.h"
 #include "sim/runner.h"
 #include "storage/buffer_pool.h"
+#include "storage/file_page_store.h"
 #include "storage/page_store.h"
 #include "util/rng.h"
 
@@ -66,9 +67,16 @@ TEST(SpecTest, JsonRoundTrip) {
   spec.run.threads = 2;
   spec.run.evaluate_model = false;
 
+  spec.storage.backend = "file";
+  spec.storage.path = ::testing::TempDir() + "/rtb_spec_rt.store";
+  spec.storage.vectored_io = false;
+
   auto parsed = ExperimentSpec::FromJson(spec.ToJsonDict().ToString());
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(parsed->name, spec.name);
+  EXPECT_EQ(parsed->storage.backend, spec.storage.backend);
+  EXPECT_EQ(parsed->storage.path, spec.storage.path);
+  EXPECT_FALSE(parsed->storage.vectored_io);
   EXPECT_EQ(parsed->dataset.kind, spec.dataset.kind);
   EXPECT_EQ(parsed->dataset.n, spec.dataset.n);
   EXPECT_EQ(parsed->dataset.seed, spec.dataset.seed);
@@ -102,6 +110,8 @@ TEST(SpecTest, MissingFieldsKeepDefaults) {
   EXPECT_EQ(spec->workload.classes[0].model, "uniform");
   EXPECT_EQ(spec->workload.classes[0].count, 100000u);
   EXPECT_EQ(spec->workload.batch_size, 1u);
+  EXPECT_EQ(spec->storage.backend, "mem");
+  EXPECT_TRUE(spec->storage.vectored_io);
   EXPECT_EQ(spec->run.threads, 1u);
   EXPECT_TRUE(spec->run.evaluate_model);
 }
@@ -112,10 +122,15 @@ TEST(SpecTest, MalformedDocumentsReturnStatusNotCrash) {
   ASSERT_FALSE(bad.ok());
   EXPECT_NE(bad.status().message().find("offset"), std::string::npos);
 
-  // Unknown keys are rejected at every level.
+  // Unknown keys are rejected at every level, naming the field path.
   EXPECT_FALSE(ExperimentSpec::FromJson(R"({"nam": "x"})").ok());
   EXPECT_FALSE(
       ExperimentSpec::FromJson(R"({"dataset": {"king": "tiger"}})").ok());
+  auto bad_storage =
+      ExperimentSpec::FromJson(R"({"storage": {"backnd": "file"}})");
+  ASSERT_FALSE(bad_storage.ok());
+  EXPECT_NE(bad_storage.status().message().find("storage.backnd"),
+            std::string::npos);
   EXPECT_FALSE(ExperimentSpec::FromJson(
                    R"({"workload": {"classes": [{"qz": 1}]}})")
                    .ok());
@@ -172,6 +187,19 @@ TEST(SpecTest, ValidateRejectsSemanticErrors) {
   EXPECT_FALSE(spec.Validate().ok());
   spec = BaseSpec();
   spec.workload.batch_size = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  // Storage section: unknown backend, file backend without a path, and a
+  // second store file alongside a persistent index.
+  spec = BaseSpec();
+  spec.storage.backend = "nvme";
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = BaseSpec();
+  spec.storage.backend = "file";
+  EXPECT_FALSE(spec.Validate().ok());
+  spec.storage.path = "x.store";
+  EXPECT_TRUE(spec.Validate().ok());
+  spec.tree.index = "index.rtb";
   EXPECT_FALSE(spec.Validate().ok());
 
   // kind=file needs a path; a data-driven class over an opened index needs
@@ -318,6 +346,35 @@ TEST(EngineTest, ParallelRunEmitsPerWorkerBreakdown) {
   EXPECT_EQ(report->classes[0].run.per_worker[0].queries +
                 report->classes[0].run.per_worker[1].queries,
             2000u);
+}
+
+TEST(EngineTest, FileBackendBuildsOnDiskAndCountsBatches) {
+  ExperimentSpec spec = BaseSpec();
+  spec.storage.backend = "file";
+  spec.storage.path = ::testing::TempDir() + "/rtb_engine_file.store";
+  spec.dataset.n = 5000;
+  spec.pool.buffer_pages = 20;  // Small pool: the cold sweeps must miss.
+  spec.workload.batch_size = 64;
+  spec.workload.warmup = 200;
+  spec.workload.classes[0].count = 2000;
+  spec.workload.classes[0].qx = 0.05;
+  spec.workload.classes[0].qy = 0.05;
+  auto report = engine::Run(spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->store_io.reads, 0u);
+  if (storage::VectoredIoAvailable()) {
+    // vectored_io defaults to true; batched misses over the file store must
+    // have coalesced at least once.
+    EXPECT_GT(report->store_io.read_batches, 0u);
+    EXPECT_GE(report->store_io.PagesPerBatch(), 2.0);
+  }
+  // The report surfaces the batch counters.
+  auto doc = report::JsonValue::Parse(report->ToJsonString());
+  ASSERT_TRUE(doc.ok());
+  ASSERT_NE(doc->Find("store"), nullptr);
+  EXPECT_NE(doc->Find("store")->Find("read_batches"), nullptr);
+  EXPECT_NE(doc->Find("store")->Find("pages_per_batch"), nullptr);
+  std::remove(spec.storage.path.c_str());
 }
 
 TEST(EngineTest, ReportJsonIsWellFormedAndSchemaTagged) {

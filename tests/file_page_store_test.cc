@@ -1,0 +1,331 @@
+// Failure-path and batch-read tests for the file-backed store: corrupt or
+// truncated files must fail Open with a precise status, a file that lost
+// its tail must fail ReadBatch mid-batch (not fabricate zeros), injected
+// faults must land mid-batch through the buffer pool without leaking
+// frames, and the vectored (preadv) path must be byte-identical to the
+// scalar pread fallback. Runs twice under ctest: once with the default
+// runtime dispatch and once with RTB_VECTORED_IO=scalar.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/fault_injection.h"
+#include "storage/file_page_store.h"
+#include "storage/page_store.h"
+
+namespace rtb::storage {
+namespace {
+
+class FilePageStoreFailureTest : public ::testing::Test {
+ protected:
+  std::string Path(const char* name) {
+    // The vectored and scalar ctest variants run this binary concurrently;
+    // the pid keeps their store files disjoint.
+    return ::testing::TempDir() + "/rtb_fpsf_" + std::to_string(::getpid()) +
+           "_" + name;
+  }
+
+  // A store of `pages` pages at `path`; page p is filled with byte p.
+  std::unique_ptr<FilePageStore> MakeStore(const std::string& path,
+                                           size_t pages,
+                                           size_t page_size = 128) {
+    auto store = FilePageStore::Create(path, page_size);
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    for (size_t p = 0; p < pages; ++p) {
+      auto id = (*store)->Allocate();
+      EXPECT_TRUE(id.ok());
+      std::vector<uint8_t> data(page_size, static_cast<uint8_t>(p));
+      EXPECT_TRUE((*store)->Write(*id, data.data()).ok());
+    }
+    (*store)->ResetStats();
+    return std::move(*store);
+  }
+
+  // Overwrites 4 bytes at `offset` in `path`.
+  void Patch(const std::string& path, std::streamoff offset, uint32_t value) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(offset);
+    f.write(reinterpret_cast<const char*>(&value), sizeof(value));
+    ASSERT_TRUE(f.good());
+  }
+};
+
+TEST_F(FilePageStoreFailureTest, OpenFailsOnTruncatedHeader) {
+  const std::string path = Path("short_header");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "RTBS";  // Valid magic prefix, but the header ends here.
+  }
+  auto opened = FilePageStore::Open(path);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(opened.status().ToString().find("truncated header"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(FilePageStoreFailureTest, OpenFailsOnUnsupportedVersion) {
+  const std::string path = Path("bad_version");
+  MakeStore(path, 1).reset();  // Destructor syncs a valid file.
+  Patch(path, /*offset=*/4, /*version=*/99);
+  auto opened = FilePageStore::Open(path);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kNotSupported);
+  std::remove(path.c_str());
+}
+
+TEST_F(FilePageStoreFailureTest, OpenFailsOnImplausibleHeaderFields) {
+  const std::string path = Path("zero_page_size");
+  MakeStore(path, 1).reset();
+  Patch(path, /*offset=*/8, /*page_size=*/0);
+  auto opened = FilePageStore::Open(path);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST_F(FilePageStoreFailureTest, ReadBatchRejectsUnallocatedPageUpfront) {
+  const std::string path = Path("bounds");
+  auto store = MakeStore(path, 3);
+  std::vector<uint8_t> out(3 * 128);
+  const PageId ids[] = {0, 1, 7};
+  EXPECT_EQ(store->ReadBatch(ids, 3, out.data()).code(),
+            StatusCode::kNotFound);
+  // Validation happens before any I/O: nothing was counted.
+  EXPECT_EQ(store->stats().reads, 0u);
+  store.reset();
+  std::remove(path.c_str());
+}
+
+TEST_F(FilePageStoreFailureTest, ReadBatchMatchesPerPageReads) {
+  const std::string path = Path("batch_bytes");
+  auto store = MakeStore(path, 12);
+  // A consecutive window, as the batch executor's sorted frontiers produce.
+  const PageId ids[] = {3, 4, 5, 6, 7};
+  std::vector<uint8_t> batched(5 * 128);
+  ASSERT_TRUE(store->ReadBatch(ids, 5, batched.data()).ok());
+  for (size_t k = 0; k < 5; ++k) {
+    std::vector<uint8_t> single(128);
+    ASSERT_TRUE(store->Read(ids[k], single.data()).ok());
+    EXPECT_EQ(std::memcmp(single.data(), batched.data() + k * 128, 128), 0)
+        << "page " << ids[k];
+  }
+  const IoStats stats = store->stats();
+  // Per-page read accounting is identical in both modes (5 + 5 reads);
+  // only the syscall shape differs.
+  EXPECT_EQ(stats.reads, 10u);
+  if (VectoredIoActive()) {
+    EXPECT_EQ(stats.read_batches, 1u);
+    EXPECT_EQ(stats.batch_pages, 5u);
+    EXPECT_EQ(stats.ReadSyscalls(), 6u);  // 1 preadv + 5 singles.
+  } else {
+    EXPECT_EQ(stats.read_batches, 0u);
+    EXPECT_EQ(stats.batch_pages, 0u);
+    EXPECT_EQ(stats.ReadSyscalls(), 10u);
+  }
+  store.reset();
+  std::remove(path.c_str());
+}
+
+TEST_F(FilePageStoreFailureTest, ScatteredIdsNeverCoalesce) {
+  const std::string path = Path("scattered");
+  auto store = MakeStore(path, 8);
+  const PageId ids[] = {0, 2, 4, 6};  // Runs of length one.
+  std::vector<uint8_t> out(4 * 128);
+  ASSERT_TRUE(store->ReadBatch(ids, 4, out.data()).ok());
+  for (size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(out[k * 128], static_cast<uint8_t>(ids[k]));
+  }
+  EXPECT_EQ(store->stats().read_batches, 0u);
+  EXPECT_EQ(store->stats().reads, 4u);
+  store.reset();
+  std::remove(path.c_str());
+}
+
+TEST_F(FilePageStoreFailureTest, VectoredAndScalarBytesAgree) {
+  const std::string path = Path("seam");
+  auto store = MakeStore(path, 10);
+  const PageId ids[] = {1, 2, 3, 4, 8, 9};
+  const bool initial = VectoredIoActive();
+
+  ASSERT_TRUE(SetVectoredIo(false));
+  std::vector<uint8_t> scalar(6 * 128);
+  ASSERT_TRUE(store->ReadBatch(ids, 6, scalar.data()).ok());
+  EXPECT_EQ(store->stats().read_batches, 0u);
+
+  if (VectoredIoAvailable()) {
+    ASSERT_TRUE(SetVectoredIo(true));
+    store->ResetStats();
+    std::vector<uint8_t> vectored(6 * 128);
+    ASSERT_TRUE(store->ReadBatch(ids, 6, vectored.data()).ok());
+    EXPECT_EQ(scalar, vectored);
+    // Two runs ({1..4}, {8,9}) coalesce; per-page reads stay 6.
+    EXPECT_EQ(store->stats().reads, 6u);
+    EXPECT_EQ(store->stats().read_batches, 2u);
+    EXPECT_EQ(store->stats().batch_pages, 6u);
+  } else {
+    // A scalar-only binary must refuse to enable the path.
+    EXPECT_FALSE(SetVectoredIo(true));
+  }
+  SetVectoredIo(initial);
+  store.reset();
+  std::remove(path.c_str());
+}
+
+TEST_F(FilePageStoreFailureTest, ReadBatchFailsOnTruncatedData) {
+  const std::string path = Path("short_data");
+  MakeStore(path, 4).reset();  // Header records 4 pages.
+  // Chop the file mid-way through the last page: the header still promises
+  // 4 pages, but the bytes are gone. Both read paths must report the short
+  // read instead of fabricating data.
+  const uintmax_t full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 64);
+  auto reopened = FilePageStore::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->num_pages(), 4u);
+  const PageId ids[] = {0, 1, 2, 3};
+  std::vector<uint8_t> out(4 * 128);
+  Status batch = (*reopened)->ReadBatch(ids, 4, out.data());
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.code(), StatusCode::kIoError);
+  // The scalar single-page read agrees.
+  EXPECT_EQ((*reopened)->Read(3, out.data()).code(), StatusCode::kIoError);
+  reopened->reset();
+  std::remove(path.c_str());
+}
+
+TEST_F(FilePageStoreFailureTest, AllocateFaultSurfacesThroughNewPage) {
+  const std::string path = Path("alloc_fault");
+  auto base = MakeStore(path, 0);
+  FaultInjectingPageStore store(base.get());
+  auto pool = BufferPool::MakeLru(&store, 4);
+
+  store.FailNextAllocations(1, Status::IoError("disk full"));
+  auto failed = pool->NewPage();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIoError);
+
+  // The pool recovers once the fault clears: the next allocation succeeds
+  // and no frame leaked from the failed attempt.
+  auto page = pool->NewPage();
+  ASSERT_TRUE(page.ok());
+  page->Release();
+  EXPECT_TRUE(pool->FlushAll().ok());
+  EXPECT_TRUE(pool->EvictAll().ok());
+  pool.reset();
+  base.reset();
+  std::remove(path.c_str());
+}
+
+TEST_F(FilePageStoreFailureTest, MidBatchFaultThroughFetchBatchLeaksNothing) {
+  const std::string path = Path("midbatch_fault");
+  auto base = MakeStore(path, 6);
+  FaultInjectingPageStore store(base.get());
+  auto pool = BufferPool::MakeLru(&store, 8);
+
+  // Poison the middle page of the window: the wrapper degrades the batch to
+  // per-page reads, so the failure lands after page 0 was read — exactly
+  // mid-batch.
+  store.FailPage(1, Status::IoError("bad sector"));
+  const PageId ids[] = {0, 1, 2};
+  auto failed = pool->FetchBatch(ids, 3);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIoError);
+  // The unwind uninstalled every staged frame — nothing resident, nothing
+  // pinned.
+  EXPECT_FALSE(pool->Contains(0));
+  EXPECT_FALSE(pool->Contains(1));
+  EXPECT_FALSE(pool->Contains(2));
+  EXPECT_TRUE(pool->EvictAll().ok());
+
+  // Clearing the fault makes the same window fetchable.
+  store.FailPage(kInvalidPageId, Status::OK());
+  auto guards = pool->FetchBatch(ids, 3);
+  ASSERT_TRUE(guards.ok());
+  ASSERT_EQ(guards->size(), 3u);
+  for (size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ((*guards)[k].data()[0], static_cast<uint8_t>(ids[k]));
+  }
+  guards->clear();
+  EXPECT_TRUE(pool->EvictAll().ok());
+  pool.reset();
+  base.reset();
+  std::remove(path.c_str());
+}
+
+// The batch-first API contract: FetchBatch must count exactly what a
+// Fetch-per-page loop counts, on both the pool and the store, for any mix
+// of hits, misses, duplicates and evictions. Two identical stores and
+// pools run the same windows — one through the PageCache base-class loop,
+// one through the overridden staged path — and every counter must match.
+TEST(FetchBatchIdentityTest, StatsAreByteIdenticalToLoopFetch) {
+  constexpr size_t kPageSize = 64;
+  constexpr size_t kPages = 16;
+  auto fill = [](MemPageStore* store) {
+    for (size_t p = 0; p < kPages; ++p) {
+      auto id = store->Allocate();
+      ASSERT_TRUE(id.ok());
+      std::vector<uint8_t> data(kPageSize, static_cast<uint8_t>(p));
+      ASSERT_TRUE(store->Write(*id, data.data()).ok());
+    }
+    store->ResetStats();
+  };
+  MemPageStore loop_store(kPageSize);
+  MemPageStore batch_store(kPageSize);
+  fill(&loop_store);
+  fill(&batch_store);
+  auto loop_pool = BufferPool::MakeLru(&loop_store, 6);
+  auto batch_pool = BufferPool::MakeLru(&batch_store, 6);
+
+  // Windows with repeats, re-fetches (hits) and capacity pressure
+  // (evictions), including a descending elevator window.
+  const std::vector<std::vector<PageId>> windows = {
+      {0, 1, 2, 3}, {2, 3, 4, 5}, {5, 5, 6}, {9, 8, 7, 6},
+      {10, 11, 12, 13}, {0, 1, 2}, {15, 14, 13, 12},
+  };
+  for (const std::vector<PageId>& w : windows) {
+    auto loop_guards =
+        loop_pool->PageCache::FetchBatch(w.data(), w.size());
+    auto batch_guards = batch_pool->FetchBatch(w.data(), w.size());
+    ASSERT_TRUE(loop_guards.ok());
+    ASSERT_TRUE(batch_guards.ok());
+    ASSERT_EQ(loop_guards->size(), batch_guards->size());
+    for (size_t k = 0; k < w.size(); ++k) {
+      EXPECT_EQ(std::memcmp((*loop_guards)[k].data(),
+                            (*batch_guards)[k].data(), kPageSize),
+                0);
+    }
+  }
+
+  const BufferStats loop_stats = loop_pool->AggregateStats();
+  const BufferStats batch_stats = batch_pool->AggregateStats();
+  EXPECT_EQ(batch_stats.requests, loop_stats.requests);
+  EXPECT_EQ(batch_stats.hits, loop_stats.hits);
+  EXPECT_EQ(batch_stats.misses, loop_stats.misses);
+  EXPECT_EQ(batch_stats.evictions, loop_stats.evictions);
+  EXPECT_EQ(batch_stats.writebacks, loop_stats.writebacks);
+
+  // MemPageStore has no vectored path: its default ReadBatch loops Read, so
+  // the store counters are byte-identical too.
+  const IoStats loop_io = loop_store.stats();
+  const IoStats batch_io = batch_store.stats();
+  EXPECT_EQ(batch_io.reads, loop_io.reads);
+  EXPECT_EQ(batch_io.read_batches, 0u);
+  EXPECT_EQ(loop_io.read_batches, 0u);
+  EXPECT_EQ(batch_io.ReadSyscalls(), loop_io.ReadSyscalls());
+}
+
+}  // namespace
+}  // namespace rtb::storage

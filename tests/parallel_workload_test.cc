@@ -1,5 +1,5 @@
-// Tests for the parallel workload runner: threads == 1 must be
-// byte-identical to the serial RunWorkload, query slices must cover the
+// Tests for the parallel path of the unified workload runner: threads == 1
+// must be byte-identical to the serial stream, query slices must cover the
 // stream exactly, and multi-threaded runs against a ShardedBufferPool must
 // produce a balanced ledger. The multi-threaded cases also serve as
 // data-race probes under -DRTB_SANITIZE=thread.
@@ -13,7 +13,6 @@
 #include "data/datasets.h"
 #include "rtree/bulk_load.h"
 #include "rtree/rtree.h"
-#include "sim/parallel_runner.h"
 #include "sim/query_gen.h"
 #include "sim/runner.h"
 #include "storage/buffer_pool.h"
@@ -57,7 +56,7 @@ constexpr uint64_t kSeed = 1998;
 constexpr uint64_t kWarmup = 2000;
 constexpr uint64_t kQueries = 10000;
 
-TEST(ParallelRunnerTest, OneThreadIsByteIdenticalToSerialRunner) {
+TEST(ParallelWorkloadTest, OneThreadIsByteIdenticalToSerialRunner) {
   Fixture f = Fixture::Make(10000, kSeed);
   UniformPointGenerator gen;
 
@@ -74,12 +73,12 @@ TEST(ParallelRunnerTest, OneThreadIsByteIdenticalToSerialRunner) {
   // Parallel runner, one worker, same pool type, same seed.
   auto pool = storage::BufferPool::MakeLru(f.store.get(), 50);
   rtree::RTree tree = f.OpenTree(pool.get());
-  ParallelOptions options;
+  WorkloadOptions options;
   options.threads = 1;
   options.base_seed = kSeed;
   options.warmup = kWarmup;
   options.queries = kQueries;
-  auto parallel = RunParallelWorkload(&tree, f.store.get(), &gen, options);
+  auto parallel = RunWorkload(&tree, f.store.get(), &gen, options);
   ASSERT_TRUE(parallel.ok());
 
   EXPECT_EQ(parallel->queries, serial->queries);
@@ -94,7 +93,7 @@ TEST(ParallelRunnerTest, OneThreadIsByteIdenticalToSerialRunner) {
   EXPECT_EQ(stats.misses, serial_stats.misses);
 }
 
-TEST(ParallelRunnerTest, OneThreadOnSingleShardPoolMatchesSerial) {
+TEST(ParallelWorkloadTest, OneThreadOnSingleShardPoolMatchesSerial) {
   // threads == 1 over a one-shard ShardedBufferPool also reproduces the
   // serial counts: the shard is a mutex around the same BufferPool logic.
   Fixture f = Fixture::Make(10000, kSeed);
@@ -110,19 +109,19 @@ TEST(ParallelRunnerTest, OneThreadOnSingleShardPoolMatchesSerial) {
 
   auto pool = storage::ShardedBufferPool::MakeLru(f.store.get(), 50, 1);
   rtree::RTree tree = f.OpenTree(pool.get());
-  ParallelOptions options;
+  WorkloadOptions options;
   options.threads = 1;
   options.base_seed = kSeed;
   options.warmup = kWarmup;
   options.queries = kQueries;
-  auto parallel = RunParallelWorkload(&tree, f.store.get(), &gen, options);
+  auto parallel = RunWorkload(&tree, f.store.get(), &gen, options);
   ASSERT_TRUE(parallel.ok());
   EXPECT_EQ(parallel->queries, serial->queries);
   EXPECT_EQ(parallel->disk_accesses, serial->disk_accesses);
   EXPECT_EQ(parallel->node_accesses, serial->node_accesses);
 }
 
-TEST(ParallelRunnerTest, RunsAreReproducibleAcrossInvocations) {
+TEST(ParallelWorkloadTest, RunsAreReproducibleAcrossInvocations) {
   // A parallel run is a pure function of (tree, options): per-worker
   // counters must be identical run-to-run even with 4 workers racing on the
   // shared pool (disk totals can differ only through scheduling-dependent
@@ -132,18 +131,18 @@ TEST(ParallelRunnerTest, RunsAreReproducibleAcrossInvocations) {
   auto run_once = [&f, &gen] {
     auto pool = storage::ShardedBufferPool::MakeLru(f.store.get(), 50, 4);
     rtree::RTree tree = f.OpenTree(pool.get());
-    ParallelOptions options;
+    WorkloadOptions options;
     options.threads = 4;
     options.base_seed = kSeed;
     options.warmup = kWarmup;
     options.queries = kQueries;
-    auto r = RunParallelWorkload(&tree, f.store.get(), &gen, options);
+    auto r = RunWorkload(&tree, f.store.get(), &gen, options);
     EXPECT_TRUE(r.ok());
     f.store->ResetStats();
     return std::move(*r);
   };
-  ParallelResult a = run_once();
-  ParallelResult b = run_once();
+  WorkloadResult a = run_once();
+  WorkloadResult b = run_once();
   ASSERT_EQ(a.per_worker.size(), 4u);
   ASSERT_EQ(b.per_worker.size(), 4u);
   for (size_t w = 0; w < 4; ++w) {
@@ -155,18 +154,18 @@ TEST(ParallelRunnerTest, RunsAreReproducibleAcrossInvocations) {
   EXPECT_EQ(a.node_accesses, b.node_accesses);
 }
 
-TEST(ParallelRunnerTest, QuerySlicesCoverStreamExactly) {
+TEST(ParallelWorkloadTest, QuerySlicesCoverStreamExactly) {
   // Uneven splits: 10 queries over 4 workers -> slices 3,3,2,2.
   Fixture f = Fixture::Make(2000, kSeed);
   UniformPointGenerator gen;
   auto pool = storage::ShardedBufferPool::MakeLru(f.store.get(), 20, 4);
   rtree::RTree tree = f.OpenTree(pool.get());
-  ParallelOptions options;
+  WorkloadOptions options;
   options.threads = 4;
   options.base_seed = kSeed;
   options.warmup = 3;
   options.queries = 10;
-  auto r = RunParallelWorkload(&tree, f.store.get(), &gen, options);
+  auto r = RunWorkload(&tree, f.store.get(), &gen, options);
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->per_worker.size(), 4u);
   EXPECT_EQ(r->per_worker[0].queries, 3u);
@@ -176,17 +175,17 @@ TEST(ParallelRunnerTest, QuerySlicesCoverStreamExactly) {
   EXPECT_EQ(r->queries, 10u);
 }
 
-TEST(ParallelRunnerTest, MultiThreadLedgerBalances) {
+TEST(ParallelWorkloadTest, MultiThreadLedgerBalances) {
   Fixture f = Fixture::Make(10000, kSeed);
   UniformPointGenerator gen;
   auto pool = storage::ShardedBufferPool::MakeLru(f.store.get(), 50, 8);
   rtree::RTree tree = f.OpenTree(pool.get());
-  ParallelOptions options;
+  WorkloadOptions options;
   options.threads = 8;
   options.base_seed = kSeed;
   options.warmup = kWarmup;
   options.queries = kQueries;
-  auto r = RunParallelWorkload(&tree, f.store.get(), &gen, options);
+  auto r = RunWorkload(&tree, f.store.get(), &gen, options);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->queries, kQueries);
   EXPECT_GT(r->node_accesses, 0u);
@@ -205,7 +204,7 @@ TEST(ParallelRunnerTest, MultiThreadLedgerBalances) {
   EXPECT_EQ(nodes, r->node_accesses);
 }
 
-TEST(ParallelRunnerTest, PinnedLevelsSurviveParallelTraffic) {
+TEST(ParallelWorkloadTest, PinnedLevelsSurviveParallelTraffic) {
   // PinTopLevels + parallel queries: the pinned root region must still be
   // resident after a contended run (the fig10/fig11 pinning experiments
   // depend on this invariant).
@@ -219,26 +218,26 @@ TEST(ParallelRunnerTest, PinnedLevelsSurviveParallelTraffic) {
   f.store->ResetStats();
 
   UniformPointGenerator gen;
-  ParallelOptions options;
+  WorkloadOptions options;
   options.threads = 4;
   options.base_seed = kSeed;
   options.warmup = 500;
   options.queries = 5000;
-  auto r = RunParallelWorkload(&tree, f.store.get(), &gen, options);
+  auto r = RunWorkload(&tree, f.store.get(), &gen, options);
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(pool->Contains(f.built.root));
   EXPECT_EQ(pool->num_permanent_pins(), 1u);
 }
 
-TEST(ParallelRunnerTest, RejectsZeroThreads) {
+TEST(ParallelWorkloadTest, RejectsZeroThreads) {
   Fixture f = Fixture::Make(2000, kSeed);
   auto pool = storage::ShardedBufferPool::MakeLru(f.store.get(), 20, 2);
   rtree::RTree tree = f.OpenTree(pool.get());
   UniformPointGenerator gen;
-  ParallelOptions options;
+  WorkloadOptions options;
   options.threads = 0;
   options.queries = 10;
-  auto r = RunParallelWorkload(&tree, f.store.get(), &gen, options);
+  auto r = RunWorkload(&tree, f.store.get(), &gen, options);
   EXPECT_FALSE(r.ok());
 }
 

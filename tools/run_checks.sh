@@ -6,8 +6,20 @@
 # loads and mask arithmetic are easy places to hide UB). Builds land in
 # build-checks/<name> so the developer's main build/ tree is untouched.
 #
-#   tools/run_checks.sh            # all four configurations
-#   tools/run_checks.sh release    # just one of: release | tsan | asan | ubsan
+#   tools/run_checks.sh            # the full matrix
+#   tools/run_checks.sh release    # one of: release | tsan | asan | ubsan | storage
+#
+# `storage` is a fast focused leg: it reuses the release build and runs only
+# the `storage`-labeled tests (page stores, fault injection, the vectored
+# read path) — the suite to iterate on when touching src/storage/.
+#
+# The release leg also guards the perf trajectory: it re-runs
+# micro_batch_query and micro_file_io and diffs them against the committed
+# BENCH_*.json baselines with tools/bench_diff.py. The threshold is 25%,
+# not the tool's 10% default: back-to-back identical runs swing +-15% on
+# shared hardware, and the gate is there to catch structural regressions
+# (an accidental extra copy on the hot path shows up as -25%..-30%), not
+# to relitigate machine noise.
 #
 # Sanitizer builds skip the benchmarks (RTB_BUILD_BENCHMARKS=OFF) — they
 # only slow the build down and the bench smoke test already runs in the
@@ -19,9 +31,9 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 ONLY="${1:-all}"
 
 case "$ONLY" in
-  all|release|tsan|asan|ubsan) ;;
+  all|release|tsan|asan|ubsan|storage) ;;
   *)
-    echo "unknown configuration: $ONLY (expected release|tsan|asan|ubsan)" >&2
+    echo "unknown configuration: $ONLY (expected release|tsan|asan|ubsan|storage)" >&2
     exit 2
     ;;
 esac
@@ -44,6 +56,22 @@ if wants release; then
   echo "==> release"
   configure_and_build "$ROOT/build-checks/release"
   (cd "$ROOT/build-checks/release" && ctest --output-on-failure)
+  echo "==> bench diff vs committed baselines"
+  for bench in micro_batch_query micro_file_io; do
+    "$ROOT/build-checks/release/bench/$bench" \
+        --json="$ROOT/build-checks/release/BENCH_$bench.json" \
+        > "$ROOT/build-checks/release/$bench.log" 2>&1 \
+        || { cat "$ROOT/build-checks/release/$bench.log"; exit 1; }
+    python3 "$ROOT/tools/bench_diff.py" --threshold 0.25 \
+        "$ROOT/BENCH_$bench.json" \
+        "$ROOT/build-checks/release/BENCH_$bench.json"
+  done
+fi
+
+if wants storage; then
+  echo "==> storage"
+  configure_and_build "$ROOT/build-checks/release"
+  (cd "$ROOT/build-checks/release" && ctest -L storage --output-on-failure)
 fi
 
 if wants tsan; then
