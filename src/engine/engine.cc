@@ -186,8 +186,14 @@ Result<RunReport> Run(const ExperimentSpec& spec) {
   // Applies to every FilePageStore in the process; a no-op request to
   // enable a path the binary lacks degrades to scalar pread.
   storage::SetVectoredIo(spec.storage.vectored_io);
+  // Same process-wide seam for the async read engine; requesting it on a
+  // binary compiled without RTB_ASYNC_IO degrades to the sync path.
+  storage::SetAsyncIo(spec.storage.async_io);
   RunReport report;
   report.spec = spec;
+  report.async_active = storage::AsyncIoActive();
+  const storage::AsyncIoStats async_before =
+      storage::AsyncReadEngine::Instance().stats();
 
   RTB_ASSIGN_OR_RETURN(PreparedTree prepared, PrepareTree(spec));
   report.build_seconds = prepared.build_seconds;
@@ -227,6 +233,7 @@ Result<RunReport> Run(const ExperimentSpec& spec) {
     options.warmup = c == 0 ? spec.workload.warmup : 0;
     options.queries = cls.count;
     options.batch_size = spec.workload.batch_size;
+    options.shared_frontier = spec.workload.shared_frontier;
     RTB_ASSIGN_OR_RETURN(cr.run,
                          sim::RunWorkload(&tree, prepared.store.get(),
                                           gen.get(), options));
@@ -249,6 +256,13 @@ Result<RunReport> Run(const ExperimentSpec& spec) {
 
   report.buffer = pool->AggregateStats();
   report.store_io = prepared.store->stats();
+  report.async_io =
+      storage::AsyncReadEngine::Instance().stats().Delta(async_before);
+  // Tear down explicitly so a writeback or final-flush failure surfaces as
+  // a Status instead of being swallowed by the destructors. Counters were
+  // captured above, so the flush traffic doesn't perturb the report.
+  RTB_RETURN_IF_ERROR(pool->Close());
+  RTB_RETURN_IF_ERROR(prepared.store->Close());
   return report;
 }
 
@@ -290,6 +304,19 @@ report::JsonDict RunReport::ToJsonDict() const {
   store.PutInt("batch_pages", store_io.batch_pages);
   store.PutNum("pages_per_batch", store_io.PagesPerBatch());
   doc.PutDict("store", store);
+
+  report::JsonDict async;
+  async.PutBool("active", async_active);
+  async.PutStr("backend", async_active ? storage::AsyncIoBackendName()
+                                       : "sync");
+  async.PutInt("jobs", async_io.jobs);
+  async.PutInt("pages", async_io.pages);
+  async.PutInt("waits_ready", async_io.waits_ready);
+  async.PutInt("waits_blocked", async_io.waits_blocked);
+  async.PutNum("overlap_ratio", async_io.OverlapRatio());
+  async.PutInt("max_inflight", async_io.max_inflight);
+  async.PutInt("uring_jobs", async_io.uring_jobs);
+  doc.PutDict("async", async);
 
   report::JsonDict totals;
   totals.PutInt("queries", total.queries);

@@ -90,6 +90,9 @@ Status ParseStorage(const JsonValue& v, StorageSpec* out) {
     } else if (key == "vectored_io") {
       RTB_RETURN_IF_ERROR(
           GetBool(value, "storage.vectored_io", &out->vectored_io));
+    } else if (key == "async_io") {
+      RTB_RETURN_IF_ERROR(
+          GetBool(value, "storage.async_io", &out->async_io));
     } else {
       return Bad("unknown key storage." + key);
     }
@@ -148,6 +151,9 @@ Status ParseWorkload(const JsonValue& v, WorkloadSpec* out) {
     } else if (key == "batch_size") {
       RTB_RETURN_IF_ERROR(
           GetUint(value, "workload.batch_size", &out->batch_size));
+    } else if (key == "shared_frontier") {
+      RTB_RETURN_IF_ERROR(GetBool(value, "workload.shared_frontier",
+                                  &out->shared_frontier));
     } else if (key == "classes") {
       if (!value.is_array()) return Bad("workload.classes must be an array");
       out->classes.clear();
@@ -274,6 +280,9 @@ Status ExperimentSpec::Validate() const {
   if (workload.batch_size == 0) {
     return Bad("workload.batch_size must be >= 1");
   }
+  if (workload.shared_frontier && workload.batch_size < 2) {
+    return Bad("workload.shared_frontier requires workload.batch_size >= 2");
+  }
   if (workload.classes.empty()) {
     return Bad("workload.classes must have at least one class");
   }
@@ -320,6 +329,7 @@ report::JsonDict ExperimentSpec::ToJsonDict() const {
   st.PutStr("backend", storage.backend);
   if (!storage.path.empty()) st.PutStr("path", storage.path);
   st.PutBool("vectored_io", storage.vectored_io);
+  st.PutBool("async_io", storage.async_io);
   doc.PutDict("storage", st);
 
   report::JsonDict pl;
@@ -332,6 +342,7 @@ report::JsonDict ExperimentSpec::ToJsonDict() const {
   report::JsonDict wl;
   wl.PutInt("warmup", workload.warmup);
   wl.PutInt("batch_size", workload.batch_size);
+  wl.PutBool("shared_frontier", workload.shared_frontier);
   std::vector<report::JsonDict> classes;
   for (const QueryClassSpec& cls : workload.classes) {
     report::JsonDict c;

@@ -71,6 +71,13 @@ struct StorageSpec {
   std::string backend = "mem";  // mem|file
   std::string path;             // Store file (backend == "file").
   bool vectored_io = true;      // false forces one pread per page.
+  /// Route batched fetches through the async read engine (storage/
+  /// async_io.h): BeginFetchBatch submits a window's misses to a background
+  /// reader so the executor overlaps the next window's I/O with the current
+  /// window's scan. false keeps the fully synchronous FetchBatch path and
+  /// its published counters. Applies to any backend (a "mem" store just
+  /// reads on the engine thread).
+  bool async_io = false;
 };
 
 /// Buffer pool configuration. `shards == 0` with `threads == 1` selects the
@@ -100,6 +107,11 @@ struct WorkloadSpec {
   /// serial per-query loop; >= 2 groups queries and visits each distinct
   /// page once per batch (level-synchronous traversal).
   uint64_t batch_size = 1;
+  /// One page-ordered frontier shared by all workers
+  /// (rtree::SharedBatchExecutor) instead of a private frontier per worker:
+  /// duplicate page visits coalesce across threads. Requires
+  /// batch_size >= 2.
+  bool shared_frontier = false;
   std::vector<QueryClassSpec> classes;
 };
 

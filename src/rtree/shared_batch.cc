@@ -1,0 +1,253 @@
+#include "rtree/shared_batch.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/macros.h"
+
+namespace rtb::rtree {
+
+namespace {
+
+// Same per-window pin bound as BatchExecutor, but here every worker holds a
+// window at once, so StartRound divides the pool budget by the worker count.
+constexpr size_t kMaxFetchWindow = 8;
+
+// Pool exhaustion while other workers hold their window pins is transient:
+// every pin taken inside ProcessWindow is released inside ProcessWindow, so
+// a worker that backs off (holding zero pins) always finds a frame once a
+// peer finishes its window. The cap only exists to turn a genuinely
+// undersized pool (or a leak) into an error instead of a livelock.
+constexpr int kMaxExhaustedRetries = 1 << 16;
+
+}  // namespace
+
+SharedBatchExecutor::SharedBatchExecutor(const RTree* tree, uint32_t workers)
+    : tree_(tree),
+      workers_(workers),
+      states_(workers),
+      barrier_(static_cast<std::ptrdiff_t>(workers), RoundSync{this}) {
+  RTB_CHECK(tree_ != nullptr);
+  RTB_CHECK(workers_ >= 1);
+  const size_t fanout = NodeCapacity(tree_->pool()->page_size());
+  for (WorkerState& st : states_) {
+    st.match_idx.resize(fanout);
+  }
+}
+
+void SharedBatchExecutor::OnBarrier() noexcept {
+  if (phase_ == Phase::kStart) {
+    StartRound();
+  } else {
+    BuildLevel();
+  }
+}
+
+void SharedBatchExecutor::StartRound() noexcept {
+  // Lay the workers' query slices end to end; st.offset maps a worker's
+  // local query index to its global id in all_queries_.
+  uint32_t off = 0;
+  all_queries_.clear();
+  for (WorkerState& st : states_) {
+    st.offset = off;
+    off += static_cast<uint32_t>(st.queries.size());
+    all_queries_.insert(all_queries_.end(), st.queries.begin(),
+                        st.queries.end());
+    st.emit.clear();
+    st.matches.clear();
+  }
+  round_reverse_ = sweep_reverse_;
+  sweep_reverse_ = !sweep_reverse_;
+  failed_.store(false, std::memory_order_relaxed);
+  first_error_ = Status::OK();
+  round_nodes_ = 0;
+  round_pages_ = 0;
+  round_done_ = false;
+  window_ = std::min(kMaxFetchWindow,
+                     std::max<size_t>(1, tree_->pool()->capacity() /
+                                             (4 * workers_)));
+  phase_ = Phase::kLevel;
+}
+
+void SharedBatchExecutor::BuildLevel() noexcept {
+  // Merge what every worker emitted for the next level into the one shared
+  // frontier. Sorting by packed (page, query) both groups duplicate pages
+  // into runs and keeps the sweep page-ordered across workers.
+  frontier_.clear();
+  for (WorkerState& st : states_) {
+    frontier_.insert(frontier_.end(), st.emit.begin(), st.emit.end());
+    st.emit.clear();
+  }
+  if (failed_.load(std::memory_order_relaxed) || frontier_.empty()) {
+    round_done_ = true;
+    phase_ = Phase::kStart;
+    return;
+  }
+  std::sort(frontier_.begin(), frontier_.end());
+
+  runs_.clear();
+  for (uint32_t i = 0; i < frontier_.size(); ++i) {
+    const storage::PageId page = ItemPage(frontier_[i]);
+    if (runs_.empty() || page != runs_.back().page) {
+      runs_.push_back({page, i, i});
+    }
+    runs_.back().end = i + 1;
+  }
+  if (round_reverse_) std::reverse(runs_.begin(), runs_.end());
+  round_nodes_ += frontier_.size();
+  round_pages_ += runs_.size();
+  cursor_.store(0, std::memory_order_relaxed);
+}
+
+Status SharedBatchExecutor::VisitRun(uint32_t worker,
+                                     const storage::PageGuard& guard,
+                                     size_t begin, size_t end) {
+  WorkerState& st = states_[worker];
+  RTB_ASSIGN_OR_RETURN(
+      NodeView view,
+      NodeView::Create(guard.data(), tree_->pool()->page_size()));
+  st.scratch.Load(view);
+  const bool leaf = st.scratch.is_leaf();
+  for (size_t k = begin; k < end; ++k) {
+    const uint32_t gq = ItemQuery(frontier_[k]);
+    const size_t nmatch =
+        ScanIntersecting(st.scratch, all_queries_[gq], st.match_idx.data());
+    if (leaf) {
+      for (size_t m = 0; m < nmatch; ++m) {
+        st.matches.emplace_back(gq, st.scratch.id(st.match_idx[m]));
+      }
+    } else {
+      for (size_t m = 0; m < nmatch; ++m) {
+        st.emit.push_back(PackItem(
+            static_cast<storage::PageId>(st.scratch.id(st.match_idx[m])),
+            gq));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status SharedBatchExecutor::ProcessWindow(uint32_t worker, size_t p,
+                                          size_t w) {
+  WorkerState& st = states_[worker];
+  storage::PageCache* pool = tree_->pool();
+  bool done = false;
+  if (w > 1) {
+    st.window_ids.clear();
+    for (size_t j = 0; j < w; ++j) {
+      st.window_ids.push_back(runs_[p + j].page);
+    }
+    Result<std::vector<storage::PageGuard>> guards =
+        pool->FetchBatch(st.window_ids.data(), w);
+    if (guards.ok()) {
+      for (size_t j = 0; j < w; ++j) {
+        RTB_RETURN_IF_ERROR(
+            VisitRun(worker, (*guards)[j], runs_[p + j].begin,
+                     runs_[p + j].end));
+        (*guards)[j].Release();
+      }
+      done = true;
+    }
+    // Multi-get refused (e.g. the other workers' pinned windows left too few
+    // free frames) — degrade to one page at a time, same as BatchExecutor.
+  }
+  if (!done) {
+    for (size_t j = 0; j < w; ++j) {
+      Result<storage::PageGuard> guard = pool->Fetch(runs_[p + j].page);
+      for (int tries = 0;
+           !guard.ok() && guard.status().code() ==
+                              StatusCode::kResourceExhausted &&
+           tries < kMaxExhaustedRetries;
+           ++tries) {
+        std::this_thread::yield();
+        guard = pool->Fetch(runs_[p + j].page);
+      }
+      RTB_RETURN_IF_ERROR(guard.status());
+      RTB_RETURN_IF_ERROR(
+          VisitRun(worker, *guard, runs_[p + j].begin, runs_[p + j].end));
+    }
+  }
+  return Status::OK();
+}
+
+void SharedBatchExecutor::RecordError(Status s) {
+  {
+    std::lock_guard<std::mutex> lock(err_mu_);
+    if (first_error_.ok()) first_error_ = std::move(s);
+  }
+  failed_.store(true, std::memory_order_relaxed);
+}
+
+Status SharedBatchExecutor::Run(uint32_t worker,
+                                std::span<const geom::Rect> queries,
+                                std::vector<std::vector<ObjectId>>* results,
+                                BatchStats* stats) {
+  RTB_CHECK(worker < workers_);
+  RTB_CHECK(results != nullptr);
+  results->resize(queries.size());
+  for (std::vector<ObjectId>& r : *results) {
+    r.clear();
+  }
+
+  WorkerState& st = states_[worker];
+  st.queries = queries;
+  // kStart completion: offsets, flattened query list, cleared scratch.
+  barrier_.arrive_and_wait();
+
+  // Seed the root items for this worker's queries; empty rects match
+  // nothing and never touch the tree, as in the serial path.
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    if (!queries[q].is_empty()) {
+      st.emit.push_back(PackItem(tree_->root(), st.offset + q));
+    }
+  }
+
+  for (;;) {
+    // kLevel completion: merge emits into the sorted shared frontier.
+    barrier_.arrive_and_wait();
+    if (round_done_) break;
+    for (;;) {
+      const size_t p = cursor_.fetch_add(window_, std::memory_order_relaxed);
+      if (p >= runs_.size() || failed_.load(std::memory_order_relaxed)) {
+        break;
+      }
+      const size_t w = std::min(window_, runs_.size() - p);
+      Status s = ProcessWindow(worker, p, w);
+      if (!s.ok()) {
+        RecordError(std::move(s));
+        break;
+      }
+    }
+  }
+
+  if (failed_.load(std::memory_order_relaxed)) {
+    // Collective abort: every worker is past the round_done_ barrier, so
+    // first_error_ is stable; all return the same status.
+    std::lock_guard<std::mutex> lock(err_mu_);
+    return first_error_;
+  }
+
+  // Harvest: matches live with whichever worker scanned the page; pull the
+  // ones belonging to this worker's global id range. Safe unsynchronized —
+  // no worker touches `matches` again until the next round's kStart
+  // completion, which cannot run until every harvester re-enters Run.
+  const uint32_t lo = st.offset;
+  const uint32_t hi = st.offset + static_cast<uint32_t>(queries.size());
+  for (const WorkerState& other : states_) {
+    for (const auto& [gq, oid] : other.matches) {
+      if (gq >= lo && gq < hi) {
+        (*results)[gq - lo].push_back(oid);
+      }
+    }
+  }
+
+  // Counters are global to the round; attribute them once, via worker 0, so
+  // a sum over per-worker stats is the true total.
+  if (worker == 0 && stats != nullptr) {
+    stats->node_accesses += round_nodes_;
+    stats->page_visits += round_pages_;
+  }
+  return Status::OK();
+}
+
+}  // namespace rtb::rtree

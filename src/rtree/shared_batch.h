@@ -1,0 +1,167 @@
+// SharedBatchExecutor: one page-ordered frontier shared by every worker.
+//
+// BatchExecutor (batch.h) coalesces duplicate page visits *within one
+// worker's batch*; with several workers each sweeping a private frontier,
+// the same page can still be pinned once per worker per round. This
+// executor lifts the frontier to a single global work queue: all workers'
+// queries descend level-synchronously together, the merged frontier is
+// sorted by page id once per level, and workers claim disjoint windows of
+// the page runs — so a page shared by queries of different workers is
+// pinned exactly once per round, by whichever worker claims its window.
+// The elevator sweep is preserved globally (alternate rounds walk the runs
+// high-to-low), which is strictly stronger than per-worker elevators: the
+// whole fleet turns around together, so the pool's resident tail is reused
+// across every worker, not just within one.
+//
+// The cost of sharing is synchronization: one barrier per tree level plus
+// one per round. Page claims use a single atomic cursor over the sorted
+// runs; a claimed window is scanned entirely by its claimer, including
+// frontier items that belong to other workers' queries, so leaf matches are
+// collected per (global query, object) and handed back to the owning
+// worker at the end of the round.
+//
+// Collective contract: Run() is a collective operation — all `workers`
+// threads must call it once per round, with worker ids 0..workers-1, even
+// when a worker's query slice is empty that round (the call still
+// participates in the barriers). All workers return the same status; on a
+// mid-round error every worker returns that first error after the fleet
+// drains at the next barrier, so no thread is left waiting. Transient pool
+// exhaustion (peers' window pins momentarily hogging a shard) is not an
+// error: the worker backs off pin-free and retries, since every pin taken
+// inside a window is released inside that window.
+//
+// Determinism: the merged frontier is sorted and duplicate-free per level,
+// so result sets and the global node/page counters are pure functions of
+// the query set — window claiming only decides *which worker* scans a page,
+// never whether it is scanned. Per-query result order is unspecified (as
+// with BatchExecutor); stats are global counts, reported once via worker
+// 0's BatchStats rather than attributed per worker.
+
+#ifndef RTB_RTREE_SHARED_BATCH_H_
+#define RTB_RTREE_SHARED_BATCH_H_
+
+#include <atomic>
+#include <barrier>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "rtree/batch.h"
+#include "rtree/node.h"
+#include "rtree/rtree.h"
+#include "rtree/scan_kernel.h"
+#include "storage/buffer_pool.h"
+#include "util/result.h"
+
+namespace rtb::rtree {
+
+/// Level-synchronous executor over one frontier shared by `workers`
+/// threads. The tree's page cache must be thread-safe when workers > 1
+/// (ShardedBufferPool); workers == 1 degenerates to a (slower) serial
+/// BatchExecutor and accepts the serial BufferPool.
+class SharedBatchExecutor {
+ public:
+  /// The executor does not own `tree`; it must outlive the executor.
+  SharedBatchExecutor(const RTree* tree, uint32_t workers);
+
+  SharedBatchExecutor(const SharedBatchExecutor&) = delete;
+  SharedBatchExecutor& operator=(const SharedBatchExecutor&) = delete;
+
+  uint32_t workers() const { return workers_; }
+
+  /// Collective: executes one round in which worker `worker` contributes
+  /// `queries` (possibly empty) and receives its matches in `results`
+  /// (resized to queries.size()). Every worker must call Run once per
+  /// round. `stats` is accumulated with the *global* round counters on
+  /// worker 0 only (other workers' stats are untouched), so summing
+  /// per-worker stats still yields the correct total.
+  Status Run(uint32_t worker, std::span<const geom::Rect> queries,
+             std::vector<std::vector<ObjectId>>* results,
+             BatchStats* stats = nullptr);
+
+ private:
+  // Frontier items pack (page, global query) like BatchExecutor.
+  static constexpr uint64_t PackItem(storage::PageId page, uint32_t query) {
+    return (static_cast<uint64_t>(page) << 32) | query;
+  }
+  static constexpr storage::PageId ItemPage(uint64_t item) {
+    return static_cast<storage::PageId>(item >> 32);
+  }
+  static constexpr uint32_t ItemQuery(uint64_t item) {
+    return static_cast<uint32_t>(item);
+  }
+
+  struct PageRun {
+    storage::PageId page = storage::kInvalidPageId;
+    uint32_t begin = 0;
+    uint32_t end = 0;
+  };
+
+  // Everything one worker writes during a round, padded so two workers'
+  // hot scratch never shares a cache line.
+  struct alignas(64) WorkerState {
+    // Set by the worker before the round's first barrier.
+    std::span<const geom::Rect> queries;
+    uint32_t offset = 0;  // Global id of this worker's first query.
+    // Items for the next level, in global query ids. Merged by the level
+    // barrier's completion step.
+    std::vector<uint64_t> emit;
+    // Leaf matches found by this worker for *any* worker's query.
+    std::vector<std::pair<uint32_t, ObjectId>> matches;
+    ScanScratch scratch;
+    std::vector<uint32_t> match_idx;
+    std::vector<storage::PageId> window_ids;
+  };
+
+  // Barrier completion: runs exactly once per cycle, after every worker
+  // arrived and before any is released.
+  struct RoundSync {
+    SharedBatchExecutor* self;
+    void operator()() noexcept { self->OnBarrier(); }
+  };
+
+  enum class Phase { kStart, kLevel };
+
+  void OnBarrier() noexcept;
+  void StartRound() noexcept;
+  void BuildLevel() noexcept;
+
+  // Fetches and scans runs_[p, p+w) into this worker's emit/matches.
+  Status ProcessWindow(uint32_t worker, size_t p, size_t w);
+  Status VisitRun(uint32_t worker, const storage::PageGuard& guard,
+                  size_t begin, size_t end);
+
+  void RecordError(Status s);
+
+  const RTree* tree_;
+  const uint32_t workers_;
+  std::vector<WorkerState> states_;
+
+  // Round-global state. Written only by the barrier completion step (or
+  // before the round's first barrier by the owning worker), so the barrier
+  // itself provides the ordering; cursor_ and failed_ are the exceptions
+  // workers race on mid-level.
+  std::vector<geom::Rect> all_queries_;
+  std::vector<uint64_t> frontier_;
+  std::vector<PageRun> runs_;
+  std::atomic<size_t> cursor_{0};
+  std::atomic<bool> failed_{false};
+  std::mutex err_mu_;
+  Status first_error_;
+  size_t window_ = 1;
+  bool round_reverse_ = false;   // This round's elevator direction.
+  bool sweep_reverse_ = false;   // Flips every round.
+  bool round_done_ = false;
+  uint64_t round_nodes_ = 0;
+  uint64_t round_pages_ = 0;
+  Phase phase_ = Phase::kStart;
+
+  std::barrier<RoundSync> barrier_;
+};
+
+}  // namespace rtb::rtree
+
+#endif  // RTB_RTREE_SHARED_BATCH_H_

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "rtree/batch.h"
+#include "rtree/shared_batch.h"
 
 namespace rtb::sim {
 
@@ -39,23 +41,62 @@ Result<WorkloadResult> ExecuteWorkload(rtree::RTree* tree,
                                        QueryGenerator* gen,
                                        const std::vector<Rng*>& rngs,
                                        uint64_t warmup, uint64_t queries,
-                                       uint64_t batch_size) {
+                                       uint64_t batch_size,
+                                       bool shared_frontier) {
   RTB_CHECK(tree != nullptr && store != nullptr && gen != nullptr);
   const uint32_t threads = static_cast<uint32_t>(rngs.size());
   if (threads == 0) {
     return Status::InvalidArgument("threads must be >= 1");
+  }
+  if (shared_frontier && batch_size < 2) {
+    return Status::InvalidArgument(
+        "shared_frontier requires batch_size >= 2");
   }
 
   std::vector<Status> statuses(threads, Status::OK());
   WorkloadResult result;
   result.per_worker.assign(threads, WorkerResult{});
 
-  // Worker w's slice of a phase: `n` queries drawn from its RNG stream, in
-  // the same order in both modes (the generators consume a fixed number of
-  // draws per query). batch_size <= 1 keeps the historical per-query loop
-  // verbatim; larger batches route through the level-synchronous executor.
-  // Node-access counts go to *nodes when non-null (the measured phase).
-  auto run_slice = [&](uint32_t w, uint64_t n, uint64_t* nodes) -> Status {
+  // One shared executor for both phases: its elevator sweep alternates
+  // across every Run of the whole workload, like BatchExecutor's does
+  // within a worker.
+  std::optional<rtree::SharedBatchExecutor> shared;
+  if (shared_frontier) shared.emplace(tree, threads);
+
+  // Worker w's slice of a phase: its share of `total` queries drawn from
+  // its RNG stream, in the same order in every mode (the generators consume
+  // a fixed number of draws per query). batch_size <= 1 keeps the
+  // historical per-query loop verbatim; larger batches route through the
+  // level-synchronous executor — per-worker frontiers by default, the one
+  // shared frontier when requested. Node-access counts go to *nodes when
+  // non-null (the measured phase).
+  auto run_slice = [&](uint32_t w, uint64_t total, uint64_t* nodes)
+      -> Status {
+    const uint64_t n = SliceSize(total, threads, w);
+    if (shared.has_value()) {
+      rtree::BatchStats stats;
+      std::vector<geom::Rect> batch;
+      std::vector<std::vector<rtree::ObjectId>> results;
+      batch.reserve(batch_size);
+      // SharedBatchExecutor::Run is collective, so every worker must make
+      // the same number of calls: round the *largest* slice (worker 0's)
+      // up to whole batches, and keep participating with an empty batch
+      // once this worker's slice is exhausted.
+      const uint64_t rounds =
+          (SliceSize(total, threads, 0) + batch_size - 1) / batch_size;
+      uint64_t done = 0;
+      for (uint64_t r = 0; r < rounds; ++r) {
+        const uint64_t k = std::min<uint64_t>(batch_size, n - done);
+        batch.clear();
+        for (uint64_t i = 0; i < k; ++i) {
+          batch.push_back(gen->Next(*rngs[w]));
+        }
+        RTB_RETURN_IF_ERROR(shared->Run(w, batch, &results, &stats));
+        done += k;
+      }
+      if (nodes != nullptr) *nodes = stats.node_accesses;
+      return Status::OK();
+    }
     if (batch_size <= 1) {
       std::vector<rtree::ObjectId> sink;
       rtree::QueryStats stats;
@@ -87,7 +128,7 @@ Result<WorkloadResult> ExecuteWorkload(rtree::RTree* tree,
   // Phase 1: warm-up (not measured).
   const auto warmup_start = std::chrono::steady_clock::now();
   FanOut(threads, [&](uint32_t w) {
-    Status s = run_slice(w, SliceSize(warmup, threads, w), nullptr);
+    Status s = run_slice(w, warmup, nullptr);
     if (!s.ok()) statuses[w] = std::move(s);
   });
   for (Status& s : statuses) {
@@ -104,14 +145,13 @@ Result<WorkloadResult> ExecuteWorkload(rtree::RTree* tree,
 
   // Phase 2: measured queries.
   FanOut(threads, [&](uint32_t w) {
-    const uint64_t n = SliceSize(queries, threads, w);
     uint64_t nodes = 0;
-    Status s = run_slice(w, n, &nodes);
+    Status s = run_slice(w, queries, &nodes);
     if (!s.ok()) {
       statuses[w] = std::move(s);
       return;
     }
-    result.per_worker[w].queries = n;
+    result.per_worker[w].queries = SliceSize(queries, threads, w);
     result.per_worker[w].node_accesses = nodes;
   });
   for (Status& s : statuses) {
@@ -161,7 +201,8 @@ Result<WorkloadResult> RunWorkload(rtree::RTree* tree,
   rng_ptrs.reserve(options.threads);
   for (Rng& rng : rngs) rng_ptrs.push_back(&rng);
   return ExecuteWorkload(tree, store, gen, rng_ptrs, options.warmup,
-                         options.queries, options.batch_size);
+                         options.queries, options.batch_size,
+                         options.shared_frontier);
 }
 
 Result<WorkloadResult> RunWorkload(rtree::RTree* tree,
@@ -170,7 +211,7 @@ Result<WorkloadResult> RunWorkload(rtree::RTree* tree,
                                    uint64_t warmup, uint64_t queries) {
   RTB_CHECK(rng != nullptr);
   return ExecuteWorkload(tree, store, gen, {rng}, warmup, queries,
-                         /*batch_size=*/1);
+                         /*batch_size=*/1, /*shared_frontier=*/false);
 }
 
 }  // namespace rtb::sim

@@ -86,6 +86,14 @@ struct WorkloadOptions {
   /// is identical in both modes (the generators draw a fixed number of RNG
   /// values per query), so a batched run sees the same query stream.
   uint64_t batch_size = 1;
+  /// Lift the per-worker frontiers into one page-ordered work queue shared
+  /// by all workers (rtree::SharedBatchExecutor): duplicate page visits
+  /// coalesce across threads, not just within a batch. Requires
+  /// batch_size >= 2. Workers then execute their rounds collectively, so a
+  /// worker with an exhausted slice still participates with an empty batch;
+  /// node-access counts are global per round and attributed to worker 0.
+  /// The query stream per worker is unchanged.
+  bool shared_frontier = false;
 };
 
 /// Permanently pins the pages of the top `levels` levels of the tree

@@ -1,0 +1,507 @@
+#include "storage/async_io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "util/macros.h"
+
+#if defined(RTB_IO_URING_ENABLED) && __has_include(<linux/io_uring.h>)
+#define RTB_HAS_IO_URING 1
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+#endif
+
+namespace rtb::storage {
+namespace {
+
+// Worker threads to start. More than a few is pointless: each job is one
+// window of a double-buffered pipeline, so at most a handful are ever in
+// flight, and the backing device (or page cache) is the real bottleneck.
+constexpr unsigned kMaxWorkers = 4;
+
+// Longest consecutive-id run one io_uring READV covers (same cap as the
+// preadv path in file_page_store.cc, well under IOV_MAX).
+constexpr size_t kMaxDirectRun = 64;
+
+struct EnvConfig {
+  bool on = false;
+  bool uring = false;
+};
+
+EnvConfig InitialConfig() {
+  EnvConfig cfg;
+#if defined(RTB_ASYNC_IO_ENABLED)
+  if (const char* env = std::getenv("RTB_ASYNC_IO")) {
+    if (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+        std::strcmp(env, "threadpool") == 0) {
+      cfg.on = true;
+    } else if (std::strcmp(env, "uring") == 0) {
+      cfg.on = true;
+      cfg.uring = true;
+    }
+  }
+#endif
+  return cfg;
+}
+
+std::atomic<bool>& AsyncSlot() {
+  static std::atomic<bool> slot{InitialConfig().on};
+  return slot;
+}
+
+std::atomic<bool>& UringPreferredSlot() {
+  static std::atomic<bool> slot{InitialConfig().uring};
+  return slot;
+}
+
+#if defined(RTB_HAS_IO_URING)
+
+int SysUringSetup(unsigned entries, struct io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysUringEnter(int fd, unsigned to_submit, unsigned min_complete,
+                  unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+// Once any ring setup fails (old kernel, seccomp), stop trying process-wide
+// and serve every job through the thread-pool path.
+std::atomic<bool>& UringBrokenSlot() {
+  static std::atomic<bool> slot{false};
+  return slot;
+}
+
+// One io_uring per engine worker thread, mapped lazily on first direct-read
+// job and torn down at thread exit. Single-threaded use by its owner, so no
+// locking; the kernel-shared ring indices still need the release/acquire
+// pairs the io_uring ABI specifies.
+class UringRing {
+ public:
+  ~UringRing() {
+    if (sqes_ != nullptr) {
+      ::munmap(sqes_, sqes_len_);
+    }
+    if (cq_ptr_ != nullptr && cq_ptr_ != sq_ptr_) {
+      ::munmap(cq_ptr_, cq_len_);
+    }
+    if (sq_ptr_ != nullptr) {
+      ::munmap(sq_ptr_, sq_len_);
+    }
+    if (ring_fd_ >= 0) {
+      ::close(ring_fd_);
+    }
+  }
+
+  bool Init() {
+    if (ring_fd_ >= 0) return true;
+    if (UringBrokenSlot().load(std::memory_order_relaxed)) return false;
+    struct io_uring_params params;
+    std::memset(&params, 0, sizeof(params));
+    const int fd = SysUringSetup(kEntries, &params);
+    if (fd < 0) {
+      UringBrokenSlot().store(true, std::memory_order_relaxed);
+      return false;
+    }
+    sq_len_ = params.sq_off.array + params.sq_entries * sizeof(uint32_t);
+    cq_len_ = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    const bool single_mmap =
+        (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap) {
+      sq_len_ = cq_len_ = std::max(sq_len_, cq_len_);
+    }
+    sq_ptr_ = ::mmap(nullptr, sq_len_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+    if (sq_ptr_ == MAP_FAILED) {
+      sq_ptr_ = nullptr;
+      ::close(fd);
+      UringBrokenSlot().store(true, std::memory_order_relaxed);
+      return false;
+    }
+    cq_ptr_ = single_mmap
+                  ? sq_ptr_
+                  : ::mmap(nullptr, cq_len_, PROT_READ | PROT_WRITE,
+                           MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_CQ_RING);
+    if (cq_ptr_ == MAP_FAILED) {
+      cq_ptr_ = nullptr;
+      ::munmap(sq_ptr_, sq_len_);
+      sq_ptr_ = nullptr;
+      ::close(fd);
+      UringBrokenSlot().store(true, std::memory_order_relaxed);
+      return false;
+    }
+    sqes_len_ = params.sq_entries * sizeof(io_uring_sqe);
+    sqes_ = static_cast<io_uring_sqe*>(
+        ::mmap(nullptr, sqes_len_, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES));
+    if (sqes_ == MAP_FAILED) {
+      sqes_ = nullptr;
+      if (cq_ptr_ != sq_ptr_) ::munmap(cq_ptr_, cq_len_);
+      cq_ptr_ = nullptr;
+      ::munmap(sq_ptr_, sq_len_);
+      sq_ptr_ = nullptr;
+      ::close(fd);
+      UringBrokenSlot().store(true, std::memory_order_relaxed);
+      return false;
+    }
+    auto* sq = static_cast<uint8_t*>(sq_ptr_);
+    sq_head_ = reinterpret_cast<uint32_t*>(sq + params.sq_off.head);
+    sq_tail_ = reinterpret_cast<uint32_t*>(sq + params.sq_off.tail);
+    sq_mask_ = reinterpret_cast<uint32_t*>(sq + params.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<uint32_t*>(sq + params.sq_off.array);
+    auto* cq = static_cast<uint8_t*>(cq_ptr_);
+    cq_head_ = reinterpret_cast<uint32_t*>(cq + params.cq_off.head);
+    cq_tail_ = reinterpret_cast<uint32_t*>(cq + params.cq_off.tail);
+    cq_mask_ = reinterpret_cast<uint32_t*>(cq + params.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + params.cq_off.cqes);
+    ring_fd_ = fd;
+    return true;
+  }
+
+  // Submits `count` READV sqes from `subs` and blocks until all complete.
+  // Fills results[i] with the cqe res for user_data i. Returns false on a
+  // submission-machinery failure (ring now considered broken).
+  struct Readv {
+    int fd = -1;
+    const struct iovec* iov = nullptr;
+    uint32_t iov_cnt = 0;
+    uint64_t offset = 0;
+  };
+  bool SubmitAndWait(const Readv* subs, size_t count,
+                     std::vector<int32_t>* results) {
+    results->assign(count, 0);
+    size_t submitted = 0;
+    size_t completed = 0;
+    while (completed < count) {
+      // Fill as much of the SQ ring as fits.
+      uint32_t tail = __atomic_load_n(sq_tail_, __ATOMIC_RELAXED);
+      const uint32_t head = __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE);
+      unsigned batch = 0;
+      while (submitted < count && tail - head + batch < kEntries) {
+        const uint32_t idx = (tail + batch) & *sq_mask_;
+        io_uring_sqe* sqe = &sqes_[idx];
+        std::memset(sqe, 0, sizeof(*sqe));
+        sqe->opcode = IORING_OP_READV;
+        sqe->fd = subs[submitted].fd;
+        sqe->addr = reinterpret_cast<uint64_t>(subs[submitted].iov);
+        sqe->len = subs[submitted].iov_cnt;
+        sqe->off = subs[submitted].offset;
+        sqe->user_data = submitted;
+        sq_array_[idx] = idx;
+        ++batch;
+        ++submitted;
+      }
+      __atomic_store_n(sq_tail_, tail + batch, __ATOMIC_RELEASE);
+      const int ret =
+          SysUringEnter(ring_fd_, batch, /*min_complete=*/1,
+                        IORING_ENTER_GETEVENTS);
+      if (ret < 0) {
+        if (errno == EINTR) continue;
+        UringBrokenSlot().store(true, std::memory_order_relaxed);
+        return false;
+      }
+      // Reap everything available.
+      uint32_t chead = *cq_head_;
+      const uint32_t ctail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+      while (chead != ctail) {
+        const io_uring_cqe& cqe = cqes_[chead & *cq_mask_];
+        RTB_DCHECK(cqe.user_data < count);
+        (*results)[cqe.user_data] = cqe.res;
+        ++chead;
+        ++completed;
+      }
+      __atomic_store_n(cq_head_, chead, __ATOMIC_RELEASE);
+    }
+    return true;
+  }
+
+ private:
+  static constexpr unsigned kEntries = 64;
+
+  int ring_fd_ = -1;
+  void* sq_ptr_ = nullptr;
+  size_t sq_len_ = 0;
+  void* cq_ptr_ = nullptr;
+  size_t cq_len_ = 0;
+  io_uring_sqe* sqes_ = nullptr;
+  size_t sqes_len_ = 0;
+  uint32_t* sq_head_ = nullptr;
+  uint32_t* sq_tail_ = nullptr;
+  uint32_t* sq_mask_ = nullptr;
+  uint32_t* sq_array_ = nullptr;
+  uint32_t* cq_head_ = nullptr;
+  uint32_t* cq_tail_ = nullptr;
+  uint32_t* cq_mask_ = nullptr;
+  io_uring_cqe* cqes_ = nullptr;
+};
+
+UringRing& ThreadRing() {
+  thread_local UringRing ring;
+  return ring;
+}
+
+// Plain positioned read used to finish a run the ring returned short (page
+// cache races on file growth can legally truncate a readv).
+bool PreadFullRaw(int fd, uint8_t* buf, size_t len, uint64_t offset) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t got =
+        ::pread(fd, buf + done, len - done, static_cast<off_t>(offset + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;
+    done += static_cast<size_t>(got);
+  }
+  return true;
+}
+
+bool UringRuntimeUsable() {
+  return !UringBrokenSlot().load(std::memory_order_relaxed);
+}
+
+#else  // !RTB_HAS_IO_URING
+
+bool UringRuntimeUsable() { return false; }
+
+#endif  // RTB_HAS_IO_URING
+
+}  // namespace
+
+bool AsyncIoAvailable() {
+#if defined(RTB_ASYNC_IO_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool AsyncIoActive() { return AsyncSlot().load(std::memory_order_relaxed); }
+
+bool SetAsyncIo(bool on) {
+  if (on && !AsyncIoAvailable()) return false;
+  AsyncSlot().store(on, std::memory_order_relaxed);
+  return true;
+}
+
+const char* AsyncIoBackendName() {
+  if (!AsyncIoActive()) return "sync";
+  if (UringPreferredSlot().load(std::memory_order_relaxed) &&
+      UringRuntimeUsable()) {
+    return "io_uring";
+  }
+  return "threadpool";
+}
+
+AsyncReadEngine& AsyncReadEngine::Instance() {
+  static AsyncReadEngine engine;
+  return engine;
+}
+
+AsyncReadEngine::AsyncReadEngine() = default;
+
+AsyncReadEngine::~AsyncReadEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+AsyncReadEngine::JobId AsyncReadEngine::Submit(PageStore* store,
+                                               std::vector<Request> reqs) {
+  RTB_CHECK(store != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (workers_.empty() && !stop_) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const unsigned n = std::clamp(hw, 1u, kMaxWorkers);
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+  const JobId id = next_id_++;
+  ++stats_.jobs;
+  stats_.pages += reqs.size();
+  ++inflight_;
+  stats_.max_inflight = std::max(stats_.max_inflight, inflight_);
+  queue_.push_back(Job{id, store, std::move(reqs)});
+  work_cv_.notify_one();
+  return id;
+}
+
+Status AsyncReadEngine::Wait(JobId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = done_.find(id);
+  if (it == done_.end()) {
+    ++stats_.waits_blocked;
+    done_cv_.wait(lock, [this, id, &it] {
+      it = done_.find(id);
+      return it != done_.end();
+    });
+  } else {
+    ++stats_.waits_ready;
+  }
+  Status result = std::move(it->second);
+  done_.erase(it);
+  return result;
+}
+
+AsyncIoStats AsyncReadEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void AsyncReadEngine::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = AsyncIoStats{};
+  // Keep the in-flight high-water meaningful across the reset boundary.
+  stats_.max_inflight = inflight_;
+}
+
+void AsyncReadEngine::WorkerLoop() {
+  // Worker-local scratch, reused across jobs (mirrors the buffer pools'
+  // member scratch).
+  std::vector<PageId> ids;
+  std::vector<uint8_t> scratch;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    bool used_uring = false;
+    Status status = Execute(job, &ids, &scratch, &used_uring);
+    lock.lock();
+    if (used_uring) ++stats_.uring_jobs;
+    --inflight_;
+    done_.emplace(job.id, std::move(status));
+    done_cv_.notify_all();
+  }
+}
+
+Status AsyncReadEngine::Execute(Job& job, std::vector<PageId>* ids,
+                                std::vector<uint8_t>* scratch,
+                                bool* used_uring) {
+  *used_uring = false;
+  // Sort by page id: consecutive pages become vectored runs, and a
+  // descending elevator window still reaches the device ascending — exactly
+  // what BufferPool::ReadPendingFrames does on the synchronous path.
+  std::sort(job.reqs.begin(), job.reqs.end(),
+            [](const Request& a, const Request& b) { return a.id < b.id; });
+  const size_t n = job.reqs.size();
+  const size_t stride = job.store->page_size();
+
+#if defined(RTB_HAS_IO_URING)
+  if (UringPreferredSlot().load(std::memory_order_relaxed) &&
+      UringRuntimeUsable()) {
+    const DirectReadSource src = job.store->direct_read_source();
+    if (src.fd >= 0 && ThreadRing().Init()) {
+      const PageId num_pages = job.store->num_pages();
+      for (const Request& r : job.reqs) {
+        if (r.id >= num_pages) {
+          return Status::NotFound("read of unallocated page " +
+                                  std::to_string(r.id));
+        }
+      }
+      // Build one READV per consecutive-id run, scatter iovecs pointing
+      // straight at the destination frames — no staging copy.
+      struct Run {
+        size_t begin = 0;
+        size_t pages = 0;
+      };
+      std::vector<Run> runs;
+      std::vector<struct iovec> iovs;
+      iovs.reserve(n);
+      std::vector<UringRing::Readv> subs;
+      std::vector<size_t> iov_starts;
+      size_t i = 0;
+      while (i < n) {
+        size_t run = 1;
+        while (run < kMaxDirectRun && i + run < n &&
+               job.reqs[i + run].id == job.reqs[i].id + run) {
+          ++run;
+        }
+        iov_starts.push_back(iovs.size());
+        for (size_t p = 0; p < run; ++p) {
+          iovs.push_back({job.reqs[i + p].dst, stride});
+        }
+        UringRing::Readv sub;
+        sub.fd = src.fd;
+        sub.iov_cnt = static_cast<uint32_t>(run);
+        sub.offset =
+            src.base_offset + static_cast<uint64_t>(job.reqs[i].id) * stride;
+        subs.push_back(sub);
+        runs.push_back(Run{i, run});
+        i += run;
+      }
+      // iovs is fully built (and stable) now; resolve the iovec pointers.
+      for (size_t k = 0; k < subs.size(); ++k) {
+        subs[k].iov = iovs.data() + iov_starts[k];
+      }
+      std::vector<int32_t> results;
+      if (ThreadRing().SubmitAndWait(subs.data(), subs.size(), &results)) {
+        *used_uring = true;
+        for (size_t k = 0; k < subs.size(); ++k) {
+          const size_t expected = runs[k].pages * stride;
+          const int32_t res = results[k];
+          size_t got = res > 0 ? static_cast<size_t>(res) : 0;
+          if (res < 0 && res != -EINTR && res != -EAGAIN) {
+            return Status::IoError("io_uring read failed (errno " +
+                                   std::to_string(-res) + ")");
+          }
+          // Short (or retryable) result: finish the run with plain preads —
+          // rare, and the run is already page-aligned so the loop is simple.
+          while (got < expected) {
+            const size_t page = got / stride;
+            const size_t within = got % stride;
+            const Request& r = job.reqs[runs[k].begin + page];
+            if (!PreadFullRaw(src.fd, r.dst + within, stride - within,
+                              src.base_offset +
+                                  static_cast<uint64_t>(r.id) * stride +
+                                  within)) {
+              return Status::IoError("direct page read failed");
+            }
+            got = (page + 1) * stride;
+          }
+          job.store->RecordDirectRead(runs[k].pages);
+        }
+        return Status::OK();
+      }
+      // Ring broke mid-flight; fall through to the thread-pool path.
+    }
+  }
+#endif  // RTB_HAS_IO_URING
+
+  if (job.store->CoalescesBatchReads()) {
+    // One vectored multi-get into worker scratch, scattered to the frames —
+    // the same route (and the same IoStats) as ReadPendingFrames.
+    ids->resize(n);
+    for (size_t i = 0; i < n; ++i) (*ids)[i] = job.reqs[i].id;
+    if (scratch->size() < n * stride) scratch->resize(n * stride);
+    RTB_RETURN_IF_ERROR(job.store->ReadBatch(ids->data(), n, scratch->data()));
+    for (size_t i = 0; i < n; ++i) {
+      std::memcpy(job.reqs[i].dst, scratch->data() + i * stride, stride);
+    }
+    return Status::OK();
+  }
+  for (const Request& r : job.reqs) {
+    RTB_RETURN_IF_ERROR(job.store->Read(r.id, r.dst));
+  }
+  return Status::OK();
+}
+
+}  // namespace rtb::storage

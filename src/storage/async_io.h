@@ -1,0 +1,177 @@
+// AsyncReadEngine: background read submission over PageStore, the engine
+// behind the buffer pools' staged multi-gets (BufferPool::BeginFetchBatch /
+// FinishFetchBatch).
+//
+// A caller submits one job — a set of (page id, destination pointer) pairs
+// against one store — and gets back a ticket; the pages are read on an
+// engine worker thread while the caller keeps computing, and Wait() on the
+// ticket blocks only if the job has not finished yet. The batch executor
+// uses this for double-buffered frontier windows: while the scan kernel
+// processes window N's pinned pages, window N+1's miss list is already in
+// flight.
+//
+// Backends:
+//   * thread pool (always compiled with the engine): workers serve a job by
+//     sorting its requests by page id and routing them through the store
+//     exactly like BufferPool::ReadPendingFrames — one ReadBatch through a
+//     worker-local staging buffer when the store coalesces
+//     (CoalescesBatchReads()), per-page Read straight into the
+//     destinations otherwise — so IoStats counts are identical to the
+//     synchronous path.
+//   * io_uring (RTB_IO_URING CMake option, runtime-detected): for stores
+//     exposing a direct-read descriptor (PageStore::direct_read_source();
+//     FilePageStore does), runs of consecutive pages become IORING_OP_READV
+//     submissions against the raw fd, with scatter iovecs pointing at the
+//     destination frames — no staging copy at all. Detection happens on
+//     first use; a kernel without io_uring (or a seccomp filter blocking
+//     it) silently falls back to the thread-pool path. Accounting goes
+//     through PageStore::RecordDirectRead so IoStats still match.
+//
+// Selection mirrors the RTB_VECTORED_IO / RTB_SIMD seams: the RTB_ASYNC_IO
+// CMake option gates compilation, the RTB_ASYNC_IO environment variable
+// sets the initial state (1|on|threadpool enable, uring additionally
+// requests the io_uring backend, 0|off|sync disable — the default), and
+// SetAsyncIo() switches at runtime. Read-ahead is opt-in: with the seam off
+// nothing changes anywhere — BeginFetchBatch degrades to a synchronous
+// FetchBatch and no engine thread is ever started.
+//
+// Thread safety: Submit/Wait/stats may be called from any thread. Each
+// ticket must be waited (or the submitting PendingBatch abandoned, which
+// waits internally) exactly once. The engine only ever writes the
+// destination bytes of a job's requests; callers guarantee destinations
+// stay valid and unread until Wait returns (the buffer pools pin the
+// frames for exactly this reason).
+
+#ifndef RTB_STORAGE_ASYNC_IO_H_
+#define RTB_STORAGE_ASYNC_IO_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/page_store.h"
+#include "util/status.h"
+
+namespace rtb::storage {
+
+/// True when this binary was compiled with the async engine
+/// (-DRTB_ASYNC_IO=ON, the default).
+bool AsyncIoAvailable();
+
+/// Whether the buffer pools currently stage fetches through the engine.
+/// Initially off unless the RTB_ASYNC_IO environment variable
+/// (1|on|threadpool|uring) enables it.
+bool AsyncIoActive();
+
+/// Enables or disables async read-ahead for subsequent BeginFetchBatch
+/// calls. Returns false (and changes nothing) when enabling is requested
+/// but the binary lacks the engine. Disabling always succeeds.
+bool SetAsyncIo(bool on);
+
+/// Name of the backend jobs are currently served by: "sync" (seam off),
+/// "threadpool", or "io_uring" (requested via RTB_ASYNC_IO=uring and
+/// runtime-detected; direct reads still fall back to the thread pool for
+/// stores without a direct-read descriptor).
+const char* AsyncIoBackendName();
+
+/// Cumulative engine counters (process-wide; snapshot like IoStats).
+/// `waits_ready` counts Wait() calls that found their job already complete
+/// — reads that fully overlapped with caller compute — and `waits_blocked`
+/// the ones that had to block; their ratio is the overlap the double
+/// buffering achieved.
+struct AsyncIoStats {
+  uint64_t jobs = 0;           // Jobs submitted.
+  uint64_t pages = 0;          // Pages covered by those jobs.
+  uint64_t waits_ready = 0;    // Wait() found the job complete.
+  uint64_t waits_blocked = 0;  // Wait() had to block.
+  uint64_t max_inflight = 0;   // Peak jobs in flight (high-water mark).
+  uint64_t uring_jobs = 0;     // Jobs served by the io_uring backend.
+
+  double OverlapRatio() const {
+    const uint64_t waits = waits_ready + waits_blocked;
+    return waits == 0 ? 0.0
+                      : static_cast<double>(waits_ready) /
+                            static_cast<double>(waits);
+  }
+
+  /// Counter-wise difference against an earlier snapshot (high-water
+  /// `max_inflight` is carried over, not subtracted).
+  AsyncIoStats Delta(const AsyncIoStats& before) const {
+    AsyncIoStats d;
+    d.jobs = jobs - before.jobs;
+    d.pages = pages - before.pages;
+    d.waits_ready = waits_ready - before.waits_ready;
+    d.waits_blocked = waits_blocked - before.waits_blocked;
+    d.max_inflight = max_inflight;
+    d.uring_jobs = uring_jobs - before.uring_jobs;
+    return d;
+  }
+};
+
+/// The process-wide read engine. Worker threads start lazily on the first
+/// Submit and are joined at process exit.
+class AsyncReadEngine {
+ public:
+  /// One page to read: `id` from the job's store into `dst`
+  /// (store->page_size() bytes, caller-owned, unaliased across the job).
+  struct Request {
+    PageId id = kInvalidPageId;
+    uint8_t* dst = nullptr;
+  };
+
+  /// Ticket for a submitted job. Every ticket must be passed to Wait()
+  /// exactly once.
+  using JobId = uint64_t;
+
+  static AsyncReadEngine& Instance();
+
+  AsyncReadEngine(const AsyncReadEngine&) = delete;
+  AsyncReadEngine& operator=(const AsyncReadEngine&) = delete;
+
+  /// Enqueues reads of `reqs` against `store`. Submission never fails; any
+  /// read error surfaces from Wait(). `store` and every destination must
+  /// stay valid until Wait returns.
+  JobId Submit(PageStore* store, std::vector<Request> reqs);
+
+  /// Blocks until the job completes and returns its read status (the first
+  /// error, with the job's remaining reads abandoned — matching a failed
+  /// ReadBatch, after which the destination contents are unspecified).
+  Status Wait(JobId id);
+
+  AsyncIoStats stats() const;
+  void ResetStats();
+
+ private:
+  struct Job {
+    JobId id = 0;
+    PageStore* store = nullptr;
+    std::vector<Request> reqs;
+  };
+
+  AsyncReadEngine();
+  ~AsyncReadEngine();
+
+  void WorkerLoop();
+  Status Execute(Job& job, std::vector<PageId>* ids,
+                 std::vector<uint8_t>* scratch, bool* used_uring);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // Signals queued work / shutdown.
+  std::condition_variable done_cv_;  // Signals a job completion.
+  std::deque<Job> queue_;
+  std::unordered_map<JobId, Status> done_;
+  JobId next_id_ = 1;
+  uint64_t inflight_ = 0;
+  bool stop_ = false;
+  AsyncIoStats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rtb::storage
+
+#endif  // RTB_STORAGE_ASYNC_IO_H_

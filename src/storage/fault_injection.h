@@ -72,14 +72,26 @@ class FaultInjectingPageStore final : public PageStore {
   }
 
   Status ReadBatch(const PageId* ids, size_t n, uint8_t* out) override {
-    if (poisoned_page_ == kInvalidPageId && failing_reads_ <= 0) {
-      // Healthy: preserve the base store's vectored behavior (and its
-      // read_batches accounting).
+    // Only a batch that would actually fault degrades to page-at-a-time: a
+    // read countdown hits whatever comes next, but a poisoned page only
+    // matters if this batch contains it. Healthy batches keep the base
+    // store's vectored behavior (and its read_batches accounting), so fault
+    // tests measure the same batch I/O production takes.
+    bool would_fault = failing_reads_ > 0;
+    if (!would_fault && poisoned_page_ != kInvalidPageId) {
+      for (size_t i = 0; i < n; ++i) {
+        if (ids[i] == poisoned_page_) {
+          would_fault = true;
+          break;
+        }
+      }
+    }
+    if (!would_fault) {
       return base_->ReadBatch(ids, n, out);
     }
-    // Faults armed: degrade to page-at-a-time through this wrapper's Read,
-    // so an injected failure lands mid-batch at exactly the page it would
-    // hit on the serial path (a countdown of k fails the batch's page k).
+    // Degrade through this wrapper's Read, so an injected failure lands
+    // mid-batch at exactly the page it would hit on the serial path (a
+    // countdown of k fails the batch's page k).
     for (size_t i = 0; i < n; ++i) {
       RTB_RETURN_IF_ERROR(Read(ids[i], out + i * page_size()));
     }
@@ -93,6 +105,12 @@ class FaultInjectingPageStore final : public PageStore {
     }
     return base_->Write(id, data);
   }
+
+  Status Close() override { return base_->Close(); }
+
+  // direct_read_source() deliberately keeps the base class's "none": a
+  // direct descriptor would let the async engine's io_uring backend read
+  // around the wrapper, so armed read faults would never fire.
 
   IoStats stats() const override { return base_->stats(); }
   void ResetStats() override { base_->ResetStats(); }

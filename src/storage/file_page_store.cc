@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <vector>
@@ -155,9 +156,45 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
 }
 
 FilePageStore::~FilePageStore() {
-  if (fd_ >= 0) {
-    (void)Sync();
-    ::close(fd_);
+  Status s = Close();
+  if (!s.ok()) {
+    // Destructors cannot return the error; surface it loudly instead of
+    // losing it. Callers that must not lose data call Close() themselves.
+    std::fprintf(stderr,
+                 "FilePageStore: final flush failed in destructor "
+                 "(call Close() to handle): %s\n",
+                 s.ToString().c_str());
+    RTB_DCHECK(s.ok());
+  }
+}
+
+Status FilePageStore::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::OK();
+  Status result = WriteHeader();
+  if (result.ok() && ::fsync(fd_) != 0) {
+    result = Status::IoError(path_ + ": fsync failed");
+  }
+  // The descriptor is released even when the flush failed: a half-closed
+  // store must not leak the fd, and retrying against it can't help.
+  if (::close(fd_) != 0 && result.ok()) {
+    result = Status::IoError(path_ + ": close failed");
+  }
+  fd_ = -1;
+  return result;
+}
+
+DirectReadSource FilePageStore::direct_read_source() const {
+  return DirectReadSource{fd_, kHeaderSize};
+}
+
+void FilePageStore::RecordDirectRead(size_t run_pages) {
+  // Mirror ReadBatch's accounting: every page is one read; a coalesced run
+  // of >= 2 additionally counts as one vectored operation.
+  reads_.fetch_add(run_pages, std::memory_order_relaxed);
+  if (run_pages >= 2) {
+    read_batches_.fetch_add(1, std::memory_order_relaxed);
+    batch_pages_.fetch_add(run_pages, std::memory_order_relaxed);
   }
 }
 

@@ -98,8 +98,20 @@ class FilePageStore final : public PageStore {
     batch_pages_.store(0, std::memory_order_relaxed);
   }
 
-  /// Flushes the header and data to the OS. Called by the destructor.
+  /// Flushes the header and data to the OS.
   Status Sync();
+
+  /// Sync + close(2), releasing the descriptor. Idempotent (a second call
+  /// returns OK); every error on the way out is reported, but the
+  /// descriptor is always released. The destructor calls this too, but can
+  /// only log a failure — callers that must not lose data call Close() and
+  /// check the status.
+  Status Close() override;
+
+  /// Raw descriptor + data offset for the async engine's io_uring backend;
+  /// fd == -1 once closed.
+  DirectReadSource direct_read_source() const override;
+  void RecordDirectRead(size_t run_pages) override;
 
   const std::string& path() const { return path_; }
 

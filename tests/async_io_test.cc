@@ -1,0 +1,265 @@
+// Tests for the async read engine (storage/async_io.h) and the staged
+// two-phase multi-get it powers (PageCache::BeginFetchBatch /
+// FinishFetchBatch): correct bytes through every backend, BufferStats
+// byte-identity with the synchronous FetchBatch path, error propagation
+// with full pin unwind, abandoned batches leaking nothing, and identical
+// query results from the double-buffered batch executor. Runs under the
+// `async` ctest label twice — RTB_ASYNC_IO=sync and =1 — so both sides of
+// the runtime seam stay honest.
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "rtree/batch.h"
+#include "rtree/bulk_load.h"
+#include "rtree/rtree.h"
+#include "storage/async_io.h"
+#include "storage/buffer_pool.h"
+#include "storage/fault_injection.h"
+#include "storage/page_store.h"
+#include "util/rng.h"
+
+namespace rtb::storage {
+namespace {
+
+using geom::Rect;
+
+// Restores the seam state on scope exit so tests compose in one process.
+class AsyncIoGuard {
+ public:
+  explicit AsyncIoGuard(bool on) : was_(AsyncIoActive()) { SetAsyncIo(on); }
+  ~AsyncIoGuard() { SetAsyncIo(was_); }
+
+ private:
+  bool was_;
+};
+
+// A store of `pages` pages; page p is filled with byte p.
+std::unique_ptr<MemPageStore> MakeFilledStore(size_t pages,
+                                              size_t page_size = 64) {
+  auto store = std::make_unique<MemPageStore>(page_size);
+  std::vector<uint8_t> buf(page_size);
+  for (size_t p = 0; p < pages; ++p) {
+    auto id = store->Allocate();
+    EXPECT_TRUE(id.ok());
+    std::fill(buf.begin(), buf.end(), static_cast<uint8_t>(p));
+    EXPECT_TRUE(store->Write(*id, buf.data()).ok());
+  }
+  return store;
+}
+
+TEST(AsyncReadEngineTest, ReadsPagesIntoDestinations) {
+  if (!AsyncIoAvailable()) GTEST_SKIP() << "engine not compiled";
+  auto store = MakeFilledStore(8);
+  std::vector<uint8_t> dst(3 * store->page_size());
+  std::vector<AsyncReadEngine::Request> reqs;
+  // Deliberately unsorted: the engine sorts by page id internally, but must
+  // land each page in its request's destination.
+  reqs.push_back({5, dst.data()});
+  reqs.push_back({1, dst.data() + store->page_size()});
+  reqs.push_back({7, dst.data() + 2 * store->page_size()});
+  auto job = AsyncReadEngine::Instance().Submit(store.get(), std::move(reqs));
+  ASSERT_TRUE(AsyncReadEngine::Instance().Wait(job).ok());
+  EXPECT_EQ(dst[0], 5);
+  EXPECT_EQ(dst[store->page_size()], 1);
+  EXPECT_EQ(dst[2 * store->page_size()], 7);
+}
+
+TEST(AsyncReadEngineTest, WaitSurfacesReadError) {
+  if (!AsyncIoAvailable()) GTEST_SKIP() << "engine not compiled";
+  auto base = MakeFilledStore(4);
+  FaultInjectingPageStore store(base.get());
+  store.FailPage(2, Status::IoError("bad sector"));
+  std::vector<uint8_t> dst(2 * store.page_size());
+  std::vector<AsyncReadEngine::Request> reqs;
+  reqs.push_back({1, dst.data()});
+  reqs.push_back({2, dst.data() + store.page_size()});
+  auto job = AsyncReadEngine::Instance().Submit(&store, std::move(reqs));
+  Status s = AsyncReadEngine::Instance().Wait(job);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST(AsyncReadEngineTest, StatsCountJobsAndPages) {
+  if (!AsyncIoAvailable()) GTEST_SKIP() << "engine not compiled";
+  auto store = MakeFilledStore(4);
+  const AsyncIoStats before = AsyncReadEngine::Instance().stats();
+  std::vector<uint8_t> dst(2 * store->page_size());
+  std::vector<AsyncReadEngine::Request> reqs;
+  reqs.push_back({0, dst.data()});
+  reqs.push_back({3, dst.data() + store->page_size()});
+  auto job = AsyncReadEngine::Instance().Submit(store.get(), std::move(reqs));
+  ASSERT_TRUE(AsyncReadEngine::Instance().Wait(job).ok());
+  const AsyncIoStats d = AsyncReadEngine::Instance().stats().Delta(before);
+  EXPECT_EQ(d.jobs, 1u);
+  EXPECT_EQ(d.pages, 2u);
+  EXPECT_EQ(d.waits_ready + d.waits_blocked, 1u);
+}
+
+TEST(AsyncIoSeamTest, SetAsyncIoTogglesWhenAvailable) {
+  const bool was = AsyncIoActive();
+  if (AsyncIoAvailable()) {
+    EXPECT_TRUE(SetAsyncIo(true));
+    EXPECT_TRUE(AsyncIoActive());
+    EXPECT_STRNE(AsyncIoBackendName(), "sync");
+  } else {
+    EXPECT_FALSE(SetAsyncIo(true));
+    EXPECT_FALSE(AsyncIoActive());
+  }
+  EXPECT_TRUE(SetAsyncIo(false));
+  EXPECT_FALSE(AsyncIoActive());
+  EXPECT_STREQ(AsyncIoBackendName(), "sync");
+  SetAsyncIo(was);
+}
+
+// Replays the same batched fetch sequence through FetchBatch on one pool
+// and Begin/Finish on another; with `async` routed through the engine the
+// BufferStats and data must still be byte-identical — misses are counted at
+// Begin in presentation order, exactly like the synchronous path.
+void ExpectTwoPhaseMatchesFetchBatch(bool async) {
+  AsyncIoGuard guard(async);
+  auto sync_store = MakeFilledStore(16);
+  auto staged_store = MakeFilledStore(16);
+  auto sync_pool = BufferPool::MakeLru(sync_store.get(), 4);
+  auto staged_pool = BufferPool::MakeLru(staged_store.get(), 4);
+
+  const std::vector<std::vector<PageId>> windows = {
+      {0, 1, 2}, {2, 3, 1}, {9, 10}, {0, 9, 15}, {4}, {15, 14, 13}};
+  for (const auto& w : windows) {
+    auto plain = sync_pool->FetchBatch(w.data(), w.size());
+    ASSERT_TRUE(plain.ok());
+
+    auto pending = staged_pool->BeginFetchBatch(w.data(), w.size());
+    ASSERT_TRUE(pending.ok());
+    auto staged = staged_pool->FinishFetchBatch(std::move(*pending));
+    ASSERT_TRUE(staged.ok());
+
+    ASSERT_EQ(plain->size(), staged->size());
+    for (size_t k = 0; k < w.size(); ++k) {
+      EXPECT_EQ(std::memcmp((*plain)[k].data(), (*staged)[k].data(),
+                            sync_store->page_size()),
+                0)
+          << "window page " << w[k];
+    }
+  }
+
+  const BufferStats a = sync_pool->AggregateStats();
+  const BufferStats b = staged_pool->AggregateStats();
+  EXPECT_EQ(b.requests, a.requests);
+  EXPECT_EQ(b.hits, a.hits);
+  EXPECT_EQ(b.misses, a.misses);
+  EXPECT_EQ(b.evictions, a.evictions);
+  EXPECT_EQ(b.writebacks, a.writebacks);
+  EXPECT_EQ(staged_store->stats().reads, sync_store->stats().reads);
+}
+
+TEST(TwoPhaseFetchTest, SyncSeamIsByteIdenticalToFetchBatch) {
+  ExpectTwoPhaseMatchesFetchBatch(/*async=*/false);
+}
+
+TEST(TwoPhaseFetchTest, AsyncSeamIsByteIdenticalToFetchBatch) {
+  if (!AsyncIoAvailable()) GTEST_SKIP() << "engine not compiled";
+  ExpectTwoPhaseMatchesFetchBatch(/*async=*/true);
+}
+
+TEST(TwoPhaseFetchTest, FinishErrorUnwindsAllPins) {
+  if (!AsyncIoAvailable()) GTEST_SKIP() << "engine not compiled";
+  AsyncIoGuard guard(true);
+  auto base = MakeFilledStore(8);
+  FaultInjectingPageStore store(base.get());
+  auto pool = BufferPool::MakeLru(&store, 4);
+
+  store.FailNextReads(1, Status::IoError("transient"));
+  const PageId w[3] = {0, 1, 2};
+  auto pending = pool->BeginFetchBatch(w, 3);
+  ASSERT_TRUE(pending.ok());
+  auto got = pool->FinishFetchBatch(std::move(*pending));
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIoError);
+
+  // Every pin was unwound: the pool can hold four fresh pages...
+  std::vector<PageGuard> guards;
+  for (PageId id = 4; id < 8; ++id) {
+    auto g = pool->Fetch(id);
+    ASSERT_TRUE(g.ok()) << "page " << id;
+    guards.push_back(std::move(*g));
+  }
+  for (auto& g : guards) g.Release();
+  // ...and the faulted window is fetchable once the fault clears.
+  auto retry = pool->FetchBatch(w, 3);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ((*retry)[1].data()[0], 1);
+}
+
+TEST(TwoPhaseFetchTest, AbandonedBatchLeaksNothing) {
+  if (!AsyncIoAvailable()) GTEST_SKIP() << "engine not compiled";
+  AsyncIoGuard guard(true);
+  auto store = MakeFilledStore(8);
+  auto pool = BufferPool::MakeLru(store.get(), 4);
+  {
+    const PageId w[3] = {0, 1, 2};
+    auto pending = pool->BeginFetchBatch(w, 3);
+    ASSERT_TRUE(pending.ok());
+    // Dropped without Finish: the destructor waits out the read and
+    // releases every pin.
+  }
+  std::vector<PageGuard> guards;
+  for (PageId id = 4; id < 8; ++id) {
+    auto g = pool->Fetch(id);
+    ASSERT_TRUE(g.ok()) << "page " << id;
+    guards.push_back(std::move(*g));
+  }
+}
+
+// The double-buffered executor must return exactly the synchronous
+// executor's results for the identical query stream.
+TEST(BatchExecutorAsyncTest, AsyncAndSyncResultsAgree) {
+  if (!AsyncIoAvailable()) GTEST_SKIP() << "engine not compiled";
+  Rng rng(4242);
+  auto rects = data::GenerateSyntheticRegion(3000, &rng);
+  MemPageStore store(kDefaultPageSize);
+  auto built = rtree::BuildRTree(&store, rtree::RTreeConfig::WithFanout(32),
+                                 rects, rtree::LoadAlgorithm::kHilbertSort);
+  ASSERT_TRUE(built.ok());
+  auto pool = BufferPool::MakeLru(&store, 24);
+  auto tree = rtree::RTree::Open(pool.get(),
+                                 rtree::RTreeConfig::WithFanout(32),
+                                 built->root, built->height);
+  ASSERT_TRUE(tree.ok());
+
+  std::vector<Rect> queries;
+  Rng qrng(17);
+  for (int i = 0; i < 64; ++i) {
+    const double x = qrng.NextDouble() * 0.9;
+    const double y = qrng.NextDouble() * 0.9;
+    queries.emplace_back(x, y, x + 0.05, y + 0.05);
+  }
+
+  rtree::BatchExecutor executor(&*tree);
+  std::vector<std::vector<rtree::ObjectId>> sync_results;
+  {
+    AsyncIoGuard guard(false);
+    ASSERT_TRUE(executor.Run(queries, &sync_results, nullptr).ok());
+  }
+  std::vector<std::vector<rtree::ObjectId>> async_results;
+  {
+    AsyncIoGuard guard(true);
+    ASSERT_TRUE(executor.Run(queries, &async_results, nullptr).ok());
+  }
+  ASSERT_EQ(sync_results.size(), async_results.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto a = sync_results[q];
+    auto b = async_results[q];
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "query " << q;
+  }
+}
+
+}  // namespace
+}  // namespace rtb::storage

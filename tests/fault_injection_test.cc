@@ -2,6 +2,7 @@
 // buffer pool and the R-tree without crashes, leaks of frames, or state
 // corruption — and the system must recover once the fault clears.
 
+#include <cstdio>
 #include <memory>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "rtree/summary.h"
 #include "storage/buffer_pool.h"
 #include "storage/fault_injection.h"
+#include "storage/file_page_store.h"
 #include "storage/page_store.h"
 #include "util/rng.h"
 
@@ -93,6 +95,72 @@ TEST(BufferPoolFaultTest, WritebackFaultSurfacesOnEviction) {
   std::vector<uint8_t> buf(64);
   ASSERT_TRUE(base.Read(0, buf.data()).ok());
   EXPECT_EQ(buf[0], 9);
+}
+
+TEST(BufferPoolFaultTest, CloseSurfacesWritebackFailureAndKeepsDirtyPage) {
+  MemPageStore base(64);
+  FaultInjectingPageStore store(&base);
+  for (int i = 0; i < 2; ++i) (void)store.Allocate();
+  auto pool = BufferPool::MakeLru(&store, 2);
+  {
+    auto g = pool->FetchMutable(0);
+    ASSERT_TRUE(g.ok());
+    g->mutable_data()[0] = 42;
+  }
+  store.FailNextWrites(1, Status::IoError("close-time write fault"));
+  Status s = pool->Close();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  // The failed writeback must not have dropped the dirty data: once the
+  // fault clears, Close succeeds and the page reaches the store.
+  ASSERT_TRUE(pool->Close().ok());
+  std::vector<uint8_t> buf(64);
+  ASSERT_TRUE(base.Read(0, buf.data()).ok());
+  EXPECT_EQ(buf[0], 42);
+}
+
+TEST(FaultInjectionTest, HealthyBatchKeepsBaseVectoredPath) {
+  if (!VectoredIoAvailable()) GTEST_SKIP() << "vectored path not compiled";
+  const bool was_vectored = VectoredIoActive();
+  ASSERT_TRUE(SetVectoredIo(true));
+  const char* path = "/tmp/rtb_fault_batch_test.store";
+  auto file = FilePageStore::Create(path);
+  ASSERT_TRUE(file.ok());
+  std::vector<uint8_t> buf((*file)->page_size());
+  for (int i = 0; i < 8; ++i) {
+    auto id = (*file)->Allocate();
+    ASSERT_TRUE(id.ok());
+    buf[0] = static_cast<uint8_t>(0x40 + i);
+    ASSERT_TRUE((*file)->Write(*id, buf.data()).ok());
+  }
+  FaultInjectingPageStore store(file->get());
+
+  // A poisoned page outside the batch must not degrade the batch to
+  // page-at-a-time reads: the base store still coalesces.
+  store.FailPage(7, Status::IoError("bad sector"));
+  const PageId ids[4] = {1, 2, 3, 4};
+  std::vector<uint8_t> out(4 * store.page_size());
+  const uint64_t batches_before = store.stats().read_batches;
+  ASSERT_TRUE(store.ReadBatch(ids, 4, out.data()).ok());
+  EXPECT_GT(store.stats().read_batches, batches_before);
+  EXPECT_EQ(out[0], 0x41);
+  EXPECT_EQ(out[3 * store.page_size()], 0x44);
+
+  // A batch that does contain the poisoned page fails.
+  const PageId poisoned_ids[3] = {5, 6, 7};
+  EXPECT_EQ(store.ReadBatch(poisoned_ids, 3, out.data()).code(),
+            StatusCode::kIoError);
+
+  // And an armed countdown fails the batch at the faulted page.
+  store.FailPage(kInvalidPageId, Status::OK());
+  store.FailNextReads(1, Status::IoError("transient"));
+  EXPECT_EQ(store.ReadBatch(ids, 4, out.data()).code(),
+            StatusCode::kIoError);
+  ASSERT_TRUE(store.ReadBatch(ids, 4, out.data()).ok());
+
+  ASSERT_TRUE(store.Close().ok());
+  SetVectoredIo(was_vectored);
+  std::remove(path);
 }
 
 class RTreeFaultTest : public ::testing::Test {

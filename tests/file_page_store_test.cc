@@ -270,6 +270,28 @@ TEST_F(FilePageStoreFailureTest, MidBatchFaultThroughFetchBatchLeaksNothing) {
 // of hits, misses, duplicates and evictions. Two identical stores and
 // pools run the same windows — one through the PageCache base-class loop,
 // one through the overridden staged path — and every counter must match.
+TEST_F(FilePageStoreFailureTest, CloseFlushesAndIsIdempotent) {
+  const std::string path = Path("close");
+  {
+    auto store = MakeStore(path, 3);
+    ASSERT_TRUE(store->Close().ok());
+    // Idempotent: a second Close on an already-closed store is a no-op.
+    ASSERT_TRUE(store->Close().ok());
+    // The store must not be used for I/O afterwards.
+    std::vector<uint8_t> buf(store->page_size());
+    EXPECT_FALSE(store->Read(0, buf.data()).ok());
+  }
+  // The header reached the disk through Close: the file reopens cleanly
+  // with all pages intact.
+  auto reopened = FilePageStore::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->num_pages(), 3u);
+  std::vector<uint8_t> buf((*reopened)->page_size());
+  ASSERT_TRUE((*reopened)->Read(2, buf.data()).ok());
+  EXPECT_EQ(buf[0], 2);
+  std::remove(path.c_str());
+}
+
 TEST(FetchBatchIdentityTest, StatsAreByteIdenticalToLoopFetch) {
   constexpr size_t kPageSize = 64;
   constexpr size_t kPages = 16;

@@ -232,7 +232,7 @@ int CmdBuild(int argc, char** argv) {
 
   auto built = rtree::BuildRTree(store->get(), config, *rects, *algo);
   if (!built.ok()) return FailStatus("build", built.status());
-  if (Status s = (*store)->Sync(); !s.ok()) return FailStatus("sync", s);
+  if (Status s = (*store)->Close(); !s.ok()) return FailStatus("close", s);
   engine::IndexMeta meta{built->root, built->height, fanout};
   if (Status s = engine::SaveIndexMeta(args.Get("index"), meta); !s.ok()) {
     return FailStatus("meta", s);
@@ -374,12 +374,16 @@ constexpr char kQueryUsage[] =
     "usage: rtb_cli query --index=FILE --buffer=B --queries=N\n"
     "                     [--qx=QX --qy=QY --seed=S --warmup=W]\n"
     "                     [--threads=T --shards=S --batch=N]\n"
+    "                     [--async=0|1 --shared=0|1]\n"
     "  Execute a random query workload through a buffer pool and report\n"
     "  measured disk accesses next to the model prediction. --threads=1\n"
     "  (default) is the paper's serial, bit-reproducible path. --batch=N\n"
     "  with N >= 2 executes N queries per level-synchronous batch (each\n"
     "  distinct page fetched once per batch); --batch=1 (default) is the\n"
-    "  classic one-query-at-a-time loop.\n";
+    "  classic one-query-at-a-time loop. --async=1 overlaps each batch\n"
+    "  window's reads with the previous window's scan (async read engine);\n"
+    "  --shared=1 shares one page-ordered frontier across all workers\n"
+    "  (needs --batch >= 2).\n";
 
 // Thin wrapper over engine::Run: the flags populate an ExperimentSpec with
 // one uniform query class over the opened index.
@@ -388,7 +392,8 @@ int CmdQuery(int argc, char** argv) {
   Args args(argc, argv, 2,
             {{"index", ""}, {"buffer", "100"}, {"queries", "100000"},
              {"qx", "0"}, {"qy", "0"}, {"seed", "1"}, {"warmup", "10000"},
-             {"threads", "1"}, {"shards", "0"}, {"batch", "1"}});
+             {"threads", "1"}, {"shards", "0"}, {"batch", "1"},
+             {"async", "0"}, {"shared", "0"}});
   if (!args.ok()) return FailUsage(args.error(), kQueryUsage);
 
   engine::ExperimentSpec spec;
@@ -401,6 +406,8 @@ int CmdQuery(int argc, char** argv) {
   spec.workload.warmup = args.GetInt("warmup");
   spec.workload.batch_size =
       std::max<uint64_t>(1, args.GetInt("batch"));
+  spec.storage.async_io = args.GetInt("async") != 0;
+  spec.workload.shared_frontier = args.GetInt("shared") != 0;
   engine::QueryClassSpec cls;
   cls.qx = args.GetDouble("qx");
   cls.qy = args.GetDouble("qy");

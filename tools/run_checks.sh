@@ -7,15 +7,20 @@
 # build-checks/<name> so the developer's main build/ tree is untouched.
 #
 #   tools/run_checks.sh            # the full matrix
-#   tools/run_checks.sh release    # one of: release | tsan | asan | ubsan | storage
+#   tools/run_checks.sh release    # one of: release | tsan | asan | ubsan | storage | async
 #
 # `storage` is a fast focused leg: it reuses the release build and runs only
 # the `storage`-labeled tests (page stores, fault injection, the vectored
 # read path) — the suite to iterate on when touching src/storage/.
 #
+# `async` reuses the release build and runs the `async`-labeled tests twice
+# through the runtime seam: once with RTB_ASYNC_IO=sync pinned (the forced-
+# synchronous fallback every published counter rests on) and once with the
+# engine on. The TSan leg exercises the same tests under `concurrency`.
+#
 # The release leg also guards the perf trajectory: it re-runs
-# micro_batch_query and micro_file_io and diffs them against the committed
-# BENCH_*.json baselines with tools/bench_diff.py. The threshold is 25%,
+# micro_batch_query, micro_file_io and micro_async_io and diffs them against
+# the committed BENCH_*.json baselines with tools/bench_diff.py. The threshold is 25%,
 # not the tool's 10% default: back-to-back identical runs swing +-15% on
 # shared hardware, and the gate is there to catch structural regressions
 # (an accidental extra copy on the hot path shows up as -25%..-30%), not
@@ -31,9 +36,9 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 ONLY="${1:-all}"
 
 case "$ONLY" in
-  all|release|tsan|asan|ubsan|storage) ;;
+  all|release|tsan|asan|ubsan|storage|async) ;;
   *)
-    echo "unknown configuration: $ONLY (expected release|tsan|asan|ubsan|storage)" >&2
+    echo "unknown configuration: $ONLY (expected release|tsan|asan|ubsan|storage|async)" >&2
     exit 2
     ;;
 esac
@@ -57,7 +62,7 @@ if wants release; then
   configure_and_build "$ROOT/build-checks/release"
   (cd "$ROOT/build-checks/release" && ctest --output-on-failure)
   echo "==> bench diff vs committed baselines"
-  for bench in micro_batch_query micro_file_io; do
+  for bench in micro_batch_query micro_file_io micro_async_io; do
     "$ROOT/build-checks/release/bench/$bench" \
         --json="$ROOT/build-checks/release/BENCH_$bench.json" \
         > "$ROOT/build-checks/release/$bench.log" 2>&1 \
@@ -72,6 +77,15 @@ if wants storage; then
   echo "==> storage"
   configure_and_build "$ROOT/build-checks/release"
   (cd "$ROOT/build-checks/release" && ctest -L storage --output-on-failure)
+fi
+
+if wants async; then
+  echo "==> async (seam off, then on)"
+  configure_and_build "$ROOT/build-checks/release"
+  (cd "$ROOT/build-checks/release" && \
+      RTB_ASYNC_IO=sync ctest -L async --output-on-failure)
+  (cd "$ROOT/build-checks/release" && \
+      RTB_ASYNC_IO=1 ctest -L async --output-on-failure)
 fi
 
 if wants tsan; then
