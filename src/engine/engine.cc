@@ -9,6 +9,7 @@
 #include "model/cost_model.h"
 #include "rtree/bulk_load.h"
 #include "rtree/rtree.h"
+#include "rtree/validate.h"
 #include "sim/query_gen.h"
 #include "storage/file_page_store.h"
 #include "storage/replacement.h"
@@ -80,6 +81,11 @@ model::QuerySpec ToQuerySpec(const QueryClassSpec& cls) {
 std::string ClassLabel(const QueryClassSpec& cls) {
   if (!cls.label.empty()) return cls.label;
   char buf[64];
+  if (cls.IsMixed()) {
+    std::snprintf(buf, sizeof(buf), "mixed i%g/d%g %s", cls.insert_frac,
+                  cls.delete_frac, cls.model.c_str());
+    return buf;
+  }
   if (cls.qx == 0.0 && cls.qy == 0.0) {
     std::snprintf(buf, sizeof(buf), "%s point", cls.model.c_str());
   } else {
@@ -149,6 +155,9 @@ Result<PreparedTree> PrepareTree(const ExperimentSpec& spec) {
     prepared.meta = IndexMeta{built.root, built.height, spec.tree.fanout};
     prepared.store = std::move(store);
     if (NeedsCenters(spec)) prepared.centers = data::Centers(rects);
+    // Mixed update classes draw delete victims from the build rectangles
+    // (object ids are their indexes — the BuildRTree contract).
+    if (spec.workload.HasMixedClass()) prepared.rects = std::move(rects);
   }
   RTB_ASSIGN_OR_RETURN(
       rtree::TreeSummary summary,
@@ -234,18 +243,50 @@ Result<RunReport> Run(const ExperimentSpec& spec) {
     options.queries = cls.count;
     options.batch_size = spec.workload.batch_size;
     options.shared_frontier = spec.workload.shared_frontier;
+    if (cls.IsMixed()) {
+      options.insert_frac = cls.insert_frac;
+      options.delete_frac = cls.delete_frac;
+      options.update_batch_size = spec.workload.update_batch_size;
+      options.dataset = &prepared.rects;
+      // Disjoint id ranges per class, so one class never deletes another
+      // class's insertion by id collision.
+      options.insert_id_base =
+          (uint64_t{1} << 40) + c * (uint64_t{1} << 32);
+    }
     RTB_ASSIGN_OR_RETURN(cr.run,
                          sim::RunWorkload(&tree, prepared.store.get(),
                                           gen.get(), options));
+    if (cls.IsMixed()) {
+      // Updates went through the buffered batch path; force every dirty
+      // page out and re-check the structural invariants before the class
+      // is reported. Packed loads legitimately leave one underfull node
+      // per level, so min fill is not enforced.
+      RTB_RETURN_IF_ERROR(pool->FlushAll());
+      rtree::ValidateOptions vopts;
+      vopts.check_min_fill = false;
+      const rtree::ValidationReport vr = rtree::ValidateTree(
+          prepared.store.get(), tree.root(), tree.config(), vopts);
+      if (!vr.ok) {
+        return Status::Corruption(
+            "tree invalid after mixed class '" + cr.label + "': " +
+            (vr.issues.empty() ? "unknown issue" : vr.issues.front()));
+      }
+      cr.validated = true;
+    }
     report.warmup_seconds += cr.run.warmup_seconds;
     report.measure_seconds += cr.run.elapsed_seconds;
     report.total.queries += cr.run.queries;
     report.total.disk_accesses += cr.run.disk_accesses;
     report.total.node_accesses += cr.run.node_accesses;
+    report.total.searches += cr.run.searches;
+    report.total.inserts += cr.run.inserts;
+    report.total.deletes += cr.run.deletes;
     report.total.warmup_seconds += cr.run.warmup_seconds;
     report.total.elapsed_seconds += cr.run.elapsed_seconds;
 
-    if (spec.run.evaluate_model) {
+    // The analytic model predicts query cost against the built tree; a
+    // mixed class mutates it mid-run, so no prediction is reported.
+    if (spec.run.evaluate_model && !cls.IsMixed()) {
       RTB_ASSIGN_OR_RETURN(cr.predicted,
                            EvaluateModel(*prepared.summary, cr.qspec,
                                          spec.pool, centers));
@@ -303,6 +344,9 @@ report::JsonDict RunReport::ToJsonDict() const {
   store.PutInt("read_batches", store_io.read_batches);
   store.PutInt("batch_pages", store_io.batch_pages);
   store.PutNum("pages_per_batch", store_io.PagesPerBatch());
+  store.PutInt("write_batches", store_io.write_batches);
+  store.PutInt("write_batch_pages", store_io.write_batch_pages);
+  store.PutInt("write_syscalls", store_io.WriteSyscalls());
   doc.PutDict("store", store);
 
   report::JsonDict async;
@@ -343,6 +387,12 @@ report::JsonDict RunReport::ToJsonDict() const {
     c.PutNum("mean_node_accesses", cr.run.MeanNodeAccesses());
     c.PutNum("elapsed_seconds", cr.run.elapsed_seconds);
     c.PutNum("queries_per_second", cr.run.QueriesPerSecond());
+    if (cr.validated) {
+      c.PutInt("searches", cr.run.searches);
+      c.PutInt("inserts", cr.run.inserts);
+      c.PutInt("deletes", cr.run.deletes);
+      c.PutBool("validated", cr.validated);
+    }
     if (cr.model_evaluated) {
       report::JsonDict predicted;
       predicted.PutNum("node_accesses", cr.predicted.node_accesses);

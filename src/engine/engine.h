@@ -48,6 +48,9 @@ struct PreparedTree {
   std::unique_ptr<storage::PageStore> store;
   std::unique_ptr<rtree::TreeSummary> summary;
   std::vector<geom::Point> centers;
+  /// The build rectangles, kept only when a mixed update class needs them
+  /// to seed its delete-victim ledger (object ids are their indexes).
+  std::vector<geom::Rect> rects;
   IndexMeta meta;
   double build_seconds = 0.0;  // Dataset generation + bulk load (0 on open).
 };
@@ -82,6 +85,10 @@ struct ClassReport {
   sim::WorkloadResult run;
   bool model_evaluated = false;
   ModelEstimate predicted;  // Valid when model_evaluated.
+  /// Mixed update classes only: the pool was flushed and the tree
+  /// structurally validated after the measured phase (Run fails otherwise,
+  /// so a reported mixed class always has this set).
+  bool validated = false;
 };
 
 /// Everything a run produced: tree shape, phase wall-times, buffer-pool and

@@ -136,6 +136,12 @@ Status ParseClass(const JsonValue& v, size_t i, QueryClassSpec* out) {
       RTB_RETURN_IF_ERROR(GetDouble(value, ctx + ".qy", &out->qy));
     } else if (key == "count") {
       RTB_RETURN_IF_ERROR(GetUint(value, ctx + ".count", &out->count));
+    } else if (key == "insert_frac") {
+      RTB_RETURN_IF_ERROR(
+          GetDouble(value, ctx + ".insert_frac", &out->insert_frac));
+    } else if (key == "delete_frac") {
+      RTB_RETURN_IF_ERROR(
+          GetDouble(value, ctx + ".delete_frac", &out->delete_frac));
     } else {
       return Bad("unknown key " + ctx + "." + key);
     }
@@ -154,6 +160,9 @@ Status ParseWorkload(const JsonValue& v, WorkloadSpec* out) {
     } else if (key == "shared_frontier") {
       RTB_RETURN_IF_ERROR(GetBool(value, "workload.shared_frontier",
                                   &out->shared_frontier));
+    } else if (key == "update_batch_size") {
+      RTB_RETURN_IF_ERROR(GetUint(value, "workload.update_batch_size",
+                                  &out->update_batch_size));
     } else if (key == "classes") {
       if (!value.is_array()) return Bad("workload.classes must be an array");
       out->classes.clear();
@@ -283,6 +292,9 @@ Status ExperimentSpec::Validate() const {
   if (workload.shared_frontier && workload.batch_size < 2) {
     return Bad("workload.shared_frontier requires workload.batch_size >= 2");
   }
+  if (workload.update_batch_size == 0) {
+    return Bad("workload.update_batch_size must be >= 1");
+  }
   if (workload.classes.empty()) {
     return Bad("workload.classes must have at least one class");
   }
@@ -297,6 +309,27 @@ Status ExperimentSpec::Validate() const {
       return Bad(ctx + " extents must be in [0, 1)");
     }
     if (cls.count == 0) return Bad(ctx + ".count must be >= 1");
+    if (!(cls.insert_frac >= 0.0 && cls.insert_frac <= 1.0) ||
+        !(cls.delete_frac >= 0.0 && cls.delete_frac <= 1.0) ||
+        cls.insert_frac + cls.delete_frac > 1.0) {
+      return Bad(ctx + " update fractions must be in [0, 1] with sum <= 1");
+    }
+    if (cls.IsMixed()) {
+      if (!tree.index.empty()) {
+        // Updates mutate the store; an opened index file must not be
+        // rewritten behind the user's back, and the delete ledger needs
+        // the dataset the tree was built from.
+        return Bad(ctx + " mixes updates, which requires a dataset-built "
+                   "tree (tree.index must be empty)");
+      }
+      if (run.threads != 1) {
+        return Bad(ctx + " mixes updates, which requires run.threads == 1");
+      }
+      if (workload.shared_frontier) {
+        return Bad(ctx + " mixes updates, which conflicts with "
+                   "workload.shared_frontier");
+      }
+    }
     if (cls.model == "data" && !tree.index.empty() && dataset.path.empty()) {
       // Built trees supply query centers from their own data; an opened
       // index has no data on hand, so the centers must come from a file.
@@ -343,6 +376,7 @@ report::JsonDict ExperimentSpec::ToJsonDict() const {
   wl.PutInt("warmup", workload.warmup);
   wl.PutInt("batch_size", workload.batch_size);
   wl.PutBool("shared_frontier", workload.shared_frontier);
+  wl.PutInt("update_batch_size", workload.update_batch_size);
   std::vector<report::JsonDict> classes;
   for (const QueryClassSpec& cls : workload.classes) {
     report::JsonDict c;
@@ -351,6 +385,10 @@ report::JsonDict ExperimentSpec::ToJsonDict() const {
     c.PutNum("qx", cls.qx);
     c.PutNum("qy", cls.qy);
     c.PutInt("count", cls.count);
+    if (cls.IsMixed()) {
+      c.PutNum("insert_frac", cls.insert_frac);
+      c.PutNum("delete_frac", cls.delete_frac);
+    }
     classes.push_back(std::move(c));
   }
   wl.PutDictArray("classes", classes);

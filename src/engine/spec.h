@@ -98,6 +98,18 @@ struct QueryClassSpec {
   double qx = 0.0;
   double qy = 0.0;
   uint64_t count = 100000;
+  /// Mixed insert/delete/search workload: each of the class's `count`
+  /// operations is an insert with probability insert_frac, a delete of a
+  /// present entry with probability delete_frac, and a search otherwise
+  /// (sim::WorkloadOptions for the exact stream contract). Both 0 (the
+  /// default) is a pure query class. Mixed classes mutate the tree, so
+  /// they require a dataset-built tree (no tree.index), run.threads == 1
+  /// and no shared frontier; the engine flushes the pool and structurally
+  /// validates the tree after each mixed class's measured phase.
+  double insert_frac = 0.0;
+  double delete_frac = 0.0;
+
+  bool IsMixed() const { return insert_frac > 0.0 || delete_frac > 0.0; }
 };
 
 /// The query workload: shared warm-up, then each class measured in order.
@@ -112,7 +124,20 @@ struct WorkloadSpec {
   /// duplicate page visits coalesce across threads. Requires
   /// batch_size >= 2.
   bool shared_frontier = false;
+  /// Updates of a mixed class buffered per rtree::UpdateBatchExecutor
+  /// batch (group-by-leaf application, vectored dirty-page writeback).
+  /// 1 = apply each update tuple-at-a-time through RTree::Insert /
+  /// RTree::Delete (Guttman's Delete/CondenseTree), the batched path's
+  /// equivalence oracle. Ignored by pure query classes.
+  uint64_t update_batch_size = 1;
   std::vector<QueryClassSpec> classes;
+
+  bool HasMixedClass() const {
+    for (const QueryClassSpec& cls : classes) {
+      if (cls.IsMixed()) return true;
+    }
+    return false;
+  }
 };
 
 /// Execution parameters.

@@ -77,6 +77,11 @@ class RTree {
   storage::PageCache* pool() const { return pool_; }
 
  private:
+  // The batched update path (update_batch.h) reuses the private descent
+  // helpers and adjusts root_/height_ when a batch grows or shrinks the
+  // tree.
+  friend class UpdateBatchExecutor;
+
   RTree(storage::PageCache* pool, RTreeConfig config, storage::PageId root,
         uint16_t height)
       : pool_(pool), config_(config), root_(root), height_(height) {}

@@ -12,6 +12,13 @@
 #define RTB_SCAN_HAVE_X86 0
 #endif
 
+#if defined(RTB_SIMD_ENABLED) && defined(__aarch64__)
+#define RTB_SCAN_HAVE_NEON 1
+#include <arm_neon.h>
+#else
+#define RTB_SCAN_HAVE_NEON 0
+#endif
+
 namespace rtb::rtree {
 
 namespace {
@@ -143,19 +150,73 @@ __attribute__((target("avx2"))) size_t GatherAvx2(
 
 #endif  // RTB_SCAN_HAVE_X86
 
+#if RTB_SCAN_HAVE_NEON
+
+// Two entries per step, mirroring SweepSse2. vcle/vcge are IEEE quiet
+// compares (NaN-false), matching the scalar sweep.
+size_t SweepNeon(const ScanScratch& s, const geom::Rect& q, uint32_t* out) {
+  const size_t count = s.count();
+  const float64x2_t qhx = vdupq_n_f64(q.hi.x), qlx = vdupq_n_f64(q.lo.x);
+  const float64x2_t qhy = vdupq_n_f64(q.hi.y), qly = vdupq_n_f64(q.lo.y);
+  size_t n = 0;
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const unsigned vbits =
+        static_cast<unsigned>((s.valid()[i >> 6] >> (i & 63)) & 0x3u);
+    if (vbits == 0) continue;
+    uint64x2_t m = vandq_u64(vcleq_f64(vld1q_f64(s.xlo() + i), qhx),
+                             vcgeq_f64(vld1q_f64(s.xhi() + i), qlx));
+    m = vandq_u64(m, vcleq_f64(vld1q_f64(s.ylo() + i), qhy));
+    m = vandq_u64(m, vcgeq_f64(vld1q_f64(s.yhi() + i), qly));
+    const unsigned mask0 =
+        (static_cast<unsigned>(vgetq_lane_u64(m, 0) & 1) |
+         static_cast<unsigned>((vgetq_lane_u64(m, 1) & 1) << 1));
+    unsigned mask = mask0 & vbits;
+    while (mask != 0) {
+      out[n++] = static_cast<uint32_t>(i + __builtin_ctz(mask));
+      mask &= mask - 1;
+    }
+  }
+  for (; i < count; ++i) {
+    if (TestSlot(s, q, i)) out[n++] = static_cast<uint32_t>(i);
+  }
+  return n;
+}
+
+#endif  // RTB_SCAN_HAVE_NEON
+
 ScanKernel DetectBestKernel() {
 #if RTB_SCAN_HAVE_X86
   if (__builtin_cpu_supports("avx2")) return ScanKernel::kAvx2;
   return ScanKernel::kSse2;  // SSE2 is the x86-64 baseline.
+#elif RTB_SCAN_HAVE_NEON
+  return ScanKernel::kNeon;  // NEON is the aarch64 baseline.
 #else
   return ScanKernel::kScalar;
 #endif
 }
 
+// Whether this binary + CPU can run `k`. Cross-architecture requests (neon
+// on x86, sse2/avx2 on aarch64) are unavailable, not merely capped.
+bool KernelAvailable(ScanKernel k) {
+  switch (k) {
+    case ScanKernel::kScalar:
+      return true;
+    case ScanKernel::kSse2:
+    case ScanKernel::kAvx2:
+#if RTB_SCAN_HAVE_X86
+      return static_cast<int>(k) <= static_cast<int>(DetectBestKernel());
+#else
+      return false;
+#endif
+    case ScanKernel::kNeon:
+      return RTB_SCAN_HAVE_NEON != 0;
+  }
+  return false;
+}
+
 ScanKernel CapToBest(ScanKernel requested) {
-  const ScanKernel best = DetectBestKernel();
-  return static_cast<int>(requested) <= static_cast<int>(best) ? requested
-                                                               : best;
+  return KernelAvailable(requested) ? requested : DetectBestKernel();
 }
 
 ScanKernel InitialKernel() {
@@ -163,6 +224,7 @@ ScanKernel InitialKernel() {
     if (std::strcmp(env, "scalar") == 0) return ScanKernel::kScalar;
     if (std::strcmp(env, "sse2") == 0) return CapToBest(ScanKernel::kSse2);
     if (std::strcmp(env, "avx2") == 0) return CapToBest(ScanKernel::kAvx2);
+    if (std::strcmp(env, "neon") == 0) return CapToBest(ScanKernel::kNeon);
   }
   return DetectBestKernel();
 }
@@ -182,6 +244,8 @@ const char* ScanKernelName(ScanKernel k) {
       return "sse2";
     case ScanKernel::kAvx2:
       return "avx2";
+    case ScanKernel::kNeon:
+      return "neon";
   }
   return "unknown";
 }
@@ -193,9 +257,7 @@ ScanKernel ActiveScanKernel() {
 }
 
 bool SetScanKernel(ScanKernel k) {
-  if (static_cast<int>(k) > static_cast<int>(DetectBestKernel())) {
-    return false;
-  }
+  if (!KernelAvailable(k)) return false;
   ActiveKernelSlot().store(k, std::memory_order_relaxed);
   return true;
 }
@@ -245,6 +307,10 @@ size_t ScanIntersecting(const ScanScratch& scratch, const geom::Rect& q,
       return SweepAvx2(scratch, q, out);
     case ScanKernel::kSse2:
       return SweepSse2(scratch, q, out);
+#endif
+#if RTB_SCAN_HAVE_NEON
+    case ScanKernel::kNeon:
+      return SweepNeon(scratch, q, out);
 #endif
     default:
       return SweepScalar(scratch, q, out);

@@ -22,10 +22,14 @@
 // Kernel selection: the widest instruction set the CPU supports is picked
 // at runtime on first use (function multiversioning is not needed — the
 // SIMD bodies carry `target` attributes and are only called behind a
-// cpu-support check). Builds with -DRTB_SIMD=OFF compile the scalar sweep
-// only. The environment variable RTB_SCAN_KERNEL=scalar|sse2|avx2 caps the
-// initial choice (used by the forced-scalar CI leg), and SetScanKernel()
-// overrides it programmatically (used by benches and tests).
+// cpu-support check). On aarch64 the NEON sweep is the (only) vector
+// kernel; it is part of the architecture baseline, so detection is purely
+// a compile-time gate. Builds with -DRTB_SIMD=OFF compile the scalar sweep
+// only. The environment variable RTB_SCAN_KERNEL=scalar|sse2|avx2|neon
+// caps the initial choice (used by the forced-scalar CI leg), and
+// SetScanKernel() overrides it programmatically (used by benches and
+// tests). Requesting a kernel for the wrong architecture dispatches the
+// scalar sweep.
 
 #ifndef RTB_RTREE_SCAN_KERNEL_H_
 #define RTB_RTREE_SCAN_KERNEL_H_
@@ -39,14 +43,18 @@
 
 namespace rtb::rtree {
 
-/// Which sweep implementation ScanIntersecting dispatches to.
+/// Which sweep implementation ScanIntersecting dispatches to. The numeric
+/// order is the capability ladder used by BestScanKernel/SetScanKernel;
+/// kNeon sits above the x86 kernels because the two families never coexist
+/// in one binary and NEON is the widest (only) vector kernel on aarch64.
 enum class ScanKernel {
   kScalar = 0,
   kSse2 = 1,
   kAvx2 = 2,
+  kNeon = 3,
 };
 
-/// Human-readable kernel name ("scalar", "sse2", "avx2").
+/// Human-readable kernel name ("scalar", "sse2", "avx2", "neon").
 const char* ScanKernelName(ScanKernel k);
 
 /// Widest kernel this binary + CPU can run (compile-time RTB_SIMD gate and

@@ -1,0 +1,467 @@
+#include "rtree/update_batch.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "rtree/split.h"
+#include "util/macros.h"
+
+namespace rtb::rtree {
+
+using geom::Rect;
+using storage::PageGuard;
+using storage::PageId;
+
+namespace {
+
+// Same bound and rationale as BatchExecutor's fetch window: keep the
+// multi-get small so the pinned window never starves a small pool.
+constexpr size_t kMaxFetchWindow = 8;
+
+}  // namespace
+
+UpdateBatchExecutor::UpdateBatchExecutor(RTree* tree) : tree_(tree) {
+  RTB_CHECK(tree_ != nullptr);
+}
+
+Status UpdateBatchExecutor::Run(std::span<const UpdateOp> ops,
+                                UpdateBatchStats* stats) {
+  if (ops.empty()) return Status::OK();
+  for (const UpdateOp& op : ops) {
+    if (op.kind == UpdateOp::Kind::kInsert && op.rect.is_empty()) {
+      return Status::InvalidArgument("cannot insert an empty rectangle");
+    }
+  }
+  UpdateBatchStats local;
+  if (ops.size() == 1) {
+    // A batch of one is the serial algorithm, byte for byte: same descent,
+    // same R* overflow treatment, same write pattern. The batched passes
+    // below are logically equivalent but structurally different, so the
+    // boundary case delegates instead of imitating.
+    const UpdateOp& op = ops.front();
+    if (op.kind == UpdateOp::Kind::kInsert) {
+      RTB_RETURN_IF_ERROR(tree_->Insert(op.rect, op.id));
+      ++local.inserts;
+    } else {
+      RTB_ASSIGN_OR_RETURN(bool found, tree_->Delete(op.rect, op.id));
+      ++(found ? local.deletes_found : local.deletes_missing);
+    }
+  } else {
+    if (ops.size() > static_cast<size_t>(UINT32_MAX)) {
+      return Status::InvalidArgument("update batch too large");
+    }
+    pending_.clear();
+    uint64_t total_deletes = 0;
+    for (const UpdateOp& op : ops) {
+      const bool is_delete = op.kind == UpdateOp::Kind::kDelete;
+      total_deletes += is_delete ? 1 : 0;
+      pending_.push_back(PendingOp{Entry{op.rect, op.id}, /*target_level=*/0,
+                                   is_delete, /*done=*/false});
+    }
+    while (!pending_.empty()) {
+      ++local.passes;
+      RTB_RETURN_IF_ERROR(RunPass(&local));
+      // Condensation orphans become the next pass's operations.
+      pending_.swap(orphans_);
+    }
+    local.deletes_missing += total_deletes - local.deletes_found;
+    // Shrink a single-child internal root, exactly as the serial Delete
+    // does after reinsertion.
+    for (;;) {
+      RTB_ASSIGN_OR_RETURN(PageGuard guard, tree_->pool_->Fetch(tree_->root_));
+      RTB_ASSIGN_OR_RETURN(
+          NodeView view,
+          NodeView::Create(guard.data(), tree_->pool_->page_size()));
+      if (view.is_leaf() || view.count() != 1) break;
+      tree_->root_ = static_cast<PageId>(view.id(0));
+      --tree_->height_;
+    }
+  }
+  if (stats != nullptr) {
+    stats->inserts += local.inserts;
+    stats->deletes_found += local.deletes_found;
+    stats->deletes_missing += local.deletes_missing;
+    stats->node_accesses += local.node_accesses;
+    stats->pages_mutated += local.pages_mutated;
+    stats->splits += local.splits;
+    stats->condensed_nodes += local.condensed_nodes;
+    stats->passes += local.passes;
+  }
+  return Status::OK();
+}
+
+Status UpdateBatchExecutor::RunPass(UpdateBatchStats* stats) {
+  parent_of_.clear();
+  level_of_.clear();
+  child_updates_.clear();
+  orphans_.clear();
+  RTB_RETURN_IF_ERROR(Locate(stats));
+  std::sort(arrived_.begin(), arrived_.end());
+
+  // Coalesce arrived items into per-page runs once; the level loop below
+  // picks out each level's slice.
+  struct Run {
+    PageId page;
+    uint32_t begin;
+    uint32_t end;
+  };
+  std::vector<Run> runs;
+  for (uint32_t k = 0; k < arrived_.size();) {
+    const PageId page = ItemPage(arrived_[k]);
+    uint32_t end = k + 1;
+    while (end < arrived_.size() && ItemPage(arrived_[end]) == page) ++end;
+    runs.push_back(Run{page, k, end});
+    k = end;
+  }
+
+  // Apply bottom-up, one level per round: processing a node only queues
+  // updates for its parent one level up, so by the time a level is
+  // processed its pending set is complete. A node is pinned mutably once
+  // per pass no matter how many operations and child updates land on it.
+  // tree_->height_ is re-read each round because GrowRoot can raise it;
+  // the new levels simply have nothing pending.
+  std::vector<Run> work;
+  for (uint16_t lvl = 0; lvl < tree_->height_; ++lvl) {
+    work.clear();
+    for (const Run& r : runs) {
+      if (level_of_.at(r.page) == lvl) work.push_back(r);
+    }
+    for (const auto& [page, updates] : child_updates_) {
+      if (updates.empty() || level_of_.at(page) != lvl) continue;
+      const bool seen = std::any_of(
+          work.begin(), work.end(),
+          [page = page](const Run& r) { return r.page == page; });
+      if (!seen) work.push_back(Run{page, 0, 0});
+    }
+    std::sort(work.begin(), work.end(),
+              [](const Run& a, const Run& b) { return a.page < b.page; });
+    for (const Run& r : work) {
+      RTB_RETURN_IF_ERROR(ProcessNode(r.page, arrived_.data() + r.begin,
+                                      r.end - r.begin, stats));
+    }
+  }
+  return Status::OK();
+}
+
+Status UpdateBatchExecutor::Locate(UpdateBatchStats* stats) {
+  storage::PageCache* pool = tree_->pool_;
+  const uint16_t root_level = tree_->height_ - 1;
+  const PageId root = tree_->root_;
+  level_of_.emplace(root, root_level);
+  frontier_.clear();
+  arrived_.clear();
+  for (uint32_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].target_level > root_level) {
+      return Status::Corruption("orphan targets a level above the root");
+    }
+    (pending_[i].target_level == root_level ? arrived_ : frontier_)
+        .push_back(PackItem(root, i));
+  }
+  const size_t window =
+      std::min(kMaxFetchWindow, std::max<size_t>(1, pool->capacity() / 4));
+
+  // One round per tree level; routing an internal page only emits items
+  // one level down, so the frontier stays level-homogeneous.
+  while (!frontier_.empty()) {
+    std::sort(frontier_.begin(), frontier_.end());
+    next_.clear();
+
+    // Distinct-page runs of the sorted frontier.
+    struct Run {
+      PageId page;
+      uint32_t begin;
+      uint32_t end;
+    };
+    std::vector<Run> runs;
+    for (uint32_t k = 0; k < frontier_.size();) {
+      const PageId page = ItemPage(frontier_[k]);
+      uint32_t end = k + 1;
+      while (end < frontier_.size() && ItemPage(frontier_[end]) == page) {
+        ++end;
+      }
+      runs.push_back(Run{page, k, end});
+      stats->node_accesses += end - k;
+      k = end;
+    }
+
+    for (size_t p = 0; p < runs.size(); p += window) {
+      const size_t w = std::min(window, runs.size() - p);
+      bool done = false;
+      if (w > 1) {
+        window_ids_.clear();
+        for (size_t j = 0; j < w; ++j) window_ids_.push_back(runs[p + j].page);
+        Result<std::vector<PageGuard>> guards =
+            pool->FetchBatch(window_ids_.data(), w);
+        if (guards.ok()) {
+          for (size_t j = 0; j < w; ++j) {
+            RTB_RETURN_IF_ERROR(RouteItems((*guards)[j], runs[p + j].begin,
+                                           runs[p + j].end));
+            (*guards)[j].Release();
+          }
+          done = true;
+        }
+        // A failed multi-get (pool too small for the window) degrades to
+        // one page at a time, like BatchExecutor::ScanWindow.
+      }
+      if (!done) {
+        for (size_t j = 0; j < w; ++j) {
+          RTB_ASSIGN_OR_RETURN(PageGuard guard, pool->Fetch(runs[p + j].page));
+          RTB_RETURN_IF_ERROR(
+              RouteItems(guard, runs[p + j].begin, runs[p + j].end));
+        }
+      }
+    }
+    frontier_.swap(next_);
+  }
+  return Status::OK();
+}
+
+Status UpdateBatchExecutor::RouteItems(const PageGuard& guard, size_t begin,
+                                       size_t end) {
+  RTB_ASSIGN_OR_RETURN(
+      Node node, DeserializeNode(guard.data(), tree_->pool_->page_size()));
+  RTB_DCHECK(!node.is_leaf());
+  const PageId page = guard.page_id();
+  const uint16_t child_level = node.level - 1;
+  for (size_t k = begin; k < end; ++k) {
+    const uint32_t q = ItemOp(frontier_[k]);
+    const PendingOp& op = pending_[q];
+    auto route = [&](PageId child) {
+      parent_of_.emplace(child, page);
+      level_of_.emplace(child, child_level);
+      (child_level == op.target_level ? arrived_ : next_)
+          .push_back(PackItem(child, q));
+    };
+    if (op.is_delete) {
+      // Guttman's delete descent: every child whose MBR contains the
+      // target rectangle may hold the entry.
+      for (const Entry& e : node.entries) {
+        if (e.rect.Contains(op.entry.rect)) {
+          route(static_cast<PageId>(e.id));
+        }
+      }
+    } else {
+      route(static_cast<PageId>(
+          node.entries[tree_->ChooseSubtree(node, op.entry.rect)].id));
+    }
+  }
+  return Status::OK();
+}
+
+Status UpdateBatchExecutor::ProcessNode(PageId page, const uint64_t* items,
+                                        size_t nops,
+                                        UpdateBatchStats* stats) {
+  storage::PageCache* pool = tree_->pool_;
+  const size_t page_size = pool->page_size();
+  RTB_ASSIGN_OR_RETURN(PageGuard guard, pool->FetchMutable(page));
+  RTB_ASSIGN_OR_RETURN(Node node, DeserializeNode(guard.data(), page_size));
+  ++stats->pages_mutated;
+  ++stats->node_accesses;
+
+  // 1. Target-level operations, in submission order (the arrived items are
+  // sorted by (page, op index)). A delete applies at most once across the
+  // candidate leaves its descent fanned out to; groups run in ascending
+  // page order, so with duplicate entries the lowest-numbered page wins.
+  for (size_t k = 0; k < nops; ++k) {
+    PendingOp& op = pending_[ItemOp(items[k])];
+    if (!op.is_delete) {
+      node.entries.push_back(op.entry);
+      ++stats->inserts;
+      continue;
+    }
+    if (op.done) continue;
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      if (node.entries[i].id == op.entry.id &&
+          node.entries[i].rect == op.entry.rect) {
+        node.entries.erase(node.entries.begin() + static_cast<ptrdiff_t>(i));
+        op.done = true;
+        ++stats->deletes_found;
+        break;
+      }
+    }
+  }
+
+  // 2. Child updates queued by the level below: tightened MBRs, dissolved
+  // children, split siblings. Applied before this node's own resolution,
+  // so a subsequent split distributes already-correct entries.
+  if (auto it = child_updates_.find(page); it != child_updates_.end()) {
+    for (const ChildUpdate& u : it->second) {
+      if (u.kind == ChildUpdate::Kind::kAdd) {
+        node.entries.push_back(u.add);
+        continue;
+      }
+      const auto slot = std::find_if(
+          node.entries.begin(), node.entries.end(), [&u](const Entry& e) {
+            return static_cast<PageId>(e.id) == u.child;
+          });
+      if (slot == node.entries.end()) {
+        return Status::Corruption("child update targets a missing slot");
+      }
+      if (u.kind == ChildUpdate::Kind::kRemove) {
+        node.entries.erase(slot);
+      } else {
+        slot->rect = u.mbr;
+      }
+    }
+    it->second.clear();
+  }
+
+  // 3. Resolve this node and queue its parent's update.
+  const bool is_root = page == tree_->root_;
+  const RTreeConfig& cfg = tree_->config_;
+  auto queue_parent = [&](ChildUpdate update) -> Status {
+    const auto parent = parent_of_.find(page);
+    if (parent == parent_of_.end()) {
+      return Status::Corruption("mutated node has no located parent");
+    }
+    child_updates_[parent->second].push_back(std::move(update));
+    return Status::OK();
+  };
+
+  if (is_root && !node.is_leaf() && node.entries.empty()) {
+    // Every child dissolved in this pass — only batches can do that (one
+    // serial delete removes one entry). Rebuild from the orphans.
+    return RecoverEmptyRoot(&guard, stats);
+  }
+  if (!is_root && node.entries.size() < cfg.min_entries) {
+    // CondenseTree: dissolve the node, reinsert its remnants at this level
+    // in the next pass. The page itself is abandoned, as in the serial
+    // path; the remnant image is still written so the on-disk bytes stay a
+    // decodable node.
+    for (const Entry& e : node.entries) {
+      orphans_.push_back(
+          PendingOp{e, node.level, /*is_delete=*/false, /*done=*/false});
+    }
+    ++stats->condensed_nodes;
+    RTB_RETURN_IF_ERROR(SerializeNode(node, page_size, guard.mutable_data()));
+    return queue_parent(ChildUpdate{ChildUpdate::Kind::kRemove, page,
+                                    Entry{}, Rect::Empty()});
+  }
+  if (node.entries.size() > cfg.max_entries) {
+    if (is_root) return GrowRoot(&guard, std::move(node), stats);
+    std::vector<std::vector<Entry>> groups;
+    MultiSplit(std::move(node.entries), &groups);
+    stats->splits += groups.size() - 1;
+    Node kept{node.level, std::move(groups.front())};
+    RTB_RETURN_IF_ERROR(SerializeNode(kept, page_size, guard.mutable_data()));
+    RTB_RETURN_IF_ERROR(queue_parent(ChildUpdate{
+        ChildUpdate::Kind::kMbr, page, Entry{}, kept.Mbr()}));
+    for (size_t g = 1; g < groups.size(); ++g) {
+      RTB_ASSIGN_OR_RETURN(PageGuard sibling_guard, pool->NewPage());
+      Node sibling{node.level, std::move(groups[g])};
+      RTB_RETURN_IF_ERROR(
+          SerializeNode(sibling, page_size, sibling_guard.mutable_data()));
+      RTB_RETURN_IF_ERROR(queue_parent(ChildUpdate{
+          ChildUpdate::Kind::kAdd, storage::kInvalidPageId,
+          Entry{sibling.Mbr(), sibling_guard.page_id()}, Rect::Empty()}));
+    }
+    return Status::OK();
+  }
+  RTB_RETURN_IF_ERROR(SerializeNode(node, page_size, guard.mutable_data()));
+  if (is_root) return Status::OK();
+  return queue_parent(
+      ChildUpdate{ChildUpdate::Kind::kMbr, page, Entry{}, node.Mbr()});
+}
+
+void UpdateBatchExecutor::MultiSplit(
+    std::vector<Entry> entries,
+    std::vector<std::vector<Entry>>* groups) const {
+  // The pairwise split only promises groups of >= min_entries; a node that
+  // absorbed many net inserts can hand either group more than max_entries,
+  // so overfull groups re-split until everything fits. Any overfull group
+  // has > max >= 2 * min entries, so the minimum-fill guarantee holds at
+  // every step.
+  SplitResult split = SplitEntries(entries, tree_->config_);
+  for (std::vector<Entry>* group : {&split.group_a, &split.group_b}) {
+    if (group->size() > tree_->config_.max_entries) {
+      MultiSplit(std::move(*group), groups);
+    } else {
+      groups->push_back(std::move(*group));
+    }
+  }
+}
+
+Status UpdateBatchExecutor::GrowRoot(PageGuard* root_guard, Node node,
+                                     UpdateBatchStats* stats) {
+  storage::PageCache* pool = tree_->pool_;
+  const size_t page_size = pool->page_size();
+  std::vector<std::vector<Entry>> groups;
+  MultiSplit(std::move(node.entries), &groups);
+  stats->splits += groups.size() - 1;
+  Node kept{node.level, std::move(groups.front())};
+  RTB_RETURN_IF_ERROR(
+      SerializeNode(kept, page_size, root_guard->mutable_data()));
+  std::vector<Entry> top;
+  top.push_back(Entry{kept.Mbr(), tree_->root_});
+  for (size_t g = 1; g < groups.size(); ++g) {
+    RTB_ASSIGN_OR_RETURN(PageGuard sibling_guard, pool->NewPage());
+    Node sibling{node.level, std::move(groups[g])};
+    RTB_RETURN_IF_ERROR(
+        SerializeNode(sibling, page_size, sibling_guard.mutable_data()));
+    top.push_back(Entry{sibling.Mbr(), sibling_guard.page_id()});
+  }
+  // Grow until the top fits in one root. A batch can split a node into
+  // many groups at once, so unlike the serial root split this may add
+  // more than one level.
+  uint16_t level = node.level + 1;
+  for (;;) {
+    if (top.size() <= tree_->config_.max_entries) {
+      RTB_ASSIGN_OR_RETURN(PageGuard new_root, pool->NewPage());
+      Node root_node{level, std::move(top)};
+      RTB_RETURN_IF_ERROR(
+          SerializeNode(root_node, page_size, new_root.mutable_data()));
+      tree_->root_ = new_root.page_id();
+      tree_->height_ = level + 1;
+      return Status::OK();
+    }
+    groups.clear();
+    MultiSplit(std::move(top), &groups);
+    stats->splits += groups.size() - 1;
+    top.clear();
+    for (std::vector<Entry>& group : groups) {
+      RTB_ASSIGN_OR_RETURN(PageGuard guard, pool->NewPage());
+      Node child{level, std::move(group)};
+      RTB_RETURN_IF_ERROR(
+          SerializeNode(child, page_size, guard.mutable_data()));
+      top.push_back(Entry{child.Mbr(), guard.page_id()});
+    }
+    ++level;
+  }
+}
+
+Status UpdateBatchExecutor::RecoverEmptyRoot(PageGuard* root_guard,
+                                             UpdateBatchStats* stats) {
+  const size_t page_size = tree_->pool_->page_size();
+  if (orphans_.empty()) {
+    // The batch deleted everything: back to a single empty leaf.
+    Node empty_leaf;
+    tree_->height_ = 1;
+    return SerializeNode(empty_leaf, page_size, root_guard->mutable_data());
+  }
+  // The highest orphans must be re-homed now — the next pass cannot insert
+  // at a level the shrunken tree no longer has. They become the new root's
+  // entries (at their own level, so their subtrees hang one level below);
+  // lower orphans re-enter through the next pass's descent.
+  uint16_t top = 0;
+  for (const PendingOp& orphan : orphans_) {
+    top = std::max(top, orphan.target_level);
+  }
+  Node root_node;
+  root_node.level = top;
+  size_t kept = 0;
+  for (PendingOp& orphan : orphans_) {
+    if (orphan.target_level == top) {
+      root_node.entries.push_back(orphan.entry);
+    } else {
+      orphans_[kept++] = std::move(orphan);
+    }
+  }
+  orphans_.resize(kept);
+  tree_->height_ = static_cast<uint16_t>(top + 1);
+  if (root_node.entries.size() > tree_->config_.max_entries) {
+    return GrowRoot(root_guard, std::move(root_node), stats);
+  }
+  return SerializeNode(root_node, page_size, root_guard->mutable_data());
+}
+
+}  // namespace rtb::rtree

@@ -1,0 +1,201 @@
+// UpdateBatchExecutor: level-synchronous execution of a batch of inserts
+// and deletes with group-by-leaf writes.
+//
+// The serial path (RTree::Insert / RTree::Delete) runs one update
+// root-to-leaf at a time: a leaf receiving k updates is pinned, decoded,
+// re-serialized and written back k times, and every node on the path is
+// rewritten per update. The batch executor inverts the loops the same way
+// BatchExecutor does for queries: all pending updates descend together —
+// inserts along their ChooseSubtree path, deletes fanning out through every
+// containing child — one level per round, with the frontier sorted by page
+// id so each distinct page is pinned once per round. When the descent
+// reaches the target level the operations are grouped by leaf and each
+// group is applied under a single mutable pin; the dirtied leaves are
+// page-id-adjacent after a bulk load, so the pool's flush and eviction
+// writebacks coalesce them into vectored writes (PageStore::WriteBatch).
+//
+// Structure changes feed back into the same batch:
+//   * a node driven past max_entries by net inserts is split, possibly
+//     into more than two groups (a quadratic/linear/R* split is applied
+//     recursively until every group fits) — the new siblings join the
+//     parent's pending child updates;
+//   * a node driven below min_entries by net deletes is dissolved exactly
+//     as in Guttman's CondenseTree: its remaining entries become orphans
+//     tagged with the node's level and re-enter the executor as the next
+//     pass's operations, located and grouped like any other batch;
+//   * parent MBRs are updated level by level (each touched parent pinned
+//     once per round), the root grows when it overflows and is rebuilt
+//     from the highest orphans when a round dissolves all of its children,
+//     and a single-child internal root is shrunk after the last pass.
+//
+// Equivalence with the serial path: a batch of size <= 1 delegates to
+// RTree::Insert / RTree::Delete and is byte-identical to it by
+// construction. Larger batches are logically equivalent (same multiset of
+// leaf entries, structurally valid tree) but not byte-identical — the
+// batched descent chooses subtrees against the batch-start state, applies
+// plain (non-forced-reinsert) overflow handling, and when duplicate
+// (rect, id) entries exist in several leaves a delete may remove a
+// different copy than the serial order would. Deletes locate against the
+// batch-start state; deleting an entry inserted by the same batch is
+// unspecified. update_batch_test asserts both contracts against the
+// serial oracle.
+
+#ifndef RTB_RTREE_UPDATE_BATCH_H_
+#define RTB_RTREE_UPDATE_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/rect.h"
+#include "rtree/node.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+#include "util/result.h"
+
+namespace rtb::rtree {
+
+/// One pending update: an insertion or an exact-match deletion.
+struct UpdateOp {
+  enum class Kind : uint8_t { kInsert, kDelete };
+
+  Kind kind = Kind::kInsert;
+  geom::Rect rect;
+  ObjectId id = 0;
+
+  static UpdateOp Insert(const geom::Rect& rect, ObjectId id) {
+    return UpdateOp{Kind::kInsert, rect, id};
+  }
+  static UpdateOp Delete(const geom::Rect& rect, ObjectId id) {
+    return UpdateOp{Kind::kDelete, rect, id};
+  }
+};
+
+/// Counters for Run() calls (accumulated across calls until reset).
+struct UpdateBatchStats {
+  uint64_t inserts = 0;         ///< Entries added to leaves.
+  uint64_t deletes_found = 0;   ///< Delete ops that removed an entry.
+  uint64_t deletes_missing = 0; ///< Delete ops whose entry did not exist.
+  /// Logical (node, op) visits during descent plus one per mutated node —
+  /// comparable to summing serial per-update path lengths.
+  uint64_t node_accesses = 0;
+  /// Nodes pinned mutably; within one pass each touched node counts once
+  /// no matter how many operations land on it.
+  uint64_t pages_mutated = 0;
+  uint64_t splits = 0;           ///< Nodes split (k-way counts k-1).
+  uint64_t condensed_nodes = 0;  ///< Underflowing nodes dissolved.
+  uint64_t passes = 0;           ///< Locate/apply rounds incl. orphan passes.
+};
+
+/// Executes batches of inserts/deletes against one tree. Holds reusable
+/// frontier and grouping scratch, so one executor per thread; updates
+/// mutate the tree, so unlike BatchExecutor concurrent executors on one
+/// tree are not supported.
+class UpdateBatchExecutor {
+ public:
+  /// The executor does not own `tree`; it must outlive the executor.
+  explicit UpdateBatchExecutor(RTree* tree);
+
+  /// Applies every operation in `ops` in submission order semantics (a
+  /// delete locates against the batch-start tree and removes at most one
+  /// entry). `stats`, when non-null, is accumulated into. On error the
+  /// tree may hold a partially applied batch; the pool and pages stay
+  /// structurally consistent (same contract as a failed serial update).
+  Status Run(std::span<const UpdateOp> ops, UpdateBatchStats* stats = nullptr);
+
+ private:
+  // An operation in flight: the original batch's inserts/deletes plus
+  // orphans produced by condensation, which are inserts targeting the
+  // level the dissolved node occupied.
+  struct PendingOp {
+    Entry entry;
+    uint16_t target_level = 0;
+    bool is_delete = false;
+    bool done = false;  // Deletes: applied in an earlier group this pass.
+  };
+
+  // A mutation a processed child hands to its parent. kMbr tightens the
+  // child's slot, kRemove drops a dissolved child's slot, kAdd appends a
+  // split sibling.
+  struct ChildUpdate {
+    enum class Kind : uint8_t { kMbr, kRemove, kAdd };
+    Kind kind = Kind::kMbr;
+    storage::PageId child = storage::kInvalidPageId;  // kMbr / kRemove.
+    Entry add;                                        // kAdd.
+    geom::Rect mbr;                                   // kMbr.
+  };
+
+  // A frontier item is (page, op) packed as page << 32 | op index, so the
+  // per-level sort by (page, submission order) is a sort of plain
+  // uint64_t — same scheme as BatchExecutor.
+  static constexpr uint64_t PackItem(storage::PageId page, uint32_t op) {
+    return (static_cast<uint64_t>(page) << 32) | op;
+  }
+  static constexpr storage::PageId ItemPage(uint64_t item) {
+    return static_cast<storage::PageId>(item >> 32);
+  }
+  static constexpr uint32_t ItemOp(uint64_t item) {
+    return static_cast<uint32_t>(item);
+  }
+
+  // One locate/apply round over `pending_`: descends to each op's target
+  // level, applies the grouped operations, propagates child updates to the
+  // root, and leaves condensation orphans in `orphans_` for the next pass.
+  Status RunPass(UpdateBatchStats* stats);
+
+  // Descent rounds: sorts and walks `frontier_` one level at a time,
+  // pinning each distinct page once (windowed FetchBatch with per-page
+  // degrade, as in BatchExecutor::ScanWindow). Items whose next hop is
+  // their target level land in `arrived_`.
+  Status Locate(UpdateBatchStats* stats);
+
+  // Routes the items of one pinned frontier page one level down.
+  Status RouteItems(const storage::PageGuard& guard, size_t begin,
+                    size_t end);
+
+  // Applies target-level groups and child updates to the node at `page`
+  // under one mutable pin, then resolves overflow/underflow and queues the
+  // parent's update. `ops` is the [begin, end) slice of arrived_ for this
+  // page (possibly empty when only child updates are pending).
+  Status ProcessNode(storage::PageId page, const uint64_t* ops, size_t nops,
+                     UpdateBatchStats* stats);
+
+  // Splits `entries` (> max_entries of them) into >= 2 groups, each within
+  // [min_entries, max_entries], by applying the configured split
+  // recursively to overfull groups.
+  void MultiSplit(std::vector<Entry> entries,
+                  std::vector<std::vector<Entry>>* groups) const;
+
+  // Replaces an overflowing root: splits `node`'s entries, keeps the first
+  // group in the root page (still pinned through `root_guard`), and grows
+  // the tree (repeatedly if a grown root overflows again).
+  Status GrowRoot(storage::PageGuard* root_guard, Node node,
+                  UpdateBatchStats* stats);
+
+  // Rebuilds a root whose children were all dissolved in one pass: the
+  // highest-level orphans become the new root's entries (an empty leaf
+  // root when no orphans remain).
+  Status RecoverEmptyRoot(storage::PageGuard* root_guard,
+                          UpdateBatchStats* stats);
+
+  RTree* tree_;
+  std::vector<PendingOp> pending_;
+  std::vector<PendingOp> orphans_;
+  std::vector<uint64_t> frontier_;
+  std::vector<uint64_t> next_;
+  std::vector<uint64_t> arrived_;
+  std::vector<storage::PageId> window_ids_;
+  std::vector<storage::PageId> level_pages_;
+  // Locate-time tree structure, valid for one pass: who routed to a page,
+  // and at which level it lives.
+  std::unordered_map<storage::PageId, storage::PageId> parent_of_;
+  std::unordered_map<storage::PageId, uint16_t> level_of_;
+  std::unordered_map<storage::PageId, std::vector<ChildUpdate>>
+      child_updates_;
+};
+
+}  // namespace rtb::rtree
+
+#endif  // RTB_RTREE_UPDATE_BATCH_H_

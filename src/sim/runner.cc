@@ -9,6 +9,7 @@
 
 #include "rtree/batch.h"
 #include "rtree/shared_batch.h"
+#include "rtree/update_batch.h"
 
 namespace rtb::sim {
 
@@ -31,6 +32,139 @@ void FanOut(uint32_t threads, Fn&& fn) {
   }
   fn(0);
   for (std::thread& t : pool) t.join();
+}
+
+// The mixed insert/delete/search stream (options.insert_frac /
+// delete_frac > 0). Serial by contract: updates mutate the tree, and the
+// paper's buffering questions for updates are about write clustering, not
+// thread scaling. Per operation the generator's rectangle is drawn first,
+// then one uniform double classifies the operation, so insert/delete/search
+// streams of the same seed share their rectangle sequence. Updates are
+// buffered and drained through rtree::UpdateBatchExecutor every
+// `update_batch_size` operations (<= 1 applies them tuple-at-a-time via
+// RTree::Insert / RTree::Delete); searches execute in stream order against
+// the tree as of the last drain. Delete victims are drawn from a ledger of
+// present entries — seeded from the dataset the tree was built from, fed
+// by drained inserts — so a batched delete never targets a same-batch
+// insert (that ordering is unspecified, see update_batch.h).
+Result<WorkloadResult> ExecuteMixed(rtree::RTree* tree,
+                                    storage::PageStore* store,
+                                    QueryGenerator* gen, Rng* rng,
+                                    const WorkloadOptions& options) {
+  RTB_CHECK(tree != nullptr && store != nullptr && gen != nullptr &&
+            rng != nullptr);
+  if (options.insert_frac < 0.0 || options.delete_frac < 0.0 ||
+      options.insert_frac + options.delete_frac > 1.0) {
+    return Status::InvalidArgument(
+        "insert_frac/delete_frac must be in [0, 1] with sum <= 1");
+  }
+  if (options.shared_frontier) {
+    return Status::InvalidArgument(
+        "mixed update workloads do not support shared_frontier");
+  }
+  if (options.delete_frac > 0.0 && options.dataset == nullptr) {
+    return Status::InvalidArgument(
+        "delete_frac > 0 needs options.dataset to seed the ledger");
+  }
+
+  struct Present {
+    geom::Rect rect;
+    rtree::ObjectId id;
+  };
+  std::vector<Present> ledger;
+  if (options.dataset != nullptr) {
+    ledger.reserve(options.dataset->size());
+    for (size_t i = 0; i < options.dataset->size(); ++i) {
+      ledger.push_back(
+          {(*options.dataset)[i], static_cast<rtree::ObjectId>(i)});
+    }
+  }
+  std::vector<Present> staged;  // Inserts buffered but not yet drained.
+  uint64_t next_id = options.insert_id_base;
+  rtree::UpdateBatchExecutor updater(tree);
+  std::vector<rtree::UpdateOp> buffer;
+  const uint64_t flush_at = std::max<uint64_t>(1, options.update_batch_size);
+
+  // Applies the buffered updates. `counters` is null during warm-up.
+  auto drain = [&](WorkloadResult* counters) -> Status {
+    if (!buffer.empty()) {
+      if (options.update_batch_size <= 1) {
+        for (const rtree::UpdateOp& op : buffer) {
+          if (op.kind == rtree::UpdateOp::Kind::kInsert) {
+            RTB_RETURN_IF_ERROR(tree->Insert(op.rect, op.id));
+          } else {
+            RTB_RETURN_IF_ERROR(tree->Delete(op.rect, op.id).status());
+          }
+        }
+      } else {
+        rtree::UpdateBatchStats ustats;
+        RTB_RETURN_IF_ERROR(updater.Run(buffer, &ustats));
+        if (counters != nullptr) {
+          counters->node_accesses += ustats.node_accesses;
+        }
+      }
+      buffer.clear();
+    }
+    // Only now do the buffer's inserts become delete victims: a batched
+    // delete locates against the batch-start tree.
+    ledger.insert(ledger.end(), staged.begin(), staged.end());
+    staged.clear();
+    return Status::OK();
+  };
+
+  auto run_phase = [&](uint64_t n, WorkloadResult* counters) -> Status {
+    std::vector<rtree::ObjectId> sink;
+    rtree::QueryStats qstats;
+    for (uint64_t i = 0; i < n; ++i) {
+      const geom::Rect q = gen->Next(*rng);
+      const double u = rng->NextDouble();
+      const bool wants_update = u < options.insert_frac + options.delete_frac;
+      const bool is_delete =
+          wants_update && u >= options.insert_frac && !ledger.empty();
+      if (is_delete) {
+        const size_t v = static_cast<size_t>(rng->UniformInt(ledger.size()));
+        buffer.push_back(rtree::UpdateOp::Delete(ledger[v].rect,
+                                                 ledger[v].id));
+        ledger[v] = ledger.back();
+        ledger.pop_back();
+        if (counters != nullptr) ++counters->deletes;
+      } else if (wants_update) {  // Insert; empty-ledger deletes degrade.
+        buffer.push_back(rtree::UpdateOp::Insert(q, next_id));
+        staged.push_back({q, next_id});
+        ++next_id;
+        if (counters != nullptr) ++counters->inserts;
+      } else {
+        sink.clear();
+        RTB_RETURN_IF_ERROR(tree->Search(
+            q, &sink, counters != nullptr ? &qstats : nullptr));
+        if (counters != nullptr) ++counters->searches;
+      }
+      if (buffer.size() >= flush_at) RTB_RETURN_IF_ERROR(drain(counters));
+    }
+    RTB_RETURN_IF_ERROR(drain(counters));
+    if (counters != nullptr) counters->node_accesses += qstats.nodes_accessed;
+    return Status::OK();
+  };
+
+  WorkloadResult result;
+  result.per_worker.assign(1, WorkerResult{});
+
+  const auto warmup_start = std::chrono::steady_clock::now();
+  RTB_RETURN_IF_ERROR(run_phase(options.warmup, nullptr));
+  const uint64_t reads_before = store->stats().reads;
+  const auto start = std::chrono::steady_clock::now();
+  result.warmup_seconds =
+      std::chrono::duration<double>(start - warmup_start).count();
+
+  RTB_RETURN_IF_ERROR(run_phase(options.queries, &result));
+  const auto end = std::chrono::steady_clock::now();
+  result.elapsed_seconds =
+      std::chrono::duration<double>(end - start).count();
+  result.queries = options.queries;
+  result.per_worker[0].queries = options.queries;
+  result.per_worker[0].node_accesses = result.node_accesses;
+  result.disk_accesses = store->stats().reads - reads_before;
+  return result;
 }
 
 // The one executor behind both public entry points. `rngs[w]` is worker w's
@@ -189,6 +323,14 @@ Result<WorkloadResult> RunWorkload(rtree::RTree* tree,
                                    const WorkloadOptions& options) {
   if (options.threads == 0) {
     return Status::InvalidArgument("threads must be >= 1");
+  }
+  if (options.insert_frac > 0.0 || options.delete_frac > 0.0) {
+    if (options.threads != 1) {
+      return Status::InvalidArgument(
+          "mixed update workloads require threads == 1");
+    }
+    Rng rng(options.base_seed);
+    return ExecuteMixed(tree, store, gen, &rng, options);
   }
   // Per-worker deterministic RNG substreams; each worker keeps one stream
   // across the warm-up and measured phases.

@@ -47,9 +47,15 @@ struct WorkerResult {
 /// Results of an end-to-end run — the one result type shared by the serial
 /// path, the parallel path and the experiment engine.
 struct WorkloadResult {
-  uint64_t queries = 0;
+  uint64_t queries = 0;        // All operations (searches + updates).
   uint64_t disk_accesses = 0;  // Store reads during the measured phase.
   uint64_t node_accesses = 0;  // Logical node visits.
+  // Mixed-workload breakdown (zero for pure query runs). `deletes` counts
+  // delete operations issued; a delete whose victim was already removed by
+  // an earlier class over the same ledger is still counted here.
+  uint64_t searches = 0;
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
   double warmup_seconds = 0.0;   // Wall time of the warm-up phase.
   double elapsed_seconds = 0.0;  // Wall time of the measured phase.
   /// Per-worker breakdown; one entry per worker (a single entry for serial
@@ -94,6 +100,32 @@ struct WorkloadOptions {
   /// node-access counts are global per round and attributed to worker 0.
   /// The query stream per worker is unchanged.
   bool shared_frontier = false;
+  /// Mixed insert/delete/search workload. Each operation first draws its
+  /// rectangle from the generator, then a uniform double u classifies it:
+  /// u < insert_frac inserts the rectangle with a fresh id;
+  /// u < insert_frac + delete_frac deletes a uniformly chosen entry from
+  /// the present-entry ledger (degrading to an insert while the ledger is
+  /// empty); otherwise it is a search. Both fractions 0 (the default) is
+  /// the pure query workload, whose RNG stream and counters are unchanged.
+  /// Mixed runs mutate the tree, so they require threads == 1 and no
+  /// shared frontier; searches then run through the classic serial loop
+  /// regardless of batch_size.
+  double insert_frac = 0.0;
+  double delete_frac = 0.0;
+  /// Updates buffered per rtree::UpdateBatchExecutor batch (group-by-leaf
+  /// application, vectored dirty-page writeback). <= 1 applies each update
+  /// tuple-at-a-time through RTree::Insert / RTree::Delete — Guttman's
+  /// Delete/FindLeaf/CondenseTree — the batched path's equivalence oracle.
+  /// Searches are never buffered: they execute in stream order against the
+  /// tree as of the last drained update batch.
+  uint64_t update_batch_size = 1;
+  /// Seeds the present-entry ledger for delete victims: the rectangles the
+  /// tree was built from, whose object ids are their indexes (the
+  /// bulk-load contract). Required when delete_frac > 0.
+  const std::vector<geom::Rect>* dataset = nullptr;
+  /// Ids for fresh inserts count up from here; runs of different classes
+  /// over one tree use disjoint bases so their entries never collide.
+  uint64_t insert_id_base = uint64_t{1} << 40;
 };
 
 /// Permanently pins the pages of the top `levels` levels of the tree

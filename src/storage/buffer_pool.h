@@ -347,6 +347,16 @@ class BufferPool final : public PageCache {
   // Finds a frame for a new page: a free frame if any, otherwise evicts.
   Result<FrameId> AcquireFrame();
 
+  // Writes the dirty eviction victim back. When the store coalesces batch
+  // writes, the victim is opportunistically clustered with dirty unpinned
+  // frames holding *consecutive* page ids (probed in both directions
+  // through the page table), and the whole run goes out as one WriteBatch —
+  // a single pwritev. The neighbors stay resident, just clean, so their own
+  // later eviction needs no write. Without a coalescing store this is
+  // exactly the historical single-page writeback. On failure every page of
+  // the cluster stays dirty (page writes are idempotent; retry rewrites).
+  Status WritebackVictim(FrameId victim);
+
   // Pins the page into a frame, reading it on a miss. Core of Fetch.
   Result<FrameId> PinPage(PageId id);
 
@@ -422,6 +432,13 @@ class BufferPool final : public PageCache {
   std::vector<BatchEntry> batch_entries_;
   std::vector<BatchEntry*> batch_pending_;
   std::vector<PageId> batch_ids_;
+  // Scratch for the write side (FlushAll's sorted sweep and eviction-time
+  // write clustering). Separate from the read-side batch_* scratch because
+  // an eviction inside StagePins must not scribble over a fetch batch in
+  // progress.
+  std::vector<FrameId> wb_frames_;
+  std::vector<PageId> wb_ids_;
+  std::vector<uint8_t> wb_scratch_;
   // Asynchronous batches begun and not yet finished/abandoned. At most a
   // couple (the executor double-buffers), so a flat vector beats a map.
   std::vector<PendingRead> outstanding_;

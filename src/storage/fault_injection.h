@@ -48,10 +48,22 @@ class FaultInjectingPageStore final : public PageStore {
     poisoned_status_ = std::move(status);
   }
 
+  /// Fails every write of page `id` (scalar or inside a batch) until
+  /// cleared with kInvalidPageId. The write-side twin of FailPage: lets a
+  /// test target one dirty page's writeback while the rest of a flush
+  /// succeeds.
+  void FailPageWrites(PageId id, Status status) {
+    write_poisoned_page_ = id;
+    write_poisoned_status_ = std::move(status);
+  }
+
   size_t page_size() const override { return base_->page_size(); }
   PageId num_pages() const override { return base_->num_pages(); }
   bool CoalescesBatchReads() const override {
     return base_->CoalescesBatchReads();
+  }
+  bool CoalescesBatchWrites() const override {
+    return base_->CoalescesBatchWrites();
   }
 
   Result<PageId> Allocate() override {
@@ -99,11 +111,36 @@ class FaultInjectingPageStore final : public PageStore {
   }
 
   Status Write(PageId id, const uint8_t* data) override {
+    if (write_poisoned_page_ == id) return write_poisoned_status_;
     if (failing_writes_ > 0) {
       --failing_writes_;
       return write_status_;
     }
     return base_->Write(id, data);
+  }
+
+  Status WriteBatch(const PageId* ids, size_t n,
+                    const uint8_t* data) override {
+    // Same degradation rule as ReadBatch: only a batch that would actually
+    // fault falls back to page-at-a-time, so healthy batches keep the base
+    // store's pwritev coalescing (and its write_batches accounting), and an
+    // armed countdown lands at exactly the page it would hit serially.
+    bool would_fault = failing_writes_ > 0;
+    if (!would_fault && write_poisoned_page_ != kInvalidPageId) {
+      for (size_t i = 0; i < n; ++i) {
+        if (ids[i] == write_poisoned_page_) {
+          would_fault = true;
+          break;
+        }
+      }
+    }
+    if (!would_fault) {
+      return base_->WriteBatch(ids, n, data);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      RTB_RETURN_IF_ERROR(Write(ids[i], data + i * page_size()));
+    }
+    return Status::OK();
   }
 
   Status Close() override { return base_->Close(); }
@@ -125,6 +162,8 @@ class FaultInjectingPageStore final : public PageStore {
   Status alloc_status_ = Status::IoError("injected allocation fault");
   PageId poisoned_page_ = kInvalidPageId;
   Status poisoned_status_ = Status::IoError("poisoned page");
+  PageId write_poisoned_page_ = kInvalidPageId;
+  Status write_poisoned_status_ = Status::IoError("poisoned page write");
 };
 
 }  // namespace rtb::storage

@@ -315,6 +315,72 @@ Status FilePageStore::Write(PageId id, const uint8_t* data) {
   return Status::OK();
 }
 
+Status FilePageStore::WriteBatch(const PageId* ids, size_t n,
+                                 const uint8_t* data) {
+  const PageId num_pages = num_pages_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    if (ids[i] >= num_pages) {
+      return Status::NotFound("write of unallocated page " +
+                              std::to_string(ids[i]));
+    }
+  }
+  [[maybe_unused]] const bool vectored = VectoredIoActive();
+  size_t i = 0;
+  while (i < n) {
+    // Same run coalescing as ReadBatch: consecutive ids are contiguous on
+    // disk (and in `data`), so one vectored write covers the run.
+    size_t run = 1;
+    while (run < kMaxVectoredRun && i + run < n &&
+           ids[i + run] == ids[i] + run) {
+      ++run;
+    }
+#if defined(RTB_VECTORED_IO_ENABLED)
+    if (vectored && run >= 2) {
+      const uint8_t* src = data + i * page_size_;
+      const size_t total = run * page_size_;
+      const off_t base = PageOffset(ids[i], page_size_);
+      size_t done = 0;
+      while (done < total) {
+        struct iovec iov[kMaxVectoredRun];
+        const size_t first = done / page_size_;
+        const size_t within = done % page_size_;
+        int cnt = 0;
+        for (size_t p = first; p < run; ++p) {
+          const size_t skip = p == first ? within : 0;
+          // pwritev never modifies the buffers; the iovec API is just not
+          // const-correct.
+          iov[cnt].iov_base =
+              const_cast<uint8_t*>(src + p * page_size_ + skip);
+          iov[cnt].iov_len = page_size_ - skip;
+          ++cnt;
+        }
+        const ssize_t put =
+            ::pwritev(fd_, iov, cnt, base + static_cast<off_t>(done));
+        if (put < 0) {
+          if (errno == EINTR) continue;
+          return Status::IoError(path_ + ": batch page write failed");
+        }
+        done += static_cast<size_t>(put);
+      }
+      writes_.fetch_add(run, std::memory_order_relaxed);
+      write_batches_.fetch_add(1, std::memory_order_relaxed);
+      write_batch_pages_.fetch_add(run, std::memory_order_relaxed);
+    } else
+#endif
+    {
+      for (size_t p = 0; p < run; ++p) {
+        if (!PwriteFull(fd_, data + (i + p) * page_size_, page_size_,
+                        PageOffset(ids[i + p], page_size_))) {
+          return Status::IoError(path_ + ": page write failed");
+        }
+        writes_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    i += run;
+  }
+  return Status::OK();
+}
+
 Status FilePageStore::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
   RTB_RETURN_IF_ERROR(WriteHeader());

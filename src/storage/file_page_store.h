@@ -80,6 +80,12 @@ class FilePageStore final : public PageStore {
   // frames, no staging copy).
   bool CoalescesBatchReads() const override { return VectoredIoActive(); }
   Status Write(PageId id, const uint8_t* data) override;
+  /// The write-side twin of ReadBatch: runs of consecutive ids become one
+  /// pwritev each, behind the same vectored-I/O seam. The buffer pools feed
+  /// it page-id-sorted dirty sets (flush, eviction clusters).
+  Status WriteBatch(const PageId* ids, size_t n,
+                    const uint8_t* data) override;
+  bool CoalescesBatchWrites() const override { return VectoredIoActive(); }
 
   IoStats stats() const override {
     IoStats snapshot;
@@ -88,6 +94,9 @@ class FilePageStore final : public PageStore {
     snapshot.allocations = allocations_.load(std::memory_order_relaxed);
     snapshot.read_batches = read_batches_.load(std::memory_order_relaxed);
     snapshot.batch_pages = batch_pages_.load(std::memory_order_relaxed);
+    snapshot.write_batches = write_batches_.load(std::memory_order_relaxed);
+    snapshot.write_batch_pages =
+        write_batch_pages_.load(std::memory_order_relaxed);
     return snapshot;
   }
   void ResetStats() override {
@@ -96,6 +105,8 @@ class FilePageStore final : public PageStore {
     allocations_.store(0, std::memory_order_relaxed);
     read_batches_.store(0, std::memory_order_relaxed);
     batch_pages_.store(0, std::memory_order_relaxed);
+    write_batches_.store(0, std::memory_order_relaxed);
+    write_batch_pages_.store(0, std::memory_order_relaxed);
   }
 
   /// Flushes the header and data to the OS.
@@ -135,6 +146,8 @@ class FilePageStore final : public PageStore {
   std::atomic<uint64_t> allocations_{0};
   std::atomic<uint64_t> read_batches_{0};
   std::atomic<uint64_t> batch_pages_{0};
+  std::atomic<uint64_t> write_batches_{0};
+  std::atomic<uint64_t> write_batch_pages_{0};
 };
 
 }  // namespace rtb::storage

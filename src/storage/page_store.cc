@@ -18,6 +18,15 @@ Status PageStore::ReadBatch(const PageId* ids, size_t n, uint8_t* out) {
   return Status::OK();
 }
 
+Status PageStore::WriteBatch(const PageId* ids, size_t n,
+                             const uint8_t* data) {
+  const size_t stride = page_size();
+  for (size_t i = 0; i < n; ++i) {
+    RTB_RETURN_IF_ERROR(Write(ids[i], data + i * stride));
+  }
+  return Status::OK();
+}
+
 Result<PageId> MemPageStore::Allocate() {
   std::unique_lock<std::shared_mutex> lock(mu_);
   if (pages_.size() >= kInvalidPageId) {

@@ -36,20 +36,35 @@ namespace rtb::storage {
 /// to `read_batches` and k to `batch_pages`. Stores without a vectored path
 /// (MemPageStore, or FilePageStore with the seam off) leave both at zero.
 /// Read syscalls issued are therefore `reads - batch_pages + read_batches`.
+///
+/// The write side mirrors this exactly: `writes` stays per-page (the
+/// paper's disk-write metric), `write_batches`/`write_batch_pages` count
+/// the pwritev runs a store coalesced, and write syscalls issued are
+/// `writes - write_batch_pages + write_batches`.
 struct IoStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
   uint64_t allocations = 0;
   uint64_t read_batches = 0;  // Coalesced (vectored) read operations.
   uint64_t batch_pages = 0;   // Pages covered by those operations.
+  uint64_t write_batches = 0;      // Coalesced (vectored) write operations.
+  uint64_t write_batch_pages = 0;  // Pages covered by those operations.
 
   double PagesPerBatch() const {
     return read_batches == 0 ? 0.0
                              : static_cast<double>(batch_pages) /
                                    static_cast<double>(read_batches);
   }
+  double PagesPerWriteBatch() const {
+    return write_batches == 0 ? 0.0
+                              : static_cast<double>(write_batch_pages) /
+                                    static_cast<double>(write_batches);
+  }
 
   uint64_t ReadSyscalls() const { return reads - batch_pages + read_batches; }
+  uint64_t WriteSyscalls() const {
+    return writes - write_batch_pages + write_batches;
+  }
 };
 
 /// Raw descriptor a store can expose for kernel-submitted reads (the
@@ -99,6 +114,24 @@ class PageStore {
   /// Writes page `id` from `data` (page_size() bytes). Counts one disk
   /// write.
   virtual Status Write(PageId id, const uint8_t* data) = 0;
+
+  /// Multi-put: writes pages `ids[0..n)` from `data` (`n * page_size()`
+  /// bytes, page i at `data + i * page_size()`). Counts one disk write per
+  /// page, so the paper's metric is independent of batching. The default
+  /// loops Write; FilePageStore coalesces runs of consecutive ids into
+  /// pwritev behind the vectored-I/O seam. On error a prefix of the batch
+  /// may have reached the store — page writes are idempotent, so callers
+  /// (the buffer pools) keep every page of a failed batch dirty and retry
+  /// the whole batch.
+  virtual Status WriteBatch(const PageId* ids, size_t n, const uint8_t* data);
+
+  /// Whether WriteBatch can currently do better than a loop of Write calls
+  /// (FilePageStore with the vectored seam on). The write-side twin of
+  /// CoalescesBatchReads: pools consult it to decide whether sorting and
+  /// staging a dirty set through a bounce buffer can pay off. Purely an
+  /// optimization hint — WriteBatch is correct (and counts identically)
+  /// regardless.
+  virtual bool CoalescesBatchWrites() const { return false; }
 
   /// Flushes any store-held state and releases the underlying resource,
   /// surfacing the errors the destructor would otherwise have to swallow

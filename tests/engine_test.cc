@@ -414,5 +414,126 @@ TEST(EngineTest, ReportJsonIsWellFormedAndSchemaTagged) {
   EXPECT_EQ(reparsed->workload.classes[0].count, 1000u);
 }
 
+// A BaseSpec variant whose class mixes inserts, deletes and searches.
+ExperimentSpec MixedSpec() {
+  ExperimentSpec spec = BaseSpec();
+  spec.dataset.n = 4000;
+  spec.workload.warmup = 500;
+  spec.workload.update_batch_size = 64;
+  spec.workload.classes[0].count = 4000;
+  spec.workload.classes[0].qx = 0.02;
+  spec.workload.classes[0].qy = 0.02;
+  spec.workload.classes[0].insert_frac = 0.3;
+  spec.workload.classes[0].delete_frac = 0.2;
+  return spec;
+}
+
+TEST(SpecTest, MixedWorkloadRoundTripAndValidation) {
+  ExperimentSpec spec = MixedSpec();
+  ASSERT_TRUE(spec.Validate().ok()) << spec.Validate().ToString();
+
+  auto parsed = ExperimentSpec::FromJson(spec.ToJsonDict().ToString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->workload.classes[0].insert_frac, 0.3);
+  EXPECT_DOUBLE_EQ(parsed->workload.classes[0].delete_frac, 0.2);
+  EXPECT_EQ(parsed->workload.update_batch_size, 64u);
+  EXPECT_TRUE(parsed->workload.HasMixedClass());
+
+  // Unknown keys next to the new ones still fail loudly.
+  EXPECT_FALSE(ExperimentSpec::FromJson(
+      R"({"workload": {"classes": [{"insert_frak": 0.5}]}})").ok());
+  EXPECT_FALSE(ExperimentSpec::FromJson(
+      R"({"workload": {"update_batchsize": 8, "classes": [{}]}})").ok());
+
+  // Semantic rejections: fraction range, tuple-at-a-time floor, and the
+  // mixed-class requirements (built tree, serial, private frontiers).
+  spec = MixedSpec();
+  spec.workload.classes[0].insert_frac = 0.9;
+  spec.workload.classes[0].delete_frac = 0.2;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = MixedSpec();
+  spec.workload.classes[0].delete_frac = -0.1;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = MixedSpec();
+  spec.workload.update_batch_size = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = MixedSpec();
+  spec.tree.index = "some.idx";
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = MixedSpec();
+  spec.run.threads = 4;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = MixedSpec();
+  spec.workload.batch_size = 8;
+  spec.workload.shared_frontier = true;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(EngineTest, MixedWorkloadRunsValidatesAndReports) {
+  const ExperimentSpec spec = MixedSpec();
+  auto report = engine::Run(spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  ASSERT_EQ(report->classes.size(), 1u);
+  const ClassReport& cr = report->classes[0];
+  EXPECT_TRUE(cr.validated);
+  EXPECT_FALSE(cr.model_evaluated);
+  EXPECT_EQ(cr.run.searches + cr.run.inserts + cr.run.deletes,
+            spec.workload.classes[0].count);
+  EXPECT_GT(cr.run.searches, 0u);
+  EXPECT_GT(cr.run.inserts, 0u);
+  EXPECT_GT(cr.run.deletes, 0u);
+  // Updates dirtied pages; the post-class flush wrote them to the store.
+  EXPECT_GT(report->store_io.writes, 0u);
+
+  auto doc = report::JsonValue::Parse(report->ToJsonString());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const report::JsonValue& cls = doc->Find("classes")->array()[0];
+  EXPECT_NE(cls.Find("inserts"), nullptr);
+  EXPECT_NE(cls.Find("deletes"), nullptr);
+  EXPECT_NE(cls.Find("searches"), nullptr);
+  EXPECT_TRUE(cls.Find("validated")->boolean());
+  ASSERT_NE(doc->Find("store"), nullptr);
+  EXPECT_NE(doc->Find("store")->Find("write_batches"), nullptr);
+  EXPECT_NE(doc->Find("store")->Find("write_syscalls"), nullptr);
+}
+
+TEST(EngineTest, MixedBatchedAndSerialSeeTheSameOperationStream) {
+  // The op stream is a pure function of the seed, so the tuple-at-a-time
+  // oracle (update_batch_size 1) and the batched path must report the same
+  // operation mix, and both runs must end structurally valid.
+  ExperimentSpec serial = MixedSpec();
+  serial.workload.update_batch_size = 1;
+  ExperimentSpec batched = MixedSpec();
+
+  auto a = engine::Run(serial);
+  auto b = engine::Run(batched);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->classes[0].run.inserts, b->classes[0].run.inserts);
+  EXPECT_EQ(a->classes[0].run.deletes, b->classes[0].run.deletes);
+  EXPECT_EQ(a->classes[0].run.searches, b->classes[0].run.searches);
+  EXPECT_TRUE(a->classes[0].validated);
+  EXPECT_TRUE(b->classes[0].validated);
+}
+
+TEST(EngineTest, MixedOnFileBackendCoalescesWrites) {
+  ExperimentSpec spec = MixedSpec();
+  spec.storage.backend = "file";
+  spec.storage.path = ::testing::TempDir() + "/rtb_engine_mixed.store";
+  spec.pool.buffer_pages = 24;  // Small pool: eviction writebacks too.
+  auto report = engine::Run(spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->classes[0].validated);
+  EXPECT_GT(report->store_io.writes, 0u);
+  if (storage::VectoredIoAvailable()) {
+    // Group-by-leaf batches dirty page-adjacent leaves; the pool's sorted
+    // flush must have coalesced at least one pwritev run.
+    EXPECT_GT(report->store_io.write_batches, 0u);
+    EXPECT_LT(report->store_io.WriteSyscalls(), report->store_io.writes);
+  }
+  std::remove(spec.storage.path.c_str());
+}
+
 }  // namespace
 }  // namespace rtb::engine

@@ -163,6 +163,118 @@ TEST(FaultInjectionTest, HealthyBatchKeepsBaseVectoredPath) {
   std::remove(path);
 }
 
+TEST(FaultInjectionTest, HealthyWriteBatchKeepsBaseVectoredPath) {
+  if (!VectoredIoAvailable()) GTEST_SKIP() << "vectored path not compiled";
+  const bool was_vectored = VectoredIoActive();
+  ASSERT_TRUE(SetVectoredIo(true));
+  const char* path = "/tmp/rtb_fault_write_batch_test.store";
+  auto file = FilePageStore::Create(path);
+  ASSERT_TRUE(file.ok());
+  for (int i = 0; i < 8; ++i) {
+    auto id = (*file)->Allocate();
+    ASSERT_TRUE(id.ok());
+  }
+  FaultInjectingPageStore store(file->get());
+  ASSERT_TRUE(store.CoalescesBatchWrites());
+
+  // A write-poisoned page outside the batch must not degrade the batch to
+  // page-at-a-time writes: the base store still coalesces with pwritev.
+  store.FailPageWrites(7, Status::IoError("bad sector"));
+  const PageId ids[4] = {1, 2, 3, 4};
+  std::vector<uint8_t> data(4 * store.page_size());
+  for (int i = 0; i < 4; ++i) {
+    data[static_cast<size_t>(i) * store.page_size()] =
+        static_cast<uint8_t>(0x60 + i);
+  }
+  const uint64_t batches_before = store.stats().write_batches;
+  ASSERT_TRUE(store.WriteBatch(ids, 4, data.data()).ok());
+  EXPECT_GT(store.stats().write_batches, batches_before);
+  std::vector<uint8_t> buf(store.page_size());
+  ASSERT_TRUE(store.Read(4, buf.data()).ok());
+  EXPECT_EQ(buf[0], 0x63);
+
+  // A batch that does contain the poisoned page fails.
+  const PageId poisoned_ids[3] = {5, 6, 7};
+  std::vector<uint8_t> three(3 * store.page_size());
+  EXPECT_EQ(store.WriteBatch(poisoned_ids, 3, three.data()).code(),
+            StatusCode::kIoError);
+
+  // And an armed countdown fails the batch at the faulted page.
+  store.FailPageWrites(kInvalidPageId, Status::OK());
+  store.FailNextWrites(1, Status::IoError("transient"));
+  EXPECT_EQ(store.WriteBatch(ids, 4, data.data()).code(),
+            StatusCode::kIoError);
+  ASSERT_TRUE(store.WriteBatch(ids, 4, data.data()).ok());
+
+  ASSERT_TRUE(store.Close().ok());
+  SetVectoredIo(was_vectored);
+  std::remove(path);
+}
+
+TEST(BufferPoolFaultTest, FlushFaultKeepsAllPagesDirtyForRetry) {
+  if (!VectoredIoAvailable()) GTEST_SKIP() << "vectored path not compiled";
+  const bool was_vectored = VectoredIoActive();
+  ASSERT_TRUE(SetVectoredIo(true));
+  const char* path = "/tmp/rtb_fault_flush_test.store";
+  auto file = FilePageStore::Create(path);
+  ASSERT_TRUE(file.ok());
+  FaultInjectingPageStore store(file->get());
+  auto pool = BufferPool::MakeLru(&store, 8);
+  for (int i = 0; i < 6; ++i) {
+    auto g = pool->NewPage();
+    ASSERT_TRUE(g.ok());
+    g->mutable_data()[0] = static_cast<uint8_t>(0x70 + i);
+  }
+
+  // Fail one page's write mid-batch. The coalesced flush may have written
+  // a prefix, but the pool must keep *every* page dirty, so the retry
+  // rewrites them all (rewriting an already-written page is idempotent).
+  store.FailPageWrites(3, Status::IoError("bad sector"));
+  Status flush = pool->FlushAll();
+  ASSERT_FALSE(flush.ok());
+  store.FailPageWrites(kInvalidPageId, Status::OK());
+  ASSERT_TRUE(pool->FlushAll().ok());
+  std::vector<uint8_t> buf(store.page_size());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(store.Read(static_cast<PageId>(i), buf.data()).ok());
+    EXPECT_EQ(buf[0], 0x70 + i) << "page " << i;
+  }
+  ASSERT_TRUE(pool->Close().ok());
+  SetVectoredIo(was_vectored);
+  std::remove(path);
+}
+
+TEST(BufferPoolFaultTest, EvictionClusterWritebackCoalescesAndRecovers) {
+  if (!VectoredIoAvailable()) GTEST_SKIP() << "vectored path not compiled";
+  const bool was_vectored = VectoredIoActive();
+  ASSERT_TRUE(SetVectoredIo(true));
+  const char* path = "/tmp/rtb_fault_evict_cluster_test.store";
+  auto file = FilePageStore::Create(path);
+  ASSERT_TRUE(file.ok());
+  FaultInjectingPageStore store(&**file);
+  auto pool = BufferPool::MakeLru(&store, 4);
+  // Dirty the whole pool with consecutive pages, then force an eviction:
+  // the victim's writeback should cluster its dirty neighbors into one
+  // vectored batch.
+  for (int i = 0; i < 4; ++i) {
+    auto g = pool->NewPage();
+    ASSERT_TRUE(g.ok());
+    g->mutable_data()[0] = static_cast<uint8_t>(0x50 + i);
+  }
+  const uint64_t batches_before = store.stats().write_batches;
+  auto g = pool->NewPage();  // Evicts one victim, clustering the rest.
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(store.stats().write_batches, batches_before);
+  // The clustered pages were written as data and are now clean; the store
+  // holds their bytes.
+  std::vector<uint8_t> buf(store.page_size());
+  ASSERT_TRUE(store.Read(2, buf.data()).ok());
+  EXPECT_EQ(buf[0], 0x52);
+  ASSERT_TRUE(pool->Close().ok());
+  SetVectoredIo(was_vectored);
+  std::remove(path);
+}
+
 class RTreeFaultTest : public ::testing::Test {
  protected:
   void SetUp() override {

@@ -44,13 +44,11 @@ class KernelGuard {
 };
 
 std::vector<ScanKernel> AvailableKernels() {
-  std::vector<ScanKernel> kernels = {ScanKernel::kScalar};
-  if (static_cast<int>(BestScanKernel()) >=
-      static_cast<int>(ScanKernel::kSse2)) {
-    kernels.push_back(ScanKernel::kSse2);
-  }
-  if (BestScanKernel() == ScanKernel::kAvx2) {
-    kernels.push_back(ScanKernel::kAvx2);
+  KernelGuard guard;  // Probing mutates the active kernel; restore it.
+  std::vector<ScanKernel> kernels;
+  for (ScanKernel k : {ScanKernel::kScalar, ScanKernel::kSse2,
+                       ScanKernel::kAvx2, ScanKernel::kNeon}) {
+    if (SetScanKernel(k)) kernels.push_back(k);
   }
   return kernels;
 }
@@ -71,6 +69,17 @@ TEST(ScanKernelDispatchTest, KernelNamesResolve) {
   EXPECT_STREQ(ScanKernelName(ScanKernel::kScalar), "scalar");
   EXPECT_STREQ(ScanKernelName(ScanKernel::kSse2), "sse2");
   EXPECT_STREQ(ScanKernelName(ScanKernel::kAvx2), "avx2");
+  EXPECT_STREQ(ScanKernelName(ScanKernel::kNeon), "neon");
+}
+
+TEST(ScanKernelDispatchTest, CrossArchKernelsRejected) {
+  KernelGuard guard;
+#if defined(__x86_64__)
+  EXPECT_FALSE(SetScanKernel(ScanKernel::kNeon));
+#elif defined(__aarch64__)
+  EXPECT_FALSE(SetScanKernel(ScanKernel::kSse2));
+  EXPECT_FALSE(SetScanKernel(ScanKernel::kAvx2));
+#endif
 }
 
 TEST(ScanKernelPropertyTest, AllKernelsMatchNodeViewIntersects) {

@@ -1,0 +1,456 @@
+// Batched-vs-serial equivalence suite for rtree::UpdateBatchExecutor:
+//
+//   * batch of one — delegates to the serial Insert/Delete, so the whole
+//     store image, the BufferStats and the IoStats are byte-identical to a
+//     hand-run serial sequence (the same contract batch_size=1 queries
+//     have);
+//   * randomized mixed oracle — random insert/delete batches checked after
+//     every batch against a plain multiset of (rect, id) pairs, with
+//     ValidateTree holding throughout (delete victims are drawn from the
+//     entries present at batch start, where the semantics are specified);
+//   * logical equivalence — the same operation sequence applied batched and
+//     tuple-at-a-time yields the same leaf-entry multiset and the same
+//     query answers, even though the trees may differ structurally;
+//   * structure torture — one huge insert batch into an empty tree (multi
+//     -level root growth), batches that dissolve every node (empty-root
+//     recovery), and interleaved grow/shrink cycles;
+//   * write faults — an injected write fault during a batch leaves the
+//     store decodable and the failed pages dirty, so a retried flush
+//     completes the batch.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rtb.h"
+#include "rtree/update_batch.h"
+#include "rtree/validate.h"
+#include "storage/fault_injection.h"
+
+namespace rtb::rtree {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+using storage::BufferPool;
+using storage::MemPageStore;
+using storage::PageId;
+
+Rect RandomRect(Rng& rng, double max_side) {
+  const double x = rng.NextDouble() * (1.0 - max_side);
+  const double y = rng.NextDouble() * (1.0 - max_side);
+  return Rect(x, y, x + rng.NextDouble() * max_side,
+              y + rng.NextDouble() * max_side);
+}
+
+struct TreeFixture {
+  MemPageStore store;
+  std::unique_ptr<BufferPool> pool;
+
+  explicit TreeFixture(size_t pool_pages = 256)
+      : store(storage::kDefaultPageSize),
+        pool(BufferPool::MakeLru(&store, pool_pages)) {}
+};
+
+// All leaf entries of the tree, sorted so multisets compare with ==.
+std::vector<Entry> LeafEntries(const RTree& tree) {
+  std::vector<Entry> out;
+  std::vector<PageId> stack{tree.root()};
+  while (!stack.empty()) {
+    const PageId page = stack.back();
+    stack.pop_back();
+    auto guard = tree.pool()->Fetch(page);
+    RTB_CHECK(guard.ok());
+    auto view = NodeView::Create(guard->data(), tree.pool()->page_size());
+    RTB_CHECK(view.ok());
+    for (uint16_t i = 0; i < view->count(); ++i) {
+      if (view->is_leaf()) {
+        out.push_back(view->entry(i));
+      } else {
+        stack.push_back(static_cast<PageId>(view->id(i)));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.id != b.id) return a.id < b.id;
+    return a.rect.lo.x < b.rect.lo.x;
+  });
+  return out;
+}
+
+void ExpectValid(TreeFixture& fx, const RTree& tree,
+                 const RTreeConfig& config) {
+  ASSERT_TRUE(fx.pool->FlushAll().ok());
+  ValidationReport report = ValidateTree(&fx.store, tree.root(), config);
+  EXPECT_TRUE(report.ok) << (report.issues.empty() ? "no issues"
+                                                   : report.issues.front());
+}
+
+TEST(UpdateBatchTest, EmptyBatchIsANoOp) {
+  TreeFixture fx;
+  auto tree = RTree::Create(fx.pool.get(), RTreeConfig::WithFanout(8));
+  ASSERT_TRUE(tree.ok());
+  UpdateBatchExecutor exec(&*tree);
+  UpdateBatchStats stats;
+  ASSERT_TRUE(exec.Run({}, &stats).ok());
+  EXPECT_EQ(stats.passes, 0u);
+  EXPECT_EQ(*tree->CountEntries(), 0u);
+}
+
+TEST(UpdateBatchTest, RejectsEmptyRectInsert) {
+  TreeFixture fx;
+  auto tree = RTree::Create(fx.pool.get(), RTreeConfig::WithFanout(8));
+  ASSERT_TRUE(tree.ok());
+  UpdateBatchExecutor exec(&*tree);
+  const UpdateOp ops[] = {UpdateOp::Insert(Rect(0.1, 0.1, 0.2, 0.2), 1),
+                          UpdateOp::Insert(Rect::Empty(), 2)};
+  EXPECT_EQ(exec.Run(ops).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(*tree->CountEntries(), 0u);  // Rejected before any mutation.
+}
+
+// A batch of one must be the serial path byte for byte: same store image,
+// same buffer counters, same I/O counters.
+TEST(UpdateBatchTest, BatchOfOneIsByteIdenticalToSerial) {
+  const RTreeConfig config = RTreeConfig::WithFanout(8);
+  TreeFixture serial_fx;
+  TreeFixture batched_fx;
+  auto serial_tree = RTree::Create(serial_fx.pool.get(), config);
+  auto batched_tree = RTree::Create(batched_fx.pool.get(), config);
+  ASSERT_TRUE(serial_tree.ok());
+  ASSERT_TRUE(batched_tree.ok());
+  UpdateBatchExecutor exec(&*batched_tree);
+
+  Rng rng(7);
+  std::vector<UpdateOp> history;
+  for (int i = 0; i < 400; ++i) {
+    UpdateOp op;
+    const bool do_delete = !history.empty() && rng.NextDouble() < 0.3;
+    if (do_delete) {
+      const UpdateOp& victim =
+          history[rng.UniformInt(static_cast<uint64_t>(history.size()))];
+      op = UpdateOp::Delete(victim.rect, victim.id);
+    } else {
+      op = UpdateOp::Insert(RandomRect(rng, 0.05),
+                            static_cast<ObjectId>(i));
+      history.push_back(op);
+    }
+    if (op.kind == UpdateOp::Kind::kInsert) {
+      ASSERT_TRUE(serial_tree->Insert(op.rect, op.id).ok());
+    } else {
+      ASSERT_TRUE(serial_tree->Delete(op.rect, op.id).ok());
+    }
+    ASSERT_TRUE(exec.Run({&op, 1}).ok());
+  }
+
+  EXPECT_EQ(serial_tree->root(), batched_tree->root());
+  EXPECT_EQ(serial_tree->height(), batched_tree->height());
+
+  const storage::BufferStats& a = serial_fx.pool->stats();
+  const storage::BufferStats& b = batched_fx.pool->stats();
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.writebacks, b.writebacks);
+
+  ASSERT_TRUE(serial_fx.pool->FlushAll().ok());
+  ASSERT_TRUE(batched_fx.pool->FlushAll().ok());
+  const storage::IoStats sa = serial_fx.store.stats();
+  const storage::IoStats sb = batched_fx.store.stats();
+  EXPECT_EQ(sa.reads, sb.reads);
+  EXPECT_EQ(sa.writes, sb.writes);
+  EXPECT_EQ(sa.allocations, sb.allocations);
+
+  ASSERT_EQ(serial_fx.store.num_pages(), batched_fx.store.num_pages());
+  std::vector<uint8_t> pa(serial_fx.store.page_size());
+  std::vector<uint8_t> pb(batched_fx.store.page_size());
+  for (PageId id = 0; id < serial_fx.store.num_pages(); ++id) {
+    ASSERT_TRUE(serial_fx.store.Read(id, pa.data()).ok());
+    ASSERT_TRUE(batched_fx.store.Read(id, pb.data()).ok());
+    ASSERT_EQ(pa, pb) << "page " << id << " diverged";
+  }
+}
+
+// Random mixed batches against a plain multiset oracle, validating the
+// tree after every batch. Covers splits, condensation and reinsertion
+// under every batch size the loop reaches.
+TEST(UpdateBatchTest, RandomizedMixedOracle) {
+  for (const uint32_t fanout : {4u, 10u}) {
+    const RTreeConfig config = RTreeConfig::WithFanout(fanout);
+    TreeFixture fx;
+    auto tree = RTree::Create(fx.pool.get(), config);
+    ASSERT_TRUE(tree.ok());
+    UpdateBatchExecutor exec(&*tree);
+
+    Rng rng(fanout * 97 + 1);
+    std::vector<std::pair<Rect, ObjectId>> oracle;
+    ObjectId next_id = 0;
+    UpdateBatchStats stats;
+    for (int round = 0; round < 30; ++round) {
+      const size_t batch = 1 + rng.UniformInt(97);
+      std::vector<UpdateOp> ops;
+      // Delete victims come from the batch-start oracle, each at most
+      // once, so batched and oracle semantics agree (deleting an entry
+      // inserted by the same batch is unspecified).
+      const size_t start = oracle.size();
+      std::vector<size_t> doomed;
+      for (size_t k = 0; k < batch; ++k) {
+        const bool do_delete =
+            start > 0 && doomed.size() < start && rng.NextDouble() < 0.45;
+        if (do_delete) {
+          size_t v = rng.UniformInt(static_cast<uint64_t>(start));
+          while (std::find(doomed.begin(), doomed.end(), v) != doomed.end()) {
+            v = (v + 1) % start;
+          }
+          doomed.push_back(v);
+          ops.push_back(UpdateOp::Delete(oracle[v].first, oracle[v].second));
+        } else {
+          const Rect r = RandomRect(rng, 0.08);
+          ops.push_back(UpdateOp::Insert(r, next_id));
+          oracle.emplace_back(r, next_id);
+          ++next_id;
+        }
+      }
+      // Apply the deletes to the oracle (descending index keeps the
+      // earlier indices stable).
+      std::sort(doomed.rbegin(), doomed.rend());
+      for (size_t v : doomed) {
+        oracle.erase(oracle.begin() + static_cast<ptrdiff_t>(v));
+      }
+
+      ASSERT_TRUE(exec.Run(ops, &stats).ok());
+      ASSERT_NO_FATAL_FAILURE(ExpectValid(fx, *tree, config));
+
+      std::vector<Entry> expect;
+      expect.reserve(oracle.size());
+      for (const auto& [r, id] : oracle) expect.push_back(Entry{r, id});
+      std::sort(expect.begin(), expect.end(),
+                [](const Entry& a, const Entry& b) {
+                  if (a.id != b.id) return a.id < b.id;
+                  return a.rect.lo.x < b.rect.lo.x;
+                });
+      ASSERT_EQ(LeafEntries(*tree), expect) << "round " << round;
+    }
+    EXPECT_EQ(stats.deletes_missing, 0u);
+    EXPECT_GT(stats.splits, 0u);
+    EXPECT_GT(stats.condensed_nodes, 0u);
+  }
+}
+
+// The same operation stream, batched vs tuple-at-a-time: same entry
+// multiset, same query answers.
+TEST(UpdateBatchTest, BatchedMatchesSerialLogically) {
+  const RTreeConfig config = RTreeConfig::WithFanout(6);
+  TreeFixture serial_fx;
+  TreeFixture batched_fx;
+  auto serial_tree = RTree::Create(serial_fx.pool.get(), config);
+  auto batched_tree = RTree::Create(batched_fx.pool.get(), config);
+  ASSERT_TRUE(serial_tree.ok());
+  ASSERT_TRUE(batched_tree.ok());
+  UpdateBatchExecutor exec(&*batched_tree);
+
+  Rng rng(1234);
+  std::vector<std::pair<Rect, ObjectId>> present;
+  ObjectId next_id = 0;
+  for (int round = 0; round < 12; ++round) {
+    std::vector<UpdateOp> ops;
+    // As above: victims only from the batch-start state.
+    const size_t start = present.size();
+    std::vector<size_t> doomed;
+    for (int k = 0; k < 64; ++k) {
+      const bool do_delete =
+          start > 0 && doomed.size() < start && rng.NextDouble() < 0.35;
+      if (do_delete) {
+        size_t v = rng.UniformInt(static_cast<uint64_t>(start));
+        while (std::find(doomed.begin(), doomed.end(), v) != doomed.end()) {
+          v = (v + 1) % start;
+        }
+        doomed.push_back(v);
+        ops.push_back(
+            UpdateOp::Delete(present[v].first, present[v].second));
+      } else {
+        const Rect r = RandomRect(rng, 0.06);
+        ops.push_back(UpdateOp::Insert(r, next_id));
+        present.emplace_back(r, next_id);
+        ++next_id;
+      }
+    }
+    std::sort(doomed.rbegin(), doomed.rend());
+    for (size_t v : doomed) {
+      present.erase(present.begin() + static_cast<ptrdiff_t>(v));
+    }
+
+    for (const UpdateOp& op : ops) {
+      if (op.kind == UpdateOp::Kind::kInsert) {
+        ASSERT_TRUE(serial_tree->Insert(op.rect, op.id).ok());
+      } else {
+        auto found = serial_tree->Delete(op.rect, op.id);
+        ASSERT_TRUE(found.ok());
+        ASSERT_TRUE(*found);
+      }
+    }
+    ASSERT_TRUE(exec.Run(ops).ok());
+
+    ASSERT_EQ(LeafEntries(*batched_tree), LeafEntries(*serial_tree))
+        << "round " << round;
+    for (int q = 0; q < 20; ++q) {
+      const Rect query = RandomRect(rng, 0.2);
+      std::vector<ObjectId> sa, sb;
+      ASSERT_TRUE(serial_tree->Search(query, &sa).ok());
+      ASSERT_TRUE(batched_tree->Search(query, &sb).ok());
+      std::sort(sa.begin(), sa.end());
+      std::sort(sb.begin(), sb.end());
+      ASSERT_EQ(sb, sa);
+    }
+  }
+}
+
+// One huge batch into an empty tree: the root leaf absorbs everything,
+// multi-splits, and the root may grow several levels in one pass.
+TEST(UpdateBatchTest, HugeInsertBatchGrowsMultipleLevels) {
+  const RTreeConfig config = RTreeConfig::WithFanout(4);
+  TreeFixture fx;
+  auto tree = RTree::Create(fx.pool.get(), config);
+  ASSERT_TRUE(tree.ok());
+  UpdateBatchExecutor exec(&*tree);
+
+  Rng rng(5);
+  std::vector<UpdateOp> ops;
+  for (int i = 0; i < 1000; ++i) {
+    ops.push_back(UpdateOp::Insert(RandomRect(rng, 0.02),
+                                   static_cast<ObjectId>(i)));
+  }
+  UpdateBatchStats stats;
+  ASSERT_TRUE(exec.Run(ops, &stats).ok());
+  EXPECT_GT(tree->height(), 2u);
+  EXPECT_EQ(*tree->CountEntries(), 1000u);
+  EXPECT_GT(stats.splits, 0u);
+  ASSERT_NO_FATAL_FAILURE(ExpectValid(fx, *tree, config));
+}
+
+// Deleting everything in one batch dissolves every node, exercising the
+// empty-root recovery, and leaves a working empty tree.
+TEST(UpdateBatchTest, DeleteEverythingRecoversEmptyRoot) {
+  const RTreeConfig config = RTreeConfig::WithFanout(4);
+  TreeFixture fx;
+  auto tree = RTree::Create(fx.pool.get(), config);
+  ASSERT_TRUE(tree.ok());
+  UpdateBatchExecutor exec(&*tree);
+
+  Rng rng(17);
+  std::vector<UpdateOp> inserts;
+  for (int i = 0; i < 300; ++i) {
+    inserts.push_back(UpdateOp::Insert(RandomRect(rng, 0.03),
+                                       static_cast<ObjectId>(i)));
+  }
+  ASSERT_TRUE(exec.Run(inserts).ok());
+  ASSERT_EQ(*tree->CountEntries(), 300u);
+
+  std::vector<UpdateOp> deletes;
+  for (const UpdateOp& op : inserts) {
+    deletes.push_back(UpdateOp::Delete(op.rect, op.id));
+  }
+  UpdateBatchStats stats;
+  ASSERT_TRUE(exec.Run(deletes, &stats).ok());
+  EXPECT_EQ(stats.deletes_found, 300u);
+  EXPECT_EQ(stats.deletes_missing, 0u);
+  EXPECT_EQ(*tree->CountEntries(), 0u);
+  EXPECT_EQ(tree->height(), 1u);
+  ASSERT_NO_FATAL_FAILURE(ExpectValid(fx, *tree, config));
+
+  // The recovered tree keeps working.
+  ASSERT_TRUE(exec.Run(inserts).ok());
+  EXPECT_EQ(*tree->CountEntries(), 300u);
+  ASSERT_NO_FATAL_FAILURE(ExpectValid(fx, *tree, config));
+}
+
+// Deletes of entries that never existed are reported missing and leave the
+// tree untouched.
+TEST(UpdateBatchTest, MissingDeletesAreCounted) {
+  const RTreeConfig config = RTreeConfig::WithFanout(8);
+  TreeFixture fx;
+  auto tree = RTree::Create(fx.pool.get(), config);
+  ASSERT_TRUE(tree.ok());
+  UpdateBatchExecutor exec(&*tree);
+
+  Rng rng(23);
+  std::vector<UpdateOp> ops;
+  for (int i = 0; i < 50; ++i) {
+    ops.push_back(UpdateOp::Insert(RandomRect(rng, 0.05),
+                                   static_cast<ObjectId>(i)));
+  }
+  ASSERT_TRUE(exec.Run(ops).ok());
+
+  std::vector<UpdateOp> misses;
+  for (int i = 0; i < 10; ++i) {
+    misses.push_back(
+        UpdateOp::Delete(RandomRect(rng, 0.05), 1000 + ObjectId(i)));
+  }
+  UpdateBatchStats stats;
+  ASSERT_TRUE(exec.Run(misses, &stats).ok());
+  EXPECT_EQ(stats.deletes_found, 0u);
+  EXPECT_EQ(stats.deletes_missing, 10u);
+  EXPECT_EQ(*tree->CountEntries(), 50u);
+}
+
+// Within one pass each mutated node is pinned mutably exactly once, no
+// matter how many operations land on it: a batch of k inserts into a
+// one-leaf tree mutates one page.
+TEST(UpdateBatchTest, GroupByLeafPinsEachDirtyPageOnce) {
+  const RTreeConfig config = RTreeConfig::WithFanout(100);
+  TreeFixture fx;
+  auto tree = RTree::Create(fx.pool.get(), config);
+  ASSERT_TRUE(tree.ok());
+  UpdateBatchExecutor exec(&*tree);
+
+  Rng rng(31);
+  std::vector<UpdateOp> ops;
+  for (int i = 0; i < 50; ++i) {
+    ops.push_back(UpdateOp::Insert(RandomRect(rng, 0.05),
+                                   static_cast<ObjectId>(i)));
+  }
+  UpdateBatchStats stats;
+  ASSERT_TRUE(exec.Run(ops, &stats).ok());
+  EXPECT_EQ(stats.pages_mutated, 1u);  // All 50 fit the one root leaf.
+  EXPECT_EQ(stats.inserts, 50u);
+}
+
+// An injected write fault during the batch surfaces as an error, the store
+// stays decodable, and the failed pages stay dirty so a retried flush
+// completes the work.
+TEST(UpdateBatchTest, WriteFaultLeavesDirtyPagesForRetry) {
+  const RTreeConfig config = RTreeConfig::WithFanout(4);
+  MemPageStore base(storage::kDefaultPageSize);
+  storage::FaultInjectingPageStore store(&base);
+  // A tiny pool forces eviction writebacks mid-batch.
+  auto pool = BufferPool::MakeLru(&store, 8);
+  auto tree = RTree::Create(pool.get(), config);
+  ASSERT_TRUE(tree.ok());
+  UpdateBatchExecutor exec(&*tree);
+
+  Rng rng(41);
+  std::vector<UpdateOp> ops;
+  for (int i = 0; i < 200; ++i) {
+    ops.push_back(UpdateOp::Insert(RandomRect(rng, 0.03),
+                                   static_cast<ObjectId>(i)));
+  }
+  store.FailNextWrites(3, Status::IoError("injected write fault"));
+  const Status run = exec.Run(ops, nullptr);
+  // The batch may or may not hit a writeback depending on eviction timing;
+  // either way the pool must still flush cleanly once the fault clears.
+  store.FailNextWrites(0, Status::OK());
+  ASSERT_TRUE(pool->FlushAll().ok());
+  ValidationReport report = ValidateTree(&base, tree->root(), config,
+                                         ValidateOptions{});
+  if (run.ok()) {
+    EXPECT_TRUE(report.ok) << (report.issues.empty()
+                                   ? "no issues"
+                                   : report.issues.front());
+    EXPECT_EQ(*tree->CountEntries(), 200u);
+  }
+}
+
+}  // namespace
+}  // namespace rtb::rtree

@@ -8,7 +8,7 @@ Both files must be the same kind of report:
 
   * a bench report (BENCH_*.json: {"bench": ..., "configs": [...]}) — rows
     are matched by their "config" name and the gated metric is
-    "queries_per_sec";
+    "queries_per_sec" ("updates_per_sec" for the update benches);
   * an engine run report (rtb_cli run output: {"report": "rtb-run", ...}) —
     rows are matched by class "label" (plus the "totals" row) and the gated
     metric is "queries_per_second".
@@ -30,7 +30,8 @@ import argparse
 import json
 import sys
 
-THROUGHPUT_KEYS = ("queries_per_sec", "queries_per_second")
+THROUGHPUT_KEYS = ("queries_per_sec", "queries_per_second",
+                   "updates_per_sec")
 # Secondary metrics worth echoing when they move by more than 1%.
 INFO_DELTA = 0.01
 

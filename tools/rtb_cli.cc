@@ -375,6 +375,9 @@ constexpr char kQueryUsage[] =
     "                     [--qx=QX --qy=QY --seed=S --warmup=W]\n"
     "                     [--threads=T --shards=S --batch=N]\n"
     "                     [--async=0|1 --shared=0|1]\n"
+    "                     [--data=FILE --fanout=N]\n"
+    "                     [--insert-frac=F --delete-frac=F "
+    "--update-batch=N]\n"
     "  Execute a random query workload through a buffer pool and report\n"
     "  measured disk accesses next to the model prediction. --threads=1\n"
     "  (default) is the paper's serial, bit-reproducible path. --batch=N\n"
@@ -383,21 +386,40 @@ constexpr char kQueryUsage[] =
     "  classic one-query-at-a-time loop. --async=1 overlaps each batch\n"
     "  window's reads with the previous window's scan (async read engine);\n"
     "  --shared=1 shares one page-ordered frontier across all workers\n"
-    "  (needs --batch >= 2).\n";
+    "  (needs --batch >= 2).\n"
+    "  --data=FILE (instead of --index) bulk-loads the rectangle file into\n"
+    "  an in-memory tree with --fanout. --insert-frac/--delete-frac turn\n"
+    "  the stream into a mixed insert/delete/search workload (requires\n"
+    "  --data and --threads=1); --update-batch=N applies updates in\n"
+    "  group-by-leaf batches of N (1 = tuple-at-a-time Guttman updates).\n";
 
 // Thin wrapper over engine::Run: the flags populate an ExperimentSpec with
-// one uniform query class over the opened index.
+// one uniform query class over the opened index (or a tree built from
+// --data).
 int CmdQuery(int argc, char** argv) {
   if (WantsHelp(argc, argv)) return std::fputs(kQueryUsage, stdout), 0;
   Args args(argc, argv, 2,
             {{"index", ""}, {"buffer", "100"}, {"queries", "100000"},
              {"qx", "0"}, {"qy", "0"}, {"seed", "1"}, {"warmup", "10000"},
              {"threads", "1"}, {"shards", "0"}, {"batch", "1"},
-             {"async", "0"}, {"shared", "0"}});
+             {"async", "0"}, {"shared", "0"}, {"data", ""},
+             {"fanout", "100"}, {"insert-frac", "0"}, {"delete-frac", "0"},
+             {"update-batch", "1"}});
   if (!args.ok()) return FailUsage(args.error(), kQueryUsage);
+  if (args.Get("index").empty() == args.Get("data").empty()) {
+    return FailUsage("query needs exactly one of --index=FILE or "
+                     "--data=FILE", kQueryUsage);
+  }
 
   engine::ExperimentSpec spec;
-  spec.tree.index = args.Get("index");
+  if (!args.Get("index").empty()) {
+    spec.tree.index = args.Get("index");
+  } else {
+    spec.dataset.kind = "file";
+    spec.dataset.path = args.Get("data");
+    spec.tree.fanout =
+        static_cast<uint32_t>(std::max<uint64_t>(2, args.GetInt("fanout")));
+  }
   spec.pool.buffer_pages = args.GetInt("buffer");
   spec.pool.shards = args.GetInt("shards");
   spec.run.threads =
@@ -408,11 +430,16 @@ int CmdQuery(int argc, char** argv) {
       std::max<uint64_t>(1, args.GetInt("batch"));
   spec.storage.async_io = args.GetInt("async") != 0;
   spec.workload.shared_frontier = args.GetInt("shared") != 0;
+  spec.workload.update_batch_size =
+      std::max<uint64_t>(1, args.GetInt("update-batch"));
   engine::QueryClassSpec cls;
   cls.qx = args.GetDouble("qx");
   cls.qy = args.GetDouble("qy");
   cls.count = args.GetInt("queries");
+  cls.insert_frac = args.GetDouble("insert-frac");
+  cls.delete_frac = args.GetDouble("delete-frac");
   spec.workload.classes.push_back(cls);
+  if (Status s = spec.Validate(); !s.ok()) return FailStatus("spec", s);
 
   auto report = engine::Run(spec);
   if (!report.ok()) return FailStatus("workload", report.status());
@@ -432,8 +459,23 @@ int CmdQuery(int argc, char** argv) {
   }
   std::printf("measured:  %.4f disk accesses/query (%.4f nodes/query)\n",
               cr.run.MeanDiskAccesses(), cr.run.MeanNodeAccesses());
-  std::printf("predicted: %.4f disk accesses/query (LRU buffer model)\n",
-              cr.predicted.disk_accesses);
+  if (cr.model_evaluated) {
+    std::printf("predicted: %.4f disk accesses/query (LRU buffer model)\n",
+                cr.predicted.disk_accesses);
+  }
+  if (cr.validated) {
+    std::printf("mixed:     %llu searches, %llu inserts, %llu deletes "
+                "(update batch %llu); tree validated\n",
+                static_cast<unsigned long long>(cr.run.searches),
+                static_cast<unsigned long long>(cr.run.inserts),
+                static_cast<unsigned long long>(cr.run.deletes),
+                static_cast<unsigned long long>(
+                    spec.workload.update_batch_size));
+    std::printf("writes:    %llu pages in %llu syscalls\n",
+                static_cast<unsigned long long>(report->store_io.writes),
+                static_cast<unsigned long long>(
+                    report->store_io.WriteSyscalls()));
+  }
   if (spec.run.threads > 1) {
     std::printf(
         "note: with --threads>1 replacement is per-shard LRU; measured hit\n"

@@ -7,7 +7,7 @@
 # build-checks/<name> so the developer's main build/ tree is untouched.
 #
 #   tools/run_checks.sh            # the full matrix
-#   tools/run_checks.sh release    # one of: release | tsan | asan | ubsan | storage | async
+#   tools/run_checks.sh release    # one of: release | tsan | asan | ubsan | storage | async | update
 #
 # `storage` is a fast focused leg: it reuses the release build and runs only
 # the `storage`-labeled tests (page stores, fault injection, the vectored
@@ -18,8 +18,15 @@
 # synchronous fallback every published counter rests on) and once with the
 # engine on. The TSan leg exercises the same tests under `concurrency`.
 #
+# `update` reuses the release build and runs the `update`-labeled tests
+# (batched insert/delete execution and the write-side fault injection)
+# twice: once on the default write seam (pwritev where available) and once
+# with RTB_VECTORED_IO=scalar forcing one pwrite per page — the suite to
+# iterate on when touching the update executor or the writeback path.
+#
 # The release leg also guards the perf trajectory: it re-runs
-# micro_batch_query, micro_file_io and micro_async_io and diffs them against
+# micro_batch_query, micro_file_io, micro_async_io and micro_update_batch
+# and diffs them against
 # the committed BENCH_*.json baselines with tools/bench_diff.py. The threshold is 25%,
 # not the tool's 10% default: back-to-back identical runs swing +-15% on
 # shared hardware, and the gate is there to catch structural regressions
@@ -36,9 +43,9 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 ONLY="${1:-all}"
 
 case "$ONLY" in
-  all|release|tsan|asan|ubsan|storage|async) ;;
+  all|release|tsan|asan|ubsan|storage|async|update) ;;
   *)
-    echo "unknown configuration: $ONLY (expected release|tsan|asan|ubsan|storage|async)" >&2
+    echo "unknown configuration: $ONLY (expected release|tsan|asan|ubsan|storage|async|update)" >&2
     exit 2
     ;;
 esac
@@ -62,7 +69,8 @@ if wants release; then
   configure_and_build "$ROOT/build-checks/release"
   (cd "$ROOT/build-checks/release" && ctest --output-on-failure)
   echo "==> bench diff vs committed baselines"
-  for bench in micro_batch_query micro_file_io micro_async_io; do
+  for bench in micro_batch_query micro_file_io micro_async_io \
+               micro_update_batch; do
     "$ROOT/build-checks/release/bench/$bench" \
         --json="$ROOT/build-checks/release/BENCH_$bench.json" \
         > "$ROOT/build-checks/release/$bench.log" 2>&1 \
@@ -86,6 +94,14 @@ if wants async; then
       RTB_ASYNC_IO=sync ctest -L async --output-on-failure)
   (cd "$ROOT/build-checks/release" && \
       RTB_ASYNC_IO=1 ctest -L async --output-on-failure)
+fi
+
+if wants update; then
+  echo "==> update (vectored writes, then forced-scalar)"
+  configure_and_build "$ROOT/build-checks/release"
+  (cd "$ROOT/build-checks/release" && ctest -L update --output-on-failure)
+  (cd "$ROOT/build-checks/release" && \
+      RTB_VECTORED_IO=scalar ctest -L update --output-on-failure)
 fi
 
 if wants tsan; then
