@@ -14,6 +14,7 @@
 #include "storage/file_page_store.h"
 #include "storage/replacement.h"
 #include "storage/sharded_buffer_pool.h"
+#include "storage/wal.h"
 
 namespace rtb::engine {
 
@@ -198,6 +199,17 @@ Result<RunReport> Run(const ExperimentSpec& spec) {
   // Same process-wide seam for the async read engine; requesting it on a
   // binary compiled without RTB_ASYNC_IO degrades to the sync path.
   storage::SetAsyncIo(spec.storage.async_io);
+  // The WAL seam does NOT silently degrade: a spec that asks for a durable
+  // write path must not run without one. The env override (RTB_WAL=1) only
+  // applies where a log makes sense — a file-backed, dataset-built store.
+  if (spec.storage.wal.enabled && !storage::WalAvailable()) {
+    return Status::InvalidArgument(
+        "storage.wal.enabled, but this binary was built without RTB_WAL");
+  }
+  const bool use_wal =
+      spec.storage.wal.enabled ||
+      (storage::WalActive() && spec.storage.backend == "file" &&
+       spec.tree.index.empty());
   RunReport report;
   report.spec = spec;
   report.async_active = storage::AsyncIoActive();
@@ -219,6 +231,23 @@ Result<RunReport> Run(const ExperimentSpec& spec) {
     report.pin_seconds = SecondsSince(pin_start);
   }
   report.pinned_pages = pool->num_permanent_pins();
+
+  std::unique_ptr<storage::WalWriter> wal;
+  if (use_wal) {
+    // The bulk load wrote the store directly (no pool, no log), so sync it
+    // and start the log with a checkpoint describing that durable base;
+    // recovery of a crash mid-run replays from here.
+    RTB_RETURN_IF_ERROR(prepared.store->Sync());
+    storage::WalWriter::Options wopts;
+    wopts.group_commit_window = spec.storage.wal.group_commit_window;
+    const std::string wal_path = spec.storage.wal.path.empty()
+                                     ? spec.storage.path + ".wal"
+                                     : spec.storage.wal.path;
+    RTB_ASSIGN_OR_RETURN(wal, storage::WalWriter::Create(wal_path, wopts));
+    RTB_RETURN_IF_ERROR(wal->Checkpoint(prepared.store->num_pages()));
+    pool->AttachWal(wal.get());
+  }
+  report.wal_active = use_wal;
 
   RTB_ASSIGN_OR_RETURN(
       rtree::RTree tree,
@@ -297,12 +326,22 @@ Result<RunReport> Run(const ExperimentSpec& spec) {
 
   report.buffer = pool->AggregateStats();
   report.store_io = prepared.store->stats();
+  if (wal != nullptr) {
+    const storage::WalStats ws = wal->stats();
+    report.store_io.wal_records = ws.records;
+    report.store_io.wal_bytes = ws.bytes;
+    report.store_io.wal_commits = ws.commits;
+    report.store_io.wal_fsyncs = ws.fsyncs;
+  }
   report.async_io =
       storage::AsyncReadEngine::Instance().stats().Delta(async_before);
   // Tear down explicitly so a writeback or final-flush failure surfaces as
   // a Status instead of being swallowed by the destructors. Counters were
-  // captured above, so the flush traffic doesn't perturb the report.
+  // captured above, so the flush traffic doesn't perturb the report. A
+  // WAL-attached pool checkpoints on Close (flush + store sync + log
+  // truncation), so a clean shutdown leaves nothing to recover.
   RTB_RETURN_IF_ERROR(pool->Close());
+  if (wal != nullptr) RTB_RETURN_IF_ERROR(wal->Close());
   RTB_RETURN_IF_ERROR(prepared.store->Close());
   return report;
 }
@@ -347,6 +386,14 @@ report::JsonDict RunReport::ToJsonDict() const {
   store.PutInt("write_batches", store_io.write_batches);
   store.PutInt("write_batch_pages", store_io.write_batch_pages);
   store.PutInt("write_syscalls", store_io.WriteSyscalls());
+  if (wal_active) {
+    // Only present on WAL runs, so a WAL-off report stays byte-identical
+    // to a build without the seam.
+    store.PutInt("wal_records", store_io.wal_records);
+    store.PutInt("wal_bytes", store_io.wal_bytes);
+    store.PutInt("wal_commits", store_io.wal_commits);
+    store.PutInt("wal_fsyncs", store_io.wal_fsyncs);
+  }
   doc.PutDict("store", store);
 
   report::JsonDict async;

@@ -112,6 +112,8 @@ struct RunReport {
   storage::IoStats store_io;    // Store counters over the whole run.
   bool async_active = false;        // Reads routed via the async engine.
   storage::AsyncIoStats async_io;   // Engine counters over the whole run.
+  bool wal_active = false;          // Updates logged through a WAL; the
+                                    // wal_* counters in store_io are live.
 
   sim::WorkloadResult total;    // Counters summed over all classes.
   std::vector<ClassReport> classes;

@@ -80,6 +80,23 @@ Status ParseTree(const JsonValue& v, TreeSpec* out) {
   return Status::OK();
 }
 
+Status ParseWal(const JsonValue& v, WalSpec* out) {
+  if (!v.is_object()) return Bad("storage.wal must be an object");
+  for (const auto& [key, value] : v.members()) {
+    if (key == "enabled") {
+      RTB_RETURN_IF_ERROR(GetBool(value, "storage.wal.enabled", &out->enabled));
+    } else if (key == "path") {
+      RTB_RETURN_IF_ERROR(GetStr(value, "storage.wal.path", &out->path));
+    } else if (key == "group_commit_window") {
+      RTB_RETURN_IF_ERROR(GetUint(value, "storage.wal.group_commit_window",
+                                  &out->group_commit_window));
+    } else {
+      return Bad("unknown key storage.wal." + key);
+    }
+  }
+  return Status::OK();
+}
+
 Status ParseStorage(const JsonValue& v, StorageSpec* out) {
   if (!v.is_object()) return Bad("storage must be an object");
   for (const auto& [key, value] : v.members()) {
@@ -93,6 +110,8 @@ Status ParseStorage(const JsonValue& v, StorageSpec* out) {
     } else if (key == "async_io") {
       RTB_RETURN_IF_ERROR(
           GetBool(value, "storage.async_io", &out->async_io));
+    } else if (key == "wal") {
+      RTB_RETURN_IF_ERROR(ParseWal(value, &out->wal));
     } else {
       return Bad("unknown key storage." + key);
     }
@@ -284,6 +303,14 @@ Status ExperimentSpec::Validate() const {
     // silently go unused.
     return Bad("storage.backend 'file' conflicts with tree.index");
   }
+  if (storage.wal.enabled && storage.backend != "file") {
+    // The log redoes/undoes pages of a real store file; an in-memory store
+    // has nothing to recover.
+    return Bad("storage.wal.enabled requires storage.backend 'file'");
+  }
+  if (storage.wal.group_commit_window == 0) {
+    return Bad("storage.wal.group_commit_window must be >= 1");
+  }
   if (pool.buffer_pages == 0) return Bad("pool.buffer_pages must be >= 1");
   RTB_RETURN_IF_ERROR(ParsePolicyKind(pool.policy).status());
   if (workload.batch_size == 0) {
@@ -363,6 +390,16 @@ report::JsonDict ExperimentSpec::ToJsonDict() const {
   if (!storage.path.empty()) st.PutStr("path", storage.path);
   st.PutBool("vectored_io", storage.vectored_io);
   st.PutBool("async_io", storage.async_io);
+  if (storage.wal.enabled || !storage.wal.path.empty() ||
+      storage.wal.group_commit_window != WalSpec().group_commit_window) {
+    // Omitted entirely at the defaults, so a WAL-off spec round-trips to
+    // the same bytes it produced before the WAL existed.
+    report::JsonDict wal;
+    wal.PutBool("enabled", storage.wal.enabled);
+    if (!storage.wal.path.empty()) wal.PutStr("path", storage.wal.path);
+    wal.PutInt("group_commit_window", storage.wal.group_commit_window);
+    st.PutDict("wal", wal);
+  }
   doc.PutDict("storage", st);
 
   report::JsonDict pl;

@@ -67,6 +67,19 @@ struct TreeSpec {
 /// truncated), exercising the real preadv/pread read path. Ignored — and
 /// rejected by Validate — when tree.index names a persistent index, which
 /// carries its own file.
+/// Write-ahead-log configuration (storage/wal.h). Enabling it switches the
+/// run's pool to the no-force discipline: each drained update batch logs
+/// page images plus one commit record, evictions ensure WAL-durability
+/// before writeback, and the store is opened with recovery (replay a
+/// committed log suffix, discard a torn tail). Requires backend "file".
+struct WalSpec {
+  bool enabled = false;
+  std::string path;  // Log file; empty = storage.path + ".wal".
+  /// Commit records per fdatasync (WalWriter::Options::group_commit_window):
+  /// 1 forces every commit, N defers durability to every Nth commit.
+  uint64_t group_commit_window = 8;
+};
+
 struct StorageSpec {
   std::string backend = "mem";  // mem|file
   std::string path;             // Store file (backend == "file").
@@ -78,6 +91,7 @@ struct StorageSpec {
   /// its published counters. Applies to any backend (a "mem" store just
   /// reads on the engine thread).
   bool async_io = false;
+  WalSpec wal;
 };
 
 /// Buffer pool configuration. `shards == 0` with `threads == 1` selects the

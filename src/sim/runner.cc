@@ -96,6 +96,9 @@ Result<WorkloadResult> ExecuteMixed(rtree::RTree* tree,
             RTB_RETURN_IF_ERROR(tree->Delete(op.rect, op.id).status());
           }
         }
+        // The serial path commits per drain too (the executor path commits
+        // inside Run); a no-op when the pool has no WAL attached.
+        RTB_RETURN_IF_ERROR(tree->pool()->WalCommit());
       } else {
         rtree::UpdateBatchStats ustats;
         RTB_RETURN_IF_ERROR(updater.Run(buffer, &ustats));

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "storage/async_io.h"
+#include "storage/wal.h"
 
 namespace rtb::storage {
 
@@ -129,6 +130,7 @@ Status BufferPool::Close() {
   // An outstanding async batch holds pinned, possibly unread frames; losing
   // track of it here would be a caller bug, not an I/O condition.
   RTB_DCHECK(outstanding_.empty());
+  if (wal_ != nullptr) return WalCheckpoint();
   return FlushAll();
 }
 
@@ -163,9 +165,69 @@ Result<FrameId> BufferPool::AcquireFrame() {
   return victim;
 }
 
+Status BufferPool::WalBeforeWriteback(const FrameId* frames, size_t n) {
+  if (wal_ == nullptr) return Status::OK();
+  Lsn max_lsn = kNoLsn;
+  for (size_t k = 0; k < n; ++k) {
+    FrameMeta& m = frames_[frames[k]];
+    if (m.wal_dirty) {
+      // Steal: the page leaves the pool mid-batch, so its current content
+      // must be in the log — it becomes committed state if the batch's
+      // commit record lands, and the already-logged before-image undoes it
+      // if not.
+      m.lsn = wal_->AppendPageImage(m.page_id, FrameData(frames[k]),
+                                    page_size());
+      m.wal_dirty = false;
+    }
+    max_lsn = std::max(max_lsn, m.lsn);
+  }
+  // WAL-before-data: every image covering these pages is durable before a
+  // single data byte is overwritten.
+  return wal_->EnsureDurable(max_lsn);
+}
+
+void BufferPool::WalLogDirtyImages() {
+  if (wal_ == nullptr) return;
+  for (FrameId f = 0; f < frames_.size(); ++f) {
+    FrameMeta& m = frames_[f];
+    if (m.in_use && m.wal_dirty) {
+      m.lsn = wal_->AppendPageImage(m.page_id, FrameData(f), page_size());
+      m.wal_dirty = false;
+    }
+  }
+}
+
+Status BufferPool::WalCommit() {
+  if (wal_ == nullptr) return Status::OK();
+  WalLogDirtyImages();
+  RTB_ASSIGN_OR_RETURN(Lsn lsn, wal_->Commit(store_->num_pages()));
+  (void)lsn;  // Durability is the writer's business (group-commit window).
+  return Status::OK();
+}
+
+Status BufferPool::WalCheckpoint() {
+  if (wal_ == nullptr) return Status::OK();
+  // FlushAll logs images for anything still wal-dirty and ensures
+  // durability before its writes, so the store ends up a superset of the
+  // log; Sync makes it durable; then the log can restart empty.
+  RTB_RETURN_IF_ERROR(FlushAll());
+  RTB_RETURN_IF_ERROR(store_->Sync());
+  return wal_->Checkpoint(store_->num_pages());
+}
+
+void BufferPool::DiscardAll() {
+  for (FrameMeta& m : frames_) {
+    if (m.in_use) {
+      m.dirty = false;
+      m.wal_dirty = false;
+    }
+  }
+}
+
 Status BufferPool::WritebackVictim(FrameId victim) {
   FrameMeta& meta = frames_[victim];
   if (!store_->CoalescesBatchWrites()) {
+    RTB_RETURN_IF_ERROR(WalBeforeWriteback(&victim, 1));
     Status write = store_->Write(meta.page_id, FrameData(victim));
     if (write.ok()) {
       ++stats_.writebacks;
@@ -203,6 +265,8 @@ Status BufferPool::WritebackVictim(FrameId victim) {
             [this](FrameId a, FrameId b) {
               return frames_[a].page_id < frames_[b].page_id;
             });
+  RTB_RETURN_IF_ERROR(
+      WalBeforeWriteback(wb_frames_.data(), wb_frames_.size()));
   const size_t stride = page_size();
   if (wb_scratch_.size() < wb_frames_.size() * stride) {
     wb_scratch_.resize(wb_frames_.size() * stride);
@@ -476,6 +540,15 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
 
 Result<PageGuard> BufferPool::FetchMutable(PageId id) {
   RTB_ASSIGN_OR_RETURN(FrameId f, PinPage(id));
+  FrameMeta& meta = frames_[f];
+  if (wal_ != nullptr && !meta.wal_dirty) {
+    // First modification of this page since its last logged image: capture
+    // the undo record now, while the frame still holds the pre-batch (or
+    // pre-steal) content. Conservative — a FetchMutable that never writes
+    // logs one redundant image.
+    meta.lsn = wal_->AppendBeforeImage(id, FrameData(f), page_size());
+    meta.wal_dirty = true;
+  }
   return PageGuard(this, Frame{id, FrameData(f), f}, /*mark_dirty=*/true);
 }
 
@@ -492,6 +565,9 @@ Result<FrameId> BufferPool::InstallNewPage(PageId id) {
   meta.permanent = false;
   meta.dirty = true;
   meta.in_use = true;
+  // A fresh page needs no before-image: undo of an uncommitted allocation
+  // is the recovery-time truncation to the committed page count.
+  meta.wal_dirty = wal_ != nullptr;
   std::fill(FrameData(f), FrameData(f) + page_size(), uint8_t{0});
   page_table_.Insert(id, f);
   policy_->RecordAccess(f);
@@ -580,6 +656,8 @@ Status BufferPool::FlushAll() {
             [this](FrameId a, FrameId b) {
               return frames_[a].page_id < frames_[b].page_id;
             });
+  RTB_RETURN_IF_ERROR(
+      WalBeforeWriteback(wb_frames_.data(), wb_frames_.size()));
   if (!store_->CoalescesBatchWrites()) {
     for (const FrameId f : wb_frames_) {
       RTB_RETURN_IF_ERROR(store_->Write(frames_[f].page_id, FrameData(f)));

@@ -31,6 +31,8 @@
 
 namespace rtb::storage {
 
+class WalWriter;
+
 /// Hit/miss counters for a page cache.
 struct BufferStats {
   uint64_t requests = 0;    // Logical page requests.
@@ -208,6 +210,37 @@ class PageCache {
   /// state (permanently pinned pages stay).
   virtual Status EvictAll() = 0;
 
+  /// Attaches a write-ahead log (storage/wal.h), switching the cache to the
+  /// no-force + WAL-before-writeback discipline: the first modification of
+  /// a page since the last commit logs its before-image, commits log
+  /// after-images instead of forcing pages out, and any writeback (eviction
+  /// steal, FlushAll) first ensures the page's latest logged image is
+  /// durable. `wal` is not owned and must outlive the cache. Default: the
+  /// cache has no WAL and behaves exactly as before (the seam off).
+  virtual void AttachWal(WalWriter* wal) { (void)wal; }
+
+  /// The writer passed to AttachWal, or null when the cache runs without a
+  /// WAL. Lets callers above the cache (e.g. the update executor) append
+  /// logical records to the same log their WalCommit targets.
+  virtual WalWriter* attached_wal() const { return nullptr; }
+
+  /// Commit point for the attached WAL: logs an after-image for every page
+  /// modified since the last commit and appends one commit record (made
+  /// durable per the writer's group-commit window). Pages stay dirty in the
+  /// pool — no data-file I/O here (no-force). A no-op without a WAL.
+  virtual Status WalCommit() { return Status::OK(); }
+
+  /// Checkpoint: flush every dirty page (WAL-first), fsync the store, then
+  /// truncate the log to a fresh checkpoint record. After this, recovery
+  /// has nothing to replay. A no-op without a WAL.
+  virtual Status WalCheckpoint() { return Status::OK(); }
+
+  /// Drops all dirty state without writing anything — the teardown of a
+  /// simulated crash, where the dying process's buffered pages must NOT
+  /// reach the store. Frames stay resident but clean; the cache is only
+  /// good for destruction afterwards.
+  virtual void DiscardAll() {}
+
   /// True if `id` currently resides in the cache (no access recorded).
   virtual bool Contains(PageId id) const = 0;
 
@@ -287,8 +320,16 @@ class BufferPool final : public PageCache {
   Status FlushAll() override;
   Status EvictAll() override;
 
+  void AttachWal(WalWriter* wal) override { wal_ = wal; }
+  WalWriter* attached_wal() const override { return wal_; }
+  Status WalCommit() override;
+  Status WalCheckpoint() override;
+  void DiscardAll() override;
+
   /// Checked final flush. Outstanding BeginFetchBatch handles must be
-  /// finished or abandoned first (DCHECKed).
+  /// finished or abandoned first (DCHECKed). With a WAL attached this is a
+  /// checkpoint (flush + store sync + log truncation) so the log does not
+  /// outlive the pool with stale content.
   Status Close() override;
 
   bool Contains(PageId id) const override {
@@ -306,6 +347,10 @@ class BufferPool final : public PageCache {
 
   struct FrameMeta {
     PageId page_id = kInvalidPageId;
+    // LSN of the frame's latest logged WAL image (before- or after-image);
+    // writeback must EnsureDurable up to here first. kNoLsn when the page
+    // was never logged (WAL off, or content unchanged since the store).
+    Lsn lsn = kNoLsn;
     // Plain counter: every access is serialized — externally for a bare
     // BufferPool (single-threaded by contract), by the owning shard's mutex
     // for ShardedBufferPool (every entry point, including PageGuard
@@ -315,13 +360,19 @@ class BufferPool final : public PageCache {
     bool permanent = false;
     bool dirty = false;
     bool in_use = false;
+    // Modified since the last WAL image of this frame was logged (commit,
+    // steal or flush). Set at the first FetchMutable since then — which is
+    // also when the before-image is captured — and at NewPage.
+    bool wal_dirty = false;
 
     void Reset() {
       page_id = kInvalidPageId;
+      lsn = kNoLsn;
       pin_count = 0;
       permanent = false;
       dirty = false;
       in_use = false;
+      wal_dirty = false;
     }
   };
 
@@ -407,11 +458,26 @@ class BufferPool final : public PageCache {
   // the staged entries to the caller.
   Status CollectPendingRead(uint64_t token, std::vector<BatchEntry>* entries);
 
+  // WAL pre-step of any writeback: logs a fresh after-image for every
+  // wal-dirty frame of the set (clearing the flag — the image now reflects
+  // the content being written) and blocks until the latest image of every
+  // frame is durable. A no-op without an attached WAL. Used by
+  // WritebackVictim and FlushAll before their store writes.
+  Status WalBeforeWriteback(const FrameId* frames, size_t n);
+
+  // Logs an after-image for every wal-dirty frame (clearing the flags)
+  // without forcing durability — the front half of a commit. Shared with
+  // ShardedBufferPool, whose WalCommit runs this per shard and then writes
+  // one commit record for all of them.
+  void WalLogDirtyImages();
+
   uint8_t* FrameData(FrameId f) {
     return buffer_.data() + static_cast<size_t>(f) * page_size();
   }
 
   PageStore* store_;
+  // Not owned; null = WAL discipline off (the historical write path).
+  WalWriter* wal_ = nullptr;
   size_t capacity_;
   std::unique_ptr<ReplacementPolicy> policy_;
   std::vector<uint8_t> buffer_;

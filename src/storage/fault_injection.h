@@ -9,11 +9,66 @@
 #ifndef RTB_STORAGE_FAULT_INJECTION_H_
 #define RTB_STORAGE_FAULT_INJECTION_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <vector>
 
 #include "storage/page_store.h"
+#include "storage/wal.h"
 
 namespace rtb::storage {
+
+/// A syscall budget shared by everything a simulated process touches (its
+/// page store via ArmCrash, its WAL via CrashWalHook): each store
+/// read/write/allocation/sync and each WAL write/sync sync-point consumes
+/// one tick, and the first operation past the budget "crashes" — it fails,
+/// and every operation after it fails too (`dead`). Sweeping `budget` over
+/// [0, N] in a test crashes the same deterministic workload at every
+/// possible I/O point.
+struct CrashClock {
+  uint64_t budget = UINT64_MAX;  // Operations allowed before the crash.
+  bool torn = false;             // The dying write persists a prefix.
+  uint64_t torn_bytes = 0;       // How much of the dying write survives.
+  bool dead = false;
+
+  /// Consumes one tick. Returns true while the process lives; `*dying` is
+  /// set (once) on the exact operation that crosses the budget, which is
+  /// the only one eligible for a torn prefix.
+  bool Tick(bool* dying = nullptr) {
+    if (dead) return false;
+    if (budget == 0) {
+      dead = true;
+      if (dying != nullptr) *dying = true;
+      return false;
+    }
+    --budget;
+    return true;
+  }
+};
+
+/// WalFaultHook driving WalWriter from a CrashClock, so the log and the
+/// store die at the same moment of the same simulated process.
+class CrashWalHook final : public WalFaultHook {
+ public:
+  explicit CrashWalHook(CrashClock* clock) : clock_(clock) {
+    RTB_CHECK(clock_ != nullptr);
+  }
+
+  size_t BeforeWrite(size_t len) override {
+    bool dying = false;
+    if (clock_->Tick(&dying)) return len;
+    if (dying && clock_->torn) {
+      return std::min<size_t>(clock_->torn_bytes, len);
+    }
+    return 0;
+  }
+
+  bool FailSync() override { return !clock_->Tick(); }
+
+ private:
+  CrashClock* clock_;
+};
 
 /// Pass-through PageStore that can fail reads/writes/allocations on
 /// demand. Not thread-safe (like the rest of the storage layer).
@@ -57,6 +112,16 @@ class FaultInjectingPageStore final : public PageStore {
     write_poisoned_status_ = std::move(status);
   }
 
+  /// Arms crash simulation: every read/write/allocation/sync ticks
+  /// `clock`, and the operation that exhausts its budget fails — tearing a
+  /// prefix of the dying page write into the base store when `clock->torn`
+  /// is set — after which every operation fails. Batches degrade to
+  /// page-at-a-time while armed, so the budget counts (and the crash can
+  /// land between) individual pages. Pass nullptr to disarm. `clock` is
+  /// not owned and is shared with the CrashWalHook of the same simulated
+  /// process.
+  void ArmCrash(CrashClock* clock) { crash_ = clock; }
+
   size_t page_size() const override { return base_->page_size(); }
   PageId num_pages() const override { return base_->num_pages(); }
   bool CoalescesBatchReads() const override {
@@ -67,6 +132,9 @@ class FaultInjectingPageStore final : public PageStore {
   }
 
   Result<PageId> Allocate() override {
+    if (crash_ != nullptr && !crash_->Tick()) {
+      return Status::IoError("simulated crash at allocation");
+    }
     if (failing_allocations_ > 0) {
       --failing_allocations_;
       return alloc_status_;
@@ -75,6 +143,9 @@ class FaultInjectingPageStore final : public PageStore {
   }
 
   Status Read(PageId id, uint8_t* out) override {
+    if (crash_ != nullptr && !crash_->Tick()) {
+      return Status::IoError("simulated crash at page read");
+    }
     if (poisoned_page_ == id) return poisoned_status_;
     if (failing_reads_ > 0) {
       --failing_reads_;
@@ -89,7 +160,7 @@ class FaultInjectingPageStore final : public PageStore {
     // matters if this batch contains it. Healthy batches keep the base
     // store's vectored behavior (and its read_batches accounting), so fault
     // tests measure the same batch I/O production takes.
-    bool would_fault = failing_reads_ > 0;
+    bool would_fault = failing_reads_ > 0 || crash_ != nullptr;
     if (!would_fault && poisoned_page_ != kInvalidPageId) {
       for (size_t i = 0; i < n; ++i) {
         if (ids[i] == poisoned_page_) {
@@ -111,6 +182,23 @@ class FaultInjectingPageStore final : public PageStore {
   }
 
   Status Write(PageId id, const uint8_t* data) override {
+    if (crash_ != nullptr) {
+      bool dying = false;
+      if (!crash_->Tick(&dying)) {
+        if (dying && crash_->torn && crash_->torn_bytes > 0) {
+          // Torn page write: a prefix of the new bytes lands over the old
+          // content — exactly what a power cut mid-write leaves behind.
+          const size_t prefix =
+              std::min<size_t>(crash_->torn_bytes, page_size());
+          torn_scratch_.resize(page_size());
+          if (base_->Read(id, torn_scratch_.data()).ok()) {
+            std::memcpy(torn_scratch_.data(), data, prefix);
+            (void)base_->Write(id, torn_scratch_.data());
+          }
+        }
+        return Status::IoError("simulated crash at page write");
+      }
+    }
     if (write_poisoned_page_ == id) return write_poisoned_status_;
     if (failing_writes_ > 0) {
       --failing_writes_;
@@ -125,7 +213,7 @@ class FaultInjectingPageStore final : public PageStore {
     // fault falls back to page-at-a-time, so healthy batches keep the base
     // store's pwritev coalescing (and its write_batches accounting), and an
     // armed countdown lands at exactly the page it would hit serially.
-    bool would_fault = failing_writes_ > 0;
+    bool would_fault = failing_writes_ > 0 || crash_ != nullptr;
     if (!would_fault && write_poisoned_page_ != kInvalidPageId) {
       for (size_t i = 0; i < n; ++i) {
         if (ids[i] == write_poisoned_page_) {
@@ -141,6 +229,13 @@ class FaultInjectingPageStore final : public PageStore {
       RTB_RETURN_IF_ERROR(Write(ids[i], data + i * page_size()));
     }
     return Status::OK();
+  }
+
+  Status Sync() override {
+    if (crash_ != nullptr && !crash_->Tick()) {
+      return Status::IoError("simulated crash at store sync");
+    }
+    return base_->Sync();
   }
 
   Status Close() override { return base_->Close(); }
@@ -164,6 +259,8 @@ class FaultInjectingPageStore final : public PageStore {
   Status poisoned_status_ = Status::IoError("poisoned page");
   PageId write_poisoned_page_ = kInvalidPageId;
   Status write_poisoned_status_ = Status::IoError("poisoned page write");
+  CrashClock* crash_ = nullptr;  // Not owned; null = crash sim disarmed.
+  std::vector<uint8_t> torn_scratch_;
 };
 
 }  // namespace rtb::storage

@@ -1,6 +1,7 @@
 #include "storage/file_page_store.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
@@ -10,6 +11,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <vector>
+
+#include "storage/wal.h"
 
 namespace rtb::storage {
 namespace {
@@ -121,6 +124,12 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
   {
     std::lock_guard<std::mutex> lock(store->mu_);
     RTB_RETURN_IF_ERROR(store->WriteHeader());
+    // fsync-on-create (behind the DurableSync seam): a store that claims to
+    // exist must survive a crash right after Create, or recovery would find
+    // a missing/empty file where the WAL expects a formatted one.
+    if (DurableSyncActive() && ::fsync(fd) != 0) {
+      return Status::IoError(path + ": fsync after create failed");
+    }
   }
   return store;
 }
@@ -172,7 +181,7 @@ Status FilePageStore::Close() {
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return Status::OK();
   Status result = WriteHeader();
-  if (result.ok() && ::fsync(fd_) != 0) {
+  if (result.ok() && DurableSyncActive() && ::fsync(fd_) != 0) {
     result = Status::IoError(path_ + ": fsync failed");
   }
   // The descriptor is released even when the flush failed: a half-closed
@@ -182,6 +191,13 @@ Status FilePageStore::Close() {
   }
   fd_ = -1;
   return result;
+}
+
+void FilePageStore::Abandon() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
 }
 
 DirectReadSource FilePageStore::direct_read_source() const {
@@ -384,10 +400,140 @@ Status FilePageStore::WriteBatch(const PageId* ids, size_t n,
 Status FilePageStore::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
   RTB_RETURN_IF_ERROR(WriteHeader());
-  if (::fsync(fd_) != 0) {
+  if (DurableSyncActive() && ::fsync(fd_) != 0) {
     return Status::IoError(path_ + ": fsync failed");
   }
   return Status::OK();
+}
+
+Status FilePageStore::ResizeToPages(PageId n) {
+  const PageId current = num_pages_.load(std::memory_order_acquire);
+  if (n == current) return Status::OK();
+  if (n < current) {
+    // Undo of uncommitted allocations: pages past the committed count hold
+    // garbage from a batch that never committed; cut them off.
+    if (::ftruncate(fd_, PageOffset(n, page_size_)) != 0) {
+      return Status::IoError(path_ + ": recovery truncate failed");
+    }
+  } else {
+    // Committed allocations whose zero-fill write may not have completed:
+    // extend with zeros, then the committed after-images overwrite them.
+    std::vector<uint8_t> zeros(page_size_, 0);
+    for (PageId id = current; id < n; ++id) {
+      if (!PwriteFull(fd_, zeros.data(), page_size_,
+                      PageOffset(id, page_size_))) {
+        return Status::IoError(path_ + ": recovery page extension failed");
+      }
+    }
+  }
+  num_pages_.store(n, std::memory_order_release);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::OpenWithRecovery(
+    const std::string& path, const std::string& wal_path,
+    WalRecoveryReport* report) {
+  WalRecoveryReport local;
+  WalRecoveryReport& rep = report != nullptr ? *report : local;
+  rep = WalRecoveryReport{};
+  RTB_ASSIGN_OR_RETURN(std::unique_ptr<FilePageStore> store, Open(path));
+
+  Result<std::unique_ptr<WalReader>> reader = WalReader::Open(wal_path);
+  if (!reader.ok()) {
+    if (reader.status().code() == StatusCode::kNotFound) {
+      return store;  // No log, nothing to recover.
+    }
+    return reader.status();
+  }
+
+  // Scan the whole valid prefix. Checkpoints truncate the file when they
+  // are written, so the last checkpoint is normally record 0 — but recovery
+  // replays from the *last* one regardless, which also covers a log that
+  // somehow accreted several.
+  std::vector<WalRecord> records;
+  WalRecord rec;
+  size_t restart = 0;  // Index of the record after the last checkpoint.
+  Lsn last_commit = kNoLsn;
+  // Baseline committed page count: the on-disk header (durable as of the
+  // last store Sync), overridden by the last checkpoint, overridden by the
+  // last commit.
+  uint64_t committed_pages = store->num_pages();
+  while ((*reader)->Next(&rec)) {
+    if (rec.type == WalRecordType::kCheckpoint) {
+      restart = records.size() + 1;
+      committed_pages = rec.num_pages;
+    } else if (rec.type == WalRecordType::kCommit) {
+      last_commit = rec.lsn;
+      committed_pages = rec.num_pages;
+    }
+    records.push_back(std::move(rec));
+  }
+  rep.wal_found = true;
+  rep.records_scanned = records.size();
+  rep.tail_torn = (*reader)->torn_tail();
+  rep.last_commit_lsn = last_commit;
+
+  if (committed_pages > kInvalidPageId) {
+    return Status::Corruption(wal_path + ": implausible committed page count");
+  }
+  {
+    std::lock_guard<std::mutex> lock(store->mu_);
+    RTB_RETURN_IF_ERROR(
+        store->ResizeToPages(static_cast<PageId>(committed_pages)));
+  }
+  // Redo: committed after-images in LSN (= file) order. Images the store
+  // already has are rewritten — idempotent and simpler than tracking page
+  // LSNs on disk.
+  const size_t stride = store->page_size();
+  for (size_t i = restart; i < records.size(); ++i) {
+    const WalRecord& r = records[i];
+    if (r.type != WalRecordType::kPageImage || r.lsn > last_commit) continue;
+    if (r.payload.size() != stride || r.page_id >= committed_pages) {
+      return Status::Corruption(wal_path + ": malformed page image record");
+    }
+    RTB_RETURN_IF_ERROR(store->Write(r.page_id, r.payload.data()));
+    ++rep.redo_pages;
+  }
+  // Undo: the uncommitted suffix's before-images in reverse order. A page
+  // dirtied, stolen and re-dirtied logs several before-images; reverse
+  // application makes the earliest (the committed content) land last.
+  for (size_t i = records.size(); i > restart; --i) {
+    const WalRecord& r = records[i - 1];
+    if (r.type != WalRecordType::kBeforeImage || r.lsn <= last_commit) {
+      continue;
+    }
+    if (r.payload.size() != stride) {
+      return Status::Corruption(wal_path + ": malformed before-image record");
+    }
+    if (r.page_id >= committed_pages) continue;  // Truncated away above.
+    RTB_RETURN_IF_ERROR(store->Write(r.page_id, r.payload.data()));
+    ++rep.undo_pages;
+  }
+  // The recovered state must be durable before the log that produced it is
+  // discarded.
+  RTB_RETURN_IF_ERROR(store->Sync());
+  {
+    const int wal_fd = ::open(wal_path.c_str(), O_WRONLY);
+    if (wal_fd < 0) {
+      return Status::IoError("cannot reopen wal for truncation: " + wal_path);
+    }
+    struct stat st;
+    if (::fstat(wal_fd, &st) == 0 &&
+        static_cast<uint64_t>(st.st_size) > (*reader)->valid_bytes()) {
+      rep.torn_bytes =
+          static_cast<uint64_t>(st.st_size) - (*reader)->valid_bytes();
+    }
+    const bool truncated = ::ftruncate(wal_fd, 0) == 0;
+    const bool synced = !DurableSyncActive() || ::fsync(wal_fd) == 0;
+    ::close(wal_fd);
+    if (!truncated || !synced) {
+      return Status::IoError(wal_path + ": wal reset after recovery failed");
+    }
+  }
+  // Replay I/O is recovery cost, not workload cost; runs opened through
+  // recovery report the same counters a clean open would.
+  store->ResetStats();
+  return store;
 }
 
 }  // namespace rtb::storage

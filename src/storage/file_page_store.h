@@ -50,6 +50,18 @@ bool VectoredIoActive();
 /// but the binary lacks the path. Disabling always succeeds.
 bool SetVectoredIo(bool on);
 
+/// What FilePageStore::OpenWithRecovery found and did. All-zero (with
+/// `wal_found == false`) when there was no log to recover from.
+struct WalRecoveryReport {
+  bool wal_found = false;
+  bool tail_torn = false;        // The log ended in a torn/corrupt frame.
+  uint64_t records_scanned = 0;  // Valid records in the log.
+  uint64_t torn_bytes = 0;       // Bytes discarded after the valid prefix.
+  uint64_t redo_pages = 0;       // Committed after-images replayed.
+  uint64_t undo_pages = 0;       // Uncommitted before-images rolled back.
+  Lsn last_commit_lsn = 0;       // kNoLsn when no commit survived.
+};
+
 /// File-backed PageStore. Create with Open (existing file) or Create (new
 /// or truncated file); both return errors rather than throwing.
 class FilePageStore final : public PageStore {
@@ -61,6 +73,19 @@ class FilePageStore final : public PageStore {
   /// Opens an existing store file; the page size and count come from the
   /// header.
   static Result<std::unique_ptr<FilePageStore>> Open(const std::string& path);
+
+  /// Opens `path` and recovers it against the write-ahead log at
+  /// `wal_path`: scans the log from its last checkpoint, discards the torn
+  /// tail (CRC), replays the committed suffix's after-images in LSN order,
+  /// rolls uncommitted changes back through their before-images in reverse,
+  /// truncates the page count to the last committed count, fsyncs the data
+  /// file (DurableSync seam) and finally truncates the log — so a repeated
+  /// recovery is a no-op. A missing log file means nothing to recover
+  /// (plain Open semantics). `report`, when non-null, receives what was
+  /// found and done.
+  static Result<std::unique_ptr<FilePageStore>> OpenWithRecovery(
+      const std::string& path, const std::string& wal_path,
+      WalRecoveryReport* report = nullptr);
 
   FilePageStore(const FilePageStore&) = delete;
   FilePageStore& operator=(const FilePageStore&) = delete;
@@ -109,8 +134,12 @@ class FilePageStore final : public PageStore {
     write_batch_pages_.store(0, std::memory_order_relaxed);
   }
 
-  /// Flushes the header and data to the OS.
-  Status Sync();
+  /// Writes the header and forces everything to stable storage with
+  /// fsync(2) — the store's durability point (WAL checkpoints call it
+  /// between flushing the pool and truncating the log). The fsync honors
+  /// the DurableSync seam (RTB_NO_FSYNC / SetDurableSync); the header write
+  /// always happens.
+  Status Sync() override;
 
   /// Sync + close(2), releasing the descriptor. Idempotent (a second call
   /// returns OK); every error on the way out is reported, but the
@@ -124,6 +153,12 @@ class FilePageStore final : public PageStore {
   DirectReadSource direct_read_source() const override;
   void RecordDirectRead(size_t run_pages) override;
 
+  /// Releases the descriptor *without* the final header write + fsync —
+  /// the teardown of a simulated crash, where nothing the dying process
+  /// does may reach the file. Idempotent; the store must not be used
+  /// afterwards (the destructor sees it already closed).
+  void Abandon();
+
   const std::string& path() const { return path_; }
 
  private:
@@ -135,6 +170,10 @@ class FilePageStore final : public PageStore {
 
   // Requires mu_ to be held.
   Status WriteHeader();
+
+  // Recovery helper: grows (zero-filling) or shrinks (ftruncate) the file
+  // to exactly `n` pages. Requires mu_ to be held.
+  Status ResizeToPages(PageId n);
 
   std::string path_;
   int fd_ = -1;

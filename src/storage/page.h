@@ -23,6 +23,16 @@ inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
 /// 100 (16-byte header + 100 * 40-byte entries = 4016 bytes).
 inline constexpr size_t kDefaultPageSize = 4096;
 
+/// Log sequence number: the position of a write-ahead-log record in the
+/// total order of WAL appends (storage/wal.h). LSNs start at 1 and are
+/// monotonic within one log; the buffer pools tag each frame with the LSN
+/// of its latest logged image so writeback can enforce WAL-before-data.
+using Lsn = uint64_t;
+
+/// Sentinel for "never logged": ordered before every real LSN, so
+/// `EnsureDurable(kNoLsn)` is a no-op.
+inline constexpr Lsn kNoLsn = 0;
+
 }  // namespace rtb::storage
 
 #endif  // RTB_STORAGE_PAGE_H_

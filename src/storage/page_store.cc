@@ -1,10 +1,39 @@
 #include "storage/page_store.h"
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <string>
 
 namespace rtb::storage {
+
+namespace {
+
+bool InitialDurableSync() {
+  if (const char* env = std::getenv("RTB_NO_FSYNC")) {
+    if (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+        std::strcmp(env, "true") == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::atomic<bool>& DurableSyncSlot() {
+  static std::atomic<bool> slot{InitialDurableSync()};
+  return slot;
+}
+
+}  // namespace
+
+bool DurableSyncActive() {
+  return DurableSyncSlot().load(std::memory_order_relaxed);
+}
+
+void SetDurableSync(bool on) {
+  DurableSyncSlot().store(on, std::memory_order_relaxed);
+}
 
 MemPageStore::MemPageStore(size_t page_size) : page_size_(page_size) {
   RTB_CHECK(page_size > 0);

@@ -25,6 +25,16 @@
 
 namespace rtb::storage {
 
+/// Whether stores and the WAL issue real fsync/fdatasync at their
+/// durability points (Create, Sync, Close, commit sync points). On by
+/// default; the RTB_NO_FSYNC environment variable (1|on|true) or
+/// SetDurableSync(false) turns the syscalls off — for tests and benches on
+/// shared hardware, where a real fsync is slow and noisy. Durability
+/// *counters* (IoStats::wal_fsyncs) still advance with the seam off, so
+/// fsync-count assertions and benches are deterministic either way.
+bool DurableSyncActive();
+void SetDurableSync(bool on);
+
 /// Cumulative I/O counters for a PageStore (a plain snapshot; the stores
 /// keep the live counters in atomics).
 ///
@@ -49,6 +59,14 @@ struct IoStats {
   uint64_t batch_pages = 0;   // Pages covered by those operations.
   uint64_t write_batches = 0;      // Coalesced (vectored) write operations.
   uint64_t write_batch_pages = 0;  // Pages covered by those operations.
+
+  // Write-ahead-log counters (storage/wal.h), merged in by callers that run
+  // a WalWriter next to the store (engine::Run). All zero when the WAL seam
+  // is off, so WAL-off runs report byte-identical stats to pre-WAL builds.
+  uint64_t wal_records = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_commits = 0;
+  uint64_t wal_fsyncs = 0;
 
   double PagesPerBatch() const {
     return read_batches == 0 ? 0.0
@@ -132,6 +150,12 @@ class PageStore {
   /// optimization hint — WriteBatch is correct (and counts identically)
   /// regardless.
   virtual bool CoalescesBatchWrites() const { return false; }
+
+  /// Makes every write issued so far durable (header + data + fsync for
+  /// FilePageStore, honoring the DurableSync seam). A no-op for stores with
+  /// nothing to sync (MemPageStore). The WAL checkpoint protocol calls this
+  /// between flushing the pool and truncating the log.
+  virtual Status Sync() { return Status::OK(); }
 
   /// Flushes any store-held state and releases the underlying resource,
   /// surfacing the errors the destructor would otherwise have to swallow

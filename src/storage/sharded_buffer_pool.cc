@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "storage/wal.h"
+
 namespace rtb::storage {
 
 namespace {
@@ -173,6 +175,41 @@ Status ShardedBufferPool::EvictAll() {
     RTB_RETURN_IF_ERROR(shard->pool->EvictAll());
   }
   return Status::OK();
+}
+
+void ShardedBufferPool::AttachWal(WalWriter* wal) {
+  wal_ = wal;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->pool->AttachWal(wal);
+  }
+}
+
+Status ShardedBufferPool::WalCommit() {
+  if (wal_ == nullptr) return Status::OK();
+  // Image every shard's modified pages first, then one commit record
+  // covers the whole pool's batch.
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->pool->WalLogDirtyImages();
+  }
+  RTB_ASSIGN_OR_RETURN(Lsn lsn, wal_->Commit(store_->num_pages()));
+  (void)lsn;
+  return Status::OK();
+}
+
+Status ShardedBufferPool::WalCheckpoint() {
+  if (wal_ == nullptr) return Status::OK();
+  RTB_RETURN_IF_ERROR(FlushAll());
+  RTB_RETURN_IF_ERROR(store_->Sync());
+  return wal_->Checkpoint(store_->num_pages());
+}
+
+void ShardedBufferPool::DiscardAll() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->pool->DiscardAll();
+  }
 }
 
 bool ShardedBufferPool::Contains(PageId id) const {

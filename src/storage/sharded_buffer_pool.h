@@ -90,6 +90,23 @@ class ShardedBufferPool final : public PageCache {
   Status FlushAll() override;
   Status EvictAll() override;
 
+  /// Like BufferPool::Close: a WAL-attached pool checkpoints on the way
+  /// out so the log does not outlive it with stale content.
+  Status Close() override {
+    if (wal_ != nullptr) return WalCheckpoint();
+    return FlushAll();
+  }
+
+  /// WAL surface: the writer is shared (it is internally synchronized);
+  /// each shard logs its own images under its own lock, and a commit or
+  /// checkpoint writes ONE record for the whole pool — batch atomicity is
+  /// pool-wide, not per-shard.
+  void AttachWal(WalWriter* wal) override;
+  WalWriter* attached_wal() const override { return wal_; }
+  Status WalCommit() override;
+  Status WalCheckpoint() override;
+  void DiscardAll() override;
+
   bool Contains(PageId id) const override;
 
   BufferStats AggregateStats() const override;
@@ -117,6 +134,7 @@ class ShardedBufferPool final : public PageCache {
   void Unpin(const Frame& frame, bool dirty) override;
 
   PageStore* store_;
+  WalWriter* wal_ = nullptr;  // Not owned; null = WAL off.
   size_t capacity_;
   size_t shard_mask_;
   std::vector<std::unique_ptr<Shard>> shards_;

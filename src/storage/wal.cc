@@ -1,0 +1,395 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "storage/page_store.h"  // DurableSyncActive()
+
+namespace rtb::storage {
+namespace {
+
+// On-disk frame: a 24-byte header followed by payload_len payload bytes.
+// The CRC covers everything after itself (length, LSN, type, page id,
+// payload), so any bit of a half-written record fails the check.
+struct WalDiskHeader {
+  uint32_t crc;
+  uint32_t payload_len;
+  uint64_t lsn;
+  uint32_t type;
+  uint32_t page_id;
+};
+static_assert(sizeof(WalDiskHeader) == 24);
+
+constexpr size_t kWalHeaderSize = sizeof(WalDiskHeader);
+// Sanity bound while scanning: no record's payload exceeds this (pages are
+// a few KiB; logical payloads are tiny). Anything larger is torn garbage.
+constexpr uint32_t kMaxWalPayload = 1u << 24;
+// iovec count per writev call; groups larger than this chunk (far below
+// IOV_MAX everywhere).
+constexpr size_t kMaxWalIov = 512;
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+const uint32_t* Crc32Table() {
+  static uint32_t table[256];
+  static bool initialized = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)initialized;
+  return table;
+}
+
+uint32_t Crc32(uint32_t crc, const uint8_t* data, size_t len) {
+  const uint32_t* table = Crc32Table();
+  crc = ~crc;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+bool InitialWal() {
+#if defined(RTB_WAL_ENABLED)
+  if (const char* env = std::getenv("RTB_WAL")) {
+    if (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0) {
+      return true;
+    }
+  }
+#endif
+  return false;
+}
+
+std::atomic<bool>& WalSlot() {
+  static std::atomic<bool> slot{InitialWal()};
+  return slot;
+}
+
+}  // namespace
+
+bool WalAvailable() {
+#if defined(RTB_WAL_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool WalActive() { return WalSlot().load(std::memory_order_relaxed); }
+
+bool SetWal(bool on) {
+  if (on && !WalAvailable()) return false;
+  WalSlot().store(on, std::memory_order_relaxed);
+  return true;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(const std::string& path,
+                                                     Options options) {
+  if (options.group_commit_window == 0) {
+    return Status::InvalidArgument("wal: group_commit_window must be >= 1");
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot create wal " + path);
+  }
+  // fsync-on-create: the (empty) log must exist durably before any record
+  // in it can claim to. Directory-entry durability would additionally need
+  // an fsync of the parent directory; we stop at the file, like the store.
+  if (DurableSyncActive() && ::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::IoError(path + ": fsync after create failed");
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(path, fd, options));
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(const std::string& path) {
+  return Create(path, Options());
+}
+
+WalWriter::~WalWriter() {
+  const bool dead = !sticky_error_.ok();
+  Status s = Close();
+  if (!s.ok() && !dead) {
+    // A dead (simulated-crash) writer failing to close is expected; a live
+    // one losing its final drain is not.
+    std::fprintf(stderr,
+                 "WalWriter: final drain failed in destructor (call Close() "
+                 "to handle): %s\n",
+                 s.ToString().c_str());
+  }
+}
+
+Lsn WalWriter::AppendLocked(WalRecordType type, PageId page_id,
+                            const uint8_t* payload, size_t len) {
+  const Lsn lsn = next_lsn_++;
+  std::vector<uint8_t> rec(kWalHeaderSize + len);
+  WalDiskHeader header;
+  header.crc = 0;
+  header.payload_len = static_cast<uint32_t>(len);
+  header.lsn = lsn;
+  header.type = static_cast<uint32_t>(type);
+  header.page_id = page_id;
+  std::memcpy(rec.data(), &header, kWalHeaderSize);
+  if (len > 0) std::memcpy(rec.data() + kWalHeaderSize, payload, len);
+  const uint32_t crc =
+      Crc32(0, rec.data() + sizeof(uint32_t), rec.size() - sizeof(uint32_t));
+  std::memcpy(rec.data(), &crc, sizeof(crc));
+  buffered_lsn_ = lsn;
+  ++stats_.records;
+  stats_.bytes += rec.size();
+  pending_.push_back(std::move(rec));
+  return lsn;
+}
+
+Lsn WalWriter::AppendPageImage(PageId id, const uint8_t* data, size_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendLocked(WalRecordType::kPageImage, id, data, len);
+}
+
+Lsn WalWriter::AppendBeforeImage(PageId id, const uint8_t* data, size_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendLocked(WalRecordType::kBeforeImage, id, data, len);
+}
+
+Lsn WalWriter::AppendLogicalUpdate(const uint8_t* data, size_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendLocked(WalRecordType::kLogicalUpdate, kInvalidPageId, data,
+                      len);
+}
+
+Result<Lsn> WalWriter::Commit(uint64_t num_pages) {
+  std::unique_lock<std::mutex> lk(mu_);
+  RTB_RETURN_IF_ERROR(sticky_error_);
+  uint8_t payload[sizeof(uint64_t)];
+  std::memcpy(payload, &num_pages, sizeof(num_pages));
+  const Lsn lsn = AppendLocked(WalRecordType::kCommit, kInvalidPageId,
+                               payload, sizeof(payload));
+  ++stats_.commits;
+  if (++commits_since_sync_ < options_.group_commit_window) {
+    // Deferred durability: this commit rides a later sync point.
+    return lsn;
+  }
+  commits_since_sync_ = 0;
+  for (;;) {
+    RTB_RETURN_IF_ERROR(sticky_error_);
+    if (durable_lsn_.load(std::memory_order_relaxed) >= lsn) return lsn;
+    if (!sync_in_progress_) break;
+    cv_.wait(lk);
+  }
+  RTB_RETURN_IF_ERROR(DrainLocked(lk));
+  return lsn;
+}
+
+Status WalWriter::EnsureDurable(Lsn lsn) {
+  if (lsn == kNoLsn) return Status::OK();
+  if (Durable(lsn)) return Status::OK();
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    RTB_RETURN_IF_ERROR(sticky_error_);
+    if (durable_lsn_.load(std::memory_order_relaxed) >= lsn) {
+      return Status::OK();
+    }
+    if (!sync_in_progress_) break;
+    // A leader is draining; its sync may already cover `lsn`.
+    cv_.wait(lk);
+  }
+  return DrainLocked(lk);
+}
+
+Status WalWriter::DrainLocked(std::unique_lock<std::mutex>& lk) {
+  if (pending_.empty()) return Status::OK();
+  sync_in_progress_ = true;
+  std::vector<std::vector<uint8_t>> batch = std::move(pending_);
+  pending_.clear();
+  const Lsn target = buffered_lsn_;
+  lk.unlock();
+  Status s = WriteAndSync(batch);
+  lk.lock();
+  sync_in_progress_ = false;
+  if (s.ok()) {
+    ++stats_.fsyncs;
+    if (target > durable_lsn_.load(std::memory_order_relaxed)) {
+      durable_lsn_.store(target, std::memory_order_release);
+    }
+  } else {
+    sticky_error_ = s;
+  }
+  cv_.notify_all();
+  return s;
+}
+
+Status WalWriter::WriteAndSync(
+    const std::vector<std::vector<uint8_t>>& batch) {
+  size_t total = 0;
+  for (const auto& rec : batch) total += rec.size();
+  size_t allowed = total;
+  if (options_.fault_hook != nullptr) {
+    allowed = std::min(options_.fault_hook->BeforeWrite(total), total);
+  }
+  // Gather the allowed prefix into iovecs; one pwritev in the common case,
+  // chunked and partial-write-safe in general.
+  std::vector<struct iovec> iov;
+  iov.reserve(batch.size());
+  size_t budget = allowed;
+  for (const auto& rec : batch) {
+    if (budget == 0) break;
+    const size_t len = std::min(budget, rec.size());
+    iov.push_back({const_cast<uint8_t*>(rec.data()), len});
+    budget -= len;
+  }
+  off_t off = static_cast<off_t>(file_size_);
+  size_t idx = 0;
+  while (idx < iov.size()) {
+    const int cnt = static_cast<int>(
+        std::min(iov.size() - idx, kMaxWalIov));
+    const ssize_t put = ::pwritev(fd_, iov.data() + idx, cnt, off);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(path_ + ": wal write failed");
+    }
+    off += put;
+    size_t adv = static_cast<size_t>(put);
+    while (adv > 0 && idx < iov.size()) {
+      if (adv >= iov[idx].iov_len) {
+        adv -= iov[idx].iov_len;
+        ++idx;
+      } else {
+        iov[idx].iov_base = static_cast<uint8_t*>(iov[idx].iov_base) + adv;
+        iov[idx].iov_len -= adv;
+        adv = 0;
+      }
+    }
+  }
+  file_size_ += allowed;
+  if (allowed < total) {
+    return Status::IoError(path_ + ": simulated crash tore the log write");
+  }
+  if (options_.fault_hook != nullptr && options_.fault_hook->FailSync()) {
+    return Status::IoError(path_ + ": simulated crash before fdatasync");
+  }
+  if (DurableSyncActive() && ::fdatasync(fd_) != 0) {
+    return Status::IoError(path_ + ": fdatasync failed");
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Checkpoint(uint64_t num_pages) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    RTB_RETURN_IF_ERROR(sticky_error_);
+    if (!sync_in_progress_) break;
+    cv_.wait(lk);
+  }
+  // The caller flushed and fsynced the store first, so every record logged
+  // up to here — including any still buffered — is redundant with durable
+  // data pages. The log restarts as a single checkpoint record.
+  pending_.clear();
+  if (::ftruncate(fd_, 0) != 0) {
+    sticky_error_ = Status::IoError(path_ + ": wal truncate failed");
+    return sticky_error_;
+  }
+  file_size_ = 0;
+  uint8_t payload[sizeof(uint64_t)];
+  std::memcpy(payload, &num_pages, sizeof(num_pages));
+  AppendLocked(WalRecordType::kCheckpoint, kInvalidPageId, payload,
+               sizeof(payload));
+  commits_since_sync_ = 0;
+  return DrainLocked(lk);
+}
+
+Status WalWriter::Close() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (fd_ < 0) return Status::OK();
+  Status result = sticky_error_;
+  if (result.ok()) {
+    while (sync_in_progress_) cv_.wait(lk);
+    result = sticky_error_;
+  }
+  if (result.ok() && !pending_.empty()) {
+    result = DrainLocked(lk);
+  }
+  if (::close(fd_) != 0 && result.ok()) {
+    result = Status::IoError(path_ + ": close failed");
+  }
+  fd_ = -1;
+  return result;
+}
+
+Result<std::unique_ptr<WalReader>> WalReader::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("wal not found: " + path);
+    }
+    return Status::IoError("cannot open wal " + path);
+  }
+  std::vector<uint8_t> data;
+  uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t got = ::read(fd, buf, sizeof(buf));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IoError(path + ": wal read failed");
+    }
+    if (got == 0) break;
+    data.insert(data.end(), buf, buf + got);
+  }
+  ::close(fd);
+  return std::unique_ptr<WalReader>(new WalReader(std::move(data)));
+}
+
+bool WalReader::Next(WalRecord* out) {
+  if (done_) return false;
+  if (data_.size() - pos_ < kWalHeaderSize) {
+    // Trailing bytes too short for a header are a torn append (a clean end
+    // lands exactly on a record boundary).
+    torn_tail_ = pos_ < data_.size();
+    done_ = true;
+    return false;
+  }
+  WalDiskHeader header;
+  std::memcpy(&header, data_.data() + pos_, kWalHeaderSize);
+  if (header.payload_len > kMaxWalPayload ||
+      data_.size() - pos_ - kWalHeaderSize < header.payload_len) {
+    torn_tail_ = true;
+    done_ = true;
+    return false;
+  }
+  const size_t frame = kWalHeaderSize + header.payload_len;
+  const uint32_t crc = Crc32(0, data_.data() + pos_ + sizeof(uint32_t),
+                             frame - sizeof(uint32_t));
+  if (crc != header.crc) {
+    torn_tail_ = true;
+    done_ = true;
+    return false;
+  }
+  out->type = static_cast<WalRecordType>(header.type);
+  out->lsn = header.lsn;
+  out->page_id = header.page_id;
+  out->num_pages = 0;
+  out->payload.assign(data_.begin() + static_cast<ptrdiff_t>(pos_ + kWalHeaderSize),
+                      data_.begin() + static_cast<ptrdiff_t>(pos_ + frame));
+  if ((out->type == WalRecordType::kCommit ||
+       out->type == WalRecordType::kCheckpoint) &&
+      out->payload.size() >= sizeof(uint64_t)) {
+    std::memcpy(&out->num_pages, out->payload.data(), sizeof(uint64_t));
+  }
+  pos_ += frame;
+  valid_bytes_ = pos_;
+  return true;
+}
+
+}  // namespace rtb::storage

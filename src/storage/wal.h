@@ -1,0 +1,255 @@
+// Write-ahead logging for the durable write path.
+//
+// WalWriter appends length+CRC32-framed records to a log file and makes
+// them durable in groups: records accumulate in memory, and a *sync point*
+// drains everything buffered with one writev + one fdatasync. Commit
+// records trigger a sync point every `group_commit_window` commits, and
+// EnsureDurable() lets the buffer pools force one before writing a page
+// whose latest logged image is not yet durable (the WAL-before-data rule).
+// Concurrent committers coalesce: the first caller to need durability
+// becomes the leader and drains the whole buffer; waiters observe their LSN
+// covered and return without issuing I/O of their own.
+//
+// Buffering in memory (rather than appending to the fd and deferring only
+// the fdatasync) is a deliberate choice: a record that has not reached a
+// sync point is genuinely absent from the file, so the crash-simulation
+// tests get real torn-tail behavior without a kernel crash.
+//
+// The record set is physiological: full-page after-images (kPageImage) are
+// the redo log, full-page before-images (kBeforeImage, captured at the
+// first modification of a page since the last commit) are the undo log,
+// and kCommit marks batch atomicity boundaries. Recovery (FilePageStore::
+// OpenWithRecovery) replays committed after-images in LSN order, rolls the
+// uncommitted suffix back through its before-images in reverse, and
+// discards the torn tail by CRC. kCheckpoint records let the log truncate:
+// the writer restarts the file at a checkpoint because the caller has
+// already flushed and fsynced every logged page into the data file.
+//
+// The seam follows the repo pattern (vectored/async I/O): the RTB_WAL
+// CMake option gates availability, the RTB_WAL environment variable (1|on)
+// turns the runtime default on, SetWal() switches it programmatically, and
+// the spec's storage.wal.enabled is the declarative knob. Everything is off
+// by default at runtime, and with the seam off no WAL object exists —
+// counters and I/O are byte-identical to pre-WAL builds.
+
+#ifndef RTB_STORAGE_WAL_H_
+#define RTB_STORAGE_WAL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace rtb::storage {
+
+/// True when this binary was compiled with the WAL (-DRTB_WAL=ON, the
+/// default).
+bool WalAvailable();
+
+/// Whether the runtime default asks for a WAL (engine::Run opens one when
+/// this is on even if the spec leaves storage.wal.enabled false). Initially
+/// on only when the RTB_WAL environment variable is 1|on.
+bool WalActive();
+
+/// Turns the runtime default on or off. Returns false (and changes
+/// nothing) when enabling is requested but the binary lacks the WAL.
+bool SetWal(bool on);
+
+enum class WalRecordType : uint32_t {
+  kPageImage = 1,      // Redo: full page after-image.
+  kBeforeImage = 2,    // Undo: full page image before its first dirtying.
+  kLogicalUpdate = 3,  // Opaque description of a logical batch (not replayed).
+  kCommit = 4,         // Batch atomicity boundary; payload = page count.
+  kCheckpoint = 5,     // Log restart point; payload = page count.
+};
+
+/// One decoded log record (WalReader::Next).
+struct WalRecord {
+  WalRecordType type = WalRecordType::kLogicalUpdate;
+  Lsn lsn = kNoLsn;
+  PageId page_id = kInvalidPageId;  // Image records only.
+  uint64_t num_pages = 0;           // Commit/checkpoint records only.
+  std::vector<uint8_t> payload;     // Page bytes or logical payload.
+};
+
+/// Cumulative WalWriter counters. `fsyncs` counts durability points (one
+/// per drained group), and advances even when the DurableSync seam has
+/// turned the actual fdatasync syscall off — so fsync-per-commit
+/// assertions are deterministic on any filesystem.
+struct WalStats {
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+  uint64_t commits = 0;
+  uint64_t fsyncs = 0;
+};
+
+/// Crash-simulation hook for WalWriter (see FaultInjectingPageStore's
+/// CrashWalHook). Called at sync points, outside the writer's mutex.
+class WalFaultHook {
+ public:
+  virtual ~WalFaultHook() = default;
+
+  /// Called before the drained group's bytes go to the file. Returns how
+  /// many of the `len` bytes the simulated disk accepts: `len` (the
+  /// default) means no fault; anything smaller persists that prefix (a
+  /// torn tail) and kills the writer.
+  virtual size_t BeforeWrite(size_t len) { return len; }
+
+  /// Called after the bytes are written, before fdatasync. True simulates
+  /// dying at the sync: the bytes are in the file but were never forced.
+  virtual bool FailSync() { return false; }
+};
+
+/// Appends framed records to a log file with group commit. Thread-safe:
+/// appends take an internal mutex, and sync points coalesce concurrent
+/// callers (leader/follower). A failed sync point is sticky — the writer
+/// is dead, every later durability request returns the same error — which
+/// is exactly the behavior a simulated crash needs.
+class WalWriter {
+ public:
+  struct Options {
+    /// Commit records per sync point. 1 = force at every commit (classic
+    /// commit-per-batch durability); N > 1 defers: a commit returns after
+    /// buffering its record, and every Nth commit drains the group with one
+    /// writev + one fdatasync. Deferred commits are durable no later than
+    /// the next sync point, eviction-forced EnsureDurable, or Close.
+    uint64_t group_commit_window = 1;
+    /// Crash-simulation hook (not owned; may be null).
+    WalFaultHook* fault_hook = nullptr;
+  };
+
+  /// Creates (or truncates) the log at `path` and fsyncs the empty file
+  /// (honoring the DurableSync seam), so the log exists on disk before the
+  /// first record claims durability.
+  static Result<std::unique_ptr<WalWriter>> Create(const std::string& path,
+                                                   Options options);
+  static Result<std::unique_ptr<WalWriter>> Create(const std::string& path);
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  ~WalWriter();
+
+  /// Buffer a full-page after-image / before-image. Returns the record's
+  /// LSN; the append itself cannot fail (I/O happens at sync points).
+  Lsn AppendPageImage(PageId id, const uint8_t* data, size_t len);
+  Lsn AppendBeforeImage(PageId id, const uint8_t* data, size_t len);
+
+  /// Buffer an opaque logical-update record (batch descriptions; recovery
+  /// ignores them, the page images carry the redo/undo content).
+  Lsn AppendLogicalUpdate(const uint8_t* data, size_t len);
+
+  /// Buffer a commit record carrying the store's page count at commit, and
+  /// drain the group when this is the window's Nth commit. Returns the
+  /// commit record's LSN.
+  Result<Lsn> Commit(uint64_t num_pages);
+
+  /// Blocks until every record with LSN <= `lsn` is durable, draining the
+  /// buffer (one writev + one fdatasync) if needed. kNoLsn is a no-op.
+  Status EnsureDurable(Lsn lsn);
+
+  /// True when record `lsn` is already durable (no I/O).
+  bool Durable(Lsn lsn) const {
+    return lsn <= durable_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// Restarts the log: truncates the file and writes (durably) a single
+  /// checkpoint record carrying the store's page count. Callers must have
+  /// flushed and fsynced the data store first — the truncation assumes
+  /// every previously logged page is durably in the store.
+  Status Checkpoint(uint64_t num_pages);
+
+  /// Drains any buffered records durably and releases the descriptor.
+  /// Idempotent. A dead (crashed) writer returns its sticky error without
+  /// touching the file again.
+  Status Close();
+
+  /// LSN of the most recently buffered record (kNoLsn when none yet).
+  Lsn last_lsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return buffered_lsn_;
+  }
+
+  WalStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::string path, int fd, Options options)
+      : path_(std::move(path)), fd_(fd), options_(options) {}
+
+  // Serializes one record into pending_; returns its LSN. Requires mu_.
+  Lsn AppendLocked(WalRecordType type, PageId page_id, const uint8_t* payload,
+                   size_t len);
+
+  // Leader body of a sync point: takes the whole buffer, writes + syncs it
+  // outside the lock, publishes durable_lsn_ (or the sticky error) and
+  // wakes waiters. Requires mu_ held via `lk` and !sync_in_progress_.
+  Status DrainLocked(std::unique_lock<std::mutex>& lk);
+
+  // One writev (chunked past IOV_MAX) + one fdatasync for the drained
+  // group, applying the fault hook. Runs outside mu_; only the single
+  // in-progress drainer touches file_size_.
+  Status WriteAndSync(const std::vector<std::vector<uint8_t>>& batch);
+
+  std::string path_;
+  int fd_ = -1;
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::vector<uint8_t>> pending_;  // Serialized, not yet on disk.
+  Lsn next_lsn_ = 1;
+  Lsn buffered_lsn_ = kNoLsn;  // Last appended.
+  std::atomic<Lsn> durable_lsn_{kNoLsn};
+  uint64_t commits_since_sync_ = 0;
+  bool sync_in_progress_ = false;
+  Status sticky_error_;
+  uint64_t file_size_ = 0;
+  WalStats stats_;
+};
+
+/// Sequential reader over a log file. Loads the file at Open (logs are
+/// truncated at every checkpoint, so they stay small) and decodes records
+/// until the clean end or the first frame whose length or CRC does not
+/// check out — a torn tail, which recovery discards.
+class WalReader {
+ public:
+  static Result<std::unique_ptr<WalReader>> Open(const std::string& path);
+
+  WalReader(const WalReader&) = delete;
+  WalReader& operator=(const WalReader&) = delete;
+
+  /// Decodes the next record into `*out`. Returns false at the end of the
+  /// valid prefix (clean EOF or torn tail — torn_tail() distinguishes).
+  bool Next(WalRecord* out);
+
+  /// True when the scan stopped at bytes that do not frame a valid record
+  /// (short header, implausible length, or CRC mismatch).
+  bool torn_tail() const { return torn_tail_; }
+
+  /// File offset just past the last valid record.
+  uint64_t valid_bytes() const { return valid_bytes_; }
+
+ private:
+  explicit WalReader(std::vector<uint8_t> data) : data_(std::move(data)) {}
+
+  std::vector<uint8_t> data_;
+  size_t pos_ = 0;
+  uint64_t valid_bytes_ = 0;
+  bool torn_tail_ = false;
+  bool done_ = false;
+};
+
+}  // namespace rtb::storage
+
+#endif  // RTB_STORAGE_WAL_H_

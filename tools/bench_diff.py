@@ -8,7 +8,8 @@ Both files must be the same kind of report:
 
   * a bench report (BENCH_*.json: {"bench": ..., "configs": [...]}) — rows
     are matched by their "config" name and the gated metric is
-    "queries_per_sec" ("updates_per_sec" for the update benches);
+    "queries_per_sec" ("updates_per_sec" for the update benches,
+    "commits_per_sec"/"batches_per_sec" for the WAL group-commit bench);
   * an engine run report (rtb_cli run output: {"report": "rtb-run", ...}) —
     rows are matched by class "label" (plus the "totals" row) and the gated
     metric is "queries_per_second".
@@ -31,7 +32,7 @@ import json
 import sys
 
 THROUGHPUT_KEYS = ("queries_per_sec", "queries_per_second",
-                   "updates_per_sec")
+                   "updates_per_sec", "commits_per_sec", "batches_per_sec")
 # Secondary metrics worth echoing when they move by more than 1%.
 INFO_DELTA = 0.01
 
@@ -91,8 +92,18 @@ def main():
             print("%-36s only in baseline" % name)
             continue
         b, c = throughput(base[name]), throughput(cand[name])
-        if b is None or c is None:
+        if b is None and c is None:
             continue
+        if b is None or c is None:
+            # One side has a gateable throughput metric and the other does
+            # not — a silent skip here would pass a report the gate never
+            # actually examined. Name the offender and stop.
+            path = args.baseline if b is None else args.candidate
+            sys.exit(
+                "%s: row %r has none of the recognized throughput metrics "
+                "(%s) but the other report does — refresh the baseline or "
+                "fix the bench output" %
+                (path, name, ", ".join(THROUGHPUT_KEYS)))
         delta = (c - b) / b
         flag = ""
         if delta < -args.threshold:

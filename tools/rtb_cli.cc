@@ -391,7 +391,11 @@ constexpr char kQueryUsage[] =
     "  an in-memory tree with --fanout. --insert-frac/--delete-frac turn\n"
     "  the stream into a mixed insert/delete/search workload (requires\n"
     "  --data and --threads=1); --update-batch=N applies updates in\n"
-    "  group-by-leaf batches of N (1 = tuple-at-a-time Guttman updates).\n";
+    "  group-by-leaf batches of N (1 = tuple-at-a-time Guttman updates).\n"
+    "  --store=FILE backs the built tree with a FilePageStore at FILE;\n"
+    "  --wal=1 adds a write-ahead log (STORE.wal) so every drained update\n"
+    "  batch commits durably, with --wal-window=N commits per fdatasync\n"
+    "  (group commit; 1 = force each commit). Requires --store.\n";
 
 // Thin wrapper over engine::Run: the flags populate an ExperimentSpec with
 // one uniform query class over the opened index (or a tree built from
@@ -404,7 +408,8 @@ int CmdQuery(int argc, char** argv) {
              {"threads", "1"}, {"shards", "0"}, {"batch", "1"},
              {"async", "0"}, {"shared", "0"}, {"data", ""},
              {"fanout", "100"}, {"insert-frac", "0"}, {"delete-frac", "0"},
-             {"update-batch", "1"}});
+             {"update-batch", "1"}, {"store", ""}, {"wal", "0"},
+             {"wal-window", "8"}});
   if (!args.ok()) return FailUsage(args.error(), kQueryUsage);
   if (args.Get("index").empty() == args.Get("data").empty()) {
     return FailUsage("query needs exactly one of --index=FILE or "
@@ -429,6 +434,13 @@ int CmdQuery(int argc, char** argv) {
   spec.workload.batch_size =
       std::max<uint64_t>(1, args.GetInt("batch"));
   spec.storage.async_io = args.GetInt("async") != 0;
+  if (!args.Get("store").empty()) {
+    spec.storage.backend = "file";
+    spec.storage.path = args.Get("store");
+  }
+  spec.storage.wal.enabled = args.GetInt("wal") != 0;
+  spec.storage.wal.group_commit_window =
+      std::max<uint64_t>(1, args.GetInt("wal-window"));
   spec.workload.shared_frontier = args.GetInt("shared") != 0;
   spec.workload.update_batch_size =
       std::max<uint64_t>(1, args.GetInt("update-batch"));
@@ -475,6 +487,16 @@ int CmdQuery(int argc, char** argv) {
                 static_cast<unsigned long long>(report->store_io.writes),
                 static_cast<unsigned long long>(
                     report->store_io.WriteSyscalls()));
+  }
+  if (report->wal_active) {
+    std::printf("wal:       %llu records (%llu bytes), %llu commits in "
+                "%llu fsyncs (window %llu)\n",
+                static_cast<unsigned long long>(report->store_io.wal_records),
+                static_cast<unsigned long long>(report->store_io.wal_bytes),
+                static_cast<unsigned long long>(report->store_io.wal_commits),
+                static_cast<unsigned long long>(report->store_io.wal_fsyncs),
+                static_cast<unsigned long long>(
+                    spec.storage.wal.group_commit_window));
   }
   if (spec.run.threads > 1) {
     std::printf(

@@ -7,7 +7,7 @@
 # build-checks/<name> so the developer's main build/ tree is untouched.
 #
 #   tools/run_checks.sh            # the full matrix
-#   tools/run_checks.sh release    # one of: release | tsan | asan | ubsan | storage | async | update
+#   tools/run_checks.sh release    # one of: release | tsan | asan | ubsan | storage | async | update | durability
 #
 # `storage` is a fast focused leg: it reuses the release build and runs only
 # the `storage`-labeled tests (page stores, fault injection, the vectored
@@ -24,9 +24,16 @@
 # with RTB_VECTORED_IO=scalar forcing one pwrite per page — the suite to
 # iterate on when touching the update executor or the writeback path.
 #
+# `durability` reuses the release build and runs the `durability`-labeled
+# tests (WAL framing, group commit, crash-point recovery) twice: on the
+# default vectored write seam and with RTB_VECTORED_IO=scalar, so recovery
+# holds on both writeback paths. The ctest definitions already set
+# RTB_NO_FSYNC=1 — the crash model fails the process, not the kernel.
+#
 # The release leg also guards the perf trajectory: it re-runs
-# micro_batch_query, micro_file_io, micro_async_io and micro_update_batch
-# and diffs them against
+# micro_batch_query, micro_file_io, micro_async_io, micro_update_batch and
+# micro_wal_commit (under RTB_NO_FSYNC=1 — its committed baseline measures
+# the write path, not this machine's disk) and diffs them against
 # the committed BENCH_*.json baselines with tools/bench_diff.py. The threshold is 25%,
 # not the tool's 10% default: back-to-back identical runs swing +-15% on
 # shared hardware, and the gate is there to catch structural regressions
@@ -43,9 +50,9 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 ONLY="${1:-all}"
 
 case "$ONLY" in
-  all|release|tsan|asan|ubsan|storage|async|update) ;;
+  all|release|tsan|asan|ubsan|storage|async|update|durability) ;;
   *)
-    echo "unknown configuration: $ONLY (expected release|tsan|asan|ubsan|storage|async|update)" >&2
+    echo "unknown configuration: $ONLY (expected release|tsan|asan|ubsan|storage|async|update|durability)" >&2
     exit 2
     ;;
 esac
@@ -70,8 +77,12 @@ if wants release; then
   (cd "$ROOT/build-checks/release" && ctest --output-on-failure)
   echo "==> bench diff vs committed baselines"
   for bench in micro_batch_query micro_file_io micro_async_io \
-               micro_update_batch; do
-    "$ROOT/build-checks/release/bench/$bench" \
+               micro_update_batch micro_wal_commit; do
+    # micro_wal_commit runs with real fsync suppressed so its baseline
+    # tracks the write path's work, not the host's disk latency.
+    env=""
+    [ "$bench" = "micro_wal_commit" ] && env="RTB_NO_FSYNC=1"
+    env $env "$ROOT/build-checks/release/bench/$bench" \
         --json="$ROOT/build-checks/release/BENCH_$bench.json" \
         > "$ROOT/build-checks/release/$bench.log" 2>&1 \
         || { cat "$ROOT/build-checks/release/$bench.log"; exit 1; }
@@ -102,6 +113,14 @@ if wants update; then
   (cd "$ROOT/build-checks/release" && ctest -L update --output-on-failure)
   (cd "$ROOT/build-checks/release" && \
       RTB_VECTORED_IO=scalar ctest -L update --output-on-failure)
+fi
+
+if wants durability; then
+  echo "==> durability (vectored writes, then forced-scalar)"
+  configure_and_build "$ROOT/build-checks/release"
+  (cd "$ROOT/build-checks/release" && ctest -L durability --output-on-failure)
+  (cd "$ROOT/build-checks/release" && \
+      RTB_VECTORED_IO=scalar ctest -L durability --output-on-failure)
 fi
 
 if wants tsan; then
