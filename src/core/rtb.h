@@ -10,6 +10,7 @@
 //   rtb::data     — data-set generators and rectangle file I/O
 //   rtb::report   — JSON emission and parsing for machine-readable reports
 //   rtb::engine   — declarative experiment specs and the run pipeline
+//   rtb::net      — wire protocol, coalescing server, pipelined client
 //
 // A minimal workflow (see examples/quickstart.cc for a commented version):
 //
@@ -41,6 +42,10 @@
 #include "model/cost_model.h"
 #include "model/ndim.h"
 #include "model/warmup.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/serving.h"
 #include "report/json.h"
 #include "rtree/batch.h"
 #include "rtree/bulk_load.h"

@@ -1,0 +1,178 @@
+#include "net/client.h"
+
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace rtb::net {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::Connect(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  while (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    if (errno == EINTR) continue;
+    const Status s = Errno("connect");
+    close(fd);
+    return s;
+  }
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+uint64_t Client::QueueSearch(const geom::Rect& rect) {
+  const uint64_t id = next_id_++;
+  AppendSearchRequest(id, rect, &sendbuf_);
+  return id;
+}
+
+uint64_t Client::QueueKnn(geom::Point p, uint32_t k) {
+  const uint64_t id = next_id_++;
+  AppendKnnRequest(id, p, k, &sendbuf_);
+  return id;
+}
+
+uint64_t Client::QueueInsert(const geom::Rect& rect, rtree::ObjectId oid) {
+  const uint64_t id = next_id_++;
+  AppendInsertRequest(id, rect, oid, &sendbuf_);
+  return id;
+}
+
+uint64_t Client::QueueDelete(const geom::Rect& rect, rtree::ObjectId oid) {
+  const uint64_t id = next_id_++;
+  AppendDeleteRequest(id, rect, oid, &sendbuf_);
+  return id;
+}
+
+uint64_t Client::QueueStats() {
+  const uint64_t id = next_id_++;
+  AppendStatsRequest(id, &sendbuf_);
+  return id;
+}
+
+void Client::QueueRaw(const std::vector<uint8_t>& bytes) {
+  sendbuf_.insert(sendbuf_.end(), bytes.begin(), bytes.end());
+}
+
+Status Client::Flush() {
+  size_t off = 0;
+  while (off < sendbuf_.size()) {
+    const ssize_t n =
+        write(fd_, sendbuf_.data() + off, sendbuf_.size() - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("write");
+  }
+  sendbuf_.clear();
+  return Status::OK();
+}
+
+Result<Reply> Client::ReadReply() {
+  while (true) {
+    Frame frame;
+    size_t consumed = 0;
+    const DecodeResult r =
+        DecodeFrame(recvbuf_.data() + recv_pos_, recvbuf_.size() - recv_pos_,
+                    &frame, &consumed);
+    if (r == DecodeResult::kFrame) {
+      Reply reply;
+      const Status parsed = ParseReply(frame, &reply);
+      recv_pos_ += consumed;
+      // Compact once the consumed prefix dominates the buffer.
+      if (recv_pos_ > recvbuf_.size() / 2) {
+        recvbuf_.erase(recvbuf_.begin(),
+                       recvbuf_.begin() + static_cast<ptrdiff_t>(recv_pos_));
+        recv_pos_ = 0;
+      }
+      RTB_RETURN_IF_ERROR(parsed);
+      return reply;
+    }
+    if (r == DecodeResult::kMalformed) {
+      return Status::Corruption("malformed reply frame from server");
+    }
+    uint8_t chunk[64 * 1024];
+    const ssize_t n = read(fd_, chunk, sizeof chunk);
+    if (n > 0) {
+      recvbuf_.insert(recvbuf_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n == 0) {
+      if (recvbuf_.size() - recv_pos_ > 0) {
+        return Status::IoError("connection closed mid-frame");
+      }
+      return Status::NotFound("connection closed");
+    }
+    if (errno == EINTR) continue;
+    return Errno("read");
+  }
+}
+
+Result<Reply> Client::WaitFor(uint64_t id) {
+  for (size_t i = 0; i < parked_.size(); ++i) {
+    if (parked_[i].request_id == id) {
+      Reply reply = std::move(parked_[i]);
+      parked_.erase(parked_.begin() + static_cast<ptrdiff_t>(i));
+      return reply;
+    }
+  }
+  RTB_RETURN_IF_ERROR(Flush());
+  while (true) {
+    RTB_ASSIGN_OR_RETURN(Reply reply, ReadReply());
+    if (reply.request_id == id) return reply;
+    parked_.push_back(std::move(reply));
+  }
+}
+
+Result<std::vector<rtree::ObjectId>> Client::Search(const geom::Rect& rect) {
+  const uint64_t id = QueueSearch(rect);
+  RTB_ASSIGN_OR_RETURN(Reply reply, WaitFor(id));
+  if (!reply.ok()) {
+    return Status(static_cast<StatusCode>(reply.status), reply.text);
+  }
+  return std::move(reply.ids);
+}
+
+Result<bool> Client::Delete(const geom::Rect& rect, rtree::ObjectId oid) {
+  const uint64_t id = QueueDelete(rect, oid);
+  RTB_ASSIGN_OR_RETURN(Reply reply, WaitFor(id));
+  if (!reply.ok()) {
+    return Status(static_cast<StatusCode>(reply.status), reply.text);
+  }
+  return reply.found;
+}
+
+Status Client::Insert(const geom::Rect& rect, rtree::ObjectId oid) {
+  const uint64_t id = QueueInsert(rect, oid);
+  RTB_ASSIGN_OR_RETURN(Reply reply, WaitFor(id));
+  if (!reply.ok()) {
+    return Status(static_cast<StatusCode>(reply.status), reply.text);
+  }
+  return Status::OK();
+}
+
+void Client::ShutdownWrite() { shutdown(fd_, SHUT_WR); }
+
+}  // namespace rtb::net

@@ -1,0 +1,76 @@
+// A blocking, pipelining client for the rtb wire protocol — the load side
+// of tests/server_test.cc and bench/micro_server_qps. Queue any number of
+// requests (each gets a fresh request id), Flush() them in one write
+// stream, then collect replies as they arrive; replies may come back in
+// any order, keyed by request id. Short reads/writes and EINTR are
+// retried, same discipline as FilePageStore's pread loop.
+
+#ifndef RTB_NET_CLIENT_H_
+#define RTB_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "util/result.h"
+
+namespace rtb::net {
+
+class Client {
+ public:
+  /// Connects (blocking) to 127.0.0.1:`port`.
+  static Result<std::unique_ptr<Client>> Connect(uint16_t port);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  ~Client();
+
+  /// Queue one request into the send buffer; returns its request id.
+  uint64_t QueueSearch(const geom::Rect& rect);
+  uint64_t QueueKnn(geom::Point p, uint32_t k);
+  uint64_t QueueInsert(const geom::Rect& rect, rtree::ObjectId id);
+  uint64_t QueueDelete(const geom::Rect& rect, rtree::ObjectId id);
+  uint64_t QueueStats();
+
+  /// Appends pre-encoded frame bytes verbatim (protocol robustness tests).
+  void QueueRaw(const std::vector<uint8_t>& bytes);
+
+  /// Writes the whole send buffer to the socket (retrying short writes).
+  Status Flush();
+
+  /// Blocks until one complete reply frame arrives and decodes it.
+  /// kIoError on EOF mid-frame; clean EOF before any frame byte returns
+  /// NotFound("connection closed") so tests can assert disconnects.
+  Result<Reply> ReadReply();
+
+  /// Flush + read until the reply for `id` arrives; replies for other ids
+  /// received on the way are buffered and returned by later calls.
+  Result<Reply> WaitFor(uint64_t id);
+
+  /// Convenience round-trips (flush + wait).
+  Result<std::vector<rtree::ObjectId>> Search(const geom::Rect& rect);
+  Result<bool> Delete(const geom::Rect& rect, rtree::ObjectId id);
+  Status Insert(const geom::Rect& rect, rtree::ObjectId id);
+
+  /// Half-close the write side (server sees EOF, flushes, closes).
+  void ShutdownWrite();
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  std::vector<uint8_t> sendbuf_;
+  std::vector<uint8_t> recvbuf_;
+  size_t recv_pos_ = 0;  // Consumed prefix of recvbuf_.
+  std::vector<Reply> parked_;  // Replies read past the one WaitFor wanted.
+};
+
+}  // namespace rtb::net
+
+#endif  // RTB_NET_CLIENT_H_

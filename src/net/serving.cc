@@ -1,0 +1,94 @@
+#include "net/serving.h"
+
+#include <utility>
+
+#include "sim/runner.h"
+#include "storage/async_io.h"
+#include "storage/file_page_store.h"
+#include "storage/replacement.h"
+#include "util/macros.h"
+
+namespace rtb::net {
+
+Result<std::unique_ptr<ServingStack>> ServingStack::Open(
+    const engine::ExperimentSpec& spec) {
+  engine::ExperimentSpec effective = spec;
+  if (effective.workload.classes.empty()) {
+    // Serving takes its queries from the wire; satisfy Validate()'s
+    // at-least-one-class requirement with a placeholder that never runs.
+    engine::QueryClassSpec cls;
+    cls.label = "serving";
+    cls.count = 1;
+    effective.workload.classes.push_back(cls);
+  }
+  RTB_RETURN_IF_ERROR(effective.Validate());
+  if (effective.storage.wal.enabled && !storage::WalAvailable()) {
+    return Status::InvalidArgument(
+        "storage.wal.enabled, but this binary was built without RTB_WAL");
+  }
+  storage::SetVectoredIo(effective.storage.vectored_io);
+  storage::SetAsyncIo(effective.storage.async_io);
+
+  auto stack = std::unique_ptr<ServingStack>(new ServingStack());
+  stack->spec_ = effective;
+  RTB_ASSIGN_OR_RETURN(stack->prepared_, engine::PrepareTree(effective));
+
+  RTB_ASSIGN_OR_RETURN(storage::PolicyKind kind,
+                       engine::ParsePolicyKind(effective.pool.policy));
+  const uint64_t pages = effective.pool.buffer_pages;
+  // The admission loop executes every batch on one thread, so the serial
+  // pool applies regardless of client count — that is what makes the
+  // coalescing determinism test possible.
+  stack->pool_ = std::make_unique<storage::BufferPool>(
+      stack->prepared_.store.get(), pages,
+      storage::MakePolicy(kind, pages, effective.run.seed));
+
+  if (effective.pool.pinned_levels > 0) {
+    RTB_RETURN_IF_ERROR(sim::PinTopLevels(stack->pool_.get(),
+                                          *stack->prepared_.summary,
+                                          effective.pool.pinned_levels));
+  }
+
+  const bool use_wal =
+      effective.storage.wal.enabled ||
+      (storage::WalActive() && effective.storage.backend == "file" &&
+       effective.tree.index.empty());
+  if (use_wal) {
+    RTB_RETURN_IF_ERROR(stack->prepared_.store->Sync());
+    storage::WalWriter::Options wopts;
+    wopts.group_commit_window = effective.storage.wal.group_commit_window;
+    const std::string wal_path = effective.storage.wal.path.empty()
+                                     ? effective.storage.path + ".wal"
+                                     : effective.storage.wal.path;
+    RTB_ASSIGN_OR_RETURN(stack->wal_,
+                         storage::WalWriter::Create(wal_path, wopts));
+    RTB_RETURN_IF_ERROR(
+        stack->wal_->Checkpoint(stack->prepared_.store->num_pages()));
+    stack->pool_->AttachWal(stack->wal_.get());
+  }
+
+  RTB_ASSIGN_OR_RETURN(
+      rtree::RTree tree,
+      rtree::RTree::Open(
+          stack->pool_.get(),
+          rtree::RTreeConfig::WithFanout(stack->prepared_.meta.fanout),
+          stack->prepared_.meta.root, stack->prepared_.meta.height));
+  stack->tree_.emplace(std::move(tree));
+  return stack;
+}
+
+ServingStack::~ServingStack() { Close().ok(); }
+
+Status ServingStack::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  // PR 8 order: the pool's Close checkpoints through the attached WAL
+  // (flush dirty pages WAL-first, sync the store, truncate the log), then
+  // the writer and the store release their descriptors.
+  RTB_RETURN_IF_ERROR(pool_->Close());
+  if (wal_ != nullptr) RTB_RETURN_IF_ERROR(wal_->Close());
+  RTB_RETURN_IF_ERROR(prepared_.store->Close());
+  return Status::OK();
+}
+
+}  // namespace rtb::net

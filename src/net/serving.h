@@ -1,0 +1,77 @@
+// ServingStack: the storage/tree sandwich a long-running rtb_server
+// process executes against, materialized from the same declarative
+// ExperimentSpec the engine uses.
+//
+// Open() runs engine::PrepareTree (build the dataset into a store, or open
+// a persistent index), fronts the store with the paper's serial BufferPool
+// — the server's admission loop is single-threaded, so the serial pool's
+// bit-reproducible counters carry over to serving — pins the requested top
+// levels, and, when the spec enables it, starts the WAL the way engine::Run
+// does: sync the bulk-loaded store, create the log, write a checkpoint
+// describing that durable base, attach the writer to the pool (no-force
+// discipline from then on).
+//
+// Close() tears down in the PR 8 order — pool (checkpoints when a WAL is
+// attached), then wal, then store — so a graceful server shutdown leaves a
+// clean, nothing-to-redo log (tests/server_test.cc asserts this via
+// OpenWithRecovery).
+
+#ifndef RTB_NET_SERVING_H_
+#define RTB_NET_SERVING_H_
+
+#include <memory>
+#include <optional>
+
+#include "engine/engine.h"
+#include "engine/spec.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+#include "storage/wal.h"
+#include "util/result.h"
+
+namespace rtb::net {
+
+/// The open tree + pool + optional WAL a Server executes against. Move-only;
+/// single-threaded like the serial pool it holds.
+class ServingStack {
+ public:
+  /// Materializes the spec. Serving ignores the workload section (queries
+  /// come from the wire), so a spec with no query classes is accepted — a
+  /// placeholder class is injected before validation.
+  static Result<std::unique_ptr<ServingStack>> Open(
+      const engine::ExperimentSpec& spec);
+
+  ServingStack(const ServingStack&) = delete;
+  ServingStack& operator=(const ServingStack&) = delete;
+
+  /// Close() with the error dropped, for abandoned stacks.
+  ~ServingStack();
+
+  /// Flush + checkpoint + release, in the pool -> wal -> store order.
+  /// Idempotent.
+  Status Close();
+
+  rtree::RTree* tree() { return &*tree_; }
+  storage::PageCache* pool() { return pool_.get(); }
+  storage::PageStore* store() { return prepared_.store.get(); }
+  bool wal_active() const { return wal_ != nullptr; }
+  storage::WalStats wal_stats() const {
+    return wal_ != nullptr ? wal_->stats() : storage::WalStats{};
+  }
+  const engine::ExperimentSpec& spec() const { return spec_; }
+  const engine::IndexMeta& meta() const { return prepared_.meta; }
+
+ private:
+  ServingStack() = default;
+
+  engine::ExperimentSpec spec_;
+  engine::PreparedTree prepared_;
+  std::unique_ptr<storage::PageCache> pool_;
+  std::unique_ptr<storage::WalWriter> wal_;
+  std::optional<rtree::RTree> tree_;
+  bool closed_ = false;
+};
+
+}  // namespace rtb::net
+
+#endif  // RTB_NET_SERVING_H_

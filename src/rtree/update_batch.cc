@@ -26,7 +26,9 @@ UpdateBatchExecutor::UpdateBatchExecutor(RTree* tree) : tree_(tree) {
 }
 
 Status UpdateBatchExecutor::Run(std::span<const UpdateOp> ops,
-                                UpdateBatchStats* stats) {
+                                UpdateBatchStats* stats,
+                                std::vector<uint8_t>* delete_found) {
+  if (delete_found != nullptr) delete_found->assign(ops.size(), 0);
   if (ops.empty()) return Status::OK();
   for (const UpdateOp& op : ops) {
     if (op.kind == UpdateOp::Kind::kInsert && op.rect.is_empty()) {
@@ -46,6 +48,7 @@ Status UpdateBatchExecutor::Run(std::span<const UpdateOp> ops,
     } else {
       RTB_ASSIGN_OR_RETURN(bool found, tree_->Delete(op.rect, op.id));
       ++(found ? local.deletes_found : local.deletes_missing);
+      if (delete_found != nullptr && found) (*delete_found)[0] = 1;
     }
   } else {
     if (ops.size() > static_cast<size_t>(UINT32_MAX)) {
@@ -59,9 +62,23 @@ Status UpdateBatchExecutor::Run(std::span<const UpdateOp> ops,
       pending_.push_back(PendingOp{Entry{op.rect, op.id}, /*target_level=*/0,
                                    is_delete, /*done=*/false});
     }
+    bool first_pass = true;
     while (!pending_.empty()) {
       ++local.passes;
       RTB_RETURN_IF_ERROR(RunPass(&local));
+      if (first_pass) {
+        // Only the first pass carries the batch's deletes (orphan passes
+        // are reinserts), and its pending_ indexes are the ops indexes, so
+        // this is the one place the per-op found/missing answer exists.
+        if (delete_found != nullptr) {
+          for (size_t i = 0; i < pending_.size(); ++i) {
+            if (pending_[i].is_delete && pending_[i].done) {
+              (*delete_found)[i] = 1;
+            }
+          }
+        }
+        first_pass = false;
+      }
       // Condensation orphans become the next pass's operations.
       pending_.swap(orphans_);
     }

@@ -100,10 +100,15 @@ class UpdateBatchExecutor {
 
   /// Applies every operation in `ops` in submission order semantics (a
   /// delete locates against the batch-start tree and removes at most one
-  /// entry). `stats`, when non-null, is accumulated into. On error the
-  /// tree may hold a partially applied batch; the pool and pages stay
-  /// structurally consistent (same contract as a failed serial update).
-  Status Run(std::span<const UpdateOp> ops, UpdateBatchStats* stats = nullptr);
+  /// entry). `stats`, when non-null, is accumulated into. `delete_found`,
+  /// when non-null, is resized to ops.size(); entry i becomes 1 when op i
+  /// is a delete that removed an entry, 0 otherwise — the per-op answer a
+  /// serving tier needs to fan DELETE replies back out of a coalesced
+  /// batch. On error the tree may hold a partially applied batch; the pool
+  /// and pages stay structurally consistent (same contract as a failed
+  /// serial update).
+  Status Run(std::span<const UpdateOp> ops, UpdateBatchStats* stats = nullptr,
+             std::vector<uint8_t>* delete_found = nullptr);
 
  private:
   // An operation in flight: the original batch's inserts/deletes plus

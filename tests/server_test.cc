@@ -1,0 +1,459 @@
+// End-to-end tests for the coalescing server (net/server.h): wire-level
+// round-trips, the coalescing determinism contract (N concurrent clients
+// produce the same node accesses and BufferStats as one offline
+// BatchExecutor run over the same request multiset), backpressure,
+// protocol-error handling on a live socket, and the graceful-shutdown
+// fix-path (drain + WAL checkpoint + PR 8 close order => a clean,
+// nothing-to-redo log under OpenWithRecovery).
+//
+// The serve loop runs on a std::thread; clients run on the test thread (or
+// their own). Everything joins before stats are read, so the suite is
+// TSan-clean by construction — the only cross-thread edges are the socket
+// and Server::RequestShutdown's atomic + self-pipe.
+
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/serving.h"
+#include "rtree/batch.h"
+#include "rtree/validate.h"
+#include "storage/buffer_pool.h"
+#include "storage/file_page_store.h"
+#include "util/rng.h"
+
+namespace rtb::net {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+
+engine::ExperimentSpec SmallSpec(uint64_t n = 2000, uint64_t pool_pages = 16) {
+  engine::ExperimentSpec spec;
+  spec.name = "server_test";
+  spec.dataset.kind = "uniform";
+  spec.dataset.n = n;
+  spec.dataset.seed = 7;
+  spec.tree.fanout = 25;
+  spec.pool.buffer_pages = pool_pages;
+  spec.run.seed = 1;
+  return spec;
+}
+
+// Starts `server` on a background thread; the destructor (or Stop) shuts
+// it down and joins.
+class ServeThread {
+ public:
+  explicit ServeThread(Server* server) : server_(server) {
+    thread_ = std::thread([this] { status_ = server_->Serve(); });
+  }
+  ~ServeThread() { Stop(); }
+
+  void Stop() {
+    if (thread_.joinable()) {
+      server_->RequestShutdown();
+      thread_.join();
+    }
+  }
+
+  const Status& status() const { return status_; }
+
+ private:
+  Server* server_;
+  std::thread thread_;
+  Status status_;
+};
+
+std::vector<Rect> MakeQueries(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Rect> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const double x = rng.NextDouble() * 0.95;
+    const double y = rng.NextDouble() * 0.95;
+    queries.push_back(Rect(x, y, x + 0.03, y + 0.03));
+  }
+  return queries;
+}
+
+TEST(ServerTest, RoundTripsEveryRequestType) {
+  auto stack = ServingStack::Open(SmallSpec());
+  ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+  ServerOptions options;
+  options.max_batch = 8;
+  options.max_wait_us = 200;
+  Server server(stack->get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  ServeThread serving(&server);
+
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // Insert a recognizable point, search it, kNN it, delete it, re-delete
+  // (must miss), and fetch stats.
+  const Rect probe(0.111, 0.222, 0.111, 0.222);
+  ASSERT_TRUE((*client)->Insert(probe, 999'999).ok());
+
+  auto found = (*client)->Search(Rect(0.11, 0.22, 0.112, 0.223));
+  ASSERT_TRUE(found.ok());
+  EXPECT_NE(std::find(found->begin(), found->end(), 999'999), found->end());
+
+  const uint64_t knn_id = (*client)->QueueKnn(Point{0.111, 0.222}, 1);
+  auto knn = (*client)->WaitFor(knn_id);
+  ASSERT_TRUE(knn.ok());
+  ASSERT_TRUE(knn->ok());
+  ASSERT_EQ(knn->neighbors.size(), 1u);
+  EXPECT_EQ(knn->neighbors[0].id, 999'999u);
+  EXPECT_EQ(knn->neighbors[0].distance, 0.0);
+
+  auto deleted = (*client)->Delete(probe, 999'999);
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_TRUE(*deleted);
+  deleted = (*client)->Delete(probe, 999'999);
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_FALSE(*deleted);
+
+  const uint64_t stats_id = (*client)->QueueStats();
+  auto stats = (*client)->WaitFor(stats_id);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->ok());
+  EXPECT_NE(stats->text.find("\"report\": \"rtb-serve\""), std::string::npos);
+  EXPECT_NE(stats->text.find("\"hit_rate\""), std::string::npos);
+
+  serving.Stop();
+  EXPECT_TRUE(serving.status().ok()) << serving.status().ToString();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.inserts, 1u);
+  EXPECT_EQ(s.deletes, 2u);
+  EXPECT_EQ(s.searches, 1u);
+  EXPECT_EQ(s.knns, 1u);
+  EXPECT_EQ(s.stats_requests, 1u);
+  EXPECT_EQ(s.replies_sent, 6u);
+  ASSERT_TRUE((*stack)->Close().ok());
+}
+
+// The tentpole contract: N concurrent pipelining clients against a small
+// pool produce exactly the node accesses and BufferStats of ONE offline
+// BatchExecutor run over the same query multiset. The server is configured
+// so the whole multiset coalesces into a single drain (max_batch == total,
+// effectively infinite wait); within one batch the executor's sorted
+// frontier makes the counters independent of arrival order, which is the
+// only thing the threads leave unspecified.
+TEST(ServerTest, CoalescedStatsMatchOfflineBatchRun) {
+  constexpr size_t kClients = 8;
+  constexpr size_t kPerClient = 32;
+  constexpr size_t kTotal = kClients * kPerClient;
+
+  const auto spec = SmallSpec(/*n=*/4000, /*pool_pages=*/12);
+  std::vector<std::vector<Rect>> per_client;
+  for (size_t c = 0; c < kClients; ++c) {
+    per_client.push_back(MakeQueries(kPerClient, 100 + c));
+  }
+
+  // Offline oracle: same spec, one executor, one batch of the multiset.
+  rtree::BatchStats offline_stats;
+  storage::BufferStats offline_pool;
+  std::vector<size_t> offline_result_sizes;
+  {
+    auto stack = ServingStack::Open(spec);
+    ASSERT_TRUE(stack.ok());
+    std::vector<Rect> all;
+    for (const auto& qs : per_client) {
+      all.insert(all.end(), qs.begin(), qs.end());
+    }
+    rtree::BatchExecutor exec((*stack)->tree());
+    std::vector<std::vector<rtree::ObjectId>> results;
+    ASSERT_TRUE(exec.Run(std::span<const Rect>(all), &results,
+                         &offline_stats).ok());
+    offline_pool = (*stack)->pool()->AggregateStats();
+    for (const auto& r : results) offline_result_sizes.push_back(r.size());
+    ASSERT_TRUE((*stack)->Close().ok());
+  }
+
+  // Served: the same multiset from 8 threads, coalesced into one drain.
+  auto stack = ServingStack::Open(spec);
+  ASSERT_TRUE(stack.ok());
+  ServerOptions options;
+  options.max_batch = kTotal;
+  options.max_wait_us = 60'000'000;  // Only the batch bound may trip.
+  Server server(stack->get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  ServeThread serving(&server);
+
+  std::vector<size_t> served_result_sizes(kTotal);
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = Client::Connect(server.port());
+      ASSERT_TRUE(client.ok());
+      std::vector<uint64_t> ids;
+      for (const Rect& q : per_client[c]) {
+        ids.push_back((*client)->QueueSearch(q));
+      }
+      ASSERT_TRUE((*client)->Flush().ok());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        auto reply = (*client)->WaitFor(ids[i]);
+        ASSERT_TRUE(reply.ok());
+        ASSERT_TRUE(reply->ok());
+        served_result_sizes[c * kPerClient + i] = reply->ids.size();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  serving.Stop();
+  ASSERT_TRUE(serving.status().ok());
+
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.requests_admitted, kTotal);
+  EXPECT_EQ(s.batches, 1u) << "the whole multiset must coalesce";
+  EXPECT_EQ(s.search_batch.node_accesses, offline_stats.node_accesses);
+  EXPECT_EQ(s.search_batch.page_visits, offline_stats.page_visits);
+
+  const storage::BufferStats served_pool = (*stack)->pool()->AggregateStats();
+  EXPECT_EQ(served_pool.requests, offline_pool.requests);
+  EXPECT_EQ(served_pool.hits, offline_pool.hits);
+  EXPECT_EQ(served_pool.misses, offline_pool.misses);
+  EXPECT_EQ(served_pool.evictions, offline_pool.evictions);
+
+  // Result multiset sanity: per-query result sizes line up 1:1 (each
+  // client's queries are answered in its own submission order).
+  std::vector<size_t> sorted_served = served_result_sizes;
+  std::sort(sorted_served.begin(), sorted_served.end());
+  std::vector<size_t> sorted_offline = offline_result_sizes;
+  std::sort(sorted_offline.begin(), sorted_offline.end());
+  EXPECT_EQ(sorted_served, sorted_offline);
+  ASSERT_TRUE((*stack)->Close().ok());
+}
+
+// With many small drains instead of one big one, BufferStats legitimately
+// differ (batch boundaries change eviction decisions) but summed logical
+// node accesses and per-query results must not.
+TEST(ServerTest, NodeAccessesAreBatchBoundaryIndependent) {
+  const auto spec = SmallSpec(/*n=*/3000, /*pool_pages=*/12);
+  const auto queries = MakeQueries(96, 42);
+
+  rtree::BatchStats offline_stats;
+  std::vector<std::vector<rtree::ObjectId>> offline_results;
+  {
+    auto stack = ServingStack::Open(spec);
+    ASSERT_TRUE(stack.ok());
+    rtree::BatchExecutor exec((*stack)->tree());
+    ASSERT_TRUE(exec.Run(std::span<const Rect>(queries), &offline_results,
+                         &offline_stats).ok());
+    ASSERT_TRUE((*stack)->Close().ok());
+  }
+
+  auto stack = ServingStack::Open(spec);
+  ASSERT_TRUE(stack.ok());
+  ServerOptions options;
+  options.max_batch = 7;  // Forces ragged batch boundaries.
+  options.max_wait_us = 100;
+  Server server(stack->get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  ServeThread serving(&server);
+
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  std::vector<uint64_t> ids;
+  for (const Rect& q : queries) ids.push_back((*client)->QueueSearch(q));
+  ASSERT_TRUE((*client)->Flush().ok());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto reply = (*client)->WaitFor(ids[i]);
+    ASSERT_TRUE(reply.ok());
+    ASSERT_TRUE(reply->ok());
+    std::vector<rtree::ObjectId> sorted = reply->ids;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<rtree::ObjectId> expect = offline_results[i];
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(sorted, expect) << "query " << i;
+  }
+  serving.Stop();
+  ASSERT_TRUE(serving.status().ok());
+
+  const ServerStats s = server.stats();
+  EXPECT_GT(s.batches, 1u);
+  EXPECT_EQ(s.search_batch.node_accesses, offline_stats.node_accesses);
+  ASSERT_TRUE((*stack)->Close().ok());
+}
+
+// A connection pipelining far past max_inflight must be paused and
+// resumed — every request still answered, pauses observed.
+TEST(ServerTest, BackpressurePausesAndResumes) {
+  auto stack = ServingStack::Open(SmallSpec());
+  ASSERT_TRUE(stack.ok());
+  ServerOptions options;
+  options.max_batch = 16;
+  options.max_wait_us = 200;
+  options.max_inflight = 8;
+  Server server(stack->get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  ServeThread serving(&server);
+
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  constexpr size_t kRequests = 300;
+  const auto queries = MakeQueries(kRequests, 5);
+  std::vector<uint64_t> ids;
+  for (const Rect& q : queries) ids.push_back((*client)->QueueSearch(q));
+  ASSERT_TRUE((*client)->Flush().ok());
+  size_t answered = 0;
+  for (const uint64_t id : ids) {
+    auto reply = (*client)->WaitFor(id);
+    ASSERT_TRUE(reply.ok());
+    ASSERT_TRUE(reply->ok());
+    ++answered;
+  }
+  EXPECT_EQ(answered, kRequests);
+  serving.Stop();
+  ASSERT_TRUE(serving.status().ok());
+
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.searches, kRequests);
+  EXPECT_GT(s.pauses, 0u) << "a 300-deep pipeline must trip max_inflight=8";
+  ASSERT_TRUE((*stack)->Close().ok());
+}
+
+// Typed protocol errors keep the connection alive; a malformed header
+// closes it (after an error reply) without taking the server down.
+TEST(ServerTest, ProtocolErrorsOverTheWire) {
+  auto stack = ServingStack::Open(SmallSpec());
+  ASSERT_TRUE(stack.ok());
+  ServerOptions options;
+  options.max_wait_us = 200;
+  Server server(stack->get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  ServeThread serving(&server);
+
+  {
+    auto client = Client::Connect(server.port());
+    ASSERT_TRUE(client.ok());
+    // Unknown type: typed error reply, connection continues.
+    std::vector<uint8_t> raw;
+    AppendRawFrame(42, 0, 7, nullptr, 0, &raw);
+    (*client)->QueueRaw(raw);
+    ASSERT_TRUE((*client)->Flush().ok());
+    auto reply = (*client)->ReadReply();
+    ASSERT_TRUE(reply.ok());
+    EXPECT_FALSE(reply->ok());
+    EXPECT_EQ(reply->request_id, 7u);
+    // The same connection still serves valid requests.
+    auto found = (*client)->Search(Rect(0.4, 0.4, 0.45, 0.45));
+    EXPECT_TRUE(found.ok());
+
+    // An empty-rect insert is refused at parse time with a typed error.
+    const uint64_t bad = (*client)->QueueInsert(Rect(0.9, 0.9, 0.1, 0.1), 5);
+    auto bad_reply = (*client)->WaitFor(bad);
+    ASSERT_TRUE(bad_reply.ok());
+    EXPECT_FALSE(bad_reply->ok());
+    EXPECT_EQ(bad_reply->status,
+              static_cast<uint8_t>(StatusCode::kInvalidArgument));
+  }
+  {
+    auto client = Client::Connect(server.port());
+    ASSERT_TRUE(client.ok());
+    // Oversized length prefix: one error reply (id 0), then disconnect.
+    std::vector<uint8_t> evil(8, 0xFF);
+    (*client)->QueueRaw(evil);
+    ASSERT_TRUE((*client)->Flush().ok());
+    auto reply = (*client)->ReadReply();
+    ASSERT_TRUE(reply.ok());
+    EXPECT_FALSE(reply->ok());
+    EXPECT_EQ(reply->request_id, 0u);
+    auto eof = (*client)->ReadReply();
+    EXPECT_FALSE(eof.ok());
+    EXPECT_EQ(eof.status().code(), StatusCode::kNotFound);
+  }
+  // The server survived both and still serves fresh connections.
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE((*client)->Search(Rect(0.2, 0.2, 0.25, 0.25)).ok());
+
+  serving.Stop();
+  ASSERT_TRUE(serving.status().ok());
+  const ServerStats s = server.stats();
+  EXPECT_GE(s.protocol_errors, 2u);
+  EXPECT_EQ(s.malformed_disconnects, 1u);
+  ASSERT_TRUE((*stack)->Close().ok());
+}
+
+// Graceful shutdown under a durable spec: updates over the wire, shutdown
+// (drain + reply flush), PR 8 close order. Reopening with OpenWithRecovery
+// must find a checkpoint-only log — nothing to redo, nothing to undo.
+TEST(ServerTest, GracefulShutdownLeavesCleanWal) {
+  if (!storage::WalAvailable()) GTEST_SKIP() << "built without RTB_WAL";
+  const std::string path = "/tmp/rtb_server_test_wal.store";
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+
+  engine::ExperimentSpec spec = SmallSpec(/*n=*/2000, /*pool_pages=*/32);
+  spec.storage.backend = "file";
+  spec.storage.path = path;
+  spec.storage.wal.enabled = true;
+  spec.storage.wal.group_commit_window = 4;
+
+  storage::PageId root = 0;
+  uint16_t height = 0;
+  {
+    auto stack = ServingStack::Open(spec);
+    ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+    ServerOptions options;
+    options.max_batch = 16;
+    options.max_wait_us = 200;
+    Server server(stack->get(), options);
+    ASSERT_TRUE(server.Start().ok());
+    ServeThread serving(&server);
+
+    auto client = Client::Connect(server.port());
+    ASSERT_TRUE(client.ok());
+    Rng rng(11);
+    std::vector<uint64_t> ids;
+    for (uint64_t i = 0; i < 64; ++i) {
+      const double x = rng.NextDouble();
+      const double y = rng.NextDouble();
+      ids.push_back(
+          (*client)->QueueInsert(Rect(x, y, x, y), 1'000'000 + i));
+    }
+    ASSERT_TRUE((*client)->Flush().ok());
+    for (const uint64_t id : ids) {
+      auto reply = (*client)->WaitFor(id);
+      ASSERT_TRUE(reply.ok());
+      ASSERT_TRUE(reply->ok());
+    }
+
+    serving.Stop();
+    ASSERT_TRUE(serving.status().ok());
+    root = (*stack)->tree()->root();
+    height = (*stack)->tree()->height();
+    ASSERT_TRUE((*stack)->Close().ok());
+  }
+
+  storage::WalRecoveryReport report;
+  auto store =
+      storage::FilePageStore::OpenWithRecovery(path, path + ".wal", &report);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE(report.wal_found);
+  EXPECT_FALSE(report.tail_torn);
+  EXPECT_EQ(report.records_scanned, 1u) << "checkpoint-only log expected";
+  EXPECT_EQ(report.redo_pages, 0u);
+  EXPECT_EQ(report.undo_pages, 0u);
+
+  const auto validation = rtree::ValidateTree(
+      store->get(), root, rtree::RTreeConfig::WithFanout(spec.tree.fanout),
+      {.check_min_fill = false});
+  EXPECT_TRUE(validation.ok);
+  EXPECT_EQ(validation.num_data_entries, 2000u + 64u);
+  (void)height;
+  ASSERT_TRUE((*store)->Close().ok());
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+}  // namespace
+}  // namespace rtb::net

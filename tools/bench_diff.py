@@ -22,9 +22,12 @@ which makes it usable as a perf gate:
     build/bench/micro_batch_query --json=/tmp/new.json
     tools/bench_diff.py BENCH_micro_batch_query.json /tmp/new.json
 
-Rows that exist on only one side are reported but never fail the gate, so
-adding or renaming configurations does not require a baseline refresh in
-the same change.
+Rows that exist only in the candidate are reported but never fail the
+gate, so adding a configuration does not require a baseline refresh in the
+same change. Rows that exist only in the *baseline* fail the gate: a bench
+config that silently stopped running (or was renamed without refreshing
+the baseline) would otherwise pass precisely because its regression became
+invisible.
 """
 
 import argparse
@@ -85,11 +88,13 @@ def main():
         sys.exit("report kinds differ: %s vs %s" % (base_kind, cand_kind))
 
     regressions = []
+    missing = []
     print("%-36s %14s %14s %8s" % ("row", "baseline q/s", "candidate q/s",
                                    "delta"))
     for name in base:
         if name not in cand:
-            print("%-36s only in baseline" % name)
+            missing.append(name)
+            print("%-36s only in baseline  << MISSING" % name)
             continue
         b, c = throughput(base[name]), throughput(cand[name])
         if b is None and c is None:
@@ -127,11 +132,20 @@ def main():
         if name not in base:
             print("%-36s only in candidate" % name)
 
+    failed = False
+    if missing:
+        print("\n%d baseline row(s) missing from the candidate (a dropped "
+              "bench config cannot pass the gate):" % len(missing))
+        for name in missing:
+            print("  %s" % name)
+        failed = True
     if regressions:
         print("\n%d row(s) regressed more than %.0f%%:" %
               (len(regressions), 100 * args.threshold))
         for name, delta in regressions:
             print("  %s: %.1f%%" % (name, 100 * delta))
+        failed = True
+    if failed:
         return 1
     print("\nno throughput regression beyond %.0f%%" %
           (100 * args.threshold))

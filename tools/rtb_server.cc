@@ -1,0 +1,145 @@
+// rtb_server — long-running serving process for an rtb tree.
+//
+//   rtb_server --spec=FILE [--port=P] [--max_batch=N] [--max_wait_us=U]
+//              [--max_inflight=N] [--max_queue=N] [--stats_out=FILE]
+//
+// Opens the spec's tree behind a buffer pool (and WAL, when the spec
+// enables one), binds 127.0.0.1:PORT (PORT=0 picks an ephemeral port,
+// printed on the "listening" line), and serves the pipelined binary
+// protocol (src/net/protocol.h) with cross-connection batch coalescing:
+// requests from all connections arriving within the admission window are
+// executed as one BatchExecutor / UpdateBatchExecutor run, so the
+// effective buffer hit rate tracks total server load (README "Serving").
+//
+// SIGINT/SIGTERM drain in-flight batches, flush replies, WAL-checkpoint
+// through the pool -> wal -> store close order, write the final stats JSON
+// to --stats_out (or stdout), and exit 0.
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/rtb.h"
+
+namespace rtb::server_main {
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: rtb_server --spec=FILE [--port=P] [--max_batch=N]\n"
+    "                  [--max_wait_us=U] [--max_inflight=N] [--max_queue=N]\n"
+    "                  [--stats_out=FILE]\n";
+
+net::Server* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->RequestShutdown();
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "rtb_server: %s\n", message.c_str());
+  return 1;
+}
+
+int Run(int argc, char** argv) {
+  std::map<std::string, std::string> flags{
+      {"spec", ""},         {"port", "0"},        {"max_batch", "256"},
+      {"max_wait_us", "500"}, {"max_inflight", "1024"}, {"max_queue", "4096"},
+      {"stats_out", ""}};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      std::fprintf(stderr, "rtb_server: malformed argument '%s'\n%s",
+                   arg.c_str(), kUsage);
+      return 2;
+    }
+    const std::string name = arg.substr(2, eq - 2);
+    if (flags.find(name) == flags.end()) {
+      std::fprintf(stderr, "rtb_server: unknown flag --%s\n%s", name.c_str(),
+                   kUsage);
+      return 2;
+    }
+    flags[name] = arg.substr(eq + 1);
+  }
+  if (flags["spec"].empty()) {
+    std::fprintf(stderr, "rtb_server: --spec is required\n%s", kUsage);
+    return 2;
+  }
+
+  auto spec = engine::ExperimentSpec::FromJsonFile(flags["spec"]);
+  if (!spec.ok()) return Fail("loading spec: " + spec.status().ToString());
+
+  auto stack = net::ServingStack::Open(*spec);
+  if (!stack.ok()) {
+    return Fail("opening serving stack: " + stack.status().ToString());
+  }
+
+  net::ServerOptions options;
+  options.port = static_cast<uint16_t>(std::strtoul(
+      flags["port"].c_str(), nullptr, 10));
+  options.max_batch = static_cast<uint32_t>(std::strtoul(
+      flags["max_batch"].c_str(), nullptr, 10));
+  options.max_wait_us = std::strtoull(flags["max_wait_us"].c_str(), nullptr,
+                                      10);
+  options.max_inflight = static_cast<uint32_t>(std::strtoul(
+      flags["max_inflight"].c_str(), nullptr, 10));
+  options.max_queue = static_cast<uint32_t>(std::strtoul(
+      flags["max_queue"].c_str(), nullptr, 10));
+
+  net::Server server(stack->get(), options);
+  if (Status s = server.Start(); !s.ok()) {
+    return Fail("starting server: " + s.ToString());
+  }
+
+  g_server = &server;
+  struct sigaction sa{};
+  sa.sa_handler = HandleSignal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  std::printf("rtb_server: listening on 127.0.0.1:%u (max_batch=%u, "
+              "max_wait_us=%llu, wal=%s)\n",
+              server.port(), options.max_batch,
+              static_cast<unsigned long long>(options.max_wait_us),
+              (*stack)->wal_active() ? "on" : "off");
+  std::fflush(stdout);
+
+  const Status served = server.Serve();
+  g_server = nullptr;
+  if (!served.ok()) {
+    // Still close the stack so a durable tree is not left unflushed.
+    (*stack)->Close().ok();
+    return Fail("serve loop: " + served.ToString());
+  }
+
+  const std::string stats_json = server.StatsJson().ToString() + "\n";
+  if (Status s = (*stack)->Close(); !s.ok()) {
+    return Fail("closing stack: " + s.ToString());
+  }
+
+  const std::string out = flags["stats_out"];
+  if (out.empty() || out == "-") {
+    std::fputs(stats_json.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) return Fail("cannot write " + out);
+    std::fputs(stats_json.c_str(), f);
+    std::fclose(f);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rtb::server_main
+
+int main(int argc, char** argv) {
+  return rtb::server_main::Run(argc, argv);
+}

@@ -7,7 +7,7 @@
 # build-checks/<name> so the developer's main build/ tree is untouched.
 #
 #   tools/run_checks.sh            # the full matrix
-#   tools/run_checks.sh release    # one of: release | tsan | asan | ubsan | storage | async | update | durability
+#   tools/run_checks.sh release    # one of: release | tsan | asan | ubsan | storage | async | update | durability | server
 #
 # `storage` is a fast focused leg: it reuses the release build and runs only
 # the `storage`-labeled tests (page stores, fault injection, the vectored
@@ -30,10 +30,15 @@
 # holds on both writeback paths. The ctest definitions already set
 # RTB_NO_FSYNC=1 — the crash model fails the process, not the kernel.
 #
+# `server` runs the `server`-labeled tests (wire codec, the coalescing
+# admission loop, graceful shutdown, kill-during-load recovery) under both
+# TSan and ASan builds: the epoll loop races real client threads in
+# server_test, which is exactly the surface those sanitizers watch.
+#
 # The release leg also guards the perf trajectory: it re-runs
-# micro_batch_query, micro_file_io, micro_async_io, micro_update_batch and
-# micro_wal_commit (under RTB_NO_FSYNC=1 — its committed baseline measures
-# the write path, not this machine's disk) and diffs them against
+# micro_batch_query, micro_file_io, micro_async_io, micro_update_batch,
+# micro_wal_commit and micro_server_qps (under RTB_NO_FSYNC=1 — committed
+# baselines measure the write/serving path, not this machine's disk) and diffs them against
 # the committed BENCH_*.json baselines with tools/bench_diff.py. The threshold is 25%,
 # not the tool's 10% default: back-to-back identical runs swing +-15% on
 # shared hardware, and the gate is there to catch structural regressions
@@ -50,9 +55,9 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 ONLY="${1:-all}"
 
 case "$ONLY" in
-  all|release|tsan|asan|ubsan|storage|async|update|durability) ;;
+  all|release|tsan|asan|ubsan|storage|async|update|durability|server) ;;
   *)
-    echo "unknown configuration: $ONLY (expected release|tsan|asan|ubsan|storage|async|update|durability)" >&2
+    echo "unknown configuration: $ONLY (expected release|tsan|asan|ubsan|storage|async|update|durability|server)" >&2
     exit 2
     ;;
 esac
@@ -77,11 +82,14 @@ if wants release; then
   (cd "$ROOT/build-checks/release" && ctest --output-on-failure)
   echo "==> bench diff vs committed baselines"
   for bench in micro_batch_query micro_file_io micro_async_io \
-               micro_update_batch micro_wal_commit; do
-    # micro_wal_commit runs with real fsync suppressed so its baseline
-    # tracks the write path's work, not the host's disk latency.
+               micro_update_batch micro_wal_commit micro_server_qps; do
+    # micro_wal_commit and micro_server_qps run with real fsync suppressed
+    # so their baselines track the code path's work, not the host's disk
+    # latency.
     env=""
-    [ "$bench" = "micro_wal_commit" ] && env="RTB_NO_FSYNC=1"
+    case "$bench" in
+      micro_wal_commit|micro_server_qps) env="RTB_NO_FSYNC=1" ;;
+    esac
     env $env "$ROOT/build-checks/release/bench/$bench" \
         --json="$ROOT/build-checks/release/BENCH_$bench.json" \
         > "$ROOT/build-checks/release/$bench.log" 2>&1 \
@@ -121,6 +129,16 @@ if wants durability; then
   (cd "$ROOT/build-checks/release" && ctest -L durability --output-on-failure)
   (cd "$ROOT/build-checks/release" && \
       RTB_VECTORED_IO=scalar ctest -L durability --output-on-failure)
+fi
+
+if wants server; then
+  echo "==> server (TSan, then ASan)"
+  configure_and_build "$ROOT/build-checks/tsan" \
+      -DRTB_SANITIZE=thread -DRTB_BUILD_BENCHMARKS=OFF
+  (cd "$ROOT/build-checks/tsan" && ctest -L server --output-on-failure)
+  configure_and_build "$ROOT/build-checks/asan" \
+      -DRTB_SANITIZE=address -DRTB_BUILD_BENCHMARKS=OFF
+  (cd "$ROOT/build-checks/asan" && ctest -L server --output-on-failure)
 fi
 
 if wants tsan; then
