@@ -77,13 +77,20 @@ void Client::QueueRaw(const std::vector<uint8_t>& bytes) {
 Status Client::Flush() {
   size_t off = 0;
   while (off < sendbuf_.size()) {
-    const ssize_t n =
-        write(fd_, sendbuf_.data() + off, sendbuf_.size() - off);
+    // MSG_NOSIGNAL: a server that dropped the connection must surface as
+    // an EPIPE status, not a process-killing SIGPIPE.
+    const ssize_t n = send(fd_, sendbuf_.data() + off,
+                           sendbuf_.size() - off, MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<size_t>(n);
       continue;
     }
-    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      // A 0-byte write leaves errno stale; report it as a closed peer
+      // rather than whatever error message errno happens to hold.
+      return Status::IoError("write: connection closed (0-byte write)");
+    }
+    if (errno == EINTR) continue;
     return Errno("write");
   }
   sendbuf_.clear();

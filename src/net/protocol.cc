@@ -192,7 +192,8 @@ Status ParseReply(const Frame& frame, Reply* out) {
         return Status::InvalidArgument("SEARCH reply shorter than its count");
       }
       const uint32_t n = GetU32(p);
-      if (frame.payload_len != sizeof(uint32_t) + n * sizeof(uint64_t)) {
+      if (frame.payload_len !=
+          sizeof(uint32_t) + static_cast<size_t>(n) * sizeof(uint64_t)) {
         return Status::InvalidArgument("SEARCH reply size/count mismatch");
       }
       out->ids.resize(n);
@@ -205,8 +206,12 @@ Status ParseReply(const Frame& frame, Reply* out) {
       if (frame.payload_len < sizeof(uint32_t)) {
         return Status::InvalidArgument("KNN reply shorter than its count");
       }
+      // size_t arithmetic: `n * 16` in uint32 would wrap for a corrupt
+      // n >= 2^28 and pass the check with a 4-byte payload, making the
+      // resize/read below run far past the frame.
       const uint32_t n = GetU32(p);
-      if (frame.payload_len != sizeof(uint32_t) + n * 16) {
+      if (frame.payload_len !=
+          sizeof(uint32_t) + static_cast<size_t>(n) * 16) {
         return Status::InvalidArgument("KNN reply size/count mismatch");
       }
       out->neighbors.resize(n);

@@ -71,6 +71,8 @@ Server::~Server() {
     if (conn->fd >= 0) close(conn->fd);
   }
   conns_.clear();
+  for (auto& [fd, conn] : dead_conns_) close(fd);
+  dead_conns_.clear();
   if (listen_fd_ >= 0) close(listen_fd_);
   if (epoll_fd_ >= 0) close(epoll_fd_);
   if (wake_pipe_[0] >= 0) close(wake_pipe_[0]);
@@ -196,19 +198,28 @@ Status Server::Serve() {
     if (stop_now) {
       while (!queue_.empty()) RTB_RETURN_IF_ERROR(ExecuteDrain());
       // Flush remaining replies with blocking-ish retries, then leave.
-      for (auto& [fd, conn] : conns_) {
-        int spins = 0;
-        while (conn->out_off < conn->out.size() && spins++ < 10000) {
-          FlushOutput(conn.get());
-          if (conn->fd < 0) break;
-        }
-      }
+      // Snapshot the fds first: FlushOutput can close (and so erase) a
+      // connection, which would invalidate a live conns_ iterator.
       std::vector<int> fds;
       fds.reserve(conns_.size());
       for (auto& [fd, conn] : conns_) fds.push_back(fd);
+      for (const int fd : fds) {
+        auto it = conns_.find(fd);
+        if (it == conns_.end()) continue;
+        Connection* conn = it->second.get();
+        int spins = 0;
+        while (conn->fd >= 0 && conn->out_off < conn->out.size() &&
+               spins++ < 10000) {
+          FlushOutput(conn);
+        }
+      }
+      fds.clear();
+      for (auto& [fd, conn] : conns_) fds.push_back(fd);
       for (const int fd : fds) CloseConnection(fd);
+      ReapDeadConnections();
       return Status::OK();
     }
+    ReapDeadConnections();
   }
 }
 
@@ -219,8 +230,17 @@ Status Server::HandleAccept() {
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
       if (errno == EINTR) continue;
-      if (errno == ECONNABORTED || errno == EMFILE || errno == ENFILE) {
-        return Status::OK();  // Transient; keep serving existing clients.
+      if (errno == ECONNABORTED) continue;  // That one died in the backlog.
+      if (errno == EMFILE || errno == ENFILE) {
+        // Fd exhaustion: the unaccepted connection keeps EPOLLIN asserted
+        // on the listener (level-triggered), so polling it again would
+        // busy-spin. Stop watching it until a connection close frees an fd
+        // (ReapDeadConnections re-arms).
+        if (!accept_paused_) {
+          accept_paused_ = true;
+          epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        }
+        return Status::OK();
       }
       return Errno("accept4");
     }
@@ -241,7 +261,9 @@ Status Server::HandleAccept() {
 }
 
 void Server::HandleReadable(Connection* conn) {
-  while (!conn->paused && !conn->closing) {
+  // DrainInput below can close the connection (fd < 0 afterwards; the
+  // object stays valid until ReapDeadConnections).
+  while (conn->fd >= 0 && !conn->paused && !conn->closing) {
     const size_t at = conn->in.size();
     conn->in.resize(at + kReadChunk);
     const ssize_t n = read(conn->fd, conn->in.data() + at, kReadChunk);
@@ -271,7 +293,7 @@ void Server::HandleReadable(Connection* conn) {
 
 void Server::DrainInput(Connection* conn) {
   size_t pos = 0;
-  while (!conn->closing) {
+  while (conn->fd >= 0 && !conn->closing) {
     if (conn->paused) break;
     Frame frame;
     size_t consumed = 0;
@@ -327,9 +349,12 @@ void Server::DrainInput(Connection* conn) {
 void Server::HandleWritable(Connection* conn) { FlushOutput(conn); }
 
 void Server::FlushOutput(Connection* conn) {
+  if (conn->fd < 0) return;  // Already closed by a caller up the stack.
   while (conn->out_off < conn->out.size()) {
-    const ssize_t n = write(conn->fd, conn->out.data() + conn->out_off,
-                            conn->out.size() - conn->out_off);
+    // MSG_NOSIGNAL: a peer that reset the connection must surface as EPIPE
+    // (close the conn), not as a process-killing SIGPIPE.
+    const ssize_t n = send(conn->fd, conn->out.data() + conn->out_off,
+                           conn->out.size() - conn->out_off, MSG_NOSIGNAL);
     if (n > 0) {
       conn->out_off += static_cast<size_t>(n);
       continue;
@@ -372,9 +397,29 @@ void Server::CloseConnection(int fd) {
                  queue_.end());
   }
   epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
-  close(fd);
+  // Deferred close: mark the object dead and park it until the end of the
+  // event-loop iteration. Callers holding `conn` across a FlushOutput /
+  // DrainInput that closed it see fd < 0 instead of freed memory, and the
+  // kernel cannot hand the fd number to a new accept this iteration.
+  it->second->fd = -1;
+  dead_conns_.emplace_back(fd, std::move(it->second));
   conns_.erase(it);
   ++stats_.connections_closed;
+}
+
+void Server::ReapDeadConnections() {
+  if (dead_conns_.empty()) return;
+  for (auto& [fd, conn] : dead_conns_) close(fd);
+  dead_conns_.clear();
+  // Fds were just freed: resume accepting if EMFILE/ENFILE paused it.
+  if (accept_paused_) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0) {
+      accept_paused_ = false;
+    }
+  }
 }
 
 void Server::UpdateReadInterest(Connection* conn) {
@@ -396,7 +441,15 @@ void Server::UpdateReadInterest(Connection* conn) {
 }
 
 void Server::RecomputeAllReadInterest() {
-  for (auto& [fd, conn] : conns_) UpdateReadInterest(conn.get());
+  // Snapshot the fds: UpdateReadInterest on a resumed connection re-enters
+  // DrainInput, which can close (erase) connections mid-iteration.
+  std::vector<int> fds;
+  fds.reserve(conns_.size());
+  for (auto& [fd, conn] : conns_) fds.push_back(fd);
+  for (const int fd : fds) {
+    auto it = conns_.find(fd);
+    if (it != conns_.end()) UpdateReadInterest(it->second.get());
+  }
 }
 
 void Server::RecordLatency(std::chrono::steady_clock::time_point admitted,

@@ -168,7 +168,15 @@ class Server {
   void DrainInput(Connection* conn);
   // Nonblocking flush of conn->out; registers/unregisters EPOLLOUT.
   void FlushOutput(Connection* conn);
+  // Marks the connection dead (fd = -1, erased from conns_, queued requests
+  // abandoned) and parks it in dead_conns_. The close(2) and destruction
+  // happen in ReapDeadConnections() so that callers up the stack can keep
+  // dereferencing `conn` (checking fd < 0), and so the kernel cannot reuse
+  // the fd number for a new connection within the same event batch.
   void CloseConnection(int fd);
+  // Closes and destroys dead connections; re-arms the listener if accept
+  // was paused on fd exhaustion. Called once per event-loop iteration.
+  void ReapDeadConnections();
 
   // Executes the admission queue as one coalesced drain (the fixed
   // updates -> searches -> kNN -> stats order above), encodes the replies
@@ -190,8 +198,14 @@ class Server {
   int epoll_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
   std::atomic<bool> shutdown_requested_{false};
+  // Listener removed from the epoll set after EMFILE/ENFILE (re-added when
+  // a connection close frees an fd); level-triggered epoll would otherwise
+  // busy-spin on the pending connection we cannot accept.
+  bool accept_paused_ = false;
 
   std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  // Connections closed this iteration: (os fd still open, dead object).
+  std::vector<std::pair<int, std::unique_ptr<Connection>>> dead_conns_;
   std::vector<Pending> queue_;
   std::unique_ptr<rtree::BatchExecutor> search_exec_;
   std::unique_ptr<rtree::UpdateBatchExecutor> update_exec_;

@@ -224,6 +224,20 @@ TEST(ProtocolTest, TypedPayloadErrorsAreStatusesNotCrashes) {
     Reply reply;
     EXPECT_FALSE(ParseReply(MustDecode(buf), &reply).ok());
   }
+  // kNN reply whose count would wrap the size check in uint32 arithmetic
+  // (0x10000000 * 16 == 0 mod 2^32): must be a size mismatch, not a ~4 GB
+  // resize plus an out-of-bounds payload read.
+  {
+    std::vector<uint8_t> buf;
+    uint8_t payload[4];
+    const uint32_t n = 0x10000000u;
+    std::memcpy(payload, &n, sizeof n);
+    AppendRawFrame(static_cast<uint8_t>(MsgType::kKnn) | kReplyBit, 0, 8,
+                   payload, sizeof payload, &buf);
+    Reply reply;
+    EXPECT_FALSE(ParseReply(MustDecode(buf), &reply).ok());
+    EXPECT_TRUE(reply.neighbors.empty());
+  }
 }
 
 // Random byte strings through the decoder: every prefix must classify as

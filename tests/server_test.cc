@@ -14,6 +14,7 @@
 #include "net/server.h"
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
 #include <cstdio>
 #include <memory>
@@ -380,6 +381,51 @@ TEST(ServerTest, ProtocolErrorsOverTheWire) {
   const ServerStats s = server.stats();
   EXPECT_GE(s.protocol_errors, 2u);
   EXPECT_EQ(s.malformed_disconnects, 1u);
+  ASSERT_TRUE((*stack)->Close().ok());
+}
+
+// Regression for the deferred-close rework: a client that provokes a burst
+// of parse-error replies (each one triggers a FlushOutput mid-DrainInput)
+// and then resets the connection (SO_LINGER 0 => RST on close) used to
+// make FlushOutput destroy the Connection while DrainInput and
+// HandleReadable still held the pointer — a use-after-free the ASan server
+// leg watches for. The server must just drop the connection and keep
+// serving. The RST's arrival relative to the server's reads is inherently
+// racy, so several rounds alternate reset-close with plain close (which
+// also RSTs once unread replies are pending).
+TEST(ServerTest, ResetDuringErrorBurstSurvives) {
+  auto stack = ServingStack::Open(SmallSpec());
+  ASSERT_TRUE(stack.ok());
+  ServerOptions options;
+  options.max_wait_us = 100;
+  Server server(stack->get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  ServeThread serving(&server);
+
+  for (int round = 0; round < 16; ++round) {
+    auto client = Client::Connect(server.port());
+    ASSERT_TRUE(client.ok());
+    std::vector<uint8_t> raw;
+    for (uint64_t i = 0; i < 64; ++i) {
+      AppendRawFrame(42, 0, i + 1, nullptr, 0, &raw);  // Unknown type.
+      AppendSearchRequest(1000 + i, Rect(0.1, 0.1, 0.2, 0.2), &raw);
+    }
+    (*client)->QueueRaw(raw);
+    ASSERT_TRUE((*client)->Flush().ok());
+    if (round % 2 == 0) {
+      const linger hard{1, 0};
+      setsockopt((*client)->fd(), SOL_SOCKET, SO_LINGER, &hard, sizeof hard);
+    }
+    // ~Client closes without reading a single reply.
+  }
+
+  // The server survived every reset and still serves fresh connections.
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE((*client)->Search(Rect(0.2, 0.2, 0.25, 0.25)).ok());
+
+  serving.Stop();
+  ASSERT_TRUE(serving.status().ok()) << serving.status().ToString();
   ASSERT_TRUE((*stack)->Close().ok());
 }
 
