@@ -1,0 +1,225 @@
+// micro_partial_match — partial-match (open-axis) queries vs. full-extent
+// region queries, serial and batched, with the extended analytic model
+// alongside.
+//
+// A partial-match query fixes one axis (a slab of width qx) and leaves the
+// other open (the wire/generator encoding is [-inf, +inf]); the extended
+// Eq. 5-6 model scores an open axis with a per-axis factor of 1 in the
+// node-access probabilities. Rows:
+//
+//   * full_rect_serial     — qx x qx region queries, the closed-axis
+//                            baseline (and model sanity anchor),
+//   * partial_x_serial     — x fixed, y open: a vertical slab,
+//   * partial_y_serial     — y fixed, x open: a horizontal slab,
+//   * partial_x_batched<N> — the same slab class through the batched
+//                            executor (within-batch page collapse).
+//
+// Every row reports measured queries/sec (the bench-gate throughput key),
+// nodes and disk reads per query, and the model's prediction for both;
+// the serial rows RTB_CHECK the model within a generous guard band so a
+// model regression fails the bench rather than silently drifting.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "rtree/batch.h"
+
+namespace rtb::bench {
+namespace {
+
+using geom::Rect;
+using model::QueryClass;
+
+struct Measurement {
+  double queries_per_sec = 0.0;
+  double nodes_per_query = 0.0;
+  double disk_reads_per_query = 0.0;
+  uint64_t result_count = 0;  // Checksum: total ids returned.
+};
+
+// Runs `queries` queries from `qc` (after `warmup` unmeasured ones)
+// against a fresh LRU pool of `buffer_pages` frames. `batch_size <= 1` is
+// the serial RTree::Search loop; otherwise the BatchExecutor runs chunks
+// of `batch_size`.
+Measurement RunMode(const Workload& w, const QueryClass& qc,
+                    uint64_t buffer_pages, uint64_t seed, uint64_t warmup,
+                    uint64_t queries, uint64_t batch_size) {
+  auto pool = storage::BufferPool::MakeLru(w.store.get(), buffer_pages);
+  auto tree = rtree::RTree::Open(pool.get(),
+                                 rtree::RTreeConfig::WithFanout(w.fanout),
+                                 w.tree.root, w.tree.height);
+  RTB_CHECK(tree.ok());
+  auto gen = sim::MakeGenerator(qc, &w.centers);
+  RTB_CHECK(gen.ok());
+
+  Rng rng(seed);
+  Measurement m;
+  rtree::QueryStats serial_stats;
+  rtree::BatchStats batch_stats;
+  rtree::BatchExecutor executor(&*tree);
+  std::vector<Rect> batch;
+  std::vector<std::vector<rtree::ObjectId>> results;
+  std::vector<rtree::ObjectId> sink;
+
+  auto run_phase = [&](uint64_t n, bool measure) {
+    if (batch_size <= 1) {
+      for (uint64_t i = 0; i < n; ++i) {
+        sink.clear();
+        RTB_CHECK(tree->Search((*gen)->Next(rng), &sink,
+                               measure ? &serial_stats : nullptr)
+                      .ok());
+        if (measure) m.result_count += sink.size();
+      }
+      return;
+    }
+    uint64_t done = 0;
+    while (done < n) {
+      const uint64_t chunk = std::min(batch_size, n - done);
+      batch.clear();
+      for (uint64_t i = 0; i < chunk; ++i) batch.push_back((*gen)->Next(rng));
+      RTB_CHECK(executor.Run(batch, &results,
+                             measure ? &batch_stats : nullptr)
+                    .ok());
+      if (measure) {
+        for (const auto& r : results) m.result_count += r.size();
+      }
+      done += chunk;
+    }
+  };
+
+  run_phase(warmup, /*measure=*/false);
+  pool->ResetStats();
+  const auto start = std::chrono::steady_clock::now();
+  run_phase(queries, /*measure=*/true);
+  const auto end = std::chrono::steady_clock::now();
+
+  const double seconds = std::chrono::duration<double>(end - start).count();
+  const uint64_t node_accesses = batch_size <= 1
+                                     ? serial_stats.nodes_accessed
+                                     : batch_stats.node_accesses;
+  const storage::BufferStats buffer = pool->AggregateStats();
+  m.queries_per_sec =
+      seconds > 0.0 ? static_cast<double>(queries) / seconds : 0.0;
+  m.nodes_per_query = queries > 0 ? static_cast<double>(node_accesses) /
+                                        static_cast<double>(queries)
+                                  : 0.0;
+  m.disk_reads_per_query =
+      queries > 0 ? static_cast<double>(buffer.misses) /
+                        static_cast<double>(queries)
+                  : 0.0;
+  return m;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {{"seed", "1998"},
+               {"points", "60000"},
+               {"fanout", "50"},
+               {"queries", "20000"},
+               {"warmup", "2000"},
+               {"qx", "0.01"},
+               {"buffer", "128"},
+               {"batch", "64"},
+               {"model_tolerance", "0.35"},
+               {"json", ""}});
+  const uint64_t seed = flags.GetInt("seed");
+  const uint64_t queries = flags.GetInt("queries");
+  const uint64_t warmup = flags.GetInt("warmup");
+  const uint64_t buffer = flags.GetInt("buffer");
+  const uint64_t batch = std::max<uint64_t>(2, flags.GetInt("batch"));
+  const double qx = flags.GetDouble("qx");
+  const double tolerance = flags.GetDouble("model_tolerance");
+
+  Banner("micro: partial-match queries",
+         "open-axis slabs vs. full-extent regions, measured vs. the "
+         "extended Eq. 5-6 model; " +
+             Table::Int(flags.GetInt("points")) + " uniform points, fanout " +
+             Table::Int(flags.GetInt("fanout")) + ", qx " + Table::Num(qx, 3),
+         seed);
+
+  Rng rng(seed);
+  auto rects = data::GenerateUniformPoints(flags.GetInt("points"), &rng);
+  Workload w = BuildWorkload(rects,
+                             static_cast<uint32_t>(flags.GetInt("fanout")),
+                             rtree::LoadAlgorithm::kHilbertSort);
+
+  BenchReport report("micro_partial_match");
+  report.meta().PutInt("seed", seed);
+  report.meta().PutInt("points", flags.GetInt("points"));
+  report.meta().PutInt("fanout", flags.GetInt("fanout"));
+  report.meta().PutInt("tree_pages", w.summary->NumNodes());
+  report.meta().PutInt("queries", queries);
+  report.meta().PutInt("warmup", warmup);
+  report.meta().PutNum("qx", qx);
+  report.meta().PutInt("buffer_pages", buffer);
+  report.meta().PutInt("batch", batch);
+
+  Table table({"config", "queries/s", "nodes/query", "model nodes",
+               "reads/query", "model reads"});
+  const uint64_t query_seed = seed + 17;
+
+  struct Row {
+    std::string name;
+    QueryClass qc;
+    uint64_t batch_size;
+    bool check_model;  // Serial rows guard the model's accuracy.
+  };
+  const Row rows[] = {
+      {"full_rect_serial", QueryClass::UniformRegion(qx, qx), 1, true},
+      {"partial_x_serial", QueryClass::PartialMatchX(qx), 1, true},
+      {"partial_y_serial", QueryClass::PartialMatchY(qx), 1, true},
+      {"partial_x_batched" + Table::Int(batch), QueryClass::PartialMatchX(qx),
+       batch, false},
+  };
+  for (const Row& r : rows) {
+    const Measurement m =
+        RunMode(w, r.qc, buffer, query_seed, warmup, queries, r.batch_size);
+
+    auto probs = model::AccessProbabilities(*w.summary, r.qc, &w.centers);
+    RTB_CHECK(probs.ok());
+    const double model_nodes = model::ExpectedNodeAccesses(*probs);
+    const double model_reads = ModelDiskAccesses(w, r.qc, buffer);
+
+    JsonDict& row = report.AddConfig(r.name);
+    row.PutInt("batch_size", r.batch_size);
+    row.PutNum("queries_per_sec", m.queries_per_sec);
+    row.PutNum("nodes_per_query", m.nodes_per_query);
+    row.PutNum("model_nodes_per_query", model_nodes);
+    row.PutNum("disk_reads_per_query", m.disk_reads_per_query);
+    row.PutNum("model_disk_reads_per_query", model_reads);
+    row.PutInt("result_count", m.result_count);
+
+    table.AddRow({r.name, Table::Num(m.queries_per_sec, 0),
+                  Table::Num(m.nodes_per_query, 3),
+                  Table::Num(model_nodes, 3),
+                  Table::Num(m.disk_reads_per_query, 3),
+                  Table::Num(model_reads, 3)});
+
+    if (r.check_model) {
+      // A broken open-axis model shows up as a factor-level error, far
+      // outside this band; the band itself absorbs MBR-independence noise.
+      RTB_CHECK(m.nodes_per_query > 0.0);
+      RTB_CHECK(std::abs(m.nodes_per_query - model_nodes) /
+                    m.nodes_per_query <=
+                tolerance);
+      RTB_CHECK(m.disk_reads_per_query > 0.0);
+      RTB_CHECK(std::abs(m.disk_reads_per_query - model_reads) /
+                    m.disk_reads_per_query <=
+                tolerance);
+    }
+  }
+
+  table.Print();
+  if (!report.WriteFile(flags.GetString("json"))) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace rtb::bench
+
+int main(int argc, char** argv) { return rtb::bench::Run(argc, argv); }

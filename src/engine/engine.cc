@@ -68,30 +68,33 @@ Result<rtree::LoadAlgorithm> ParseAlgo(const std::string& name) {
 
 bool NeedsCenters(const ExperimentSpec& spec) {
   for (const QueryClassSpec& cls : spec.workload.classes) {
-    if (cls.model == "data") return true;
+    if (sim::GeneratorNeedsCenters(cls.query.center)) return true;
   }
   return false;
 }
 
-model::QuerySpec ToQuerySpec(const QueryClassSpec& cls) {
-  return cls.model == "data"
-             ? model::QuerySpec::DataDrivenRegion(cls.qx, cls.qy)
-             : model::QuerySpec::UniformRegion(cls.qx, cls.qy);
+std::string ExtentLabel(const model::AxisExtent& ax) {
+  if (ax.open) return "open";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", ax.length);
+  return buf;
 }
 
 std::string ClassLabel(const QueryClassSpec& cls) {
   if (!cls.label.empty()) return cls.label;
-  char buf[64];
+  const char* center = cls.query.center.c_str();
+  char buf[96];
   if (cls.IsMixed()) {
     std::snprintf(buf, sizeof(buf), "mixed i%g/d%g %s", cls.insert_frac,
-                  cls.delete_frac, cls.model.c_str());
+                  cls.delete_frac, center);
     return buf;
   }
-  if (cls.qx == 0.0 && cls.qy == 0.0) {
-    std::snprintf(buf, sizeof(buf), "%s point", cls.model.c_str());
+  if (cls.query.is_point()) {
+    std::snprintf(buf, sizeof(buf), "%s point", center);
   } else {
-    std::snprintf(buf, sizeof(buf), "%s %gx%g", cls.model.c_str(), cls.qx,
-                  cls.qy);
+    std::snprintf(buf, sizeof(buf), "%s %sx%s", center,
+                  ExtentLabel(cls.query.x).c_str(),
+                  ExtentLabel(cls.query.y).c_str());
   }
   return buf;
 }
@@ -131,7 +134,8 @@ Result<PreparedTree> PrepareTree(const ExperimentSpec& spec) {
     if (NeedsCenters(spec)) {
       RTB_ASSIGN_OR_RETURN(std::vector<geom::Rect> rects,
                            data::LoadRects(spec.dataset.path));
-      prepared.centers = data::Centers(rects);
+      prepared.centers = std::make_shared<const std::vector<geom::Point>>(
+          data::Centers(rects));
     }
   } else {
     const auto start = std::chrono::steady_clock::now();
@@ -155,7 +159,10 @@ Result<PreparedTree> PrepareTree(const ExperimentSpec& spec) {
     prepared.build_seconds = SecondsSince(start);
     prepared.meta = IndexMeta{built.root, built.height, spec.tree.fanout};
     prepared.store = std::move(store);
-    if (NeedsCenters(spec)) prepared.centers = data::Centers(rects);
+    if (NeedsCenters(spec)) {
+      prepared.centers = std::make_shared<const std::vector<geom::Point>>(
+          data::Centers(rects));
+    }
     // Mixed update classes draw delete victims from the build rectangles
     // (object ids are their indexes — the BuildRTree contract).
     if (spec.workload.HasMixedClass()) prepared.rects = std::move(rects);
@@ -171,7 +178,8 @@ Result<PreparedTree> PrepareTree(const ExperimentSpec& spec) {
 Result<ModelEstimate> EvaluateModel(const rtree::TreeSummary& summary,
                                     const model::QuerySpec& qspec,
                                     const PoolSpec& pool,
-                                    const std::vector<geom::Point>* centers) {
+                                    const std::vector<geom::Point>* centers,
+                                    uint64_t batch_size) {
   RTB_ASSIGN_OR_RETURN(std::vector<double> probs,
                        model::AccessProbabilities(summary, qspec, centers));
   ModelEstimate est;
@@ -180,6 +188,14 @@ Result<ModelEstimate> EvaluateModel(const rtree::TreeSummary& summary,
     est.disk_accesses = model::ExpectedDiskAccesses(probs, pool.buffer_pages);
     est.disk_accesses_continuous =
         model::ExpectedDiskAccessesContinuous(probs, pool.buffer_pages);
+    if (batch_size >= 2) {
+      const model::BatchedModelResult batched =
+          model::ExpectedBatchedDiskAccesses(probs, pool.buffer_pages,
+                                             batch_size);
+      est.batched = true;
+      est.batched_disk_accesses = batched.disk_accesses;
+      est.effective_hit_rate = batched.effective_hit_rate;
+    }
   } else {
     model::PinnedModelResult pinned = model::ExpectedDiskAccessesPinned(
         summary, probs, pool.buffer_pages, pool.pinned_levels);
@@ -256,15 +272,18 @@ Result<RunReport> Run(const ExperimentSpec& spec) {
                          prepared.meta.root, prepared.meta.height));
 
   const std::vector<geom::Point>* centers =
-      prepared.centers.empty() ? nullptr : &prepared.centers;
+      prepared.centers == nullptr ? nullptr : prepared.centers.get();
+  sim::GeneratorContext gen_ctx;
+  gen_ctx.centers = prepared.centers;  // Shared, not borrowed: generators
+                                       // survive the PreparedTree.
   for (size_t c = 0; c < spec.workload.classes.size(); ++c) {
     const QueryClassSpec& cls = spec.workload.classes[c];
     ClassReport cr;
     cr.label = ClassLabel(cls);
-    cr.qspec = ToQuerySpec(cls);
+    cr.qspec = cls.query;
 
     RTB_ASSIGN_OR_RETURN(std::unique_ptr<sim::QueryGenerator> gen,
-                         sim::MakeGenerator(cr.qspec, centers));
+                         sim::MakeGenerator(cr.qspec, gen_ctx));
     sim::WorkloadOptions options;
     options.threads = spec.run.threads;
     options.base_seed = spec.run.seed + c * kClassSeedStride;
@@ -315,10 +334,14 @@ Result<RunReport> Run(const ExperimentSpec& spec) {
 
     // The analytic model predicts query cost against the built tree; a
     // mixed class mutates it mid-run, so no prediction is reported.
-    if (spec.run.evaluate_model && !cls.IsMixed()) {
+    // Custom-registered center sources have no analytic model and are
+    // skipped rather than failing the run.
+    if (spec.run.evaluate_model && !cls.IsMixed() &&
+        model::HasAnalyticModel(cls.query.center)) {
       RTB_ASSIGN_OR_RETURN(cr.predicted,
                            EvaluateModel(*prepared.summary, cr.qspec,
-                                         spec.pool, centers));
+                                         spec.pool, centers,
+                                         spec.workload.batch_size));
       cr.model_evaluated = true;
     }
     report.classes.push_back(std::move(cr));
@@ -422,11 +445,17 @@ report::JsonDict RunReport::ToJsonDict() const {
   for (const ClassReport& cr : classes) {
     report::JsonDict c;
     c.PutStr("label", cr.label);
-    c.PutStr("model", cr.qspec.model == model::QueryModel::kDataDriven
-                          ? "data"
-                          : "uniform");
-    c.PutNum("qx", cr.qspec.qx);
-    c.PutNum("qy", cr.qspec.qy);
+    c.PutStr("model", cr.qspec.center);
+    if (cr.qspec.x.open) {
+      c.PutStr("qx", "open");
+    } else {
+      c.PutNum("qx", cr.qspec.x.length);
+    }
+    if (cr.qspec.y.open) {
+      c.PutStr("qy", "open");
+    } else {
+      c.PutNum("qy", cr.qspec.y.length);
+    }
     c.PutInt("queries", cr.run.queries);
     c.PutInt("disk_accesses", cr.run.disk_accesses);
     c.PutInt("node_accesses", cr.run.node_accesses);
@@ -449,6 +478,14 @@ report::JsonDict RunReport::ToJsonDict() const {
       predicted.PutBool("feasible", cr.predicted.feasible);
       if (spec.pool.pinned_levels > 0) {
         predicted.PutInt("pinned_pages", cr.predicted.pinned_pages);
+      }
+      if (cr.predicted.batched) {
+        // Only on batched runs, so batch_size == 1 reports keep their
+        // pre-redesign bytes.
+        predicted.PutNum("batched_disk_accesses",
+                         cr.predicted.batched_disk_accesses);
+        predicted.PutNum("effective_hit_rate",
+                         cr.predicted.effective_hit_rate);
       }
       c.PutDict("predicted", predicted);
     }

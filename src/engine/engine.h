@@ -47,7 +47,10 @@ inline constexpr uint64_t kRunReportSchemaVersion = 1;
 struct PreparedTree {
   std::unique_ptr<storage::PageStore> store;
   std::unique_ptr<rtree::TreeSummary> summary;
-  std::vector<geom::Point> centers;
+  /// Shared with the query generators (sim::GeneratorContext), so a
+  /// generator built from this tree stays valid even if the PreparedTree
+  /// is torn down or rebuilt mid-run. Null when no class needs centers.
+  std::shared_ptr<const std::vector<geom::Point>> centers;
   /// The build rectangles, kept only when a mixed update class needs them
   /// to seed its delete-victim ledger (object ids are their indexes).
   std::vector<geom::Rect> rects;
@@ -67,16 +70,23 @@ struct ModelEstimate {
   double disk_accesses_continuous = 0.0;  // Real-valued N* refinement.
   bool feasible = true;        // False: pinned levels exceed the buffer.
   uint64_t pinned_pages = 0;
+  /// Batched-executor model (batch_size >= 2, no pinning): Eq. 5-6 at
+  /// batch granularity (model::ExpectedBatchedDiskAccesses).
+  bool batched = false;
+  double batched_disk_accesses = 0.0;  // Per query, within-batch collapse.
+  double effective_hit_rate = 0.0;     // Predicted 1 - disk/EP.
 };
 
 /// Evaluates the cost model for `qspec` against `summary` under `pool`
 /// (buffer size and pinned levels). `centers` is required for data-driven
-/// specs.
+/// specs. `batch_size >= 2` additionally evaluates the batched-executor
+/// model (when no levels are pinned).
 Result<ModelEstimate> EvaluateModel(const rtree::TreeSummary& summary,
                                     const model::QuerySpec& qspec,
                                     const PoolSpec& pool,
                                     const std::vector<geom::Point>* centers =
-                                        nullptr);
+                                        nullptr,
+                                    uint64_t batch_size = 1);
 
 /// Measured (and optionally predicted) results of one query class.
 struct ClassReport {

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "sim/query_gen.h"
+
 namespace rtb::engine {
 
 namespace {
@@ -141,18 +143,56 @@ Status ParsePool(const JsonValue& v, PoolSpec* out) {
   return Status::OK();
 }
 
+// An extent is a number, or the string "open" for an unconstrained
+// (partial-match) axis.
+Status GetExtent(const JsonValue& v, const std::string& ctx,
+                 model::AxisExtent* out) {
+  if (v.is_string()) {
+    if (v.str() != "open") {
+      return Bad(ctx + " must be a number or \"open\"");
+    }
+    *out = model::AxisExtent::Open();
+    return Status::OK();
+  }
+  double length = 0.0;
+  RTB_RETURN_IF_ERROR(GetDouble(v, ctx, &length));
+  *out = model::AxisExtent::Fixed(length);
+  return Status::OK();
+}
+
 Status ParseClass(const JsonValue& v, size_t i, QueryClassSpec* out) {
   const std::string ctx = "workload.classes[" + std::to_string(i) + "]";
   if (!v.is_object()) return Bad(ctx + " must be an object");
+  bool saw_cluster_key = false;
   for (const auto& [key, value] : v.members()) {
     if (key == "label") {
       RTB_RETURN_IF_ERROR(GetStr(value, ctx + ".label", &out->label));
     } else if (key == "model") {
-      RTB_RETURN_IF_ERROR(GetStr(value, ctx + ".model", &out->model));
+      RTB_RETURN_IF_ERROR(GetStr(value, ctx + ".model", &out->query.center));
     } else if (key == "qx") {
-      RTB_RETURN_IF_ERROR(GetDouble(value, ctx + ".qx", &out->qx));
+      RTB_RETURN_IF_ERROR(GetExtent(value, ctx + ".qx", &out->query.x));
     } else if (key == "qy") {
-      RTB_RETURN_IF_ERROR(GetDouble(value, ctx + ".qy", &out->qy));
+      RTB_RETURN_IF_ERROR(GetExtent(value, ctx + ".qy", &out->query.y));
+    } else if (key == "hotspots") {
+      uint64_t hotspots = 0;
+      RTB_RETURN_IF_ERROR(GetUint(value, ctx + ".hotspots", &hotspots));
+      if (hotspots == 0 || hotspots > UINT32_MAX) {
+        return Bad(ctx + ".hotspots out of range");
+      }
+      out->query.cluster.hotspots = static_cast<uint32_t>(hotspots);
+      saw_cluster_key = true;
+    } else if (key == "spread") {
+      RTB_RETURN_IF_ERROR(
+          GetDouble(value, ctx + ".spread", &out->query.cluster.spread));
+      saw_cluster_key = true;
+    } else if (key == "skew") {
+      RTB_RETURN_IF_ERROR(
+          GetDouble(value, ctx + ".skew", &out->query.cluster.skew));
+      saw_cluster_key = true;
+    } else if (key == "hotspot_seed") {
+      RTB_RETURN_IF_ERROR(GetUint(value, ctx + ".hotspot_seed",
+                                  &out->query.cluster.placement_seed));
+      saw_cluster_key = true;
     } else if (key == "count") {
       RTB_RETURN_IF_ERROR(GetUint(value, ctx + ".count", &out->count));
     } else if (key == "insert_frac") {
@@ -164,6 +204,10 @@ Status ParseClass(const JsonValue& v, size_t i, QueryClassSpec* out) {
     } else {
       return Bad("unknown key " + ctx + "." + key);
     }
+  }
+  if (saw_cluster_key && out->query.center != model::kCenterCluster) {
+    return Bad(ctx + ": hotspots/spread/skew/hotspot_seed require "
+               "model 'cluster'");
   }
   return Status::OK();
 }
@@ -328,12 +372,18 @@ Status ExperimentSpec::Validate() const {
   for (size_t i = 0; i < workload.classes.size(); ++i) {
     const QueryClassSpec& cls = workload.classes[i];
     const std::string ctx = "workload.classes[" + std::to_string(i) + "]";
-    if (cls.model != "uniform" && cls.model != "data") {
-      return Bad(ctx + ".model must be 'uniform' or 'data'");
+    if (!sim::HasGenerator(cls.query.center)) {
+      return Bad(ctx + ".model must name a registered query model "
+                 "('uniform', 'data', 'cluster', ...)");
     }
-    if (!(cls.qx >= 0.0 && cls.qx < 1.0) ||
-        !(cls.qy >= 0.0 && cls.qy < 1.0)) {
+    if ((!cls.query.x.open &&
+         !(cls.query.x.length >= 0.0 && cls.query.x.length < 1.0)) ||
+        (!cls.query.y.open &&
+         !(cls.query.y.length >= 0.0 && cls.query.y.length < 1.0))) {
       return Bad(ctx + " extents must be in [0, 1)");
+    }
+    if (Status s = cls.query.Validate(); !s.ok()) {
+      return Bad(ctx + ": " + s.message());
     }
     if (cls.count == 0) return Bad(ctx + ".count must be >= 1");
     if (!(cls.insert_frac >= 0.0 && cls.insert_frac <= 1.0) ||
@@ -342,6 +392,11 @@ Status ExperimentSpec::Validate() const {
       return Bad(ctx + " update fractions must be in [0, 1] with sum <= 1");
     }
     if (cls.IsMixed()) {
+      if (cls.query.has_open_axis()) {
+        // Mixed classes insert rectangles drawn from the query generator;
+        // an open axis would insert infinite geometry into the tree.
+        return Bad(ctx + " mixes updates, which conflicts with open axes");
+      }
       if (!tree.index.empty()) {
         // Updates mutate the store; an opened index file must not be
         // rewritten behind the user's back, and the delete ledger needs
@@ -357,7 +412,8 @@ Status ExperimentSpec::Validate() const {
                    "workload.shared_frontier");
       }
     }
-    if (cls.model == "data" && !tree.index.empty() && dataset.path.empty()) {
+    if (sim::GeneratorNeedsCenters(cls.query.center) && !tree.index.empty() &&
+        dataset.path.empty()) {
       // Built trees supply query centers from their own data; an opened
       // index has no data on hand, so the centers must come from a file.
       return Bad(ctx + " is data-driven over an opened index; set "
@@ -418,9 +474,27 @@ report::JsonDict ExperimentSpec::ToJsonDict() const {
   for (const QueryClassSpec& cls : workload.classes) {
     report::JsonDict c;
     if (!cls.label.empty()) c.PutStr("label", cls.label);
-    c.PutStr("model", cls.model);
-    c.PutNum("qx", cls.qx);
-    c.PutNum("qy", cls.qy);
+    c.PutStr("model", cls.query.center);
+    // An open axis emits the string "open"; fixed extents stay numbers, so
+    // pre-redesign specs round-trip byte-identically.
+    if (cls.query.x.open) {
+      c.PutStr("qx", "open");
+    } else {
+      c.PutNum("qx", cls.query.x.length);
+    }
+    if (cls.query.y.open) {
+      c.PutStr("qy", "open");
+    } else {
+      c.PutNum("qy", cls.query.y.length);
+    }
+    if (cls.query.center == model::kCenterCluster) {
+      // Cluster parameters only exist for cluster classes, mirroring the
+      // WAL dict's omit-at-defaults contract.
+      c.PutInt("hotspots", cls.query.cluster.hotspots);
+      c.PutNum("spread", cls.query.cluster.spread);
+      c.PutNum("skew", cls.query.cluster.skew);
+      c.PutInt("hotspot_seed", cls.query.cluster.placement_seed);
+    }
     c.PutInt("count", cls.count);
     if (cls.IsMixed()) {
       c.PutNum("insert_frac", cls.insert_frac);

@@ -20,7 +20,11 @@
 //       "classes": [
 //         {"label": "point", "model": "uniform", "count": 100000},
 //         {"label": "region1%", "model": "uniform",
-//          "qx": 0.01, "qy": 0.01, "count": 100000}
+//          "qx": 0.01, "qy": 0.01, "count": 100000},
+//         {"label": "partial-x", "model": "uniform",
+//          "qx": 0.01, "qy": "open", "count": 100000},
+//         {"label": "hotspots", "model": "cluster", "qx": 0.01, "qy": 0.01,
+//          "hotspots": 16, "spread": 0.05, "skew": 1.0, "count": 100000}
 //       ]
 //     },
 //     "run": {"threads": 1, "seed": 1, "evaluate_model": true}
@@ -36,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "model/query_class.h"
 #include "report/json.h"
 #include "storage/replacement.h"
 #include "util/result.h"
@@ -104,13 +109,14 @@ struct PoolSpec {
   uint16_t pinned_levels = 0;  // Top tree levels pinned in the pool.
 };
 
-/// One query class: a distribution (the paper's uniform or data-driven
-/// model), a region extent, and how many measured queries to run.
+/// One query class: the unified model::QueryClass description (center
+/// source, per-axis extents where an axis may be open, cluster parameters)
+/// plus how many measured queries to run. JSON keys: "model" is the center
+/// source, "qx"/"qy" are numbers or the string "open", and
+/// "hotspots"/"spread"/"skew"/"hotspot_seed" configure model "cluster".
 struct QueryClassSpec {
-  std::string label;             // Defaults to model+extent if empty.
-  std::string model = "uniform";  // uniform|data
-  double qx = 0.0;
-  double qy = 0.0;
+  std::string label;          // Defaults to model+extent if empty.
+  model::QueryClass query;
   uint64_t count = 100000;
   /// Mixed insert/delete/search workload: each of the class's `count`
   /// operations is an insert with probability insert_frac, a delete of a

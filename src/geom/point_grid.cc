@@ -57,16 +57,18 @@ PointGrid::PointGrid(const std::vector<Point>& points,
 
 uint32_t PointGrid::CellX(double x) const {
   double t = (x - bounds_.lo.x) / cell_w_;
-  if (t < 0.0) return 0;
-  uint32_t c = static_cast<uint32_t>(t);
-  return c >= side_ ? side_ - 1 : c;
+  // Clamp in double before the cast: t may be +/-inf (open-axis query
+  // rectangles) or exceed uint32 range, where the cast itself would be UB.
+  if (!(t >= 0.0)) return 0;
+  if (t >= static_cast<double>(side_)) return side_ - 1;
+  return static_cast<uint32_t>(t);
 }
 
 uint32_t PointGrid::CellY(double y) const {
   double t = (y - bounds_.lo.y) / cell_h_;
-  if (t < 0.0) return 0;
-  uint32_t c = static_cast<uint32_t>(t);
-  return c >= side_ ? side_ - 1 : c;
+  if (!(t >= 0.0)) return 0;
+  if (t >= static_cast<double>(side_)) return side_ - 1;
+  return static_cast<uint32_t>(t);
 }
 
 uint64_t PointGrid::CountInRect(const Rect& rect) const {

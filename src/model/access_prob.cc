@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "geom/point_grid.h"
 #include "util/macros.h"
@@ -10,6 +11,56 @@ namespace rtb::model {
 
 using geom::Point;
 using geom::Rect;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One axis's factor of the uniform model: the probability that a query
+/// with this extent overlaps [lo, hi] on the axis. Always in [0, 1] —
+/// Cx <= 1-q because min(1, hi+q) <= 1 and max(lo, q) >= q.
+double UniformAxisFactor(double lo, double hi, const AxisExtent& ax) {
+  if (ax.open) return 1.0;
+  const double q = ax.length;
+  const double c = std::min(1.0, hi + q) - std::max(lo, q);
+  if (c <= 0.0) return 0.0;
+  return c / (1.0 - q);
+}
+
+/// The interval of query centers on one axis that reach [lo, hi]: the node
+/// interval expanded by half the extent per side, or the whole axis when
+/// the axis is open.
+void ExpandedInterval(double lo, double hi, const AxisExtent& ax,
+                      double* out_lo, double* out_hi) {
+  if (ax.open) {
+    *out_lo = -kInf;
+    *out_hi = kInf;
+    return;
+  }
+  *out_lo = lo - ax.length / 2.0;
+  *out_hi = hi + ax.length / 2.0;
+}
+
+/// Gaussian mass of [a, b] for N(mu, sigma^2); the indicator of mu in
+/// [a, b] when sigma == 0. An open axis passes (a, b) = (-inf, inf), for
+/// which erf gives exactly 1.
+double GaussianMass(double a, double b, double mu, double sigma) {
+  if (sigma <= 0.0) return (mu >= a && mu <= b) ? 1.0 : 0.0;
+  const double inv = 1.0 / (sigma * std::sqrt(2.0));
+  return 0.5 * (std::erf((b - mu) * inv) - std::erf((a - mu) * inv));
+}
+
+Status CheckUniformExtents(const QueryClass& qc) {
+  const bool x_ok = qc.x.open || (qc.x.length >= 0.0 && qc.x.length < 1.0);
+  const bool y_ok = qc.y.open || (qc.y.length >= 0.0 && qc.y.length < 1.0);
+  if (!x_ok || !y_ok) {
+    return Status::InvalidArgument(
+        "query extents must lie in [0, 1) for the uniform model");
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 double UniformAccessProbability(const Rect& r, double qx, double qy) {
   RTB_DCHECK(qx >= 0.0 && qx < 1.0 && qy >= 0.0 && qy < 1.0);
@@ -25,24 +76,45 @@ double UniformAccessProbability(const Rect& r, double qx, double qy) {
   return std::clamp(p, 0.0, 1.0);
 }
 
+double UniformAccessProbability(const Rect& r, const AxisExtent& x,
+                                const AxisExtent& y) {
+  if (!x.open && !y.open) {
+    // Evaluate the closed-axis case through the exact legacy expression so
+    // fixed-extent predictions stay bit-identical across the redesign.
+    return UniformAccessProbability(r, x.length, y.length);
+  }
+  if (r.is_empty()) return 0.0;
+  const double p = UniformAxisFactor(r.lo.x, r.hi.x, x) *
+                   UniformAxisFactor(r.lo.y, r.hi.y, y);
+  return std::clamp(p, 0.0, 1.0);
+}
+
+Result<std::vector<double>> UniformAccessProbabilities(
+    const rtree::TreeSummary& summary, const QueryClass& qc) {
+  RTB_RETURN_IF_ERROR(CheckUniformExtents(qc));
+  std::vector<double> probs;
+  probs.reserve(summary.NumNodes());
+  for (const rtree::NodeInfo& node : summary.nodes()) {
+    probs.push_back(UniformAccessProbability(node.mbr, qc.x, qc.y));
+  }
+  return probs;
+}
+
 Result<std::vector<double>> UniformAccessProbabilities(
     const rtree::TreeSummary& summary, double qx, double qy) {
   if (qx < 0.0 || qx >= 1.0 || qy < 0.0 || qy >= 1.0) {
     return Status::InvalidArgument(
         "query extents must lie in [0, 1) for the uniform model");
   }
-  std::vector<double> probs;
-  probs.reserve(summary.NumNodes());
-  for (const rtree::NodeInfo& node : summary.nodes()) {
-    probs.push_back(UniformAccessProbability(node.mbr, qx, qy));
-  }
-  return probs;
+  return UniformAccessProbabilities(summary,
+                                    QueryClass::UniformRegion(qx, qy));
 }
 
 Result<std::vector<double>> DataDrivenAccessProbabilities(
     const rtree::TreeSummary& summary, const std::vector<Point>& centers,
-    double qx, double qy) {
-  if (qx < 0.0 || qy < 0.0) {
+    const QueryClass& qc) {
+  if ((!qc.x.open && qc.x.length < 0.0) ||
+      (!qc.y.open && qc.y.length < 0.0)) {
     return Status::InvalidArgument("query extents must be non-negative");
   }
   if (centers.empty()) {
@@ -54,27 +126,73 @@ Result<std::vector<double>> DataDrivenAccessProbabilities(
   std::vector<double> probs;
   probs.reserve(summary.NumNodes());
   for (const rtree::NodeInfo& node : summary.nodes()) {
-    Rect expanded = geom::ExpandAboutCenter(node.mbr, qx, qy);
+    Rect expanded = node.mbr;
+    ExpandedInterval(node.mbr.lo.x, node.mbr.hi.x, qc.x, &expanded.lo.x,
+                     &expanded.hi.x);
+    ExpandedInterval(node.mbr.lo.y, node.mbr.hi.y, qc.y, &expanded.lo.y,
+                     &expanded.hi.y);
     probs.push_back(static_cast<double>(grid.CountInRect(expanded)) / n);
   }
   return probs;
 }
 
-Result<std::vector<double>> AccessProbabilities(
-    const rtree::TreeSummary& summary, const QuerySpec& spec,
-    const std::vector<Point>* centers) {
-  switch (spec.model) {
-    case QueryModel::kUniform:
-      return UniformAccessProbabilities(summary, spec.qx, spec.qy);
-    case QueryModel::kDataDriven:
-      if (centers == nullptr) {
-        return Status::InvalidArgument(
-            "data-driven model requires data centers");
-      }
-      return DataDrivenAccessProbabilities(summary, *centers, spec.qx,
-                                           spec.qy);
+Result<std::vector<double>> DataDrivenAccessProbabilities(
+    const rtree::TreeSummary& summary, const std::vector<Point>& centers,
+    double qx, double qy) {
+  return DataDrivenAccessProbabilities(summary, centers,
+                                       QueryClass::DataDrivenRegion(qx, qy));
+}
+
+Result<std::vector<double>> ClusterAccessProbabilities(
+    const rtree::TreeSummary& summary, const QueryClass& qc) {
+  RTB_RETURN_IF_ERROR(qc.Validate());
+  const std::vector<Point> hotspots = DeriveHotspots(qc.cluster);
+  const std::vector<double> weights =
+      ZipfWeights(qc.cluster.hotspots, qc.cluster.skew);
+  const double sigma = qc.cluster.spread;
+  std::vector<double> probs;
+  probs.reserve(summary.NumNodes());
+  for (const rtree::NodeInfo& node : summary.nodes()) {
+    if (node.mbr.is_empty()) {
+      probs.push_back(0.0);
+      continue;
+    }
+    double ax, bx, ay, by;
+    ExpandedInterval(node.mbr.lo.x, node.mbr.hi.x, qc.x, &ax, &bx);
+    ExpandedInterval(node.mbr.lo.y, node.mbr.hi.y, qc.y, &ay, &by);
+    double p = 0.0;
+    for (size_t i = 0; i < hotspots.size(); ++i) {
+      p += weights[i] * GaussianMass(ax, bx, hotspots[i].x, sigma) *
+           GaussianMass(ay, by, hotspots[i].y, sigma);
+    }
+    probs.push_back(std::clamp(p, 0.0, 1.0));
   }
-  return Status::InvalidArgument("unknown query model");
+  return probs;
+}
+
+bool HasAnalyticModel(const std::string& center) {
+  return center == kCenterUniform || center == kCenterData ||
+         center == kCenterCluster;
+}
+
+Result<std::vector<double>> AccessProbabilities(
+    const rtree::TreeSummary& summary, const QueryClass& qc,
+    const std::vector<Point>* centers) {
+  if (qc.center == kCenterUniform) {
+    return UniformAccessProbabilities(summary, qc);
+  }
+  if (qc.center == kCenterData) {
+    if (centers == nullptr) {
+      return Status::InvalidArgument(
+          "data-driven model requires data centers");
+    }
+    return DataDrivenAccessProbabilities(summary, *centers, qc);
+  }
+  if (qc.center == kCenterCluster) {
+    return ClusterAccessProbabilities(summary, qc);
+  }
+  return Status::InvalidArgument("no analytic model for query center '" +
+                                 qc.center + "'");
 }
 
 }  // namespace rtb::model

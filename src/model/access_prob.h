@@ -1,64 +1,59 @@
-// Per-node access probabilities (paper Sections 3.1 and 3.2).
+// Per-node access probabilities (paper Sections 3.1 and 3.2, extended).
 //
 // Given the MBRs of all nodes of a tree, these functions compute, for each
 // node j, the probability A^Q_j that a random query accesses it, under the
-// three query models of the paper:
+// query classes of model/query_class.h:
 //
-//  * Uniform point queries: A_j = area(R_j ∩ U) — the Kamel-Faloutsos
-//    observation that a node is visited iff the query point falls in its
-//    MBR.
-//  * Uniform region queries of size qx x qy: the query's top-right corner is
-//    uniform over U' = [qx,1] x [qy,1] (so the whole query fits in the unit
-//    square), and A_j = area(R'_j ∩ U') / area(U') where R' extends R by qx
-//    and qy beyond its top-right corner — the paper's boundary-corrected
-//    model, A_j = C*D / ((1-qx)(1-qy)).
-//  * Data-driven queries: the query is centered at a uniformly chosen data
-//    center, and A_j is the fraction of data centers that fall inside R_j
-//    expanded by qx (resp. qy) about its center (Eq. 4; point queries are
-//    the qx=qy=0 case).
+//  * Uniform centers: the query's anchor is uniform over the unit square.
+//    Point queries give A_j = area(R_j ∩ U) (Kamel-Faloutsos); qx x qy
+//    regions use the paper's boundary-corrected model. The probability
+//    factors per axis, A_j = Cx_j/(1-qx) * Cy_j/(1-qy) with
+//    Cx_j = min(1, hi+qx) - max(lo, qx), which is what lets an *open* axis
+//    drop out of the product: an open axis always overlaps the node, so its
+//    factor is 1 and a partial-match query's access probability is the
+//    remaining fixed axis's factor alone (the Eq. 5-6 extension).
+//  * Data centers: the query is centered at a uniformly chosen data center,
+//    and A_j is the fraction of data centers inside R_j expanded by qx/2
+//    (resp. qy/2) per side (Eq. 4); an open axis expands to the whole axis.
+//  * Cluster centers: the center is hotspot i (Zipf weight w_i) plus a
+//    N(0, spread^2) offset per axis, so per hotspot the axis factor is the
+//    Gaussian mass of the expanded MBR interval,
+//    Φ((b-μ)/σ) - Φ((a-μ)/σ), and A_j = Σ_i w_i * fx_i * fy_i exactly
+//    (the generator does not clamp centers to the unit square, and neither
+//    does the model).
 
 #ifndef RTB_MODEL_ACCESS_PROB_H_
 #define RTB_MODEL_ACCESS_PROB_H_
 
+#include <string>
 #include <vector>
 
 #include "geom/point.h"
 #include "geom/rect.h"
+#include "model/query_class.h"
 #include "rtree/summary.h"
 #include "util/result.h"
 
 namespace rtb::model {
 
-/// Which of the paper's query distributions is being modeled.
-enum class QueryModel { kUniform, kDataDriven };
-
-/// A query workload: distribution plus region extent (0 x 0 = point query).
-struct QuerySpec {
-  QueryModel model = QueryModel::kUniform;
-  double qx = 0.0;
-  double qy = 0.0;
-
-  static QuerySpec UniformPoint() { return QuerySpec{}; }
-  static QuerySpec UniformRegion(double qx, double qy) {
-    return QuerySpec{QueryModel::kUniform, qx, qy};
-  }
-  static QuerySpec DataDrivenPoint() {
-    return QuerySpec{QueryModel::kDataDriven, 0.0, 0.0};
-  }
-  static QuerySpec DataDrivenRegion(double qx, double qy) {
-    return QuerySpec{QueryModel::kDataDriven, qx, qy};
-  }
-
-  bool is_point() const { return qx == 0.0 && qy == 0.0; }
-};
+/// Compatibility alias: the legacy QuerySpec vocabulary (UniformPoint,
+/// DataDrivenRegion, ...) lives on as QueryClass factories.
+using QuerySpec = QueryClass;
 
 /// Probability that a uniform qx x qy region query (point query when both
 /// are 0) accesses a node with MBR `r`. Boundary-corrected per Section 3.1.
 /// Requires 0 <= qx < 1 and 0 <= qy < 1.
 double UniformAccessProbability(const geom::Rect& r, double qx, double qy);
 
+/// Per-axis form of the same model, with open-axis support: an open axis
+/// contributes factor 1 (the slab always overlaps the node on that axis).
+double UniformAccessProbability(const geom::Rect& r, const AxisExtent& x,
+                                const AxisExtent& y);
+
 /// Access probabilities for every node in `summary` under uniform queries,
 /// in summary node order.
+Result<std::vector<double>> UniformAccessProbabilities(
+    const rtree::TreeSummary& summary, const QueryClass& qc);
 Result<std::vector<double>> UniformAccessProbabilities(
     const rtree::TreeSummary& summary, double qx, double qy);
 
@@ -67,11 +62,26 @@ Result<std::vector<double>> UniformAccessProbabilities(
 /// ~O(#nodes * boundary + #points) via a counting grid.
 Result<std::vector<double>> DataDrivenAccessProbabilities(
     const rtree::TreeSummary& summary, const std::vector<geom::Point>& centers,
+    const QueryClass& qc);
+Result<std::vector<double>> DataDrivenAccessProbabilities(
+    const rtree::TreeSummary& summary, const std::vector<geom::Point>& centers,
     double qx, double qy);
 
-/// Dispatches on spec.model. For kDataDriven, `centers` must be non-null.
+/// Access probabilities under the clustered-hotspot model (exact Gaussian
+/// mixture; see file comment). Hotspots are derived from qc.cluster via
+/// DeriveHotspots, identically to the generator.
+Result<std::vector<double>> ClusterAccessProbabilities(
+    const rtree::TreeSummary& summary, const QueryClass& qc);
+
+/// True when `center` names a center source AccessProbabilities can model
+/// analytically ("uniform", "data", "cluster"). Custom generator
+/// registrations (sim/query_gen.h) have no analytic model; the engine skips
+/// prediction for them.
+bool HasAnalyticModel(const std::string& center);
+
+/// Dispatches on qc.center. For "data", `centers` must be non-null.
 Result<std::vector<double>> AccessProbabilities(
-    const rtree::TreeSummary& summary, const QuerySpec& spec,
+    const rtree::TreeSummary& summary, const QueryClass& qc,
     const std::vector<geom::Point>* centers = nullptr);
 
 }  // namespace rtb::model

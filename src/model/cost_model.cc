@@ -1,5 +1,6 @@
 #include "model/cost_model.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <cstddef>
@@ -148,6 +149,42 @@ PinnedModelResult ExpectedDiskAccessesPinned(
     return result;
   }
   result.disk_accesses = ExpectedDiskAccesses(rest, effective_buffer);
+  return result;
+}
+
+std::vector<double> BatchAccessProbabilities(const std::vector<double>& probs,
+                                             uint64_t batch_size) {
+  const double q = static_cast<double>(batch_size);
+  std::vector<double> batched;
+  batched.reserve(probs.size());
+  for (double p : probs) {
+    if (p <= 0.0) {
+      batched.push_back(0.0);
+    } else if (p >= 1.0) {
+      batched.push_back(1.0);
+    } else {
+      // 1 - (1-p)^Q, computed stably for small p via expm1/log1p.
+      batched.push_back(-std::expm1(q * std::log1p(-p)));
+    }
+  }
+  return batched;
+}
+
+BatchedModelResult ExpectedBatchedDiskAccesses(
+    const std::vector<double>& probs, uint64_t buffer_pages,
+    uint64_t batch_size) {
+  if (batch_size == 0) batch_size = 1;
+  BatchedModelResult result;
+  const std::vector<double> batched =
+      BatchAccessProbabilities(probs, batch_size);
+  result.batch_node_accesses = ExpectedNodeAccesses(batched);
+  const double misses_per_batch =
+      ExpectedDiskAccesses(batched, buffer_pages);
+  result.disk_accesses = misses_per_batch / static_cast<double>(batch_size);
+  const double ep = ExpectedNodeAccesses(probs);
+  result.effective_hit_rate =
+      ep > 0.0 ? std::min(1.0, std::max(0.0, 1.0 - result.disk_accesses / ep))
+               : 0.0;
   return result;
 }
 

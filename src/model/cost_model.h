@@ -77,6 +77,38 @@ PinnedModelResult ExpectedDiskAccessesPinned(
     const rtree::TreeSummary& summary, const std::vector<double>& probs,
     uint64_t buffer_pages, uint16_t pinned_levels);
 
+/// Per-node probability that a batch of `batch_size` i.i.d. queries
+/// accesses the node at least once: q_j = 1 - (1 - p_j)^Q. The batched
+/// executor (rtree/batch.h) pins each distinct page once per batch, so at
+/// batch granularity the workload behaves like a stream of "batch queries"
+/// with these access probabilities — Eq. 5-6 apply verbatim with p -> q.
+std::vector<double> BatchAccessProbabilities(const std::vector<double>& probs,
+                                             uint64_t batch_size);
+
+/// First-cut buffer model for the batched executor.
+struct BatchedModelResult {
+  /// Expected distinct pages pinned per batch (sum of q_j) — the batch's
+  /// pool requests after within-batch collapse.
+  double batch_node_accesses = 0.0;
+  /// Expected steady-state disk accesses per query: Eq. 6 over the q_j
+  /// (misses per batch) divided by the batch size.
+  double disk_accesses = 0.0;
+  /// Predicted effective hit rate, 1 - disk_accesses / EP, where EP is the
+  /// bufferless per-query node accesses. Comparable to the measured
+  /// 1 - disk_reads/node_accesses of bench/micro_batch_query: within-batch
+  /// collapse makes repeated pages free, so this rises with batch size
+  /// even on a pool too small for Eq. 5's distinct-page window.
+  double effective_hit_rate = 0.0;
+};
+
+/// Applies Eq. 5-6 at batch granularity (see BatchAccessProbabilities):
+/// N*_B is the number of *batches* filling the buffer, misses per batch is
+/// sum_j q_j (1-q_j)^{N*_B}, and per-query disk accesses divide by the
+/// batch size. batch_size <= 1 reduces exactly to ExpectedDiskAccesses.
+BatchedModelResult ExpectedBatchedDiskAccesses(
+    const std::vector<double>& probs, uint64_t buffer_pages,
+    uint64_t batch_size);
+
 /// One-call convenience: access probabilities + buffer model.
 /// `centers` is required for data-driven specs.
 Result<double> PredictDiskAccesses(const rtree::TreeSummary& summary,

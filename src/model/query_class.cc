@@ -1,0 +1,76 @@
+#include "model/query_class.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace rtb::model {
+
+namespace {
+
+Status BadAxis(const char* axis, const char* what) {
+  return Status::InvalidArgument(std::string("query class: ") + axis + " " +
+                                 what);
+}
+
+Status ValidateAxis(const AxisExtent& ax, bool uniform_center,
+                    const char* name) {
+  if (ax.open) return Status::OK();
+  if (!std::isfinite(ax.length) || ax.length < 0.0) {
+    return BadAxis(name, "extent must be finite and >= 0");
+  }
+  if (uniform_center && ax.length >= 1.0) {
+    // The uniform model anchors the query inside the unit square; an
+    // extent >= 1 cannot fit.
+    return BadAxis(name, "extent must be < 1 for uniform centers");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status QueryClass::Validate() const {
+  const bool uniform_center = center == kCenterUniform;
+  RTB_RETURN_IF_ERROR(ValidateAxis(x, uniform_center, "x"));
+  RTB_RETURN_IF_ERROR(ValidateAxis(y, uniform_center, "y"));
+  if (center == kCenterCluster) {
+    if (cluster.hotspots == 0) {
+      return Status::InvalidArgument(
+          "query class: cluster needs at least one hotspot");
+    }
+    if (!std::isfinite(cluster.spread) || cluster.spread < 0.0) {
+      return Status::InvalidArgument(
+          "query class: cluster spread must be finite and >= 0");
+    }
+    if (!std::isfinite(cluster.skew) || cluster.skew < 0.0) {
+      return Status::InvalidArgument(
+          "query class: cluster skew must be finite and >= 0");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> ZipfWeights(uint32_t k, double skew) {
+  std::vector<double> weights(k, 0.0);
+  double total = 0.0;
+  for (uint32_t i = 0; i < k; ++i) {
+    weights[i] = std::pow(static_cast<double>(i) + 1.0, -skew);
+    total += weights[i];
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+std::vector<geom::Point> DeriveHotspots(const ClusterParams& params) {
+  Rng rng(params.placement_seed);
+  std::vector<geom::Point> hotspots;
+  hotspots.reserve(params.hotspots);
+  for (uint32_t i = 0; i < params.hotspots; ++i) {
+    const double hx = rng.NextDouble();
+    const double hy = rng.NextDouble();
+    hotspots.push_back(geom::Point{hx, hy});
+  }
+  return hotspots;
+}
+
+}  // namespace rtb::model

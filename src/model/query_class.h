@@ -1,0 +1,140 @@
+// The unified query-class description.
+//
+// One QueryClass value describes a query workload for every layer of the
+// system: the spec parser (engine/spec.h), the query generators
+// (sim/query_gen.h), the analytic model (model/access_prob.h,
+// model/cost_model.h), engine reports, rtb_cli, and the wire protocol's
+// open-bound SEARCH encoding. It factors a class into three independent
+// choices:
+//
+//  * a center source — where query rectangles land:
+//      "uniform"  corner-anchored uniform placement (Section 3.1),
+//      "data"     centered on a uniformly chosen data-rectangle center
+//                 (Section 3.2, Eq. 4),
+//      "cluster"  centered near one of k Zipf-weighted Gaussian hotspots
+//                 (skewed workloads; beyond the paper);
+//  * a per-axis extent, where an axis is either Fixed(length) or Open() —
+//    an open axis is unconstrained, turning the query into a partial-match
+//    query (one-dimensional slab) in the sense of the quadtree literature;
+//  * for "cluster", the hotspot parameters (count, spread, skew, placement
+//    seed), which both the generator and the analytic model derive the
+//    same hotspot set from.
+//
+// model::QuerySpec is an alias of QueryClass kept for compatibility; the
+// old factory names (UniformPoint, DataDrivenRegion, ...) construct the
+// equivalent QueryClass values.
+
+#ifndef RTB_MODEL_QUERY_CLASS_H_
+#define RTB_MODEL_QUERY_CLASS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "util/result.h"
+
+namespace rtb::model {
+
+// Canonical center-source names (QueryClass::center, spec "model" field).
+inline constexpr char kCenterUniform[] = "uniform";
+inline constexpr char kCenterData[] = "data";
+inline constexpr char kCenterCluster[] = "cluster";
+
+/// One axis of a query: a fixed extent, or open (unconstrained — the query
+/// spans the whole axis, encoded as [-inf, +inf] on generated rectangles).
+struct AxisExtent {
+  double length = 0.0;
+  bool open = false;
+
+  static AxisExtent Fixed(double length) { return AxisExtent{length, false}; }
+  static AxisExtent Open() { return AxisExtent{0.0, true}; }
+
+  bool is_point() const { return !open && length == 0.0; }
+
+  friend bool operator==(const AxisExtent& a, const AxisExtent& b) {
+    return a.open == b.open && (a.open || a.length == b.length);
+  }
+};
+
+/// Hotspot parameters for the "cluster" center source. Query centers are
+/// drawn by picking hotspot i with Zipf-like probability w_i ∝ 1/(i+1)^skew
+/// and adding an isotropic Gaussian offset of standard deviation `spread`
+/// per axis. The hotspot locations themselves are uniform in the unit
+/// square, derived deterministically from `placement_seed` — independent of
+/// the per-worker query streams, so every worker (and the analytic model)
+/// sees the same hotspot set.
+struct ClusterParams {
+  uint32_t hotspots = 16;
+  double spread = 0.05;
+  double skew = 1.0;            // 0 = uniform over hotspots.
+  uint64_t placement_seed = 1;
+
+  friend bool operator==(const ClusterParams& a, const ClusterParams& b) {
+    return a.hotspots == b.hotspots && a.spread == b.spread &&
+           a.skew == b.skew && a.placement_seed == b.placement_seed;
+  }
+};
+
+/// The unified query-class description (see file comment).
+struct QueryClass {
+  std::string center = kCenterUniform;
+  AxisExtent x;
+  AxisExtent y;
+  ClusterParams cluster;  // Consulted only when center == "cluster".
+
+  // --- Factories (the first four are the legacy QuerySpec vocabulary). ---
+  static QueryClass UniformPoint() { return QueryClass{}; }
+  static QueryClass UniformRegion(double qx, double qy) {
+    return QueryClass{kCenterUniform, AxisExtent::Fixed(qx),
+                      AxisExtent::Fixed(qy), {}};
+  }
+  static QueryClass DataDrivenPoint() {
+    return QueryClass{kCenterData, {}, {}, {}};
+  }
+  static QueryClass DataDrivenRegion(double qx, double qy) {
+    return QueryClass{kCenterData, AxisExtent::Fixed(qx),
+                      AxisExtent::Fixed(qy), {}};
+  }
+  /// Partial-match on x: the x extent is fixed (a vertical slab of width
+  /// qx), y is open.
+  static QueryClass PartialMatchX(double qx,
+                                  const std::string& center = kCenterUniform) {
+    return QueryClass{center, AxisExtent::Fixed(qx), AxisExtent::Open(), {}};
+  }
+  /// Partial-match on y: the y extent is fixed, x is open.
+  static QueryClass PartialMatchY(double qy,
+                                  const std::string& center = kCenterUniform) {
+    return QueryClass{center, AxisExtent::Open(), AxisExtent::Fixed(qy), {}};
+  }
+  static QueryClass Clustered(double qx, double qy,
+                              const ClusterParams& params = {}) {
+    return QueryClass{kCenterCluster, AxisExtent::Fixed(qx),
+                      AxisExtent::Fixed(qy), params};
+  }
+
+  bool is_point() const { return x.is_point() && y.is_point(); }
+  bool has_open_axis() const { return x.open || y.open; }
+
+  /// Structural checks every consumer shares: finite non-negative fixed
+  /// extents (uniform centers additionally require them < 1 so the query
+  /// fits in the unit square), and sane cluster parameters when the center
+  /// source is "cluster". Consumers layer their own checks on top (the
+  /// spec engine rejects unknown center sources, mixed classes reject open
+  /// axes, ...).
+  Status Validate() const;
+};
+
+/// Normalized Zipf-like weights w_i ∝ 1/(i+1)^skew for i in [0, k).
+/// skew == 0 gives the uniform distribution over hotspots.
+std::vector<double> ZipfWeights(uint32_t k, double skew);
+
+/// The hotspot locations for `params`: `hotspots` points uniform in the
+/// unit square drawn from an Rng seeded with `placement_seed`. Both the
+/// cluster generator and the cluster analytic model call this, which is
+/// what keeps measured and predicted describing the same workload.
+std::vector<geom::Point> DeriveHotspots(const ClusterParams& params);
+
+}  // namespace rtb::model
+
+#endif  // RTB_MODEL_QUERY_CLASS_H_

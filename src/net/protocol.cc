@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "util/status.h"
 
@@ -77,6 +78,15 @@ bool FiniteRect(const geom::Rect& r) {
          std::isfinite(r.hi.x) && std::isfinite(r.hi.y);
 }
 
+// One SEARCH axis is either fully finite or the open-bound sentinel
+// (lo = -inf, hi = +inf, the partial-match encoding). A lone infinity,
+// a reversed sentinel, or a NaN is garbage and is rejected.
+bool SearchAxisOk(double lo, double hi) {
+  if (std::isfinite(lo) && std::isfinite(hi)) return true;
+  return lo == -std::numeric_limits<double>::infinity() &&
+         hi == std::numeric_limits<double>::infinity();
+}
+
 void PutRect(const geom::Rect& r, std::vector<uint8_t>* out) {
   PutF64(r.lo.x, out);
   PutF64(r.lo.y, out);
@@ -120,8 +130,11 @@ Status ParseRequest(const Frame& frame, Request* out) {
       }
       out->type = MsgType::kSearch;
       out->rect = ReadRect(p);
-      if (!FiniteRect(out->rect)) {
-        return Status::InvalidArgument("SEARCH rect has non-finite coords");
+      if (!SearchAxisOk(out->rect.lo.x, out->rect.hi.x) ||
+          !SearchAxisOk(out->rect.lo.y, out->rect.hi.y)) {
+        return Status::InvalidArgument(
+            "SEARCH rect has non-finite coords (open axis is lo=-inf, "
+            "hi=+inf)");
       }
       return Status::OK();
     case static_cast<uint8_t>(MsgType::kKnn):

@@ -20,6 +20,13 @@
 // Payloads:
 //
 //   SEARCH  request   4 f64: lo.x lo.y hi.x hi.y
+//                     an axis is *open* (partial match: it does not
+//                     constrain the query) when encoded as the sentinel
+//                     lo = -inf, hi = +inf; otherwise both bounds must be
+//                     finite. Any other non-finite combination is a typed
+//                     error — which is also what pre-capability servers
+//                     reply to the sentinel, so a client can probe with
+//                     STATS "capabilities" (kCapOpenBoundSearch) first.
 //           reply     u32 n, then n u64 object ids
 //   KNN     request   2 f64: x y, then u32 k
 //           reply     u32 n, then n x (u64 id, f64 distance)
@@ -77,6 +84,14 @@ enum class MsgType : uint8_t {
 
 /// Set on the type byte of every reply frame.
 inline constexpr uint8_t kReplyBit = 0x80;
+
+/// Capability bits advertised in the STATS reply's "capabilities" field
+/// (a u64 rendered as a JSON number). Old servers omit the field, which
+/// reads as 0 — no optional features.
+inline constexpr uint64_t kCapOpenBoundSearch = uint64_t{1} << 0;
+
+/// The capability set this build of the server advertises.
+inline constexpr uint64_t kServerCapabilities = kCapOpenBoundSearch;
 
 /// A decoded but not yet interpreted frame. `payload` points into the
 /// caller's buffer and is only valid until that buffer changes.

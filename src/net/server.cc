@@ -628,6 +628,9 @@ Status Server::ExecuteDrain() {
 report::JsonDict Server::StatsJson() const {
   report::JsonDict doc;
   doc.PutStr("report", "rtb-serve");
+  // Optional-feature bitmask (net/protocol.h): clients probe this before
+  // sending frames old servers would reject, e.g. open-bound SEARCH.
+  doc.PutInt("capabilities", kServerCapabilities);
   report::JsonDict server;
   server.PutInt("connections_accepted", stats_.connections_accepted);
   server.PutInt("connections_closed", stats_.connections_closed);

@@ -1,62 +1,211 @@
 #include "sim/query_gen.h"
 
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <utility>
+
 #include "util/macros.h"
 
 namespace rtb::sim {
 
 using geom::Point;
 using geom::Rect;
+using model::AxisExtent;
+using model::QueryClass;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool ValidFixedExtent(const AxisExtent& ax) {
+  return ax.open || (ax.length >= 0.0 && ax.length < 1.0);
+}
+
+Result<std::unique_ptr<QueryGenerator>> MakeUniform(
+    const QueryClass& qc, const GeneratorContext& /*ctx*/) {
+  if (qc.is_point()) {
+    return std::unique_ptr<QueryGenerator>(new UniformPointGenerator());
+  }
+  if (!ValidFixedExtent(qc.x) || !ValidFixedExtent(qc.y)) {
+    return Status::InvalidArgument("region extents must be < 1");
+  }
+  return std::unique_ptr<QueryGenerator>(
+      new UniformRegionGenerator(qc.x, qc.y));
+}
+
+Result<std::unique_ptr<QueryGenerator>> MakeDataDriven(
+    const QueryClass& qc, const GeneratorContext& ctx) {
+  if (ctx.centers == nullptr || ctx.centers->empty()) {
+    return Status::InvalidArgument(
+        "data-driven generator requires data centers");
+  }
+  return std::unique_ptr<QueryGenerator>(
+      new DataDrivenGenerator(ctx.centers, qc.x, qc.y));
+}
+
+Result<std::unique_ptr<QueryGenerator>> MakeCluster(
+    const QueryClass& qc, const GeneratorContext& /*ctx*/) {
+  RTB_RETURN_IF_ERROR(qc.Validate());
+  return std::unique_ptr<QueryGenerator>(new ClusterHotspotGenerator(qc));
+}
+
+struct RegistryEntry {
+  GeneratorFactory factory = nullptr;
+  bool needs_centers = false;
+};
+
+std::map<std::string, RegistryEntry>& Registry() {
+  static std::map<std::string, RegistryEntry>* registry = [] {
+    auto* r = new std::map<std::string, RegistryEntry>();
+    (*r)[model::kCenterUniform] = {&MakeUniform, false};
+    (*r)[model::kCenterData] = {&MakeDataDriven, true};
+    (*r)[model::kCenterCluster] = {&MakeCluster, false};
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+GeneratorContext GeneratorContext::Borrowing(
+    const std::vector<Point>* centers) {
+  GeneratorContext ctx;
+  if (centers != nullptr) {
+    // Aliasing shared_ptr: no ownership, no deleter — the caller keeps the
+    // vector alive.
+    ctx.centers = std::shared_ptr<const std::vector<Point>>(
+        std::shared_ptr<const std::vector<Point>>(), centers);
+  }
+  return ctx;
+}
 
 Rect UniformPointGenerator::Next(Rng& rng) {
   return Rect::FromPoint(Point{rng.NextDouble(), rng.NextDouble()});
 }
 
 UniformRegionGenerator::UniformRegionGenerator(double qx, double qy)
-    : qx_(qx), qy_(qy) {
-  RTB_CHECK(qx >= 0.0 && qx < 1.0 && qy >= 0.0 && qy < 1.0);
+    : UniformRegionGenerator(AxisExtent::Fixed(qx), AxisExtent::Fixed(qy)) {}
+
+UniformRegionGenerator::UniformRegionGenerator(AxisExtent x, AxisExtent y)
+    : x_(x), y_(y) {
+  RTB_CHECK(ValidFixedExtent(x_) && ValidFixedExtent(y_));
 }
 
 Rect UniformRegionGenerator::Next(Rng& rng) {
-  // Top-right corner uniform over U' = [qx,1] x [qy,1].
-  double tr_x = rng.Uniform(qx_, 1.0);
-  double tr_y = rng.Uniform(qy_, 1.0);
-  return Rect(tr_x - qx_, tr_y - qy_, tr_x, tr_y);
+  // Per fixed axis, the top-right corner is uniform over [q, 1] (the
+  // paper's anchored placement); an open axis spans the whole axis and
+  // consumes no draw, so the fixed axes' streams are unchanged by opening
+  // the other axis.
+  double lo_x = -kInf, hi_x = kInf;
+  if (!x_.open) {
+    hi_x = rng.Uniform(x_.length, 1.0);
+    lo_x = hi_x - x_.length;
+  }
+  double lo_y = -kInf, hi_y = kInf;
+  if (!y_.open) {
+    hi_y = rng.Uniform(y_.length, 1.0);
+    lo_y = hi_y - y_.length;
+  }
+  return Rect(lo_x, lo_y, hi_x, hi_y);
 }
 
-DataDrivenGenerator::DataDrivenGenerator(const std::vector<Point>* centers,
-                                         double qx, double qy)
-    : centers_(centers), qx_(qx), qy_(qy) {
+DataDrivenGenerator::DataDrivenGenerator(
+    std::shared_ptr<const std::vector<Point>> centers, AxisExtent x,
+    AxisExtent y)
+    : centers_(std::move(centers)), x_(x), y_(y) {
   RTB_CHECK(centers_ != nullptr && !centers_->empty());
-  RTB_CHECK(qx >= 0.0 && qy >= 0.0);
+  RTB_CHECK(x_.open || x_.length >= 0.0);
+  RTB_CHECK(y_.open || y_.length >= 0.0);
 }
+
+DataDrivenGenerator::DataDrivenGenerator(
+    std::shared_ptr<const std::vector<Point>> centers, double qx, double qy)
+    : DataDrivenGenerator(std::move(centers), AxisExtent::Fixed(qx),
+                          AxisExtent::Fixed(qy)) {}
 
 Rect DataDrivenGenerator::Next(Rng& rng) {
   const Point& c = (*centers_)[rng.UniformInt(centers_->size())];
-  return Rect(c.x - qx_ / 2.0, c.y - qy_ / 2.0, c.x + qx_ / 2.0,
-              c.y + qy_ / 2.0);
+  const double lo_x = x_.open ? -kInf : c.x - x_.length / 2.0;
+  const double hi_x = x_.open ? kInf : c.x + x_.length / 2.0;
+  const double lo_y = y_.open ? -kInf : c.y - y_.length / 2.0;
+  const double hi_y = y_.open ? kInf : c.y + y_.length / 2.0;
+  return Rect(lo_x, lo_y, hi_x, hi_y);
+}
+
+ClusterHotspotGenerator::ClusterHotspotGenerator(const QueryClass& qc)
+    : x_(qc.x),
+      y_(qc.y),
+      spread_(qc.cluster.spread),
+      hotspots_(model::DeriveHotspots(qc.cluster)) {
+  RTB_CHECK(!hotspots_.empty());
+  const std::vector<double> weights =
+      model::ZipfWeights(qc.cluster.hotspots, qc.cluster.skew);
+  cdf_.reserve(weights.size());
+  double acc = 0.0;
+  for (double w : weights) {
+    acc += w;
+    cdf_.push_back(acc);
+  }
+  cdf_.back() = 1.0;  // Guard against accumulated rounding.
+}
+
+Rect ClusterHotspotGenerator::Next(Rng& rng) {
+  // Fixed draw order — one uniform for the hotspot rank, two Gaussians for
+  // the center offset — keeps the stream identical for any axis
+  // open/fixed combination.
+  const double u = rng.NextDouble();
+  size_t h = static_cast<size_t>(
+      std::upper_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  if (h >= hotspots_.size()) h = hotspots_.size() - 1;
+  const double cx = hotspots_[h].x + spread_ * rng.NextGaussian();
+  const double cy = hotspots_[h].y + spread_ * rng.NextGaussian();
+  // Center-anchored like the data-driven generator; no clamping to the
+  // unit square, which is what keeps the Gaussian-mixture model exact.
+  const double lo_x = x_.open ? -kInf : cx - x_.length / 2.0;
+  const double hi_x = x_.open ? kInf : cx + x_.length / 2.0;
+  const double lo_y = y_.open ? -kInf : cy - y_.length / 2.0;
+  const double hi_y = y_.open ? kInf : cy + y_.length / 2.0;
+  return Rect(lo_x, lo_y, hi_x, hi_y);
+}
+
+Status RegisterGenerator(const std::string& center, GeneratorFactory factory,
+                         bool needs_centers) {
+  if (factory == nullptr) {
+    return Status::InvalidArgument("generator factory must be non-null");
+  }
+  auto [it, inserted] =
+      Registry().emplace(center, RegistryEntry{factory, needs_centers});
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument("generator '" + center +
+                                   "' is already registered");
+  }
+  return Status::OK();
+}
+
+bool HasGenerator(const std::string& center) {
+  return Registry().count(center) != 0;
+}
+
+bool GeneratorNeedsCenters(const std::string& center) {
+  auto it = Registry().find(center);
+  return it != Registry().end() && it->second.needs_centers;
 }
 
 Result<std::unique_ptr<QueryGenerator>> MakeGenerator(
-    const model::QuerySpec& spec, const std::vector<Point>* centers) {
-  switch (spec.model) {
-    case model::QueryModel::kUniform:
-      if (spec.is_point()) {
-        return std::unique_ptr<QueryGenerator>(new UniformPointGenerator());
-      }
-      if (spec.qx >= 1.0 || spec.qy >= 1.0) {
-        return Status::InvalidArgument("region extents must be < 1");
-      }
-      return std::unique_ptr<QueryGenerator>(
-          new UniformRegionGenerator(spec.qx, spec.qy));
-    case model::QueryModel::kDataDriven:
-      if (centers == nullptr || centers->empty()) {
-        return Status::InvalidArgument(
-            "data-driven generator requires data centers");
-      }
-      return std::unique_ptr<QueryGenerator>(
-          new DataDrivenGenerator(centers, spec.qx, spec.qy));
+    const QueryClass& qc, const GeneratorContext& ctx) {
+  auto it = Registry().find(qc.center);
+  if (it == Registry().end()) {
+    return Status::InvalidArgument("unknown query center '" + qc.center +
+                                   "' (no registered generator)");
   }
-  return Status::InvalidArgument("unknown query model");
+  return it->second.factory(qc, ctx);
+}
+
+Result<std::unique_ptr<QueryGenerator>> MakeGenerator(
+    const QueryClass& qc, const std::vector<Point>* centers) {
+  return MakeGenerator(qc, GeneratorContext::Borrowing(centers));
 }
 
 }  // namespace rtb::sim

@@ -43,7 +43,7 @@ ExperimentSpec BaseSpec() {
   spec.pool.buffer_pages = 50;
   spec.workload.warmup = 2000;
   QueryClassSpec cls;
-  cls.model = "uniform";
+  cls.query.center = "uniform";
   cls.count = 10000;
   spec.workload.classes.push_back(cls);
   spec.run.threads = 1;
@@ -58,9 +58,9 @@ TEST(SpecTest, JsonRoundTrip) {
   spec.pool.pinned_levels = 1;
   spec.workload.classes[0].label = "point";
   QueryClassSpec region;
-  region.model = "data";
-  region.qx = 0.01;
-  region.qy = 0.02;
+  region.query.center = "data";
+  region.query.x = model::AxisExtent::Fixed(0.01);
+  region.query.y = model::AxisExtent::Fixed(0.02);
   region.count = 500;
   spec.workload.classes.push_back(region);
   spec.workload.batch_size = 64;
@@ -90,9 +90,9 @@ TEST(SpecTest, JsonRoundTrip) {
   EXPECT_EQ(parsed->workload.batch_size, 64u);
   ASSERT_EQ(parsed->workload.classes.size(), 2u);
   EXPECT_EQ(parsed->workload.classes[0].label, "point");
-  EXPECT_EQ(parsed->workload.classes[1].model, "data");
-  EXPECT_DOUBLE_EQ(parsed->workload.classes[1].qx, 0.01);
-  EXPECT_DOUBLE_EQ(parsed->workload.classes[1].qy, 0.02);
+  EXPECT_EQ(parsed->workload.classes[1].query.center, "data");
+  EXPECT_DOUBLE_EQ(parsed->workload.classes[1].query.x.length, 0.01);
+  EXPECT_DOUBLE_EQ(parsed->workload.classes[1].query.y.length, 0.02);
   EXPECT_EQ(parsed->workload.classes[1].count, 500u);
   EXPECT_EQ(parsed->run.threads, 2u);
   EXPECT_EQ(parsed->run.seed, spec.run.seed);
@@ -107,7 +107,7 @@ TEST(SpecTest, MissingFieldsKeepDefaults) {
   EXPECT_EQ(spec->dataset.kind, "uniform");
   EXPECT_EQ(spec->tree.fanout, 100u);
   EXPECT_EQ(spec->pool.policy, "LRU");
-  EXPECT_EQ(spec->workload.classes[0].model, "uniform");
+  EXPECT_EQ(spec->workload.classes[0].query.center, "uniform");
   EXPECT_EQ(spec->workload.classes[0].count, 100000u);
   EXPECT_EQ(spec->workload.batch_size, 1u);
   EXPECT_EQ(spec->storage.backend, "mem");
@@ -166,15 +166,15 @@ TEST(SpecTest, ValidateRejectsSemanticErrors) {
   spec.pool.policy = "MRU";
   EXPECT_FALSE(spec.Validate().ok());
   spec = BaseSpec();
-  spec.workload.classes[0].model = "zipf";
+  spec.workload.classes[0].query.center = "zipf";
   EXPECT_FALSE(spec.Validate().ok());
 
   // Out-of-range values.
   spec = BaseSpec();
-  spec.workload.classes[0].qx = 1.0;
+  spec.workload.classes[0].query.x = model::AxisExtent::Fixed(1.0);
   EXPECT_FALSE(spec.Validate().ok());
   spec = BaseSpec();
-  spec.workload.classes[0].qy = -0.1;
+  spec.workload.classes[0].query.y = model::AxisExtent::Fixed(-0.1);
   EXPECT_FALSE(spec.Validate().ok());
   spec = BaseSpec();
   spec.run.threads = 0;
@@ -209,7 +209,7 @@ TEST(SpecTest, ValidateRejectsSemanticErrors) {
   EXPECT_FALSE(spec.Validate().ok());
   spec = BaseSpec();
   spec.tree.index = "some.idx";
-  spec.workload.classes[0].model = "data";
+  spec.workload.classes[0].query.center = "data";
   EXPECT_FALSE(spec.Validate().ok());
 
   // The base spec itself is valid.
@@ -303,8 +303,8 @@ TEST(EngineTest, MultiClassWorkloadsAggregateAndBreakDown) {
   spec.workload.classes[0].count = 4000;
   QueryClassSpec region;
   region.label = "region";
-  region.qx = 0.02;
-  region.qy = 0.02;
+  region.query.x = model::AxisExtent::Fixed(0.02);
+  region.query.y = model::AxisExtent::Fixed(0.02);
   region.count = 1000;
   spec.workload.classes.push_back(region);
 
@@ -326,7 +326,7 @@ TEST(EngineTest, MultiClassWorkloadsAggregateAndBreakDown) {
 
 TEST(EngineTest, DataDrivenClassUsesBuiltDataCenters) {
   ExperimentSpec spec = BaseSpec();
-  spec.workload.classes[0].model = "data";
+  spec.workload.classes[0].query.center = "data";
   spec.workload.classes[0].count = 2000;
   auto report = engine::Run(spec);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
@@ -357,8 +357,8 @@ TEST(EngineTest, FileBackendBuildsOnDiskAndCountsBatches) {
   spec.workload.batch_size = 64;
   spec.workload.warmup = 200;
   spec.workload.classes[0].count = 2000;
-  spec.workload.classes[0].qx = 0.05;
-  spec.workload.classes[0].qy = 0.05;
+  spec.workload.classes[0].query.x = model::AxisExtent::Fixed(0.05);
+  spec.workload.classes[0].query.y = model::AxisExtent::Fixed(0.05);
   auto report = engine::Run(spec);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_GT(report->store_io.reads, 0u);
@@ -421,8 +421,8 @@ ExperimentSpec MixedSpec() {
   spec.workload.warmup = 500;
   spec.workload.update_batch_size = 64;
   spec.workload.classes[0].count = 4000;
-  spec.workload.classes[0].qx = 0.02;
-  spec.workload.classes[0].qy = 0.02;
+  spec.workload.classes[0].query.x = model::AxisExtent::Fixed(0.02);
+  spec.workload.classes[0].query.y = model::AxisExtent::Fixed(0.02);
   spec.workload.classes[0].insert_frac = 0.3;
   spec.workload.classes[0].delete_frac = 0.2;
   return spec;

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <vector>
@@ -41,6 +42,51 @@ TEST(ProtocolTest, SearchRequestRoundTrip) {
   EXPECT_EQ(req.type, MsgType::kSearch);
   EXPECT_EQ(req.request_id, 77u);
   EXPECT_EQ(req.rect, rect);
+}
+
+// The open-axis sentinel (lo = -inf, hi = +inf on an axis) is the only
+// legal non-finite SEARCH encoding; every other combination of the four
+// bounds drawn from {finite, -inf, +inf, NaN} must be a typed error.
+TEST(ProtocolTest, OpenBoundSearchAxes) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+  // Accepted: open x, open y, both open.
+  for (const Rect& rect :
+       {Rect(-kInf, 0.2, kInf, 0.4), Rect(0.1, -kInf, 0.3, kInf),
+        Rect(-kInf, -kInf, kInf, kInf)}) {
+    std::vector<uint8_t> buf;
+    AppendSearchRequest(11, rect, &buf);
+    Request req;
+    ASSERT_TRUE(ParseRequest(MustDecode(buf), &req).ok());
+    EXPECT_EQ(req.rect, rect);
+  }
+
+  // Exhaustive sweep: each of the four bounds independently finite, -inf,
+  // +inf, or NaN. Legal iff each axis is fully finite or exactly the
+  // (-inf, +inf) sentinel.
+  const double kVals[4] = {0.25, -kInf, kInf, kNan};
+  auto axis_ok = [](double lo, double hi) {
+    return (std::isfinite(lo) && std::isfinite(hi)) ||
+           (lo == -kInf && hi == kInf);
+  };
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      for (int c = 0; c < 4; ++c) {
+        for (int d = 0; d < 4; ++d) {
+          const Rect rect(kVals[a], kVals[b], kVals[c], kVals[d]);
+          std::vector<uint8_t> buf;
+          AppendSearchRequest(12, rect, &buf);
+          Request req;
+          const bool want =
+              axis_ok(rect.lo.x, rect.hi.x) && axis_ok(rect.lo.y, rect.hi.y);
+          EXPECT_EQ(ParseRequest(MustDecode(buf), &req).ok(), want)
+              << rect.lo.x << " " << rect.lo.y << " " << rect.hi.x << " "
+              << rect.hi.y;
+        }
+      }
+    }
+  }
 }
 
 TEST(ProtocolTest, KnnRequestRoundTrip) {

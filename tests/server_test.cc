@@ -16,7 +16,9 @@
 #include <gtest/gtest.h>
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -137,6 +139,50 @@ TEST(ServerTest, RoundTripsEveryRequestType) {
   EXPECT_EQ(s.knns, 1u);
   EXPECT_EQ(s.stats_requests, 1u);
   EXPECT_EQ(s.replies_sent, 6u);
+  ASSERT_TRUE((*stack)->Close().ok());
+}
+
+// An open-bound SEARCH (partial match: one axis lo=-inf, hi=+inf) must be
+// served, must equal the same query with the open axis widened to the full
+// data domain, and the capability must be advertised in STATS so clients
+// can probe before sending frames old servers reject.
+TEST(ServerTest, OpenBoundSearchServedAndAdvertised) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  auto stack = ServingStack::Open(SmallSpec());
+  ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+  Server server(stack->get(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  ServeThread serving(&server);
+
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // The dataset lives in [0,1]^2, so a finite query spanning the whole x
+  // domain is an oracle for the open-x encoding.
+  auto open_x = (*client)->Search(Rect(-kInf, 0.4, kInf, 0.45));
+  ASSERT_TRUE(open_x.ok()) << open_x.status().ToString();
+  auto full_x = (*client)->Search(Rect(0.0, 0.4, 1.0, 0.45));
+  ASSERT_TRUE(full_x.ok());
+  std::sort(open_x->begin(), open_x->end());
+  std::sort(full_x->begin(), full_x->end());
+  EXPECT_FALSE(open_x->empty());
+  EXPECT_EQ(*open_x, *full_x);
+
+  // A lone infinity is still a typed error, and the connection survives it.
+  const uint64_t bad_id =
+      (*client)->QueueSearch(Rect(0.1, 0.2, kInf, 0.4));
+  auto bad = (*client)->WaitFor(bad_id);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->ok());
+
+  const uint64_t stats_id = (*client)->QueueStats();
+  auto stats = (*client)->WaitFor(stats_id);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->ok());
+  EXPECT_NE(stats->text.find("\"capabilities\": 1"), std::string::npos);
+
+  serving.Stop();
+  EXPECT_TRUE(serving.status().ok()) << serving.status().ToString();
   ASSERT_TRUE((*stack)->Close().ok());
 }
 

@@ -66,8 +66,9 @@ TEST(QueryGenTest, UniformRegionTopRightCornerCoversUPrime) {
 }
 
 TEST(QueryGenTest, DataDrivenCentersOnDataPoints) {
-  std::vector<Point> centers = {{0.25, 0.25}, {0.75, 0.75}};
-  DataDrivenGenerator gen(&centers, 0.1, 0.2);
+  auto centers = std::make_shared<const std::vector<Point>>(
+      std::vector<Point>{{0.25, 0.25}, {0.75, 0.75}});
+  DataDrivenGenerator gen(centers, 0.1, 0.2);
   Rng rng(421);
   for (int i = 0; i < 100; ++i) {
     Rect q = gen.Next(rng);

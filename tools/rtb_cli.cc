@@ -305,9 +305,12 @@ int CmdValidate(int argc, char** argv) {
 
 constexpr char kPredictUsage[] =
     "usage: rtb_cli predict --index=FILE --buffer=B [--qx=QX --qy=QY]\n"
-    "                       [--pin=L] [--data=FILE]\n"
+    "                       [--open=x|y] [--pin=L] [--data=FILE]\n"
     "  Model-predicted disk accesses per query; --data switches to the\n"
-    "  data-driven query model using that file's rectangle centers.\n";
+    "  data-driven query model using that file's rectangle centers.\n"
+    "  --open=x (or y) leaves that axis unconstrained (partial-match\n"
+    "  query); the extended model drops the open axis from the per-axis\n"
+    "  probability product.\n";
 
 // Thin wrapper over engine::PrepareTree + engine::EvaluateModel: the flags
 // populate an ExperimentSpec and the engine evaluates the analytic model
@@ -316,7 +319,7 @@ int CmdPredict(int argc, char** argv) {
   if (WantsHelp(argc, argv)) return std::fputs(kPredictUsage, stdout), 0;
   Args args(argc, argv, 2,
             {{"index", ""}, {"buffer", "100"}, {"qx", "0"}, {"qy", "0"},
-             {"pin", "0"}, {"data", ""}});
+             {"open", ""}, {"pin", "0"}, {"data", ""}});
   if (!args.ok()) return FailUsage(args.error(), kPredictUsage);
 
   engine::ExperimentSpec spec;
@@ -325,29 +328,40 @@ int CmdPredict(int argc, char** argv) {
   spec.pool.buffer_pages = args.GetInt("buffer");
   spec.pool.pinned_levels = static_cast<uint16_t>(args.GetInt("pin"));
   engine::QueryClassSpec cls;
-  cls.model = args.Get("data").empty() ? "uniform" : "data";
-  cls.qx = args.GetDouble("qx");
-  cls.qy = args.GetDouble("qy");
+  cls.query.center = args.Get("data").empty() ? "uniform" : "data";
+  cls.query.x = model::AxisExtent::Fixed(args.GetDouble("qx"));
+  cls.query.y = model::AxisExtent::Fixed(args.GetDouble("qy"));
+  if (args.Get("open") == "x") {
+    cls.query.x = model::AxisExtent::Open();
+  } else if (args.Get("open") == "y") {
+    cls.query.y = model::AxisExtent::Open();
+  } else if (!args.Get("open").empty()) {
+    return FailUsage("--open must be 'x' or 'y'", kPredictUsage);
+  }
   cls.count = 1;  // Model-only: no queries are executed.
   spec.workload.classes.push_back(cls);
   if (Status s = spec.Validate(); !s.ok()) return FailStatus("spec", s);
 
   auto prepared = engine::PrepareTree(spec);
   if (!prepared.ok()) return FailStatus("open", prepared.status());
-  const model::QuerySpec qspec =
-      cls.model == "data"
-          ? model::QuerySpec::DataDrivenRegion(cls.qx, cls.qy)
-          : model::QuerySpec::UniformRegion(cls.qx, cls.qy);
   auto est = engine::EvaluateModel(
-      *prepared->summary, qspec, spec.pool,
-      prepared->centers.empty() ? nullptr : &prepared->centers);
+      *prepared->summary, cls.query, spec.pool,
+      prepared->centers == nullptr ? nullptr : prepared->centers.get());
   if (!est.ok()) return FailStatus("model", est.status());
 
   const uint64_t buffer = spec.pool.buffer_pages;
   const uint16_t pin = spec.pool.pinned_levels;
-  std::printf("query model:   %s, %g x %g\n",
-              cls.model == "data" ? "data-driven" : "uniform", cls.qx,
-              cls.qy);
+  const auto extent_str = [](const model::AxisExtent& ax) {
+    if (ax.open) return std::string("open");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", ax.length);
+    return std::string(buf);
+  };
+  std::printf("query model:   %s, %s x %s\n",
+              cls.query.center == "data" ? "data-driven"
+                                         : cls.query.center.c_str(),
+              extent_str(cls.query.x).c_str(),
+              extent_str(cls.query.y).c_str());
   std::printf("nodes/query (bufferless):   %.4f\n", est->node_accesses);
   if (pin == 0) {
     std::printf("disk accesses/query (B=%llu): %.4f (continuous: %.4f)\n",
@@ -372,7 +386,7 @@ int CmdPredict(int argc, char** argv) {
 
 constexpr char kQueryUsage[] =
     "usage: rtb_cli query --index=FILE --buffer=B --queries=N\n"
-    "                     [--qx=QX --qy=QY --seed=S --warmup=W]\n"
+    "                     [--qx=QX --qy=QY --open=x|y --seed=S --warmup=W]\n"
     "                     [--threads=T --shards=S --batch=N]\n"
     "                     [--async=0|1 --shared=0|1]\n"
     "                     [--data=FILE --fanout=N]\n"
@@ -383,7 +397,9 @@ constexpr char kQueryUsage[] =
     "  (default) is the paper's serial, bit-reproducible path. --batch=N\n"
     "  with N >= 2 executes N queries per level-synchronous batch (each\n"
     "  distinct page fetched once per batch); --batch=1 (default) is the\n"
-    "  classic one-query-at-a-time loop. --async=1 overlaps each batch\n"
+    "  classic one-query-at-a-time loop. --open=x|y makes that axis of the\n"
+    "  query rectangle open (partial-match: only the other axis\n"
+    "  constrains). --async=1 overlaps each batch\n"
     "  window's reads with the previous window's scan (async read engine);\n"
     "  --shared=1 shares one page-ordered frontier across all workers\n"
     "  (needs --batch >= 2).\n"
@@ -404,7 +420,8 @@ int CmdQuery(int argc, char** argv) {
   if (WantsHelp(argc, argv)) return std::fputs(kQueryUsage, stdout), 0;
   Args args(argc, argv, 2,
             {{"index", ""}, {"buffer", "100"}, {"queries", "100000"},
-             {"qx", "0"}, {"qy", "0"}, {"seed", "1"}, {"warmup", "10000"},
+             {"qx", "0"}, {"qy", "0"}, {"open", ""},
+             {"seed", "1"}, {"warmup", "10000"},
              {"threads", "1"}, {"shards", "0"}, {"batch", "1"},
              {"async", "0"}, {"shared", "0"}, {"data", ""},
              {"fanout", "100"}, {"insert-frac", "0"}, {"delete-frac", "0"},
@@ -445,8 +462,15 @@ int CmdQuery(int argc, char** argv) {
   spec.workload.update_batch_size =
       std::max<uint64_t>(1, args.GetInt("update-batch"));
   engine::QueryClassSpec cls;
-  cls.qx = args.GetDouble("qx");
-  cls.qy = args.GetDouble("qy");
+  cls.query.x = model::AxisExtent::Fixed(args.GetDouble("qx"));
+  cls.query.y = model::AxisExtent::Fixed(args.GetDouble("qy"));
+  if (args.Get("open") == "x") {
+    cls.query.x = model::AxisExtent::Open();
+  } else if (args.Get("open") == "y") {
+    cls.query.y = model::AxisExtent::Open();
+  } else if (!args.Get("open").empty()) {
+    return FailUsage("--open must be x or y", kQueryUsage);
+  }
   cls.count = args.GetInt("queries");
   cls.insert_frac = args.GetDouble("insert-frac");
   cls.delete_frac = args.GetDouble("delete-frac");

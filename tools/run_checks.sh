@@ -7,7 +7,7 @@
 # build-checks/<name> so the developer's main build/ tree is untouched.
 #
 #   tools/run_checks.sh            # the full matrix
-#   tools/run_checks.sh release    # one of: release | tsan | asan | ubsan | storage | async | update | durability | server
+#   tools/run_checks.sh release    # one of: release | tsan | asan | ubsan | storage | async | update | durability | server | workload
 #
 # `storage` is a fast focused leg: it reuses the release build and runs only
 # the `storage`-labeled tests (page stores, fault injection, the vectored
@@ -30,13 +30,19 @@
 # holds on both writeback paths. The ctest definitions already set
 # RTB_NO_FSYNC=1 — the crash model fails the process, not the kernel.
 #
+# `workload` runs the `workload`-labeled tests (unified query classes,
+# partial-match oracle, skewed generators, spec round-trips, open-axis and
+# batched model validation) on the release build and again under an ASan
+# build: the shared-generator determinism case and the center-set lifetime
+# case are exactly what ASan watches.
+#
 # `server` runs the `server`-labeled tests (wire codec, the coalescing
 # admission loop, graceful shutdown, kill-during-load recovery) under both
 # TSan and ASan builds: the epoll loop races real client threads in
 # server_test, which is exactly the surface those sanitizers watch.
 #
 # The release leg also guards the perf trajectory: it re-runs
-# micro_batch_query, micro_file_io, micro_async_io, micro_update_batch,
+# micro_batch_query, micro_partial_match, micro_file_io, micro_async_io, micro_update_batch,
 # micro_wal_commit and micro_server_qps (under RTB_NO_FSYNC=1 — committed
 # baselines measure the write/serving path, not this machine's disk) and diffs them against
 # the committed BENCH_*.json baselines with tools/bench_diff.py. The threshold is 25%,
@@ -55,9 +61,9 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 ONLY="${1:-all}"
 
 case "$ONLY" in
-  all|release|tsan|asan|ubsan|storage|async|update|durability|server) ;;
+  all|release|tsan|asan|ubsan|storage|async|update|durability|server|workload) ;;
   *)
-    echo "unknown configuration: $ONLY (expected release|tsan|asan|ubsan|storage|async|update|durability|server)" >&2
+    echo "unknown configuration: $ONLY (expected release|tsan|asan|ubsan|storage|async|update|durability|server|workload)" >&2
     exit 2
     ;;
 esac
@@ -81,8 +87,9 @@ if wants release; then
   configure_and_build "$ROOT/build-checks/release"
   (cd "$ROOT/build-checks/release" && ctest --output-on-failure)
   echo "==> bench diff vs committed baselines"
-  for bench in micro_batch_query micro_file_io micro_async_io \
-               micro_update_batch micro_wal_commit micro_server_qps; do
+  for bench in micro_batch_query micro_partial_match micro_file_io \
+               micro_async_io micro_update_batch micro_wal_commit \
+               micro_server_qps; do
     # micro_wal_commit and micro_server_qps run with real fsync suppressed
     # so their baselines track the code path's work, not the host's disk
     # latency.
@@ -129,6 +136,15 @@ if wants durability; then
   (cd "$ROOT/build-checks/release" && ctest -L durability --output-on-failure)
   (cd "$ROOT/build-checks/release" && \
       RTB_VECTORED_IO=scalar ctest -L durability --output-on-failure)
+fi
+
+if wants workload; then
+  echo "==> workload (release, then ASan)"
+  configure_and_build "$ROOT/build-checks/release"
+  (cd "$ROOT/build-checks/release" && ctest -L workload --output-on-failure)
+  configure_and_build "$ROOT/build-checks/asan" \
+      -DRTB_SANITIZE=address -DRTB_BUILD_BENCHMARKS=OFF
+  (cd "$ROOT/build-checks/asan" && ctest -L workload --output-on-failure)
 fi
 
 if wants server; then
